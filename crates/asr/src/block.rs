@@ -1,0 +1,233 @@
+//! The functional-block abstraction.
+//!
+//! Blocks generate output values from input values. Per the paper (§3)
+//! they are restricted to compute only *continuous* functions between
+//! ordered value domains; over the flat domain of [`crate::value::Value`]
+//! continuity coincides with monotonicity, which the fixed-point evaluator
+//! checks dynamically ([`crate::error::EvalError::MonotonicityViolation`]).
+//!
+//! Blocks are pure within an instant: all state that persists across
+//! instants lives either in [`crate::delay::Delay`] elements or, for
+//! hierarchical composites, in the nested system captured by
+//! [`BlockState`]. The evaluator may call [`Block::eval`] several times per
+//! instant with (pointwise) increasing inputs; a block must tolerate that.
+//! At the end of each instant the engine calls [`Block::tick`] exactly once
+//! with the final input values, which is where stateful composites commit.
+
+use crate::trace::InstantRecord;
+use crate::value::Value;
+use std::fmt;
+
+/// Error reported by a block when its inputs are outside its domain
+/// (wrong datum kind, arithmetic overflow, …).
+///
+/// ```
+/// use asr::block::BlockError;
+/// let e = BlockError::new("expected an integer input");
+/// assert_eq!(e.to_string(), "expected an integer input");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockError {
+    message: String,
+}
+
+impl BlockError {
+    /// Creates a block error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        BlockError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+impl From<&str> for BlockError {
+    fn from(s: &str) -> Self {
+        BlockError::new(s)
+    }
+}
+
+impl From<String> for BlockError {
+    fn from(s: String) -> Self {
+        BlockError::new(s)
+    }
+}
+
+/// Persistent state of a block, used to snapshot and restore hierarchical
+/// systems (nested composites carry a whole [`SystemState`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BlockState {
+    /// The block is stateless (the common case).
+    #[default]
+    Stateless,
+    /// The block encapsulates a nested system.
+    Composite(SystemState),
+}
+
+/// Snapshot of everything in a system that persists across instants: the
+/// values held by its delay elements plus the state of each block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemState {
+    /// Current output value of each delay element, in delay-id order.
+    pub delays: Vec<Value>,
+    /// State of each block, in block-id order.
+    pub blocks: Vec<BlockState>,
+}
+
+/// A functional block of an ASR system.
+///
+/// Implementations must be **monotone**: if `a ⊑ b` pointwise then
+/// `eval(a) ⊑ eval(b)` pointwise. The easiest way to obtain this is to be
+/// *strict* — emit [`Value::Unknown`] until every input is known — which is
+/// what the [`crate::stock`] lifting combinators do. Non-strict blocks
+/// (such as [`crate::stock::select`]) are what make delay-free feedback
+/// loops resolvable.
+pub trait Block {
+    /// Human-readable instance name, used in traces and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn input_arity(&self) -> usize;
+
+    /// Number of output ports.
+    fn output_arity(&self) -> usize;
+
+    /// Computes this block's outputs from `inputs`.
+    ///
+    /// `inputs` has length [`Self::input_arity`]; `outputs` has length
+    /// [`Self::output_arity`] and arrives zeroed to [`Value::Unknown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BlockError`] when a *known* input lies outside the
+    /// block's domain. Unknown inputs are never an error — the block
+    /// simply leaves (some) outputs unknown.
+    fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError>;
+
+    /// End-of-instant hook, called exactly once per instant with the final
+    /// (fixed-point) input values. Stateful composites commit their
+    /// sub-instant execution here. The default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`BlockError`] from committing nested systems.
+    fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
+        let _ = inputs;
+        Ok(())
+    }
+
+    /// Captures the block's persistent state. Stateless blocks (the
+    /// default) return [`BlockState::Stateless`].
+    fn save_state(&self) -> BlockState {
+        BlockState::Stateless
+    }
+
+    /// Restores state previously captured by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BlockError`] if the snapshot does not match the block's
+    /// shape.
+    fn restore_state(&mut self, state: &BlockState) -> Result<(), BlockError> {
+        match state {
+            BlockState::Stateless => Ok(()),
+            BlockState::Composite(_) => Err(BlockError::new(
+                "cannot restore composite state into a stateless block",
+            )),
+        }
+    }
+
+    /// Returns the block to its initial state. Stateless blocks (the
+    /// default) have nothing to do; composites reset their nested system.
+    fn reset(&mut self) {}
+
+    /// Drains the hierarchical sub-instant records produced by the last
+    /// [`Self::tick`], for hierarchical tracing (paper Fig. 4). Stateless
+    /// blocks have none.
+    fn take_subtrace(&mut self) -> Vec<InstantRecord> {
+        Vec::new()
+    }
+}
+
+impl fmt::Debug for dyn Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Block({} : {} -> {})",
+            self.name(),
+            self.input_arity(),
+            self.output_arity()
+        )
+    }
+}
+
+/// Extension helpers for block implementors.
+pub trait BlockExt: Block + Sized + 'static {
+    /// Boxes this block for storage in a system graph.
+    fn boxed(self) -> Box<dyn Block> {
+        Box::new(self)
+    }
+}
+
+impl<B: Block + Sized + 'static> BlockExt for B {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always7;
+
+    impl Block for Always7 {
+        fn name(&self) -> &str {
+            "always7"
+        }
+        fn input_arity(&self) -> usize {
+            0
+        }
+        fn output_arity(&self) -> usize {
+            1
+        }
+        fn eval(&self, _inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
+            outputs[0] = Value::int(7);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let mut b = Always7;
+        assert_eq!(b.save_state(), BlockState::Stateless);
+        assert!(b.restore_state(&BlockState::Stateless).is_ok());
+        assert!(b
+            .restore_state(&BlockState::Composite(SystemState::default()))
+            .is_err());
+        assert!(b.tick(&[]).is_ok());
+        assert!(b.take_subtrace().is_empty());
+    }
+
+    #[test]
+    fn debug_for_trait_object() {
+        let b: Box<dyn Block> = Always7.boxed();
+        assert_eq!(format!("{b:?}"), "Block(always7 : 0 -> 1)");
+    }
+
+    #[test]
+    fn block_error_conversions() {
+        let e: BlockError = "bad".into();
+        assert_eq!(e.message(), "bad");
+        let e: BlockError = String::from("worse").into();
+        assert_eq!(e.to_string(), "worse");
+    }
+}

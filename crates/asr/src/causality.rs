@@ -1,0 +1,235 @@
+//! Static causality analysis of system graphs.
+//!
+//! Delay-free cycles are legal in the ASR model — the fixed-point
+//! semantics gives them meaning — but a designer usually wants to know
+//! about them: a cycle made only of *strict* blocks can never settle above
+//! ⊥ and is almost certainly a specification error. This module finds the
+//! strongly connected components of the delay-free block dependency graph
+//! (Tarjan's algorithm, iterative) and classifies the system.
+
+use crate::port::BlockId;
+use crate::system::System;
+
+/// Causality classification of a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// No delay-free cycles: evaluation is a single topological pass.
+    Acyclic,
+    /// Delay-free cycles exist; whether they settle depends on the
+    /// non-strictness of the blocks involved (checked dynamically by the
+    /// fixed-point evaluator).
+    Cyclic,
+}
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalityReport {
+    /// Strongly connected components of the delay-free dependency graph,
+    /// in reverse topological order. Singleton components without a
+    /// self-loop are trivially causal.
+    pub sccs: Vec<Vec<BlockId>>,
+    /// The components that form delay-free cycles (size > 1, or size 1
+    /// with a self-loop).
+    pub cycles: Vec<Vec<BlockId>>,
+}
+
+impl CausalityReport {
+    /// Overall classification.
+    pub fn causality(&self) -> Causality {
+        if self.cycles.is_empty() {
+            Causality::Acyclic
+        } else {
+            Causality::Cyclic
+        }
+    }
+}
+
+/// Analyzes the delay-free block dependency graph of `system`.
+///
+/// An edge `a → b` exists when some output of block `a` feeds some input
+/// of block `b` directly through a channel (paths through delay elements
+/// do not count — delays are exactly what break causality cycles).
+pub fn analyze(system: &System) -> CausalityReport {
+    let n = system.num_blocks();
+    // successors[a] = blocks consuming any output signal of a.
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, succ) in successors.iter_mut().enumerate() {
+        let base = system.block_out_base[a];
+        let arity = system.blocks[a].output_arity();
+        for p in 0..arity {
+            for &c in &system.consumers[base + p] {
+                if !succ.contains(&c) {
+                    succ.push(c);
+                }
+            }
+        }
+    }
+
+    let sccs = tarjan(n, &successors);
+    let cycles = sccs
+        .iter()
+        .filter(|scc| scc.len() > 1 || successors[scc[0].index()].contains(&scc[0].index()))
+        .cloned()
+        .collect();
+    CausalityReport { sccs, cycles }
+}
+
+/// Iterative Tarjan SCC over `0..n` with the given successor lists.
+/// Returns components in reverse topological order.
+fn tarjan(n: usize, successors: &[Vec<usize>]) -> Vec<Vec<BlockId>> {
+    #[derive(Clone, Copy)]
+    struct NodeData {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut data = vec![
+        NodeData {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut next_index = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<BlockId>> = Vec::new();
+
+    // Explicit DFS stack: (node, next successor position).
+    for root in 0..n {
+        if data[root].visited {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, succ_pos)) = dfs.last() {
+            if succ_pos == 0 {
+                data[v].visited = true;
+                data[v].index = next_index;
+                data[v].lowlink = next_index;
+                next_index += 1;
+                stack.push(v);
+                data[v].on_stack = true;
+            }
+            if let Some(&w) = successors[v].get(succ_pos) {
+                dfs.last_mut().expect("dfs stack is non-empty").1 += 1;
+                if !data[w].visited {
+                    dfs.push((w, 0));
+                } else if data[w].on_stack {
+                    data[v].lowlink = data[v].lowlink.min(data[w].index);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    data[parent].lowlink = data[parent].lowlink.min(data[v].lowlink);
+                }
+                if data[v].lowlink == data[v].index {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        data[w].on_stack = false;
+                        scc.push(BlockId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+    use crate::system::{Sink, Source, SystemBuilder};
+    use crate::value::Value;
+
+    #[test]
+    fn feedforward_chain_is_acyclic() {
+        let mut b = SystemBuilder::new("chain");
+        let x = b.add_input("x");
+        let g1 = b.add_block(stock::gain("g1", 2));
+        let g2 = b.add_block(stock::gain("g2", 3));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(g1, 0)).unwrap();
+        b.connect(Source::block(g1, 0), Sink::block(g2, 0)).unwrap();
+        b.connect(Source::block(g2, 0), Sink::ext(o)).unwrap();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.causality(), Causality::Acyclic);
+        assert_eq!(report.sccs.len(), 2);
+        assert!(report.cycles.is_empty());
+    }
+
+    #[test]
+    fn delay_breaks_the_cycle() {
+        // add feeds a delay which feeds back into add: causal.
+        let mut b = SystemBuilder::new("acc");
+        let x = b.add_input("x");
+        let a = b.add_block(stock::add("a"));
+        let d = b.add_delay("d", Value::int(0));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(a, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(a, 1)).unwrap();
+        b.connect(Source::block(a, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(a, 0), Sink::ext(o)).unwrap();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.causality(), Causality::Acyclic);
+    }
+
+    #[test]
+    fn delay_free_cycle_is_reported() {
+        // Two adders feeding each other with no delay in the loop.
+        let mut b = SystemBuilder::new("loop");
+        let x = b.add_input("x");
+        let a1 = b.add_block(stock::add("a1"));
+        let a2 = b.add_block(stock::add("a2"));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(a1, 0)).unwrap();
+        b.connect(Source::block(a2, 0), Sink::block(a1, 1)).unwrap();
+        b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+        b.connect(Source::ext(x), Sink::block(a2, 1)).unwrap();
+        b.connect(Source::block(a1, 0), Sink::ext(o)).unwrap();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.causality(), Causality::Cyclic);
+        assert_eq!(report.cycles.len(), 1);
+        assert_eq!(report.cycles[0].len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut b = SystemBuilder::new("self");
+        let sel = b.add_block(stock::select("sel"));
+        let c = b.add_block(stock::const_bool("c", true));
+        let x = b.add_input("x");
+        let o = b.add_output("o");
+        b.connect(Source::block(c, 0), Sink::block(sel, 0)).unwrap();
+        b.connect(Source::ext(x), Sink::block(sel, 1)).unwrap();
+        b.connect(Source::block(sel, 0), Sink::block(sel, 2)).unwrap();
+        b.connect(Source::block(sel, 0), Sink::ext(o)).unwrap();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.causality(), Causality::Cyclic);
+        assert_eq!(report.cycles, vec![vec![crate::port::BlockId(0)]]);
+    }
+
+    #[test]
+    fn sccs_are_in_reverse_topological_order() {
+        let mut b = SystemBuilder::new("chain");
+        let x = b.add_input("x");
+        let g1 = b.add_block(stock::gain("g1", 2));
+        let g2 = b.add_block(stock::gain("g2", 3));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(g1, 0)).unwrap();
+        b.connect(Source::block(g1, 0), Sink::block(g2, 0)).unwrap();
+        b.connect(Source::block(g2, 0), Sink::ext(o)).unwrap();
+        let report = analyze(&b.build().unwrap());
+        // g2 (downstream) must appear before g1 (upstream).
+        assert_eq!(report.sccs[0][0].index(), g2.index());
+        assert_eq!(report.sccs[1][0].index(), g1.index());
+    }
+}

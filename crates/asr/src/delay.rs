@@ -1,0 +1,100 @@
+//! Delay elements: the only way values cross instant boundaries.
+//!
+//! At each instant a delay's output equals the value its input carried at
+//! the *previous* instant (paper §3). From a block's point of view, values
+//! arriving from delays are indistinguishable from external inputs: they
+//! are fully determined at the start of the instant, which is what breaks
+//! feedback cycles.
+
+use crate::value::Value;
+
+/// A unit delay with an initial output value.
+///
+/// ```
+/// use asr::delay::Delay;
+/// use asr::value::Value;
+///
+/// let mut d = Delay::new("acc", Value::int(0));
+/// assert_eq!(d.output(), &Value::int(0));
+/// d.latch(Value::int(5));
+/// assert_eq!(d.output(), &Value::int(5));
+/// d.reset();
+/// assert_eq!(d.output(), &Value::int(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delay {
+    name: String,
+    initial: Value,
+    current: Value,
+}
+
+impl Delay {
+    /// Creates a delay that outputs `initial` during the first instant.
+    pub fn new(name: impl Into<String>, initial: Value) -> Self {
+        let initial_value = initial;
+        Delay {
+            name: name.into(),
+            current: initial_value.clone(),
+            initial: initial_value,
+        }
+    }
+
+    /// The delay's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value this delay outputs during the current instant.
+    pub fn output(&self) -> &Value {
+        &self.current
+    }
+
+    /// The value this delay outputs during the very first instant.
+    pub fn initial(&self) -> &Value {
+        &self.initial
+    }
+
+    /// Commits the value observed at the delay's input this instant; it
+    /// becomes the output of the next instant.
+    pub fn latch(&mut self, input: Value) {
+        self.current = input;
+    }
+
+    /// Overwrites the current output (used when restoring a
+    /// [`crate::block::SystemState`] snapshot).
+    pub fn set_output(&mut self, value: Value) {
+        self.current = value;
+    }
+
+    /// Returns the delay to its initial value.
+    pub fn reset(&mut self) {
+        self.current = self.initial.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_sequence_behaves_like_unit_delay() {
+        let mut d = Delay::new("d", Value::int(10));
+        let inputs = [Value::int(1), Value::int(2), Value::int(3)];
+        let mut seen = Vec::new();
+        for i in &inputs {
+            seen.push(d.output().clone());
+            d.latch(i.clone());
+        }
+        // Output at instant n is input at instant n-1 (initial at n=0).
+        assert_eq!(seen, vec![Value::int(10), Value::int(1), Value::int(2)]);
+    }
+
+    #[test]
+    fn set_output_overrides_without_touching_initial() {
+        let mut d = Delay::new("d", Value::Absent);
+        d.set_output(Value::int(9));
+        assert_eq!(d.output(), &Value::int(9));
+        assert_eq!(d.initial(), &Value::Absent);
+        assert_eq!(d.name(), "d");
+    }
+}

@@ -1,0 +1,116 @@
+//! Determinism checks.
+//!
+//! A central claim of the ASR model is that "any particular input can
+//! produce only one possible output" (paper §3). In this implementation
+//! determinism is by construction — the least fixed point is unique, and
+//! no evaluation order, thread schedule, or allocator decision can change
+//! it — but claims deserve checks. This module re-executes systems and
+//! compares traces, and is used both by tests and by the Fig. 8 benchmark
+//! (where it contrasts with the genuinely nondeterministic thread
+//! simulator in the `sched` crate).
+
+use crate::error::EvalError;
+use crate::fixpoint::Strategy;
+use crate::system::System;
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// The result of a determinism experiment: the set of distinct traces
+/// observed over several runs. Deterministic systems yield exactly one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// Distinct traces observed.
+    pub distinct_traces: Vec<Trace>,
+    /// Total runs performed.
+    pub runs: usize,
+}
+
+impl DeterminismReport {
+    /// True iff all runs produced the same trace.
+    pub fn is_deterministic(&self) -> bool {
+        self.distinct_traces.len() <= 1
+    }
+}
+
+/// Builds a system `runs` times with `factory`, executes the same input
+/// sequence on each instance, and reports the distinct traces observed.
+///
+/// # Errors
+///
+/// Propagates the first [`EvalError`] encountered.
+pub fn replay<F>(
+    factory: F,
+    inputs: &[Vec<Value>],
+    runs: usize,
+) -> Result<DeterminismReport, EvalError>
+where
+    F: Fn() -> System,
+{
+    let mut distinct: Vec<Trace> = Vec::new();
+    for _ in 0..runs {
+        let mut sys = factory();
+        let trace = sys.run(inputs)?;
+        if !distinct.contains(&trace) {
+            distinct.push(trace);
+        }
+    }
+    Ok(DeterminismReport {
+        distinct_traces: distinct,
+        runs,
+    })
+}
+
+/// Executes the same input sequence under both fixed-point strategies and
+/// returns whether the traces agree (they must: the least fixed point is
+/// unique).
+///
+/// # Errors
+///
+/// Propagates the first [`EvalError`] encountered.
+pub fn strategies_agree<F>(factory: F, inputs: &[Vec<Value>]) -> Result<bool, EvalError>
+where
+    F: Fn() -> System,
+{
+    let mut a = factory();
+    a.set_strategy(Strategy::Chaotic);
+    let mut b = factory();
+    b.set_strategy(Strategy::Worklist);
+    Ok(a.run(inputs)? == b.run(inputs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+    use crate::system::{Sink, Source, SystemBuilder};
+
+    fn accumulator() -> System {
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn input_seq() -> Vec<Vec<Value>> {
+        (0..10).map(|k| vec![Value::int(k)]).collect()
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let report = replay(accumulator, &input_seq(), 5).unwrap();
+        assert!(report.is_deterministic());
+        assert_eq!(report.runs, 5);
+        assert_eq!(report.distinct_traces.len(), 1);
+    }
+
+    #[test]
+    fn strategies_agree_on_stateful_system() {
+        assert!(strategies_agree(accumulator, &input_seq()).unwrap());
+    }
+}

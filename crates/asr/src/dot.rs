@@ -1,0 +1,113 @@
+//! Graphviz DOT export of system graphs.
+//!
+//! The paper's future work calls for "advanced user interface and system
+//! visualization tools"; this module provides the backbone: a [`to_dot`]
+//! rendering of a [`System`]'s block diagram (blocks as boxes, delays as
+//! shaded boxes — matching the paper's Fig. 3 drawing conventions —
+//! external ports as ellipses).
+
+use crate::system::System;
+use std::fmt::Write as _;
+
+/// Renders `system` as a Graphviz `digraph`.
+pub fn to_dot(system: &System) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", system.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    for (i, name) in system.input_names().iter().enumerate() {
+        let _ = writeln!(out, "  in{i} [label=\"{name}\", shape=ellipse];");
+    }
+    for (i, name) in system.output_names().iter().enumerate() {
+        let _ = writeln!(out, "  out{i} [label=\"{name}\", shape=ellipse];");
+    }
+    for b in 0..system.num_blocks() {
+        let _ = writeln!(
+            out,
+            "  b{b} [label=\"{}\", shape=box];",
+            system.blocks[b].name()
+        );
+    }
+    for d in 0..system.num_delays() {
+        let _ = writeln!(
+            out,
+            "  d{d} [label=\"{}\", shape=box, style=filled, fillcolor=lightgray];",
+            system.delays[d].name()
+        );
+    }
+
+    // Edges: resolve each sink's driving signal back to its producer.
+    let producer = |sig: usize| -> String {
+        if sig < system.input_names().len() {
+            return format!("in{sig}");
+        }
+        if sig >= system.delay_base {
+            return format!("d{}", sig - system.delay_base);
+        }
+        let b = match system.block_out_base.binary_search(&sig) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        format!("b{b}")
+    };
+    for (b, sigs) in system.block_in_sigs.iter().enumerate() {
+        for (port, &sig) in sigs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {} -> b{b} [headlabel=\"{port}\", labelfontsize=9];",
+                producer(sig)
+            );
+        }
+    }
+    for (d, &sig) in system.delay_in_sig.iter().enumerate() {
+        let _ = writeln!(out, "  {} -> d{d};", producer(sig));
+    }
+    for (o, &sig) in system.out_sig.iter().enumerate() {
+        let _ = writeln!(out, "  {} -> out{o};", producer(sig));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+    use crate::system::{Sink, Source, SystemBuilder};
+    use crate::value::Value;
+
+    #[test]
+    fn dot_contains_every_entity_and_edge() {
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+
+        assert!(dot.starts_with("digraph \"acc\""));
+        assert!(dot.contains("in0 [label=\"in\""));
+        assert!(dot.contains("b0 [label=\"sum\", shape=box]"));
+        assert!(dot.contains("fillcolor=lightgray"), "delays are shaded");
+        assert!(dot.contains("in0 -> b0"));
+        assert!(dot.contains("d0 -> b0"));
+        assert!(dot.contains("b0 -> d0"));
+        assert!(dot.contains("b0 -> out0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_of_empty_system_is_valid() {
+        let mut b = SystemBuilder::new("empty");
+        let x = b.add_input("x");
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::ext(o)).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("in0 -> out0"));
+    }
+}

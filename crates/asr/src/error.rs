@@ -1,0 +1,145 @@
+//! Error types for system construction and instant evaluation.
+
+use crate::port::{BlockId, DelayId, InputId, OutputId};
+use crate::value::Value;
+use std::fmt;
+
+/// Errors detected while assembling a system graph with
+/// [`crate::system::SystemBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSystemError {
+    /// A block id, port index, or delay id refers outside the graph.
+    NoSuchEntity(String),
+    /// Two sources were connected to the same sink; each sink has exactly
+    /// one driver in the ASR model.
+    SinkAlreadyDriven(String),
+    /// A block input port was never connected; blocks cannot read
+    /// undefined channels.
+    UnconnectedBlockInput { block: BlockId, port: usize },
+    /// A delay input was never connected.
+    UnconnectedDelayInput(DelayId),
+    /// An external output was never connected.
+    UnconnectedOutput(OutputId),
+    /// Two external ports share a name.
+    DuplicatePortName(String),
+}
+
+impl fmt::Display for BuildSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSystemError::NoSuchEntity(what) => write!(f, "no such entity: {what}"),
+            BuildSystemError::SinkAlreadyDriven(sink) => {
+                write!(f, "sink {sink} is already driven by another source")
+            }
+            BuildSystemError::UnconnectedBlockInput { block, port } => {
+                write!(f, "input port {port} of block {block} is not connected")
+            }
+            BuildSystemError::UnconnectedDelayInput(d) => {
+                write!(f, "input of delay {d} is not connected")
+            }
+            BuildSystemError::UnconnectedOutput(o) => {
+                write!(f, "external output {o} is not connected")
+            }
+            BuildSystemError::DuplicatePortName(n) => {
+                write!(f, "duplicate external port name `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildSystemError {}
+
+/// Errors raised while evaluating an instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The number of externally supplied inputs does not match the
+    /// system's input arity.
+    InputArity { expected: usize, got: usize },
+    /// An external input was supplied as [`Value::Unknown`]; the
+    /// environment must provide determined inputs.
+    UnknownInput(InputId),
+    /// A block produced an output below its previous output in the value
+    /// ordering, i.e. it is not monotone; such a block is outside the ASR
+    /// model and would make the fixed point ill-defined.
+    MonotonicityViolation {
+        block: BlockId,
+        port: usize,
+        before: Value,
+        after: Value,
+    },
+    /// Fixed-point iteration failed to stabilise within the iteration
+    /// budget (cannot happen for monotone blocks over the flat domain;
+    /// kept as a defensive bound).
+    NonConvergence { iterations: usize },
+    /// A block reported a domain error (wrong datum kind, arity, …).
+    Block { block: BlockId, message: String },
+    /// A delay latched an undetermined input at the end of the instant, so
+    /// its next-instant output would be ⊥.
+    UnknownDelayInput(DelayId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InputArity { expected, got } => {
+                write!(f, "expected {expected} external inputs, got {got}")
+            }
+            EvalError::UnknownInput(i) => {
+                write!(f, "external input {i} was supplied as ⊥")
+            }
+            EvalError::MonotonicityViolation {
+                block,
+                port,
+                before,
+                after,
+            } => write!(
+                f,
+                "block {block} output {port} regressed from {before} to {after}; \
+                 blocks must be monotone"
+            ),
+            EvalError::NonConvergence { iterations } => {
+                write!(f, "fixed point did not stabilise after {iterations} iterations")
+            }
+            EvalError::Block { block, message } => {
+                write!(f, "block {block} failed: {message}")
+            }
+            EvalError::UnknownDelayInput(d) => {
+                write!(f, "delay {d} would latch ⊥ at the end of the instant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BuildSystemError::UnconnectedBlockInput {
+            block: BlockId(1),
+            port: 2,
+        };
+        assert!(e.to_string().contains("b1"));
+        assert!(e.to_string().contains("port 2"));
+
+        let e = EvalError::MonotonicityViolation {
+            block: BlockId(0),
+            port: 0,
+            before: Value::int(1),
+            after: Value::int(2),
+        };
+        assert!(e.to_string().contains("monotone"));
+        let e = EvalError::NonConvergence { iterations: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<BuildSystemError>();
+        assert_err::<EvalError>();
+    }
+}

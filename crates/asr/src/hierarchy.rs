@@ -1,0 +1,395 @@
+//! Hierarchical abstraction in space and time.
+//!
+//! The ASR model is *abstractable*: an aggregation of blocks is
+//! functionally equivalent to a single block (spatial abstraction, paper
+//! Fig. 5), and the work done inside one instant may itself consist of a
+//! sequence of nested sub-instants (temporal abstraction, paper Fig. 4).
+//!
+//! * [`CompositeBlock`] wraps a *combinational* [`System`] (one without
+//!   delay elements) as an ordinary [`Block`]. It is fully transparent:
+//!   partial (⊥) inputs propagate through the inner fixed point, so
+//!   non-strictness of inner blocks is preserved and the composite may
+//!   participate in delay-free cycles exactly like the flattened system.
+//! * [`TemporalComposite`] wraps an arbitrary [`System`] (delays allowed)
+//!   and executes `sub_instants` nested instants of it per enclosing
+//!   instant. To its environment its execution appears atomic; the nested
+//!   instants are visible only in the hierarchical trace
+//!   ([`Block::take_subtrace`]).
+
+use crate::block::{Block, BlockError, BlockState};
+use crate::system::System;
+use crate::trace::InstantRecord;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Error building a hierarchical block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompositeError {
+    /// [`CompositeBlock`] requires a combinational inner system.
+    CombinationalRequired {
+        /// How many delay elements the inner system has.
+        delays: usize,
+    },
+    /// [`TemporalComposite`] needs at least one sub-instant.
+    ZeroSubInstants,
+}
+
+impl fmt::Display for CompositeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositeError::CombinationalRequired { delays } => write!(
+                f,
+                "composite block requires a combinational inner system, found {delays} delays \
+                 (use TemporalComposite for stateful systems)"
+            ),
+            CompositeError::ZeroSubInstants => {
+                write!(f, "temporal composite requires at least one sub-instant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompositeError {}
+
+/// A combinational system abstracted as a single block (spatial
+/// abstraction, paper Fig. 5).
+#[derive(Debug)]
+pub struct CompositeBlock {
+    inner: System,
+}
+
+impl CompositeBlock {
+    /// Wraps `inner` as a block.
+    ///
+    /// # Errors
+    ///
+    /// [`CompositeError::CombinationalRequired`] if `inner` contains delay
+    /// elements.
+    pub fn new(inner: System) -> Result<Self, CompositeError> {
+        if inner.num_delays() != 0 {
+            return Err(CompositeError::CombinationalRequired {
+                delays: inner.num_delays(),
+            });
+        }
+        Ok(CompositeBlock { inner })
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &System {
+        &self.inner
+    }
+}
+
+impl Block for CompositeBlock {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_arity(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
+        let solution = self
+            .inner
+            .eval_partial(inputs)
+            .map_err(|e| BlockError::new(e.to_string()))?;
+        for (o, v) in outputs.iter_mut().zip(self.inner.outputs_of(&solution)) {
+            *o = v;
+        }
+        Ok(())
+    }
+}
+
+/// A (possibly stateful) system abstracted as a single block that executes
+/// a fixed number of nested sub-instants per enclosing instant (temporal
+/// abstraction, paper Fig. 4).
+///
+/// The composite is *strict*: its outputs stay ⊥ until every input is
+/// determined, because the nested execution cannot be partially observed
+/// — its instant structure is invisible to the environment.
+#[derive(Debug)]
+pub struct TemporalComposite {
+    name: String,
+    inner: RefCell<System>,
+    sub_instants: usize,
+    subtrace: Vec<InstantRecord>,
+}
+
+impl TemporalComposite {
+    /// Wraps `inner`, executing `sub_instants` nested instants per
+    /// enclosing instant. The same enclosing-instant inputs are presented
+    /// at every sub-instant; the outputs observed by the environment are
+    /// those of the final sub-instant.
+    ///
+    /// # Errors
+    ///
+    /// [`CompositeError::ZeroSubInstants`] if `sub_instants == 0`.
+    pub fn new(inner: System, sub_instants: usize) -> Result<Self, CompositeError> {
+        if sub_instants == 0 {
+            return Err(CompositeError::ZeroSubInstants);
+        }
+        Ok(TemporalComposite {
+            name: inner.name().to_string(),
+            inner: RefCell::new(inner),
+            sub_instants,
+            subtrace: Vec::new(),
+        })
+    }
+
+    /// Number of nested sub-instants per enclosing instant.
+    pub fn sub_instants(&self) -> usize {
+        self.sub_instants
+    }
+}
+
+impl Block for TemporalComposite {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        self.inner.borrow().num_inputs()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.inner.borrow().num_outputs()
+    }
+
+    fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
+        if inputs.iter().any(Value::is_unknown) {
+            return Ok(());
+        }
+        let mut inner = self.inner.borrow_mut();
+        let snapshot = inner.save_state();
+        let mut last = Vec::new();
+        for _ in 0..self.sub_instants {
+            last = inner.react(inputs).map_err(|e| BlockError::new(e.to_string()))?;
+        }
+        inner
+            .restore_state(&snapshot)
+            .map_err(|e| BlockError::new(e.to_string()))?;
+        for (o, v) in outputs.iter_mut().zip(last) {
+            *o = v;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
+        if inputs.iter().any(Value::is_unknown) {
+            // The enclosing fixed point left our inputs undetermined; the
+            // nested system does not advance (its instants never began).
+            return Ok(());
+        }
+        let inner = self.inner.get_mut();
+        for _ in 0..self.sub_instants {
+            let (_, record) = inner
+                .react_traced(inputs)
+                .map_err(|e| BlockError::new(e.to_string()))?;
+            self.subtrace.push(record);
+        }
+        Ok(())
+    }
+
+    fn save_state(&self) -> BlockState {
+        BlockState::Composite(self.inner.borrow().save_state())
+    }
+
+    fn restore_state(&mut self, state: &BlockState) -> Result<(), BlockError> {
+        match state {
+            BlockState::Composite(s) => self
+                .inner
+                .get_mut()
+                .restore_state(s)
+                .map_err(|e| BlockError::new(e.to_string())),
+            BlockState::Stateless => Err(BlockError::new(
+                "cannot restore stateless snapshot into a temporal composite",
+            )),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.get_mut().reset();
+        self.subtrace.clear();
+    }
+
+    fn take_subtrace(&mut self) -> Vec<InstantRecord> {
+        std::mem::take(&mut self.subtrace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+    use crate::system::{Sink, Source, SystemBuilder};
+
+    /// A combinational inner system computing (x + y) * 2.
+    fn comb_inner() -> System {
+        let mut b = SystemBuilder::new("inner");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let a = b.add_block(stock::add("a"));
+        let g = b.add_block(stock::gain("g", 2));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(a, 0)).unwrap();
+        b.connect(Source::ext(y), Sink::block(a, 1)).unwrap();
+        b.connect(Source::block(a, 0), Sink::block(g, 0)).unwrap();
+        b.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A stateful inner system: accumulator over its single input.
+    fn acc_inner() -> System {
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn composite_equals_flat_system() {
+        let composite = CompositeBlock::new(comb_inner()).unwrap();
+        let mut b = SystemBuilder::new("outer");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let c = b.add_block(composite);
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut outer = b.build().unwrap();
+
+        let mut flat = comb_inner();
+        for (a, b) in [(1, 2), (5, -3), (0, 0), (100, 1)] {
+            let inputs = [Value::int(a), Value::int(b)];
+            assert_eq!(
+                outer.react(&inputs).unwrap(),
+                flat.react(&inputs).unwrap(),
+                "composite and flat disagree on ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_rejects_stateful_inner() {
+        let err = CompositeBlock::new(acc_inner()).unwrap_err();
+        assert_eq!(err, CompositeError::CombinationalRequired { delays: 1 });
+    }
+
+    #[test]
+    fn composite_propagates_partial_inputs() {
+        // A select inside a composite must stay non-strict through the
+        // abstraction boundary.
+        let mut b = SystemBuilder::new("sel");
+        let c = b.add_input("c");
+        let t = b.add_input("t");
+        let e = b.add_input("e");
+        let s = b.add_block(stock::select("s"));
+        let o = b.add_output("o");
+        b.connect(Source::ext(c), Sink::block(s, 0)).unwrap();
+        b.connect(Source::ext(t), Sink::block(s, 1)).unwrap();
+        b.connect(Source::ext(e), Sink::block(s, 2)).unwrap();
+        b.connect(Source::block(s, 0), Sink::ext(o)).unwrap();
+        let composite = CompositeBlock::new(b.build().unwrap()).unwrap();
+
+        let mut out = vec![Value::Unknown];
+        composite
+            .eval(&[Value::bool(true), Value::int(5), Value::Unknown], &mut out)
+            .unwrap();
+        assert_eq!(out[0], Value::int(5));
+    }
+
+    #[test]
+    fn temporal_composite_runs_sub_instants() {
+        // 3 sub-instants of an accumulator per outer instant: feeding 1
+        // each outer instant advances the sum by 3.
+        let tc = TemporalComposite::new(acc_inner(), 3).unwrap();
+        assert_eq!(tc.sub_instants(), 3);
+        let mut b = SystemBuilder::new("outer");
+        let x = b.add_input("x");
+        let c = b.add_block(tc);
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut outer = b.build().unwrap();
+
+        assert_eq!(outer.react(&[Value::int(1)]).unwrap()[0], Value::int(3));
+        assert_eq!(outer.react(&[Value::int(1)]).unwrap()[0], Value::int(6));
+        assert_eq!(outer.react(&[Value::int(2)]).unwrap()[0], Value::int(12));
+    }
+
+    #[test]
+    fn temporal_composite_produces_hierarchical_trace() {
+        let tc = TemporalComposite::new(acc_inner(), 2).unwrap();
+        let mut b = SystemBuilder::new("outer");
+        let x = b.add_input("x");
+        let c = b.add_block(tc);
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut outer = b.build().unwrap();
+
+        let (_, record) = outer.react_traced(&[Value::int(1)]).unwrap();
+        assert_eq!(record.children.len(), 2, "two nested sub-instants");
+        assert_eq!(record.depth(), 2);
+        // Nested instants carry the inner system's signals (the adder
+        // "sum" and the delay "state").
+        assert!(record.children[0].signals.contains_key("sum"));
+        assert!(record.children[0].signals.contains_key("state"));
+    }
+
+    #[test]
+    fn temporal_composite_state_round_trip_and_reset() {
+        let mut tc = TemporalComposite::new(acc_inner(), 1).unwrap();
+        let mut out = vec![Value::Unknown];
+        tc.eval(&[Value::int(4)], &mut out).unwrap();
+        assert_eq!(out[0], Value::int(4));
+        // eval must not persist state.
+        let mut out2 = vec![Value::Unknown];
+        tc.eval(&[Value::int(4)], &mut out2).unwrap();
+        assert_eq!(out2[0], Value::int(4));
+        // tick persists.
+        tc.tick(&[Value::int(4)]).unwrap();
+        let snap = tc.save_state();
+        tc.tick(&[Value::int(1)]).unwrap();
+        tc.restore_state(&snap).unwrap();
+        let mut out3 = vec![Value::Unknown];
+        tc.eval(&[Value::int(0)], &mut out3).unwrap();
+        assert_eq!(out3[0], Value::int(4));
+        tc.reset();
+        let mut out4 = vec![Value::Unknown];
+        tc.eval(&[Value::int(0)], &mut out4).unwrap();
+        assert_eq!(out4[0], Value::int(0));
+        // Restoring a stateless snapshot is a shape error.
+        assert!(tc.restore_state(&BlockState::Stateless).is_err());
+    }
+
+    #[test]
+    fn temporal_composite_is_strict() {
+        let tc = TemporalComposite::new(acc_inner(), 2).unwrap();
+        let mut out = vec![Value::int(99)];
+        out[0] = Value::Unknown;
+        tc.eval(&[Value::Unknown], &mut out).unwrap();
+        assert_eq!(out[0], Value::Unknown);
+    }
+
+    #[test]
+    fn zero_sub_instants_rejected() {
+        assert_eq!(
+            TemporalComposite::new(acc_inner(), 0).unwrap_err(),
+            CompositeError::ZeroSubInstants
+        );
+    }
+}

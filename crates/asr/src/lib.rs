@@ -1,0 +1,90 @@
+//! # `asr` — the Abstractable Synchronous Reactive model of computation
+//!
+//! This crate implements the **ASR** model from *"Design and Specification
+//! of Embedded Systems in Java Using Successive, Formal Refinement"*
+//! (Young et al., DAC 1998, §3). ASR systems are collections of
+//! **functional blocks**, **channels**, and **delay elements**:
+//!
+//! * [`Block`](block::Block)s compute output values from input values and
+//!   are restricted to *continuous* (here: monotone over a finite-height
+//!   domain, hence continuous) functions between ordered value domains.
+//! * Channels carry [`Value`](value::Value)s between blocks within a single
+//!   instant; they cannot hold state across instants.
+//! * [`Delay`](delay::Delay) elements carry values between successive
+//!   instants: at each instant a delay's output equals its input at the
+//!   previous instant.
+//!
+//! Time is divided into hierarchically nested **instants**. Within one
+//! instant the system's signal values are the *least fixed point* of the
+//! block equations, computed by chaotic iteration over the flat value
+//! domain (the scheme follows Edwards' thesis, as cited by the paper).
+//! Instants may nest: a composite block may execute any number of
+//! sub-instants that remain invisible to its environment
+//! ([`hierarchy`]).
+//!
+//! The model guarantees the properties the paper lists as required for
+//! embedded-system specification:
+//!
+//! * **Determinism** — one input sequence yields exactly one output
+//!   sequence ([`determinism`]).
+//! * **Bounded memory** — a built [`System`](system::System) never
+//!   allocates signal storage after construction.
+//! * **Compositionality** — an aggregation of blocks is functionally
+//!   equivalent to a single block, and blocks + delays compose into a
+//!   system equivalent to one block and one delay (paper Fig. 5;
+//!   [`hierarchy`]).
+//!
+//! ## Quick example
+//!
+//! Build the two-adder system and run one instant:
+//!
+//! ```
+//! use asr::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SystemBuilder::new("adder-pair");
+//! let x = b.add_input("x");
+//! let y = b.add_input("y");
+//! let a1 = b.add_block(stock::add("a1"));
+//! let a2 = b.add_block(stock::add("a2"));
+//! let out = b.add_output("sum3");
+//! b.connect(Source::ext(x), Sink::block(a1, 0))?;
+//! b.connect(Source::ext(y), Sink::block(a1, 1))?;
+//! b.connect(Source::block(a1, 0), Sink::block(a2, 0))?;
+//! b.connect(Source::ext(y), Sink::block(a2, 1))?;
+//! b.connect(Source::block(a2, 0), Sink::ext(out))?;
+//! let mut sys = b.build()?;
+//!
+//! let outputs = sys.react(&[Value::int(1), Value::int(2)])?;
+//! assert_eq!(outputs[0], Value::int(5)); // (1 + 2) + 2
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod causality;
+pub mod delay;
+pub mod determinism;
+pub mod dot;
+pub mod error;
+pub mod fixpoint;
+pub mod hierarchy;
+pub mod port;
+pub mod stock;
+pub mod system;
+pub mod trace;
+pub mod value;
+
+/// Convenience re-exports of the types needed to build and run systems.
+pub mod prelude {
+    pub use crate::block::{Block, BlockExt};
+    pub use crate::delay::Delay;
+    pub use crate::error::{BuildSystemError, EvalError};
+    pub use crate::fixpoint::Strategy;
+    pub use crate::hierarchy::{CompositeBlock, TemporalComposite};
+    pub use crate::port::{BlockId, DelayId, InputId, OutputId};
+    pub use crate::stock;
+    pub use crate::system::{Sink, Source, System, SystemBuilder};
+    pub use crate::trace::{InstantRecord, Trace};
+    pub use crate::value::{Datum, Value};
+}

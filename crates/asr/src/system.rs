@@ -1,0 +1,800 @@
+//! System graphs: blocks, channels, and delay elements, plus the
+//! per-instant reaction API.
+//!
+//! A [`System`] is assembled with [`SystemBuilder`]: add blocks, delays,
+//! and external ports, then connect each sink (block input, delay input,
+//! external output) to exactly one source (external input, block output,
+//! delay output). [`SystemBuilder::build`] validates the graph — every
+//! sink driven, no double drivers — and freezes it into a [`System`] whose
+//! signal storage is allocated once, never after (the bounded-memory
+//! property of the ASR model).
+//!
+//! Reacting ([`System::react`]) runs one instant: the environment supplies
+//! one determined [`Value`] per external input, the least fixed point of
+//! the block equations is computed (see [`crate::fixpoint`]), delays latch
+//! their inputs, and the external outputs are returned. If no inputs are
+//! provided, the system simply sits idle — reactivity is driven entirely
+//! by the environment, exactly as the paper prescribes.
+
+use crate::block::{Block, SystemState};
+use crate::delay::Delay;
+use crate::error::{BuildSystemError, EvalError};
+use crate::fixpoint::{self, FixpointStats, Strategy};
+use crate::port::{BlockId, DelayId, InputId, OutputId};
+use crate::trace::{InstantRecord, Trace};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value producer inside a system graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Source {
+    /// An external input port.
+    Ext(InputId),
+    /// Output port `1` of block `0`.
+    Block(BlockId, usize),
+    /// The output of a delay element.
+    Delay(DelayId),
+}
+
+impl Source {
+    /// Source from an external input.
+    pub fn ext(id: InputId) -> Self {
+        Source::Ext(id)
+    }
+
+    /// Source from a block output port.
+    pub fn block(id: BlockId, port: usize) -> Self {
+        Source::Block(id, port)
+    }
+
+    /// Source from a delay output.
+    pub fn delay(id: DelayId) -> Self {
+        Source::Delay(id)
+    }
+}
+
+/// A value consumer inside a system graph. Each sink has exactly one
+/// driving [`Source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sink {
+    /// Input port `1` of block `0`.
+    Block(BlockId, usize),
+    /// The input of a delay element.
+    Delay(DelayId),
+    /// An external output port.
+    Ext(OutputId),
+}
+
+impl Sink {
+    /// Sink into a block input port.
+    pub fn block(id: BlockId, port: usize) -> Self {
+        Sink::Block(id, port)
+    }
+
+    /// Sink into a delay input.
+    pub fn delay(id: DelayId) -> Self {
+        Sink::Delay(id)
+    }
+
+    /// Sink into an external output.
+    pub fn ext(id: OutputId) -> Self {
+        Sink::Ext(id)
+    }
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::Block(b, p) => write!(f, "{b}.in{p}"),
+            Sink::Delay(d) => write!(f, "{d}.in"),
+            Sink::Ext(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// Incremental builder for [`System`] graphs.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    name: String,
+    blocks: Vec<Box<dyn Block>>,
+    delays: Vec<Delay>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    connections: BTreeMap<Sink, Source>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder for a system with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemBuilder {
+            name: name.into(),
+            ..SystemBuilder::default()
+        }
+    }
+
+    /// Adds a functional block and returns its id.
+    pub fn add_block(&mut self, block: impl Block + 'static) -> BlockId {
+        self.add_boxed_block(Box::new(block))
+    }
+
+    /// Adds an already-boxed block and returns its id.
+    pub fn add_boxed_block(&mut self, block: Box<dyn Block>) -> BlockId {
+        self.blocks.push(block);
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Adds a delay element with the given initial output value.
+    pub fn add_delay(&mut self, name: impl Into<String>, initial: Value) -> DelayId {
+        self.delays.push(Delay::new(name, initial));
+        DelayId(self.delays.len() - 1)
+    }
+
+    /// Declares an external input port.
+    pub fn add_input(&mut self, name: impl Into<String>) -> InputId {
+        self.input_names.push(name.into());
+        InputId(self.input_names.len() - 1)
+    }
+
+    /// Declares an external output port.
+    pub fn add_output(&mut self, name: impl Into<String>) -> OutputId {
+        self.output_names.push(name.into());
+        OutputId(self.output_names.len() - 1)
+    }
+
+    /// Connects `source` to `sink`. A source may fan out to any number of
+    /// sinks; each sink accepts exactly one driver.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildSystemError::NoSuchEntity`] if either end refers to a
+    ///   nonexistent block/delay/port.
+    /// * [`BuildSystemError::SinkAlreadyDriven`] on a second driver.
+    pub fn connect(&mut self, source: Source, sink: Sink) -> Result<(), BuildSystemError> {
+        self.check_source(source)?;
+        self.check_sink(sink)?;
+        if self.connections.contains_key(&sink) {
+            return Err(BuildSystemError::SinkAlreadyDriven(sink.to_string()));
+        }
+        self.connections.insert(sink, source);
+        Ok(())
+    }
+
+    fn check_source(&self, source: Source) -> Result<(), BuildSystemError> {
+        match source {
+            Source::Ext(InputId(i)) if i >= self.input_names.len() => Err(
+                BuildSystemError::NoSuchEntity(format!("external input in{i}")),
+            ),
+            Source::Block(BlockId(b), p) => {
+                let Some(block) = self.blocks.get(b) else {
+                    return Err(BuildSystemError::NoSuchEntity(format!("block b{b}")));
+                };
+                if p >= block.output_arity() {
+                    return Err(BuildSystemError::NoSuchEntity(format!(
+                        "output port {p} of block b{b} ({})",
+                        block.name()
+                    )));
+                }
+                Ok(())
+            }
+            Source::Delay(DelayId(d)) if d >= self.delays.len() => {
+                Err(BuildSystemError::NoSuchEntity(format!("delay d{d}")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn check_sink(&self, sink: Sink) -> Result<(), BuildSystemError> {
+        match sink {
+            Sink::Block(BlockId(b), p) => {
+                let Some(block) = self.blocks.get(b) else {
+                    return Err(BuildSystemError::NoSuchEntity(format!("block b{b}")));
+                };
+                if p >= block.input_arity() {
+                    return Err(BuildSystemError::NoSuchEntity(format!(
+                        "input port {p} of block b{b} ({})",
+                        block.name()
+                    )));
+                }
+                Ok(())
+            }
+            Sink::Delay(DelayId(d)) if d >= self.delays.len() => {
+                Err(BuildSystemError::NoSuchEntity(format!("delay d{d}")))
+            }
+            Sink::Ext(OutputId(o)) if o >= self.output_names.len() => Err(
+                BuildSystemError::NoSuchEntity(format!("external output out{o}")),
+            ),
+            _ => Ok(()),
+        }
+    }
+
+    /// Validates the graph and freezes it into an executable [`System`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildSystemError`] if any block input, delay input, or
+    /// external output is left unconnected, or if two external ports of
+    /// the same direction share a name.
+    pub fn build(self) -> Result<System, BuildSystemError> {
+        for names in [&self.input_names, &self.output_names] {
+            let mut seen = std::collections::BTreeSet::new();
+            for n in names {
+                if !seen.insert(n) {
+                    return Err(BuildSystemError::DuplicatePortName(n.clone()));
+                }
+            }
+        }
+
+        let n_inputs = self.input_names.len();
+        let mut block_out_base = Vec::with_capacity(self.blocks.len());
+        let mut next = n_inputs;
+        for b in &self.blocks {
+            block_out_base.push(next);
+            next += b.output_arity();
+        }
+        let delay_base = next;
+        let n_signals = delay_base + self.delays.len();
+
+        let sig_of = |source: Source| -> usize {
+            match source {
+                Source::Ext(InputId(i)) => i,
+                Source::Block(BlockId(b), p) => block_out_base[b] + p,
+                Source::Delay(DelayId(d)) => delay_base + d,
+            }
+        };
+
+        let mut block_in_sigs: Vec<Vec<usize>> = Vec::with_capacity(self.blocks.len());
+        for (b, block) in self.blocks.iter().enumerate() {
+            let mut sigs = Vec::with_capacity(block.input_arity());
+            for p in 0..block.input_arity() {
+                match self.connections.get(&Sink::Block(BlockId(b), p)) {
+                    Some(&src) => sigs.push(sig_of(src)),
+                    None => {
+                        return Err(BuildSystemError::UnconnectedBlockInput {
+                            block: BlockId(b),
+                            port: p,
+                        })
+                    }
+                }
+            }
+            block_in_sigs.push(sigs);
+        }
+
+        let mut delay_in_sig = Vec::with_capacity(self.delays.len());
+        for d in 0..self.delays.len() {
+            match self.connections.get(&Sink::Delay(DelayId(d))) {
+                Some(&src) => delay_in_sig.push(sig_of(src)),
+                None => return Err(BuildSystemError::UnconnectedDelayInput(DelayId(d))),
+            }
+        }
+
+        let mut out_sig = Vec::with_capacity(self.output_names.len());
+        for o in 0..self.output_names.len() {
+            match self.connections.get(&Sink::Ext(OutputId(o))) {
+                Some(&src) => out_sig.push(sig_of(src)),
+                None => return Err(BuildSystemError::UnconnectedOutput(OutputId(o))),
+            }
+        }
+
+        // Signal -> consuming blocks, for the worklist strategy.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_signals];
+        for (b, sigs) in block_in_sigs.iter().enumerate() {
+            for &s in sigs {
+                if !consumers[s].contains(&b) {
+                    consumers[s].push(b);
+                }
+            }
+        }
+
+        Ok(System {
+            name: self.name,
+            blocks: self.blocks,
+            delays: self.delays,
+            input_names: self.input_names,
+            output_names: self.output_names,
+            block_in_sigs,
+            block_out_base,
+            delay_in_sig,
+            out_sig,
+            consumers,
+            delay_base,
+            n_signals,
+            strategy: Strategy::default(),
+            instant_count: 0,
+        })
+    }
+}
+
+/// The fixed-point solution of a single instant: the value of every signal
+/// in the system, plus evaluation statistics.
+#[derive(Debug, Clone)]
+pub struct InstantSolution {
+    pub(crate) signals: Vec<Value>,
+    stats: FixpointStats,
+}
+
+impl InstantSolution {
+    /// The value of every signal, indexed by internal signal number.
+    pub fn signals(&self) -> &[Value] {
+        &self.signals
+    }
+
+    /// Fixed-point iteration statistics (for the evaluation-order
+    /// ablation).
+    pub fn stats(&self) -> &FixpointStats {
+        &self.stats
+    }
+}
+
+/// An executable ASR system: the frozen result of [`SystemBuilder::build`].
+pub struct System {
+    pub(crate) name: String,
+    pub(crate) blocks: Vec<Box<dyn Block>>,
+    pub(crate) delays: Vec<Delay>,
+    pub(crate) input_names: Vec<String>,
+    pub(crate) output_names: Vec<String>,
+    pub(crate) block_in_sigs: Vec<Vec<usize>>,
+    pub(crate) block_out_base: Vec<usize>,
+    pub(crate) delay_in_sig: Vec<usize>,
+    pub(crate) out_sig: Vec<usize>,
+    pub(crate) consumers: Vec<Vec<usize>>,
+    pub(crate) delay_base: usize,
+    pub(crate) n_signals: usize,
+    strategy: Strategy,
+    instant_count: u64,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("name", &self.name)
+            .field("blocks", &self.blocks.len())
+            .field("delays", &self.delays.len())
+            .field("inputs", &self.input_names)
+            .field("outputs", &self.output_names)
+            .field("instants", &self.instant_count)
+            .finish()
+    }
+}
+
+impl System {
+    /// The system's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of external inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of external outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.output_names.len()
+    }
+
+    /// Names of the external inputs, in port order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Names of the external outputs, in port order.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Number of functional blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of delay elements.
+    pub fn num_delays(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Number of internal signals (inputs + block outputs + delay outputs).
+    pub fn num_signals(&self) -> usize {
+        self.n_signals
+    }
+
+    /// How many instants have been committed since construction or the
+    /// last [`System::reset`].
+    pub fn instants_elapsed(&self) -> u64 {
+        self.instant_count
+    }
+
+    /// The fixed-point evaluation strategy used by [`System::react`].
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Selects the fixed-point evaluation strategy. The least fixed point
+    /// is unique, so this never changes results — only iteration counts.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// A human-readable name for an internal signal index.
+    pub fn signal_name(&self, sig: usize) -> String {
+        if sig < self.input_names.len() {
+            return self.input_names[sig].clone();
+        }
+        if sig >= self.delay_base {
+            return self.delays[sig - self.delay_base].name().to_string();
+        }
+        // Block output: find the owning block by its base offset.
+        let b = match self.block_out_base.binary_search(&sig) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let port = sig - self.block_out_base[b];
+        if self.blocks[b].output_arity() == 1 {
+            self.blocks[b].name().to_string()
+        } else {
+            format!("{}.{}", self.blocks[b].name(), port)
+        }
+    }
+
+    /// Computes the least-fixed-point solution of one instant **without**
+    /// committing it: delays keep their state and [`Block::tick`] is not
+    /// called. This is the pure denotation of the instant.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`]; notably inputs must be determined and arity must
+    /// match.
+    pub fn eval_instant(&self, inputs: &[Value]) -> Result<InstantSolution, EvalError> {
+        if inputs.len() != self.input_names.len() {
+            return Err(EvalError::InputArity {
+                expected: self.input_names.len(),
+                got: inputs.len(),
+            });
+        }
+        for (i, v) in inputs.iter().enumerate() {
+            if v.is_unknown() {
+                return Err(EvalError::UnknownInput(InputId(i)));
+            }
+        }
+        self.eval_partial(inputs)
+    }
+
+    /// Like [`Self::eval_instant`] but permits ⊥ external inputs. Used by
+    /// hierarchical composites, which must propagate partial information
+    /// through the abstraction boundary to remain monotone and preserve
+    /// the non-strictness of inner blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::InputArity`] on arity mismatch, plus any fixed-point
+    /// error.
+    pub fn eval_partial(&self, inputs: &[Value]) -> Result<InstantSolution, EvalError> {
+        if inputs.len() != self.input_names.len() {
+            return Err(EvalError::InputArity {
+                expected: self.input_names.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut signals = vec![Value::Unknown; self.n_signals];
+        signals[..inputs.len()].clone_from_slice(inputs);
+        for (d, delay) in self.delays.iter().enumerate() {
+            signals[self.delay_base + d] = delay.output().clone();
+        }
+        let stats = fixpoint::solve(self, &mut signals, self.strategy)?;
+        Ok(InstantSolution { signals, stats })
+    }
+
+    /// Commits a previously computed [`InstantSolution`]: latches every
+    /// delay with the value observed at its input and runs every block's
+    /// [`Block::tick`] hook with its final input values.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownDelayInput`] if a delay input stayed ⊥ (a
+    /// non-constructive delay-free cycle feeding a delay), or a block
+    /// error from a `tick` hook.
+    pub fn commit(&mut self, solution: &InstantSolution) -> Result<(), EvalError> {
+        for (d, &sig) in self.delay_in_sig.iter().enumerate() {
+            if solution.signals[sig].is_unknown() {
+                return Err(EvalError::UnknownDelayInput(DelayId(d)));
+            }
+        }
+        for (b, block) in self.blocks.iter_mut().enumerate() {
+            let ins: Vec<Value> = self.block_in_sigs[b]
+                .iter()
+                .map(|&s| solution.signals[s].clone())
+                .collect();
+            block.tick(&ins).map_err(|e| EvalError::Block {
+                block: BlockId(b),
+                message: e.message().to_string(),
+            })?;
+        }
+        for (d, &sig) in self.delay_in_sig.iter().enumerate() {
+            self.delays[d].latch(solution.signals[sig].clone());
+        }
+        self.instant_count += 1;
+        Ok(())
+    }
+
+    /// Runs one complete instant: evaluate, commit, and return the
+    /// external output values.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] from [`Self::eval_instant`] or [`Self::commit`].
+    pub fn react(&mut self, inputs: &[Value]) -> Result<Vec<Value>, EvalError> {
+        let solution = self.eval_instant(inputs)?;
+        self.commit(&solution)?;
+        Ok(self.outputs_of(&solution))
+    }
+
+    /// Like [`Self::react`], but also returns the full hierarchical record
+    /// of the instant (every signal value, plus the sub-instant trees of
+    /// composite blocks — paper Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] from [`Self::eval_instant`] or [`Self::commit`].
+    pub fn react_traced(
+        &mut self,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, InstantRecord), EvalError> {
+        let solution = self.eval_instant(inputs)?;
+        self.commit(&solution)?;
+        let mut record = InstantRecord::new(format!(
+            "{}@{}",
+            self.name,
+            self.instant_count.saturating_sub(1)
+        ));
+        for (sig, v) in solution.signals.iter().enumerate() {
+            record.signals.insert(self.signal_name(sig), v.clone());
+        }
+        for block in &mut self.blocks {
+            record.children.extend(block.take_subtrace());
+        }
+        Ok((self.outputs_of(&solution), record))
+    }
+
+    /// Runs a sequence of instants, producing a [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`EvalError`].
+    pub fn run(&mut self, input_sequence: &[Vec<Value>]) -> Result<Trace, EvalError> {
+        let mut trace = Trace::default();
+        for inputs in input_sequence {
+            let (_, record) = self.react_traced(inputs)?;
+            trace.instants.push(record);
+        }
+        Ok(trace)
+    }
+
+    /// Extracts the external output values of a solution.
+    pub fn outputs_of(&self, solution: &InstantSolution) -> Vec<Value> {
+        self.out_sig
+            .iter()
+            .map(|&s| solution.signals[s].clone())
+            .collect()
+    }
+
+    /// Restores every delay to its initial value and resets block state
+    /// and the instant counter.
+    pub fn reset(&mut self) {
+        for d in &mut self.delays {
+            d.reset();
+        }
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        self.instant_count = 0;
+    }
+
+    /// Snapshots everything that persists across instants.
+    pub fn save_state(&self) -> SystemState {
+        SystemState {
+            delays: self.delays.iter().map(|d| d.output().clone()).collect(),
+            blocks: self.blocks.iter().map(|b| b.save_state()).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Block`] if the snapshot shape does not match.
+    pub fn restore_state(&mut self, state: &SystemState) -> Result<(), EvalError> {
+        if state.delays.len() != self.delays.len() || state.blocks.len() != self.blocks.len() {
+            return Err(EvalError::Block {
+                block: BlockId(0),
+                message: "state snapshot shape mismatch".to_string(),
+            });
+        }
+        for (d, v) in self.delays.iter_mut().zip(&state.delays) {
+            d.set_output(v.clone());
+        }
+        for (b, (block, s)) in self.blocks.iter_mut().zip(&state.blocks).enumerate() {
+            block.restore_state(s).map_err(|e| EvalError::Block {
+                block: BlockId(b),
+                message: e.message().to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+
+    fn adder_pair() -> System {
+        let mut b = SystemBuilder::new("s");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let a1 = b.add_block(stock::add("a1"));
+        let a2 = b.add_block(stock::add("a2"));
+        let out = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(a1, 0)).unwrap();
+        b.connect(Source::ext(y), Sink::block(a1, 1)).unwrap();
+        b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+        b.connect(Source::ext(y), Sink::block(a2, 1)).unwrap();
+        b.connect(Source::block(a2, 0), Sink::ext(out)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feedforward_reaction() {
+        let mut s = adder_pair();
+        assert_eq!(s.react(&[Value::int(1), Value::int(2)]).unwrap(), vec![Value::int(5)]);
+        assert_eq!(s.react(&[Value::int(10), Value::int(-3)]).unwrap(), vec![Value::int(4)]);
+        assert_eq!(s.instants_elapsed(), 2);
+    }
+
+    #[test]
+    fn counter_with_delay_accumulates() {
+        // out = delayed sum; sum = out + in. Classic accumulator.
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        let mut s = b.build().unwrap();
+        let outs: Vec<i64> = (1..=5)
+            .map(|k| s.react(&[Value::int(k)]).unwrap()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(outs, vec![1, 3, 6, 10, 15]);
+        s.reset();
+        assert_eq!(s.react(&[Value::int(1)]).unwrap()[0], Value::int(1));
+    }
+
+    #[test]
+    fn unconnected_block_input_rejected() {
+        let mut b = SystemBuilder::new("bad");
+        let _x = b.add_input("x");
+        let a = b.add_block(stock::add("a"));
+        let o = b.add_output("o");
+        b.connect(Source::ext(InputId(0)), Sink::block(a, 0)).unwrap();
+        b.connect(Source::block(a, 0), Sink::ext(o)).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildSystemError::UnconnectedBlockInput {
+                block: BlockId(0),
+                port: 1
+            }
+        );
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let mut b = SystemBuilder::new("bad");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::ext(o)).unwrap();
+        let err = b.connect(Source::ext(y), Sink::ext(o)).unwrap_err();
+        assert!(matches!(err, BuildSystemError::SinkAlreadyDriven(_)));
+    }
+
+    #[test]
+    fn bad_references_rejected() {
+        let mut b = SystemBuilder::new("bad");
+        let a = b.add_block(stock::add("a"));
+        assert!(matches!(
+            b.connect(Source::block(a, 5), Sink::block(a, 0)),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::block(BlockId(9), 0), Sink::block(a, 0)),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::block(a, 0), Sink::block(a, 7)),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::delay(DelayId(0)), Sink::block(a, 0)),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::block(a, 0), Sink::delay(DelayId(3))),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::ext(InputId(0)), Sink::block(a, 0)),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+        assert!(matches!(
+            b.connect(Source::block(a, 0), Sink::ext(OutputId(0))),
+            Err(BuildSystemError::NoSuchEntity(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_port_names_rejected() {
+        let mut b = SystemBuilder::new("bad");
+        let x = b.add_input("x");
+        let _x2 = b.add_input("x");
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::ext(o)).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildSystemError::DuplicatePortName("x".to_string())
+        );
+    }
+
+    #[test]
+    fn input_arity_and_unknown_input_errors() {
+        let mut s = adder_pair();
+        assert_eq!(
+            s.react(&[Value::int(1)]).unwrap_err(),
+            EvalError::InputArity { expected: 2, got: 1 }
+        );
+        assert_eq!(
+            s.react(&[Value::int(1), Value::Unknown]).unwrap_err(),
+            EvalError::UnknownInput(InputId(1))
+        );
+    }
+
+    #[test]
+    fn signal_names_are_stable() {
+        let s = adder_pair();
+        let names: Vec<String> = (0..s.num_signals()).map(|i| s.signal_name(i)).collect();
+        assert_eq!(names, vec!["x", "y", "a1", "a2"]);
+    }
+
+    #[test]
+    fn save_and_restore_state_round_trip() {
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        let mut s = b.build().unwrap();
+        s.react(&[Value::int(5)]).unwrap();
+        let snap = s.save_state();
+        s.react(&[Value::int(5)]).unwrap();
+        assert_eq!(s.react(&[Value::int(0)]).unwrap()[0], Value::int(10));
+        s.restore_state(&snap).unwrap();
+        assert_eq!(s.react(&[Value::int(0)]).unwrap()[0], Value::int(5));
+    }
+
+    #[test]
+    fn outputs_can_alias_inputs_directly() {
+        let mut b = SystemBuilder::new("wire");
+        let x = b.add_input("x");
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::ext(o)).unwrap();
+        let mut s = b.build().unwrap();
+        assert_eq!(s.react(&[Value::Absent]).unwrap(), vec![Value::Absent]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Execution traces with hierarchically nested instants.
+//!
+//! The ASR model views time as a partially ordered, *nested* set of
+//! instants (paper Fig. 4): what the environment sees as one atomic
+//! instant may internally consist of a tree of sub-instants executed by
+//! composite blocks. [`InstantRecord`] captures exactly that tree: the
+//! value of every signal at one instant plus the records of any
+//! sub-instants that happened "inside" it.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One instant of system execution: a label, every signal's settled value,
+/// and the sub-instant records of composite blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstantRecord {
+    /// Human-readable label (`system@n`).
+    pub label: String,
+    /// Settled value of every named signal.
+    pub signals: BTreeMap<String, Value>,
+    /// Records of nested sub-instants, in execution order.
+    pub children: Vec<InstantRecord>,
+}
+
+impl InstantRecord {
+    /// Creates an empty record with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        InstantRecord {
+            label: label.into(),
+            ..InstantRecord::default()
+        }
+    }
+
+    /// The number of instants in this subtree, including this one.
+    pub fn total_instants(&self) -> usize {
+        1 + self.children.iter().map(InstantRecord::total_instants).sum::<usize>()
+    }
+
+    /// The depth of temporal nesting below (and including) this instant.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(InstantRecord::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        write!(f, "{pad}[{}]", self.label)?;
+        for (name, value) in &self.signals {
+            write!(f, " {name}={value}")?;
+        }
+        writeln!(f)?;
+        for child in &self.children {
+            child.fmt_indented(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InstantRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// A sequence of top-level instants produced by [`crate::system::System::run`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Top-level instants, in order.
+    pub instants: Vec<InstantRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Total number of instants at every nesting level.
+    pub fn total_instants(&self) -> usize {
+        self.instants.iter().map(InstantRecord::total_instants).sum()
+    }
+
+    /// The values a named signal took across top-level instants
+    /// (`None` where the signal does not exist).
+    pub fn signal_history(&self, name: &str) -> Vec<Option<Value>> {
+        self.instants
+            .iter()
+            .map(|i| i.signals.get(name).cloned())
+            .collect()
+    }
+
+    /// Maximum temporal nesting depth across the trace.
+    pub fn depth(&self) -> usize {
+        self.instants.iter().map(InstantRecord::depth).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instants {
+            write!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut outer = InstantRecord::new("top@0");
+        outer.signals.insert("x".into(), Value::int(1));
+        let mut mid = InstantRecord::new("sub@0");
+        mid.children.push(InstantRecord::new("leaf@0"));
+        mid.children.push(InstantRecord::new("leaf@1"));
+        outer.children.push(mid);
+        Trace {
+            instants: vec![outer, InstantRecord::new("top@1")],
+        }
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = sample();
+        assert_eq!(t.total_instants(), 5);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.instants[0].total_instants(), 4);
+        assert_eq!(t.instants[1].depth(), 1);
+    }
+
+    #[test]
+    fn signal_history_tracks_missing_signals() {
+        let t = sample();
+        assert_eq!(
+            t.signal_history("x"),
+            vec![Some(Value::int(1)), None]
+        );
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let s = sample().to_string();
+        assert!(s.contains("[top@0] x=1"));
+        assert!(s.contains("\n  [sub@0]"));
+        assert!(s.contains("\n    [leaf@0]"));
+    }
+}

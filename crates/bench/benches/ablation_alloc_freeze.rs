@@ -1,0 +1,63 @@
+//! Ablation: the post-initialization allocation freeze (DESIGN.md §6).
+//!
+//! A policy-compliant program never allocates after initialization, so
+//! freezing the heap is free for it and turns any latent violation into
+//! an immediate, diagnosable error for everything else. Prints the
+//! behaviour matrix, then measures the freeze's runtime overhead on the
+//! compliant JPEG workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jpegsys::{jtgen, testimage};
+use jtvm::engine::Engine;
+use jtvm::error::RuntimeError;
+use std::hint::black_box;
+
+fn print_report() {
+    println!("\nAblation: allocation freeze after initialization");
+    println!(
+        "{:<16} {:>8} {:>28}",
+        "variant", "frozen?", "reaction result"
+    );
+    let img = testimage::gray_test_image(24, 24);
+    for (variant, source, class) in [
+        ("restricted", jtgen::restricted_source(), "JpegRestricted"),
+        ("unrestricted", jtgen::unrestricted_source(), "JpegUnrestricted"),
+    ] {
+        for freeze in [false, true] {
+            let mut engine = bench::compiled_vm(&source, class);
+            if freeze {
+                engine.freeze_heap();
+            }
+            let result = jtgen::run_roundtrip(&mut engine, &img);
+            let verdict = match &result {
+                Ok(_) => "ok".to_string(),
+                Err(RuntimeError::AllocationFrozen) => "AllocationFrozen (caught!)".to_string(),
+                Err(e) => format!("{e}"),
+            };
+            println!("{variant:<16} {freeze:>8} {verdict:>28}");
+        }
+    }
+    println!("(the freeze is the runtime teeth of rule R4)\n");
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    print_report();
+    let img = testimage::gray_test_image(24, 24);
+    let source = jtgen::restricted_source();
+    let mut group = c.benchmark_group("ablation_alloc_freeze");
+    group.sample_size(20);
+    for freeze in [false, true] {
+        let mut engine = bench::compiled_vm(&source, "JpegRestricted");
+        if freeze {
+            engine.freeze_heap();
+        }
+        group.bench_function(
+            BenchmarkId::new("restricted_react", if freeze { "frozen" } else { "thawed" }),
+            |b| b.iter(|| black_box(jtgen::run_roundtrip(&mut engine, &img).expect("compliant"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_freeze);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: tree-walking interpreter vs. bytecode VM dispatch
+//! (DESIGN.md §6) — the mechanism behind the jdk/JIT rows of Table 1.
+//!
+//! Prints the per-reaction wall-clock and step counts of both engines on
+//! the corpus workloads, then times reactions with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jtvm::engine::Engine;
+use jtvm::io::PortDatum;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKLOADS: [(&str, &str); 2] = [
+    ("fir_filter", "Fir"),
+    ("traffic_light", "TrafficLight"),
+];
+
+fn source_of(name: &str) -> String {
+    jtlang::corpus::samples()
+        .iter()
+        .find(|s| s.name == name)
+        .expect("workload exists")
+        .source
+        .to_string()
+}
+
+fn print_report() {
+    println!("\nAblation: engine dispatch cost per reaction (1000 reactions)");
+    println!(
+        "{:<16} {:<12} {:>12} {:>14} {:>10}",
+        "workload", "engine", "time (µs)", "steps/react", "speedup"
+    );
+    for (name, class) in WORKLOADS {
+        let source = source_of(name);
+        let mut times = Vec::new();
+        for is_vm in [false, true] {
+            let mut engine: Box<dyn Engine> = if is_vm {
+                Box::new(bench::compiled_vm(&source, class))
+            } else {
+                Box::new(bench::interpreter(&source, class))
+            };
+            let t0 = Instant::now();
+            for k in 0..1000 {
+                engine.react(&[PortDatum::Int(k % 13)]).expect("react");
+            }
+            let micros = t0.elapsed().as_secs_f64() * 1e6 / 1000.0;
+            times.push(micros);
+            println!(
+                "{:<16} {:<12} {:>12.2} {:>14} {:>10}",
+                name,
+                if is_vm { "bytecode" } else { "interpreter" },
+                micros,
+                engine.last_cost().steps,
+                if is_vm {
+                    format!("{:.1}x", times[0] / micros)
+                } else {
+                    "1.0x".to_string()
+                }
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("ablation_engines");
+    for (name, class) in WORKLOADS {
+        let source = source_of(name);
+        let mut interp = bench::interpreter(&source, class);
+        group.bench_function(BenchmarkId::new("interpreter", name), |b| {
+            b.iter(|| black_box(interp.react(&[PortDatum::Int(5)]).expect("react")))
+        });
+        let mut vm = bench::compiled_vm(&source, class);
+        group.bench_function(BenchmarkId::new("bytecode", name), |b| {
+            b.iter(|| black_box(vm.react(&[PortDatum::Int(5)]).expect("react")))
+        });
+    }
+    // Compilation itself (the VM's up-front cost).
+    let source = source_of("fir_filter");
+    group.bench_function("build/bytecode_compile", |b| {
+        b.iter(|| black_box(bench::compiled_vm(&source, "Fir").program_size()))
+    });
+    group.bench_function("build/interpreter", |b| {
+        b.iter(|| black_box(bench::interpreter(&source, "Fir").program_size()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation: fixed-point evaluation order (DESIGN.md §6).
+//!
+//! The least fixed point is unique, so chaotic iteration and the
+//! dependency-driven worklist compute identical results; what differs is
+//! the number of block evaluations. Prints the eval counts per topology,
+//! then times both strategies.
+
+use asr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A chain whose block ids are *reversed* relative to dataflow order —
+/// the worst case for naive sweeps.
+fn reversed_chain(n: usize) -> System {
+    let mut b = SystemBuilder::new(format!("rev{n}"));
+    let x = b.add_input("x");
+    let ids: Vec<_> = (0..n)
+        .map(|k| b.add_block(stock::offset(format!("inc{k}"), 1)))
+        .collect();
+    // Wire so that block ids[n-1] is first in dataflow and ids[0] last.
+    let mut prev = Source::ext(x);
+    for id in ids.iter().rev() {
+        b.connect(prev, Sink::block(*id, 0)).unwrap();
+        prev = Source::block(*id, 0);
+    }
+    let o = b.add_output("o");
+    b.connect(prev, Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn evals(sys: &System, strategy: Strategy) -> usize {
+    let mut s = reversed_chain(sys.num_blocks()); // fresh copy with same shape
+    s.set_strategy(strategy);
+    s.eval_instant(&[Value::int(0)]).expect("instant").stats().block_evals
+}
+
+fn print_report() {
+    println!("\nAblation: block evaluations to reach the fixed point (reversed chain)");
+    println!("{:>8} {:>14} {:>14} {:>8}", "blocks", "chaotic", "worklist", "ratio");
+    for n in [8usize, 32, 128] {
+        let sys = reversed_chain(n);
+        let chaotic = evals(&sys, Strategy::Chaotic);
+        let worklist = evals(&sys, Strategy::Worklist);
+        println!(
+            "{:>8} {:>14} {:>14} {:>8.1}",
+            n,
+            chaotic,
+            worklist,
+            chaotic as f64 / worklist as f64
+        );
+    }
+    println!("(identical fixed points — asserted by the asr test suite)\n");
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("ablation_fixpoint");
+    for n in [16usize, 64, 256] {
+        for strategy in [Strategy::Chaotic, Strategy::Worklist] {
+            let mut sys = reversed_chain(n);
+            sys.set_strategy(strategy);
+            group.bench_function(
+                BenchmarkId::new(format!("{strategy:?}"), n),
+                |b| b.iter(|| black_box(sys.eval_instant(&[Value::int(0)]).expect("instant"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

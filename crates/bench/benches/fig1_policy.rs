@@ -1,0 +1,64 @@
+//! **Fig. 1**: a policy of use applied to language S yields S′ ⊆ S
+//! compatible with T.
+//!
+//! The figure is set-theoretic; its measurable content is the policy
+//! check itself: which corpus programs lie inside S′ (no violations) and
+//! which outside, rule by rule. The bench prints that classification and
+//! times a full policy check per program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfr::policy::Policy;
+use std::hint::black_box;
+
+fn frontend(src: &str) -> (jtlang::Program, jtlang::resolve::ClassTable) {
+    let p = jtlang::check_source(src).expect("corpus programs are well-formed");
+    let t = jtlang::resolve::resolve(&p).expect("resolved");
+    (p, t)
+}
+
+fn print_report() {
+    println!("\nFig. 1 reproduction: membership of each corpus program in S'");
+    println!(
+        "{:<22} {:>10} {:>12}  rules violated",
+        "program", "in S'?", "violations"
+    );
+    let policy = Policy::asr();
+    for sample in jtlang::corpus::samples() {
+        let (p, t) = frontend(sample.source);
+        let violations = policy.check(&p, &t);
+        let mut rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        println!(
+            "{:<22} {:>10} {:>12}  {}",
+            sample.name,
+            if violations.is_empty() { "yes" } else { "no" },
+            violations.len(),
+            rules.join(",")
+        );
+    }
+    println!();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig1_policy");
+    let policy = Policy::asr();
+    for sample in jtlang::corpus::samples() {
+        let (p, t) = frontend(sample.source);
+        group.bench_function(BenchmarkId::new("check", sample.name), |b| {
+            b.iter(|| black_box(policy.check(&p, &t).len()))
+        });
+    }
+    // The full front end + check, from source text.
+    group.bench_function("frontend_plus_check", |b| {
+        b.iter(|| {
+            let (p, t) = frontend(jtlang::corpus::UNRESTRICTED_AVG);
+            black_box(policy.check(&p, &t).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Fig. 2**: P ∈ S is refined by successive, formal refinement into
+//! P′ ∈ S′.
+//!
+//! The measurable content is the refinement *trajectory*: the violation
+//! count before each analyze/transform iteration, which must decrease
+//! monotonically to zero (fully automated) or to the manual residue. The
+//! bench prints the trajectory for every non-compliant corpus program and
+//! the JPEG draft, then times one full automatic refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfr::policy::Policy;
+use sfr::session::RefinementSession;
+use std::hint::black_box;
+
+fn trajectory_of(source: &str) -> (Vec<usize>, Vec<String>, bool) {
+    let mut session =
+        RefinementSession::from_source(source, Policy::asr()).expect("well-formed source");
+    let report = session.refine_automatically(10).expect("refinement runs");
+    (report.trajectory, report.applied, report.compliant)
+}
+
+fn print_report() {
+    println!("\nFig. 2 reproduction: violation-count trajectories under automatic refinement");
+    println!(
+        "{:<22} {:<22} {:>10}  transforms applied",
+        "program", "trajectory", "compliant"
+    );
+    let mut cases: Vec<(String, String)> = jtlang::corpus::samples()
+        .iter()
+        .filter(|s| !s.compliant)
+        .map(|s| (s.name.to_string(), s.source.to_string()))
+        .collect();
+    cases.push((
+        "jpeg_unrestricted".to_string(),
+        jpegsys::jtgen::unrestricted_source(),
+    ));
+    for (name, source) in &cases {
+        let (trajectory, applied, compliant) = trajectory_of(source);
+        println!(
+            "{:<22} {:<22} {:>10}  {}",
+            name,
+            format!("{trajectory:?}"),
+            compliant,
+            applied.join(",")
+        );
+    }
+    println!();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig2_refinement");
+    group.sample_size(20);
+    for sample in jtlang::corpus::samples().iter().filter(|s| !s.compliant) {
+        group.bench_function(BenchmarkId::new("auto_refine", sample.name), |b| {
+            b.iter(|| black_box(trajectory_of(sample.source)))
+        });
+    }
+    group.sample_size(10);
+    let jpeg = jpegsys::jtgen::unrestricted_source();
+    group.bench_function("auto_refine/jpeg_unrestricted", |b| {
+        b.iter(|| black_box(trajectory_of(&jpeg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

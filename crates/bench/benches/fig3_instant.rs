@@ -1,0 +1,53 @@
+//! **Fig. 3**: an ASR system of blocks, channels, and a delay element.
+//!
+//! Prints the system's reaction series for a step input (the observable
+//! behaviour of the pictured system), then times instants: the Fig. 3
+//! system, feed-forward chains of increasing depth, and the stateful
+//! accumulator.
+
+use asr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_report() {
+    println!("\nFig. 3 reproduction: smoothing-filter reaction to a step input");
+    let mut sys = bench::fig3_system();
+    print!("y series: ");
+    for instant in 0..10 {
+        let input = if instant < 5 { 200 } else { 0 };
+        let out = sys.react(&[Value::int(input)]).expect("react");
+        print!("{} ", out[0]);
+    }
+    println!("\n(first-order smoothing toward the input, then decay — the Fig. 3 topology live)\n");
+}
+
+fn bench_instants(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig3_instant");
+
+    let mut fig3 = bench::fig3_system();
+    group.bench_function("fig3_react", |b| {
+        b.iter(|| black_box(fig3.react(&[Value::int(100)]).expect("react")))
+    });
+
+    let mut acc = bench::accumulator();
+    group.bench_function("accumulator_react", |b| {
+        b.iter(|| black_box(acc.react(&[Value::int(1)]).expect("react")))
+    });
+
+    for n in [8usize, 64, 512] {
+        let mut sys = bench::chain(n);
+        group.bench_function(BenchmarkId::new("chain_react", n), |b| {
+            b.iter(|| black_box(sys.react(&[Value::int(0)]).expect("react")))
+        });
+    }
+
+    // Construction cost (build + validate the graph).
+    group.bench_function("build_chain_64", |b| {
+        b.iter(|| black_box(bench::chain(64).num_signals()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instants);
+criterion_main!(benches);

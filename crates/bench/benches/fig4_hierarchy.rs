@@ -1,0 +1,66 @@
+//! **Fig. 4**: hierarchical abstraction of instants in time.
+//!
+//! Prints the instant tree of a temporally nested system (outer instants
+//! vs. total nested instants at each nesting factor), then times outer
+//! reactions as the sub-instant count grows — the cost of hiding k inner
+//! instants inside one outer instant.
+
+use asr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn nested_system(k: usize) -> System {
+    let composite =
+        TemporalComposite::new(bench::accumulator(), k).expect("k >= 1 sub-instants");
+    let mut b = SystemBuilder::new(format!("nested{k}"));
+    let x = b.add_input("x");
+    let c = b.add_block(composite);
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+    b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn print_report() {
+    println!("\nFig. 4 reproduction: nested instants per outer instant");
+    println!(
+        "{:>12} {:>15} {:>16} {:>7}",
+        "sub-instants", "outer instants", "total instants", "depth"
+    );
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut sys = nested_system(k);
+        let mut trace = Trace::new();
+        for _ in 0..3 {
+            let (_, record) = sys.react_traced(&[Value::int(1)]).expect("react");
+            trace.instants.push(record);
+        }
+        println!(
+            "{:>12} {:>15} {:>16} {:>7}",
+            k,
+            trace.instants.len(),
+            trace.total_instants(),
+            trace.depth()
+        );
+    }
+    println!("(the environment always sees 3 instants; the nested activity scales with k)\n");
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig4_hierarchy");
+    for k in [1usize, 4, 16, 64] {
+        let mut sys = nested_system(k);
+        group.bench_function(BenchmarkId::new("outer_react", k), |b| {
+            b.iter(|| black_box(sys.react(&[Value::int(1)]).expect("react")))
+        });
+    }
+    // Tracing overhead at a fixed nesting factor.
+    let mut sys = nested_system(8);
+    group.bench_function("outer_react_traced/8", |b| {
+        b.iter(|| black_box(sys.react_traced(&[Value::int(1)]).expect("react")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **Fig. 5**: abstraction of ASR systems in space — an aggregation of
+//! blocks is functionally equivalent to a single block.
+//!
+//! Prints an output-equivalence check between a flat system and the same
+//! system wrapped as a composite block (including a doubly nested
+//! composite), then times the abstraction overhead per instant.
+
+use asr::hierarchy::CompositeBlock;
+use asr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A combinational diamond: out = (x+y) * 2 + max(x, y).
+fn diamond() -> System {
+    let mut b = SystemBuilder::new("diamond");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let add = b.add_block(stock::add("add"));
+    let dbl = b.add_block(stock::gain("dbl", 2));
+    let mx = b.add_block(stock::max("max"));
+    let out = b.add_block(stock::add("out"));
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(add, 0)).unwrap();
+    b.connect(Source::ext(y), Sink::block(add, 1)).unwrap();
+    b.connect(Source::block(add, 0), Sink::block(dbl, 0)).unwrap();
+    b.connect(Source::ext(x), Sink::block(mx, 0)).unwrap();
+    b.connect(Source::ext(y), Sink::block(mx, 1)).unwrap();
+    b.connect(Source::block(dbl, 0), Sink::block(out, 0)).unwrap();
+    b.connect(Source::block(mx, 0), Sink::block(out, 1)).unwrap();
+    b.connect(Source::block(out, 0), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn wrap(inner: System) -> System {
+    let composite = CompositeBlock::new(inner).expect("combinational");
+    let mut b = SystemBuilder::new("wrapped");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let c = b.add_block(composite);
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+    b.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+    b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn print_report() {
+    println!("\nFig. 5 reproduction: flat vs. one-level vs. two-level composite");
+    let mut flat = diamond();
+    let mut one = wrap(diamond());
+    let mut two = wrap(wrap(diamond()));
+    println!("{:>6} {:>6} | {:>8} {:>8} {:>8}", "x", "y", "flat", "1-level", "2-level");
+    let mut all_equal = true;
+    for (a, b) in [(3i64, 4), (-7, 2), (100, 100), (0, -1)] {
+        let inputs = [Value::int(a), Value::int(b)];
+        let f = flat.react(&inputs).expect("react")[0].clone();
+        let o1 = one.react(&inputs).expect("react")[0].clone();
+        let o2 = two.react(&inputs).expect("react")[0].clone();
+        all_equal &= f == o1 && o1 == o2;
+        println!("{a:>6} {b:>6} | {f:>8} {o1:>8} {o2:>8}");
+    }
+    println!("all levels equivalent: {all_equal}\n");
+    assert!(all_equal, "spatial abstraction must preserve behaviour");
+}
+
+fn bench_composition(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig5_composition");
+    let inputs = [Value::int(5), Value::int(9)];
+    for (name, mut sys) in [
+        ("flat", diamond()),
+        ("composite_1", wrap(diamond())),
+        ("composite_2", wrap(wrap(diamond()))),
+    ] {
+        group.bench_function(BenchmarkId::new("react", name), |b| {
+            b.iter(|| black_box(sys.react(&inputs).expect("react")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! **Fig. 8**: nondeterministic thread interaction vs. ASR determinism.
+//!
+//! Prints the outcome set of the paper's exact A/B/C racy program
+//! (threads A and B write x, C reads it) and of its ASR refinement —
+//! 3 outcomes vs. exactly 1 — then times schedule exploration and the
+//! deterministic ASR reaction.
+
+use asr::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sched::interleave::{explore, Explore};
+use sched::program::{fig8_program, lost_update_program};
+use std::hint::black_box;
+
+fn asr_refinement() -> System {
+    let mut b = SystemBuilder::new("fig8_asr");
+    let a = b.add_block(stock::const_int("writerA", 1));
+    let w = b.add_block(stock::const_int("writerB", 2));
+    let arb = b.add_block(stock::const_bool("arbiter", true));
+    let sel = b.add_block(stock::select("merge"));
+    let o = b.add_output("seen");
+    b.connect(Source::block(arb, 0), Sink::block(sel, 0)).unwrap();
+    b.connect(Source::block(w, 0), Sink::block(sel, 1)).unwrap();
+    b.connect(Source::block(a, 0), Sink::block(sel, 2)).unwrap();
+    b.connect(Source::block(sel, 0), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn print_report() {
+    println!("\nFig. 8 reproduction: outcome sets");
+    let racy = explore(&fig8_program(), Explore::exhaustive());
+    println!(
+        "threads (A,B write x; C reads): {} distinct outcomes over {} executions:",
+        racy.distinct.len(),
+        racy.schedules_explored
+    );
+    for o in &racy.distinct {
+        println!("  {o}");
+    }
+    assert_eq!(racy.distinct.len(), 3);
+
+    let mut outcomes = Vec::new();
+    for _ in 0..5 {
+        let mut sys = asr_refinement();
+        let out = sys.react(&[]).expect("react");
+        if !outcomes.contains(&out[0]) {
+            outcomes.push(out[0].clone());
+        }
+    }
+    println!(
+        "ASR refinement (explicit arbiter block): {} distinct outcome(s): {}",
+        outcomes.len(),
+        outcomes[0]
+    );
+    assert_eq!(outcomes.len(), 1, "ASR systems are deterministic");
+
+    let lu = explore(&lost_update_program(), Explore::exhaustive());
+    println!(
+        "lost-update check: n ∈ {:?}",
+        lu.distinct.iter().map(|o| o.values[0].1).collect::<Vec<_>>()
+    );
+    println!();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("fig8_nondeterminism");
+    group.bench_function("explore_fig8_exhaustive", |b| {
+        b.iter(|| black_box(explore(&fig8_program(), Explore::exhaustive()).distinct.len()))
+    });
+    group.bench_function("explore_lost_update_exhaustive", |b| {
+        b.iter(|| {
+            black_box(
+                explore(&lost_update_program(), Explore::exhaustive())
+                    .distinct
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("explore_fig8_random_100", |b| {
+        b.iter(|| black_box(explore(&fig8_program(), Explore::random(7, 100)).distinct.len()))
+    });
+    let mut sys = asr_refinement();
+    group.bench_function("asr_refinement_react", |b| {
+        b.iter(|| black_box(sys.react(&[]).expect("react")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! **Table 1**: unrestricted vs. restricted JPEG, two engines.
+//!
+//! Prints the reproduced table (the paper's rows with deterministic step
+//! counts alongside wall-clock), then times initialization and reaction
+//! per configuration with Criterion on a bench-sized image. The
+//! full-size (130×135) single-shot measurement lives in
+//! `cargo run --release --example jpeg_table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jpegsys::{jtgen, testimage};
+use jtvm::engine::Engine;
+use std::hint::black_box;
+
+const BENCH_DIM: usize = 48;
+
+fn print_report() {
+    let img = testimage::gray_test_image(BENCH_DIM, BENCH_DIM);
+    println!("\nTable 1 (bench-sized {BENCH_DIM}x{BENCH_DIM} image; deterministic costs):");
+    println!(
+        "{:<26} {:>12} {:>14} {:>8} {:>10}",
+        "configuration", "init steps", "react steps", "allocs", "size (B)"
+    );
+    for (engine_name, is_vm) in [("interpreter (jdk)", false), ("bytecode (jit)", true)] {
+        for (variant, source, class) in [
+            ("unrestricted", jtgen::unrestricted_source(), "JpegUnrestricted"),
+            ("restricted", jtgen::restricted_source(), "JpegRestricted"),
+        ] {
+            let mut engine: Box<dyn Engine> = if is_vm {
+                Box::new(bench::compiled_vm(&source, class))
+            } else {
+                Box::new(bench::interpreter(&source, class))
+            };
+            let init = engine.last_cost();
+            jtgen::run_roundtrip(engine.as_mut(), &img).expect("roundtrip");
+            let react = engine.last_cost();
+            println!(
+                "{:<26} {:>12} {:>14} {:>8} {:>10}",
+                format!("{engine_name}/{variant}"),
+                init.steps,
+                react.steps,
+                react.heap.allocations,
+                engine.program_size()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_report();
+    let img = testimage::gray_test_image(BENCH_DIM, BENCH_DIM);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for (engine_name, is_vm) in [("interpreter", false), ("bytecode", true)] {
+        for (variant, source, class) in [
+            ("unrestricted", jtgen::unrestricted_source(), "JpegUnrestricted"),
+            ("restricted", jtgen::restricted_source(), "JpegRestricted"),
+        ] {
+            group.bench_function(
+                BenchmarkId::new(format!("init/{engine_name}"), variant),
+                |b| {
+                    b.iter(|| {
+                        let engine: Box<dyn Engine> = if is_vm {
+                            Box::new(bench::compiled_vm(&source, class))
+                        } else {
+                            Box::new(bench::interpreter(&source, class))
+                        };
+                        black_box(engine.last_cost().steps)
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("react/{engine_name}"), variant),
+                |b| {
+                    let mut engine: Box<dyn Engine> = if is_vm {
+                        Box::new(bench::compiled_vm(&source, class))
+                    } else {
+                        Box::new(bench::interpreter(&source, class))
+                    };
+                    b.iter(|| {
+                        black_box(jtgen::run_roundtrip(engine.as_mut(), &img).expect("roundtrip"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

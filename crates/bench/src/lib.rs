@@ -1,0 +1,105 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every bench target first prints the rows/series of the paper table or
+//! figure it regenerates (so `cargo bench` output doubles as the
+//! experiment record in `EXPERIMENTS.md`), then times the underlying
+//! operations with Criterion.
+
+use asr::prelude::*;
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::vm::CompiledVm;
+
+/// Builds the accumulator system used across the figure benches.
+pub fn accumulator() -> System {
+    let mut b = SystemBuilder::new("acc");
+    let i = b.add_input("in");
+    let add = b.add_block(stock::add("sum"));
+    let d = b.add_delay("state", Value::int(0));
+    let o = b.add_output("acc");
+    b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+    b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+    b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+    b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+/// Builds a feed-forward chain of `n` increment blocks.
+pub fn chain(n: usize) -> System {
+    let mut b = SystemBuilder::new(format!("chain{n}"));
+    let x = b.add_input("x");
+    let mut prev = Source::ext(x);
+    for k in 0..n {
+        let inc = b.add_block(stock::offset(format!("inc{k}"), 1));
+        b.connect(prev, Sink::block(inc, 0)).unwrap();
+        prev = Source::block(inc, 0);
+    }
+    let o = b.add_output("o");
+    b.connect(prev, Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+/// The Fig. 3 system: adder + divider + clamp with delay feedback.
+pub fn fig3_system() -> System {
+    let mut b = SystemBuilder::new("fig3");
+    let x = b.add_input("x");
+    let add = b.add_block(stock::add("add"));
+    let half = b.add_block(stock::div("half"));
+    let two = b.add_block(stock::const_int("two", 2));
+    let clamp = b.add_block(stock::clamp("clamp", 0, 255));
+    let d = b.add_delay("y_prev", Value::int(0));
+    let y = b.add_output("y");
+    b.connect(Source::ext(x), Sink::block(add, 0)).unwrap();
+    b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+    b.connect(Source::block(add, 0), Sink::block(half, 0)).unwrap();
+    b.connect(Source::block(two, 0), Sink::block(half, 1)).unwrap();
+    b.connect(Source::block(half, 0), Sink::block(clamp, 0)).unwrap();
+    b.connect(Source::block(clamp, 0), Sink::ext(y)).unwrap();
+    b.connect(Source::block(clamp, 0), Sink::delay(d)).unwrap();
+    b.build().unwrap()
+}
+
+/// An initialized interpreter over `source`.
+///
+/// # Panics
+///
+/// Panics if the program is ill-formed or initialization fails.
+pub fn interpreter(source: &str, class: &str) -> Interpreter {
+    let mut e = Interpreter::new(jtlang::parse(source).expect("parse"), class).expect("build");
+    e.initialize(&[]).expect("initialize");
+    e
+}
+
+/// An initialized bytecode VM over `source`.
+///
+/// # Panics
+///
+/// Panics if the program is ill-formed or initialization fails.
+pub fn compiled_vm(source: &str, class: &str) -> CompiledVm {
+    let mut e = CompiledVm::new(jtlang::parse(source).expect("parse"), class).expect("build");
+    e.initialize(&[]).expect("initialize");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_run() {
+        assert_eq!(
+            accumulator().react(&[Value::int(2)]).unwrap()[0],
+            Value::int(2)
+        );
+        assert_eq!(
+            chain(5).react(&[Value::int(0)]).unwrap()[0],
+            Value::int(5)
+        );
+        assert!(fig3_system().react(&[Value::int(10)]).unwrap()[0].is_present());
+        let mut e = interpreter(jtlang::corpus::FIR_FILTER, "Fir");
+        assert!(e
+            .react(&[jtvm::io::PortDatum::Int(1)])
+            .unwrap()[0]
+            .is_some());
+    }
+}

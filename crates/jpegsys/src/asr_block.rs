@@ -1,0 +1,182 @@
+//! The native codec as an ASR functional block.
+//!
+//! Each instant the block receives a grayscale image on its ports,
+//! compresses and decompresses it with the full native codec (entropy
+//! coding included), and emits the reconstructed image, the compressed
+//! size in bytes, and the total absolute reconstruction error. The block
+//! is pure — compression has no state across instants — so it is a
+//! textbook ASR functional block and composes freely with the stock
+//! blocks of the `asr` crate.
+
+use crate::codec;
+use crate::image::GrayImage;
+use asr::block::{Block, BlockError};
+use asr::value::{Datum, Value};
+
+/// A JPEG compress-decompress round trip as an ASR block.
+///
+/// Ports: inputs `(pixels, width, height)`; outputs
+/// `(reconstructed, compressed_bytes, total_abs_error)`.
+#[derive(Debug, Clone)]
+pub struct JpegBlock {
+    name: String,
+    quality: u8,
+}
+
+impl JpegBlock {
+    /// Creates the block with a JPEG quality of 1–100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `1..=100`.
+    pub fn new(name: impl Into<String>, quality: u8) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be 1..=100");
+        JpegBlock {
+            name: name.into(),
+            quality,
+        }
+    }
+
+    /// The configured quality.
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+}
+
+impl Block for JpegBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        3
+    }
+
+    fn output_arity(&self) -> usize {
+        3
+    }
+
+    fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
+        if inputs.iter().any(Value::is_unknown) {
+            return Ok(());
+        }
+        if inputs.contains(&Value::Absent) {
+            outputs.fill(Value::Absent);
+            return Ok(());
+        }
+        let pixels = match inputs[0].datum() {
+            Some(Datum::Vec(v)) => v.clone(),
+            _ => return Err(BlockError::new("input 0 must be a pixel vector")),
+        };
+        let width = inputs[1]
+            .as_int()
+            .filter(|&w| w > 0)
+            .ok_or_else(|| BlockError::new("input 1 must be a positive width"))?
+            as usize;
+        let height = inputs[2]
+            .as_int()
+            .filter(|&h| h > 0)
+            .ok_or_else(|| BlockError::new("input 2 must be a positive height"))?
+            as usize;
+        if pixels.len() != width * height {
+            return Err(BlockError::new(format!(
+                "pixel vector has {} samples, expected {}",
+                pixels.len(),
+                width * height
+            )));
+        }
+        let img = GrayImage::from_samples(width, height, pixels);
+        let bytes = codec::encode_gray(&img, self.quality)
+            .map_err(|e| BlockError::new(e.to_string()))?;
+        let decoded =
+            codec::decode_gray(&bytes).map_err(|e| BlockError::new(e.to_string()))?;
+        let err: i64 = img
+            .samples()
+            .iter()
+            .zip(decoded.samples())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        outputs[0] = Value::vec(decoded.samples().to_vec());
+        outputs[1] = Value::int(bytes.len() as i64);
+        outputs[2] = Value::int(err);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testimage;
+    use asr::prelude::*;
+
+    fn image_inputs(w: usize, h: usize) -> Vec<Value> {
+        let img = testimage::gray_test_image(w, h);
+        vec![
+            Value::vec(img.samples().to_vec()),
+            Value::int(w as i64),
+            Value::int(h as i64),
+        ]
+    }
+
+    #[test]
+    fn round_trips_inside_a_system() {
+        let mut b = SystemBuilder::new("jpeg");
+        let pix = b.add_input("pixels");
+        let w = b.add_input("w");
+        let h = b.add_input("h");
+        let j = b.add_block(JpegBlock::new("codec", 85));
+        let rec = b.add_output("reconstructed");
+        let size = b.add_output("bytes");
+        let err = b.add_output("error");
+        b.connect(Source::ext(pix), Sink::block(j, 0)).unwrap();
+        b.connect(Source::ext(w), Sink::block(j, 1)).unwrap();
+        b.connect(Source::ext(h), Sink::block(j, 2)).unwrap();
+        b.connect(Source::block(j, 0), Sink::ext(rec)).unwrap();
+        b.connect(Source::block(j, 1), Sink::ext(size)).unwrap();
+        b.connect(Source::block(j, 2), Sink::ext(err)).unwrap();
+        let mut sys = b.build().unwrap();
+
+        let outs = sys.react(&image_inputs(32, 24)).unwrap();
+        let bytes = outs[1].as_int().unwrap();
+        let err = outs[2].as_int().unwrap();
+        assert!(bytes > 0 && bytes < 32 * 24, "compresses: {bytes} bytes");
+        assert!(err > 0, "lossy");
+        assert!(outs[0].datum().unwrap().as_vec().unwrap().len() == 32 * 24);
+    }
+
+    #[test]
+    fn block_is_strict_and_validates() {
+        let block = JpegBlock::new("j", 50);
+        assert_eq!(block.quality(), 50);
+        let mut out = vec![Value::Unknown; 3];
+        block
+            .eval(&[Value::Unknown, Value::int(1), Value::int(1)], &mut out)
+            .unwrap();
+        assert!(out.iter().all(Value::is_unknown));
+        block
+            .eval(&[Value::Absent, Value::int(1), Value::int(1)], &mut out)
+            .unwrap();
+        assert!(out.iter().all(|v| *v == Value::Absent));
+        assert!(block
+            .eval(&[Value::int(3), Value::int(1), Value::int(1)], &mut out)
+            .is_err());
+        assert!(block
+            .eval(
+                &[Value::vec(vec![0; 4]), Value::int(3), Value::int(1)],
+                &mut out
+            )
+            .is_err());
+        assert!(block
+            .eval(
+                &[Value::vec(vec![0; 4]), Value::int(-2), Value::int(1)],
+                &mut out
+            )
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn zero_quality_panics() {
+        let _ = JpegBlock::new("j", 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! MSB-first bit I/O.
+
+use std::fmt;
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits currently buffered in `acc` (0–7).
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        assert!(n <= 32);
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            self.acc = (self.acc << 1) | bit as u8;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Error raised when a reader runs past the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadBitsError;
+
+impl fmt::Display for ReadBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected end of bitstream")
+    }
+}
+
+impl std::error::Error for ReadBitsError {}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadBitsError`] at end of input.
+    pub fn read_bit(&mut self) -> Result<u32, ReadBitsError> {
+        let byte = self.bytes.get(self.pos / 8).ok_or(ReadBitsError)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(u32::from(bit))
+    }
+
+    /// Reads `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadBitsError`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, ReadBitsError> {
+        assert!(n <= 32);
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(0, 1);
+        w.write_bits(0b11111, 5);
+        assert_eq!(w.bit_len(), 25);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(5).unwrap(), 0b11111);
+        assert_eq!(r.bit_pos(), 25);
+    }
+
+    #[test]
+    fn reading_past_the_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(ReadBitsError));
+        assert!(ReadBitsError.to_string().contains("end"));
+    }
+
+    #[test]
+    fn final_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+}

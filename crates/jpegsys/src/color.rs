@@ -1,0 +1,76 @@
+//! Integer RGB ↔ YCbCr conversion (ITU-R BT.601, fixed-point).
+
+const FIX: i64 = 1 << 16;
+
+fn fix(x: f64) -> i64 {
+    (x * FIX as f64 + 0.5) as i64
+}
+
+/// Converts an RGB pixel to YCbCr (all components 0–255).
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (i64::from(r), i64::from(g), i64::from(b));
+    let y = (fix(0.299) * r + fix(0.587) * g + fix(0.114) * b + FIX / 2) >> 16;
+    let cb = ((fix(-0.168_736) * r - fix(0.331_264) * g + fix(0.5) * b + FIX / 2) >> 16) + 128;
+    let cr = ((fix(0.5) * r - fix(0.418_688) * g - fix(0.081_312) * b + FIX / 2) >> 16) + 128;
+    (clamp(y), clamp(cb), clamp(cr))
+}
+
+/// Converts a YCbCr pixel back to RGB.
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = i64::from(y);
+    let cb = i64::from(cb) - 128;
+    let cr = i64::from(cr) - 128;
+    let r = y + ((fix(1.402) * cr + FIX / 2) >> 16);
+    let g = y - ((fix(0.344_136) * cb + fix(0.714_136) * cr + FIX / 2) >> 16);
+    let b = y + ((fix(1.772) * cb + FIX / 2) >> 16);
+    (clamp(r), clamp(g), clamp(b))
+}
+
+fn clamp(v: i64) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_expected_luma() {
+        let (y, _, _) = rgb_to_ycbcr(255, 255, 255);
+        assert!(y >= 254, "white is bright, got {y}");
+        let (y, cb, cr) = rgb_to_ycbcr(0, 0, 0);
+        assert_eq!(y, 0);
+        assert_eq!((cb, cr), (128, 128), "black is chroma-neutral");
+        let (y_r, _, cr_r) = rgb_to_ycbcr(255, 0, 0);
+        assert!((70..=80).contains(&y_r), "red luma ≈ 76, got {y_r}");
+        assert!(cr_r > 200, "red has high Cr");
+    }
+
+    #[test]
+    fn round_trip_is_nearly_lossless() {
+        for r in (0..=255).step_by(17) {
+            for g in (0..=255).step_by(17) {
+                for b in (0..=255).step_by(51) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!(
+                        (i16::from(r) - i16::from(r2)).abs() <= 2
+                            && (i16::from(g) - i16::from(g2)).abs() <= 2
+                            && (i16::from(b) - i16::from(b2)).abs() <= 2,
+                        "({r},{g},{b}) -> ({r2},{g2},{b2})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_pixels_stay_gray() {
+        for v in [0u8, 37, 128, 200, 255] {
+            let (y, cb, cr) = rgb_to_ycbcr(v, v, v);
+            assert!((i16::from(y) - i16::from(v)).abs() <= 1);
+            assert!((i16::from(cb) - 128).abs() <= 1);
+            assert!((i16::from(cr) - 128).abs() <= 1);
+        }
+    }
+}

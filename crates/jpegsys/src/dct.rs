@@ -1,0 +1,160 @@
+//! Integer 8×8 DCT-II and its inverse.
+//!
+//! The transform matrix is the orthonormal DCT-II basis scaled by
+//! `2^SHIFT` and rounded to integers; the inverse is its transpose. Both
+//! JT design variants are generated from [`dct_table`] (see
+//! [`crate::jtgen`]) so the native codec and the JT programs compute the
+//! same arithmetic.
+
+/// Fixed-point scale of the DCT basis (12 fractional bits).
+pub const SHIFT: u32 = 12;
+
+/// The scaled orthonormal DCT-II matrix: `T[k][n] = round(a(k) ·
+/// cos((2n+1)kπ/16) · 2^SHIFT)` with `a(0) = 1/√8`, `a(k) = 1/2`.
+pub fn dct_table() -> [[i64; 8]; 8] {
+    let mut t = [[0i64; 8]; 8];
+    for (k, row) in t.iter_mut().enumerate() {
+        let a = if k == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            0.5
+        };
+        for (n, cell) in row.iter_mut().enumerate() {
+            let angle = (2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0;
+            *cell = (a * angle.cos() * f64::from(1u32 << SHIFT)).round() as i64;
+        }
+    }
+    t
+}
+
+fn rounded_shift(v: i64) -> i64 {
+    // Round to nearest, ties away from zero, for a right shift by SHIFT.
+    let half = 1i64 << (SHIFT - 1);
+    if v >= 0 {
+        (v + half) >> SHIFT
+    } else {
+        -((-v + half) >> SHIFT)
+    }
+}
+
+fn transform_1d(table: &[[i64; 8]; 8], input: &[i64; 8], transpose: bool) -> [i64; 8] {
+    let mut out = [0i64; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (n, &x) in input.iter().enumerate() {
+            let c = if transpose { table[n][k] } else { table[k][n] };
+            acc += c * x;
+        }
+        *o = rounded_shift(acc);
+    }
+    out
+}
+
+fn transform_8x8(block: &[i64; 64], transpose: bool) -> [i64; 64] {
+    let table = dct_table();
+    let mut tmp = [0i64; 64];
+    // Rows.
+    for r in 0..8 {
+        let mut row = [0i64; 8];
+        row.copy_from_slice(&block[r * 8..r * 8 + 8]);
+        let t = transform_1d(&table, &row, transpose);
+        tmp[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    // Columns.
+    let mut out = [0i64; 64];
+    for c in 0..8 {
+        let mut col = [0i64; 8];
+        for r in 0..8 {
+            col[r] = tmp[r * 8 + c];
+        }
+        let t = transform_1d(&table, &col, transpose);
+        for r in 0..8 {
+            out[r * 8 + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Forward 2-D DCT of a (level-shifted) 8×8 block.
+pub fn forward_8x8(block: &[i64; 64]) -> [i64; 64] {
+    transform_8x8(block, false)
+}
+
+/// Inverse 2-D DCT.
+pub fn inverse_8x8(coeffs: &[i64; 64]) -> [i64; 64] {
+    transform_8x8(coeffs, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: i64) -> [i64; 64] {
+        let mut b = [0i64; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            // Deterministic pseudo-texture in the level-shifted range.
+            *v = ((i as i64 * 37 + seed * 101) % 256) - 128;
+        }
+        b
+    }
+
+    #[test]
+    fn flat_block_concentrates_in_dc() {
+        let block = [64i64; 64];
+        let coeffs = forward_8x8(&block);
+        assert!(coeffs[0] > 400, "DC carries the mean, got {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "AC coefficient {i} should vanish, got {c}");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        for seed in 0..8 {
+            let block = sample_block(seed);
+            let rec = inverse_8x8(&forward_8x8(&block));
+            for (a, b) in block.iter().zip(&rec) {
+                assert!(
+                    (a - b).abs() <= 2,
+                    "seed {seed}: {a} -> {b} exceeds rounding tolerance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_rows_are_orthogonal() {
+        let t = dct_table();
+        let scale = 1i64 << SHIFT;
+        for a in 0..8 {
+            for b in 0..8 {
+                let dot: i64 = (0..8).map(|n| t[a][n] * t[b][n]).sum();
+                let normalized = dot as f64 / (scale * scale) as f64;
+                let expected = if a == b { 1.0 } else { 0.0 };
+                assert!(
+                    (normalized - expected).abs() < 0.001,
+                    "rows {a},{b}: {normalized}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_wave_concentrates_in_matching_coefficient() {
+        // f[n] = cos((2n+1)·3π/16) replicated down columns excites k=3.
+        let t = dct_table();
+        let mut block = [0i64; 64];
+        for r in 0..8 {
+            for n in 0..8 {
+                block[r * 8 + n] = t[3][n] / 16;
+            }
+        }
+        let coeffs = forward_8x8(&block);
+        let (k_max, _) = coeffs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.abs())
+            .unwrap();
+        assert_eq!(k_max, 3, "energy should land in (0,3): {coeffs:?}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Canonical Huffman coding over byte symbols.
+//!
+//! The encoder builds a length-limited Huffman code from observed symbol
+//! frequencies, transmits the 256 code lengths in the header, and the
+//! decoder reconstructs the same canonical code — the standard scheme,
+//! built from scratch.
+
+use crate::bitio::{BitReader, BitWriter, ReadBitsError};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Maximum code length (as in JPEG).
+pub const MAX_CODE_LEN: u32 = 16;
+
+/// Errors from Huffman table construction or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// No symbols had nonzero frequency.
+    EmptyAlphabet,
+    /// The bitstream ended mid-symbol.
+    Truncated,
+    /// A bit pattern matched no code.
+    BadCode,
+    /// Transmitted code lengths are invalid (over the limit or violating
+    /// the Kraft inequality) — a corrupt header.
+    BadLengths,
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::EmptyAlphabet => write!(f, "no symbols to code"),
+            HuffmanError::Truncated => write!(f, "bitstream ended mid-symbol"),
+            HuffmanError::BadCode => write!(f, "invalid huffman code in bitstream"),
+            HuffmanError::BadLengths => write!(f, "invalid huffman code lengths in header"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+impl From<ReadBitsError> for HuffmanError {
+    fn from(_: ReadBitsError) -> Self {
+        HuffmanError::Truncated
+    }
+}
+
+/// Computes canonical code lengths (`0` = unused symbol) for the given
+/// frequencies, limited to [`MAX_CODE_LEN`] bits.
+///
+/// # Errors
+///
+/// [`HuffmanError::EmptyAlphabet`] when every frequency is zero.
+pub fn code_lengths(freqs: &[u64; 256]) -> Result<[u8; 256], HuffmanError> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on id for determinism.
+        id: usize,
+        symbols: Vec<usize>,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths = [0u8; 256];
+    let used: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
+    match used.len() {
+        0 => return Err(HuffmanError::EmptyAlphabet),
+        1 => {
+            lengths[used[0]] = 1;
+            return Ok(lengths);
+        }
+        _ => {}
+    }
+
+    let mut heap: BinaryHeap<Node> = used
+        .iter()
+        .map(|&s| Node {
+            weight: freqs[s],
+            id: s,
+            symbols: vec![s],
+        })
+        .collect();
+    let mut next_id = 256;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        for &s in a.symbols.iter().chain(&b.symbols) {
+            lengths[s] += 1;
+        }
+        let mut symbols = a.symbols;
+        symbols.extend(b.symbols);
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+            symbols,
+        });
+        next_id += 1;
+    }
+
+    // Length-limit by flattening over-long codes (simple heuristic: cap,
+    // then repair the Kraft sum by deepening the shallowest leaves).
+    if lengths.iter().any(|&l| u32::from(l) > MAX_CODE_LEN) {
+        for l in lengths.iter_mut() {
+            if u32::from(*l) > MAX_CODE_LEN {
+                *l = MAX_CODE_LEN as u8;
+            }
+        }
+        // Repair Kraft inequality: sum(2^-l) must be <= 1.
+        let kraft = |ls: &[u8; 256]| -> u64 {
+            ls.iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 1u64 << (MAX_CODE_LEN - u32::from(l)))
+                .sum()
+        };
+        let budget = 1u64 << MAX_CODE_LEN;
+        while kraft(&lengths) > budget {
+            // Deepen the shallowest still-deepenable leaf.
+            let s = (0..256)
+                .filter(|&s| lengths[s] > 0 && u32::from(lengths[s]) < MAX_CODE_LEN)
+                .min_by_key(|&s| lengths[s])
+                .expect("a leaf can be deepened");
+            lengths[s] += 1;
+        }
+    }
+    Ok(lengths)
+}
+
+/// Canonical codes assigned from lengths: shorter codes first, ties by
+/// symbol value.
+fn canonical_codes(lengths: &[u8; 256]) -> [(u32, u32); 256] {
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = [(0u32, 0u32); 256];
+    let mut code = 0u32;
+    let mut prev_len = 0u32;
+    for &s in &symbols {
+        let len = u32::from(lengths[s]);
+        code <<= len - prev_len;
+        codes[s] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// A Huffman encoder/decoder pair built from code lengths.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    lengths: [u8; 256],
+    codes: [(u32, u32); 256],
+}
+
+impl Codebook {
+    /// Builds a codebook from frequencies.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::EmptyAlphabet`] when every frequency is zero.
+    pub fn from_freqs(freqs: &[u64; 256]) -> Result<Self, HuffmanError> {
+        Codebook::from_lengths(code_lengths(freqs)?)
+    }
+
+    /// Builds a codebook from transmitted code lengths, validating them
+    /// (lengths are untrusted header data).
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadLengths`] when a length exceeds
+    /// [`MAX_CODE_LEN`], the Kraft inequality is violated, or no symbol
+    /// has a code at all.
+    pub fn from_lengths(lengths: [u8; 256]) -> Result<Self, HuffmanError> {
+        let mut kraft: u64 = 0;
+        let mut any = false;
+        for &l in &lengths {
+            if l == 0 {
+                continue;
+            }
+            any = true;
+            if u32::from(l) > MAX_CODE_LEN {
+                return Err(HuffmanError::BadLengths);
+            }
+            kraft += 1u64 << (MAX_CODE_LEN - u32::from(l));
+        }
+        if !any || kraft > (1u64 << MAX_CODE_LEN) {
+            return Err(HuffmanError::BadLengths);
+        }
+        let codes = canonical_codes(&lengths);
+        Ok(Codebook { lengths, codes })
+    }
+
+    /// The code lengths (for the header).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Writes one symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
+        let (code, len) = self.codes[symbol as usize];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(code, len);
+    }
+
+    /// Reads one symbol.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::Truncated`] / [`HuffmanError::BadCode`].
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8, HuffmanError> {
+        let mut code = 0u32;
+        let mut len = 0u32;
+        loop {
+            code = (code << 1) | r.read_bit()?;
+            len += 1;
+            if len > MAX_CODE_LEN {
+                return Err(HuffmanError::BadCode);
+            }
+            // Linear scan is fine at our alphabet size; a real decoder
+            // would build a lookup table.
+            for s in 0..256usize {
+                if self.codes[s] == (code, len) {
+                    return Ok(s as u8);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_of(data: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn round_trips_arbitrary_data() {
+        let data: Vec<u8> = (0..1000u32).map(|i| ((i * i + 7) % 61) as u8).collect();
+        let book = Codebook::from_freqs(&freq_of(&data)).unwrap();
+        let mut w = BitWriter::new();
+        for &b in &data {
+            book.encode(&mut w, b);
+        }
+        let bytes = w.finish();
+        let decoder = Codebook::from_lengths(*book.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &b in &data {
+            assert_eq!(decoder.decode(&mut r).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn skewed_distributions_get_short_codes() {
+        let mut f = [0u64; 256];
+        f[0] = 1000;
+        f[1] = 10;
+        f[2] = 10;
+        f[3] = 1;
+        let lengths = code_lengths(&f).unwrap();
+        assert!(lengths[0] < lengths[3]);
+        assert_eq!(lengths[200], 0, "unused symbols get no code");
+    }
+
+    #[test]
+    fn compression_beats_raw_on_skewed_data() {
+        let mut data = vec![0u8; 10_000];
+        for (i, d) in data.iter_mut().enumerate() {
+            if i % 50 == 0 {
+                *d = (i % 7) as u8 + 1;
+            }
+        }
+        let book = Codebook::from_freqs(&freq_of(&data)).unwrap();
+        let mut w = BitWriter::new();
+        for &b in &data {
+            book.encode(&mut w, b);
+        }
+        let compressed = w.finish().len();
+        assert!(
+            compressed < data.len() / 4,
+            "skewed data should compress well: {compressed} vs {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn single_symbol_alphabet_works() {
+        let mut f = [0u64; 256];
+        f[42] = 5;
+        let book = Codebook::from_freqs(&f).unwrap();
+        let mut w = BitWriter::new();
+        for _ in 0..5 {
+            book.encode(&mut w, 42);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..5 {
+            assert_eq!(book.decode(&mut r).unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn empty_alphabet_is_an_error() {
+        assert_eq!(
+            Codebook::from_freqs(&[0u64; 256]).unwrap_err(),
+            HuffmanError::EmptyAlphabet
+        );
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        // All 256 symbols equally likely: all lengths must satisfy Kraft.
+        let f = [1u64; 256];
+        let lengths = code_lengths(&f).unwrap();
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+        assert!(lengths.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN));
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        let mut f = [0u64; 256];
+        f[0] = 1;
+        f[1] = 1;
+        let book = Codebook::from_freqs(&f).unwrap();
+        // `0` and `1` get codes `0` and `1`; all bits decode, so force a
+        // truncation error instead.
+        let mut r = BitReader::new(&[]);
+        assert_eq!(book.decode(&mut r).unwrap_err(), HuffmanError::Truncated);
+    }
+}

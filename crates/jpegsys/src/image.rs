@@ -1,0 +1,271 @@
+//! Image containers.
+
+use std::fmt;
+
+/// An 8-bit RGB image in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl RgbImage {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        RgbImage {
+            width,
+            height,
+            pixels: vec![[0; 3]; width * height],
+        }
+    }
+
+    /// Creates an image from raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<[u8; 3]>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        RgbImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        self.pixels[y * self.width + x] = rgb;
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[[u8; 3]] {
+        &self.pixels
+    }
+
+    /// Mean absolute per-channel difference to another image of the same
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &RgbImage) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let total: u64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| {
+                (0..3)
+                    .map(|c| (i64::from(a[c]) - i64::from(b[c])).unsigned_abs())
+                    .sum::<u64>()
+            })
+            .sum();
+        total as f64 / (self.pixels.len() * 3) as f64
+    }
+}
+
+impl fmt::Display for RgbImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RgbImage {}x{}", self.width, self.height)
+    }
+}
+
+/// A single-channel image of `i64` samples (the form JT programs see:
+/// "images were input as arrays of integers").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    samples: Vec<i64>,
+}
+
+impl GrayImage {
+    /// Creates an all-zero image.
+    pub fn new(width: usize, height: usize) -> Self {
+        GrayImage {
+            width,
+            height,
+            samples: vec![0; width * height],
+        }
+    }
+
+    /// Creates an image from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != width * height`.
+    pub fn from_samples(width: usize, height: usize, samples: Vec<i64>) -> Self {
+        assert_eq!(samples.len(), width * height, "sample count mismatch");
+        GrayImage {
+            width,
+            height,
+            samples,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> i64 {
+        self.samples[y * self.width + x]
+    }
+
+    /// Sets the sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: i64) {
+        self.samples[y * self.width + x] = v;
+    }
+
+    /// Raw samples, row-major.
+    pub fn samples(&self) -> &[i64] {
+        &self.samples
+    }
+
+    /// The luminance plane of an RGB image.
+    pub fn from_rgb_luma(rgb: &RgbImage) -> GrayImage {
+        let samples = rgb
+            .pixels()
+            .iter()
+            .map(|p| crate::color::rgb_to_ycbcr(p[0], p[1], p[2]).0 as i64)
+            .collect();
+        GrayImage {
+            width: rgb.width(),
+            height: rgb.height(),
+            samples,
+        }
+    }
+
+    /// Mean absolute sample difference to another image of the same
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &GrayImage) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let total: u64 = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| (a - b).unsigned_abs())
+            .sum();
+        total as f64 / self.samples.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio against a reference of the same
+    /// dimensions, in dB over an 8-bit peak. Returns `f64::INFINITY` for
+    /// identical images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn psnr(&self, other: &GrayImage) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let se: u64 = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| {
+                let d = (a - b).unsigned_abs();
+                d * d
+            })
+            .sum();
+        if se == 0 {
+            return f64::INFINITY;
+        }
+        let mse = se as f64 / self.samples.len() as f64;
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_round_trip_accessors() {
+        let mut img = RgbImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        img.set(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        assert_eq!(img.pixels().len(), 12);
+        assert_eq!(img.to_string(), "RgbImage 4x3");
+    }
+
+    #[test]
+    fn gray_round_trip_accessors() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(1, 1, -7);
+        assert_eq!(img.get(1, 1), -7);
+        assert_eq!(img.samples(), &[0, 0, 0, -7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn mismatched_pixel_count_panics() {
+        let _ = RgbImage::from_pixels(2, 2, vec![[0; 3]; 3]);
+    }
+
+    #[test]
+    fn mean_abs_diff_is_zero_for_identical() {
+        let a = GrayImage::from_samples(2, 1, vec![5, 9]);
+        let b = GrayImage::from_samples(2, 1, vec![5, 13]);
+        assert_eq!(a.mean_abs_diff(&a), 0.0);
+        assert_eq!(a.mean_abs_diff(&b), 2.0);
+    }
+
+    #[test]
+    fn psnr_behaves_like_a_fidelity_metric() {
+        let a = GrayImage::from_samples(2, 2, vec![10, 20, 30, 40]);
+        assert_eq!(a.psnr(&a), f64::INFINITY);
+        let close = GrayImage::from_samples(2, 2, vec![11, 20, 30, 40]);
+        let far = GrayImage::from_samples(2, 2, vec![60, 70, 80, 90]);
+        assert!(a.psnr(&close) > a.psnr(&far));
+        // One-off error on 4 samples: MSE = 0.25 → PSNR ≈ 54.15 dB.
+        assert!((a.psnr(&close) - 54.15).abs() < 0.1);
+    }
+}

@@ -1,0 +1,520 @@
+//! Generation of the two JT design variants of the JPEG example.
+//!
+//! Both variants implement the same computation — per-8×8-block forward
+//! DCT, quantization, dequantization, inverse DCT, reconstruction-error
+//! accumulation — over a grayscale plane delivered on the ASR ports
+//! (`readVec(0)` pixels, `read(1)` width, `read(2)` height; `writeVec(0)`
+//! reconstructed pixels, `write(1)` total absolute error). They are
+//! *generated* from the same integer tables as the native codec
+//! ([`crate::dct::dct_table`], [`crate::quant::LUMA_BASE`]), so all three
+//! implementations are bit-identical (cross-checked by tests against
+//! [`native_reference`]).
+//!
+//! The variants differ exactly the way the paper describes (§5):
+//!
+//! * [`unrestricted_source`] — the designer's first draft: `while` loops
+//!   bounded by runtime dimensions, fresh scratch buffers allocated
+//!   **per block, per reaction**, a dynamically sized output buffer, and
+//!   a public error counter. Violates R1, R4, and R5.
+//! * [`restricted_source`] — the policy's fixed point: every buffer
+//!   allocated once in the constructor at the worst-case size
+//!   ([`MAX_DIM`]²), every loop bounded by a compile-time constant or an
+//!   array length, all state private.
+//!
+//! Entropy coding is left to the native codec: the JT variants cover the
+//! numeric pipeline whose allocation/loop structure is what Table 1's
+//! restricted-vs-unrestricted comparison actually measures.
+
+use crate::dct;
+use crate::image::GrayImage;
+use crate::quant;
+use jtvm::engine::Engine;
+use jtvm::error::RuntimeError;
+use jtvm::io::PortDatum;
+
+/// Worst-case image dimension supported by the restricted variant
+/// (covers the paper's 130×135 image).
+pub const MAX_DIM: usize = 144;
+
+/// The quality level baked into the JT variants (the base tables).
+pub const JT_QUALITY: u8 = 50;
+
+fn table_init(field: &str, values: &[i64]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        out.push_str(&format!("        {field}[{i}] = {v};\n"));
+    }
+    out
+}
+
+fn flat_dct_table() -> Vec<i64> {
+    dct::dct_table().iter().flatten().copied().collect()
+}
+
+/// The compliant, hand-refined design (the paper's "restricted version").
+pub fn restricted_source() -> String {
+    let max_area = MAX_DIM * MAX_DIM;
+    let max_blocks = MAX_DIM / 8;
+    let dct_init = table_init("dctTab", &flat_dct_table());
+    let quant_init = table_init("quantTab", &quant::LUMA_BASE);
+    format!(
+        "class JpegRestricted extends ASR {{
+    private int[] dctTab;
+    private int[] quantTab;
+    private int[] outBuf;
+    private int[] blk;
+    private int[] tmp;
+    private int errSum;
+    JpegRestricted() {{
+        dctTab = new int[64];
+        quantTab = new int[64];
+        outBuf = new int[{max_area}];
+        blk = new int[64];
+        tmp = new int[64];
+        errSum = 0;
+{dct_init}{quant_init}    }}
+    public void run() {{
+        int[] pix = readVec(0);
+        int w = read(1);
+        int h = read(2);
+        if (w > {MAX_DIM}) {{ w = {MAX_DIM}; }}
+        if (h > {MAX_DIM}) {{ h = {MAX_DIM}; }}
+        errSum = 0;
+        for (int by = 0; by < {max_blocks}; by++) {{
+            for (int bx = 0; bx < {max_blocks}; bx++) {{
+                if (bx * 8 < w && by * 8 < h) {{
+                    loadBlock(pix, bx, by, w, h);
+                    forwardRows();
+                    forwardCols();
+                    quantRound();
+                    inverseRows();
+                    inverseCols();
+                    storeBlock(pix, bx, by, w, h);
+                }}
+            }}
+        }}
+        writeVec(0, outBuf);
+        write(1, errSum);
+    }}
+    void loadBlock(int[] pix, int bx, int by, int w, int h) {{
+        for (int y = 0; y < 8; y++) {{
+            for (int x = 0; x < 8; x++) {{
+                int sx = bx * 8 + x;
+                int sy = by * 8 + y;
+                if (sx >= w) {{ sx = w - 1; }}
+                if (sy >= h) {{ sy = h - 1; }}
+                blk[y * 8 + x] = pix[sy * w + sx] - 128;
+            }}
+        }}
+    }}
+    int rshift(int v) {{
+        if (v >= 0) {{ return (v + 2048) / 4096; }}
+        return -((0 - v + 2048) / 4096);
+    }}
+    int divRound(int v, int q) {{
+        if (v >= 0) {{ return (v + q / 2) / q; }}
+        return -((0 - v + q / 2) / q);
+    }}
+    void forwardRows() {{
+        for (int r = 0; r < 8; r++) {{
+            for (int k = 0; k < 8; k++) {{
+                int acc = 0;
+                for (int n = 0; n < 8; n++) {{
+                    acc += dctTab[k * 8 + n] * blk[r * 8 + n];
+                }}
+                tmp[r * 8 + k] = rshift(acc);
+            }}
+        }}
+    }}
+    void forwardCols() {{
+        for (int c = 0; c < 8; c++) {{
+            for (int k = 0; k < 8; k++) {{
+                int acc = 0;
+                for (int n = 0; n < 8; n++) {{
+                    acc += dctTab[k * 8 + n] * tmp[n * 8 + c];
+                }}
+                blk[k * 8 + c] = rshift(acc);
+            }}
+        }}
+    }}
+    void quantRound() {{
+        for (int i = 0; i < 64; i++) {{
+            blk[i] = divRound(blk[i], quantTab[i]) * quantTab[i];
+        }}
+    }}
+    void inverseRows() {{
+        for (int r = 0; r < 8; r++) {{
+            for (int n = 0; n < 8; n++) {{
+                int acc = 0;
+                for (int k = 0; k < 8; k++) {{
+                    acc += dctTab[k * 8 + n] * blk[r * 8 + k];
+                }}
+                tmp[r * 8 + n] = rshift(acc);
+            }}
+        }}
+    }}
+    void inverseCols() {{
+        for (int c = 0; c < 8; c++) {{
+            for (int n = 0; n < 8; n++) {{
+                int acc = 0;
+                for (int k = 0; k < 8; k++) {{
+                    acc += dctTab[k * 8 + n] * tmp[k * 8 + c];
+                }}
+                blk[n * 8 + c] = rshift(acc);
+            }}
+        }}
+    }}
+    void storeBlock(int[] pix, int bx, int by, int w, int h) {{
+        for (int y = 0; y < 8; y++) {{
+            for (int x = 0; x < 8; x++) {{
+                int sx = bx * 8 + x;
+                int sy = by * 8 + y;
+                if (sx < w && sy < h) {{
+                    int v = blk[y * 8 + x] + 128;
+                    if (v < 0) {{ v = 0; }}
+                    if (v > 255) {{ v = 255; }}
+                    outBuf[sy * w + sx] = v;
+                    int d = v - pix[sy * w + sx];
+                    if (d < 0) {{ d = 0 - d; }}
+                    errSum += d;
+                }}
+            }}
+        }}
+    }}
+}}
+"
+    )
+}
+
+/// The designer's unrestricted first draft (the Table 1 "unrestricted
+/// program").
+pub fn unrestricted_source() -> String {
+    let dct_init = table_init("dctTab", &flat_dct_table());
+    let quant_init = table_init("quantTab", &quant::LUMA_BASE);
+    format!(
+        "class JpegUnrestricted extends ASR {{
+    private int[] dctTab;
+    private int[] quantTab;
+    public int errSum;
+    JpegUnrestricted() {{
+        dctTab = new int[64];
+        quantTab = new int[64];
+        errSum = 0;
+{dct_init}{quant_init}    }}
+    int rshift(int v) {{
+        if (v >= 0) {{ return (v + 2048) / 4096; }}
+        return -((0 - v + 2048) / 4096);
+    }}
+    int divRound(int v, int q) {{
+        if (v >= 0) {{ return (v + q / 2) / q; }}
+        return -((0 - v + q / 2) / q);
+    }}
+    public void run() {{
+        int[] pix = readVec(0);
+        int w = read(1);
+        int h = read(2);
+        int[] outDyn = new int[w * h];
+        errSum = 0;
+        int by = 0;
+        while (by * 8 < h) {{
+            int bx = 0;
+            while (bx * 8 < w) {{
+                int[] blk = new int[64];
+                int[] tmp = new int[64];
+                int y = 0;
+                while (y < 8) {{
+                    int x = 0;
+                    while (x < 8) {{
+                        int sx = bx * 8 + x;
+                        int sy = by * 8 + y;
+                        if (sx >= w) {{ sx = w - 1; }}
+                        if (sy >= h) {{ sy = h - 1; }}
+                        blk[y * 8 + x] = pix[sy * w + sx] - 128;
+                        x++;
+                    }}
+                    y++;
+                }}
+                int r = 0;
+                while (r < 8) {{
+                    int k = 0;
+                    while (k < 8) {{
+                        int acc = 0;
+                        int n = 0;
+                        while (n < 8) {{
+                            acc += dctTab[k * 8 + n] * blk[r * 8 + n];
+                            n++;
+                        }}
+                        tmp[r * 8 + k] = rshift(acc);
+                        k++;
+                    }}
+                    r++;
+                }}
+                int c = 0;
+                while (c < 8) {{
+                    int k = 0;
+                    while (k < 8) {{
+                        int acc = 0;
+                        int n = 0;
+                        while (n < 8) {{
+                            acc += dctTab[k * 8 + n] * tmp[n * 8 + c];
+                            n++;
+                        }}
+                        blk[k * 8 + c] = rshift(acc);
+                        k++;
+                    }}
+                    c++;
+                }}
+                int i = 0;
+                while (i < 64) {{
+                    blk[i] = divRound(blk[i], quantTab[i]) * quantTab[i];
+                    i++;
+                }}
+                r = 0;
+                while (r < 8) {{
+                    int n = 0;
+                    while (n < 8) {{
+                        int acc = 0;
+                        int k = 0;
+                        while (k < 8) {{
+                            acc += dctTab[k * 8 + n] * blk[r * 8 + k];
+                            k++;
+                        }}
+                        tmp[r * 8 + n] = rshift(acc);
+                        n++;
+                    }}
+                    r++;
+                }}
+                c = 0;
+                while (c < 8) {{
+                    int n = 0;
+                    while (n < 8) {{
+                        int acc = 0;
+                        int k = 0;
+                        while (k < 8) {{
+                            acc += dctTab[k * 8 + n] * tmp[k * 8 + c];
+                            k++;
+                        }}
+                        blk[n * 8 + c] = rshift(acc);
+                        n++;
+                    }}
+                    c++;
+                }}
+                y = 0;
+                while (y < 8) {{
+                    int x = 0;
+                    while (x < 8) {{
+                        int sx = bx * 8 + x;
+                        int sy = by * 8 + y;
+                        if (sx < w && sy < h) {{
+                            int v = blk[y * 8 + x] + 128;
+                            if (v < 0) {{ v = 0; }}
+                            if (v > 255) {{ v = 255; }}
+                            outDyn[sy * w + sx] = v;
+                            int d = v - pix[sy * w + sx];
+                            if (d < 0) {{ d = 0 - d; }}
+                            errSum += d;
+                        }}
+                        x++;
+                    }}
+                    y++;
+                }}
+                bx++;
+            }}
+            by++;
+        }}
+        writeVec(0, outDyn);
+        write(1, errSum);
+    }}
+}}
+"
+    )
+}
+
+/// Runs one reaction of a JT JPEG variant on `engine` (already
+/// initialized) and returns the reconstructed image and total absolute
+/// error.
+///
+/// # Errors
+///
+/// Propagates engine runtime errors.
+pub fn run_roundtrip(
+    engine: &mut dyn Engine,
+    img: &GrayImage,
+) -> Result<(GrayImage, i64), RuntimeError> {
+    let inputs = [
+        PortDatum::Vec(img.samples().to_vec()),
+        PortDatum::Int(img.width() as i64),
+        PortDatum::Int(img.height() as i64),
+    ];
+    let outputs = engine.react(&inputs)?;
+    let Some(PortDatum::Vec(out)) = outputs.first().cloned().flatten() else {
+        return Err(RuntimeError::Internal("no output image written".into()));
+    };
+    let Some(PortDatum::Int(err)) = outputs.get(1).cloned().flatten() else {
+        return Err(RuntimeError::Internal("no error sum written".into()));
+    };
+    let n = img.width() * img.height();
+    if out.len() < n {
+        return Err(RuntimeError::Internal(format!(
+            "output too short: {} < {n}",
+            out.len()
+        )));
+    }
+    Ok((
+        GrayImage::from_samples(img.width(), img.height(), out[..n].to_vec()),
+        err,
+    ))
+}
+
+/// The native-Rust reference of exactly the computation the JT variants
+/// perform (DCT → quantize → dequantize → IDCT, base tables, identical
+/// integer rounding). Returns the reconstructed image and total absolute
+/// error.
+pub fn native_reference(img: &GrayImage) -> (GrayImage, i64) {
+    let (w, h) = (img.width(), img.height());
+    let mut out = GrayImage::new(w, h);
+    let mut err_sum = 0i64;
+    let table = quant::LUMA_BASE;
+    for by in 0..h.div_ceil(8) {
+        for bx in 0..w.div_ceil(8) {
+            let mut blk = [0i64; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    let sx = (bx * 8 + x).min(w - 1);
+                    let sy = (by * 8 + y).min(h - 1);
+                    blk[y * 8 + x] = img.get(sx, sy) - 128;
+                }
+            }
+            let mut coeffs = dct::forward_8x8(&blk);
+            for (c, &q) in coeffs.iter_mut().zip(&table) {
+                *c = quant::div_round(*c, q) * q;
+            }
+            let rec = dct::inverse_8x8(&coeffs);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let sx = bx * 8 + x;
+                    let sy = by * 8 + y;
+                    if sx < w && sy < h {
+                        let v = (rec[y * 8 + x] + 128).clamp(0, 255);
+                        out.set(sx, sy, v);
+                        err_sum += (v - img.get(sx, sy)).abs();
+                    }
+                }
+            }
+        }
+    }
+    (out, err_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testimage;
+    use jtvm::interp::Interpreter;
+    use jtvm::vm::CompiledVm;
+
+    #[test]
+    fn both_variants_pass_the_front_end() {
+        jtlang::check_source(&restricted_source()).unwrap();
+        jtlang::check_source(&unrestricted_source()).unwrap();
+    }
+
+    #[test]
+    fn restricted_is_policy_compliant_and_unrestricted_is_not() {
+        use sfr::policy::Policy;
+        let (p, t) = jtanalysis_frontend(&restricted_source());
+        assert!(
+            Policy::asr().check(&p, &t).is_empty(),
+            "restricted variant must satisfy the ASR policy: {:?}",
+            Policy::asr().check(&p, &t)
+        );
+        let (p, t) = jtanalysis_frontend(&unrestricted_source());
+        let violations = Policy::asr().check(&p, &t);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"R1"), "{rules:?}");
+        assert!(rules.contains(&"R4"), "{rules:?}");
+        assert!(rules.contains(&"R5"), "{rules:?}");
+    }
+
+    fn jtanalysis_frontend(src: &str) -> (jtlang::Program, jtlang::resolve::ClassTable) {
+        let p = jtlang::check_source(src).unwrap();
+        let t = jtlang::resolve::resolve(&p).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn jt_variants_match_the_native_reference() {
+        let img = testimage::gray_test_image(24, 16);
+        let (native_out, native_err) = native_reference(&img);
+
+        for (name, source, class) in [
+            ("restricted", restricted_source(), "JpegRestricted"),
+            ("unrestricted", unrestricted_source(), "JpegUnrestricted"),
+        ] {
+            let mut engine =
+                Interpreter::new(jtlang::parse(&source).unwrap(), class).unwrap();
+            use jtvm::engine::Engine;
+            engine.initialize(&[]).unwrap();
+            let (out, err) = run_roundtrip(&mut engine, &img).unwrap();
+            assert_eq!(out, native_out, "{name} image mismatch");
+            assert_eq!(err, native_err, "{name} error-sum mismatch");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_restricted_variant() {
+        use jtvm::engine::Engine;
+        let img = testimage::gray_test_image(16, 16);
+        let source = restricted_source();
+        let mut a = Interpreter::new(jtlang::parse(&source).unwrap(), "JpegRestricted").unwrap();
+        let mut b = CompiledVm::new(jtlang::parse(&source).unwrap(), "JpegRestricted").unwrap();
+        a.initialize(&[]).unwrap();
+        b.initialize(&[]).unwrap();
+        let (img_a, err_a) = run_roundtrip(&mut a, &img).unwrap();
+        let (img_b, err_b) = run_roundtrip(&mut b, &img).unwrap();
+        assert_eq!(img_a, img_b);
+        assert_eq!(err_a, err_b);
+    }
+
+    #[test]
+    fn reconstruction_error_is_small_but_nonzero() {
+        let img = testimage::gray_test_image(32, 32);
+        let (out, err) = native_reference(&img);
+        assert!(err > 0, "quantization must lose something");
+        let mean = img.mean_abs_diff(&out);
+        assert!(mean < 8.0, "mean abs error too high: {mean}");
+    }
+
+    #[test]
+    fn allocation_profiles_differ_as_the_paper_reports() {
+        use jtvm::engine::Engine;
+        let img = testimage::gray_test_image(16, 16);
+        let mut restricted =
+            Interpreter::new(jtlang::parse(&restricted_source()).unwrap(), "JpegRestricted")
+                .unwrap();
+        let mut unrestricted = Interpreter::new(
+            jtlang::parse(&unrestricted_source()).unwrap(),
+            "JpegUnrestricted",
+        )
+        .unwrap();
+        restricted.initialize(&[]).unwrap();
+        unrestricted.initialize(&[]).unwrap();
+        let init_restricted = restricted.last_cost();
+        let init_unrestricted = unrestricted.last_cost();
+        assert!(
+            init_restricted.heap.words > init_unrestricted.heap.words,
+            "restricted initialization allocates the worst-case buffers"
+        );
+        run_roundtrip(&mut restricted, &img).unwrap();
+        run_roundtrip(&mut unrestricted, &img).unwrap();
+        assert_eq!(
+            restricted.last_cost().heap.allocations,
+            0,
+            "restricted reaction allocates nothing"
+        );
+        assert!(
+            unrestricted.last_cost().heap.allocations > 0,
+            "unrestricted reaction allocates scratch buffers"
+        );
+    }
+}

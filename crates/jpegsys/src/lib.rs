@@ -1,0 +1,35 @@
+//! # `jpegsys` — the JPEG compression/decompression design example
+//!
+//! The paper's largest refinement example (Table 1) is "a JPEG
+//! compression/decompression program" whose images are "input as arrays
+//! of integers". This crate rebuilds that example end to end:
+//!
+//! * a from-scratch, integer-only, baseline JPEG-style codec in native
+//!   Rust ([`color`], [`dct`], [`quant`], [`zigzag`], [`bitio`],
+//!   [`huffman`], [`codec`]) — the behavioural oracle and the substrate
+//!   for the native ASR block ([`asr_block`]),
+//! * two JT design variants generated from the *same* constant tables
+//!   ([`jtgen`]): an **unrestricted** version (while loops, per-block
+//!   `new`, public state — the program a designer writes first) and a
+//!   **restricted** version (constructor-allocated worst-case buffers,
+//!   compile-time-bounded `for` loops — the ASR policy's fixed point),
+//! * a deterministic synthetic 130×135 test image ([`testimage`]) of the
+//!   same dimensions as the paper's (whose actual image is not
+//!   available; any image of equal size exercises the same code path).
+//!
+//! The Table 1 benchmark initializes and reacts both JT variants on both
+//! `jtvm` engines, reproducing the paper's shape: the restricted version
+//! pays more at initialization, reacts faster (no per-reaction
+//! allocation), and is roughly the same program size.
+
+pub mod asr_block;
+pub mod bitio;
+pub mod codec;
+pub mod color;
+pub mod dct;
+pub mod huffman;
+pub mod image;
+pub mod jtgen;
+pub mod quant;
+pub mod testimage;
+pub mod zigzag;

@@ -1,0 +1,126 @@
+//! Quantization tables and (de)quantization.
+
+/// The standard JPEG luminance quantization table (Annex K), row-major.
+pub const LUMA_BASE: [i64; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The standard JPEG chrominance quantization table (Annex K).
+pub const CHROMA_BASE: [i64; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scales a base table by JPEG quality (1–100, libjpeg formula).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn scaled_table(base: &[i64; 64], quality: u8) -> [i64; 64] {
+    assert!((1..=100).contains(&quality), "quality must be 1..=100");
+    let scale: i64 = if quality < 50 {
+        5000 / i64::from(quality)
+    } else {
+        200 - 2 * i64::from(quality)
+    };
+    let mut out = [0i64; 64];
+    for (o, &b) in out.iter_mut().zip(base) {
+        *o = ((b * scale + 50) / 100).clamp(1, 255);
+    }
+    out
+}
+
+/// Division with rounding to nearest (ties away from zero).
+pub fn div_round(value: i64, q: i64) -> i64 {
+    debug_assert!(q > 0);
+    if value >= 0 {
+        (value + q / 2) / q
+    } else {
+        -((-value + q / 2) / q)
+    }
+}
+
+/// Quantizes a coefficient block in place.
+pub fn quantize(coeffs: &mut [i64; 64], table: &[i64; 64]) {
+    for (c, &q) in coeffs.iter_mut().zip(table) {
+        *c = div_round(*c, q);
+    }
+}
+
+/// Dequantizes a coefficient block in place.
+pub fn dequantize(coeffs: &mut [i64; 64], table: &[i64; 64]) {
+    for (c, &q) in coeffs.iter_mut().zip(table) {
+        *c *= q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_the_base_table() {
+        assert_eq!(scaled_table(&LUMA_BASE, 50), LUMA_BASE);
+    }
+
+    #[test]
+    fn higher_quality_means_finer_steps() {
+        let q90 = scaled_table(&LUMA_BASE, 90);
+        let q10 = scaled_table(&LUMA_BASE, 10);
+        for i in 0..64 {
+            assert!(q90[i] <= LUMA_BASE[i]);
+            assert!(q10[i] >= LUMA_BASE[i]);
+        }
+        // Extremes stay in range.
+        assert!(scaled_table(&LUMA_BASE, 100).iter().all(|&q| q == 1));
+        assert!(scaled_table(&LUMA_BASE, 1).iter().all(|&q| q <= 255));
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn quality_zero_panics() {
+        let _ = scaled_table(&LUMA_BASE, 0);
+    }
+
+    #[test]
+    fn div_round_rounds_to_nearest_symmetrically() {
+        assert_eq!(div_round(10, 4), 3);
+        assert_eq!(div_round(9, 4), 2);
+        assert_eq!(div_round(-10, 4), -3);
+        assert_eq!(div_round(-9, 4), -2);
+        assert_eq!(div_round(0, 7), 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error_by_half_step() {
+        let table = scaled_table(&LUMA_BASE, 50);
+        let mut coeffs = [0i64; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as i64 - 32) * 13;
+        }
+        let original = coeffs;
+        quantize(&mut coeffs, &table);
+        dequantize(&mut coeffs, &table);
+        for i in 0..64 {
+            assert!(
+                (coeffs[i] - original[i]).abs() <= table[i] / 2 + 1,
+                "coefficient {i}: {} vs {}",
+                coeffs[i],
+                original[i]
+            );
+        }
+    }
+}

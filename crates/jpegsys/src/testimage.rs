@@ -1,0 +1,102 @@
+//! Deterministic synthetic test images.
+//!
+//! The paper measured "a 130x135 pixel test image"; the image itself is
+//! not preserved, so we synthesize one of the same dimensions with mixed
+//! content — smooth gradients (low-frequency energy), a texture band
+//! (high-frequency energy), and hard edges — which exercises the same
+//! codec paths (DC-dominant blocks, busy blocks, and edge blocks).
+
+use crate::image::{GrayImage, RgbImage};
+
+/// Width of the paper's test image.
+pub const PAPER_WIDTH: usize = 130;
+
+/// Height of the paper's test image.
+pub const PAPER_HEIGHT: usize = 135;
+
+/// The deterministic stand-in for the paper's 130×135 test image.
+pub fn paper_test_image() -> RgbImage {
+    rgb_test_image(PAPER_WIDTH, PAPER_HEIGHT)
+}
+
+/// A deterministic RGB test image of arbitrary dimensions.
+pub fn rgb_test_image(width: usize, height: usize) -> RgbImage {
+    let mut img = RgbImage::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            img.set(x, y, synth_pixel(x, y, width, height));
+        }
+    }
+    img
+}
+
+/// A deterministic grayscale test image (the luminance of the RGB one).
+pub fn gray_test_image(width: usize, height: usize) -> GrayImage {
+    GrayImage::from_rgb_luma(&rgb_test_image(width, height))
+}
+
+fn synth_pixel(x: usize, y: usize, width: usize, height: usize) -> [u8; 3] {
+    let (xf, yf) = (x as f64 / width as f64, y as f64 / height as f64);
+    // Region 1 (top half): smooth diagonal gradient.
+    if yf < 0.5 {
+        let v = (xf * 200.0 + yf * 110.0) as i64;
+        return [clamp(v + 30), clamp(v), clamp(255 - v)];
+    }
+    // Region 2 (bottom-left): checker texture.
+    if xf < 0.5 {
+        let checker = ((x / 4) + (y / 4)) % 2;
+        let base = if checker == 0 { 60 } else { 190 };
+        let jitter = ((x * 7 + y * 13) % 23) as i64;
+        return [clamp(base + jitter), clamp(base), clamp(base - jitter)];
+    }
+    // Region 3 (bottom-right): concentric rings (hard edges).
+    let cx = 0.75 - xf;
+    let cy = 0.75 - yf;
+    let r = (cx * cx + cy * cy).sqrt();
+    let ring = ((r * 40.0) as i64) % 2;
+    if ring == 0 {
+        [230, 60, 60]
+    } else {
+        [25, 25, 120]
+    }
+}
+
+fn clamp(v: i64) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_image_has_paper_dimensions() {
+        let img = paper_test_image();
+        assert_eq!(img.width(), 130);
+        assert_eq!(img.height(), 135);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(rgb_test_image(32, 32), rgb_test_image(32, 32));
+        assert_eq!(gray_test_image(32, 32), gray_test_image(32, 32));
+    }
+
+    #[test]
+    fn image_has_mixed_content() {
+        let img = gray_test_image(64, 64);
+        // Variance must be substantial (not flat)…
+        let mean: i64 = img.samples().iter().sum::<i64>() / img.samples().len() as i64;
+        let var: i64 = img
+            .samples()
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<i64>()
+            / img.samples().len() as i64;
+        assert!(var > 500, "image too flat: variance {var}");
+        // …and the value range wide.
+        let min = img.samples().iter().min().unwrap();
+        let max = img.samples().iter().max().unwrap();
+        assert!(max - min > 150, "range too narrow: {min}..{max}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Zigzag scan order for 8×8 coefficient blocks.
+
+/// Row-major index of the `i`-th coefficient in zigzag order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorders a row-major block into zigzag order.
+pub fn to_zigzag(block: &[i64; 64]) -> [i64; 64] {
+    let mut out = [0i64; 64];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = block[ZIGZAG[i]];
+    }
+    out
+}
+
+/// Reorders a zigzag-ordered block back to row-major.
+pub fn from_zigzag(zz: &[i64; 64]) -> [i64; 64] {
+    let mut out = [0i64; 64];
+    for (i, &v) in zz.iter().enumerate() {
+        out[ZIGZAG[i]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z], "index {z} repeated");
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut block = [0i64; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as i64 * 3 - 17;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+        assert_eq!(to_zigzag(&from_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn scan_starts_along_the_top_left() {
+        // The first few entries visit the low-frequency corner.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+}

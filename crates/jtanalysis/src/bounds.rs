@@ -1,0 +1,480 @@
+//! WCET-style instruction bounds and memory bounds.
+//!
+//! Once a program satisfies the structural restrictions — no unbounded
+//! loops, no recursion, no run-phase allocation — upper bounds on its
+//! execution steps and memory become *computable*, which is the whole
+//! point of the policy (paper §4.3 and the ASR properties of §3). This
+//! module computes:
+//!
+//! * [`instruction_bounds`] — a per-method upper bound on abstract
+//!   execution steps (`None` when the method's cost is unbounded or
+//!   depends on a non-constant loop limit or recursion), and
+//! * [`memory_bound`] — an upper bound in abstract words on the memory a
+//!   class instance allocates during initialization.
+//!
+//! The step unit is "one AST operation" and one word is one `int` slot /
+//! one reference — deliberately abstract, matching how the `jtvm` cost
+//! model counts.
+
+use crate::loops::{analyze_for, fold_const};
+use crate::MethodRef;
+use jtlang::ast::*;
+use jtlang::resolve::ClassTable;
+use jtlang::types::type_of_expr;
+use std::collections::BTreeMap;
+
+/// Computes an upper bound on abstract execution steps for every user
+/// method. `None` means no bound is derivable (unbounded loop, recursion,
+/// non-constant loop limit, or a blocking builtin).
+pub fn instruction_bounds(
+    program: &Program,
+    table: &ClassTable,
+) -> BTreeMap<MethodRef, Option<u64>> {
+    let mut memo: BTreeMap<MethodRef, Option<u64>> = BTreeMap::new();
+    let mut in_progress: Vec<MethodRef> = Vec::new();
+    let mut bounds = BTreeMap::new();
+    for class in &program.classes {
+        for mref in class
+            .ctors
+            .iter()
+            .map(|_| MethodRef::ctor(&class.name))
+            .chain(
+                class
+                    .methods
+                    .iter()
+                    .map(|m| MethodRef::method(&class.name, &m.name)),
+            )
+        {
+            let b = method_bound(program, table, &mref, &mut memo, &mut in_progress);
+            bounds.insert(mref, b);
+        }
+    }
+    bounds
+}
+
+fn find_decl<'p>(program: &'p Program, mref: &MethodRef) -> Option<(&'p ClassDecl, &'p MethodDecl)> {
+    let class = program.class(&mref.class)?;
+    let decl = if mref.is_ctor {
+        class.ctors.iter().find(|c| c.name == mref.method)
+    } else {
+        class.methods.iter().find(|m| m.name == mref.method)
+    }?;
+    Some((class, decl))
+}
+
+fn method_bound(
+    program: &Program,
+    table: &ClassTable,
+    mref: &MethodRef,
+    memo: &mut BTreeMap<MethodRef, Option<u64>>,
+    in_progress: &mut Vec<MethodRef>,
+) -> Option<u64> {
+    if let Some(b) = memo.get(mref) {
+        return *b;
+    }
+    if in_progress.contains(mref) {
+        // Recursion: unbounded.
+        memo.insert(mref.clone(), None);
+        return None;
+    }
+    let Some((class, decl)) = find_decl(program, mref) else {
+        return Some(1); // builtin or default ctor: unit cost
+    };
+    in_progress.push(mref.clone());
+    let mut ctx = Ctx {
+        program,
+        table,
+        class,
+        decl,
+        memo,
+        in_progress,
+    };
+    let body = block_cost(&mut ctx, &decl.body);
+    // Constructors also pay for field initializers.
+    let b = (|| {
+        let mut total = body?;
+        if mref.is_ctor {
+            for f in &class.fields {
+                if let Some(init) = &f.init {
+                    total = total.checked_add(expr_cost_outer(&mut ctx, init)?)?;
+                }
+            }
+        }
+        total.checked_add(1)
+    })();
+    ctx.in_progress.pop();
+    ctx.memo.insert(mref.clone(), b);
+    b
+}
+
+struct Ctx<'a, 'p> {
+    program: &'p Program,
+    table: &'a ClassTable,
+    class: &'p ClassDecl,
+    decl: &'p MethodDecl,
+    memo: &'a mut BTreeMap<MethodRef, Option<u64>>,
+    in_progress: &'a mut Vec<MethodRef>,
+}
+
+fn block_cost(ctx: &mut Ctx, block: &Block) -> Option<u64> {
+    let mut total: u64 = 0;
+    for s in &block.stmts {
+        total = total.checked_add(stmt_cost(ctx, s)?)?;
+    }
+    Some(total)
+}
+
+fn stmt_cost(ctx: &mut Ctx, stmt: &Stmt) -> Option<u64> {
+    match &stmt.kind {
+        StmtKind::VarDecl { init, .. } => match init {
+            Some(e) => expr_cost_outer(ctx, e)?.checked_add(1),
+            None => Some(1),
+        },
+        StmtKind::Assign { target, value, .. } => expr_cost_outer(ctx, target)?
+            .checked_add(expr_cost_outer(ctx, value)?)?
+            .checked_add(1),
+        StmtKind::Expr(e) => expr_cost_outer(ctx, e),
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = expr_cost_outer(ctx, cond)?;
+            let t = stmt_cost(ctx, then_branch)?;
+            let e = match else_branch {
+                Some(e) => stmt_cost(ctx, e)?,
+                None => 0,
+            };
+            c.checked_add(t.max(e))?.checked_add(1)
+        }
+        StmtKind::While { .. } | StmtKind::DoWhile { .. } => None,
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            let analysis = analyze_for(stmt).expect("for statement");
+            let iterations = analysis.iterations?;
+            let mut per_iter: u64 = 1;
+            if let Some(c) = cond {
+                per_iter = per_iter.checked_add(expr_cost_outer(ctx, c)?)?;
+            }
+            if let Some(u) = update {
+                per_iter = per_iter.checked_add(stmt_cost(ctx, u)?)?;
+            }
+            per_iter = per_iter.checked_add(stmt_cost(ctx, body)?)?;
+            let mut total = per_iter.checked_mul(iterations)?;
+            if let Some(i) = init {
+                total = total.checked_add(stmt_cost(ctx, i)?)?;
+            }
+            total.checked_add(1)
+        }
+        StmtKind::Return(e) => match e {
+            Some(e) => expr_cost_outer(ctx, e)?.checked_add(1),
+            None => Some(1),
+        },
+        StmtKind::Break | StmtKind::Continue => Some(1),
+        StmtKind::Block(b) => block_cost(ctx, b),
+    }
+}
+
+fn expr_cost_outer(ctx: &mut Ctx, expr: &Expr) -> Option<u64> {
+    let mut total: u64 = 0;
+    let mut calls: Vec<(Option<String>, String, bool)> = Vec::new();
+    walk_expr(expr, &mut |e| {
+        total = total.saturating_add(1);
+        match &e.kind {
+            ExprKind::Call {
+                receiver, method, ..
+            } => {
+                let recv = receiver.as_ref().map(|r| {
+                    match type_of_expr(ctx.program, ctx.table, &ctx.class.name, &ctx.decl.name, r)
+                    {
+                        Ok(Type::Class(c)) => c,
+                        _ => String::new(),
+                    }
+                });
+                calls.push((recv, method.clone(), false));
+            }
+            ExprKind::NewObject { class, .. } => {
+                calls.push((None, class.clone(), true));
+            }
+            _ => {}
+        }
+    });
+    for (recv, name, is_ctor) in calls {
+        if is_ctor {
+            let target = MethodRef::ctor(&name);
+            if find_decl(ctx.program, &target).is_some() {
+                total = total.checked_add(nested_bound(ctx, &target)?)?;
+            }
+            continue;
+        }
+        let recv_class = recv.unwrap_or_else(|| ctx.class.name.clone());
+        if recv_class.is_empty() {
+            return None;
+        }
+        let (owner, sig) = ctx.table.method_of(&recv_class, &name)?;
+        if sig.is_builtin {
+            if crate::blocking::BLOCKING_METHODS.contains(&name.as_str()) {
+                return None; // may suspend indefinitely
+            }
+            total = total.checked_add(1)?;
+        } else {
+            let target = MethodRef::method(owner, &name);
+            total = total.checked_add(nested_bound(ctx, &target)?)?;
+        }
+    }
+    Some(total)
+}
+
+fn nested_bound(ctx: &mut Ctx, target: &MethodRef) -> Option<u64> {
+    method_bound(ctx.program, ctx.table, target, ctx.memo, ctx.in_progress)
+}
+
+/// Upper bound, in abstract words, on the memory an instance of `class`
+/// occupies after initialization: one word per (inherited) field plus the
+/// constant-size allocations reachable from its constructors and field
+/// initializers. `None` when any reachable allocation has a non-constant
+/// size or the class graph recurses.
+pub fn memory_bound(program: &Program, table: &ClassTable, class: &str) -> Option<u64> {
+    let mut in_progress = Vec::new();
+    class_words(program, table, class, &mut in_progress)
+}
+
+fn class_words(
+    program: &Program,
+    table: &ClassTable,
+    class: &str,
+    in_progress: &mut Vec<String>,
+) -> Option<u64> {
+    if in_progress.iter().any(|c| c == class) {
+        return None; // recursive (linked) structure: unbounded
+    }
+    in_progress.push(class.to_string());
+    let result = (|| {
+        // One word per field, own and inherited.
+        let mut words: u64 = 0;
+        let mut cur = Some(class.to_string());
+        while let Some(name) = cur {
+            let info = table.class(&name)?;
+            words = words.checked_add(info.fields.len() as u64)?;
+            cur = info.superclass.clone();
+        }
+        // Plus everything the constructors and field initializers allocate.
+        let Some(decl) = program.class(class) else {
+            return Some(words); // builtin: fields only
+        };
+        let mut alloc_words: Option<u64> = Some(0);
+        let mut visit = |e: &Expr| {
+            let add = match &e.kind {
+                ExprKind::NewArray { elem, len } => match fold_const(len) {
+                    Some(n) if n >= 0 => {
+                        let per = words_per_element(elem);
+                        per.and_then(|p| (n as u64).checked_mul(p))
+                    }
+                    _ => None,
+                },
+                ExprKind::NewObject { class: c, .. } => {
+                    class_words(program, table, c, in_progress)
+                }
+                _ => Some(0),
+            };
+            alloc_words = match (alloc_words, add) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            };
+        };
+        for f in &decl.fields {
+            if let Some(init) = &f.init {
+                walk_expr(init, &mut |e| visit(e));
+            }
+        }
+        for ctor in &decl.ctors {
+            walk_exprs(&ctor.body, &mut |e| visit(e));
+        }
+        words.checked_add(alloc_words?)
+    })();
+    in_progress.pop();
+    result
+}
+
+fn words_per_element(elem: &Type) -> Option<u64> {
+    match elem {
+        Type::Int | Type::Boolean | Type::Class(_) => Some(1),
+        // Nested array dimensions allocate their own storage later; the
+        // outer array holds one reference per element.
+        Type::Array(_) => Some(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    fn bound_of(src: &str, class: &str, method: &str) -> Option<u64> {
+        let (p, t) = frontend(src).unwrap();
+        instruction_bounds(&p, &t)
+            .get(&MethodRef::method(class, method))
+            .copied()
+            .flatten()
+    }
+
+    #[test]
+    fn straight_line_code_is_bounded() {
+        let b = bound_of(
+            "class A { int m(int x) { int y = x + 1; return y * 2; } }",
+            "A",
+            "m",
+        );
+        assert!(b.is_some());
+        assert!(b.unwrap() > 0);
+    }
+
+    #[test]
+    fn constant_for_loops_multiply() {
+        let small = bound_of(
+            "class A { int m() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; } }",
+            "A",
+            "m",
+        )
+        .unwrap();
+        let large = bound_of(
+            "class A { int m() { int s = 0; for (int i = 0; i < 1000; i++) { s += i; } return s; } }",
+            "A",
+            "m",
+        )
+        .unwrap();
+        assert!(large > small * 50, "large={large}, small={small}");
+    }
+
+    #[test]
+    fn while_loops_are_unbounded() {
+        assert_eq!(
+            bound_of("class A { void m() { while (true) {} } }", "A", "m"),
+            None
+        );
+        assert_eq!(
+            bound_of(
+                "class A { void m(int n) { for (int i = 0; i < n; i++) {} } }",
+                "A",
+                "m"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn recursion_is_unbounded() {
+        assert_eq!(
+            bound_of(
+                "class A { int f(int n) { if (n < 1) { return 0; } return f(n - 1); } }",
+                "A",
+                "f"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn calls_add_callee_cost() {
+        let callee_only = bound_of(
+            "class A { int h() { return 1 + 2 + 3; } int m() { return 0; } }",
+            "A",
+            "m",
+        )
+        .unwrap();
+        let with_call = bound_of(
+            "class A { int h() { return 1 + 2 + 3; } int m() { return h(); } }",
+            "A",
+            "m",
+        )
+        .unwrap();
+        assert!(with_call > callee_only);
+    }
+
+    #[test]
+    fn blocking_calls_are_unbounded() {
+        assert_eq!(
+            bound_of("class A { void m() { wait(); } }", "A", "m"),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_loops_compose() {
+        let b = bound_of(
+            "class A { int m() { int s = 0;
+                 for (int i = 0; i < 8; i++) {
+                     for (int j = 0; j < 8; j++) { s += i * j; }
+                 }
+                 return s; } }",
+            "A",
+            "m",
+        )
+        .unwrap();
+        assert!(b >= 64, "inner body must be counted 64 times, got {b}");
+    }
+
+    #[test]
+    fn memory_bound_counts_fields_and_const_arrays() {
+        let (p, t) = frontend(
+            "class A { private int x; private int[] buf; A() { buf = new int[16]; } }",
+        )
+        .unwrap();
+        // 2 fields + 16 array words.
+        assert_eq!(memory_bound(&p, &t, "A"), Some(18));
+    }
+
+    #[test]
+    fn memory_bound_follows_object_allocation() {
+        let (p, t) = frontend(
+            "class Inner { private int a; private int b; Inner() {} }
+             class Outer { private Inner one; Outer() { one = new Inner(); } }",
+        )
+        .unwrap();
+        // Outer: 1 field + Inner(2 fields + 1 ctor alloc of nothing) = 3.
+        assert_eq!(memory_bound(&p, &t, "Outer"), Some(3));
+    }
+
+    #[test]
+    fn memory_bound_unbounded_for_dynamic_or_linked() {
+        let (p, t) = frontend(
+            "class A { private int[] buf; A(int n) { buf = new int[n]; } }",
+        )
+        .unwrap();
+        assert_eq!(memory_bound(&p, &t, "A"), None);
+
+        let (p, t) = frontend(jtlang::corpus::LINKED_QUEUE).unwrap();
+        // Node links to itself; constructing one in Queue's run phase is a
+        // separate violation, but Node's own bound is fine (its ctor
+        // allocates nothing). Queue's ctor allocates nothing either, so
+        // its bound is just its fields.
+        assert_eq!(memory_bound(&p, &t, "Queue"), Some(2));
+        // A class that allocates a linked Node in its ctor is unbounded
+        // only through recursion of allocation, not through field types:
+        let (p2, t2) = frontend(
+            "class Node { public Node next; Node() { next = new Node(); } }",
+        )
+        .unwrap();
+        assert_eq!(memory_bound(&p2, &t2, "Node"), None);
+    }
+
+    #[test]
+    fn corpus_fir_has_finite_bounds() {
+        let (p, t) = frontend(jtlang::corpus::FIR_FILTER).unwrap();
+        let bounds = instruction_bounds(&p, &t);
+        assert!(bounds[&MethodRef::method("Fir", "run")].is_some());
+        assert!(bounds[&MethodRef::ctor("Fir")].is_some());
+        assert_eq!(memory_bound(&p, &t, "Fir"), Some(2 + 4 + 4));
+    }
+
+    #[test]
+    fn corpus_unrestricted_avg_run_is_unbounded() {
+        let (p, t) = frontend(jtlang::corpus::UNRESTRICTED_AVG).unwrap();
+        let bounds = instruction_bounds(&p, &t);
+        assert_eq!(bounds[&MethodRef::method("Avg", "run")], None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Externally accessible state detection.
+//!
+//! The policy of use requires an ASR object's variables to be private
+//! (paper §4.3): externally readable or writable state undermines
+//! encapsulation and makes behaviour unpredictable. This module lists
+//! every field of a user class whose state escapes — any non-`private`
+//! instance field, and non-`private` mutable statics. `static final`
+//! constants are exempt: they are immutable and cannot carry state.
+
+use jtlang::ast::{Program, Visibility};
+use jtlang::token::Span;
+
+/// A field whose state is externally accessible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExposedField {
+    /// Owning class.
+    pub class: String,
+    /// Field name.
+    pub field: String,
+    /// Its declared visibility.
+    pub visibility: Visibility,
+    /// Source span of the declaration.
+    pub span: Span,
+}
+
+/// Finds all exposed fields in `program`.
+pub fn analyze(program: &Program) -> Vec<ExposedField> {
+    let mut exposed = Vec::new();
+    for class in &program.classes {
+        for field in &class.fields {
+            if field.modifiers.visibility == Visibility::Private {
+                continue;
+            }
+            if field.modifiers.is_static && field.modifiers.is_final {
+                continue; // immutable constant, carries no state
+            }
+            exposed.push(ExposedField {
+                class: class.name.clone(),
+                field: field.name.clone(),
+                visibility: field.modifiers.visibility,
+                span: field.span,
+            });
+        }
+    }
+    exposed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    fn exposed(src: &str) -> Vec<ExposedField> {
+        let (p, _) = frontend(src).unwrap();
+        analyze(&p)
+    }
+
+    #[test]
+    fn private_fields_are_fine() {
+        assert!(exposed("class A { private int x; private int[] buf; }").is_empty());
+    }
+
+    #[test]
+    fn public_package_and_protected_are_exposed() {
+        let e = exposed("class A { public int a; int b; protected int c; }");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].visibility, Visibility::Public);
+        assert_eq!(e[1].visibility, Visibility::Package);
+        assert_eq!(e[2].visibility, Visibility::Protected);
+        assert_eq!(e[0].class, "A");
+        assert_eq!(e[2].field, "c");
+    }
+
+    #[test]
+    fn static_final_constants_are_exempt() {
+        let e = exposed(
+            "class A { public static final int K = 8; public static int counter; }",
+        );
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].field, "counter");
+    }
+
+    #[test]
+    fn corpus_unrestricted_avg_exposes_total() {
+        let e = exposed(jtlang::corpus::UNRESTRICTED_AVG);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].field, "total");
+    }
+
+    #[test]
+    fn corpus_counter_is_clean() {
+        assert!(exposed(jtlang::corpus::COUNTER).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Built-in example programs, shared by tests, benches, and the
+//! refinement demos.
+//!
+//! The paper refined "a number of publicly available Java programs"; our
+//! corpus plays that role. Each program is a string constant plus a
+//! [`samples`] index. Programs marked *unrestricted* deliberately violate
+//! the ASR policy of use (while-loops, run-phase allocation, public state,
+//! threads) and are the inputs to refinement; the *restricted* ones are
+//! hand-written fixed points that the policy accepts unchanged.
+
+/// A compliant ASR block: saturating event counter.
+pub const COUNTER: &str = "\
+class Counter extends ASR {
+    private int count;
+    private int limit;
+    Counter(int max) {
+        count = 0;
+        limit = max;
+    }
+    public void run() {
+        int inc = read(0);
+        count = count + inc;
+        if (count > limit) {
+            count = limit;
+        }
+        write(0, count);
+    }
+}
+";
+
+/// A compliant ASR block: 4-tap FIR filter over a shifted sample window.
+pub const FIR_FILTER: &str = "\
+class Fir extends ASR {
+    private int[] taps;
+    private int[] window;
+    Fir() {
+        taps = new int[4];
+        window = new int[4];
+        taps[0] = 1;
+        taps[1] = 3;
+        taps[2] = 3;
+        taps[3] = 1;
+    }
+    public void run() {
+        for (int i = 3; i > 0; i--) {
+            window[i] = window[i - 1];
+        }
+        window[0] = read(0);
+        int acc = 0;
+        for (int i = 0; i < 4; i++) {
+            acc = acc + taps[i] * window[i];
+        }
+        write(0, acc / 8);
+    }
+}
+";
+
+/// A compliant ASR block: three-state traffic-light controller.
+pub const TRAFFIC_LIGHT: &str = "\
+class TrafficLight extends ASR {
+    private int state;
+    private int timer;
+    TrafficLight() {
+        state = 0;
+        timer = 0;
+    }
+    public void run() {
+        int carWaiting = read(0);
+        timer = timer + 1;
+        if (state == 0) {
+            if (carWaiting == 1 && timer >= 3) {
+                state = 1;
+                timer = 0;
+            }
+        } else {
+            if (state == 1) {
+                if (timer >= 1) {
+                    state = 2;
+                    timer = 0;
+                }
+            } else {
+                if (timer >= 4) {
+                    state = 0;
+                    timer = 0;
+                }
+            }
+        }
+        write(0, state);
+    }
+}
+";
+
+/// A compliant ASR block: 8-floor elevator controller. Input is a
+/// bitmask of requested floors; outputs are the car's floor and whether
+/// its doors are open this instant.
+pub const ELEVATOR: &str = "\
+class Elevator extends ASR {
+    private int floor;
+    private int direction;
+    private int pending;
+    Elevator() {
+        floor = 0;
+        direction = 1;
+        pending = 0;
+    }
+    public void run() {
+        int requests = read(0);
+        pending = merge(pending, requests);
+        int doors = 0;
+        if (isRequested(floor)) {
+            pending = clear(pending, floor);
+            doors = 1;
+        } else {
+            if (pending != 0) {
+                if (!anyAhead()) {
+                    direction = 0 - direction;
+                }
+                floor = floor + direction;
+                if (floor < 0) {
+                    floor = 0;
+                }
+                if (floor > 7) {
+                    floor = 7;
+                }
+            }
+        }
+        write(0, floor);
+        write(1, doors);
+    }
+    int merge(int mask, int extra) {
+        int result = mask;
+        for (int f = 0; f < 8; f++) {
+            if (bit(extra, f) == 1 && bit(result, f) == 0) {
+                result = result + pow2(f);
+            }
+        }
+        return result;
+    }
+    int clear(int mask, int f) {
+        if (bit(mask, f) == 1) {
+            return mask - pow2(f);
+        }
+        return mask;
+    }
+    int bit(int mask, int f) {
+        return (mask / pow2(f)) % 2;
+    }
+    int pow2(int f) {
+        int p = 1;
+        for (int i = 0; i < 8; i++) {
+            if (i < f) {
+                p = p * 2;
+            }
+        }
+        return p;
+    }
+    boolean isRequested(int f) {
+        return bit(pending, f) == 1;
+    }
+    boolean anyAhead() {
+        for (int f = 0; f < 8; f++) {
+            if (isRequested(f)) {
+                if (direction > 0 && f > floor) {
+                    return true;
+                }
+                if (direction < 0 && f < floor) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+}
+";
+
+/// An *unrestricted* design: running average that allocates a fresh
+/// buffer per reaction, grows it in a `while` loop, and exposes state
+/// through a public field. Violates R1 (while), R4 (run-phase `new`), and
+/// R5 (public mutable state).
+pub const UNRESTRICTED_AVG: &str = "\
+class Avg extends ASR {
+    public int total;
+    private int seen;
+    Avg() {
+        total = 0;
+        seen = 0;
+    }
+    public void run() {
+        int n = read(0);
+        int[] scratch = new int[n + 1];
+        int i = 0;
+        while (i <= n) {
+            scratch[i] = read(0);
+            i++;
+        }
+        total = 0;
+        i = 0;
+        while (i <= n) {
+            total += scratch[i];
+            i++;
+        }
+        seen = seen + n;
+        write(0, total / (n + 1));
+    }
+}
+";
+
+/// An *unrestricted* design using a hand-rolled linked list (unbounded
+/// memory) and a `do-while`. Violates R1 and R4, and exercises the
+/// linked-structure heuristic.
+pub const LINKED_QUEUE: &str = "\
+class Node {
+    public int value;
+    public Node next;
+    Node(int v) {
+        value = v;
+        next = null;
+    }
+}
+class Queue extends ASR {
+    private Node head;
+    private int size;
+    Queue() {
+        head = null;
+        size = 0;
+    }
+    public void run() {
+        int v = read(0);
+        Node n = new Node(v);
+        n.next = head;
+        head = n;
+        size = size + 1;
+        int sum = 0;
+        Node cur = head;
+        do {
+            sum = sum + cur.value;
+            cur = cur.next;
+        } while (cur != null);
+        write(0, sum);
+    }
+}
+";
+
+/// The paper's Fig. 8 program: threads A and B race to write `x` while C
+/// reads it. Violates R6 (threads) and R5 (shared public state).
+pub const RACY_THREADS: &str = "\
+class Shared {
+    public int x;
+    Shared() {
+        x = 0;
+    }
+}
+class WriterA extends Thread {
+    private Shared s;
+    WriterA(Shared sh) {
+        s = sh;
+    }
+    public void run() {
+        s.x = 1;
+    }
+}
+class WriterB extends Thread {
+    private Shared s;
+    WriterB(Shared sh) {
+        s = sh;
+    }
+    public void run() {
+        s.x = 2;
+    }
+}
+class ReaderC extends Thread {
+    private Shared s;
+    public int seen;
+    ReaderC(Shared sh) {
+        s = sh;
+        seen = 0;
+    }
+    public void run() {
+        seen = s.x;
+    }
+}
+class Fig8 {
+    public int demo() {
+        Shared s = new Shared();
+        WriterA a = new WriterA(s);
+        WriterB b = new WriterB(s);
+        ReaderC c = new ReaderC(s);
+        a.start();
+        b.start();
+        c.start();
+        a.join();
+        b.join();
+        c.join();
+        return c.seen;
+    }
+}
+";
+
+/// An unrestricted design with recursion and a blocking call: violates R3
+/// (circular method invocation) and R7 (indefinite suspension).
+pub const RECURSIVE_BLOCKING: &str = "\
+class Rec extends ASR {
+    private int depth;
+    Rec() {
+        depth = 0;
+    }
+    public void run() {
+        int n = read(0);
+        write(0, fib(n));
+        wait();
+    }
+    int fib(int n) {
+        if (n < 2) {
+            return n;
+        }
+        return fib(n - 1) + fib(n - 2);
+    }
+}
+";
+
+/// A named corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Short identifier.
+    pub name: &'static str,
+    /// JT source text.
+    pub source: &'static str,
+    /// True when the sample is expected to satisfy the ASR policy of use
+    /// as written.
+    pub compliant: bool,
+}
+
+/// All corpus programs.
+pub fn samples() -> Vec<Sample> {
+    vec![
+        Sample {
+            name: "counter",
+            source: COUNTER,
+            compliant: true,
+        },
+        Sample {
+            name: "fir_filter",
+            source: FIR_FILTER,
+            compliant: true,
+        },
+        Sample {
+            name: "traffic_light",
+            source: TRAFFIC_LIGHT,
+            compliant: true,
+        },
+        Sample {
+            name: "elevator",
+            source: ELEVATOR,
+            compliant: true,
+        },
+        Sample {
+            name: "unrestricted_avg",
+            source: UNRESTRICTED_AVG,
+            compliant: false,
+        },
+        Sample {
+            name: "linked_queue",
+            source: LINKED_QUEUE,
+            compliant: false,
+        },
+        Sample {
+            name: "racy_threads",
+            source: RACY_THREADS,
+            compliant: false,
+        },
+        Sample {
+            name: "recursive_blocking",
+            source: RECURSIVE_BLOCKING,
+            compliant: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sample_parses_resolves_and_typechecks() {
+        for s in samples() {
+            crate::check_source(s.source)
+                .unwrap_or_else(|e| panic!("sample `{}` failed: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn samples_round_trip_through_the_printer() {
+        for s in samples() {
+            let p1 = crate::parse(s.source).unwrap();
+            let printed = crate::pretty::print_program(&p1);
+            let p2 = crate::parse(&printed)
+                .unwrap_or_else(|e| panic!("sample `{}` reprint failed: {e}\n{printed}", s.name));
+            assert_eq!(
+                crate::pretty::print_program(&p2),
+                printed,
+                "sample `{}` is not print-stable",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn sample_names_are_unique() {
+        let mut names: Vec<_> = samples().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

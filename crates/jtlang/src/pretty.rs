@@ -1,0 +1,412 @@
+//! Pretty-printer: renders an AST back to JT source text.
+//!
+//! Transformed programs are materialised through this printer, then
+//! re-parsed; `print(parse(print(ast))) == print(ast)` (round-trip
+//! stability) is property-tested in the crate's test suite.
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::default();
+    for (i, class) in program.classes.iter().enumerate() {
+        if i > 0 {
+            p.out.push('\n');
+        }
+        p.class_decl(class);
+    }
+    p.out
+}
+
+/// Renders a single expression (useful in diagnostics).
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr);
+    p.out
+}
+
+/// Renders a single statement at indentation level 0.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(stmt);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, header: &str) {
+        self.line(&format!("{header} {{"));
+        self.indent += 1;
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn modifiers(m: &Modifiers) -> String {
+        let mut s = String::new();
+        let v = m.visibility.to_string();
+        if !v.is_empty() {
+            s.push_str(&v);
+            s.push(' ');
+        }
+        if m.is_static {
+            s.push_str("static ");
+        }
+        if m.is_final {
+            s.push_str("final ");
+        }
+        s
+    }
+
+    fn class_decl(&mut self, c: &ClassDecl) {
+        let header = match &c.superclass {
+            Some(s) => format!("class {} extends {}", c.name, s),
+            None => format!("class {}", c.name),
+        };
+        self.open(&header);
+        for f in &c.fields {
+            let mut line = format!("{}{} {}", Self::modifiers(&f.modifiers), f.ty, f.name);
+            if let Some(init) = &f.init {
+                line.push_str(" = ");
+                line.push_str(&expr_to_string(init));
+            }
+            line.push(';');
+            self.line(&line);
+        }
+        for m in &c.ctors {
+            self.method(m, true);
+        }
+        for m in &c.methods {
+            self.method(m, false);
+        }
+        self.close();
+    }
+
+    fn method(&mut self, m: &MethodDecl, is_ctor: bool) {
+        let params: Vec<String> = m
+            .params
+            .iter()
+            .map(|p| format!("{} {}", p.ty, p.name))
+            .collect();
+        let sig = if is_ctor {
+            format!(
+                "{}{}({})",
+                Self::modifiers(&m.modifiers),
+                m.name,
+                params.join(", ")
+            )
+        } else {
+            let ret = m
+                .return_type
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "void".to_string());
+            format!(
+                "{}{} {}({})",
+                Self::modifiers(&m.modifiers),
+                ret,
+                m.name,
+                params.join(", ")
+            )
+        };
+        self.open(&sig);
+        for s in &m.body.stmts {
+            self.stmt(s);
+        }
+        self.close();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::VarDecl { ty, name, init } => {
+                let mut line = format!("{ty} {name}");
+                if let Some(e) = init {
+                    line.push_str(" = ");
+                    line.push_str(&expr_to_string(e));
+                }
+                line.push(';');
+                self.line(&line);
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.line(&format!(
+                    "{} {} {};",
+                    expr_to_string(target),
+                    op,
+                    expr_to_string(value)
+                ));
+            }
+            StmtKind::Expr(e) => self.line(&format!("{};", expr_to_string(e))),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.open(&format!("if ({})", expr_to_string(cond)));
+                self.stmt_flat(then_branch);
+                self.indent -= 1;
+                match else_branch {
+                    Some(e) => {
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.stmt_flat(e);
+                        self.close();
+                    }
+                    None => self.line("}"),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.open(&format!("while ({})", expr_to_string(cond)));
+                self.stmt_flat(body);
+                self.close();
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.open("do");
+                self.stmt_flat(body);
+                self.indent -= 1;
+                self.line(&format!("}} while ({});", expr_to_string(cond)));
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                let init_s = init.as_deref().map(stmt_header).unwrap_or_default();
+                let cond_s = cond.as_ref().map(expr_to_string).unwrap_or_default();
+                let update_s = update.as_deref().map(stmt_header).unwrap_or_default();
+                self.open(&format!("for ({init_s}; {cond_s}; {update_s})"));
+                self.stmt_flat(body);
+                self.close();
+            }
+            StmtKind::Return(e) => match e {
+                Some(e) => self.line(&format!("return {};", expr_to_string(e))),
+                None => self.line("return;"),
+            },
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Block(b) => {
+                self.open("");
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+        }
+    }
+
+    /// Prints a statement that is the body of a control construct: blocks
+    /// are flattened into the surrounding braces.
+    fn stmt_flat(&mut self, s: &Stmt) {
+        if let StmtKind::Block(b) = &s.kind {
+            for s in &b.stmts {
+                self.stmt(s);
+            }
+        } else {
+            self.stmt(s);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        self.out.push_str(&expr_to_string(e));
+    }
+}
+
+/// Renders a `for`-header statement without its trailing semicolon.
+fn stmt_header(s: &Stmt) -> String {
+    match &s.kind {
+        StmtKind::VarDecl { ty, name, init } => match init {
+            Some(e) => format!("{ty} {name} = {}", expr_to_string(e)),
+            None => format!("{ty} {name}"),
+        },
+        StmtKind::Assign { target, op, value } => format!(
+            "{} {} {}",
+            expr_to_string(target),
+            op,
+            expr_to_string(value)
+        ),
+        StmtKind::Expr(e) => expr_to_string(e),
+        _ => String::new(),
+    }
+}
+
+fn expr_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Null => "null".to_string(),
+        ExprKind::This => "this".to_string(),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::Field { object, name } => {
+            format!("{}.{}", receiver_to_string(object), name)
+        }
+        ExprKind::Index { array, index } => {
+            format!("{}[{}]", receiver_to_string(array), expr_to_string(index))
+        }
+        ExprKind::Length { array } => format!("{}.length", receiver_to_string(array)),
+        ExprKind::Unary { op, expr } => {
+            // `-(-x)` must not print as `--x` (which lexes as the `--`
+            // token); parenthesize nested negations and negative
+            // literals.
+            let negation_clash = *op == UnOp::Neg
+                && match &expr.kind {
+                    ExprKind::Unary { op: UnOp::Neg, .. } => true,
+                    ExprKind::Int(v) => *v < 0,
+                    _ => false,
+                };
+            if matches!(expr.kind, ExprKind::Binary { .. }) || negation_clash {
+                format!("{}({})", op, expr_to_string(expr))
+            } else {
+                format!("{}{}", op, expr_to_string(expr))
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => format!(
+            "{} {} {}",
+            operand_to_string(lhs),
+            op,
+            operand_to_string(rhs)
+        ),
+        ExprKind::Call {
+            receiver,
+            method,
+            args,
+        } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            match receiver {
+                Some(r) => format!("{}.{}({})", receiver_to_string(r), method, args.join(", ")),
+                None => format!("{}({})", method, args.join(", ")),
+            }
+        }
+        ExprKind::NewObject { class, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("new {}({})", class, args.join(", "))
+        }
+        ExprKind::NewArray { elem, len } => {
+            // `new (int[])[n]` prints as `new int[n][]`.
+            let mut dims = String::new();
+            let mut base = elem;
+            while let Type::Array(inner) = base {
+                dims.push_str("[]");
+                base = inner;
+            }
+            format!("new {}[{}]{}", base, expr_to_string(len), dims)
+        }
+    }
+}
+
+/// Postfix receivers bind tighter than any operator, so only operator
+/// expressions need parentheses when used as a receiver.
+fn receiver_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Binary { .. } | ExprKind::Unary { .. } => {
+            format!("({})", expr_to_string(e))
+        }
+        _ => expr_to_string(e),
+    }
+}
+
+/// Operands of binary/unary expressions are parenthesised whenever they
+/// are themselves operator expressions — unambiguous and round-trip
+/// stable, at the cost of a few redundant parentheses.
+fn operand_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Binary { .. } => format!("({})", expr_to_string(e)),
+        _ => expr_to_string(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed1 = print_program(&p1);
+        let p2 = parse(&printed1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed1, printed2, "printer is not round-trip stable");
+    }
+
+    #[test]
+    fn round_trips_members() {
+        round_trip(
+            "class A extends B {
+                 private int x = 3;
+                 public static final boolean F = true;
+                 int[] buf;
+                 A(int s) { x = s; }
+                 int get() { return x; }
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "class A { void m(int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) s += i;
+                 for (;;) { break; }
+                 while (s > 100) s -= 10;
+                 do { s = s * 2; } while (s < 5);
+                 if (s == 7) return; else s = 0;
+                 continue;
+             } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            "class A { int m(A o, int[] a) {
+                 int t = -(1 + 2) * 3 % 4;
+                 boolean b = !(t < 5) && (t >= 0 || t != 7);
+                 a[t] = o.f(a.length, new int[8][], new A()).x;
+                 return (t + a[0]) / 2;
+             } }",
+        );
+    }
+
+    #[test]
+    fn nested_negation_never_prints_as_decrement() {
+        // Regression found by the printer round-trip property test:
+        // `-(-1)` must not print as `--1`.
+        let p = parse("class A { int m(int w) { return -(-1) + -(-w); } }").unwrap();
+        let s = print_program(&p);
+        assert!(!s.contains("--"), "{s}");
+        round_trip("class A { int m(int w) { return -(-1) + -(-w); } }");
+    }
+
+    #[test]
+    fn printed_operators_preserve_evaluation_order() {
+        let p = parse("class A { int m() { return 1 - 2 - 3; } }").unwrap();
+        let s = print_program(&p);
+        assert!(s.contains("(1 - 2) - 3"), "{s}");
+    }
+
+    #[test]
+    fn print_expr_and_stmt_helpers() {
+        let p = parse("class A { void m() { int x = 1 + 2; } }").unwrap();
+        let stmt = &p.classes[0].methods[0].body.stmts[0];
+        assert_eq!(print_stmt(stmt).trim(), "int x = 1 + 2;");
+        let crate::ast::StmtKind::VarDecl { init: Some(e), .. } = &stmt.kind else {
+            panic!();
+        };
+        assert_eq!(print_expr(e), "1 + 2");
+    }
+}

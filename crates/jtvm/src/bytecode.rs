@@ -1,0 +1,175 @@
+//! The JTBC instruction set.
+//!
+//! A compact stack bytecode for JT, produced by [`crate::compile`] and
+//! executed by [`crate::vm::CompiledVm`]. One instruction ≈ one abstract
+//! step, so the VM's deterministic cost is directly comparable with the
+//! interpreter's.
+
+/// Index of a compiled function in a module's chunk table.
+pub type FunId = usize;
+
+/// One JTBC instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push `null`.
+    ConstNull,
+    /// Push local slot.
+    Load(u16),
+    /// Pop into local slot.
+    Store(u16),
+    /// Push `this`.
+    LoadThis,
+    /// Pop object, push its field (name-pool index; slot resolved via the
+    /// per-class field map, with static fallback).
+    GetField(u32),
+    /// Pop value then object, store into field.
+    PutField(u32),
+    /// Push static slot.
+    GetStatic(u32),
+    /// Pop into static slot.
+    PutStatic(u32),
+    /// Pop index then array ref, push element.
+    ALoad,
+    /// Pop value, index, array ref; store element.
+    AStore,
+    /// Pop array ref, push its length.
+    ALen,
+    /// Pop length, push new array filled with zero/false/null per kind.
+    NewArray(ElemKind),
+    /// Allocate + field-init + construct: pops `argc` args, pushes ref.
+    New {
+        /// Class registry index.
+        class: u16,
+        /// Constructor arity.
+        argc: u8,
+    },
+    /// Pop two ints, push their sum.
+    Add,
+    /// Pop two ints, push their difference.
+    Sub,
+    /// Pop two ints, push their product.
+    Mul,
+    /// Pop two ints, push their quotient.
+    Div,
+    /// Pop two ints, push their remainder.
+    Rem,
+    /// Pop an int, push its negation.
+    Neg,
+    /// Pop a boolean, push its negation.
+    Not,
+    /// Pop two ints, push `a < b`.
+    Lt,
+    /// Pop two ints, push `a <= b`.
+    Le,
+    /// Pop two ints, push `a > b`.
+    Gt,
+    /// Pop two ints, push `a >= b`.
+    Ge,
+    /// Structural equality on two popped values.
+    EqV,
+    /// Structural inequality on two popped values.
+    NeV,
+    /// Unconditional jump to code index.
+    Jump(u32),
+    /// Pop a boolean; jump when false.
+    JumpIfFalse(u32),
+    /// Pop a boolean; jump when true.
+    JumpIfTrue(u32),
+    /// Virtual call: pops `argc` args then the receiver; pushes the
+    /// result (void methods push `null`).
+    Call {
+        /// Method-name pool index.
+        name: u32,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Return the popped value.
+    Ret,
+    /// Return void (caller sees `null`).
+    RetVoid,
+    /// Discard the top of stack.
+    Pop,
+    /// Raise [`crate::error::RuntimeError::Unsupported`] naming the
+    /// name-pool entry (thread construction and similar constructs that
+    /// compile but cannot execute).
+    Unsupported(u32),
+}
+
+/// Array element category (determines the zero value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// `int` — zero-filled.
+    Int,
+    /// `boolean` — false-filled.
+    Bool,
+    /// Reference — null-filled.
+    Ref,
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Qualified name, for diagnostics (`Class.method`).
+    pub name: String,
+    /// Instructions.
+    pub code: Vec<Instr>,
+    /// Number of local slots (parameters first).
+    pub n_locals: u16,
+    /// Number of parameters.
+    pub n_params: u16,
+    /// True when the function returns a value.
+    pub returns_value: bool,
+}
+
+impl Chunk {
+    /// Approximate encoded size in bytes (the Table 1 "program size"
+    /// metric for the compiled engine): a one-byte opcode plus the bytes
+    /// of each immediate operand.
+    pub fn encoded_size(&self) -> usize {
+        self.code
+            .iter()
+            .map(|i| match i {
+                Instr::ConstInt(_) => 9,
+                Instr::ConstBool(_) | Instr::NewArray(_) => 2,
+                Instr::Load(_)
+                | Instr::Store(_)
+                | Instr::GetField(_)
+                | Instr::PutField(_)
+                | Instr::GetStatic(_)
+                | Instr::PutStatic(_)
+                | Instr::Jump(_)
+                | Instr::JumpIfFalse(_)
+                | Instr::JumpIfTrue(_) => 5,
+                Instr::Call { .. } | Instr::New { .. } => 6,
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_size_reflects_operands() {
+        let c = Chunk {
+            name: "t".into(),
+            code: vec![
+                Instr::ConstInt(5),
+                Instr::Load(0),
+                Instr::Add,
+                Instr::Call { name: 0, argc: 1 },
+                Instr::Ret,
+            ],
+            n_locals: 1,
+            n_params: 1,
+            returns_value: true,
+        };
+        assert_eq!(c.encoded_size(), 9 + 5 + 1 + 6 + 1);
+    }
+}

@@ -1,0 +1,916 @@
+//! The JT → JTBC compiler.
+//!
+//! Compilation is deliberately conventional: one [`Chunk`] per method,
+//! constructor, per-class field-initializer block, and static
+//! initializer; locals resolved to slots at compile time; short-circuit
+//! logic and loops lowered to conditional jumps; virtual calls dispatched
+//! through per-class vtables built after all chunks exist.
+//!
+//! One knowing deviation from Java: compound assignment to an array
+//! element or field (`a[i] += e`, `o.f += e`) re-evaluates the receiver
+//! and index expressions. JT programs with side-effecting receivers in
+//! compound assignments are not produced by any tool in this workspace.
+
+use crate::bytecode::{Chunk, ElemKind, FunId, Instr};
+use crate::engine::BuildEngineError;
+use crate::layout::{ClassId, Layouts};
+use jtlang::ast::*;
+use jtlang::resolve::ClassTable;
+use std::collections::HashMap;
+
+/// Builtin operations the VM implements directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinOp {
+    /// `int read(int port)`
+    Read,
+    /// `int[] readVec(int port)`
+    ReadVec,
+    /// `void write(int port, int v)`
+    Write,
+    /// `void writeVec(int port, int[] v)`
+    WriteVec,
+    /// Threads / blocking — unsupported at runtime.
+    Unsupported,
+}
+
+/// A fully compiled program.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// All compiled function bodies.
+    pub chunks: Vec<Chunk>,
+    /// Interned method/field names.
+    pub names: Vec<String>,
+    /// Per-class virtual method table: name id → function.
+    pub vtables: Vec<HashMap<u32, FunId>>,
+    /// Per-class constructors: arity → function.
+    pub ctors: Vec<HashMap<usize, FunId>>,
+    /// Per-class chain of field-initializer chunks, superclass first.
+    pub field_init_chains: Vec<Vec<FunId>>,
+    /// Per-class field-name-id → slot (instance fields, inherited
+    /// included).
+    pub field_slots: Vec<HashMap<u32, usize>>,
+    /// Static slots: `(owner class, field name, default)` in declaration
+    /// order; initial values come from [`Module::static_init_chunks`].
+    pub statics: Vec<(String, String, Type)>,
+    /// `(static slot, chunk)` pairs to run at VM construction, in order.
+    pub static_init_chunks: Vec<(u32, FunId)>,
+    /// Dummy-receiver class for each static init chunk.
+    pub static_init_owner: Vec<ClassId>,
+    /// Name ids that resolve to builtins when absent from every vtable.
+    pub builtins: HashMap<u32, BuiltinOp>,
+    /// Object layouts shared with the heap.
+    pub layouts: Layouts,
+}
+
+impl Module {
+    /// Total encoded bytecode size in bytes (Table 1 "program size").
+    pub fn encoded_size(&self) -> usize {
+        self.chunks.iter().map(Chunk::encoded_size).sum()
+    }
+
+    /// Looks up an interned name.
+    pub fn name_id(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// Renders a human-readable disassembly of every chunk.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for chunk in &self.chunks {
+            let _ = writeln!(
+                out,
+                "fn {} (params: {}, locals: {}, {} bytes):",
+                chunk.name,
+                chunk.n_params,
+                chunk.n_locals,
+                chunk.encoded_size()
+            );
+            for (pc, instr) in chunk.code.iter().enumerate() {
+                let note = match instr {
+                    Instr::GetField(n) | Instr::PutField(n) | Instr::Unsupported(n) => {
+                        format!("  ; {}", self.names[*n as usize])
+                    }
+                    Instr::Call { name, .. } => format!("  ; {}", self.names[*name as usize]),
+                    Instr::GetStatic(s) | Instr::PutStatic(s) => {
+                        let (class, field, _) = &self.statics[*s as usize];
+                        format!("  ; {class}.{field}")
+                    }
+                    Instr::New { class, .. } => {
+                        format!("  ; {}", self.layouts.layout(ClassId(*class as usize)).name)
+                    }
+                    _ => String::new(),
+                };
+                let _ = writeln!(out, "  {pc:>4}: {instr:?}{note}");
+            }
+        }
+        out
+    }
+}
+
+/// Compiles a resolved, type-checked program.
+///
+/// # Errors
+///
+/// [`BuildEngineError::Frontend`] on internal inconsistencies (a
+/// type-checked program should never trigger them).
+pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEngineError> {
+    let layouts = Layouts::build(program, table);
+    let mut b = ModuleBuilder {
+        table,
+        layouts,
+        chunks: Vec::new(),
+        names: Vec::new(),
+        name_ids: HashMap::new(),
+        statics: Vec::new(),
+        static_ids: HashMap::new(),
+        static_init_chunks: Vec::new(),
+        static_init_owner: Vec::new(),
+    };
+
+    // Intern static slots first so every method can reference them.
+    for class in &program.classes {
+        for f in &class.fields {
+            if f.modifiers.is_static {
+                let slot = b.statics.len() as u32;
+                b.static_ids
+                    .insert((class.name.clone(), f.name.clone()), slot);
+                b.statics
+                    .push((class.name.clone(), f.name.clone(), f.ty.clone()));
+            }
+        }
+    }
+
+    // Compile everything.
+    let mut own_methods: Vec<HashMap<u32, FunId>> = vec![HashMap::new(); b.layouts.len()];
+    let mut ctors: Vec<HashMap<usize, FunId>> = vec![HashMap::new(); b.layouts.len()];
+    let mut own_field_init: Vec<Option<FunId>> = vec![None; b.layouts.len()];
+
+    for class in &program.classes {
+        let class_id = b.layouts.id(&class.name).expect("user class has layout");
+
+        // Static initializer chunks.
+        for f in &class.fields {
+            if f.modifiers.is_static {
+                if let Some(init) = &f.init {
+                    let fun = b.compile_static_init(class, init)?;
+                    let slot = b.static_ids[&(class.name.clone(), f.name.clone())];
+                    b.static_init_chunks.push((slot, fun));
+                    b.static_init_owner.push(class_id);
+                }
+            }
+        }
+
+        // Instance field initializer chunk (own fields only).
+        if class
+            .fields
+            .iter()
+            .any(|f| !f.modifiers.is_static)
+        {
+            own_field_init[class_id.index()] = Some(b.compile_field_init(class)?);
+        }
+
+        for ctor in &class.ctors {
+            let fun = b.compile_method(class, ctor, true)?;
+            ctors[class_id.index()].insert(ctor.params.len(), fun);
+        }
+        for method in &class.methods {
+            let fun = b.compile_method(class, method, false)?;
+            let id = b.intern(&method.name);
+            own_methods[class_id.index()].insert(id, fun);
+        }
+    }
+
+    // Vtables, field-slot maps, and field-init chains, supers first.
+    let mut vtables: Vec<HashMap<u32, FunId>> = vec![HashMap::new(); b.layouts.len()];
+    let mut field_slots: Vec<HashMap<u32, usize>> = vec![HashMap::new(); b.layouts.len()];
+    let mut field_init_chains: Vec<Vec<FunId>> = vec![Vec::new(); b.layouts.len()];
+    // Layouts are created supers-first, so iterating by id is safe.
+    for idx in 0..b.layouts.len() {
+        let id = ClassId(idx);
+        if let Some(super_id) = b.layouts.layout(id).superclass {
+            vtables[idx] = vtables[super_id.index()].clone();
+            field_init_chains[idx] = field_init_chains[super_id.index()].clone();
+        }
+        vtables[idx].extend(own_methods[idx].iter().map(|(k, v)| (*k, *v)));
+        if let Some(fun) = own_field_init[idx] {
+            field_init_chains[idx].push(fun);
+        }
+        let slot_pairs: Vec<(String, usize)> = b.layouts.layout(id)
+            .slots
+            .iter()
+            .map(|(name, slot)| (name.clone(), *slot))
+            .collect();
+        for (name, slot) in slot_pairs {
+            let nid = b.intern(&name);
+            field_slots[idx].insert(nid, slot);
+        }
+    }
+
+    // Builtin name table.
+    let mut builtins = HashMap::new();
+    for (name, op) in [
+        ("read", BuiltinOp::Read),
+        ("readVec", BuiltinOp::ReadVec),
+        ("write", BuiltinOp::Write),
+        ("writeVec", BuiltinOp::WriteVec),
+        ("wait", BuiltinOp::Unsupported),
+        ("notify", BuiltinOp::Unsupported),
+        ("notifyAll", BuiltinOp::Unsupported),
+        ("sleep", BuiltinOp::Unsupported),
+        ("join", BuiltinOp::Unsupported),
+        ("start", BuiltinOp::Unsupported),
+    ] {
+        let id = b.intern(name);
+        builtins.insert(id, op);
+    }
+
+    Ok(Module {
+        chunks: b.chunks,
+        names: b.names,
+        vtables,
+        ctors,
+        field_init_chains,
+        field_slots,
+        statics: b.statics,
+        static_init_chunks: b.static_init_chunks,
+        static_init_owner: b.static_init_owner,
+        builtins,
+        layouts: b.layouts,
+    })
+}
+
+struct ModuleBuilder<'p> {
+    table: &'p ClassTable,
+    layouts: Layouts,
+    chunks: Vec<Chunk>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    statics: Vec<(String, String, Type)>,
+    static_ids: HashMap<(String, String), u32>,
+    static_init_chunks: Vec<(u32, FunId)>,
+    static_init_owner: Vec<ClassId>,
+}
+
+impl<'p> ModuleBuilder<'p> {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Finds the static slot for `name` visible from `class` (walking the
+    /// superclass chain).
+    fn static_slot(&self, class: &str, name: &str) -> Option<u32> {
+        let mut cur = Some(class.to_string());
+        while let Some(cname) = cur {
+            if let Some(&slot) = self.static_ids.get(&(cname.clone(), name.to_string())) {
+                return Some(slot);
+            }
+            cur = self.table.class(&cname).and_then(|c| c.superclass.clone());
+        }
+        None
+    }
+
+    fn compile_static_init(
+        &mut self,
+        class: &'p ClassDecl,
+        init: &Expr,
+    ) -> Result<FunId, BuildEngineError> {
+        let mut f = FnCompiler::new(self, class);
+        f.expr(init)?;
+        f.code.push(Instr::Ret);
+        let chunk = f.finish(format!("{}.<static>", class.name), 0, true);
+        self.chunks.push(chunk);
+        Ok(self.chunks.len() - 1)
+    }
+
+    fn compile_field_init(&mut self, class: &'p ClassDecl) -> Result<FunId, BuildEngineError> {
+        let mut f = FnCompiler::new(self, class);
+        let fields: Vec<FieldDecl> = class
+            .fields
+            .iter()
+            .filter(|fd| !fd.modifiers.is_static)
+            .cloned()
+            .collect();
+        for fd in &fields {
+            f.code.push(Instr::LoadThis);
+            match &fd.init {
+                Some(e) => f.expr(e)?,
+                None => f.push_default(&fd.ty),
+            }
+            let id = f.builder.intern(&fd.name);
+            f.code.push(Instr::PutField(id));
+        }
+        f.code.push(Instr::RetVoid);
+        let chunk = f.finish(format!("{}.<fieldinit>", class.name), 0, false);
+        self.chunks.push(chunk);
+        Ok(self.chunks.len() - 1)
+    }
+
+    fn compile_method(
+        &mut self,
+        class: &'p ClassDecl,
+        decl: &MethodDecl,
+        is_ctor: bool,
+    ) -> Result<FunId, BuildEngineError> {
+        let mut f = FnCompiler::new(self, class);
+        for p in &decl.params {
+            f.declare_local(&p.name);
+        }
+        f.block(&decl.body)?;
+        f.code.push(Instr::RetVoid);
+        let returns_value = decl.return_type.is_some();
+        let name = if is_ctor {
+            format!("{}.<init>/{}", class.name, decl.params.len())
+        } else {
+            format!("{}.{}", class.name, decl.name)
+        };
+        let chunk = f.finish(name, decl.params.len() as u16, returns_value);
+        self.chunks.push(chunk);
+        Ok(self.chunks.len() - 1)
+    }
+}
+
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct FnCompiler<'b, 'p> {
+    builder: &'b mut ModuleBuilder<'p>,
+    class: &'p ClassDecl,
+    code: Vec<Instr>,
+    scopes: Vec<HashMap<String, u16>>,
+    next_local: u16,
+    max_locals: u16,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'b, 'p> FnCompiler<'b, 'p> {
+    fn new(builder: &'b mut ModuleBuilder<'p>, class: &'p ClassDecl) -> Self {
+        FnCompiler {
+            builder,
+            class,
+            code: Vec::new(),
+            scopes: vec![HashMap::new()],
+            next_local: 0,
+            max_locals: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(self, name: String, n_params: u16, returns_value: bool) -> Chunk {
+        Chunk {
+            name,
+            code: self.code,
+            n_locals: self.max_locals,
+            n_params,
+            returns_value,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, BuildEngineError> {
+        Err(BuildEngineError::Frontend(msg.into()))
+    }
+
+    fn declare_local(&mut self, name: &str) -> u16 {
+        let slot = self.next_local;
+        self.next_local += 1;
+        self.max_locals = self.max_locals.max(self.next_local);
+        self.scopes
+            .last_mut()
+            .expect("scope present")
+            .insert(name.to_string(), slot);
+        slot
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<u16> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let scope = self.scopes.pop().expect("scope present");
+        self.next_local -= scope.len() as u16;
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn emit_patchable(&mut self, instr: Instr) -> usize {
+        self.code.push(instr);
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        let t = target as u32;
+        match &mut self.code[at] {
+            Instr::Jump(x) | Instr::JumpIfFalse(x) | Instr::JumpIfTrue(x) => *x = t,
+            other => panic!("patching a non-jump {other:?}"),
+        }
+    }
+
+    fn push_default(&mut self, ty: &Type) {
+        self.code.push(match ty {
+            Type::Int => Instr::ConstInt(0),
+            Type::Boolean => Instr::ConstBool(false),
+            Type::Class(_) | Type::Array(_) => Instr::ConstNull,
+        });
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), BuildEngineError> {
+        self.push_scope();
+        for s in &block.stmts {
+            self.stmt(s)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), BuildEngineError> {
+        match &stmt.kind {
+            StmtKind::VarDecl { ty, name, init } => {
+                match init {
+                    Some(e) => self.expr(e)?,
+                    None => self.push_default(ty),
+                }
+                let slot = self.declare_local(name);
+                self.code.push(Instr::Store(slot));
+                Ok(())
+            }
+            StmtKind::Assign { target, op, value } => self.assign(target, *op, value),
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Instr::Pop);
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond)?;
+                let to_else = self.emit_patchable(Instr::JumpIfFalse(0));
+                self.stmt(then_branch)?;
+                match else_branch {
+                    Some(eb) => {
+                        let to_end = self.emit_patchable(Instr::Jump(0));
+                        let else_at = self.here();
+                        self.patch(to_else, else_at);
+                        self.stmt(eb)?;
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(to_else, end);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let start = self.here();
+                self.expr(cond)?;
+                let to_end = self.emit_patchable(Instr::JumpIfFalse(0));
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                for p in ctx.continue_patches {
+                    self.patch(p, start);
+                }
+                self.code.push(Instr::Jump(start as u32));
+                let end = self.here();
+                self.patch(to_end, end);
+                for p in ctx.break_patches {
+                    self.patch(p, end);
+                }
+                Ok(())
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let start = self.here();
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                let cond_at = self.here();
+                for p in ctx.continue_patches {
+                    self.patch(p, cond_at);
+                }
+                self.expr(cond)?;
+                self.code.push(Instr::JumpIfTrue(start as u32));
+                let end = self.here();
+                for p in ctx.break_patches {
+                    self.patch(p, end);
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                self.push_scope();
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let start = self.here();
+                let to_end = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        Some(self.emit_patchable(Instr::JumpIfFalse(0)))
+                    }
+                    None => None,
+                };
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                let update_at = self.here();
+                for p in ctx.continue_patches {
+                    self.patch(p, update_at);
+                }
+                if let Some(u) = update {
+                    self.stmt(u)?;
+                }
+                self.code.push(Instr::Jump(start as u32));
+                let end = self.here();
+                if let Some(p) = to_end {
+                    self.patch(p, end);
+                }
+                for p in ctx.break_patches {
+                    self.patch(p, end);
+                }
+                self.pop_scope();
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                match value {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.code.push(Instr::Ret);
+                    }
+                    None => self.code.push(Instr::RetVoid),
+                }
+                Ok(())
+            }
+            StmtKind::Break => {
+                let at = self.emit_patchable(Instr::Jump(0));
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.break_patches.push(at),
+                    None => return self.err("`break` outside a loop"),
+                }
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let at = self.emit_patchable(Instr::Jump(0));
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.continue_patches.push(at),
+                    None => return self.err("`continue` outside a loop"),
+                }
+                Ok(())
+            }
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) -> Result<(), BuildEngineError> {
+        // Helper closure-like: compile rhs, possibly combining with old
+        // value for compound ops.
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    if op == AssignOp::Set {
+                        self.expr(value)?;
+                    } else {
+                        self.code.push(Instr::Load(slot));
+                        self.expr(value)?;
+                        self.code.push(compound_instr(op));
+                    }
+                    self.code.push(Instr::Store(slot));
+                    return Ok(());
+                }
+                if let Some(slot) = self.instance_slot_name(name) {
+                    self.code.push(Instr::LoadThis);
+                    if op == AssignOp::Set {
+                        self.expr(value)?;
+                    } else {
+                        self.code.push(Instr::LoadThis);
+                        self.code.push(Instr::GetField(slot));
+                        self.expr(value)?;
+                        self.code.push(compound_instr(op));
+                    }
+                    self.code.push(Instr::PutField(slot));
+                    return Ok(());
+                }
+                if let Some(sslot) = self.builder.static_slot(&self.class.name, name) {
+                    if op == AssignOp::Set {
+                        self.expr(value)?;
+                    } else {
+                        self.code.push(Instr::GetStatic(sslot));
+                        self.expr(value)?;
+                        self.code.push(compound_instr(op));
+                    }
+                    self.code.push(Instr::PutStatic(sslot));
+                    return Ok(());
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            ExprKind::Field { object, name } => {
+                let id = self.builder.intern(name);
+                self.expr(object)?;
+                if op == AssignOp::Set {
+                    self.expr(value)?;
+                } else {
+                    self.expr(object)?;
+                    self.code.push(Instr::GetField(id));
+                    self.expr(value)?;
+                    self.code.push(compound_instr(op));
+                }
+                self.code.push(Instr::PutField(id));
+                Ok(())
+            }
+            ExprKind::Index { array, index } => {
+                self.expr(array)?;
+                self.expr(index)?;
+                if op == AssignOp::Set {
+                    self.expr(value)?;
+                } else {
+                    self.expr(array)?;
+                    self.expr(index)?;
+                    self.code.push(Instr::ALoad);
+                    self.expr(value)?;
+                    self.code.push(compound_instr(op));
+                }
+                self.code.push(Instr::AStore);
+                Ok(())
+            }
+            _ => self.err("assignment to non-lvalue"),
+        }
+    }
+
+    /// Name-pool id of an *instance* field visible on the current class.
+    fn instance_slot_name(&mut self, name: &str) -> Option<u32> {
+        match self.builder.table.field_of(&self.class.name, name) {
+            Some((_, sig)) if !sig.modifiers.is_static => Some(self.builder.intern(name)),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), BuildEngineError> {
+        match &e.kind {
+            ExprKind::Int(v) => self.code.push(Instr::ConstInt(*v)),
+            ExprKind::Bool(b) => self.code.push(Instr::ConstBool(*b)),
+            ExprKind::Null => self.code.push(Instr::ConstNull),
+            ExprKind::This => self.code.push(Instr::LoadThis),
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    self.code.push(Instr::Load(slot));
+                } else if let Some(id) = self.instance_slot_name(name) {
+                    self.code.push(Instr::LoadThis);
+                    self.code.push(Instr::GetField(id));
+                } else if let Some(slot) = self.builder.static_slot(&self.class.name, name) {
+                    self.code.push(Instr::GetStatic(slot));
+                } else {
+                    return self.err(format!("unknown variable `{name}`"));
+                }
+            }
+            ExprKind::Field { object, name } => {
+                self.expr(object)?;
+                let id = self.builder.intern(name);
+                self.code.push(Instr::GetField(id));
+            }
+            ExprKind::Index { array, index } => {
+                self.expr(array)?;
+                self.expr(index)?;
+                self.code.push(Instr::ALoad);
+            }
+            ExprKind::Length { array } => {
+                self.expr(array)?;
+                self.code.push(Instr::ALen);
+            }
+            ExprKind::Unary { op, expr } => {
+                self.expr(expr)?;
+                self.code.push(match op {
+                    UnOp::Neg => Instr::Neg,
+                    UnOp::Not => Instr::Not,
+                });
+            }
+            ExprKind::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.expr(lhs)?;
+                    let to_false = self.emit_patchable(Instr::JumpIfFalse(0));
+                    self.expr(rhs)?;
+                    let to_end = self.emit_patchable(Instr::Jump(0));
+                    let false_at = self.here();
+                    self.patch(to_false, false_at);
+                    self.code.push(Instr::ConstBool(false));
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+                BinOp::Or => {
+                    self.expr(lhs)?;
+                    let to_true = self.emit_patchable(Instr::JumpIfTrue(0));
+                    self.expr(rhs)?;
+                    let to_end = self.emit_patchable(Instr::Jump(0));
+                    let true_at = self.here();
+                    self.patch(to_true, true_at);
+                    self.code.push(Instr::ConstBool(true));
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+                _ => {
+                    self.expr(lhs)?;
+                    self.expr(rhs)?;
+                    self.code.push(match op {
+                        BinOp::Add => Instr::Add,
+                        BinOp::Sub => Instr::Sub,
+                        BinOp::Mul => Instr::Mul,
+                        BinOp::Div => Instr::Div,
+                        BinOp::Rem => Instr::Rem,
+                        BinOp::Lt => Instr::Lt,
+                        BinOp::Le => Instr::Le,
+                        BinOp::Gt => Instr::Gt,
+                        BinOp::Ge => Instr::Ge,
+                        BinOp::Eq => Instr::EqV,
+                        BinOp::Ne => Instr::NeV,
+                        BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    });
+                }
+            },
+            ExprKind::Call {
+                receiver,
+                method,
+                args,
+            } => {
+                match receiver {
+                    None => self.code.push(Instr::LoadThis),
+                    Some(r) => self.expr(r)?,
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                let name = self.builder.intern(method);
+                self.code.push(Instr::Call {
+                    name,
+                    argc: args.len() as u8,
+                });
+            }
+            ExprKind::NewObject { class, args } => {
+                match self.builder.layouts.id(class) {
+                    Some(id) => {
+                        for a in args {
+                            self.expr(a)?;
+                        }
+                        self.code.push(Instr::New {
+                            class: id.index() as u16,
+                            argc: args.len() as u8,
+                        });
+                    }
+                    None => {
+                        // Builtin class (`new Thread()`): compiles, traps
+                        // at runtime.
+                        let id = self.builder.intern(class);
+                        self.code.push(Instr::Unsupported(id));
+                    }
+                }
+            }
+            ExprKind::NewArray { elem, len } => {
+                self.expr(len)?;
+                self.code.push(Instr::NewArray(match elem {
+                    Type::Int => ElemKind::Int,
+                    Type::Boolean => ElemKind::Bool,
+                    Type::Class(_) | Type::Array(_) => ElemKind::Ref,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compound_instr(op: AssignOp) -> Instr {
+    match op {
+        AssignOp::Add => Instr::Add,
+        AssignOp::Sub => Instr::Sub,
+        AssignOp::Mul => Instr::Mul,
+        AssignOp::Div => Instr::Div,
+        AssignOp::Set => unreachable!("Set handled by callers"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        let program = jtlang::parse(src).unwrap();
+        let table = jtlang::resolve::resolve(&program).unwrap();
+        jtlang::types::check(&program, &table).unwrap();
+        compile(&program, &table).unwrap()
+    }
+
+    #[test]
+    fn compiles_all_corpus_samples() {
+        for s in jtlang::corpus::samples() {
+            let m = module(s.source);
+            assert!(!m.chunks.is_empty(), "sample `{}` produced no code", s.name);
+            assert!(m.encoded_size() > 0);
+        }
+    }
+
+    #[test]
+    fn vtables_inherit_and_override() {
+        let m = module(
+            "class Base { int f() { return 1; } int g() { return 0; } }
+             class Derived extends Base { int f() { return 2; } }",
+        );
+        let f = m.name_id("f").unwrap();
+        let g = m.name_id("g").unwrap();
+        let base = m.layouts.id("Base").unwrap();
+        let derived = m.layouts.id("Derived").unwrap();
+        assert_ne!(m.vtables[base.index()][&f], m.vtables[derived.index()][&f]);
+        assert_eq!(m.vtables[base.index()][&g], m.vtables[derived.index()][&g]);
+    }
+
+    #[test]
+    fn field_init_chain_is_super_first() {
+        let m = module(
+            "class A { int x = 1; }
+             class B extends A { int y = 2; }",
+        );
+        let b = m.layouts.id("B").unwrap();
+        let chain = &m.field_init_chains[b.index()];
+        assert_eq!(chain.len(), 2);
+        assert!(m.chunks[chain[0]].name.starts_with("A."));
+        assert!(m.chunks[chain[1]].name.starts_with("B."));
+    }
+
+    #[test]
+    fn statics_get_slots_and_init_chunks() {
+        let m = module("class A { static int k = 41; static boolean flag; }");
+        assert_eq!(m.statics.len(), 2);
+        assert_eq!(m.static_init_chunks.len(), 1);
+    }
+
+    #[test]
+    fn loops_compile_to_backward_jumps() {
+        let m = module("class A { int m() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; } }");
+        let chunk = m
+            .chunks
+            .iter()
+            .find(|c| c.name == "A.m")
+            .expect("A.m compiled");
+        assert!(chunk
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::JumpIfFalse(_))));
+        assert!(chunk.code.iter().any(|i| matches!(i, Instr::Jump(_))));
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected_by_compiler() {
+        // The parser and type checker accept a stray break; the compiler
+        // is where it must be caught.
+        let program = jtlang::parse("class A { void m() { break; } }").unwrap();
+        let table = jtlang::resolve::resolve(&program).unwrap();
+        assert!(compile(&program, &table).is_err());
+    }
+}
+
+#[cfg(test)]
+mod disassembly_tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_names_calls_fields_and_classes() {
+        let program = jtlang::parse(
+            "class A { int f; A() { f = 1; } int m(A o) { return o.f + helper(); }
+                       int helper() { return f * 2; } }",
+        )
+        .unwrap();
+        let table = jtlang::resolve::resolve(&program).unwrap();
+        jtlang::types::check(&program, &table).unwrap();
+        let module = compile(&program, &table).unwrap();
+        let dis = module.disassemble();
+        assert!(dis.contains("fn A.m"), "{dis}");
+        assert!(dis.contains("; helper"), "{dis}");
+        assert!(dis.contains("; f"), "{dis}");
+        assert!(dis.contains("Ret"), "{dis}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic cost accounting.
+//!
+//! Wall-clock numbers from 1998 hardware cannot be reproduced; what can
+//! be reproduced is the *shape* of Table 1. Both engines therefore count
+//! abstract steps (one per executed AST operation / bytecode instruction)
+//! alongside wall-clock time, so every measurement in the benches has a
+//! machine-independent twin.
+
+use crate::error::RuntimeError;
+
+/// A deterministic step counter with an optional budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostMeter {
+    steps: u64,
+    limit: u64,
+}
+
+/// Default step budget: generous enough for every shipped workload, small
+/// enough to stop a `while (true)` promptly in tests.
+pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
+
+/// Fixed cost of one heap allocation, in abstract steps.
+///
+/// The paper's platforms were 1997 JVMs where `new` meant allocator
+/// slow paths and garbage-collection pressure; a modern host allocator
+/// hides that entirely, so the deterministic cost model charges it
+/// explicitly (see `DESIGN.md`, substitution table).
+pub const ALLOC_BASE_COST: u64 = 64;
+
+/// Additional allocation cost per word (zeroing plus amortized
+/// collection work proportional to the allocated size).
+pub const ALLOC_WORD_COST: u64 = 16;
+
+impl Default for CostMeter {
+    fn default() -> Self {
+        CostMeter {
+            steps: 0,
+            limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+}
+
+impl CostMeter {
+    /// A meter with the default budget.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// A meter with a custom budget.
+    pub fn with_limit(limit: u64) -> Self {
+        CostMeter { steps: 0, limit }
+    }
+
+    /// Charges one step.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::StepLimitExceeded`] once the budget is exhausted.
+    #[inline]
+    pub fn charge(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > self.limit {
+            Err(RuntimeError::StepLimitExceeded { limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges the cost of allocating `words` heap words
+    /// ([`ALLOC_BASE_COST`]` + words · `[`ALLOC_WORD_COST`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::StepLimitExceeded`] once the budget is exhausted.
+    pub fn charge_alloc(&mut self, words: u64) -> Result<(), RuntimeError> {
+        self.steps += ALLOC_BASE_COST + words.saturating_mul(ALLOC_WORD_COST);
+        if self.steps > self.limit {
+            Err(RuntimeError::StepLimitExceeded { limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Zeroes the counter, keeping the budget.
+    pub fn reset(&mut self) {
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_the_budget_runs_out() {
+        let mut m = CostMeter::with_limit(3);
+        assert!(m.charge().is_ok());
+        assert!(m.charge().is_ok());
+        assert!(m.charge().is_ok());
+        assert_eq!(
+            m.charge().unwrap_err(),
+            RuntimeError::StepLimitExceeded { limit: 3 }
+        );
+        assert_eq!(m.steps(), 4);
+        m.reset();
+        assert_eq!(m.steps(), 0);
+        assert!(m.charge().is_ok());
+    }
+
+    #[test]
+    fn default_budget_is_large() {
+        let m = CostMeter::new();
+        assert_eq!(m.steps(), 0);
+        assert!(CostMeter::default().charge().is_ok());
+    }
+}

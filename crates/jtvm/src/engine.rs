@@ -1,0 +1,96 @@
+//! The two-phase execution interface shared by both engines.
+//!
+//! The lifecycle of an object subclassed from `ASR` "is divided into two
+//! parts: initialization and behavior" (paper §4.2, Fig. 7). The
+//! [`Engine`] trait mirrors that split — [`Engine::initialize`] runs field
+//! initializers and the constructor, [`Engine::react`] runs one `run`
+//! invocation (one instant) — because those are exactly the two phases
+//! Table 1 measures.
+
+use crate::error::RuntimeError;
+use crate::heap::HeapStats;
+use crate::io::PortDatum;
+use crate::value::RtValue;
+use std::fmt;
+
+/// Cost of one executed phase: deterministic steps plus allocation
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseCost {
+    /// Abstract steps executed.
+    pub steps: u64,
+    /// Heap activity during the phase.
+    pub heap: HeapStats,
+}
+
+/// Error building an engine from a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildEngineError {
+    /// The program failed parsing/resolution/type checking.
+    Frontend(String),
+    /// The requested main class does not exist or is not instantiable.
+    NoSuchClass(String),
+}
+
+impl fmt::Display for BuildEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildEngineError::Frontend(e) => write!(f, "front-end error: {e}"),
+            BuildEngineError::NoSuchClass(c) => write!(f, "no instantiable class `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildEngineError {}
+
+/// A JT execution engine bound to one main (ASR) class instance.
+pub trait Engine {
+    /// Engine name, used in benchmark tables ("interpreter", "bytecode").
+    fn name(&self) -> &str;
+
+    /// Runs the initialization phase: field initializers, then the
+    /// constructor whose arity matches `args`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised by initializer or constructor code.
+    fn initialize(&mut self, args: &[RtValue]) -> Result<(), RuntimeError>;
+
+    /// Runs one reaction (one ASR instant): presents `inputs` on the
+    /// input ports, invokes `run`, and returns the written outputs
+    /// (`None` = port not written this instant).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Internal`] if called before [`Engine::initialize`],
+    /// or any runtime error raised by the behaviour.
+    fn react(&mut self, inputs: &[PortDatum]) -> Result<Vec<Option<PortDatum>>, RuntimeError>;
+
+    /// Cost of the most recently executed phase.
+    fn last_cost(&self) -> PhaseCost;
+
+    /// Freezes the heap: any later user allocation fails. Call after
+    /// [`Engine::initialize`] to enforce the policy's bounded-memory
+    /// guarantee at runtime.
+    fn freeze_heap(&mut self);
+
+    /// A size metric for the engine's loaded form of the program, in
+    /// bytes (source bytes for the interpreter, bytecode bytes for the
+    /// VM) — the Table 1 "program size" column.
+    fn program_size(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_error_display() {
+        assert!(BuildEngineError::Frontend("x".into())
+            .to_string()
+            .contains("front-end"));
+        assert!(BuildEngineError::NoSuchClass("C".into())
+            .to_string()
+            .contains("`C`"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Runtime errors shared by both engines.
+
+use std::fmt;
+
+/// A runtime failure during initialization or reaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Dereferenced `null`.
+    NullPointer,
+    /// Array index outside `0..len`.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Arithmetic overflow.
+    Overflow,
+    /// Negative array length in `new T[len]`.
+    NegativeArrayLength(i64),
+    /// The configured step budget was exhausted (runaway loop).
+    StepLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// `new` after the heap was frozen (allocation-freeze ablation).
+    AllocationFrozen,
+    /// ASR port index outside the provided input/output vectors.
+    PortOutOfRange {
+        /// Offending port.
+        port: i64,
+    },
+    /// Port datum kind mismatch (`read` on a vector port, …).
+    PortKindMismatch {
+        /// Offending port.
+        port: i64,
+    },
+    /// The program used a construct the engines do not execute
+    /// (threads, blocking calls); the `sched` crate simulates those.
+    Unsupported(String),
+    /// Internal inconsistency (would indicate a bug given a type-checked
+    /// program).
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullPointer => write!(f, "null pointer dereference"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::Overflow => write!(f, "integer overflow"),
+            RuntimeError::NegativeArrayLength(n) => {
+                write!(f, "negative array length {n}")
+            }
+            RuntimeError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            RuntimeError::AllocationFrozen => {
+                write!(f, "allocation attempted after the heap was frozen")
+            }
+            RuntimeError::PortOutOfRange { port } => write!(f, "port {port} out of range"),
+            RuntimeError::PortKindMismatch { port } => {
+                write!(f, "port {port} carries the wrong datum kind")
+            }
+            RuntimeError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            RuntimeError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(RuntimeError::IndexOutOfBounds { index: 9, len: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(RuntimeError::StepLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(RuntimeError::Unsupported("threads".into())
+            .to_string()
+            .contains("threads"));
+    }
+}

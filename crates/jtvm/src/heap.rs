@@ -1,0 +1,345 @@
+//! The shared heap, with allocation accounting and an optional
+//! allocation freeze.
+//!
+//! The ASR policy fixes all memory at initialization. The heap therefore
+//! supports [`Heap::freeze`]: once frozen, any further *user* allocation
+//! fails with [`RuntimeError::AllocationFrozen`]. Environment-owned
+//! buffers (the arrays materialised by the builtin `readVec`) are exempt —
+//! they model the input signal itself, not program state. The
+//! `ablation_alloc_freeze` bench measures the freeze's cost and the
+//! guarantee it buys.
+
+use crate::error::RuntimeError;
+use crate::layout::ClassId;
+use crate::value::{ObjRef, RtValue};
+
+/// One heap cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapObject {
+    /// An instance of a user class: one slot per field.
+    Object {
+        /// Runtime class.
+        class: ClassId,
+        /// Field slots, laid out per [`crate::layout::Layouts`].
+        fields: Vec<RtValue>,
+    },
+    /// An array (elements default to `Int(0)`, `Bool(false)`, or `Null`
+    /// according to the element type at allocation).
+    Array {
+        /// Element values.
+        items: Vec<RtValue>,
+    },
+}
+
+/// Allocation statistics, cumulative since construction or the last
+/// [`Heap::reset_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Number of user allocations.
+    pub allocations: u64,
+    /// Total words allocated by the user program.
+    pub words: u64,
+    /// Number of environment-owned allocations (exempt from freeze).
+    pub env_allocations: u64,
+}
+
+/// The heap shared by both engines.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    cells: Vec<HeapObject>,
+    stats: HeapStats,
+    frozen: bool,
+}
+
+impl Heap {
+    /// Creates an empty, unfrozen heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates an object with `n_slots` null/zero slots.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AllocationFrozen`] when the heap is frozen.
+    pub fn alloc_object(&mut self, class: ClassId, n_slots: usize) -> Result<ObjRef, RuntimeError> {
+        self.check_frozen()?;
+        self.stats.allocations += 1;
+        self.stats.words += n_slots as u64;
+        self.cells.push(HeapObject::Object {
+            class,
+            fields: vec![RtValue::Null; n_slots],
+        });
+        Ok(ObjRef(self.cells.len() - 1))
+    }
+
+    /// Allocates an array of `len` copies of `fill`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NegativeArrayLength`] for negative lengths;
+    /// [`RuntimeError::AllocationFrozen`] when the heap is frozen.
+    pub fn alloc_array(&mut self, len: i64, fill: RtValue) -> Result<ObjRef, RuntimeError> {
+        self.check_frozen()?;
+        if len < 0 {
+            return Err(RuntimeError::NegativeArrayLength(len));
+        }
+        self.stats.allocations += 1;
+        self.stats.words += len as u64;
+        self.cells.push(HeapObject::Array {
+            items: vec![fill; len as usize],
+        });
+        Ok(ObjRef(self.cells.len() - 1))
+    }
+
+    /// Allocates an environment-owned integer array (used by the builtin
+    /// `readVec`); exempt from the freeze because it models the input
+    /// signal, not program state.
+    pub fn alloc_env_array(&mut self, items: Vec<RtValue>) -> ObjRef {
+        self.stats.env_allocations += 1;
+        self.cells.push(HeapObject::Array { items });
+        ObjRef(self.cells.len() - 1)
+    }
+
+    fn check_frozen(&self) -> Result<(), RuntimeError> {
+        if self.frozen {
+            Err(RuntimeError::AllocationFrozen)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Forbids further user allocation (the post-initialization state of
+    /// a policy-compliant system).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Re-enables allocation.
+    pub fn thaw(&mut self) {
+        self.frozen = false;
+    }
+
+    /// True when allocation is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The cell behind a reference.
+    pub fn get(&self, r: ObjRef) -> &HeapObject {
+        &self.cells[r.0]
+    }
+
+    /// The cell behind a reference, mutably.
+    pub fn get_mut(&mut self, r: ObjRef) -> &mut HeapObject {
+        &mut self.cells[r.0]
+    }
+
+    /// Reads `array[index]`, bounds-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::IndexOutOfBounds`]; [`RuntimeError::Internal`] if
+    /// the reference is not an array.
+    pub fn array_get(&self, r: ObjRef, index: i64) -> Result<RtValue, RuntimeError> {
+        let HeapObject::Array { items } = self.get(r) else {
+            return Err(RuntimeError::Internal("array access on object".into()));
+        };
+        if index < 0 || index as usize >= items.len() {
+            return Err(RuntimeError::IndexOutOfBounds {
+                index,
+                len: items.len(),
+            });
+        }
+        Ok(items[index as usize])
+    }
+
+    /// Writes `array[index] = value`, bounds-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::IndexOutOfBounds`]; [`RuntimeError::Internal`] if
+    /// the reference is not an array.
+    pub fn array_set(&mut self, r: ObjRef, index: i64, value: RtValue) -> Result<(), RuntimeError> {
+        let HeapObject::Array { items } = self.get_mut(r) else {
+            return Err(RuntimeError::Internal("array access on object".into()));
+        };
+        if index < 0 || index as usize >= items.len() {
+            return Err(RuntimeError::IndexOutOfBounds {
+                index,
+                len: items.len(),
+            });
+        }
+        items[index as usize] = value;
+        Ok(())
+    }
+
+    /// The length of an array.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Internal`] if the reference is not an array.
+    pub fn array_len(&self, r: ObjRef) -> Result<usize, RuntimeError> {
+        match self.get(r) {
+            HeapObject::Array { items } => Ok(items.len()),
+            HeapObject::Object { .. } => {
+                Err(RuntimeError::Internal("length of non-array".into()))
+            }
+        }
+    }
+
+    /// Reads an object field slot.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Internal`] on a non-object reference or bad slot.
+    pub fn field_get(&self, r: ObjRef, slot: usize) -> Result<RtValue, RuntimeError> {
+        match self.get(r) {
+            HeapObject::Object { fields, .. } => fields
+                .get(slot)
+                .copied()
+                .ok_or_else(|| RuntimeError::Internal(format!("bad field slot {slot}"))),
+            HeapObject::Array { .. } => {
+                Err(RuntimeError::Internal("field access on array".into()))
+            }
+        }
+    }
+
+    /// Writes an object field slot.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Internal`] on a non-object reference or bad slot.
+    pub fn field_set(&mut self, r: ObjRef, slot: usize, value: RtValue) -> Result<(), RuntimeError> {
+        match self.get_mut(r) {
+            HeapObject::Object { fields, .. } => match fields.get_mut(slot) {
+                Some(f) => {
+                    *f = value;
+                    Ok(())
+                }
+                None => Err(RuntimeError::Internal(format!("bad field slot {slot}"))),
+            },
+            HeapObject::Array { .. } => {
+                Err(RuntimeError::Internal("field access on array".into()))
+            }
+        }
+    }
+
+    /// The runtime class of an object.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Internal`] if the reference is an array.
+    pub fn class_of(&self, r: ObjRef) -> Result<ClassId, RuntimeError> {
+        match self.get(r) {
+            HeapObject::Object { class, .. } => Ok(*class),
+            HeapObject::Array { .. } => Err(RuntimeError::Internal("class of array".into())),
+        }
+    }
+
+    /// Cumulative allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics counters (the cells stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = HeapStats::default();
+    }
+
+    /// Number of live cells (nothing is ever collected — the model's
+    /// memory is fixed, and unrestrained growth is itself a signal the
+    /// Table 1 benchmarks report).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_fields_round_trip() {
+        let mut h = Heap::new();
+        let r = h.alloc_object(ClassId(0), 2).unwrap();
+        assert_eq!(h.field_get(r, 0).unwrap(), RtValue::Null);
+        h.field_set(r, 1, RtValue::Int(9)).unwrap();
+        assert_eq!(h.field_get(r, 1).unwrap(), RtValue::Int(9));
+        assert!(h.field_get(r, 5).is_err());
+        assert!(h.field_set(r, 5, RtValue::Null).is_err());
+        assert_eq!(h.class_of(r).unwrap(), ClassId(0));
+    }
+
+    #[test]
+    fn arrays_are_bounds_checked() {
+        let mut h = Heap::new();
+        let r = h.alloc_array(3, RtValue::Int(0)).unwrap();
+        assert_eq!(h.array_len(r).unwrap(), 3);
+        h.array_set(r, 2, RtValue::Int(7)).unwrap();
+        assert_eq!(h.array_get(r, 2).unwrap(), RtValue::Int(7));
+        assert!(matches!(
+            h.array_get(r, 3),
+            Err(RuntimeError::IndexOutOfBounds { index: 3, len: 3 })
+        ));
+        assert!(h.array_get(r, -1).is_err());
+        assert!(h.array_set(r, 99, RtValue::Int(0)).is_err());
+        assert!(matches!(
+            h.alloc_array(-1, RtValue::Int(0)),
+            Err(RuntimeError::NegativeArrayLength(-1))
+        ));
+    }
+
+    #[test]
+    fn kind_confusion_is_an_internal_error() {
+        let mut h = Heap::new();
+        let obj = h.alloc_object(ClassId(0), 1).unwrap();
+        let arr = h.alloc_array(1, RtValue::Int(0)).unwrap();
+        assert!(h.array_get(obj, 0).is_err());
+        assert!(h.array_len(obj).is_err());
+        assert!(h.field_get(arr, 0).is_err());
+        assert!(h.class_of(arr).is_err());
+    }
+
+    #[test]
+    fn freeze_blocks_user_but_not_env_allocation() {
+        let mut h = Heap::new();
+        h.alloc_array(4, RtValue::Int(0)).unwrap();
+        h.freeze();
+        assert!(h.is_frozen());
+        assert_eq!(
+            h.alloc_array(1, RtValue::Int(0)).unwrap_err(),
+            RuntimeError::AllocationFrozen
+        );
+        assert_eq!(
+            h.alloc_object(ClassId(0), 1).unwrap_err(),
+            RuntimeError::AllocationFrozen
+        );
+        let r = h.alloc_env_array(vec![RtValue::Int(1)]);
+        assert_eq!(h.array_len(r).unwrap(), 1);
+        h.thaw();
+        assert!(h.alloc_array(1, RtValue::Int(0)).is_ok());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut h = Heap::new();
+        h.alloc_array(10, RtValue::Int(0)).unwrap();
+        h.alloc_object(ClassId(0), 3).unwrap();
+        h.alloc_env_array(vec![]);
+        let s = h.stats();
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.words, 13);
+        assert_eq!(s.env_allocations, 1);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        h.reset_stats();
+        assert_eq!(h.stats(), HeapStats::default());
+        assert_eq!(h.len(), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! The ASR port environment.
+//!
+//! An object subclassed from `ASR` is "operated by providing it with
+//! inputs, which causes the system to produce outputs" (paper §4.2). The
+//! environment presents one [`PortDatum`] per input port for the duration
+//! of one reaction; the builtin `read`/`readVec` return that datum (any
+//! number of times — within an instant the signal does not change), and
+//! `write`/`writeVec` set output ports.
+
+use crate::error::RuntimeError;
+
+/// A value carried by an ASR port during one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortDatum {
+    /// A scalar sample.
+    Int(i64),
+    /// A vector sample (e.g. an image plane).
+    Vec(Vec<i64>),
+}
+
+/// The port state for one reaction.
+#[derive(Debug, Clone, Default)]
+pub struct Io {
+    inputs: Vec<PortDatum>,
+    outputs: Vec<Option<PortDatum>>,
+}
+
+impl Io {
+    /// Starts a reaction with the given input port values and `n_outputs`
+    /// output ports, all initially unwritten.
+    pub fn begin(inputs: &[PortDatum], n_outputs: usize) -> Self {
+        Io {
+            inputs: inputs.to_vec(),
+            outputs: vec![None; n_outputs],
+        }
+    }
+
+    /// Reads the scalar on input `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PortOutOfRange`] / [`RuntimeError::PortKindMismatch`].
+    pub fn read(&self, port: i64) -> Result<i64, RuntimeError> {
+        match self.input(port)? {
+            PortDatum::Int(v) => Ok(*v),
+            PortDatum::Vec(_) => Err(RuntimeError::PortKindMismatch { port }),
+        }
+    }
+
+    /// Reads the vector on input `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PortOutOfRange`] / [`RuntimeError::PortKindMismatch`].
+    pub fn read_vec(&self, port: i64) -> Result<&[i64], RuntimeError> {
+        match self.input(port)? {
+            PortDatum::Vec(v) => Ok(v),
+            PortDatum::Int(_) => Err(RuntimeError::PortKindMismatch { port }),
+        }
+    }
+
+    fn input(&self, port: i64) -> Result<&PortDatum, RuntimeError> {
+        if port < 0 {
+            return Err(RuntimeError::PortOutOfRange { port });
+        }
+        self.inputs
+            .get(port as usize)
+            .ok_or(RuntimeError::PortOutOfRange { port })
+    }
+
+    /// Writes a scalar to output `port` (growing the output vector if the
+    /// program writes past the declared count — the environment learns
+    /// the real port count from the program).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PortOutOfRange`] on negative ports.
+    pub fn write(&mut self, port: i64, value: i64) -> Result<(), RuntimeError> {
+        self.output_slot(port).map(|s| *s = Some(PortDatum::Int(value)))
+    }
+
+    /// Writes a vector to output `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PortOutOfRange`] on negative ports.
+    pub fn write_vec(&mut self, port: i64, value: Vec<i64>) -> Result<(), RuntimeError> {
+        self.output_slot(port).map(|s| *s = Some(PortDatum::Vec(value)))
+    }
+
+    fn output_slot(&mut self, port: i64) -> Result<&mut Option<PortDatum>, RuntimeError> {
+        if port < 0 {
+            return Err(RuntimeError::PortOutOfRange { port });
+        }
+        let idx = port as usize;
+        if idx >= self.outputs.len() {
+            self.outputs.resize(idx + 1, None);
+        }
+        Ok(&mut self.outputs[idx])
+    }
+
+    /// Finishes the reaction, yielding the written outputs (`None` for
+    /// ports the program did not write this instant — absent signals).
+    pub fn finish(self) -> Vec<Option<PortDatum>> {
+        self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_repeatable_within_an_instant() {
+        let io = Io::begin(&[PortDatum::Int(5), PortDatum::Vec(vec![1, 2])], 1);
+        assert_eq!(io.read(0).unwrap(), 5);
+        assert_eq!(io.read(0).unwrap(), 5);
+        assert_eq!(io.read_vec(1).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn kind_and_range_errors() {
+        let io = Io::begin(&[PortDatum::Int(5)], 1);
+        assert!(matches!(
+            io.read(1),
+            Err(RuntimeError::PortOutOfRange { port: 1 })
+        ));
+        assert!(matches!(
+            io.read(-1),
+            Err(RuntimeError::PortOutOfRange { port: -1 })
+        ));
+        assert!(matches!(
+            io.read_vec(0),
+            Err(RuntimeError::PortKindMismatch { port: 0 })
+        ));
+    }
+
+    #[test]
+    fn outputs_grow_and_report_unwritten_ports() {
+        let mut io = Io::begin(&[], 1);
+        io.write(2, 9).unwrap();
+        io.write_vec(0, vec![3]).unwrap();
+        assert!(io.write(-1, 0).is_err());
+        let outs = io.finish();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0], Some(PortDatum::Vec(vec![3])));
+        assert_eq!(outs[1], None);
+        assert_eq!(outs[2], Some(PortDatum::Int(9)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Class layouts: slot-based object shapes shared by both engines.
+//!
+//! Fields are laid out superclass-first, so a subclass object is always a
+//! valid prefix-extension of its superclass — field slot numbers resolved
+//! against a static type remain correct for any runtime subclass.
+
+use jtlang::ast::Program;
+use jtlang::resolve::ClassTable;
+use std::collections::HashMap;
+
+/// Identifies a class in the layout registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub(crate) usize);
+
+impl ClassId {
+    /// The raw registry index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The layout of one class.
+#[derive(Debug, Clone)]
+pub struct ClassLayout {
+    /// Class name.
+    pub name: String,
+    /// Superclass id, if any.
+    pub superclass: Option<ClassId>,
+    /// Total field slots (inherited included).
+    pub n_slots: usize,
+    /// Field name → slot, inherited fields included.
+    pub slots: HashMap<String, usize>,
+}
+
+/// The layout registry of a program (user classes only — builtins have no
+/// instantiable state).
+#[derive(Debug, Clone, Default)]
+pub struct Layouts {
+    classes: Vec<ClassLayout>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl Layouts {
+    /// Builds layouts for every user class in `program`.
+    pub fn build(program: &Program, table: &ClassTable) -> Layouts {
+        let mut layouts = Layouts::default();
+        // Iterate until all classes are laid out (supers before subs).
+        let mut remaining: Vec<&str> = program.classes.iter().map(|c| c.name.as_str()).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|&name| {
+                let info = table.class(name).expect("resolved class");
+                let super_name = info.superclass.as_deref().unwrap_or("Object");
+                let super_is_user = program.class(super_name).is_some();
+                let super_id = if super_is_user {
+                    match layouts.by_name.get(super_name) {
+                        Some(&id) => Some(id),
+                        None => return true, // superclass not laid out yet
+                    }
+                } else {
+                    None
+                };
+                let (mut slots, mut n) = match super_id {
+                    Some(id) => {
+                        let s = &layouts.classes[id.0];
+                        (s.slots.clone(), s.n_slots)
+                    }
+                    None => (HashMap::new(), 0),
+                };
+                for f in &info.fields {
+                    if f.modifiers.is_static {
+                        continue; // statics live in the engine's global map
+                    }
+                    slots.insert(f.name.clone(), n);
+                    n += 1;
+                }
+                let id = ClassId(layouts.classes.len());
+                layouts.classes.push(ClassLayout {
+                    name: name.to_string(),
+                    superclass: super_id,
+                    n_slots: n,
+                    slots,
+                });
+                layouts.by_name.insert(name.to_string(), id);
+                false
+            });
+            assert!(
+                remaining.len() < before,
+                "layout construction stalled (inheritance cycle should have been rejected)"
+            );
+        }
+        layouts
+    }
+
+    /// Looks up a class id by name.
+    pub fn id(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The layout of a class.
+    pub fn layout(&self, id: ClassId) -> &ClassLayout {
+        &self.classes[id.0]
+    }
+
+    /// Field slot within `class` (inherited fields included).
+    pub fn slot(&self, class: ClassId, field: &str) -> Option<usize> {
+        self.classes[class.0].slots.get(field).copied()
+    }
+
+    /// True iff `sub` is `ancestor` or one of its transitive subclasses.
+    pub fn is_subclass(&self, sub: ClassId, ancestor: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.classes[c.0].superclass;
+        }
+        false
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no user classes exist.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts(src: &str) -> Layouts {
+        let program = jtlang::parse(src).unwrap();
+        let table = jtlang::resolve::resolve(&program).unwrap();
+        Layouts::build(&program, &table)
+    }
+
+    #[test]
+    fn subclass_extends_superclass_slots() {
+        let l = layouts("class A { int x; int y; } class B extends A { int z; }");
+        let a = l.id("A").unwrap();
+        let b = l.id("B").unwrap();
+        assert_eq!(l.layout(a).n_slots, 2);
+        assert_eq!(l.layout(b).n_slots, 3);
+        assert_eq!(l.slot(a, "x"), l.slot(b, "x"));
+        assert_eq!(l.slot(b, "z"), Some(2));
+        assert!(l.is_subclass(b, a));
+        assert!(!l.is_subclass(a, b));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn declaration_order_does_not_matter() {
+        let l = layouts("class B extends A { int z; } class A { int x; }");
+        let b = l.id("B").unwrap();
+        assert_eq!(l.slot(b, "x"), Some(0));
+        assert_eq!(l.slot(b, "z"), Some(1));
+    }
+
+    #[test]
+    fn builtin_superclasses_contribute_no_slots() {
+        let l = layouts("class F extends ASR { int state; }");
+        let f = l.id("F").unwrap();
+        assert_eq!(l.slot(f, "state"), Some(0));
+        assert_eq!(l.layout(f).superclass, None);
+        assert!(l.id("ASR").is_none());
+    }
+}

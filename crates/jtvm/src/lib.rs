@@ -1,0 +1,51 @@
+//! # `jtvm` — execution engines for JT programs
+//!
+//! The paper measures its JPEG example on two Java platforms: the Sun JDK
+//! interpreter and the Café just-in-time compiler (Table 1). This crate
+//! provides the corresponding pair of engines for JT:
+//!
+//! * [`interp::Interpreter`] — a tree-walking AST interpreter (the slow,
+//!   non-optimizing "jdk" analog), and
+//! * [`vm::CompiledVm`] — a compiler to the JTBC stack bytecode
+//!   ([`bytecode`], [`compile`]) plus a dispatch-loop VM (the faster
+//!   "jit" analog).
+//!
+//! Both engines share one object model ([`heap`], [`layout`], [`value`]),
+//! one ASR port environment ([`io`]), and one deterministic cost meter
+//! ([`cost`]) counting abstract steps and allocations — so measurements
+//! are comparable across engines and across machines.
+//!
+//! The [`engine::Engine`] trait splits execution into the two phases the
+//! paper measures: [`engine::Engine::initialize`] (constructor and field
+//! initializers — the "fabrication and power-on reset" of the system) and
+//! [`engine::Engine::react`] (one invocation of the `run` behaviour — one
+//! ASR instant).
+//!
+//! ```
+//! use jtvm::engine::Engine;
+//! use jtvm::interp::Interpreter;
+//! use jtvm::io::PortDatum;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = jtlang::parse(jtlang::corpus::COUNTER)?;
+//! let mut engine = Interpreter::new(program, "Counter")?;
+//! engine.initialize(&[jtvm::value::RtValue::Int(10)])?;
+//! let out = engine.react(&[PortDatum::Int(4)])?;
+//! assert_eq!(out[0], Some(PortDatum::Int(4)));
+//! let out = engine.react(&[PortDatum::Int(9)])?;
+//! assert_eq!(out[0], Some(PortDatum::Int(10))); // saturates at 10
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bytecode;
+pub mod compile;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod heap;
+pub mod interp;
+pub mod io;
+pub mod layout;
+pub mod value;
+pub mod vm;

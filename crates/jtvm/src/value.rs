@@ -1,0 +1,94 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A reference into the [`crate::heap::Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjRef(pub(crate) usize);
+
+impl ObjRef {
+    /// The raw heap index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A JT runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtValue {
+    /// An `int`.
+    Int(i64),
+    /// A `boolean`.
+    Bool(bool),
+    /// A reference to a heap object or array.
+    Ref(ObjRef),
+    /// The `null` reference.
+    Null,
+}
+
+impl RtValue {
+    /// The integer payload, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            RtValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            RtValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The reference payload, if any (`None` for `null` too).
+    pub fn as_ref(self) -> Option<ObjRef> {
+        match self {
+            RtValue::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtValue::Int(i) => write!(f, "{i}"),
+            RtValue::Bool(b) => write!(f, "{b}"),
+            RtValue::Ref(r) => write!(f, "@{}", r.0),
+            RtValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for RtValue {
+    fn from(i: i64) -> Self {
+        RtValue::Int(i)
+    }
+}
+
+impl From<bool> for RtValue {
+    fn from(b: bool) -> Self {
+        RtValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        assert_eq!(RtValue::Int(3).as_int(), Some(3));
+        assert_eq!(RtValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(RtValue::Null.as_int(), None);
+        assert_eq!(RtValue::Null.as_ref(), None);
+        assert_eq!(RtValue::Ref(ObjRef(2)).as_ref(), Some(ObjRef(2)));
+        assert_eq!(RtValue::Ref(ObjRef(2)).to_string(), "@2");
+        assert_eq!(RtValue::from(5i64), RtValue::Int(5));
+        assert_eq!(RtValue::from(false), RtValue::Bool(false));
+        assert_eq!(ObjRef(7).index(), 7);
+    }
+}

@@ -1,0 +1,273 @@
+//! Outcomes, determinism verdicts, and happens-before partial orders.
+
+use crate::program::{Instr, Observable, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The observable result of one complete execution: the final values of
+/// the program's observed variables and registers, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Outcome {
+    /// `(observable label, value)` pairs.
+    pub values: Vec<(String, i64)>,
+}
+
+impl Outcome {
+    /// Builds an outcome from a finished execution's state.
+    pub(crate) fn observe(
+        program: &Program,
+        vars: &BTreeMap<String, i64>,
+        regs: &[BTreeMap<String, i64>],
+    ) -> Outcome {
+        let values = program
+            .observe
+            .iter()
+            .map(|obs| {
+                let v = match obs {
+                    Observable::Var(name) => vars.get(name).copied().unwrap_or(0),
+                    Observable::Reg { thread, reg } => program
+                        .threads
+                        .iter()
+                        .position(|t| &t.name == thread)
+                        .and_then(|t| regs[t].get(reg).copied())
+                        .unwrap_or(0),
+                };
+                (obs.to_string(), v)
+            })
+            .collect();
+        Outcome { values }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The set of distinct outcomes found by schedule exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeSet {
+    /// Distinct outcomes, in sorted order.
+    pub distinct: Vec<Outcome>,
+    /// How many completed executions were examined (with state
+    /// memoization, each distinct terminal state counts once).
+    pub schedules_explored: usize,
+    /// Total distinct states visited during exploration (terminal and
+    /// intermediate) — the cost metric the local-step reduction shrinks.
+    /// Random sampling reports 0 (it does not memoize states).
+    pub states_visited: usize,
+    /// True when exploration hit its schedule cap before finishing.
+    pub truncated: bool,
+}
+
+impl OutcomeSet {
+    /// The paper's determinism criterion: one input, one possible output.
+    pub fn is_deterministic(&self) -> bool {
+        self.distinct.len() <= 1 && !self.truncated
+    }
+}
+
+/// One executed event in a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Thread index.
+    pub thread: usize,
+    /// Thread name.
+    pub thread_name: String,
+    /// Instruction index within the thread.
+    pub index: usize,
+    /// The shared variable accessed, if any.
+    pub var: Option<String>,
+    /// True for shared writes.
+    pub is_write: bool,
+}
+
+/// The happens-before partial order induced by one schedule (paper
+/// Fig. 6): program order within each thread plus conflict order between
+/// accesses of the same shared variable where at least one is a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialOrder {
+    /// Events in execution order.
+    pub events: Vec<Event>,
+    /// Edges `events[a] → events[b]` (a happens before b), non-transitive
+    /// generators.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl PartialOrder {
+    /// True iff event `a` happens before event `b` (transitively).
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut reached = vec![false; self.events.len()];
+        let mut stack = vec![a];
+        while let Some(n) = stack.pop() {
+            for &(x, y) in &self.edges {
+                if x == n && !reached[y] {
+                    if y == b {
+                        return true;
+                    }
+                    reached[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// Event pairs unordered by the partial order — the concurrency the
+    /// paper's Fig. 6 depicts.
+    pub fn concurrent_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.events.len();
+        let mut pairs = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.happens_before(a, b) && !self.happens_before(b, a) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+impl fmt::Display for PartialOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            let access = match (&e.var, e.is_write) {
+                (Some(v), true) => format!("write {v}"),
+                (Some(v), false) => format!("read {v}"),
+                (None, _) => "local".to_string(),
+            };
+            writeln!(f, "e{i}: {}[{}] {access}", e.thread_name, e.index)?;
+        }
+        for &(a, b) in &self.edges {
+            writeln!(f, "e{a} -> e{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the happens-before partial order of one executed schedule
+/// (an event list from [`crate::interleave::run_schedule`]).
+pub fn happens_before(program: &Program, executed: &[(usize, usize)]) -> PartialOrder {
+    let events: Vec<Event> = executed
+        .iter()
+        .map(|&(t, i)| {
+            let instr: &Instr = &program.threads[t].instrs[i];
+            Event {
+                thread: t,
+                thread_name: program.threads[t].name.clone(),
+                index: i,
+                var: instr.shared_var().map(str::to_string),
+                is_write: instr.is_shared_write(),
+            }
+        })
+        .collect();
+
+    let mut edges = Vec::new();
+    // Program order: consecutive events of the same thread.
+    let mut last_of_thread: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let Some(&prev) = last_of_thread.get(&e.thread) {
+            edges.push((prev, i));
+        }
+        last_of_thread.insert(e.thread, i);
+    }
+    // Conflict order: same variable, at least one write, execution order.
+    for a in 0..events.len() {
+        for b in (a + 1)..events.len() {
+            let (ea, eb) = (&events[a], &events[b]);
+            if ea.thread == eb.thread {
+                continue;
+            }
+            match (&ea.var, &eb.var) {
+                (Some(va), Some(vb)) if va == vb && (ea.is_write || eb.is_write) => {
+                    edges.push((a, b));
+                }
+                _ => {}
+            }
+        }
+    }
+    PartialOrder { events, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::run_schedule;
+    use crate::program::fig8_program;
+
+    #[test]
+    fn outcome_display() {
+        let o = Outcome {
+            values: vec![("x".into(), 1), ("C.seen".into(), 2)],
+        };
+        assert_eq!(o.to_string(), "{x=1, C.seen=2}");
+    }
+
+    #[test]
+    fn fig8_schedule_partial_order() {
+        let p = fig8_program();
+        let (_, events) = run_schedule(&p, &[0, 1, 2]);
+        let po = happens_before(&p, &events);
+        assert_eq!(po.events.len(), 3);
+        // All three touch x with at least one write in each pair: total
+        // order under this schedule.
+        assert!(po.happens_before(0, 1));
+        assert!(po.happens_before(1, 2));
+        assert!(po.happens_before(0, 2));
+        assert!(!po.happens_before(2, 0));
+        assert!(po.concurrent_pairs().is_empty());
+    }
+
+    #[test]
+    fn independent_accesses_stay_concurrent() {
+        use crate::program::{Instr, Program};
+        let p = Program::new()
+            .var("x", 0)
+            .var("y", 0)
+            .thread(
+                "T1",
+                vec![Instr::Write {
+                    var: "x".into(),
+                    src: 1.into(),
+                }],
+            )
+            .thread(
+                "T2",
+                vec![Instr::Write {
+                    var: "y".into(),
+                    src: 2.into(),
+                }],
+            )
+            .observe_var("x")
+            .observe_var("y");
+        let (_, events) = run_schedule(&p, &[0, 1]);
+        let po = happens_before(&p, &events);
+        assert_eq!(po.concurrent_pairs(), vec![(0, 1)]);
+        let s = po.to_string();
+        assert!(s.contains("write x"));
+        assert!(s.contains("write y"));
+    }
+
+    #[test]
+    fn program_order_is_respected() {
+        let p = crate::program::lost_update_program();
+        let (_, events) = run_schedule(&p, &[0, 0, 0, 1, 1, 1]);
+        let po = happens_before(&p, &events);
+        // Events 0,1,2 belong to thread P in program order.
+        assert!(po.happens_before(0, 1));
+        assert!(po.happens_before(1, 2));
+        assert!(po.happens_before(0, 2));
+    }
+}

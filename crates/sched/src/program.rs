@@ -1,0 +1,272 @@
+//! Shared-variable thread programs.
+//!
+//! A deliberately small instruction set — read a shared variable into a
+//! thread-local register, write a shared variable, arithmetic on
+//! registers — is all the paper's Fig. 6/8 arguments need: races are
+//! entirely about the order of reads and writes of shared state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A data source for writes and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A constant.
+    Const(i64),
+    /// A thread-local register.
+    Reg(String),
+}
+
+impl Source {
+    /// Shorthand for a register source.
+    pub fn reg(name: impl Into<String>) -> Self {
+        Source::Reg(name.into())
+    }
+}
+
+impl From<i64> for Source {
+    fn from(v: i64) -> Self {
+        Source::Const(v)
+    }
+}
+
+/// One thread instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `reg := var` — the only way to observe shared state.
+    Read {
+        /// Shared variable.
+        var: String,
+        /// Destination register.
+        reg: String,
+    },
+    /// `var := src` — the only way to mutate shared state.
+    Write {
+        /// Shared variable.
+        var: String,
+        /// Value source.
+        src: Source,
+    },
+    /// `reg := a + b` — local computation (invisible to other threads).
+    Add {
+        /// Destination register.
+        reg: String,
+        /// Left operand.
+        a: Source,
+        /// Right operand.
+        b: Source,
+    },
+}
+
+impl Instr {
+    /// The shared variable this instruction accesses, if any.
+    pub fn shared_var(&self) -> Option<&str> {
+        match self {
+            Instr::Read { var, .. } | Instr::Write { var, .. } => Some(var),
+            Instr::Add { .. } => None,
+        }
+    }
+
+    /// True when the instruction writes shared state.
+    pub fn is_shared_write(&self) -> bool {
+        matches!(self, Instr::Write { .. })
+    }
+}
+
+/// One thread: a name and a straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSpec {
+    /// Thread name (used in events and outcomes).
+    pub name: String,
+    /// Instructions, executed in order.
+    pub instrs: Vec<Instr>,
+}
+
+/// What an [`crate::outcome::Outcome`] records.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Observable {
+    /// Final value of a shared variable.
+    Var(String),
+    /// Final value of a thread's register.
+    Reg {
+        /// Thread name.
+        thread: String,
+        /// Register name.
+        reg: String,
+    },
+}
+
+impl fmt::Display for Observable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observable::Var(v) => write!(f, "{v}"),
+            Observable::Reg { thread, reg } => write!(f, "{thread}.{reg}"),
+        }
+    }
+}
+
+/// A complete shared-variable program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Threads, in declaration order.
+    pub threads: Vec<ThreadSpec>,
+    /// Initial shared-variable values.
+    pub initial: BTreeMap<String, i64>,
+    /// What to record as the outcome of a complete execution.
+    pub observe: Vec<Observable>,
+}
+
+impl Program {
+    /// Builder-style constructor.
+    pub fn new() -> Self {
+        Program {
+            threads: Vec::new(),
+            initial: BTreeMap::new(),
+            observe: Vec::new(),
+        }
+    }
+
+    /// Declares a shared variable with its initial value.
+    pub fn var(mut self, name: impl Into<String>, initial: i64) -> Self {
+        self.initial.insert(name.into(), initial);
+        self
+    }
+
+    /// Adds a thread.
+    pub fn thread(mut self, name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            instrs,
+        });
+        self
+    }
+
+    /// Marks a shared variable as observed.
+    pub fn observe_var(mut self, name: impl Into<String>) -> Self {
+        self.observe.push(Observable::Var(name.into()));
+        self
+    }
+
+    /// Marks a thread register as observed.
+    pub fn observe_reg(mut self, thread: impl Into<String>, reg: impl Into<String>) -> Self {
+        self.observe.push(Observable::Reg {
+            thread: thread.into(),
+            reg: reg.into(),
+        });
+        self
+    }
+
+    /// Total instruction count across threads.
+    pub fn total_instrs(&self) -> usize {
+        self.threads.iter().map(|t| t.instrs.len()).sum()
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new()
+    }
+}
+
+/// The paper's Fig. 8 program: threads A and B write `x`, thread C reads
+/// it; the observation is what C saw. This mirrors the
+/// `jtlang::corpus::RACY_THREADS` JT source, flattened to shared-variable
+/// operations.
+pub fn fig8_program() -> Program {
+    Program::new()
+        .var("x", 0)
+        .thread(
+            "A",
+            vec![Instr::Write {
+                var: "x".into(),
+                src: Source::Const(1),
+            }],
+        )
+        .thread(
+            "B",
+            vec![Instr::Write {
+                var: "x".into(),
+                src: Source::Const(2),
+            }],
+        )
+        .thread(
+            "C",
+            vec![Instr::Read {
+                var: "x".into(),
+                reg: "seen".into(),
+            }],
+        )
+        .observe_reg("C", "seen")
+}
+
+/// A classic lost-update race: two threads each increment `n` once via a
+/// read-add-write sequence. The final value of `n` is 2 when the updates
+/// are serialized, 1 when they interleave.
+pub fn lost_update_program() -> Program {
+    let incr = || {
+        vec![
+            Instr::Read {
+                var: "n".into(),
+                reg: "tmp".into(),
+            },
+            Instr::Add {
+                reg: "tmp".into(),
+                a: Source::reg("tmp"),
+                b: Source::Const(1),
+            },
+            Instr::Write {
+                var: "n".into(),
+                src: Source::reg("tmp"),
+            },
+        ]
+    };
+    Program::new()
+        .var("n", 0)
+        .thread("P", incr())
+        .thread("Q", incr())
+        .observe_var("n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_programs() {
+        let p = fig8_program();
+        assert_eq!(p.threads.len(), 3);
+        assert_eq!(p.total_instrs(), 3);
+        assert_eq!(p.initial["x"], 0);
+        assert_eq!(p.observe.len(), 1);
+        assert_eq!(p.observe[0].to_string(), "C.seen");
+    }
+
+    #[test]
+    fn instr_classification() {
+        let w = Instr::Write {
+            var: "x".into(),
+            src: 1.into(),
+        };
+        let r = Instr::Read {
+            var: "x".into(),
+            reg: "t".into(),
+        };
+        let a = Instr::Add {
+            reg: "t".into(),
+            a: Source::reg("t"),
+            b: 1.into(),
+        };
+        assert!(w.is_shared_write());
+        assert!(!r.is_shared_write());
+        assert_eq!(w.shared_var(), Some("x"));
+        assert_eq!(r.shared_var(), Some("x"));
+        assert_eq!(a.shared_var(), None);
+    }
+
+    #[test]
+    fn default_program_is_empty() {
+        let p = Program::default();
+        assert!(p.threads.is_empty());
+        assert_eq!(p.total_instrs(), 0);
+    }
+}

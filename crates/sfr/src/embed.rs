@@ -1,0 +1,320 @@
+//! Embedding: a policy-compliant JT class becomes an ASR block.
+//!
+//! This is the payoff of refinement: "Because S′ is constructed to be
+//! compatible with T, P′ corresponds to a system in T" (paper §2). A
+//! compliant class extending `ASR` is wrapped as an executable
+//! [`asr::block::Block`]: each enclosing instant presents the block's
+//! inputs on the class's ports, invokes `run` once, and forwards the
+//! written outputs. From the environment's point of view, the Java object
+//! "looks like a black box" (§4.2) — exactly a functional block.
+//!
+//! The block is *strict* and stateful-in-tick, mirroring
+//! [`asr::hierarchy::TemporalComposite`]: `eval` runs the reaction
+//! speculatively against a cached result, `tick` commits it. Since a
+//! compliant program has deterministic, terminating reactions, one `run`
+//! per instant suffices.
+
+use crate::extension::{self, AsrInterface};
+use crate::policy::Policy;
+use crate::violation::Violation;
+use asr::block::{Block, BlockError};
+use asr::value::{Datum, Value};
+use jtvm::engine::Engine;
+use jtvm::io::PortDatum;
+use jtvm::value::RtValue;
+use jtvm::vm::CompiledVm;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Error constructing an embedded block.
+#[derive(Debug)]
+pub enum EmbedError {
+    /// The program failed the front end.
+    Frontend(String),
+    /// The program violates the policy of use; refine it first.
+    NotCompliant(Vec<Violation>),
+    /// The class does not satisfy the ASR extension contract.
+    Contract(extension::ContractError),
+    /// The engine could not be built or initialized.
+    Engine(String),
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::Frontend(e) => write!(f, "front-end error: {e}"),
+            EmbedError::NotCompliant(vs) => {
+                write!(f, "program violates the policy of use ({} violations; ", vs.len())?;
+                write!(f, "refine it first): ")?;
+                for v in vs.iter().take(3) {
+                    write!(f, "[{}] {}; ", v.rule, v.message)?;
+                }
+                Ok(())
+            }
+            EmbedError::Contract(e) => write!(f, "ASR contract violation: {e}"),
+            EmbedError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// A compliant JT class running as an ASR functional block.
+pub struct JtBlock {
+    name: String,
+    interface: AsrInterface,
+    engine: RefCell<CompiledVm>,
+    /// Cached `(inputs, outputs)` of the current instant's reaction.
+    cache: RefCell<Option<(Vec<Value>, Vec<Value>)>>,
+}
+
+impl fmt::Debug for JtBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JtBlock")
+            .field("name", &self.name)
+            .field("inputs", &self.interface.inputs)
+            .field("outputs", &self.interface.outputs)
+            .finish()
+    }
+}
+
+impl JtBlock {
+    /// The inferred port interface.
+    pub fn interface(&self) -> AsrInterface {
+        self.interface
+    }
+}
+
+/// Verifies compliance and the ASR contract, then wraps `class` (with
+/// constructor arguments `ctor_args`) as a block.
+///
+/// # Errors
+///
+/// See [`EmbedError`]. The policy checked is the stock ASR policy.
+pub fn embed(source: &str, class: &str, ctor_args: &[i64]) -> Result<JtBlock, EmbedError> {
+    let program = jtlang::check_source(source).map_err(EmbedError::Frontend)?;
+    let table = jtlang::resolve::resolve(&program)
+        .map_err(|e| EmbedError::Frontend(e.to_string()))?;
+    let violations = Policy::asr().check(&program, &table);
+    if !violations.is_empty() {
+        return Err(EmbedError::NotCompliant(violations));
+    }
+    let interface =
+        extension::verify(&program, &table, class).map_err(EmbedError::Contract)?;
+    let mut engine =
+        CompiledVm::new(program, class).map_err(|e| EmbedError::Engine(e.to_string()))?;
+    let args: Vec<RtValue> = ctor_args.iter().map(|&v| RtValue::Int(v)).collect();
+    engine
+        .initialize(&args)
+        .map_err(|e| EmbedError::Engine(e.to_string()))?;
+    // A compliant program allocates only during initialization; enforce
+    // that from here on.
+    engine.freeze_heap();
+    Ok(JtBlock {
+        name: class.to_string(),
+        interface,
+        engine: RefCell::new(engine),
+        cache: RefCell::new(None),
+    })
+}
+
+fn to_port_datum(v: &Value) -> Result<PortDatum, BlockError> {
+    match v.datum() {
+        Some(Datum::Int(i)) => Ok(PortDatum::Int(*i)),
+        Some(Datum::Vec(vec)) => Ok(PortDatum::Vec(vec.clone())),
+        Some(Datum::Bool(b)) => Ok(PortDatum::Int(i64::from(*b))),
+        None => Err(BlockError::new("port value must be present")),
+    }
+}
+
+fn from_port_datum(d: &Option<PortDatum>) -> Value {
+    match d {
+        None => Value::Absent,
+        Some(PortDatum::Int(i)) => Value::int(*i),
+        Some(PortDatum::Vec(v)) => Value::vec(v.clone()),
+    }
+}
+
+impl JtBlock {
+    fn react(&self, inputs: &[Value]) -> Result<Vec<Value>, BlockError> {
+        let port_inputs: Vec<PortDatum> = inputs
+            .iter()
+            .map(to_port_datum)
+            .collect::<Result<_, _>>()?;
+        let mut engine = self.engine.borrow_mut();
+        let outs = engine
+            .react(&port_inputs)
+            .map_err(|e| BlockError::new(e.to_string()))?;
+        let mut values: Vec<Value> = outs.iter().map(from_port_datum).collect();
+        values.resize(self.interface.outputs, Value::Absent);
+        values.truncate(self.interface.outputs.max(values.len()));
+        Ok(values)
+    }
+}
+
+impl Block for JtBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        self.interface.inputs
+    }
+
+    fn output_arity(&self) -> usize {
+        self.interface.outputs
+    }
+
+    fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
+        if inputs.iter().any(Value::is_unknown) {
+            return Ok(()); // strict: wait for all inputs
+        }
+        if inputs.contains(&Value::Absent) {
+            outputs.fill(Value::Absent);
+            return Ok(());
+        }
+        // The reaction advances engine state, so run it once per instant
+        // and serve repeats from the cache; inputs cannot change once
+        // known within an instant.
+        let mut cache = self.cache.borrow_mut();
+        let result = match cache.as_ref() {
+            Some((cached_in, cached_out)) if cached_in == inputs => cached_out.clone(),
+            Some(_) => {
+                return Err(BlockError::new(
+                    "inputs changed after a reaction was computed within one instant",
+                ))
+            }
+            None => {
+                let outs = self.react(inputs)?;
+                *cache = Some((inputs.to_vec(), outs.clone()));
+                outs
+            }
+        };
+        for (o, v) in outputs.iter_mut().zip(result) {
+            *o = v;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
+        // Commit: ensure the reaction ran (it may not have, if inputs
+        // stayed ⊥ or absent all instant), then clear the instant cache.
+        let cache_filled = self.cache.borrow().is_some();
+        if !cache_filled
+            && inputs.iter().all(Value::is_known)
+            && !inputs.contains(&Value::Absent)
+        {
+            let outs = self.react(inputs)?;
+            *self.cache.borrow_mut() = Some((inputs.to_vec(), outs));
+        }
+        self.cache.borrow_mut().take();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr::prelude::*;
+
+    #[test]
+    fn counter_embeds_and_counts() {
+        let block = embed(jtlang::corpus::COUNTER, "Counter", &[10]).unwrap();
+        assert_eq!(block.interface(), AsrInterface { inputs: 1, outputs: 1 });
+        assert_eq!(block.input_arity(), 1);
+        assert_eq!(block.name(), "Counter");
+        assert!(format!("{block:?}").contains("Counter"));
+
+        let mut b = SystemBuilder::new("sys");
+        let x = b.add_input("x");
+        let c = b.add_block(block);
+        let o = b.add_output("count");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut sys = b.build().unwrap();
+        let outs: Vec<Value> = (0..4)
+            .map(|_| sys.react(&[Value::int(4)]).unwrap()[0].clone())
+            .collect();
+        assert_eq!(
+            outs,
+            vec![Value::int(4), Value::int(8), Value::int(10), Value::int(10)]
+        );
+    }
+
+    #[test]
+    fn fir_embeds_into_a_pipeline_with_native_blocks() {
+        let fir = embed(jtlang::corpus::FIR_FILTER, "Fir", &[]).unwrap();
+        let mut b = SystemBuilder::new("pipeline");
+        let x = b.add_input("x");
+        let g = b.add_block(asr::stock::gain("pre", 8));
+        let f = b.add_block(fir);
+        let o = b.add_output("y");
+        b.connect(Source::ext(x), Sink::block(g, 0)).unwrap();
+        b.connect(Source::block(g, 0), Sink::block(f, 0)).unwrap();
+        b.connect(Source::block(f, 0), Sink::ext(o)).unwrap();
+        let mut sys = b.build().unwrap();
+        // Step response through gain 8: FIR outputs 1, 4, 7, 8, 8…
+        let outs: Vec<i64> = (0..5)
+            .map(|_| sys.react(&[Value::int(1)]).unwrap()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(outs, vec![1, 4, 7, 8, 8]);
+    }
+
+    #[test]
+    fn noncompliant_program_is_rejected() {
+        let err = embed(jtlang::corpus::UNRESTRICTED_AVG, "Avg", &[]).unwrap_err();
+        match err {
+            EmbedError::NotCompliant(vs) => assert!(!vs.is_empty()),
+            other => panic!("expected NotCompliant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn embedded_block_is_deterministic_across_strategies() {
+        let build = |strategy| {
+            let block = embed(jtlang::corpus::TRAFFIC_LIGHT, "TrafficLight", &[]).unwrap();
+            let mut b = SystemBuilder::new("tl");
+            let x = b.add_input("car");
+            let t = b.add_block(block);
+            let o = b.add_output("state");
+            b.connect(Source::ext(x), Sink::block(t, 0)).unwrap();
+            b.connect(Source::block(t, 0), Sink::ext(o)).unwrap();
+            let mut sys = b.build().unwrap();
+            sys.set_strategy(strategy);
+            sys
+        };
+        let mut a = build(Strategy::Chaotic);
+        let mut b = build(Strategy::Worklist);
+        for t in 0..12 {
+            let car = Value::int(i64::from(t % 3 == 0));
+            assert_eq!(
+                a.react(std::slice::from_ref(&car)).unwrap(),
+                b.react(&[car]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn frontend_and_engine_errors_are_distinguished() {
+        assert!(matches!(
+            embed("class {", "A", &[]),
+            Err(EmbedError::Frontend(_))
+        ));
+        // Compliant program but wrong class name.
+        assert!(matches!(
+            embed(jtlang::corpus::COUNTER, "Nope", &[]),
+            Err(EmbedError::Contract(_))
+        ));
+    }
+
+    #[test]
+    fn embedded_block_respects_absent_inputs() {
+        let block = embed(jtlang::corpus::COUNTER, "Counter", &[5]).unwrap();
+        let mut out = vec![Value::Unknown];
+        block.eval(&[Value::Absent], &mut out).unwrap();
+        assert_eq!(out[0], Value::Absent);
+        let mut out2 = vec![Value::Unknown];
+        block.eval(&[Value::Unknown], &mut out2).unwrap();
+        assert_eq!(out2[0], Value::Unknown);
+    }
+}

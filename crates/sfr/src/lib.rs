@@ -1,0 +1,57 @@
+//! # `sfr` — Successive, Formal Refinement
+//!
+//! The primary contribution of the paper: a methodology that takes a
+//! program written in a general-purpose language (here [`jtlang`]'s JT)
+//! and incrementally refines it until it complies with a **policy of
+//! use** — restrictions and extensions that make the program expressible
+//! in a target model of computation (here the [`asr`] model).
+//!
+//! The crate is organised around the paper's own vocabulary:
+//!
+//! * [`policy`] — the [`policy::Rule`] trait and the stock
+//!   [`policy::Policy::asr`] policy of use with the restrictions of §4.3
+//!   (R1 no `while`/`do-while`, R2 calculable `for` bounds with an
+//!   unmodified induction variable, R3 no circular method invocation, R4
+//!   allocation only during initialization, R5 private state, R6 no
+//!   threads, R7 no indefinite suspension, R8 no finalizers, R9 the ASR
+//!   class structure of §4.2),
+//! * [`violation`] — diagnostics with spans, explanations, and suggested
+//!   fixes,
+//! * [`transform`] — automated program transformations, each paired with
+//!   the rule it discharges,
+//! * [`session`] — the interactive loop of Fig. 2: analyze, present
+//!   violations, apply transformations (manually chosen or automatic),
+//!   repeat until the program lies inside S′,
+//! * [`extension`] — verification of the class-library *extension*
+//!   contract (the `ASR` base class of §4.2, Fig. 7) and inference of a
+//!   block's port interface,
+//! * [`embed`] — the payoff: a compliant JT class becomes an executable
+//!   [`asr::block::Block`], demonstrating that P′ corresponds to a system
+//!   in the target model T.
+//!
+//! ```
+//! use sfr::policy::Policy;
+//! use sfr::session::RefinementSession;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The corpus counter is already compliant…
+//! let session = RefinementSession::from_source(jtlang::corpus::COUNTER, Policy::asr())?;
+//! assert!(session.check().is_empty());
+//!
+//! // …the unrestricted average is not, but automatic refinement fixes
+//! // what it can.
+//! let mut session = RefinementSession::from_source(jtlang::corpus::UNRESTRICTED_AVG, Policy::asr())?;
+//! assert!(!session.check().is_empty());
+//! let report = session.refine_automatically(10)?;
+//! assert!(report.trajectory.windows(2).all(|w| w[1] <= w[0]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod embed;
+pub mod extension;
+pub mod policy;
+pub mod session;
+pub mod threadmodel;
+pub mod transform;
+pub mod violation;

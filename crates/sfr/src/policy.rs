@@ -1,0 +1,721 @@
+//! The policy-of-use framework and the stock ASR policy.
+//!
+//! "A policy of use consists of restrictions and extensions. The
+//! restrictions remove portions of S incompatible with T, while the
+//! extensions introduce semantics present in T that have no equivalent in
+//! S" (paper §2). Restrictions live here as [`Rule`]s; the extension —
+//! the `ASR` base-class contract — is verified by [`crate::extension`]
+//! and surfaced as rule R9.
+//!
+//! Rules are conservative by design, exactly as the paper concedes:
+//! "there are programs that violate our restrictions, but are expressible
+//! as ASR systems" (§4.3).
+
+use crate::extension;
+use crate::violation::{Fix, Violation};
+use jtanalysis::{alloc, blocking, callgraph, loops, threads, visibility};
+use jtlang::ast::Program;
+use jtlang::resolve::ClassTable;
+use jtlang::token::Span;
+
+/// Everything a rule may inspect: the program, its class table, and the
+/// shared analysis results (computed once per check).
+pub struct AnalysisContext<'a> {
+    /// The program under analysis.
+    pub program: &'a Program,
+    /// Its resolved class table.
+    pub table: &'a ClassTable,
+    /// Call graph.
+    pub callgraph: callgraph::CallGraph,
+    /// Loop analysis.
+    pub loops: Vec<loops::LoopInfo>,
+    /// Allocation analysis.
+    pub alloc: alloc::AllocReport,
+    /// Exposed-state analysis.
+    pub exposed: Vec<visibility::ExposedField>,
+    /// Thread-usage analysis.
+    pub threads: Vec<threads::ThreadUse>,
+    /// Blocking-call analysis.
+    pub blocking: Vec<blocking::BlockingCall>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Runs every analysis once.
+    pub fn new(program: &'a Program, table: &'a ClassTable) -> Self {
+        let graph = callgraph::build(program, table);
+        AnalysisContext {
+            alloc: alloc::analyze_with_graph(program, table, &graph),
+            callgraph: graph,
+            loops: loops::analyze(program),
+            exposed: visibility::analyze(program),
+            threads: threads::analyze(program, table),
+            blocking: blocking::analyze(program, table),
+            program,
+            table,
+        }
+    }
+
+    fn class_of_method(&self, m: &jtanalysis::MethodRef) -> String {
+        m.class.clone()
+    }
+}
+
+/// One restriction of a policy of use.
+pub trait Rule {
+    /// Stable identifier (`R1` …).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+
+    /// Checks the rule, returning all violations.
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation>;
+}
+
+/// An ordered set of rules: the policy of use for one target model.
+pub struct Policy {
+    name: String,
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Policy {
+    /// An empty policy with the given name (add rules with
+    /// [`Policy::with_rule`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        Policy {
+            name: name.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: impl Rule + 'static) -> Self {
+        self.rules.push(Box::new(rule));
+        self
+    }
+
+    /// The policy's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rules, in order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(AsRef::as_ref)
+    }
+
+    /// The full ASR policy of use from the paper's §4.2–4.3.
+    pub fn asr() -> Policy {
+        Policy::new("ASR")
+            .with_rule(NoWhileLoops)
+            .with_rule(BoundedForLoops)
+            .with_rule(NoRecursion)
+            .with_rule(InitOnlyAllocation)
+            .with_rule(PrivateState)
+            .with_rule(NoThreads)
+            .with_rule(NoBlocking)
+            .with_rule(NoFinalizers)
+            .with_rule(AsrStructure)
+    }
+
+    /// A policy of use for a synchronous-dataflow-style target — the
+    /// paper's future work ("policies of use will be developed for
+    /// additional models of computation", §6), demonstrating that SFR is
+    /// parameterized by the target model.
+    ///
+    /// Dataflow actors need bounded firings (R1–R3, R7) and a single
+    /// well-defined lifecycle (R8, no threads R6), but token storage is
+    /// managed by the dataflow scheduler, so run-phase allocation (R4)
+    /// and state privacy (R5) are not load-bearing, and no `ASR` base
+    /// class is involved (R9).
+    pub fn sdf() -> Policy {
+        Policy::new("SDF")
+            .with_rule(NoWhileLoops)
+            .with_rule(BoundedForLoops)
+            .with_rule(NoRecursion)
+            .with_rule(NoThreads)
+            .with_rule(NoBlocking)
+            .with_rule(NoFinalizers)
+    }
+
+    /// Checks every rule against `program`.
+    pub fn check(&self, program: &Program, table: &ClassTable) -> Vec<Violation> {
+        let cx = AnalysisContext::new(program, table);
+        self.check_with_context(&cx)
+    }
+
+    /// Checks every rule against a prepared context.
+    pub fn check_with_context(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        self.rules.iter().flat_map(|r| r.check(cx)).collect()
+    }
+}
+
+impl std::fmt::Debug for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Policy")
+            .field("name", &self.name)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+/// R1: `while` and `do-while` loops may not be used (paper §4.3).
+pub struct NoWhileLoops;
+
+impl Rule for NoWhileLoops {
+    fn id(&self) -> &'static str {
+        "R1"
+    }
+
+    fn title(&self) -> &'static str {
+        "no while or do-while loops"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.loops
+            .iter()
+            .filter(|l| matches!(l.kind, loops::LoopKind::While | loops::LoopKind::DoWhile))
+            .map(|l| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "`{}` loop in {} cannot be proven to terminate",
+                    if l.kind == loops::LoopKind::While {
+                        "while"
+                    } else {
+                        "do-while"
+                    },
+                    l.method
+                ),
+                span: l.span,
+                class: cx.class_of_method(&l.method),
+                fix: Fix::Automated {
+                    transform: "while-to-for",
+                    description: "rewrite as a capped `for` loop with an early break \
+                                  (you confirm the iteration cap)"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R2: `for` loops need calculable bounds and an unmodified induction
+/// variable (paper §4.3).
+pub struct BoundedForLoops;
+
+impl Rule for BoundedForLoops {
+    fn id(&self) -> &'static str {
+        "R2"
+    }
+
+    fn title(&self) -> &'static str {
+        "for-loop bounds must be calculable"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.loops
+            .iter()
+            .filter_map(|l| match &l.bound {
+                Some(loops::BoundStatus::NotCalculable { reason }) => Some(Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message: format!("`for` loop in {}: {reason}", l.method),
+                    span: l.span,
+                    class: cx.class_of_method(&l.method),
+                    fix: Fix::Automated {
+                        transform: "for-to-capped-for",
+                        description: "rewrite as a capped `for` loop preserving the original \
+                                      condition as a break (you confirm the iteration cap)"
+                            .to_string(),
+                    },
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// R3: circular method invocations are not allowed (paper §4.3).
+pub struct NoRecursion;
+
+impl Rule for NoRecursion {
+    fn id(&self) -> &'static str {
+        "R3"
+    }
+
+    fn title(&self) -> &'static str {
+        "no circular method invocation"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.callgraph
+            .recursive_cycles()
+            .into_iter()
+            .map(|cycle| {
+                let names: Vec<String> = cycle.iter().map(ToString::to_string).collect();
+                Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message: format!("call cycle: {}", names.join(" -> ")),
+                    span: Span::default(),
+                    class: cycle[0].class.clone(),
+                    fix: Fix::Manual {
+                        guidance: "replace the recursion with an explicitly bounded \
+                                   iteration (the equivalent loop must satisfy R2)"
+                            .to_string(),
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// R4: objects may be instantiated only during initialization (paper
+/// §4.3); linked structures should be eliminated.
+pub struct InitOnlyAllocation;
+
+impl Rule for InitOnlyAllocation {
+    fn id(&self) -> &'static str {
+        "R4"
+    }
+
+    fn title(&self) -> &'static str {
+        "allocation only during initialization"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        let mut violations: Vec<Violation> = cx
+            .alloc
+            .run_phase_sites()
+            .map(|site| {
+                let hoistable = matches!(
+                    &site.kind,
+                    alloc::AllocKind::Array {
+                        const_len: Some(_),
+                        ..
+                    }
+                );
+                Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message: format!(
+                        "`new` reachable from the run phase in {} ({})",
+                        site.method,
+                        match &site.kind {
+                            alloc::AllocKind::Object { class } => format!("object `{class}`"),
+                            alloc::AllocKind::Array {
+                                const_len: Some(n), ..
+                            } => format!("array of constant length {n}"),
+                            alloc::AllocKind::Array { .. } =>
+                                "array of non-constant length".to_string(),
+                        }
+                    ),
+                    span: site.span,
+                    class: site.method.class.clone(),
+                    fix: if hoistable {
+                        Fix::Automated {
+                            transform: "hoist-allocation",
+                            description: "preallocate the buffer as a private field in the \
+                                          constructor and reuse it each reaction"
+                                .to_string(),
+                        }
+                    } else {
+                        Fix::Manual {
+                            guidance: "replace the dynamic structure with a statically \
+                                       allocated one sized for the worst case"
+                                .to_string(),
+                        }
+                    },
+                }
+            })
+            .collect();
+        for class in &cx.alloc.linked_classes {
+            violations.push(Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "class `{class}` forms a linked structure (reference cycle in its \
+                     field types)"
+                ),
+                span: cx
+                    .program
+                    .class(class)
+                    .map(|c| c.span)
+                    .unwrap_or_default(),
+                class: class.clone(),
+                fix: Fix::Manual {
+                    guidance: "replace the linked structure with a statically allocated \
+                               array sized for the worst case"
+                        .to_string(),
+                },
+            });
+        }
+        violations
+    }
+}
+
+/// R5: an object's variables must be private (paper §4.3).
+pub struct PrivateState;
+
+impl Rule for PrivateState {
+    fn id(&self) -> &'static str {
+        "R5"
+    }
+
+    fn title(&self) -> &'static str {
+        "object state must be private"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.exposed
+            .iter()
+            .map(|e| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "field `{}` of `{}` is {} — external modification or observation of \
+                     state undermines encapsulation",
+                    e.field,
+                    e.class,
+                    if e.visibility == jtlang::ast::Visibility::Package {
+                        "package-visible".to_string()
+                    } else {
+                        e.visibility.to_string()
+                    }
+                ),
+                span: e.span,
+                class: e.class.clone(),
+                fix: Fix::Automated {
+                    transform: "privatize-fields",
+                    description: "declare the field private (rejected if another class \
+                                  accesses it)"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R6: direct use of threads is prohibited (paper §4.3, Fig. 8).
+pub struct NoThreads;
+
+impl Rule for NoThreads {
+    fn id(&self) -> &'static str {
+        "R6"
+    }
+
+    fn title(&self) -> &'static str {
+        "no direct thread use"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.threads
+            .iter()
+            .map(|u| {
+                let (message, class) = match &u.kind {
+                    threads::ThreadUseKind::ExtendsThread { class } => (
+                        format!("class `{class}` extends Thread"),
+                        class.clone(),
+                    ),
+                    threads::ThreadUseKind::NewThread { class } => (
+                        format!(
+                            "thread object `{class}` instantiated in {}",
+                            u.method.as_ref().map(ToString::to_string).unwrap_or_default()
+                        ),
+                        u.method.as_ref().map(|m| m.class.clone()).unwrap_or_default(),
+                    ),
+                    threads::ThreadUseKind::LifecycleCall { method } => (
+                        format!(
+                            "thread lifecycle call `{method}` in {}",
+                            u.method.as_ref().map(ToString::to_string).unwrap_or_default()
+                        ),
+                        u.method.as_ref().map(|m| m.class.clone()).unwrap_or_default(),
+                    ),
+                };
+                Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message,
+                    span: u.span,
+                    class,
+                    fix: Fix::Manual {
+                        guidance: "obtain concurrency by specifying separate ASR functional \
+                                   blocks connected by channels; thread interleaving is \
+                                   nondeterministic (see the sched crate's Fig. 8 \
+                                   demonstration)"
+                            .to_string(),
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// R7: no methods that may halt or indefinitely suspend execution
+/// (paper §4.3).
+pub struct NoBlocking;
+
+impl Rule for NoBlocking {
+    fn id(&self) -> &'static str {
+        "R7"
+    }
+
+    fn title(&self) -> &'static str {
+        "no indefinite suspension"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.blocking
+            .iter()
+            .map(|c| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!("call to `{}` in {} may suspend indefinitely", c.callee, c.method),
+                span: c.span,
+                class: c.method.class.clone(),
+                fix: Fix::Automated {
+                    transform: "strip-blocking-calls",
+                    description: "delete the blocking call statement; reactive timing comes \
+                                  from the instant structure, not from suspension"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R8: finalization is disallowed — it would represent destruction of
+/// the system (paper §4).
+pub struct NoFinalizers;
+
+impl Rule for NoFinalizers {
+    fn id(&self) -> &'static str {
+        "R8"
+    }
+
+    fn title(&self) -> &'static str {
+        "no finalizers"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.program
+            .classes
+            .iter()
+            .flat_map(|c| c.methods.iter().map(move |m| (c, m)))
+            .filter(|(_, m)| m.name == "finalize")
+            .map(|(c, m)| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!("`{}` declares a finalizer", c.name),
+                span: m.span,
+                class: c.name.clone(),
+                fix: Fix::Automated {
+                    transform: "remove-finalizers",
+                    description: "delete the finalize method; an embedded system is never \
+                                  destroyed"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R9: the specification must be structured as the ASR extension
+/// prescribes — a class extending `ASR` whose `run` method defines the
+/// behaviour (paper §4.2, Fig. 7).
+pub struct AsrStructure;
+
+impl Rule for AsrStructure {
+    fn id(&self) -> &'static str {
+        "R9"
+    }
+
+    fn title(&self) -> &'static str {
+        "specification must extend ASR and define run()"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut found_entry = false;
+        for class in &cx.program.classes {
+            if !cx.table.is_subclass_of(&class.name, "ASR") {
+                continue;
+            }
+            match extension::verify(cx.program, cx.table, &class.name) {
+                Ok(_) => found_entry = true,
+                Err(e) => violations.push(Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message: format!("`{}` violates the ASR contract: {e}", class.name),
+                    span: class.span,
+                    class: class.name.clone(),
+                    fix: Fix::Manual {
+                        guidance: "give the class a void run() with no parameters and use \
+                                   constant port indices in read/write calls"
+                            .to_string(),
+                    },
+                }),
+            }
+        }
+        if !found_entry && violations.is_empty() {
+            violations.push(Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: "no class extends ASR; the design has no specification entry point"
+                    .to_string(),
+                span: Span::default(),
+                class: String::new(),
+                fix: Fix::Manual {
+                    guidance: "encapsulate the design in a class extending ASR (Fig. 7)"
+                        .to_string(),
+                },
+            });
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtanalysis::frontend;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        let (p, t) = frontend(src).unwrap();
+        Policy::asr().check(&p, &t)
+    }
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = violations(src).iter().map(|v| v.rule).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn compliant_corpus_samples_pass() {
+        for s in jtlang::corpus::samples().iter().filter(|s| s.compliant) {
+            let v = violations(s.source);
+            assert!(v.is_empty(), "sample `{}` flagged: {v:?}", s.name);
+        }
+    }
+
+    #[test]
+    fn noncompliant_corpus_samples_fail() {
+        for s in jtlang::corpus::samples().iter().filter(|s| !s.compliant) {
+            assert!(
+                !violations(s.source).is_empty(),
+                "sample `{}` unexpectedly passed",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn unrestricted_avg_hits_r1_r4_r5() {
+        let ids = rules_hit(jtlang::corpus::UNRESTRICTED_AVG);
+        assert!(ids.contains(&"R1"), "{ids:?}");
+        assert!(ids.contains(&"R4"), "{ids:?}");
+        assert!(ids.contains(&"R5"), "{ids:?}");
+    }
+
+    #[test]
+    fn linked_queue_hits_r1_and_r4() {
+        let ids = rules_hit(jtlang::corpus::LINKED_QUEUE);
+        assert!(ids.contains(&"R1"), "do-while: {ids:?}");
+        assert!(ids.contains(&"R4"), "run-phase new + linked: {ids:?}");
+    }
+
+    #[test]
+    fn racy_threads_hits_r6_and_r9() {
+        let ids = rules_hit(jtlang::corpus::RACY_THREADS);
+        assert!(ids.contains(&"R6"), "{ids:?}");
+        assert!(ids.contains(&"R9"), "no ASR entry point: {ids:?}");
+        assert!(ids.contains(&"R5"), "shared public x: {ids:?}");
+    }
+
+    #[test]
+    fn recursive_blocking_hits_r3_and_r7() {
+        let ids = rules_hit(jtlang::corpus::RECURSIVE_BLOCKING);
+        assert!(ids.contains(&"R3"), "{ids:?}");
+        assert!(ids.contains(&"R7"), "{ids:?}");
+    }
+
+    #[test]
+    fn unbounded_for_hits_r2() {
+        let ids = rules_hit(
+            "class A extends ASR {
+                 A() {}
+                 public void run() {
+                     int n = read(0);
+                     int s = 0;
+                     for (int i = 0; i < n; i++) { s += i; }
+                     write(0, s);
+                 }
+             }",
+        );
+        assert_eq!(ids, vec!["R2"]);
+    }
+
+    #[test]
+    fn finalizer_hits_r8() {
+        let ids = rules_hit(
+            "class A extends ASR {
+                 A() {}
+                 public void run() { write(0, read(0)); }
+                 void finalize() {}
+             }",
+        );
+        assert_eq!(ids, vec!["R8"]);
+    }
+
+    #[test]
+    fn missing_asr_class_hits_r9() {
+        let ids = rules_hit("class A { void m() {} }");
+        assert_eq!(ids, vec!["R9"]);
+    }
+
+    #[test]
+    fn sdf_policy_is_a_strict_relaxation() {
+        // Programs that only violate R4/R5/R9 are inside the SDF policy's
+        // S′ but outside the ASR one.
+        let (p, t) = frontend(
+            "class Actor {
+                 public int tokens;
+                 void fire() {
+                     int[] batch = new int[tokens + 1];
+                     for (int i = 0; i < batch.length; i++) { batch[i] = i; }
+                     tokens = batch.length;
+                 }
+             }",
+        )
+        .unwrap();
+        assert!(Policy::sdf().check(&p, &t).is_empty());
+        assert!(!Policy::asr().check(&p, &t).is_empty());
+
+        // While loops are outside both.
+        let (p, t) = frontend("class A { void m() { while (true) {} } }").unwrap();
+        assert!(!Policy::sdf().check(&p, &t).is_empty());
+
+        // Every SDF violation is also an ASR violation on the corpus.
+        for s in jtlang::corpus::samples() {
+            let (p, t) = frontend(s.source).unwrap();
+            let sdf: Vec<_> = Policy::sdf().check(&p, &t);
+            let asr_count = Policy::asr().check(&p, &t).len();
+            assert!(sdf.len() <= asr_count, "sample `{}`", s.name);
+        }
+    }
+
+    #[test]
+    fn rule_metadata_is_stable() {
+        let policy = Policy::asr();
+        let ids: Vec<&str> = policy.rules().map(Rule::id).collect();
+        assert_eq!(
+            ids,
+            vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
+        );
+        assert_eq!(policy.name(), "ASR");
+        assert!(format!("{policy:?}").contains("ASR"));
+    }
+}

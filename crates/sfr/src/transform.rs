@@ -1,0 +1,1003 @@
+//! Automated program transformations.
+//!
+//! SFR "transformations are used to restrict and alter a program's
+//! semantics" (paper §2) — unlike classic semantics-preserving
+//! refactoring, a refinement step may narrow behaviour, and the user
+//! confirms each step (the "incremental, user-guided program
+//! transformation" of the abstract). Each [`Transform`] here is paired
+//! with the policy rule it discharges; [`stock_transforms`] is the
+//! registry the [`crate::session::RefinementSession`] consults.
+//!
+//! Transforms mutate the AST with placeholder node ids and spans; callers
+//! re-number by running [`normalize`] (print, re-parse, re-check), which
+//! the refinement session does automatically after every application.
+
+use jtlang::ast::*;
+use jtlang::token::Span;
+use std::fmt;
+
+/// Result of applying a transform.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransformOutcome {
+    /// True when the program changed.
+    pub changed: bool,
+    /// Human-readable notes (sites rewritten, sites skipped and why).
+    pub notes: Vec<String>,
+}
+
+/// Error applying a transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// An automated refinement step.
+pub trait Transform {
+    /// Registry name (referenced by violation fixes).
+    fn name(&self) -> &'static str;
+
+    /// What the transform does.
+    fn description(&self) -> &'static str;
+
+    /// The policy rule this transform discharges.
+    fn rule(&self) -> &'static str;
+
+    /// Applies the transform in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError`] when the program is in a state the
+    /// transform cannot handle.
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError>;
+}
+
+/// All stock transforms, in suggestion priority order.
+pub fn stock_transforms() -> Vec<Box<dyn Transform>> {
+    vec![
+        Box::new(WhileToFor::default()),
+        Box::new(ForToCappedFor::default()),
+        Box::new(HoistAllocation),
+        Box::new(PrivatizeFields),
+        Box::new(StripBlockingCalls),
+        Box::new(RemoveFinalizers),
+    ]
+}
+
+/// Finds a stock transform by name.
+pub fn stock_transform(name: &str) -> Option<Box<dyn Transform>> {
+    stock_transforms().into_iter().find(|t| t.name() == name)
+}
+
+/// Re-numbers node ids and re-checks a transformed program by printing
+/// and re-parsing it.
+///
+/// # Errors
+///
+/// Returns a [`TransformError`] when the transformed program no longer
+/// parses or type-checks — which would indicate a transform bug.
+pub fn normalize(program: &Program) -> Result<Program, TransformError> {
+    let source = jtlang::pretty::print_program(program);
+    jtlang::check_source(&source).map_err(|e| TransformError {
+        message: format!("transformed program is ill-formed: {e}\n{source}"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// AST construction and traversal helpers (placeholder ids/spans).
+// ---------------------------------------------------------------------
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr {
+        id: NodeId(0),
+        span: Span::default(),
+        kind,
+    }
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt {
+        id: NodeId(0),
+        span: Span::default(),
+        kind,
+    }
+}
+
+fn block_of(stmts: Vec<Stmt>) -> Block {
+    Block {
+        id: NodeId(0),
+        span: Span::default(),
+        stmts,
+    }
+}
+
+/// Applies `f` to every statement in the block, innermost first, so `f`
+/// may replace a statement's kind wholesale without revisiting the
+/// replacement.
+fn rewrite_block(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
+    for s in &mut block.stmts {
+        rewrite_stmt(s, f);
+    }
+}
+
+fn rewrite_stmt(s: &mut Stmt, f: &mut impl FnMut(&mut Stmt)) {
+    match &mut s.kind {
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            rewrite_stmt(then_branch, f);
+            if let Some(e) = else_branch {
+                rewrite_stmt(e, f);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => rewrite_stmt(body, f),
+        StmtKind::For {
+            init, update, body, ..
+        } => {
+            if let Some(i) = init {
+                rewrite_stmt(i, f);
+            }
+            if let Some(u) = update {
+                rewrite_stmt(u, f);
+            }
+            rewrite_stmt(body, f);
+        }
+        StmtKind::Block(b) => rewrite_block(b, f),
+        _ => {}
+    }
+    f(s);
+}
+
+/// Fresh `__sfr<n>` name generator that avoids collision with names the
+/// program already contains.
+struct FreshNames {
+    next: usize,
+}
+
+impl FreshNames {
+    fn scan(program: &Program) -> Self {
+        let mut max = 0usize;
+        let printed = jtlang::pretty::print_program(program);
+        for token in printed.split(|c: char| !c.is_alphanumeric() && c != '_') {
+            if let Some(rest) = token.strip_prefix("__sfr") {
+                if let Ok(n) = rest.parse::<usize>() {
+                    max = max.max(n + 1);
+                }
+            }
+        }
+        FreshNames { next: max }
+    }
+
+    fn fresh(&mut self) -> String {
+        let name = format!("__sfr{}", self.next);
+        self.next += 1;
+        name
+    }
+}
+
+fn capped_for(
+    counter: String,
+    cap: i64,
+    prelude: Vec<Stmt>,
+    guard: Expr,
+    body_stmts: Vec<Stmt>,
+    guard_first: bool,
+) -> StmtKind {
+    // if (!(guard)) { break; }
+    let break_unless = stmt(StmtKind::If {
+        cond: expr(ExprKind::Unary {
+            op: UnOp::Not,
+            expr: Box::new(guard),
+        }),
+        then_branch: Box::new(stmt(StmtKind::Block(block_of(vec![stmt(
+            StmtKind::Break,
+        )])))),
+        else_branch: None,
+    });
+    let mut inner = Vec::new();
+    if guard_first {
+        // while: test the condition before every iteration.
+        inner.push(break_unless);
+    } else {
+        // do-while: test before every iteration *except the first*. The
+        // check must sit at the top (not after the body) so that a
+        // `continue` in the body still reaches it on the next trip.
+        inner.push(stmt(StmtKind::If {
+            cond: expr(ExprKind::Binary {
+                op: BinOp::Gt,
+                lhs: Box::new(expr(ExprKind::Var(counter.clone()))),
+                rhs: Box::new(expr(ExprKind::Int(0))),
+            }),
+            then_branch: Box::new(stmt(StmtKind::Block(block_of(vec![break_unless])))),
+            else_branch: None,
+        }));
+    }
+    inner.extend(body_stmts);
+    let for_stmt = stmt(StmtKind::For {
+        init: Some(Box::new(stmt(StmtKind::VarDecl {
+            ty: Type::Int,
+            name: counter.clone(),
+            init: Some(expr(ExprKind::Int(0))),
+        }))),
+        cond: Some(expr(ExprKind::Binary {
+            op: BinOp::Lt,
+            lhs: Box::new(expr(ExprKind::Var(counter.clone()))),
+            rhs: Box::new(expr(ExprKind::Int(cap))),
+        })),
+        update: Some(Box::new(stmt(StmtKind::Assign {
+            target: expr(ExprKind::Var(counter)),
+            op: AssignOp::Add,
+            value: expr(ExprKind::Int(1)),
+        }))),
+        body: Box::new(stmt(StmtKind::Block(block_of(inner)))),
+    });
+    if prelude.is_empty() {
+        for_stmt.kind
+    } else {
+        let mut stmts = prelude;
+        stmts.push(for_stmt);
+        StmtKind::Block(block_of(stmts))
+    }
+}
+
+fn body_to_stmts(body: Stmt) -> Vec<Stmt> {
+    match body.kind {
+        StmtKind::Block(b) => b.stmts,
+        _ => vec![body],
+    }
+}
+
+// ---------------------------------------------------------------------
+// R1: while / do-while → capped for.
+// ---------------------------------------------------------------------
+
+/// Rewrites every `while` and `do-while` loop into a `for` loop with a
+/// compile-time iteration cap and an early `break` on the original
+/// condition. Behaviour is identical whenever the original loop
+/// terminates within the cap — the user-confirmed refinement contract.
+#[derive(Debug, Clone, Copy)]
+pub struct WhileToFor {
+    /// Iteration cap installed in the generated loop.
+    pub cap: i64,
+}
+
+impl Default for WhileToFor {
+    fn default() -> Self {
+        WhileToFor { cap: 1_000_000 }
+    }
+}
+
+impl Transform for WhileToFor {
+    fn name(&self) -> &'static str {
+        "while-to-for"
+    }
+
+    fn description(&self) -> &'static str {
+        "rewrite while/do-while loops as capped for loops with an early break"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R1"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let mut names = FreshNames::scan(program);
+        let mut outcome = TransformOutcome::default();
+        for class in &mut program.classes {
+            for method in class.ctors.iter_mut().chain(class.methods.iter_mut()) {
+                rewrite_block(&mut method.body, &mut |s| {
+                    let replacement = match &mut s.kind {
+                        StmtKind::While { cond, body } => {
+                            let cond = cond.clone();
+                            let body = std::mem::replace(body.as_mut(), stmt(StmtKind::Break));
+                            Some(capped_for(
+                                names.fresh(),
+                                self.cap,
+                                vec![],
+                                cond,
+                                body_to_stmts(body),
+                                true,
+                            ))
+                        }
+                        StmtKind::DoWhile { body, cond } => {
+                            let cond = cond.clone();
+                            let body = std::mem::replace(body.as_mut(), stmt(StmtKind::Break));
+                            Some(capped_for(
+                                names.fresh(),
+                                self.cap,
+                                vec![],
+                                cond,
+                                body_to_stmts(body),
+                                false,
+                            ))
+                        }
+                        _ => None,
+                    };
+                    if let Some(kind) = replacement {
+                        s.kind = kind;
+                        outcome.changed = true;
+                        outcome
+                            .notes
+                            .push(format!("rewrote a loop in `{}`", method.name));
+                    }
+                });
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: unbounded for → capped for.
+// ---------------------------------------------------------------------
+
+/// Rewrites `for` loops whose bound is not calculable into the same
+/// capped shape as [`WhileToFor`], preserving the original init, update,
+/// and condition.
+#[derive(Debug, Clone, Copy)]
+pub struct ForToCappedFor {
+    /// Iteration cap installed in the generated loop.
+    pub cap: i64,
+}
+
+impl Default for ForToCappedFor {
+    fn default() -> Self {
+        ForToCappedFor { cap: 1_000_000 }
+    }
+}
+
+impl Transform for ForToCappedFor {
+    fn name(&self) -> &'static str {
+        "for-to-capped-for"
+    }
+
+    fn description(&self) -> &'static str {
+        "rewrite unbounded for loops as capped for loops preserving the original condition"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R2"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let mut names = FreshNames::scan(program);
+        let mut outcome = TransformOutcome::default();
+        for class in &mut program.classes {
+            for method in class.ctors.iter_mut().chain(class.methods.iter_mut()) {
+                rewrite_block(&mut method.body, &mut |s| {
+                    if !matches!(s.kind, StmtKind::For { .. }) {
+                        return;
+                    }
+                    let bounded = jtanalysis::loops::analyze_for(s)
+                        .map(|a| a.bounded)
+                        .unwrap_or(false);
+                    if bounded {
+                        return;
+                    }
+                    let StmtKind::For {
+                        init,
+                        cond,
+                        update,
+                        body,
+                    } = std::mem::replace(&mut s.kind, StmtKind::Break)
+                    else {
+                        unreachable!("matched For above");
+                    };
+                    let guard = cond.unwrap_or_else(|| expr(ExprKind::Bool(true)));
+                    let mut inner = body_to_stmts(*body);
+                    if let Some(u) = update {
+                        inner.push(*u);
+                    }
+                    let prelude = init.map(|i| vec![*i]).unwrap_or_default();
+                    s.kind = capped_for(names.fresh(), self.cap, prelude, guard, inner, true);
+                    outcome.changed = true;
+                    outcome
+                        .notes
+                        .push(format!("capped an unbounded for loop in {}", method.name));
+                });
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4: hoist constant-size run-phase allocations into the constructor.
+// ---------------------------------------------------------------------
+
+/// Moves `T[] x = new P[C];` (constant `C`, primitive element) out of
+/// run-phase methods: the buffer becomes a private field allocated in the
+/// constructor and the local declaration aliases it. The buffer is no
+/// longer re-zeroed each reaction — the refinement contract the paper's
+/// restricted JPEG also accepts ("uses only static data structures
+/// created during initialization").
+#[derive(Debug, Clone, Copy)]
+pub struct HoistAllocation;
+
+impl Transform for HoistAllocation {
+    fn name(&self) -> &'static str {
+        "hoist-allocation"
+    }
+
+    fn description(&self) -> &'static str {
+        "preallocate constant-size run-phase buffers as private fields in the constructor"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R4"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let mut outcome = TransformOutcome::default();
+        let normalized = normalize(program)?;
+        let table = jtlang::resolve::resolve(&normalized).map_err(|e| TransformError {
+            message: e.to_string(),
+        })?;
+        let report = jtanalysis::alloc::analyze(&normalized, &table);
+        // Methods containing hoistable run-phase sites, grouped by class.
+        let mut target_methods: Vec<(String, String)> = report
+            .run_phase_sites()
+            .filter(|site| {
+                matches!(
+                    &site.kind,
+                    jtanalysis::alloc::AllocKind::Array {
+                        elem: Type::Int | Type::Boolean,
+                        const_len: Some(n),
+                    } if *n >= 0
+                )
+            })
+            .map(|site| (site.method.class.clone(), site.method.method.clone()))
+            .collect();
+        target_methods.sort();
+        target_methods.dedup();
+
+        let mut names = FreshNames::scan(program);
+        for (class_name, method_name) in target_methods {
+            let Some(class) = program.class_mut(&class_name) else {
+                continue;
+            };
+            if class.ctors.is_empty() {
+                outcome.notes.push(format!(
+                    "skipped `{class_name}.{method_name}`: class has no constructor to hoist into"
+                ));
+                continue;
+            }
+            let Some(method) = class
+                .methods
+                .iter_mut()
+                .chain(class.ctors.iter_mut())
+                .find(|m| m.name == method_name)
+            else {
+                continue;
+            };
+            // Collect rewrites first (field name, type, allocation expr).
+            let mut hoisted: Vec<(String, Type, Expr)> = Vec::new();
+            rewrite_block(&mut method.body, &mut |s| {
+                let StmtKind::VarDecl {
+                    ty,
+                    init: Some(init),
+                    ..
+                } = &mut s.kind
+                else {
+                    return;
+                };
+                let ExprKind::NewArray { elem, len } = &init.kind else {
+                    return;
+                };
+                if !matches!(elem, Type::Int | Type::Boolean) {
+                    return;
+                }
+                if jtanalysis::loops::fold_const(len).is_none() {
+                    return;
+                }
+                let field = names.fresh();
+                hoisted.push((field.clone(), ty.clone(), init.clone()));
+                *init = expr(ExprKind::Var(field));
+            });
+            if hoisted.is_empty() {
+                outcome.notes.push(format!(
+                    "no directly hoistable declaration in `{class_name}.{method_name}` \
+                     (allocation may be nested in an expression — restructure manually)"
+                ));
+                continue;
+            }
+            for (field, ty, alloc) in hoisted {
+                class.fields.push(FieldDecl {
+                    id: NodeId(0),
+                    span: Span::default(),
+                    modifiers: Modifiers {
+                        visibility: Visibility::Private,
+                        is_static: false,
+                        is_final: false,
+                    },
+                    ty,
+                    name: field.clone(),
+                    init: None,
+                });
+                for ctor in &mut class.ctors {
+                    ctor.body.stmts.push(stmt(StmtKind::Assign {
+                        target: expr(ExprKind::Var(field.clone())),
+                        op: AssignOp::Set,
+                        value: alloc.clone(),
+                    }));
+                }
+                outcome.changed = true;
+                outcome.notes.push(format!(
+                    "hoisted a buffer from `{class_name}.{method_name}` into field `{field}`"
+                ));
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+// ---------------------------------------------------------------------
+// R5: privatize fields.
+// ---------------------------------------------------------------------
+
+/// Makes exposed fields private, unless another class accesses them (in
+/// which case the site is reported for manual restructuring).
+#[derive(Debug, Clone, Copy)]
+pub struct PrivatizeFields;
+
+impl Transform for PrivatizeFields {
+    fn name(&self) -> &'static str {
+        "privatize-fields"
+    }
+
+    fn description(&self) -> &'static str {
+        "declare exposed fields private when no other class accesses them"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R5"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let mut outcome = TransformOutcome::default();
+        let exposed = jtanalysis::visibility::analyze(program);
+        for e in exposed {
+            let accessed_elsewhere = field_accessed_outside(program, &e.class, &e.field);
+            let Some(class) = program.class_mut(&e.class) else {
+                continue;
+            };
+            let Some(field) = class.fields.iter_mut().find(|f| f.name == e.field) else {
+                continue;
+            };
+            if accessed_elsewhere {
+                outcome.notes.push(format!(
+                    "skipped `{}.{}`: accessed from another class; introduce an accessor \
+                     or restructure manually",
+                    e.class, e.field
+                ));
+                continue;
+            }
+            field.modifiers.visibility = Visibility::Private;
+            outcome.changed = true;
+            outcome
+                .notes
+                .push(format!("privatized `{}.{}`", e.class, e.field));
+        }
+        Ok(outcome)
+    }
+}
+
+/// Conservative check: does any `obj.field` access with this field name
+/// occur in a different class? (Name-based; false positives only make
+/// the transform more cautious.)
+fn field_accessed_outside(program: &Program, class: &str, field: &str) -> bool {
+    for other in &program.classes {
+        if other.name == class {
+            continue;
+        }
+        for method in other.ctors.iter().chain(&other.methods) {
+            let mut found = false;
+            walk_exprs(&method.body, &mut |e| {
+                if let ExprKind::Field { name, .. } = &e.kind {
+                    if name == field {
+                        found = true;
+                    }
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// R7: strip blocking calls.
+// ---------------------------------------------------------------------
+
+/// Deletes statements that are bare calls to the blocking builtins
+/// (`wait`, `sleep`, `join`) and the notification calls that exist only
+/// to pair with them (`notify`, `notifyAll`). In the ASR model, timing
+/// comes from the instant structure; suspension has no counterpart.
+#[derive(Debug, Clone, Copy)]
+pub struct StripBlockingCalls;
+
+impl Transform for StripBlockingCalls {
+    fn name(&self) -> &'static str {
+        "strip-blocking-calls"
+    }
+
+    fn description(&self) -> &'static str {
+        "delete blocking-call statements (wait/sleep/join/notify)"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R7"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let normalized = normalize(program)?;
+        let table = jtlang::resolve::resolve(&normalized).map_err(|e| TransformError {
+            message: e.to_string(),
+        })?;
+        let spans: Vec<Span> = jtanalysis::blocking::analyze(&normalized, &table)
+            .into_iter()
+            .map(|c| c.span)
+            .collect();
+        // The transform operates on the normalized program (ids/spans in
+        // sync with the analysis), then writes it back.
+        let mut result = normalized;
+        let mut outcome = TransformOutcome::default();
+        let mut removed = 0usize;
+        for class in &mut result.classes {
+            for method in class.ctors.iter_mut().chain(class.methods.iter_mut()) {
+                remove_matching_stmts(&mut method.body, &mut |s| {
+                    let StmtKind::Expr(e) = &s.kind else {
+                        return false;
+                    };
+                    let ExprKind::Call { .. } = &e.kind else {
+                        return false;
+                    };
+                    let hit = spans.contains(&e.span);
+                    removed += usize::from(hit);
+                    hit
+                });
+            }
+        }
+        if removed > 0 {
+            outcome.changed = true;
+            outcome
+                .notes
+                .push(format!("removed {removed} blocking call(s)"));
+            *program = result;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Removes statements matching `pred` from all (nested) blocks.
+fn remove_matching_stmts(block: &mut Block, pred: &mut impl FnMut(&Stmt) -> bool) {
+    block.stmts.retain(|s| !pred(s));
+    for s in &mut block.stmts {
+        remove_in_stmt(s, pred);
+    }
+}
+
+fn remove_in_stmt(s: &mut Stmt, pred: &mut impl FnMut(&Stmt) -> bool) {
+    match &mut s.kind {
+        StmtKind::Block(b) => remove_matching_stmts(b, pred),
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            remove_in_stmt(then_branch, pred);
+            if let Some(e) = else_branch {
+                remove_in_stmt(e, pred);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+            remove_in_stmt(body, pred);
+        }
+        StmtKind::For { body, .. } => remove_in_stmt(body, pred),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// R8: remove finalizers.
+// ---------------------------------------------------------------------
+
+/// Deletes every `finalize` method: finalization "may be considered as
+/// representing the termination or destruction of the system" (paper §4)
+/// and has no ASR counterpart.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoveFinalizers;
+
+impl Transform for RemoveFinalizers {
+    fn name(&self) -> &'static str {
+        "remove-finalizers"
+    }
+
+    fn description(&self) -> &'static str {
+        "delete finalize() methods"
+    }
+
+    fn rule(&self) -> &'static str {
+        "R8"
+    }
+
+    fn apply(&self, program: &mut Program) -> Result<TransformOutcome, TransformError> {
+        let mut outcome = TransformOutcome::default();
+        for class in &mut program.classes {
+            let before = class.methods.len();
+            class.methods.retain(|m| m.name != "finalize");
+            if class.methods.len() != before {
+                outcome.changed = true;
+                outcome
+                    .notes
+                    .push(format!("removed finalizer from `{}`", class.name));
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use jtanalysis::frontend;
+
+    fn apply_and_check(src: &str, transform: &dyn Transform) -> (Program, TransformOutcome) {
+        let mut program = jtlang::parse(src).unwrap();
+        let outcome = transform.apply(&mut program).unwrap();
+        let normalized = normalize(&program).unwrap();
+        (normalized, outcome)
+    }
+
+    fn rule_violations(program: &Program, rule: &str) -> usize {
+        let table = jtlang::resolve::resolve(program).unwrap();
+        Policy::asr()
+            .check(program, &table)
+            .iter()
+            .filter(|v| v.rule == rule)
+            .count()
+    }
+
+    #[test]
+    fn while_to_for_discharges_r1() {
+        let (p, outcome) = apply_and_check(jtlang::corpus::UNRESTRICTED_AVG, &WhileToFor::default());
+        assert!(outcome.changed);
+        assert_eq!(rule_violations(&p, "R1"), 0);
+        // And the capped loops satisfy R2.
+        assert_eq!(rule_violations(&p, "R2"), 0);
+    }
+
+    #[test]
+    fn while_to_for_preserves_terminating_behaviour() {
+        use jtvm::engine::Engine;
+        use jtvm::interp::Interpreter;
+        use jtvm::io::PortDatum;
+        let src = "class Sum extends ASR {
+                Sum() {}
+                public void run() {
+                    int n = read(0);
+                    int s = 0;
+                    int i = 0;
+                    while (i < n) { s += i; i++; }
+                    int j = 0;
+                    do { j++; } while (j < 3);
+                    write(0, s + j);
+                }
+            }";
+        let (transformed, _) = apply_and_check(src, &WhileToFor::default());
+        let mut before = Interpreter::new(jtlang::parse(src).unwrap(), "Sum").unwrap();
+        let mut after = Interpreter::new(transformed, "Sum").unwrap();
+        before.initialize(&[]).unwrap();
+        after.initialize(&[]).unwrap();
+        for n in [0, 1, 5, 10] {
+            assert_eq!(
+                before.react(&[PortDatum::Int(n)]).unwrap(),
+                after.react(&[PortDatum::Int(n)]).unwrap(),
+                "behaviour changed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn while_to_for_handles_continue_and_break_in_do_while() {
+        use jtvm::engine::Engine;
+        use jtvm::interp::Interpreter;
+        use jtvm::io::PortDatum;
+        // `continue` in a do-while must still reach the loop condition
+        // after conversion (regression: a trailing check would be
+        // skipped).
+        let src = "class L extends ASR {
+                L() {}
+                public void run() {
+                    int n = read(0);
+                    int acc = 0;
+                    int i = 0;
+                    do {
+                        i++;
+                        if (i % 2 == 0) { continue; }
+                        if (i > 20) { break; }
+                        acc += i;
+                    } while (i < n);
+                    write(0, acc * 100 + i);
+                }
+            }";
+        let (transformed, outcome) = apply_and_check(src, &WhileToFor::default());
+        assert!(outcome.changed);
+        let mut before = Interpreter::new(jtlang::parse(src).unwrap(), "L").unwrap();
+        let mut after = Interpreter::new(transformed, "L").unwrap();
+        before.initialize(&[]).unwrap();
+        after.initialize(&[]).unwrap();
+        for n in [0, 1, 2, 5, 9, 30] {
+            assert_eq!(
+                before.react(&[PortDatum::Int(n)]).unwrap(),
+                after.react(&[PortDatum::Int(n)]).unwrap(),
+                "do-while conversion changed behaviour for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_to_capped_for_discharges_r2() {
+        let src = "class A extends ASR {
+                A() {}
+                public void run() {
+                    int n = read(0);
+                    int s = 0;
+                    for (int i = 0; i < n; i++) { s += i; }
+                    write(0, s);
+                }
+            }";
+        let (p, outcome) = apply_and_check(src, &ForToCappedFor::default());
+        assert!(outcome.changed);
+        assert_eq!(rule_violations(&p, "R2"), 0);
+
+        // Behaviour preserved for inputs under the cap.
+        use jtvm::engine::Engine;
+        use jtvm::interp::Interpreter;
+        use jtvm::io::PortDatum;
+        let mut before = Interpreter::new(jtlang::parse(src).unwrap(), "A").unwrap();
+        let mut after = Interpreter::new(p, "A").unwrap();
+        before.initialize(&[]).unwrap();
+        after.initialize(&[]).unwrap();
+        for n in [0, 3, 17] {
+            assert_eq!(
+                before.react(&[PortDatum::Int(n)]).unwrap(),
+                after.react(&[PortDatum::Int(n)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn hoist_allocation_moves_buffers_to_ctor() {
+        let src = "class A extends ASR {
+                A() {}
+                public void run() {
+                    int[] scratch = new int[8];
+                    scratch[0] = read(0);
+                    write(0, scratch[0]);
+                }
+            }";
+        let (p, outcome) = apply_and_check(src, &HoistAllocation);
+        assert!(outcome.changed, "{outcome:?}");
+        assert_eq!(rule_violations(&p, "R4"), 0);
+        // The field exists and the ctor allocates it.
+        let class = p.class("A").unwrap();
+        assert_eq!(class.fields.len(), 1);
+        assert!(!class.ctors[0].body.stmts.is_empty());
+
+        // Behaviour is preserved on first reaction.
+        use jtvm::engine::Engine;
+        use jtvm::interp::Interpreter;
+        use jtvm::io::PortDatum;
+        let mut before = Interpreter::new(jtlang::parse(src).unwrap(), "A").unwrap();
+        let mut after = Interpreter::new(p, "A").unwrap();
+        before.initialize(&[]).unwrap();
+        after.initialize(&[]).unwrap();
+        assert_eq!(
+            before.react(&[PortDatum::Int(9)]).unwrap(),
+            after.react(&[PortDatum::Int(9)]).unwrap()
+        );
+        // And the transformed version no longer allocates per reaction.
+        assert_eq!(after.last_cost().heap.allocations, 0);
+        assert!(before.last_cost().heap.allocations > 0);
+    }
+
+    #[test]
+    fn hoist_skips_dynamic_lengths() {
+        let src = "class A extends ASR {
+                A() {}
+                public void run() {
+                    int[] scratch = new int[read(0)];
+                    write(0, scratch.length);
+                }
+            }";
+        let (_, outcome) = apply_and_check(src, &HoistAllocation);
+        assert!(!outcome.changed);
+    }
+
+    #[test]
+    fn privatize_fields_respects_external_access() {
+        let src = "class A { public int shared; public int own; }
+             class B { void m(A a) { a.shared = 1; } }";
+        let (p, outcome) = apply_and_check(src, &PrivatizeFields);
+        assert!(outcome.changed);
+        let a = p.class("A").unwrap();
+        assert_eq!(a.field("own").unwrap().modifiers.visibility, Visibility::Private);
+        assert_eq!(
+            a.field("shared").unwrap().modifiers.visibility,
+            Visibility::Public,
+            "externally accessed field must stay (manual fix)"
+        );
+        assert!(outcome.notes.iter().any(|n| n.contains("skipped")));
+    }
+
+    #[test]
+    fn strip_blocking_calls_removes_wait() {
+        let (p, outcome) = apply_and_check(
+            "class A extends ASR {
+                 A() {}
+                 public void run() { write(0, read(0)); wait(); }
+             }",
+            &StripBlockingCalls,
+        );
+        assert!(outcome.changed);
+        assert_eq!(rule_violations(&p, "R7"), 0);
+    }
+
+    #[test]
+    fn remove_finalizers_deletes_them() {
+        let (p, outcome) = apply_and_check(
+            "class A extends ASR {
+                 A() {}
+                 public void run() { write(0, 1); }
+                 void finalize() { int x = 0; }
+             }",
+            &RemoveFinalizers,
+        );
+        assert!(outcome.changed);
+        assert!(p.class("A").unwrap().method("finalize").is_none());
+        assert_eq!(rule_violations(&p, "R8"), 0);
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        let ts = stock_transforms();
+        assert_eq!(ts.len(), 6);
+        for t in &ts {
+            assert!(stock_transform(t.name()).is_some());
+            assert!(!t.description().is_empty());
+            assert!(t.rule().starts_with('R'));
+        }
+        assert!(stock_transform("nope").is_none());
+    }
+
+    #[test]
+    fn transforms_are_idempotent_on_compliant_programs() {
+        for s in jtlang::corpus::samples().iter().filter(|s| s.compliant) {
+            let (p, _) = frontend(s.source).unwrap();
+            for t in stock_transforms() {
+                let mut copy = p.clone();
+                let outcome = t.apply(&mut copy).unwrap();
+                assert!(
+                    !outcome.changed,
+                    "transform `{}` changed compliant sample `{}`",
+                    t.name(),
+                    s.name
+                );
+            }
+        }
+    }
+}

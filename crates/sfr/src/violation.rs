@@ -1,0 +1,126 @@
+//! Violation diagnostics.
+//!
+//! When a rule of the policy of use is violated, "the user is presented
+//! with information regarding the nature of the error, and a list of
+//! suggested solutions for fixing the problem, including automated
+//! program transformations when possible" (paper §2). A [`Violation`]
+//! carries exactly that: what rule, where, why, and which transform (if
+//! any) can discharge it.
+
+use jtlang::token::Span;
+use std::fmt;
+
+/// How a violation can be fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// An automated transformation (by registry name) can discharge it.
+    Automated {
+        /// Name of the transform in [`crate::transform::stock_transforms`].
+        transform: &'static str,
+        /// What the transform will do, in user terms.
+        description: String,
+    },
+    /// The tools cannot fix this; the designer must restructure.
+    Manual {
+        /// Guidance for the designer.
+        guidance: String,
+    },
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fix::Automated {
+                transform,
+                description,
+            } => write!(f, "automated [{transform}]: {description}"),
+            Fix::Manual { guidance } => write!(f, "manual: {guidance}"),
+        }
+    }
+}
+
+/// One policy-of-use violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (`R1` … `R9`).
+    pub rule: &'static str,
+    /// Rule title.
+    pub rule_title: &'static str,
+    /// What exactly is wrong, with names.
+    pub message: String,
+    /// Source position of the offending construct.
+    pub span: Span,
+    /// Class in which the violation occurs.
+    pub class: String,
+    /// Suggested fix.
+    pub fix: Fix,
+}
+
+impl Violation {
+    /// True when an automated transform is available.
+    pub fn is_automatable(&self) -> bool {
+        matches!(self.fix, Fix::Automated { .. })
+    }
+
+    /// The suggested transform name, if automated.
+    pub fn suggested_transform(&self) -> Option<&'static str> {
+        match &self.fix {
+            Fix::Automated { transform, .. } => Some(transform),
+            Fix::Manual { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {} in `{}`: {} ({})",
+            self.rule, self.rule_title, self.span, self.class, self.message, self.fix
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_everything() {
+        let v = Violation {
+            rule: "R1",
+            rule_title: "no while loops",
+            message: "found a `while` loop".to_string(),
+            span: Span::new(0, 5, 3, 9),
+            class: "Avg".to_string(),
+            fix: Fix::Automated {
+                transform: "while-to-for",
+                description: "convert to a capped for loop".to_string(),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("R1"));
+        assert!(s.contains("3:9"));
+        assert!(s.contains("Avg"));
+        assert!(s.contains("while-to-for"));
+        assert!(v.is_automatable());
+        assert_eq!(v.suggested_transform(), Some("while-to-for"));
+    }
+
+    #[test]
+    fn manual_fixes_have_no_transform() {
+        let v = Violation {
+            rule: "R6",
+            rule_title: "no threads",
+            message: "class extends Thread".to_string(),
+            span: Span::default(),
+            class: "W".to_string(),
+            fix: Fix::Manual {
+                guidance: "model concurrency as separate functional blocks".to_string(),
+            },
+        };
+        assert!(!v.is_automatable());
+        assert_eq!(v.suggested_transform(), None);
+        assert!(v.to_string().contains("manual"));
+    }
+}

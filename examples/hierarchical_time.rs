@@ -1,0 +1,85 @@
+//! Paper Figs. 4 and 5: hierarchical abstraction of time and space.
+//!
+//! A composite block runs several *nested* instants of an inner system
+//! per enclosing instant — "communication of a message between two
+//! processors may be viewed as a single instant, rather than as a
+//! multitude of instants representing the detailed protocol activities"
+//! (§3). The nested instants are invisible to the environment and appear
+//! only in the hierarchical trace. Spatial abstraction is shown by
+//! comparing a composed system with its flat equivalent.
+//!
+//! Run with `cargo run --example hierarchical_time`.
+
+use asr::prelude::*;
+
+/// A "message transfer protocol": an accumulator that needs one
+/// sub-instant per transferred word.
+fn protocol_step() -> Result<System, Box<dyn std::error::Error>> {
+    let mut b = SystemBuilder::new("protocol");
+    let word = b.add_input("word");
+    let add = b.add_block(stock::add("accumulate"));
+    let d = b.add_delay("received", Value::int(0));
+    let o = b.add_output("received_total");
+    b.connect(Source::ext(word), Sink::block(add, 0))?;
+    b.connect(Source::delay(d), Sink::block(add, 1))?;
+    b.connect(Source::block(add, 0), Sink::delay(d))?;
+    b.connect(Source::block(add, 0), Sink::ext(o))?;
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fig. 4: temporal abstraction --------------------------------
+    // Transferring a 4-word message looks like ONE instant outside…
+    let transfer = TemporalComposite::new(protocol_step()?, 4)?;
+    let mut b = SystemBuilder::new("node");
+    let w = b.add_input("word");
+    let t = b.add_block(transfer);
+    let o = b.add_output("total");
+    b.connect(Source::ext(w), Sink::block(t, 0))?;
+    b.connect(Source::block(t, 0), Sink::ext(o))?;
+    let mut node = b.build()?;
+
+    println!("== Fig. 4: nested instants ============================");
+    let (outputs, record) = node.react_traced(&[Value::int(5)])?;
+    println!("outer instants seen by the environment: 1");
+    println!("total instants including nested:        {}", record.total_instants());
+    println!("temporal nesting depth:                 {}", record.depth());
+    println!("message total after one outer instant:  {}", outputs[0]);
+    println!("\nhierarchical trace:\n{record}");
+    assert_eq!(outputs[0], Value::int(20), "4 sub-instants x word 5");
+
+    // --- Fig. 5: spatial abstraction ---------------------------------
+    // (x + y) * 3 as a composite block vs. the flat system.
+    println!("== Fig. 5: aggregation ≡ single block ================");
+    let inner = {
+        let mut b = SystemBuilder::new("sum3");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let a = b.add_block(stock::add("a"));
+        let g = b.add_block(stock::gain("g", 3));
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(a, 0))?;
+        b.connect(Source::ext(y), Sink::block(a, 1))?;
+        b.connect(Source::block(a, 0), Sink::block(g, 0))?;
+        b.connect(Source::block(g, 0), Sink::ext(o))?;
+        b.build()?
+    };
+    let composite = CompositeBlock::new(inner)?;
+    let mut b = SystemBuilder::new("outer");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let c = b.add_block(composite);
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(c, 0))?;
+    b.connect(Source::ext(y), Sink::block(c, 1))?;
+    b.connect(Source::block(c, 0), Sink::ext(o))?;
+    let mut composed = b.build()?;
+
+    for (a, bb) in [(1, 2), (10, -4), (0, 0)] {
+        let out = composed.react(&[Value::int(a), Value::int(bb)])?;
+        println!("composite({a}, {bb}) = {}", out[0]);
+        assert_eq!(out[0], Value::int((a + bb) * 3));
+    }
+    println!("the aggregation behaves exactly like a single block");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Reproduces **Table 1** of the paper: unrestricted vs. restricted JPEG
+//! design, measured on both execution engines, on the 130×135 test image.
+//!
+//! The paper's columns — initialization time, reaction time, program
+//! size — are reported here as wall-clock time *and* deterministic
+//! abstract steps/allocations, so the shape is reproducible on any
+//! machine. Run with `cargo run --release --example jpeg_table1`.
+
+use jpegsys::jtgen;
+use jpegsys::testimage;
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::vm::CompiledVm;
+use std::time::Instant;
+
+struct Row {
+    init_secs: f64,
+    init_steps: u64,
+    react_secs: f64,
+    react_steps: u64,
+    react_allocs: u64,
+    program_size: usize,
+}
+
+fn measure(engine: &mut dyn Engine, reactions: usize) -> Result<Row, Box<dyn std::error::Error>> {
+    let img = testimage::gray_test_image(testimage::PAPER_WIDTH, testimage::PAPER_HEIGHT);
+    let t0 = Instant::now();
+    engine.initialize(&[])?;
+    let init_secs = t0.elapsed().as_secs_f64();
+    let init = engine.last_cost();
+
+    let mut react_secs = 0.0;
+    let mut react_steps = 0;
+    let mut react_allocs = 0;
+    for _ in 0..reactions {
+        let t0 = Instant::now();
+        jtgen::run_roundtrip(engine, &img)?;
+        react_secs += t0.elapsed().as_secs_f64();
+        react_steps += engine.last_cost().steps;
+        react_allocs += engine.last_cost().heap.allocations;
+    }
+    Ok(Row {
+        init_secs,
+        init_steps: init.steps,
+        react_secs: react_secs / reactions as f64,
+        react_steps: react_steps / reactions as u64,
+        react_allocs: react_allocs / reactions as u64,
+        program_size: engine.program_size(),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reactions = 3;
+    let unrestricted = jtgen::unrestricted_source();
+    let restricted = jtgen::restricted_source();
+
+    println!(
+        "Table 1 reproduction: JPEG example, {}x{} synthetic image, {} reaction(s) averaged",
+        testimage::PAPER_WIDTH,
+        testimage::PAPER_HEIGHT,
+        reactions
+    );
+    println!();
+    println!(
+        "{:<22} {:>12} {:>14} {:>12} {:>14} {:>8} {:>10}",
+        "configuration", "init (s)", "init steps", "react (s)", "react steps", "allocs", "size (B)"
+    );
+
+    type EngineFactory = Box<dyn Fn(&str, &str) -> Box<dyn Engine>>;
+    let engines: Vec<(&str, EngineFactory)> = vec![
+        (
+            "interpreter (jdk)",
+            Box::new(|src: &str, class: &str| {
+                Box::new(Interpreter::new(jtlang::parse(src).unwrap(), class).unwrap())
+                    as Box<dyn Engine>
+            }),
+        ),
+        (
+            "bytecode (jit)",
+            Box::new(|src: &str, class: &str| {
+                Box::new(CompiledVm::new(jtlang::parse(src).unwrap(), class).unwrap())
+                    as Box<dyn Engine>
+            }),
+        ),
+    ];
+    let mut rows: Vec<(String, Row)> = Vec::new();
+    for (engine_name, make) in &engines {
+        for (variant, src, class) in [
+            ("unrestricted", unrestricted.as_str(), "JpegUnrestricted"),
+            ("restricted", restricted.as_str(), "JpegRestricted"),
+        ] {
+            let mut engine = make(src, class);
+            let row = measure(engine.as_mut(), reactions)?;
+            println!(
+                "{:<22} {:>12.4} {:>14} {:>12.4} {:>14} {:>8} {:>10}",
+                format!("{engine_name}/{variant}"),
+                row.init_secs,
+                row.init_steps,
+                row.react_secs,
+                row.react_steps,
+                row.react_allocs,
+                row.program_size
+            );
+            rows.push((format!("{engine_name}/{variant}"), row));
+        }
+    }
+
+    println!("\n== paper-shape checks ==================================");
+    for engine in ["interpreter (jdk)", "bytecode (jit)"] {
+        let unres = &rows.iter().find(|(n, _)| n == &format!("{engine}/unrestricted")).unwrap().1;
+        let res = &rows.iter().find(|(n, _)| n == &format!("{engine}/restricted")).unwrap().1;
+        let init_ratio = res.init_steps as f64 / unres.init_steps.max(1) as f64;
+        let react_ratio = res.react_steps as f64 / unres.react_steps as f64;
+        let size_ratio = res.program_size as f64 / unres.program_size as f64;
+        println!(
+            "{engine}: restricted/unrestricted init = {init_ratio:.2}, \
+             reaction = {react_ratio:.2}, size = {size_ratio:.2}"
+        );
+        println!(
+            "  restricted allocates {} per reaction (unrestricted: {})",
+            res.react_allocs, unres.react_allocs
+        );
+        assert!(
+            res.init_steps >= unres.init_steps,
+            "paper shape: restricted initialization is costlier"
+        );
+        assert!(
+            res.react_allocs == 0 && unres.react_allocs > 0,
+            "paper shape: restricted performs no run-phase allocation"
+        );
+    }
+    println!("shape matches Table 1: restricted trades slower initialization for allocation-free reactions of roughly equal program size.");
+    Ok(())
+}

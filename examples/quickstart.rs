@@ -1,0 +1,55 @@
+//! Quickstart: encapsulate a design in the ASR class (paper Fig. 7),
+//! check it against the policy of use, embed it as an ASR block, and run
+//! it inside a block diagram.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use asr::prelude::*;
+use sfr::embed::embed;
+use sfr::policy::Policy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small reactive design: a saturating counter written in JT, the
+    // Java-like design input language (jtlang::corpus::COUNTER).
+    let source = jtlang::corpus::COUNTER;
+    println!("== design source =====================================");
+    println!("{source}");
+
+    // 1. Verify the design against the ASR policy of use.
+    let program = jtlang::check_source(source)?;
+    let table = jtlang::resolve::resolve(&program)?;
+    let violations = Policy::asr().check(&program, &table);
+    println!("policy violations: {}", violations.len());
+    assert!(violations.is_empty(), "the counter is already compliant");
+
+    // 2. Embed it: the compliant class becomes an executable ASR block
+    //    (constructor argument: saturation limit 10).
+    let counter = embed(source, "Counter", &[10])?;
+    println!(
+        "embedded `Counter` with interface {:?}",
+        counter.interface()
+    );
+
+    // 3. Wire it into a system next to native blocks: scale the input by
+    //    2 before counting.
+    let mut b = SystemBuilder::new("quickstart");
+    let x = b.add_input("pulses");
+    let g = b.add_block(stock::gain("double", 2));
+    let c = b.add_block(counter);
+    let o = b.add_output("count");
+    b.connect(Source::ext(x), Sink::block(g, 0))?;
+    b.connect(Source::block(g, 0), Sink::block(c, 0))?;
+    b.connect(Source::block(c, 0), Sink::ext(o))?;
+    let mut system = b.build()?;
+
+    // 4. React: the environment drives the system one instant at a time.
+    println!("== reactions =========================================");
+    for instant in 0..6 {
+        let outputs = system.react(&[Value::int(1)])?;
+        println!("instant {instant}: count = {}", outputs[0]);
+    }
+    let outputs = system.react(&[Value::int(1)])?;
+    assert_eq!(outputs[0], Value::int(10), "saturated at the limit");
+    println!("counter saturated at 10, as specified");
+    Ok(())
+}

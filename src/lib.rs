@@ -1,0 +1,49 @@
+//! # `javatime` — Successive, Formal Refinement in Rust
+//!
+//! A full reproduction of *"Design and Specification of Embedded Systems
+//! in Java Using Successive, Formal Refinement"* (Young, MacDonald,
+//! Shilman, Tabbara, Hilfinger, Newton — DAC 1998), built from scratch:
+//!
+//! * [`asr`] — the Abstractable Synchronous Reactive model of
+//!   computation: blocks, channels, delays, hierarchical instants,
+//!   fixed-point semantics,
+//! * [`jtlang`] — JT, the Java-like design input language (lexer, parser,
+//!   resolver, type checker, pretty-printer),
+//! * [`jtanalysis`] — the static analyses behind the policy of use,
+//! * [`sfr`] — the paper's contribution: policy of use, violations with
+//!   suggested fixes, automated transformations, refinement sessions, and
+//!   embedding of compliant designs into the ASR model,
+//! * [`jtvm`] — two execution engines (tree-walking interpreter and
+//!   bytecode VM) standing in for the paper's JDK and Café JIT,
+//! * [`sched`] — a thread-interleaving simulator demonstrating the
+//!   nondeterminism that motivates the thread ban (paper Figs. 6 and 8),
+//! * [`jpegsys`] — the JPEG design example of Table 1.
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Thirty-second demo
+//!
+//! ```
+//! use sfr::policy::Policy;
+//! use sfr::session::RefinementSession;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut session =
+//!     RefinementSession::from_source(jtlang::corpus::UNRESTRICTED_AVG, Policy::asr())?;
+//! let report = session.refine_automatically(10)?;
+//! println!(
+//!     "violations: {:?}, transforms applied: {:?}",
+//!     report.trajectory, report.applied
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use asr;
+pub use jpegsys;
+pub use jtanalysis;
+pub use jtlang;
+pub use jtvm;
+pub use sched;
+pub use sfr;

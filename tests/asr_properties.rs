@@ -1,0 +1,224 @@
+//! Property-based tests of the ASR model's advertised guarantees:
+//! determinism, evaluation-order independence, spatial-abstraction
+//! equivalence (Fig. 5), and monotonicity of stock blocks.
+
+use asr::block::Block;
+use asr::determinism;
+use asr::hierarchy::CompositeBlock;
+use asr::stock;
+use asr::system::{Sink, Source, System, SystemBuilder};
+use asr::value::Value;
+use proptest::prelude::*;
+
+/// Description of one randomly generated feed-forward system: for each
+/// block, an opcode and the indices of its two source signals among the
+/// previously available ones.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    ops: Vec<(u8, usize, usize)>,
+}
+
+fn arb_dag(max_blocks: usize) -> impl Strategy<Value = DagSpec> {
+    proptest::collection::vec((0u8..5, 0usize..64, 0usize..64), 1..max_blocks)
+        .prop_map(|ops| DagSpec { ops })
+}
+
+/// Builds the system described by `spec` with two external inputs; every
+/// block reads two earlier signals (wrapped by modulo), and the last
+/// block drives the output.
+fn build_dag(spec: &DagSpec) -> System {
+    let mut b = SystemBuilder::new("dag");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let mut sources: Vec<Source> = vec![Source::ext(x), Source::ext(y)];
+    for (i, &(op, s1, s2)) in spec.ops.iter().enumerate() {
+        let block: Box<dyn Block> = match op {
+            0 => Box::new(stock::add(format!("b{i}"))),
+            1 => Box::new(stock::sub(format!("b{i}"))),
+            2 => Box::new(stock::min(format!("b{i}"))),
+            3 => Box::new(stock::max(format!("b{i}"))),
+            _ => Box::new(stock::add(format!("b{i}"))),
+        };
+        let id = b.add_boxed_block(block);
+        b.connect(sources[s1 % sources.len()], Sink::block(id, 0))
+            .unwrap();
+        b.connect(sources[s2 % sources.len()], Sink::block(id, 1))
+            .unwrap();
+        sources.push(Source::block(id, 0));
+    }
+    let o = b.add_output("o");
+    b.connect(*sources.last().unwrap(), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_are_deterministic_and_order_independent(
+        spec in arb_dag(12),
+        inputs in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 1..5),
+    ) {
+        let seq: Vec<Vec<Value>> = inputs
+            .iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect();
+        let report = determinism::replay(|| build_dag(&spec), &seq, 3).unwrap();
+        prop_assert!(report.is_deterministic());
+        prop_assert!(determinism::strategies_agree(|| build_dag(&spec), &seq).unwrap());
+    }
+
+    #[test]
+    fn composite_wrap_is_equivalent_to_flat_system(
+        spec in arb_dag(10),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // Fig. 5: an aggregation of blocks is functionally equivalent to
+        // a single block.
+        let mut flat = build_dag(&spec);
+        let composite = CompositeBlock::new(build_dag(&spec)).unwrap();
+        let mut builder = SystemBuilder::new("outer");
+        let x = builder.add_input("x");
+        let y = builder.add_input("y");
+        let c = builder.add_block(composite);
+        let o = builder.add_output("o");
+        builder.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        builder.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+        builder.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut wrapped = builder.build().unwrap();
+
+        let inputs = [Value::int(a), Value::int(b)];
+        prop_assert_eq!(
+            flat.react(&inputs).unwrap(),
+            wrapped.react(&inputs).unwrap()
+        );
+    }
+
+    #[test]
+    fn stock_blocks_are_monotone(
+        op in 0usize..10,
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // Feeding ⊥ then the real value must only *increase* outputs in
+        // the information order.
+        let block: Box<dyn Block> = match op {
+            0 => Box::new(stock::add("t")),
+            1 => Box::new(stock::sub("t")),
+            2 => Box::new(stock::mul("t")),
+            3 => Box::new(stock::min("t")),
+            4 => Box::new(stock::max("t")),
+            5 => Box::new(stock::lt("t")),
+            6 => Box::new(stock::gt("t")),
+            7 => Box::new(stock::eq("t")),
+            8 => Box::new(stock::div("t")),
+            _ => Box::new(stock::add("t")),
+        };
+        let full = [Value::int(a), Value::int(b)];
+        let partials = [
+            [Value::Unknown, Value::Unknown],
+            [Value::int(a), Value::Unknown],
+            [Value::Unknown, Value::int(b)],
+        ];
+        let mut full_out = vec![Value::Unknown];
+        // Division by zero errors are fine — skip those cases.
+        if block.eval(&full, &mut full_out).is_err() {
+            return Ok(());
+        }
+        for partial in &partials {
+            let mut out = vec![Value::Unknown];
+            block.eval(partial, &mut out).unwrap();
+            prop_assert!(
+                out[0].le(&full_out[0]),
+                "{:?} -> {} not ⊑ {} (full {:?})",
+                partial, out[0], full_out[0], full
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_state_round_trip(
+        inputs in proptest::collection::vec(-100i64..100, 1..20),
+        split in 0usize..20,
+    ) {
+        // save_state/restore_state must be a faithful snapshot at any
+        // point in a run.
+        let build = || {
+            let mut b = SystemBuilder::new("acc");
+            let i = b.add_input("in");
+            let add = b.add_block(stock::add("sum"));
+            let d = b.add_delay("state", Value::int(0));
+            let o = b.add_output("acc");
+            b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+            b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+            b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+            b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+            b.build().unwrap()
+        };
+        let split = split.min(inputs.len());
+        let mut sys = build();
+        for v in &inputs[..split] {
+            sys.react(&[Value::int(*v)]).unwrap();
+        }
+        let snapshot = sys.save_state();
+        let mut tail_a = Vec::new();
+        for v in &inputs[split..] {
+            tail_a.push(sys.react(&[Value::int(*v)]).unwrap());
+        }
+        sys.restore_state(&snapshot).unwrap();
+        let mut tail_b = Vec::new();
+        for v in &inputs[split..] {
+            tail_b.push(sys.react(&[Value::int(*v)]).unwrap());
+        }
+        prop_assert_eq!(tail_a, tail_b);
+    }
+}
+
+#[test]
+fn delay_free_cycles_report_matches_runtime_behaviour() {
+    // Statically cyclic systems either settle (constructive) or leave ⊥;
+    // acyclic systems always settle. Check the analysis agrees with the
+    // evaluator across the three canonical cases.
+    use asr::causality::{analyze, Causality};
+
+    // Acyclic.
+    let mut b = SystemBuilder::new("a");
+    let x = b.add_input("x");
+    let g = b.add_block(stock::gain("g", 2));
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(g, 0)).unwrap();
+    b.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+    let mut sys = b.build().unwrap();
+    assert_eq!(analyze(&sys).causality(), Causality::Acyclic);
+    assert!(sys.react(&[Value::int(3)]).unwrap()[0].is_present());
+
+    // Constructive cycle.
+    let mut b = SystemBuilder::new("c");
+    let x = b.add_input("x");
+    let sel = b.add_block(stock::select("sel"));
+    let t = b.add_block(stock::const_bool("t", true));
+    let o = b.add_output("o");
+    b.connect(Source::block(t, 0), Sink::block(sel, 0)).unwrap();
+    b.connect(Source::ext(x), Sink::block(sel, 1)).unwrap();
+    b.connect(Source::block(sel, 0), Sink::block(sel, 2)).unwrap();
+    b.connect(Source::block(sel, 0), Sink::ext(o)).unwrap();
+    let mut sys = b.build().unwrap();
+    assert_eq!(analyze(&sys).causality(), Causality::Cyclic);
+    assert_eq!(sys.react(&[Value::int(9)]).unwrap()[0], Value::int(9));
+
+    // Non-constructive cycle: two strict adders feeding each other.
+    let mut b = SystemBuilder::new("n");
+    let x = b.add_input("x");
+    let a1 = b.add_block(stock::add("a1"));
+    let a2 = b.add_block(stock::add("a2"));
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(a1, 0)).unwrap();
+    b.connect(Source::block(a2, 0), Sink::block(a1, 1)).unwrap();
+    b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+    b.connect(Source::ext(x), Sink::block(a2, 1)).unwrap();
+    b.connect(Source::block(a1, 0), Sink::ext(o)).unwrap();
+    let mut sys = b.build().unwrap();
+    assert_eq!(analyze(&sys).causality(), Causality::Cyclic);
+    assert!(sys.react(&[Value::int(1)]).unwrap()[0].is_unknown());
+}

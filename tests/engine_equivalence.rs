@@ -1,0 +1,179 @@
+//! Property-based differential testing of the two execution engines.
+//!
+//! Random (but type-correct by construction) JT programs are generated
+//! and executed on the tree-walking interpreter and the bytecode VM;
+//! both must produce the same outputs — or fail with the same runtime
+//! error. This is the strongest evidence that the "jdk" vs "JIT"
+//! comparison of Table 1 measures *performance*, not semantics.
+
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::io::PortDatum;
+use jtvm::vm::CompiledVm;
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// A random integer expression over the fixed variables. Division and
+/// remainder are generated with a `+1`-guarded denominator magnitude so
+/// most runs avoid division by zero (both engines must agree when it
+/// does happen anyway).
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(|v| v.to_string()),
+        (0usize..VARS.len()).prop_map(|i| VARS[i].to_string()),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..5).prop_map(|(a, b, op)| {
+                let op = ["+", "-", "*", "/", "%"][op];
+                if op == "/" || op == "%" {
+                    // Guarded denominator: 1 + |b| % 7, never zero.
+                    format!("({a}) {op} (1 + (({b}) % 7) * (({b}) % 7))")
+                } else {
+                    format!("({a}) {op} ({b})")
+                }
+            }),
+            inner.prop_map(|a| format!("-({a})")),
+        ]
+    })
+    .boxed()
+}
+
+/// A random statement: assignment, compound assignment, `if`, or a
+/// constant-bounded `for` accumulation.
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let assign = (0usize..VARS.len(), arb_expr(depth))
+        .prop_map(|(v, e)| format!("{} = ({e}) % 100000;", VARS[v]));
+    let compound = (0usize..VARS.len(), arb_expr(depth), 0usize..2)
+        .prop_map(|(v, e, op)| format!("{} {}= ({e}) % 1000;", VARS[v], ["+", "-"][op]));
+    let leaf = prop_oneof![assign, compound];
+    leaf.prop_recursive(2, 8, 2, move |inner| {
+        prop_oneof![
+            (arb_expr(1), arb_expr(1), inner.clone(), inner.clone()).prop_map(
+                |(a, b, then_s, else_s)| {
+                    format!("if (({a}) < ({b})) {{ {then_s} }} else {{ {else_s} }}")
+                }
+            ),
+            (1i64..6, inner.clone(), 0usize..VARS.len()).prop_map(|(n, body, v)| {
+                format!("for (int i9 = 0; i9 < {n}; i9++) {{ {body} {} += i9; }}", VARS[v])
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn program_of(stmts: &[String], result: &str) -> String {
+    format!(
+        "class P extends ASR {{
+             P() {{}}
+             public void run() {{
+                 int x = read(0);
+                 int y = read(1);
+                 int z = read(2);
+                 int w = 1;
+                 {}
+                 write(0, {result});
+             }}
+         }}",
+        stmts.join("\n                 ")
+    )
+}
+
+type ReactResult = Result<Vec<Option<PortDatum>>, jtvm::error::RuntimeError>;
+
+fn run_both(source: &str, inputs: &[i64]) -> (ReactResult, ReactResult) {
+    let ports: Vec<PortDatum> = inputs.iter().map(|&v| PortDatum::Int(v)).collect();
+    let program = jtlang::parse(source).expect("generated program parses");
+    let mut interp = Interpreter::new(program.clone(), "P").expect("interp builds");
+    let mut vm = CompiledVm::new(program, "P").expect("vm builds");
+    interp.set_step_limit(5_000_000);
+    vm.set_step_limit(5_000_000);
+    interp.initialize(&[]).expect("init");
+    vm.initialize(&[]).expect("init");
+    (interp.react(&ports), vm.react(&ports))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        stmts in proptest::collection::vec(arb_stmt(2), 1..5),
+        result in arb_expr(2),
+        a in -100i64..100,
+        b in -100i64..100,
+        c in -100i64..100,
+    ) {
+        let source = program_of(&stmts, &result);
+        // The generated program must pass the front end…
+        prop_assert!(jtlang::check_source(&source).is_ok(), "front end rejected:\n{source}");
+        // …the pretty-printer must be round-trip stable on it…
+        let parsed = jtlang::parse(&source).expect("parses");
+        let printed = jtlang::pretty::print_program(&parsed);
+        let reparsed = jtlang::parse(&printed).expect("printed output parses");
+        prop_assert_eq!(
+            jtlang::pretty::print_program(&reparsed),
+            printed.clone(),
+            "printer not stable on:\n{}",
+            source
+        );
+        // …and both engines must agree, success or failure.
+        let (i, v) = run_both(&source, &[a, b, c]);
+        prop_assert_eq!(i, v, "engines disagree on:\n{}", source);
+        // The printed form must also behave identically (the refinement
+        // session executes re-parsed printed programs).
+        let (pi, pv) = run_both(&printed, &[a, b, c]);
+        prop_assert_eq!(pi, pv);
+    }
+
+    #[test]
+    fn engines_agree_on_random_array_programs(
+        len in 1i64..20,
+        fill in arb_expr(1),
+        idx in arb_expr(1),
+    ) {
+        // Arrays with possibly-out-of-bounds accesses: the *error* must
+        // match too.
+        let source = format!(
+            "class P extends ASR {{
+                 P() {{}}
+                 public void run() {{
+                     int x = read(0);
+                     int y = read(1);
+                     int z = 0;
+                     int w = 1;
+                     int[] buf = new int[{len}];
+                     for (int i9 = 0; i9 < buf.length; i9++) {{
+                         buf[i9] = ({fill}) % 1000;
+                     }}
+                     write(0, buf[{idx}]);
+                 }}
+             }}"
+        );
+        prop_assert!(jtlang::check_source(&source).is_ok(), "front end rejected:\n{source}");
+        let (i, v) = run_both(&source, &[7, -3, 0]);
+        prop_assert_eq!(i, v, "engines disagree on:\n{}", source);
+    }
+}
+
+#[test]
+fn engines_agree_on_all_corpus_reactive_samples() {
+    for (source, class, ctor, inputs) in [
+        (jtlang::corpus::COUNTER.to_string(), "Counter", vec![9i64], vec![4i64]),
+        (jtlang::corpus::FIR_FILTER.to_string(), "Fir", vec![], vec![3]),
+        (jtlang::corpus::TRAFFIC_LIGHT.to_string(), "TrafficLight", vec![], vec![1]),
+    ] {
+        let ports: Vec<PortDatum> = inputs.iter().map(|&v| PortDatum::Int(v)).collect();
+        let args: Vec<jtvm::value::RtValue> =
+            ctor.iter().map(|&v| jtvm::value::RtValue::Int(v)).collect();
+        let program = jtlang::parse(&source).unwrap();
+        let mut interp = Interpreter::new(program.clone(), class).unwrap();
+        let mut vm = CompiledVm::new(program, class).unwrap();
+        interp.initialize(&args).unwrap();
+        vm.initialize(&args).unwrap();
+        for _ in 0..10 {
+            assert_eq!(interp.react(&ports).unwrap(), vm.react(&ports).unwrap());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the JPEG substrate: codec round trips on
+//! random images, decoder robustness on corrupt input, and the
+//! JT-vs-native cross-validation on random dimensions.
+
+use jpegsys::codec;
+use jpegsys::image::GrayImage;
+use jpegsys::jtgen;
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (1usize..40, 1usize..40).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0i64..256, w * h)
+            .prop_map(move |samples| GrayImage::from_samples(w, h, samples))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn codec_round_trip_dimension_and_error_bounds(img in arb_image(), quality in 30u8..=95) {
+        let bytes = codec::encode_gray(&img, quality).unwrap();
+        let dec = codec::decode_gray(&bytes).unwrap();
+        prop_assert_eq!(dec.width(), img.width());
+        prop_assert_eq!(dec.height(), img.height());
+        // Random noise is the worst case for a transform codec; the
+        // bound is loose but must hold.
+        let err = img.mean_abs_diff(&dec);
+        prop_assert!(err < 60.0, "error {err} out of bounds at q{quality}");
+        // Samples stay in range.
+        for &s in dec.samples() {
+            prop_assert!((0..=255).contains(&s));
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corruption(
+        img_seed in 0usize..16,
+        flip_at in 0usize..4096,
+        flip_to in 0u8..=255,
+    ) {
+        let img = jpegsys::testimage::gray_test_image(16 + img_seed, 16);
+        let mut bytes = codec::encode_gray(&img, 70).unwrap();
+        let idx = flip_at % bytes.len();
+        bytes[idx] = flip_to;
+        // Must return (Ok or Err), never panic; a surviving decode must
+        // still produce an in-range image of *some* dimensions.
+        if let Ok(dec) = codec::decode_gray(&bytes) {
+            for &s in dec.samples() {
+                prop_assert!((0..=255).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode_gray(&bytes);
+        let _ = codec::decode_rgb(&bytes);
+    }
+
+    #[test]
+    fn jt_and_native_agree_on_random_dimensions(w in 1usize..30, h in 1usize..30) {
+        use jtvm::engine::Engine;
+        let img = jpegsys::testimage::gray_test_image(w, h);
+        let (native_out, native_err) = jtgen::native_reference(&img);
+        let mut vm = jtvm::vm::CompiledVm::new(
+            jtlang::parse(&jtgen::restricted_source()).unwrap(),
+            "JpegRestricted",
+        )
+        .unwrap();
+        vm.initialize(&[]).unwrap();
+        let (jt_out, jt_err) = jtgen::run_roundtrip(&mut vm, &img).unwrap();
+        prop_assert_eq!(jt_out, native_out);
+        prop_assert_eq!(jt_err, native_err);
+    }
+}
+
+#[test]
+fn quality_sweep_is_monotone_in_psnr() {
+    let img = jpegsys::testimage::gray_test_image(64, 64);
+    let psnr_of = |q: u8| {
+        let dec = codec::decode_gray(&codec::encode_gray(&img, q).unwrap()).unwrap();
+        img.psnr(&dec)
+    };
+    let lo = psnr_of(10);
+    let hi = psnr_of(90);
+    assert!(
+        hi > lo + 3.0,
+        "higher quality must buy meaningfully more fidelity: q90={hi:.1}dB q10={lo:.1}dB"
+    );
+    assert!(hi > 30.0, "q90 should exceed 30 dB on the test image: {hi:.1}");
+}
+
+#[test]
+fn quality_sweep_is_monotone_in_size() {
+    // Higher quality never produces a *smaller* stream on the reference
+    // image (weak monotonicity over a coarse sweep).
+    let img = jpegsys::testimage::gray_test_image(64, 64);
+    let sizes: Vec<usize> = [10u8, 30, 50, 70, 90]
+        .iter()
+        .map(|&q| codec::encode_gray(&img, q).unwrap().len())
+        .collect();
+    for pair in sizes.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "quality sweep produced shrinking sizes: {sizes:?}"
+        );
+    }
+}

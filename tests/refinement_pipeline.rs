@@ -1,0 +1,245 @@
+//! End-to-end integration of the SFR pipeline: front end → analyses →
+//! policy → transforms → session → embedding, across the whole corpus
+//! and the JPEG example.
+
+use sfr::embed::embed;
+use sfr::policy::Policy;
+use sfr::session::RefinementSession;
+
+#[test]
+fn corpus_compliance_matches_expectations() {
+    for sample in jtlang::corpus::samples() {
+        let session = RefinementSession::from_source(sample.source, Policy::asr()).unwrap();
+        assert_eq!(
+            session.is_compliant(),
+            sample.compliant,
+            "sample `{}` compliance mismatch",
+            sample.name
+        );
+    }
+}
+
+#[test]
+fn every_violation_names_a_real_transform_or_manual_guidance() {
+    let registry: Vec<&str> = sfr::transform::stock_transforms()
+        .iter()
+        .map(|t| t.name())
+        .collect();
+    for sample in jtlang::corpus::samples() {
+        let session = RefinementSession::from_source(sample.source, Policy::asr()).unwrap();
+        for v in session.check() {
+            if let Some(t) = v.suggested_transform() {
+                assert!(
+                    registry.contains(&t),
+                    "violation {v} names unknown transform `{t}`"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn automatic_refinement_never_increases_violations_and_terminates() {
+    for sample in jtlang::corpus::samples() {
+        let mut session = RefinementSession::from_source(sample.source, Policy::asr()).unwrap();
+        let report = session.refine_automatically(10).unwrap();
+        assert!(
+            report.trajectory.windows(2).all(|w| w[1] <= w[0]),
+            "sample `{}`: {:?}",
+            sample.name,
+            report.trajectory
+        );
+        assert!(report.iterations <= 10);
+        // A second automatic pass has nothing more to do.
+        let again = session.refine_automatically(10).unwrap();
+        assert!(again.applied.is_empty(), "refinement must be idempotent");
+    }
+}
+
+#[test]
+fn refined_programs_remain_well_formed() {
+    for sample in jtlang::corpus::samples() {
+        let mut session = RefinementSession::from_source(sample.source, Policy::asr()).unwrap();
+        session.refine_automatically(10).unwrap();
+        // The session's program must still pass the whole front end.
+        jtlang::check_source(&session.source())
+            .unwrap_or_else(|e| panic!("sample `{}` broke after refinement: {e}", sample.name));
+    }
+}
+
+#[test]
+fn compliant_corpus_blocks_embed_and_react() {
+    use asr::prelude::*;
+    for (source, class, ctor_args, input, expect_some_output) in [
+        (jtlang::corpus::COUNTER, "Counter", vec![5i64], 3i64, true),
+        (jtlang::corpus::FIR_FILTER, "Fir", vec![], 8, true),
+        (jtlang::corpus::TRAFFIC_LIGHT, "TrafficLight", vec![], 1, true),
+    ] {
+        let block = embed(source, class, &ctor_args).unwrap();
+        let ins = block.interface().inputs;
+        let outs = block.interface().outputs;
+        let mut b = SystemBuilder::new("t");
+        let mut in_ids = Vec::new();
+        for i in 0..ins {
+            in_ids.push(b.add_input(format!("in{i}")));
+        }
+        let blk = b.add_block(block);
+        for (i, id) in in_ids.iter().enumerate() {
+            b.connect(Source::ext(*id), Sink::block(blk, i)).unwrap();
+        }
+        for o in 0..outs {
+            let oid = b.add_output(format!("out{o}"));
+            b.connect(Source::block(blk, o), Sink::ext(oid)).unwrap();
+        }
+        let mut sys = b.build().unwrap();
+        let inputs: Vec<Value> = (0..ins).map(|_| Value::int(input)).collect();
+        let result = sys.react(&inputs).unwrap();
+        if expect_some_output {
+            assert!(
+                result.iter().any(Value::is_present),
+                "{class} produced no output"
+            );
+        }
+    }
+}
+
+#[test]
+fn jpeg_example_full_pipeline() {
+    // The headline experiment, condensed: unrestricted fails, automatic
+    // refinement shrinks the violation set, the hand-refined version is
+    // compliant, and both compute identical images on both engines.
+    use jpegsys::jtgen;
+    use jtvm::engine::Engine;
+    use jtvm::interp::Interpreter;
+    use jtvm::vm::CompiledVm;
+
+    let unrestricted = jtgen::unrestricted_source();
+    let restricted = jtgen::restricted_source();
+
+    let mut session = RefinementSession::from_source(&unrestricted, Policy::asr()).unwrap();
+    let before = session.check().len();
+    let report = session.refine_automatically(10).unwrap();
+    assert!(before > 0);
+    assert!(
+        report.remaining.len() < before,
+        "automation must discharge most violations"
+    );
+    assert!(report.remaining.iter().all(|v| v.rule == "R4"));
+
+    let final_session = RefinementSession::from_source(&restricted, Policy::asr()).unwrap();
+    assert!(final_session.is_compliant());
+
+    let img = jpegsys::testimage::gray_test_image(24, 24);
+    let mut outputs = Vec::new();
+    for (src, class) in [
+        (unrestricted.as_str(), "JpegUnrestricted"),
+        (restricted.as_str(), "JpegRestricted"),
+    ] {
+        let mut interp = Interpreter::new(jtlang::parse(src).unwrap(), class).unwrap();
+        interp.initialize(&[]).unwrap();
+        outputs.push(jtgen::run_roundtrip(&mut interp, &img).unwrap());
+        let mut vm = CompiledVm::new(jtlang::parse(src).unwrap(), class).unwrap();
+        vm.initialize(&[]).unwrap();
+        outputs.push(jtgen::run_roundtrip(&mut vm, &img).unwrap());
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0], pair[1], "all four configurations must agree");
+    }
+}
+
+#[test]
+fn transformed_unrestricted_jpeg_preserves_behaviour() {
+    // Apply the automated transforms to the unrestricted JPEG and verify
+    // the refined program computes the same function (the refinement
+    // contract: identical behaviour for in-cap workloads).
+    use jpegsys::jtgen;
+    use jtvm::engine::Engine;
+    use jtvm::interp::Interpreter;
+
+    let unrestricted = jtgen::unrestricted_source();
+    let mut session = RefinementSession::from_source(&unrestricted, Policy::asr()).unwrap();
+    session.refine_automatically(10).unwrap();
+    let refined = session.source();
+
+    let img = jpegsys::testimage::gray_test_image(16, 16);
+    let mut before = Interpreter::new(jtlang::parse(&unrestricted).unwrap(), "JpegUnrestricted")
+        .unwrap();
+    let mut after =
+        Interpreter::new(jtlang::parse(&refined).unwrap(), "JpegUnrestricted").unwrap();
+    before.initialize(&[]).unwrap();
+    after.initialize(&[]).unwrap();
+    let a = jtgen::run_roundtrip(&mut before, &img).unwrap();
+    let b = jtgen::run_roundtrip(&mut after, &img).unwrap();
+    assert_eq!(a, b, "automated transforms changed the computed function");
+    // And the refined version no longer allocates the hoisted buffers
+    // per reaction (only the remaining dynamic output buffer).
+    assert!(
+        after.last_cost().heap.allocations < before.last_cost().heap.allocations,
+        "hoisting must reduce per-reaction allocation"
+    );
+}
+
+#[test]
+fn elevator_controller_behaves_and_embeds() {
+    use asr::prelude::*;
+    // Behaviour check through the embedded block: request floor 3 (mask
+    // 8), watch the car climb and open its doors exactly once at 3.
+    let block = embed(jtlang::corpus::ELEVATOR, "Elevator", &[]).unwrap();
+    assert_eq!(block.interface().inputs, 1);
+    assert_eq!(block.interface().outputs, 2);
+    let mut b = SystemBuilder::new("building");
+    let req = b.add_input("requests");
+    let e = b.add_block(block);
+    let floor = b.add_output("floor");
+    let doors = b.add_output("doors");
+    b.connect(Source::ext(req), Sink::block(e, 0)).unwrap();
+    b.connect(Source::block(e, 0), Sink::ext(floor)).unwrap();
+    b.connect(Source::block(e, 1), Sink::ext(doors)).unwrap();
+    let mut sys = b.build().unwrap();
+
+    let mut history = Vec::new();
+    for instant in 0..8 {
+        let mask = if instant == 0 { 8 } else { 0 }; // request floor 3 once
+        let out = sys.react(&[Value::int(mask)]).unwrap();
+        history.push((out[0].as_int().unwrap(), out[1].as_int().unwrap()));
+    }
+    let floors: Vec<i64> = history.iter().map(|(f, _)| *f).collect();
+    assert_eq!(&floors[..4], &[1, 2, 3, 3], "car climbs to floor 3: {floors:?}");
+    let door_opens: Vec<usize> = history
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, d))| *d == 1)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(door_opens.len(), 1, "doors open exactly once: {history:?}");
+    assert_eq!(history[door_opens[0]].0, 3, "doors open at floor 3");
+}
+
+#[test]
+fn two_embedded_jt_blocks_compose_into_one_system() {
+    use asr::prelude::*;
+    // The paper: "concurrency is obtained through specification of
+    // separate functional blocks". Chain two independently embedded JT
+    // designs: a saturating counter feeding an FIR smoother.
+    let counter = embed(jtlang::corpus::COUNTER, "Counter", &[6]).unwrap();
+    let fir = embed(jtlang::corpus::FIR_FILTER, "Fir", &[]).unwrap();
+    let mut b = SystemBuilder::new("chain");
+    let x = b.add_input("pulses");
+    let c = b.add_block(counter);
+    let g = b.add_block(asr::stock::gain("scale", 8));
+    let f = b.add_block(fir);
+    let o = b.add_output("smoothed");
+    b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+    b.connect(Source::block(c, 0), Sink::block(g, 0)).unwrap();
+    b.connect(Source::block(g, 0), Sink::block(f, 0)).unwrap();
+    b.connect(Source::block(f, 0), Sink::ext(o)).unwrap();
+    let mut sys = b.build().unwrap();
+
+    // Counter saturates at 6; FIR (taps 1,3,3,1 / 8) of the scaled
+    // staircase settles at 6*8 = 48.
+    let outs: Vec<i64> = (0..12)
+        .map(|_| sys.react(&[Value::int(2)]).unwrap()[0].as_int().unwrap())
+        .collect();
+    assert_eq!(*outs.last().unwrap(), 48, "pipeline settles: {outs:?}");
+    assert!(outs.windows(2).all(|w| w[0] <= w[1]), "monotone rise: {outs:?}");
+}

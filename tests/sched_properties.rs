@@ -1,0 +1,123 @@
+//! Property-based tests of the interleaving simulator: soundness of
+//! random sampling, soundness of the local-step reduction, and the
+//! determinism criterion.
+
+use proptest::prelude::*;
+use sched::interleave::{explore, run_schedule, Explore};
+use sched::outcome::happens_before;
+use sched::program::{Instr, Program, Source};
+
+/// A random shared-variable program over at most 3 variables and 3
+/// threads of at most 3 instructions each — small enough to enumerate
+/// exhaustively.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let var = (0usize..3).prop_map(|i| format!("v{i}"));
+    let src = prop_oneof![
+        (-5i64..=5).prop_map(Source::Const),
+        Just(Source::Reg("r".to_string())),
+    ];
+    let instr = prop_oneof![
+        var.clone().prop_map(|var| Instr::Read {
+            var,
+            reg: "r".to_string()
+        }),
+        (var.clone(), src.clone()).prop_map(|(var, src)| Instr::Write { var, src }),
+        src.prop_map(|s| Instr::Add {
+            reg: "r".to_string(),
+            a: Source::Reg("r".to_string()),
+            b: s
+        }),
+    ];
+    proptest::collection::vec(proptest::collection::vec(instr, 1..4), 1..4).prop_map(|threads| {
+        let mut p = Program::new().var("v0", 0).var("v1", 0).var("v2", 0);
+        let n = threads.len();
+        for (i, instrs) in threads.into_iter().enumerate() {
+            p = p.thread(format!("T{i}"), instrs);
+        }
+        for v in 0..3 {
+            p = p.observe_var(format!("v{v}"));
+        }
+        for t in 0..n {
+            p = p.observe_reg(format!("T{t}"), "r");
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduction_is_outcome_preserving(program in arb_program()) {
+        let reduced = explore(&program, Explore::exhaustive());
+        let unreduced = explore(&program, Explore::exhaustive_unreduced());
+        prop_assert_eq!(reduced.distinct, unreduced.distinct);
+    }
+
+    #[test]
+    fn random_sampling_is_sound(program in arb_program(), seed in 0u64..1000) {
+        let exhaustive = explore(&program, Explore::exhaustive());
+        let sampled = explore(&program, Explore::random(seed, 50));
+        for o in &sampled.distinct {
+            prop_assert!(
+                exhaustive.distinct.contains(o),
+                "sampled outcome {o} not found exhaustively"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_programs_are_deterministic(
+        instrs in proptest::collection::vec(
+            prop_oneof![
+                Just(Instr::Read { var: "v0".to_string(), reg: "r".to_string() }),
+                (-5i64..=5).prop_map(|c| Instr::Write { var: "v0".to_string(), src: Source::Const(c) }),
+                Just(Instr::Add { reg: "r".to_string(), a: Source::Reg("r".to_string()), b: Source::Const(1) }),
+            ],
+            1..6
+        )
+    ) {
+        let p = Program::new()
+            .var("v0", 0)
+            .thread("T", instrs)
+            .observe_var("v0")
+            .observe_reg("T", "r");
+        let outcomes = explore(&p, Explore::exhaustive());
+        prop_assert!(outcomes.is_deterministic());
+    }
+
+    #[test]
+    fn every_specific_schedule_yields_an_exhaustively_known_outcome(
+        program in arb_program(),
+        schedule in proptest::collection::vec(0usize..3, 0..12),
+    ) {
+        let exhaustive = explore(&program, Explore::exhaustive());
+        let (outcome, events) = run_schedule(&program, &schedule);
+        prop_assert!(exhaustive.distinct.contains(&outcome));
+        prop_assert_eq!(events.len(), program.total_instrs(), "every instruction runs");
+    }
+
+    #[test]
+    fn happens_before_is_acyclic_and_respects_program_order(
+        program in arb_program(),
+        schedule in proptest::collection::vec(0usize..3, 0..12),
+    ) {
+        let (_, events) = run_schedule(&program, &schedule);
+        let po = happens_before(&program, &events);
+        for i in 0..po.events.len() {
+            prop_assert!(!po.happens_before(i, i), "event {i} precedes itself");
+            for j in (i + 1)..po.events.len() {
+                prop_assert!(
+                    !(po.happens_before(i, j) && po.happens_before(j, i)),
+                    "events {i} and {j} precede each other"
+                );
+                if po.events[i].thread == po.events[j].thread {
+                    prop_assert!(
+                        po.happens_before(i, j),
+                        "program order violated between {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+}

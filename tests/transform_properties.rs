@@ -1,0 +1,121 @@
+//! Property-based verification of the refinement contract: automated
+//! transforms must preserve the behaviour of terminating programs (the
+//! iteration caps are never hit in-cap), and must leave the program
+//! compliant when only automatable violations exist.
+
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::io::PortDatum;
+use jtvm::vm::CompiledVm;
+use proptest::prelude::*;
+use sfr::policy::Policy;
+use sfr::session::RefinementSession;
+
+/// A program template that violates R1 (two whiles + a do-while), R4 (a
+/// constant-size run-phase buffer), and R5 (a public field) — all
+/// automatable — with randomized loop bounds, buffer length, arithmetic,
+/// and access index.
+fn template(bound: i64, len: i64, idx: i64, mul: i64, add: i64) -> String {
+    format!(
+        "class P extends ASR {{
+             public int state;
+             P() {{ state = 0; }}
+             public void run() {{
+                 int x = read(0);
+                 int acc = 0;
+                 int i = 0;
+                 while (i < {bound}) {{
+                     acc = acc + x * {mul} + {add};
+                     i++;
+                 }}
+                 int[] buf = new int[{len}];
+                 int j = 0;
+                 while (j < buf.length) {{
+                     buf[j] = acc + j;
+                     j++;
+                 }}
+                 do {{
+                     acc += buf[{idx}];
+                 }} while (false);
+                 state = acc;
+                 write(0, acc);
+             }}
+         }}"
+    )
+}
+
+fn outputs_of(source: &str, inputs: &[i64]) -> Vec<Vec<Option<PortDatum>>> {
+    let program = jtlang::parse(source).expect("parses");
+    let mut interp = Interpreter::new(program.clone(), "P").expect("builds");
+    let mut vm = CompiledVm::new(program, "P").expect("builds");
+    interp.initialize(&[]).expect("init");
+    vm.initialize(&[]).expect("init");
+    inputs
+        .iter()
+        .flat_map(|&v| {
+            let a = interp.react(&[PortDatum::Int(v)]).expect("interp react");
+            let b = vm.react(&[PortDatum::Int(v)]).expect("vm react");
+            assert_eq!(a, b, "engines disagree before even transforming");
+            [a, b]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn automated_refinement_preserves_behaviour_and_reaches_compliance(
+        bound in 0i64..12,
+        len in 1i64..16,
+        idx_seed in 0i64..16,
+        mul in -4i64..4,
+        add in -4i64..4,
+        inputs in proptest::collection::vec(-50i64..50, 1..4),
+    ) {
+        let idx = idx_seed % len;
+        let source = template(bound, len, idx, mul, add);
+
+        let mut session =
+            RefinementSession::from_source(&source, Policy::asr()).expect("well-formed");
+        let violations_before = session.check();
+        prop_assert!(!violations_before.is_empty(), "template must violate the policy");
+        let report = session.refine_automatically(10).expect("refines");
+        prop_assert!(
+            report.compliant,
+            "all template violations are automatable; remaining: {:?}",
+            report.remaining
+        );
+
+        let refined = session.source();
+        let before = outputs_of(&source, &inputs);
+        let after = outputs_of(&refined, &inputs);
+        prop_assert_eq!(before, after, "refinement changed behaviour:\n{}", refined);
+    }
+
+    #[test]
+    fn refined_template_stops_allocating_per_reaction(
+        bound in 0i64..6,
+        len in 1i64..8,
+    ) {
+        let source = template(bound, len, 0, 1, 1);
+        let mut session =
+            RefinementSession::from_source(&source, Policy::asr()).expect("well-formed");
+        session.refine_automatically(10).expect("refines");
+        let refined = session.source();
+
+        let mut engine =
+            Interpreter::new(jtlang::parse(&refined).expect("parses"), "P").expect("builds");
+        engine.initialize(&[]).expect("init");
+        engine.react(&[PortDatum::Int(3)]).expect("react");
+        prop_assert_eq!(
+            engine.last_cost().heap.allocations,
+            0,
+            "hoisting must leave reactions allocation-free:\n{}",
+            refined
+        );
+        // And the freeze is now safe.
+        engine.freeze_heap();
+        prop_assert!(engine.react(&[PortDatum::Int(4)]).is_ok());
+    }
+}
