@@ -11,6 +11,44 @@ use std::fmt::Write as _;
 
 /// Renders `system` as a Graphviz `digraph`.
 pub fn to_dot(system: &System) -> String {
+    render(system, None)
+}
+
+/// Like [`to_dot`], but overlays per-block evaluation metrics from
+/// `registry` (populated by running the system after
+/// [`System::attach_registry`]): each block that was evaluated shows its
+/// `eval` count and mean evaluation time, and the hottest blocks — by
+/// total time spent — are tinted so they stand out in the rendered
+/// graph. Blocks with no recorded evaluations render exactly as in
+/// [`to_dot`].
+pub fn to_dot_with_metrics(system: &System, registry: &jtobs::Registry) -> String {
+    render(system, Some(registry))
+}
+
+fn block_overlay(registry: &jtobs::Registry, name: &str) -> Option<(u64, f64)> {
+    let evals = registry.counter_value(&format!("asr.block.{name}.evals"));
+    if evals == 0 {
+        return None;
+    }
+    let mean_ns = registry
+        .histogram_stats(&format!("asr.block.{name}.eval_ns"))
+        .map_or(0.0, |s| s.mean());
+    Some((evals, mean_ns))
+}
+
+fn render(system: &System, registry: Option<&jtobs::Registry>) -> String {
+    // Total time per block decides the "hot" tint: the top third of
+    // blocks (by eval count × mean ns) that did measurable work.
+    let hot_threshold = registry.and_then(|reg| {
+        let mut totals: Vec<f64> = (0..system.num_blocks())
+            .filter_map(|b| block_overlay(reg, system.blocks[b].name()))
+            .map(|(evals, mean_ns)| evals as f64 * mean_ns)
+            .filter(|&t| t > 0.0)
+            .collect();
+        totals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        totals.get(totals.len() / 3).copied()
+    });
+
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", system.name());
     let _ = writeln!(out, "  rankdir=LR;");
@@ -23,11 +61,26 @@ pub fn to_dot(system: &System) -> String {
         let _ = writeln!(out, "  out{i} [label=\"{name}\", shape=ellipse];");
     }
     for b in 0..system.num_blocks() {
-        let _ = writeln!(
-            out,
-            "  b{b} [label=\"{}\", shape=box];",
-            system.blocks[b].name()
-        );
+        let name = system.blocks[b].name();
+        match registry.and_then(|reg| block_overlay(reg, name)) {
+            Some((evals, mean_ns)) => {
+                let total = evals as f64 * mean_ns;
+                let hot = hot_threshold.is_some_and(|t| total >= t);
+                let style = if hot {
+                    ", style=filled, fillcolor=salmon"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "  b{b} [label=\"{name}\\n{evals} evals, {:.1} us mean\", shape=box{style}];",
+                    mean_ns / 1_000.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  b{b} [label=\"{name}\", shape=box];");
+            }
+        }
     }
     for d in 0..system.num_delays() {
         let _ = writeln!(
@@ -99,6 +152,37 @@ mod tests {
         assert!(dot.contains("b0 -> d0"));
         assert!(dot.contains("b0 -> out0"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_metrics_overlays_eval_counts() {
+        let mut b = SystemBuilder::new("acc");
+        let i = b.add_input("in");
+        let add = b.add_block(stock::add("sum"));
+        let d = b.add_delay("state", Value::int(0));
+        let o = b.add_output("acc");
+        b.connect(Source::ext(i), Sink::block(add, 0)).unwrap();
+        b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+        b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+        let mut sys = b.build().unwrap();
+
+        let registry = jtobs::Registry::new();
+        sys.attach_registry(&registry);
+        sys.react(&[Value::int(1)]).unwrap();
+        sys.react(&[Value::int(2)]).unwrap();
+
+        let dot = to_dot_with_metrics(&sys, &registry);
+        if jtobs::ENABLED {
+            assert!(
+                dot.contains("b0 [label=\"sum\\n2 evals, "),
+                "expected eval-count overlay in:\n{dot}"
+            );
+        } else {
+            assert!(dot.contains("b0 [label=\"sum\", shape=box]"));
+        }
+        // Plain export stays metric-free either way.
+        assert!(to_dot(&sys).contains("b0 [label=\"sum\", shape=box]"));
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //!   only when one of its input signals gained information.
 
 use crate::error::EvalError;
+use crate::obs::SystemObs;
 use crate::port::BlockId;
 use crate::system::System;
 use crate::value::Value;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Fixed-point evaluation order. See the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -41,6 +43,10 @@ pub struct FixpointStats {
     pub block_evals: usize,
     /// Number of sweeps (chaotic) or worklist pops (worklist).
     pub steps: usize,
+    /// Number of ⊥ → determined signal transitions (each signal climbs
+    /// the flat domain at most once, so this is also the number of
+    /// signals the fixed point determined beyond the initial ones).
+    pub climbs: usize,
 }
 
 /// Solves the instant equations in place: `signals` arrives with external
@@ -50,11 +56,38 @@ pub(crate) fn solve(
     sys: &System,
     signals: &mut [Value],
     strategy: Strategy,
+    obs: Option<&SystemObs>,
 ) -> Result<FixpointStats, EvalError> {
-    match strategy {
-        Strategy::Chaotic => solve_chaotic(sys, signals),
-        Strategy::Worklist => solve_worklist(sys, signals),
+    let stats = match strategy {
+        Strategy::Chaotic => solve_chaotic(sys, signals, obs),
+        Strategy::Worklist => solve_worklist(sys, signals, obs),
+    }?;
+    if let Some(o) = obs {
+        o.iterations.add(stats.steps as u64);
+        o.block_evals_total.add(stats.block_evals as u64);
+        o.climbs.add(stats.climbs as u64);
     }
+    Ok(stats)
+}
+
+/// [`eval_block`] plus per-block metrics when a registry is attached.
+/// The clock is only read when `obs` is `Some`, so an un-instrumented
+/// solve pays nothing beyond the `Option` test.
+fn eval_block_observed(
+    sys: &System,
+    b: usize,
+    signals: &mut [Value],
+    scratch_in: &mut Vec<Value>,
+    scratch_out: &mut Vec<Value>,
+    obs: Option<&SystemObs>,
+) -> Result<Vec<usize>, EvalError> {
+    let started = obs.map(|_| Instant::now());
+    let changed = eval_block(sys, b, signals, scratch_in, scratch_out)?;
+    if let (Some(o), Some(t0)) = (obs, started) {
+        o.block_ns[b].record(t0.elapsed().as_nanos() as u64);
+        o.block_evals[b].inc();
+    }
+    Ok(changed)
 }
 
 /// Evaluates block `b` against the current signals, merging its outputs
@@ -99,7 +132,11 @@ fn eval_block(
     Ok(changed)
 }
 
-fn solve_chaotic(sys: &System, signals: &mut [Value]) -> Result<FixpointStats, EvalError> {
+fn solve_chaotic(
+    sys: &System,
+    signals: &mut [Value],
+    obs: Option<&SystemObs>,
+) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
     let mut scratch_in = Vec::new();
     let mut scratch_out = Vec::new();
@@ -111,7 +148,9 @@ fn solve_chaotic(sys: &System, signals: &mut [Value]) -> Result<FixpointStats, E
         let mut changed_any = false;
         for b in 0..sys.num_blocks() {
             stats.block_evals += 1;
-            let changed = eval_block(sys, b, signals, &mut scratch_in, &mut scratch_out)?;
+            let changed =
+                eval_block_observed(sys, b, signals, &mut scratch_in, &mut scratch_out, obs)?;
+            stats.climbs += changed.len();
             changed_any |= !changed.is_empty();
         }
         if !changed_any {
@@ -123,7 +162,11 @@ fn solve_chaotic(sys: &System, signals: &mut [Value]) -> Result<FixpointStats, E
     })
 }
 
-fn solve_worklist(sys: &System, signals: &mut [Value]) -> Result<FixpointStats, EvalError> {
+fn solve_worklist(
+    sys: &System,
+    signals: &mut [Value],
+    obs: Option<&SystemObs>,
+) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
     let mut scratch_in = Vec::new();
     let mut scratch_out = Vec::new();
@@ -140,7 +183,9 @@ fn solve_worklist(sys: &System, signals: &mut [Value]) -> Result<FixpointStats, 
         if stats.block_evals > budget {
             return Err(EvalError::NonConvergence { iterations: budget });
         }
-        let changed = eval_block(sys, b, signals, &mut scratch_in, &mut scratch_out)?;
+        let changed =
+            eval_block_observed(sys, b, signals, &mut scratch_in, &mut scratch_out, obs)?;
+        stats.climbs += changed.len();
         for sig in changed {
             for &consumer in &sys.consumers[sig] {
                 if !queued[consumer] {

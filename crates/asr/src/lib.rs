@@ -69,6 +69,7 @@ pub mod dot;
 pub mod error;
 pub mod fixpoint;
 pub mod hierarchy;
+pub mod obs;
 pub mod port;
 pub mod stock;
 pub mod system;

@@ -1,0 +1,57 @@
+//! Instrumentation hooks: pre-resolved [`jtobs`] handles for the hot
+//! fixed-point path.
+//!
+//! Attaching a registry ([`crate::system::System::attach_registry`])
+//! resolves every metric handle once, so the per-instant and per-block
+//! code never does a name lookup. With the `telemetry` feature disabled
+//! the attach is a no-op and the solver's `obs` argument is always
+//! `None`, so nothing — not even a clock read — happens on the hot
+//! path.
+//!
+//! Metric names:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `asr.instants` | counter | committed instants |
+//! | `asr.fixpoint.iterations` | counter | sweeps (chaotic) / worklist pops |
+//! | `asr.fixpoint.block_evals` | counter | total block `eval` calls |
+//! | `asr.fixpoint.climbs` | counter | ⊥ → determined signal transitions |
+//! | `asr.fixpoint.settled_signals` | histogram | determined signals per instant |
+//! | `asr.instant` | span | wall time of one instant's fixed point |
+//! | `asr.block.<name>.evals` | counter | `eval` calls of one block |
+//! | `asr.block.<name>.eval_ns` | histogram | wall time of one block's `eval` |
+
+/// Handles resolved once at [`attach`](crate::system::System::attach_registry)
+/// time. Block vectors are indexed by block id.
+#[derive(Debug, Clone)]
+pub(crate) struct SystemObs {
+    pub(crate) registry: jtobs::Registry,
+    pub(crate) instants: jtobs::Counter,
+    pub(crate) iterations: jtobs::Counter,
+    pub(crate) block_evals_total: jtobs::Counter,
+    pub(crate) climbs: jtobs::Counter,
+    pub(crate) settled: jtobs::Histogram,
+    pub(crate) block_evals: Vec<jtobs::Counter>,
+    pub(crate) block_ns: Vec<jtobs::Histogram>,
+}
+
+impl SystemObs {
+    pub(crate) fn new(registry: &jtobs::Registry, block_names: &[&str]) -> Self {
+        SystemObs {
+            registry: registry.clone(),
+            instants: registry.counter("asr.instants"),
+            iterations: registry.counter("asr.fixpoint.iterations"),
+            block_evals_total: registry.counter("asr.fixpoint.block_evals"),
+            climbs: registry.counter("asr.fixpoint.climbs"),
+            settled: registry.histogram("asr.fixpoint.settled_signals"),
+            block_evals: block_names
+                .iter()
+                .map(|n| registry.counter(&format!("asr.block.{n}.evals")))
+                .collect(),
+            block_ns: block_names
+                .iter()
+                .map(|n| registry.histogram(&format!("asr.block.{n}.eval_ns")))
+                .collect(),
+        }
+    }
+}

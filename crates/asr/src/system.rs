@@ -20,6 +20,7 @@ use crate::block::{Block, SystemState};
 use crate::delay::Delay;
 use crate::error::{BuildSystemError, EvalError};
 use crate::fixpoint::{self, FixpointStats, Strategy};
+use crate::obs::SystemObs;
 use crate::port::{BlockId, DelayId, InputId, OutputId};
 use crate::trace::{InstantRecord, Trace};
 use crate::value::Value;
@@ -303,6 +304,7 @@ impl SystemBuilder {
             n_signals,
             strategy: Strategy::default(),
             instant_count: 0,
+            obs: None,
         })
     }
 }
@@ -344,6 +346,7 @@ pub struct System {
     pub(crate) n_signals: usize,
     strategy: Strategy,
     instant_count: u64,
+    obs: Option<SystemObs>,
 }
 
 impl fmt::Debug for System {
@@ -417,6 +420,24 @@ impl System {
         self.strategy = strategy;
     }
 
+    /// Attaches a [`jtobs::Registry`]: every subsequent instant records
+    /// fixed-point iteration counts, domain climbs, settled-signal
+    /// counts, and per-block evaluation counts/spans (see
+    /// [`crate::obs`] for the metric names). Metric handles are resolved
+    /// once, here. A no-op when the `telemetry` feature is disabled.
+    pub fn attach_registry(&mut self, registry: &jtobs::Registry) {
+        if jtobs::ENABLED {
+            let names: Vec<&str> = self.blocks.iter().map(|b| b.name()).collect();
+            self.obs = Some(SystemObs::new(registry, &names));
+        }
+    }
+
+    /// Detaches any registry attached via [`Self::attach_registry`];
+    /// subsequent instants record nothing.
+    pub fn detach_registry(&mut self) {
+        self.obs = None;
+    }
+
     /// A human-readable name for an internal signal index.
     pub fn signal_name(&self, sig: usize) -> String {
         if sig < self.input_names.len() {
@@ -482,7 +503,12 @@ impl System {
         for (d, delay) in self.delays.iter().enumerate() {
             signals[self.delay_base + d] = delay.output().clone();
         }
-        let stats = fixpoint::solve(self, &mut signals, self.strategy)?;
+        let _instant_span = self.obs.as_ref().map(|o| o.registry.span("asr.instant"));
+        let stats = fixpoint::solve(self, &mut signals, self.strategy, self.obs.as_ref())?;
+        if let Some(o) = &self.obs {
+            o.settled
+                .record(signals.iter().filter(|v| !v.is_unknown()).count() as u64);
+        }
         Ok(InstantSolution { signals, stats })
     }
 
@@ -515,6 +541,9 @@ impl System {
             self.delays[d].latch(solution.signals[sig].clone());
         }
         self.instant_count += 1;
+        if let Some(o) = &self.obs {
+            o.instants.inc();
+        }
         Ok(())
     }
 

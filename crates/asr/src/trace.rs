@@ -33,18 +33,53 @@ impl InstantRecord {
     }
 
     /// The number of instants in this subtree, including this one.
+    ///
+    /// Iterative, so arbitrarily deep sub-instant chains (composite
+    /// blocks nested inside composite blocks) cannot overflow the call
+    /// stack the way the previous recursive walk could.
     pub fn total_instants(&self) -> usize {
-        1 + self.children.iter().map(InstantRecord::total_instants).sum::<usize>()
+        self.flatten().len()
     }
 
     /// The depth of temporal nesting below (and including) this instant.
+    /// A record with no children has depth 1. Iterative for the same
+    /// stack-safety reason as [`Self::total_instants`].
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(InstantRecord::depth)
-            .max()
-            .unwrap_or(0)
+        let mut max = 0;
+        let mut stack: Vec<(&InstantRecord, usize)> = vec![(self, 1)];
+        while let Some((record, d)) = stack.pop() {
+            max = max.max(d);
+            for child in &record.children {
+                stack.push((child, d + 1));
+            }
+        }
+        max
+    }
+
+    /// All records of the subtree in pre-order (self first, then each
+    /// child's subtree in execution order) — the walk exporters want,
+    /// without writing the traversal by hand at every call site.
+    pub fn flatten(&self) -> Vec<&InstantRecord> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&InstantRecord> = vec![self];
+        while let Some(record) = stack.pop() {
+            out.push(record);
+            // Reverse so the leftmost child is popped (visited) first.
+            for child in record.children.iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// The values signal `name` took across this subtree, in pre-order
+    /// (`None` where a record lacks the signal — e.g. sub-instants of a
+    /// composite, whose signal namespace is its own).
+    pub fn signal_history(&self, name: &str) -> Vec<Option<Value>> {
+        self.flatten()
+            .into_iter()
+            .map(|r| r.signals.get(name).cloned())
+            .collect()
     }
 
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
@@ -141,6 +176,66 @@ mod tests {
             t.signal_history("x"),
             vec![Some(Value::int(1)), None]
         );
+    }
+
+    #[test]
+    fn flatten_is_preorder() {
+        let t = sample();
+        let labels: Vec<&str> = t.instants[0]
+            .flatten()
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["top@0", "sub@0", "leaf@0", "leaf@1"]);
+    }
+
+    #[test]
+    fn record_signal_history_covers_subtree() {
+        let mut top = InstantRecord::new("top@0");
+        top.signals.insert("s".into(), Value::int(1));
+        let mut sub = InstantRecord::new("sub@0");
+        sub.signals.insert("s".into(), Value::int(2));
+        top.children.push(sub);
+        top.children.push(InstantRecord::new("sub@1"));
+        assert_eq!(
+            top.signal_history("s"),
+            vec![Some(Value::int(1)), Some(Value::int(2)), None]
+        );
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        // A pathological 100k-deep chain of sub-instants: the recursive
+        // implementations blew the stack here; the iterative ones must
+        // not.
+        let mut leaf = InstantRecord::new("leaf");
+        for i in 0..100_000 {
+            let mut parent = InstantRecord::new(format!("n{i}"));
+            parent.children.push(leaf);
+            leaf = parent;
+        }
+        assert_eq!(leaf.depth(), 100_001);
+        assert_eq!(leaf.total_instants(), 100_001);
+        assert_eq!(leaf.flatten().len(), 100_001);
+        // Dropping the chain must be safe too — rebalance into a wide
+        // tree is not needed because Vec-of-children drops iteratively
+        // only per level; explicitly unwind instead.
+        while !leaf.children.is_empty() {
+            leaf = leaf.children.pop().unwrap();
+        }
+    }
+
+    #[test]
+    fn singleton_edge_cases() {
+        let r = InstantRecord::new("only");
+        assert_eq!(r.depth(), 1);
+        assert_eq!(r.total_instants(), 1);
+        assert_eq!(r.flatten().len(), 1);
+        assert!(r.signal_history("missing") == vec![None]);
+        let empty = Trace::new();
+        assert_eq!(empty.depth(), 0);
+        assert_eq!(empty.total_instants(), 0);
+        assert!(empty.signal_history("x").is_empty());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Behavioural tests for the instrumentation crate: metric semantics,
+//! thread safety, and well-formedness of the Chrome trace export.
+//!
+//! Everything that inspects recorded values is gated on
+//! [`jtobs::ENABLED`] so the suite also passes (trivially) with
+//! `--no-default-features`, where every operation is a no-op.
+
+use jtobs::Registry;
+use proptest::prelude::*;
+
+#[test]
+fn counters_accumulate_and_share_by_name() {
+    let registry = Registry::new();
+    let a = registry.counter("hits");
+    let b = registry.counter("hits");
+    a.inc();
+    b.add(4);
+    if jtobs::ENABLED {
+        assert_eq!(a.get(), 5, "same name resolves to the same counter");
+        assert_eq!(registry.counter_value("hits"), 5);
+        assert_eq!(registry.counter_value("missing"), 0);
+        assert_eq!(registry.counters(), vec![("hits".to_string(), 5)]);
+    }
+}
+
+#[test]
+fn gauges_go_up_and_down() {
+    let registry = Registry::new();
+    let g = registry.gauge("depth");
+    g.set(3);
+    g.add(-5);
+    if jtobs::ENABLED {
+        assert_eq!(g.get(), -2);
+        assert_eq!(registry.gauge_value("depth"), -2);
+    }
+}
+
+#[test]
+fn histogram_stats_track_extremes_and_mean() {
+    let registry = Registry::new();
+    let h = registry.histogram("latency");
+    for v in [10, 20, 30] {
+        h.record(v);
+    }
+    if jtobs::ENABLED {
+        let stats = registry.histogram_stats("latency").unwrap();
+        assert_eq!(stats.count, 3);
+        assert_eq!((stats.min, stats.max), (10, 30));
+        assert!((stats.mean() - 20.0).abs() < 1e-9);
+        // The log2-bucketed quantile is approximate, but must stay
+        // within the recorded range.
+        let p50 = h.approx_quantile(0.5);
+        assert!((10..=30).contains(&p50), "p50 = {p50}");
+        assert!(registry.histogram_stats("missing").is_none());
+    }
+}
+
+#[test]
+fn spans_record_duration_and_nest() {
+    let registry = Registry::new();
+    {
+        let _outer = registry.span("outer");
+        let _inner = registry.span("inner");
+    }
+    if jtobs::ENABLED {
+        assert_eq!(registry.histogram_stats("outer").unwrap().count, 1);
+        assert_eq!(registry.histogram_stats("inner").unwrap().count, 1);
+        // B(outer) B(inner) E(inner) E(outer)
+        assert_eq!(registry.trace_event_count(), 4);
+    }
+}
+
+#[test]
+fn concurrent_updates_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let c = registry.counter("shared");
+                let h = registry.histogram("values");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t as u64 * PER_THREAD + i);
+                    if i % 1000 == 0 {
+                        let _span = registry.span("tick");
+                    }
+                }
+            });
+        }
+    });
+    if jtobs::ENABLED {
+        assert_eq!(
+            registry.counter_value("shared"),
+            THREADS as u64 * PER_THREAD
+        );
+        let stats = registry.histogram_stats("values").unwrap();
+        assert_eq!(stats.count, THREADS as u64 * PER_THREAD);
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.max, THREADS as u64 * PER_THREAD - 1);
+        assert_eq!(registry.histogram_stats("tick").unwrap().count as usize, THREADS * 10);
+    }
+}
+
+#[test]
+fn report_lists_every_metric_kind() {
+    let registry = Registry::new();
+    registry.counter("asr.instants").add(7);
+    registry.gauge("queue.depth").set(2);
+    registry.histogram("ns").record(1500);
+    let text = registry.report();
+    if jtobs::ENABLED {
+        assert!(text.contains("asr.instants"), "{text}");
+        assert!(text.contains('7'), "{text}");
+        assert!(text.contains("queue.depth"), "{text}");
+        assert!(text.contains("ns"), "{text}");
+    } else {
+        assert!(text.contains("disabled"), "{text}");
+    }
+}
+
+#[test]
+fn chrome_trace_of_empty_registry_parses() {
+    let registry = Registry::new();
+    let json = registry.chrome_trace_json();
+    let value = serde_json::from_str(&json).expect("empty trace must be valid JSON");
+    assert_eq!(value["traceEvents"].as_array().unwrap().len(), 0);
+}
+
+/// Replays `script` (span depth deltas) against a registry: positive =
+/// open a span, zero/negative = close the innermost open one. Returns
+/// how many spans were opened in total.
+fn run_span_script(registry: &Registry, script: &[(bool, u8)]) -> usize {
+    let mut open: Vec<jtobs::Span> = Vec::new();
+    let mut opened = 0;
+    for &(push, name) in script {
+        if push || open.is_empty() {
+            open.push(registry.span(&format!("s{}", name % 5)));
+            opened += 1;
+        } else {
+            open.pop();
+        }
+    }
+    // Close leftovers innermost-first; a plain Vec drop would close them
+    // in FIFO order and (correctly) fail the nesting check.
+    while open.pop().is_some() {}
+    opened
+}
+
+proptest! {
+    #[test]
+    fn chrome_trace_is_well_formed_json_with_nested_events(
+        script in proptest::collection::vec((any::<bool>(), any::<u8>()), 40)
+    ) {
+        let registry = Registry::new();
+        let opened = run_span_script(&registry, &script);
+
+        let json = registry.chrome_trace_json();
+        let value = match serde_json::from_str(&json) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("bad JSON: {e}\n{json}"))),
+        };
+        let events = value["traceEvents"]
+            .as_array()
+            .expect("traceEvents array")
+            .clone();
+        if !jtobs::ENABLED {
+            prop_assert!(events.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(events.len(), opened * 2, "one B and one E per span");
+
+        // Per-tid stack discipline: every E closes the most recent
+        // unmatched B of the same name, and nothing is left open.
+        let mut stacks: std::collections::BTreeMap<i64, Vec<String>> =
+            std::collections::BTreeMap::new();
+        let mut last_ts = f64::MIN;
+        for e in &events {
+            let name = e["name"].as_str().expect("name").to_string();
+            let phase = e["ph"].as_str().expect("ph");
+            let ts = e["ts"].as_f64().expect("ts");
+            let tid = e["tid"].as_i64().expect("tid");
+            prop_assert_eq!(e["pid"].as_i64(), Some(1));
+            prop_assert!(ts >= last_ts, "events are time-ordered");
+            last_ts = ts;
+            let stack = stacks.entry(tid).or_default();
+            match phase {
+                "B" => stack.push(name),
+                "E" => {
+                    let open = stack.pop();
+                    prop_assert_eq!(open, Some(name), "E must close the innermost B");
+                }
+                other => return Err(TestCaseError::fail(format!("unexpected phase {other}"))),
+            }
+        }
+        for (tid, stack) in stacks {
+            prop_assert!(stack.is_empty(), "tid {} left spans open: {:?}", tid, stack);
+        }
+    }
+}

@@ -6,6 +6,7 @@ use crate::error::RuntimeError;
 use crate::heap::Heap;
 use crate::io::{Io, PortDatum};
 use crate::layout::Layouts;
+use crate::obs::EngineObs;
 use crate::value::{ObjRef, RtValue};
 use jtlang::ast::*;
 use jtlang::resolve::ClassTable;
@@ -26,6 +27,9 @@ pub struct Interpreter {
     last_cost: PhaseCost,
     statics: HashMap<(String, String), RtValue>,
     source_bytes: usize,
+    obs: Option<EngineObs>,
+    /// Statements executed this phase, flushed to `obs` per reaction.
+    stmt_scratch: u64,
 }
 
 /// Statement outcome: how control continues.
@@ -104,6 +108,8 @@ impl Interpreter {
             last_cost: PhaseCost::default(),
             statics: HashMap::new(),
             source_bytes,
+            obs: None,
+            stmt_scratch: 0,
         };
         interp.init_statics().map_err(|e| {
             BuildEngineError::Frontend(format!("static initialization failed: {e}"))
@@ -119,6 +125,30 @@ impl Interpreter {
     /// The shared heap (for inspection in tests and benches).
     pub fn heap(&self) -> &Heap {
         &self.heap
+    }
+
+    /// Starts publishing `jtvm.interp.*` metrics (see [`crate::obs`])
+    /// into `registry`. A no-op when the `telemetry` feature is off.
+    pub fn attach_registry(&mut self, registry: &jtobs::Registry) {
+        if jtobs::ENABLED {
+            self.obs = Some(EngineObs::new(registry, "jtvm.interp", "statements", &[]));
+        }
+    }
+
+    /// Stops publishing metrics.
+    pub fn detach_registry(&mut self) {
+        self.obs = None;
+    }
+
+    fn flush_obs(&mut self, is_reaction: bool) {
+        if let Some(obs) = &self.obs {
+            if is_reaction {
+                obs.reactions.inc();
+            }
+            obs.flush_cost(&self.last_cost);
+            obs.retired.add(self.stmt_scratch);
+            self.stmt_scratch = 0;
+        }
     }
 
     fn init_statics(&mut self) -> Result<(), RuntimeError> {
@@ -293,6 +323,9 @@ impl Interpreter {
 
     fn exec(&mut self, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, RuntimeError> {
         self.meter.charge()?;
+        if jtobs::ENABLED && self.obs.is_some() {
+            self.stmt_scratch += 1;
+        }
         match &stmt.kind {
             StmtKind::VarDecl { ty, name, init } => {
                 let v = match init {
@@ -746,6 +779,7 @@ impl Engine for Interpreter {
             steps: self.meter.steps(),
             heap: self.heap.stats(),
         };
+        self.flush_obs(false);
         Ok(())
     }
 
@@ -753,6 +787,7 @@ impl Engine for Interpreter {
         let Some(this_ref) = self.this_ref else {
             return Err(RuntimeError::Internal("react before initialize".into()));
         };
+        let _span = self.obs.as_ref().map(|o| o.registry.span("jtvm.interp.react"));
         self.meter.reset();
         self.heap.reset_stats();
         self.io = Some(Io::begin(inputs, 0));
@@ -773,6 +808,7 @@ impl Engine for Interpreter {
             steps: self.meter.steps(),
             heap: self.heap.stats(),
         };
+        self.flush_obs(true);
         result?;
         Ok(io.finish())
     }

@@ -47,5 +47,6 @@ pub mod heap;
 pub mod interp;
 pub mod io;
 pub mod layout;
+pub mod obs;
 pub mod value;
 pub mod vm;

@@ -1,0 +1,100 @@
+//! Metric handles for the execution engines (active when the
+//! `telemetry` feature is on; all no-ops otherwise).
+//!
+//! Both engines expose the same shape of metrics under their own prefix
+//! (`jtvm.vm` for [`crate::vm::CompiledVm`], `jtvm.interp` for
+//! [`crate::interp::Interpreter`]):
+//!
+//! | metric                           | kind      | meaning                                   |
+//! |----------------------------------|-----------|-------------------------------------------|
+//! | `<prefix>.reactions`             | counter   | completed `react()` calls                 |
+//! | `<prefix>.steps`                 | counter   | abstract cost-meter steps retired         |
+//! | `<prefix>.instructions` /        | counter   | bytecode instructions (vm) or statements  |
+//! | `<prefix>.statements`            |           | (interp) retired                          |
+//! | `<prefix>.instructions.<class>`  | counter   | vm only: instructions by opcode class     |
+//! | `<prefix>.heap.allocations`      | counter   | user heap allocations                     |
+//! | `<prefix>.heap.words`            | counter   | user heap words allocated                 |
+//! | `<prefix>.react`                 | span/hist | wall time of each reaction                |
+//!
+//! Engines keep plain-integer scratch counters on the hot dispatch path
+//! and flush them into the shared atomics once per reaction, so the
+//! per-instruction overhead is one array increment.
+
+use crate::bytecode::Instr;
+use crate::engine::PhaseCost;
+
+/// Opcode classes that `<prefix>.instructions.<class>` buckets into.
+pub(crate) const OPCODE_CLASSES: [&str; 8] = [
+    "const", "local", "field", "array", "alloc", "arith", "branch", "call",
+];
+
+/// Index of `instr`'s bucket in [`OPCODE_CLASSES`].
+pub(crate) fn opcode_class(instr: Instr) -> usize {
+    match instr {
+        Instr::ConstInt(_) | Instr::ConstBool(_) | Instr::ConstNull => 0,
+        Instr::Load(_) | Instr::Store(_) | Instr::LoadThis | Instr::Pop => 1,
+        Instr::GetField(_) | Instr::PutField(_) | Instr::GetStatic(_) | Instr::PutStatic(_) => 2,
+        Instr::ALoad | Instr::AStore | Instr::ALen => 3,
+        Instr::NewArray(_) | Instr::New { .. } => 4,
+        Instr::Add
+        | Instr::Sub
+        | Instr::Mul
+        | Instr::Div
+        | Instr::Rem
+        | Instr::Neg
+        | Instr::Not
+        | Instr::Lt
+        | Instr::Le
+        | Instr::Gt
+        | Instr::Ge
+        | Instr::EqV
+        | Instr::NeV => 5,
+        Instr::Jump(_) | Instr::JumpIfFalse(_) | Instr::JumpIfTrue(_) => 6,
+        Instr::Call { .. } | Instr::Ret | Instr::RetVoid | Instr::Unsupported(_) => 7,
+    }
+}
+
+/// Pre-resolved metric handles for one engine, so the per-reaction flush
+/// never does a name lookup.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineObs {
+    pub registry: jtobs::Registry,
+    pub reactions: jtobs::Counter,
+    pub steps: jtobs::Counter,
+    /// Instructions (vm) or statements (interp) retired.
+    pub retired: jtobs::Counter,
+    /// Per-opcode-class counters; empty for the tree walker.
+    pub by_class: Vec<jtobs::Counter>,
+    pub heap_allocations: jtobs::Counter,
+    pub heap_words: jtobs::Counter,
+}
+
+impl EngineObs {
+    pub fn new(
+        registry: &jtobs::Registry,
+        prefix: &str,
+        retired_name: &str,
+        classes: &[&str],
+    ) -> Self {
+        EngineObs {
+            registry: registry.clone(),
+            reactions: registry.counter(&format!("{prefix}.reactions")),
+            steps: registry.counter(&format!("{prefix}.steps")),
+            retired: registry.counter(&format!("{prefix}.{retired_name}")),
+            by_class: classes
+                .iter()
+                .map(|c| registry.counter(&format!("{prefix}.{retired_name}.{c}")))
+                .collect(),
+            heap_allocations: registry.counter(&format!("{prefix}.heap.allocations")),
+            heap_words: registry.counter(&format!("{prefix}.heap.words")),
+        }
+    }
+
+    /// Flushes one phase's metered cost (called after `initialize` and
+    /// each `react`, when the per-phase stats are fresh).
+    pub fn flush_cost(&self, cost: &PhaseCost) {
+        self.steps.add(cost.steps);
+        self.heap_allocations.add(cost.heap.allocations);
+        self.heap_words.add(cost.heap.words);
+    }
+}

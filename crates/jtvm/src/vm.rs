@@ -15,6 +15,7 @@ use crate::error::RuntimeError;
 use crate::heap::Heap;
 use crate::io::{Io, PortDatum};
 use crate::layout::ClassId;
+use crate::obs::{opcode_class, EngineObs, OPCODE_CLASSES};
 use crate::value::{ObjRef, RtValue};
 use std::rc::Rc;
 
@@ -44,6 +45,9 @@ pub struct CompiledVm {
     io: Option<Io>,
     last_cost: PhaseCost,
     run_name: Option<u32>,
+    obs: Option<EngineObs>,
+    /// Per-opcode-class scratch, flushed to `obs` once per phase.
+    class_scratch: [u64; OPCODE_CLASSES.len()],
 }
 
 impl CompiledVm {
@@ -78,6 +82,8 @@ impl CompiledVm {
             io: None,
             last_cost: PhaseCost::default(),
             run_name,
+            obs: None,
+            class_scratch: [0; OPCODE_CLASSES.len()],
         };
         vm.init_statics()
             .map_err(|e| BuildEngineError::Frontend(format!("static init failed: {e}")))?;
@@ -92,6 +98,38 @@ impl CompiledVm {
     /// The shared heap (for inspection).
     pub fn heap(&self) -> &Heap {
         &self.heap
+    }
+
+    /// Starts publishing `jtvm.vm.*` metrics (see [`crate::obs`]) into
+    /// `registry`. A no-op when the `telemetry` feature is off.
+    pub fn attach_registry(&mut self, registry: &jtobs::Registry) {
+        if jtobs::ENABLED {
+            self.obs = Some(EngineObs::new(
+                registry,
+                "jtvm.vm",
+                "instructions",
+                &OPCODE_CLASSES,
+            ));
+        }
+    }
+
+    /// Stops publishing metrics.
+    pub fn detach_registry(&mut self) {
+        self.obs = None;
+    }
+
+    fn flush_obs(&mut self, is_reaction: bool) {
+        if let Some(obs) = &self.obs {
+            if is_reaction {
+                obs.reactions.inc();
+            }
+            obs.flush_cost(&self.last_cost);
+            for (counter, n) in obs.by_class.iter().zip(&mut self.class_scratch) {
+                obs.retired.add(*n);
+                counter.add(*n);
+                *n = 0;
+            }
+        }
     }
 
     /// The compiled module (for size metrics and disassembly).
@@ -205,6 +243,9 @@ impl CompiledVm {
             self.meter.charge()?;
             let instr = chunk.code[pc];
             pc += 1;
+            if jtobs::ENABLED && self.obs.is_some() {
+                self.class_scratch[opcode_class(instr)] += 1;
+            }
             match instr {
                 Instr::ConstInt(v) => stack.push(RtValue::Int(v)),
                 Instr::ConstBool(b) => stack.push(RtValue::Bool(b)),
@@ -477,6 +518,7 @@ impl Engine for CompiledVm {
             steps: self.meter.steps(),
             heap: self.heap.stats(),
         };
+        self.flush_obs(false);
         Ok(())
     }
 
@@ -484,6 +526,7 @@ impl Engine for CompiledVm {
         let Some(this_ref) = self.this_ref else {
             return Err(RuntimeError::Internal("react before initialize".into()));
         };
+        let _span = self.obs.as_ref().map(|o| o.registry.span("jtvm.vm.react"));
         self.meter.reset();
         self.heap.reset_stats();
         self.io = Some(Io::begin(inputs, 0));
@@ -502,6 +545,7 @@ impl Engine for CompiledVm {
             steps: self.meter.steps(),
             heap: self.heap.stats(),
         };
+        self.flush_obs(true);
         result?;
         Ok(io.finish())
     }
@@ -716,6 +760,44 @@ mod tests {
             v.react(&[]).unwrap_err(),
             RuntimeError::Unsupported(_)
         ));
+    }
+
+    #[test]
+    fn telemetry_counts_instructions_and_heap() {
+        let program = jtlang::parse(jtlang::corpus::FIR_FILTER).unwrap();
+        let registry = jtobs::Registry::new();
+
+        let mut v = CompiledVm::new(program.clone(), "Fir").unwrap();
+        v.attach_registry(&registry);
+        v.initialize(&[]).unwrap();
+        for k in 0..4 {
+            v.react(&[PortDatum::Int(k)]).unwrap();
+        }
+
+        let mut i = Interpreter::new(program, "Fir").unwrap();
+        i.attach_registry(&registry);
+        i.initialize(&[]).unwrap();
+        i.react(&[PortDatum::Int(1)]).unwrap();
+
+        if jtobs::ENABLED {
+            assert_eq!(registry.counter_value("jtvm.vm.reactions"), 4);
+            assert!(registry.counter_value("jtvm.vm.instructions") > 0);
+            // The per-class buckets partition the total.
+            let by_class: u64 = OPCODE_CLASSES
+                .iter()
+                .map(|c| registry.counter_value(&format!("jtvm.vm.instructions.{c}")))
+                .sum();
+            assert_eq!(by_class, registry.counter_value("jtvm.vm.instructions"));
+            assert!(registry.counter_value("jtvm.vm.heap.words") > 0);
+            assert_eq!(registry.counter_value("jtvm.interp.reactions"), 1);
+            assert!(registry.counter_value("jtvm.interp.statements") > 0);
+            // One react span per reaction, from each engine.
+            let spans = registry.histogram_stats("jtvm.vm.react").unwrap();
+            assert_eq!(spans.count, 4);
+            assert_eq!(registry.histogram_stats("jtvm.interp.react").unwrap().count, 1);
+        } else {
+            assert_eq!(registry.counter_value("jtvm.vm.reactions"), 0);
+        }
     }
 
     #[test]

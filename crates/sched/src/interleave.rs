@@ -131,19 +131,81 @@ impl State {
     }
 }
 
-/// Explores the schedules of `program` under `config` and returns the
-/// observed outcome set.
-pub fn explore(program: &Program, config: Explore) -> OutcomeSet {
-    match config.random {
-        Some((seed, trials)) => explore_random(program, seed, trials),
-        None => explore_exhaustive(program, config),
+/// Pre-resolved handles for the `sched.interleave.*` metrics published
+/// by [`explore_with_registry`]:
+///
+/// * `sched.interleave.explored` — complete schedules executed,
+/// * `sched.interleave.pruned` — branches cut by the visited-state memo,
+/// * `sched.interleave.states` — distinct states visited,
+/// * `sched.interleave.outcome_set_size` — histogram of distinct-outcome
+///   counts per exploration,
+/// * `sched.explore` — wall-time span per exploration.
+struct SchedObs {
+    registry: jtobs::Registry,
+    explored: jtobs::Counter,
+    pruned: jtobs::Counter,
+    states: jtobs::Counter,
+    outcomes: jtobs::Histogram,
+}
+
+impl SchedObs {
+    fn new(registry: &jtobs::Registry) -> Self {
+        SchedObs {
+            registry: registry.clone(),
+            explored: registry.counter("sched.interleave.explored"),
+            pruned: registry.counter("sched.interleave.pruned"),
+            states: registry.counter("sched.interleave.states"),
+            outcomes: registry.histogram("sched.interleave.outcome_set_size"),
+        }
+    }
+
+    fn record(&self, set: &OutcomeSet, pruned: u64) {
+        self.explored.add(set.schedules_explored as u64);
+        self.states.add(set.states_visited as u64);
+        self.pruned.add(pruned);
+        self.outcomes.record(set.distinct.len() as u64);
     }
 }
 
-fn explore_exhaustive(program: &Program, config: Explore) -> OutcomeSet {
+/// Explores the schedules of `program` under `config` and returns the
+/// observed outcome set.
+pub fn explore(program: &Program, config: Explore) -> OutcomeSet {
+    explore_observed(program, config, None)
+}
+
+/// Like [`explore`], but also publishes `sched.interleave.*` metrics
+/// (see [`SchedObs`]) into `registry`. Identical to [`explore`] when
+/// the `telemetry` feature is off.
+pub fn explore_with_registry(
+    program: &Program,
+    config: Explore,
+    registry: &jtobs::Registry,
+) -> OutcomeSet {
+    let obs = if jtobs::ENABLED {
+        Some(SchedObs::new(registry))
+    } else {
+        None
+    };
+    explore_observed(program, config, obs.as_ref())
+}
+
+fn explore_observed(program: &Program, config: Explore, obs: Option<&SchedObs>) -> OutcomeSet {
+    let _span = obs.map(|o| o.registry.span("sched.explore"));
+    let (set, pruned) = match config.random {
+        Some((seed, trials)) => (explore_random(program, seed, trials), 0),
+        None => explore_exhaustive(program, config),
+    };
+    if let Some(o) = obs {
+        o.record(&set, pruned);
+    }
+    set
+}
+
+fn explore_exhaustive(program: &Program, config: Explore) -> (OutcomeSet, u64) {
     let mut distinct: BTreeSet<Outcome> = BTreeSet::new();
     let mut schedules = 0usize;
     let mut truncated = false;
+    let mut pruned = 0u64;
     // Memoize visited states to prune converging interleavings.
     let mut seen_states: BTreeSet<State> = BTreeSet::new();
     let mut stack: Vec<State> = vec![State::initial(program)];
@@ -153,6 +215,7 @@ fn explore_exhaustive(program: &Program, config: Explore) -> OutcomeSet {
             state.drain_local_steps(program);
         }
         if !seen_states.insert(state.clone()) {
+            pruned += 1;
             continue;
         }
         let runnable = state.runnable(program);
@@ -172,12 +235,13 @@ fn explore_exhaustive(program: &Program, config: Explore) -> OutcomeSet {
         }
     }
 
-    OutcomeSet {
+    let set = OutcomeSet {
         distinct: distinct.into_iter().collect(),
         schedules_explored: schedules,
         states_visited: seen_states.len(),
         truncated,
-    }
+    };
+    (set, pruned)
 }
 
 fn explore_random(program: &Program, seed: u64, trials: usize) -> OutcomeSet {
@@ -317,6 +381,37 @@ mod tests {
         // And the same seed reproduces the same set.
         let again = explore(&p, Explore::random(42, 200));
         assert_eq!(sampled.distinct, again.distinct);
+    }
+
+    #[test]
+    fn telemetry_counts_explored_and_pruned() {
+        let registry = jtobs::Registry::new();
+        // Unreduced lost-update exploration revisits converging states
+        // (its two leading reads commute), so the memo actually prunes
+        // and the counter is observable.
+        let plain = explore(&lost_update_program(), Explore::exhaustive_unreduced());
+        let observed = explore_with_registry(
+            &lost_update_program(),
+            Explore::exhaustive_unreduced(),
+            &registry,
+        );
+        assert_eq!(plain, observed, "metrics must not perturb exploration");
+        if jtobs::ENABLED {
+            assert_eq!(
+                registry.counter_value("sched.interleave.explored"),
+                observed.schedules_explored as u64
+            );
+            assert_eq!(
+                registry.counter_value("sched.interleave.states"),
+                observed.states_visited as u64
+            );
+            assert!(registry.counter_value("sched.interleave.pruned") > 0);
+            let sizes = registry
+                .histogram_stats("sched.interleave.outcome_set_size")
+                .unwrap();
+            assert_eq!(sizes.count, 1);
+            assert_eq!(sizes.max, observed.distinct.len() as u64);
+        }
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub struct RefinementSession {
     table: ClassTable,
     policy: Policy,
     history: Vec<IterationRecord>,
+    registry: Option<jtobs::Registry>,
 }
 
 impl fmt::Debug for RefinementSession {
@@ -114,7 +115,25 @@ impl RefinementSession {
             table,
             policy,
             history: Vec::new(),
+            registry: None,
         })
+    }
+
+    /// Starts publishing `sfr.*` metrics into `registry`: a
+    /// `sfr.violations.<rule>` counter per violation found by
+    /// [`Self::check`], `sfr.transforms.applied` plus a
+    /// `sfr.transform.<name>` span per [`Self::apply`], and `sfr.check` /
+    /// `sfr.pass` spans timing analysis and each automated-refinement
+    /// iteration. A no-op when the `telemetry` feature is off.
+    pub fn attach_registry(&mut self, registry: &jtobs::Registry) {
+        if jtobs::ENABLED {
+            self.registry = Some(registry.clone());
+        }
+    }
+
+    /// Stops publishing metrics.
+    pub fn detach_registry(&mut self) {
+        self.registry = None;
     }
 
     /// The current program.
@@ -134,7 +153,14 @@ impl RefinementSession {
 
     /// Checks the policy against the current program.
     pub fn check(&self) -> Vec<Violation> {
-        self.policy.check(&self.program, &self.table)
+        let _span = self.registry.as_ref().map(|r| r.span("sfr.check"));
+        let violations = self.policy.check(&self.program, &self.table);
+        if let Some(registry) = &self.registry {
+            for v in &violations {
+                registry.counter(&format!("sfr.violations.{}", v.rule)).inc();
+            }
+        }
+        violations
     }
 
     /// True when the current program satisfies every rule.
@@ -164,10 +190,19 @@ impl RefinementSession {
     /// [`SessionError::Transform`] for unknown transform names or
     /// transform failures.
     pub fn apply(&mut self, transform_name: &str) -> Result<TransformOutcome, SessionError> {
+        let _span = self
+            .registry
+            .as_ref()
+            .map(|r| r.span(&format!("sfr.transform.{transform_name}")));
         let transform = transform::stock_transform(transform_name).ok_or_else(|| {
             SessionError::Transform(format!("no stock transform named `{transform_name}`"))
         })?;
         let outcome = transform.apply(&mut self.program)?;
+        if let Some(registry) = &self.registry {
+            if outcome.changed {
+                registry.counter("sfr.transforms.applied").inc();
+            }
+        }
         if outcome.changed {
             self.program = transform::normalize(&self.program)?;
             self.table = jtlang::resolve::resolve(&self.program)
@@ -191,6 +226,7 @@ impl RefinementSession {
         let mut applied_total = Vec::new();
         let mut iterations = 0;
         for _ in 0..max_iterations {
+            let _pass = self.registry.as_ref().map(|r| r.span("sfr.pass"));
             let violations = self.check();
             trajectory.push(violations.len());
             if violations.is_empty() {
@@ -310,6 +346,28 @@ mod tests {
         )
         .unwrap();
         assert!(s.is_compliant());
+    }
+
+    #[test]
+    fn telemetry_counts_violations_and_transforms() {
+        let registry = jtobs::Registry::new();
+        let mut s = session(jtlang::corpus::UNRESTRICTED_AVG);
+        s.attach_registry(&registry);
+        let report = s.refine_automatically(10).unwrap();
+        if jtobs::ENABLED {
+            assert_eq!(
+                registry.counter_value("sfr.transforms.applied"),
+                report.applied.len() as u64
+            );
+            // UNRESTRICTED_AVG starts with R1 violations (unbounded
+            // whiles), so the per-rule counter must have fired.
+            assert!(registry.counter_value("sfr.violations.R1") > 0);
+            let passes = registry.histogram_stats("sfr.pass").unwrap();
+            assert!(passes.count >= report.iterations as u64);
+            assert!(registry.histogram_stats("sfr.check").unwrap().count > 0);
+        } else {
+            assert_eq!(registry.counter_value("sfr.transforms.applied"), 0);
+        }
     }
 
     #[test]

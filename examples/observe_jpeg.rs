@@ -1,0 +1,96 @@
+//! The JPEG refinement demo of `refine_jpeg`, instrumented end to end
+//! with one shared [`jtobs::Registry`]: the SFR session, both execution
+//! engines, an ASR system, and the scheduler all publish into it, and
+//! the run ends with the two exporters — the text report on stdout and
+//! a Perfetto-loadable Chrome trace (plus a metric-annotated Graphviz
+//! graph) under `target/`.
+//!
+//! Run with `cargo run --release --example observe_jpeg`. With
+//! `--no-default-features` every call site compiles to a no-op and the
+//! outputs are empty.
+
+use asr::prelude::*;
+use jpegsys::jtgen;
+use jpegsys::testimage;
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::vm::CompiledVm;
+use sfr::policy::Policy;
+use sfr::session::RefinementSession;
+
+fn smoothing_filter() -> Result<System, Box<dyn std::error::Error>> {
+    // The Fig. 3 system: y = clamp((x + y_prev) / 2).
+    let mut b = SystemBuilder::new("fig3");
+    let x = b.add_input("x");
+    let add = b.add_block(stock::add("add"));
+    let half = b.add_block(stock::div("half"));
+    let two = b.add_block(stock::const_int("two", 2));
+    let clamp = b.add_block(stock::clamp("clamp", 0, 255));
+    let d = b.add_delay("y_prev", Value::int(0));
+    let y = b.add_output("y");
+    b.connect(Source::ext(x), Sink::block(add, 0))?;
+    b.connect(Source::delay(d), Sink::block(add, 1))?;
+    b.connect(Source::block(add, 0), Sink::block(half, 0))?;
+    b.connect(Source::block(two, 0), Sink::block(half, 1))?;
+    b.connect(Source::block(half, 0), Sink::block(clamp, 0))?;
+    b.connect(Source::block(clamp, 0), Sink::ext(y))?;
+    b.connect(Source::block(clamp, 0), Sink::delay(d))?;
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = jtobs::Registry::new();
+
+    // 1. Refinement: unrestricted JPEG → automated transforms → the
+    //    hand-finished restricted version.
+    let mut session = RefinementSession::from_source(&jtgen::unrestricted_source(), Policy::asr())?;
+    session.attach_registry(&registry);
+    let report = session.refine_automatically(10)?;
+    session.replace_source(&jtgen::restricted_source())?;
+    println!(
+        "refinement: {} iterations, trajectory {:?}, compliant after manual step: {}",
+        report.iterations,
+        report.trajectory,
+        session.is_compliant()
+    );
+
+    // 2. Execution: the same roundtrip on both engines, instrumented.
+    let img = testimage::gray_test_image(32, 32);
+    let restricted = jtlang::parse(&jtgen::restricted_source())?;
+    let mut interp = Interpreter::new(restricted.clone(), "JpegRestricted")?;
+    interp.attach_registry(&registry);
+    interp.initialize(&[])?;
+    let (img_interp, err_interp) = jtgen::run_roundtrip(&mut interp, &img)?;
+
+    let mut vm = CompiledVm::new(restricted, "JpegRestricted")?;
+    vm.attach_registry(&registry);
+    vm.initialize(&[])?;
+    let (img_vm, err_vm) = jtgen::run_roundtrip(&mut vm, &img)?;
+    assert_eq!(img_interp, img_vm);
+    assert_eq!(err_interp, err_vm);
+    println!("engines agree (total |error| = {err_interp})");
+
+    // 3. The ASR model: run the Fig. 3 system for a few instants.
+    let mut system = smoothing_filter()?;
+    system.attach_registry(&registry);
+    for k in 0..16 {
+        system.react(&[Value::int(k * 16)])?;
+    }
+
+    // 4. The scheduler: the Fig. 8 nondeterminism demo.
+    let outcomes = sched::interleave::explore_with_registry(
+        &sched::program::fig8_program(),
+        sched::interleave::Explore::exhaustive(),
+        &registry,
+    );
+    println!("scheduler found {} distinct outcomes", outcomes.distinct.len());
+
+    // Exporters.
+    println!("\n{}", registry.report());
+    std::fs::create_dir_all("target")?;
+    registry.write_chrome_trace("target/observe_jpeg.trace.json")?;
+    std::fs::write("target/observe_jpeg.dot", asr::dot::to_dot_with_metrics(&system, &registry))?;
+    println!("chrome trace: target/observe_jpeg.trace.json ({} events)", registry.trace_event_count());
+    println!("annotated system graph: target/observe_jpeg.dot");
+    Ok(())
+}

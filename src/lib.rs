@@ -10,6 +10,9 @@
 //! * [`jtlang`] — JT, the Java-like design input language (lexer, parser,
 //!   resolver, type checker, pretty-printer),
 //! * [`jtanalysis`] — the static analyses behind the policy of use,
+//! * [`jtobs`] — dependency-free instrumentation (counters, gauges,
+//!   histograms, spans) with text and Chrome-trace exporters, compiled
+//!   out entirely without the `telemetry` feature,
 //! * [`sfr`] — the paper's contribution: policy of use, violations with
 //!   suggested fixes, automated transformations, refinement sessions, and
 //!   embedding of compliant designs into the ASR model,
@@ -44,6 +47,7 @@ pub use asr;
 pub use jpegsys;
 pub use jtanalysis;
 pub use jtlang;
+pub use jtobs;
 pub use jtvm;
 pub use sched;
 pub use sfr;

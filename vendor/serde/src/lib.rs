@@ -1,0 +1,12 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace only uses the `Serialize`/`Deserialize` derives (no
+//! serialization calls), so this crate just re-exports the no-op
+//! derive macros. Empty marker traits are provided under the same
+//! names in case a bound is ever written against them.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de> {}

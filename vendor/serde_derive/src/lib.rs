@@ -1,0 +1,18 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of AST
+//! and value types but never calls any serialization function, so the
+//! derives can expand to nothing. This keeps the workspace building
+//! without network access to a cargo registry.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
