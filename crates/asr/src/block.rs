@@ -14,6 +14,8 @@
 //! At the end of each instant the engine calls [`Block::tick`] exactly once
 //! with the final input values, which is where stateful composites commit.
 
+use crate::fixpoint::FixpointStats;
+use crate::system::System;
 use crate::trace::InstantRecord;
 use crate::value::Value;
 use std::fmt;
@@ -158,6 +160,25 @@ pub trait Block {
     /// blocks have none.
     fn take_subtrace(&mut self) -> Vec<InstantRecord> {
         Vec::new()
+    }
+
+    /// Drains the [`FixpointStats`] this block's *nested* system
+    /// accumulated during `eval` calls since the last drain (composites
+    /// hold them in a `Cell`, hence `&self`). Plain blocks have none.
+    /// Used by [`crate::system::System::react_traced`] to aggregate the
+    /// cost of hierarchical instants.
+    fn take_nested_stats(&self) -> FixpointStats {
+        FixpointStats::default()
+    }
+
+    /// Relinquishes the nested [`System`] captured by a spatial composite
+    /// so [`crate::system::System::flatten`] can inline it, leaving the
+    /// block hollow (it will be discarded). Blocks that are not spatial
+    /// composites — including temporal composites, whose sub-instant
+    /// structure is behavior rather than wiring — return `None` and stay
+    /// opaque.
+    fn take_inner_system(&mut self) -> Option<System> {
+        None
     }
 }
 

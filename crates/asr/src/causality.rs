@@ -44,14 +44,83 @@ impl CausalityReport {
     }
 }
 
-/// Analyzes the delay-free block dependency graph of `system`.
-///
-/// An edge `a → b` exists when some output of block `a` feeds some input
-/// of block `b` directly through a channel (paths through delay elements
-/// do not count — delays are exactly what break causality cycles).
-pub fn analyze(system: &System) -> CausalityReport {
+/// One node of the [`Condensation`]: a maximal set of mutually
+/// delay-free-dependent blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Member blocks, in ascending id order.
+    pub blocks: Vec<BlockId>,
+    /// Whether the component forms a delay-free cycle (size > 1, or a
+    /// single block feeding itself without a delay). Acyclic components
+    /// are always singletons.
+    pub cyclic: bool,
+}
+
+/// The condensation of the delay-free block dependency graph: its
+/// strongly connected components in **topological order** (producers
+/// before consumers), plus a block-to-component index. Contracting each
+/// component to one node yields a DAG, which is what lets the fixed
+/// point be *compiled* into a static schedule — see [`crate::plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condensation {
+    /// Components in topological order of the contracted DAG.
+    pub components: Vec<Component>,
+    /// For each block index, the index of its component in
+    /// [`Self::components`].
+    pub component_of: Vec<usize>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True iff the system has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of cyclic components.
+    pub fn num_cyclic(&self) -> usize {
+        self.components.iter().filter(|c| c.cyclic).count()
+    }
+}
+
+/// Computes the [`Condensation`] of `system`'s delay-free block
+/// dependency graph.
+pub fn condense(system: &System) -> Condensation {
+    let successors = delay_free_successors(system);
+    let mut sccs = tarjan(system.num_blocks(), &successors);
+    // Tarjan emits components in reverse topological order.
+    sccs.reverse();
+    let mut component_of = vec![0usize; system.num_blocks()];
+    let components = sccs
+        .into_iter()
+        .enumerate()
+        .map(|(i, scc)| {
+            for b in &scc {
+                component_of[b.index()] = i;
+            }
+            let cyclic = scc.len() > 1
+                || successors[scc[0].index()].contains(&scc[0].index());
+            Component {
+                blocks: scc,
+                cyclic,
+            }
+        })
+        .collect();
+    Condensation {
+        components,
+        component_of,
+    }
+}
+
+/// Adjacency lists of the delay-free block dependency graph:
+/// `successors[a]` holds every block consuming an output of block `a`
+/// directly through a channel (paths through delays excluded).
+fn delay_free_successors(system: &System) -> Vec<Vec<usize>> {
     let n = system.num_blocks();
-    // successors[a] = blocks consuming any output signal of a.
     let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (a, succ) in successors.iter_mut().enumerate() {
         let base = system.block_out_base[a];
@@ -64,7 +133,17 @@ pub fn analyze(system: &System) -> CausalityReport {
             }
         }
     }
+    successors
+}
 
+/// Analyzes the delay-free block dependency graph of `system`.
+///
+/// An edge `a → b` exists when some output of block `a` feeds some input
+/// of block `b` directly through a channel (paths through delay elements
+/// do not count — delays are exactly what break causality cycles).
+pub fn analyze(system: &System) -> CausalityReport {
+    let n = system.num_blocks();
+    let successors = delay_free_successors(system);
     let sccs = tarjan(n, &successors);
     let cycles = sccs
         .iter()

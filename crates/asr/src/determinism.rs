@@ -60,9 +60,9 @@ where
     })
 }
 
-/// Executes the same input sequence under both fixed-point strategies and
-/// returns whether the traces agree (they must: the least fixed point is
-/// unique).
+/// Executes the same input sequence under every fixed-point strategy
+/// ([`Strategy::ALL`]) and returns whether all traces agree (they must:
+/// the least fixed point is unique).
 ///
 /// # Errors
 ///
@@ -71,11 +71,42 @@ pub fn strategies_agree<F>(factory: F, inputs: &[Vec<Value>]) -> Result<bool, Ev
 where
     F: Fn() -> System,
 {
-    let mut a = factory();
-    a.set_strategy(Strategy::Chaotic);
-    let mut b = factory();
-    b.set_strategy(Strategy::Worklist);
-    Ok(a.run(inputs)? == b.run(inputs)?)
+    let mut reference: Option<Trace> = None;
+    for strategy in Strategy::ALL {
+        let mut sys = factory();
+        sys.set_strategy(strategy);
+        let trace = sys.run(inputs)?;
+        match &reference {
+            None => reference = Some(trace),
+            Some(r) if *r != trace => return Ok(false),
+            Some(_) => {}
+        }
+    }
+    Ok(true)
+}
+
+/// Executes the same input sequence on a nested instance and a
+/// [`System::flatten`]ed instance and returns whether the external
+/// outputs agree instant-for-instant (they must: flattening is
+/// semantics-preserving — paper Fig. 5). Outputs, not traces, are
+/// compared because flattening changes the *internal* signal namespace
+/// by design.
+///
+/// # Errors
+///
+/// Propagates the first [`EvalError`] encountered.
+pub fn flatten_agrees<F>(factory: F, inputs: &[Vec<Value>]) -> Result<bool, EvalError>
+where
+    F: Fn() -> System,
+{
+    let mut nested = factory();
+    let mut flat = factory().flatten();
+    for step in inputs {
+        if nested.react(step)? != flat.react(step)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -112,5 +143,50 @@ mod tests {
     #[test]
     fn strategies_agree_on_stateful_system() {
         assert!(strategies_agree(accumulator, &input_seq()).unwrap());
+    }
+
+    #[test]
+    fn flatten_agrees_on_hierarchical_system() {
+        use crate::hierarchy::CompositeBlock;
+
+        // (x + y) * 2 inside a composite, plus an outer accumulator fed
+        // by the composite's output: exercises inlining next to a delay.
+        fn nested() -> System {
+            let mut ib = SystemBuilder::new("inner");
+            let x = ib.add_input("x");
+            let y = ib.add_input("y");
+            let a = ib.add_block(stock::add("a"));
+            let g = ib.add_block(stock::gain("g", 2));
+            let o = ib.add_output("o");
+            ib.connect(Source::ext(x), Sink::block(a, 0)).unwrap();
+            ib.connect(Source::ext(y), Sink::block(a, 1)).unwrap();
+            ib.connect(Source::block(a, 0), Sink::block(g, 0)).unwrap();
+            ib.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+            let comp = CompositeBlock::new(ib.build().unwrap()).unwrap();
+
+            let mut b = SystemBuilder::new("outer");
+            let x = b.add_input("x");
+            let y = b.add_input("y");
+            let c = b.add_block(comp);
+            let acc = b.add_block(stock::add("acc"));
+            let d = b.add_delay("state", Value::int(0));
+            let o = b.add_output("o");
+            b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+            b.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+            b.connect(Source::block(c, 0), Sink::block(acc, 0)).unwrap();
+            b.connect(Source::delay(d), Sink::block(acc, 1)).unwrap();
+            b.connect(Source::block(acc, 0), Sink::delay(d)).unwrap();
+            b.connect(Source::block(acc, 0), Sink::ext(o)).unwrap();
+            b.build().unwrap()
+        }
+
+        let inputs: Vec<Vec<Value>> = (0..6)
+            .map(|k| vec![Value::int(k), Value::int(k * 3 - 4)])
+            .collect();
+        assert!(flatten_agrees(nested, &inputs).unwrap());
+        let flat = nested().flatten();
+        assert_eq!(flat.inlined_blocks(), 1);
+        assert_eq!(flat.num_delays(), 1);
+        assert_eq!(flat.num_blocks(), 3, "composite wrapper is gone");
     }
 }

@@ -9,6 +9,26 @@
 use crate::system::System;
 use std::fmt::Write as _;
 
+/// Escapes a name for use inside a double-quoted DOT string: quotes and
+/// backslashes are backslash-escaped, newlines become the DOT line-break
+/// escape, and angle brackets are escaped so a label can never be
+/// mistaken for (or break out into) an HTML-like label.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            '<' => out.push_str("\\<"),
+            '>' => out.push_str("\\>"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders `system` as a Graphviz `digraph`.
 pub fn to_dot(system: &System) -> String {
     render(system, None)
@@ -50,15 +70,15 @@ fn render(system: &System, registry: Option<&jtobs::Registry>) -> String {
     });
 
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", system.name());
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(system.name()));
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
 
     for (i, name) in system.input_names().iter().enumerate() {
-        let _ = writeln!(out, "  in{i} [label=\"{name}\", shape=ellipse];");
+        let _ = writeln!(out, "  in{i} [label=\"{}\", shape=ellipse];", escape(name));
     }
     for (i, name) in system.output_names().iter().enumerate() {
-        let _ = writeln!(out, "  out{i} [label=\"{name}\", shape=ellipse];");
+        let _ = writeln!(out, "  out{i} [label=\"{}\", shape=ellipse];", escape(name));
     }
     for b in 0..system.num_blocks() {
         let name = system.blocks[b].name();
@@ -73,12 +93,13 @@ fn render(system: &System, registry: Option<&jtobs::Registry>) -> String {
                 };
                 let _ = writeln!(
                     out,
-                    "  b{b} [label=\"{name}\\n{evals} evals, {:.1} us mean\", shape=box{style}];",
+                    "  b{b} [label=\"{}\\n{evals} evals, {:.1} us mean\", shape=box{style}];",
+                    escape(name),
                     mean_ns / 1_000.0
                 );
             }
             None => {
-                let _ = writeln!(out, "  b{b} [label=\"{name}\", shape=box];");
+                let _ = writeln!(out, "  b{b} [label=\"{}\", shape=box];", escape(name));
             }
         }
     }
@@ -86,7 +107,7 @@ fn render(system: &System, registry: Option<&jtobs::Registry>) -> String {
         let _ = writeln!(
             out,
             "  d{d} [label=\"{}\", shape=box, style=filled, fillcolor=lightgray];",
-            system.delays[d].name()
+            escape(system.delays[d].name())
         );
     }
 
@@ -183,6 +204,41 @@ mod tests {
         }
         // Plain export stays metric-free either way.
         assert!(to_dot(&sys).contains("b0 [label=\"sum\", shape=box]"));
+    }
+
+    #[test]
+    fn dot_escapes_hostile_labels() {
+        // Regression: names with quotes, angle brackets, backslashes, or
+        // newlines used to splice raw into the DOT source, producing
+        // invalid (or label-injecting) output.
+        let mut b = SystemBuilder::new("sys \"v1\"\nnightly");
+        let x = b.add_input("x<in>");
+        let g = b.add_block(stock::gain("g\"ain\\1", 2));
+        let d = b.add_delay("d<0>\nstate", Value::int(0));
+        let o = b.add_output("o\"ut");
+        b.connect(Source::ext(x), Sink::block(g, 0)).unwrap();
+        b.connect(Source::block(g, 0), Sink::delay(d)).unwrap();
+        b.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+
+        assert!(dot.starts_with("digraph \"sys \\\"v1\\\"\\nnightly\""));
+        assert!(dot.contains("in0 [label=\"x\\<in\\>\""));
+        assert!(dot.contains("b0 [label=\"g\\\"ain\\\\1\""));
+        assert!(dot.contains("d0 [label=\"d\\<0\\>\\nstate\""));
+        assert!(dot.contains("out0 [label=\"o\\\"ut\""));
+        // No label may contain a raw quote, raw newline, or raw angle
+        // bracket after escaping.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let label = line.split("label=\"").nth(1).unwrap();
+            let label = &label[..label.rfind('"').unwrap()];
+            let mut prev_backslash = false;
+            for c in label.chars() {
+                if !prev_backslash {
+                    assert!(!matches!(c, '"' | '<' | '>'), "unescaped {c:?} in {line}");
+                }
+                prev_backslash = c == '\\' && !prev_backslash;
+            }
+        }
     }
 
     #[test]

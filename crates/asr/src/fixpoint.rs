@@ -8,18 +8,24 @@
 //! the fixed-point scheme the paper adopts from Edwards' thesis to give
 //! meaning to delay-free cycles.
 //!
-//! Two [`Strategy`] variants are provided; they compute the *same* fixed
-//! point (asserted by tests in [`crate::determinism`]) and differ only in
-//! how many block evaluations they spend, which the
-//! `ablation_fixpoint` bench measures:
+//! Three [`Strategy`] variants are provided; they compute the *same*
+//! fixed point (asserted by tests in [`crate::determinism`] and the
+//! property suite) and differ only in how many block evaluations they
+//! spend, which the `ablation_fixpoint` and `ablation_plan` benches
+//! measure:
 //!
 //! * [`Strategy::Chaotic`] — repeated full sweeps over all blocks until a
 //!   sweep changes nothing.
 //! * [`Strategy::Worklist`] — dependency-driven: a block is re-evaluated
 //!   only when one of its input signals gained information.
+//! * [`Strategy::Staged`] — evaluates against the precompiled
+//!   [`ExecPlan`](crate::plan::ExecPlan): acyclic strata run exactly
+//!   once in topological order, cyclic strata iterate a local worklist
+//!   (the default; see [`crate::plan`]).
 
 use crate::error::EvalError;
 use crate::obs::SystemObs;
+use crate::plan;
 use crate::port::BlockId;
 use crate::system::System;
 use crate::value::Value;
@@ -31,9 +37,17 @@ use std::time::Instant;
 pub enum Strategy {
     /// Repeated full sweeps until stabilisation.
     Chaotic,
-    /// Dependency-driven worklist (the default).
-    #[default]
+    /// Dependency-driven worklist.
     Worklist,
+    /// Causality-staged evaluation against the precompiled
+    /// [`ExecPlan`](crate::plan::ExecPlan) (the default).
+    #[default]
+    Staged,
+}
+
+impl Strategy {
+    /// Every strategy, for exhaustive equivalence checks.
+    pub const ALL: [Strategy; 3] = [Strategy::Chaotic, Strategy::Worklist, Strategy::Staged];
 }
 
 /// Statistics of one fixed-point computation.
@@ -41,12 +55,43 @@ pub enum Strategy {
 pub struct FixpointStats {
     /// Total number of block `eval` calls.
     pub block_evals: usize,
-    /// Number of sweeps (chaotic) or worklist pops (worklist).
+    /// Number of sweeps (chaotic) or worklist pops (worklist/staged).
     pub steps: usize,
     /// Number of ⊥ → determined signal transitions (each signal climbs
     /// the flat domain at most once, so this is also the number of
     /// signals the fixed point determined beyond the initial ones).
     pub climbs: usize,
+    /// Worklist pops spent inside cyclic strata ([`Strategy::Staged`]
+    /// only) — the part of the instant that genuinely needed iteration.
+    pub cyclic_steps: usize,
+}
+
+impl FixpointStats {
+    /// Accumulates `other` into `self` field-wise, for aggregating the
+    /// cost of hierarchically nested instants.
+    pub fn merge(&mut self, other: &FixpointStats) {
+        self.block_evals += other.block_evals;
+        self.steps += other.steps;
+        self.climbs += other.climbs;
+        self.cyclic_steps += other.cyclic_steps;
+    }
+}
+
+/// Persistent per-system evaluation buffers, reused across instants so
+/// the hot loop performs no `Vec` allocation (index-addressed; sized on
+/// first use and retained at high-water capacity thereafter).
+#[derive(Debug, Default)]
+pub(crate) struct EvalScratch {
+    /// Input values copied out of the signal store for one block eval.
+    pub(crate) in_vals: Vec<Value>,
+    /// Output values produced by one block eval.
+    pub(crate) out_vals: Vec<Value>,
+    /// Signal indices that gained information in the last block eval.
+    pub(crate) changed: Vec<usize>,
+    /// Worklist queue (worklist strategy and cyclic strata).
+    pub(crate) queue: VecDeque<usize>,
+    /// Queue membership flags, indexed by block id.
+    pub(crate) queued: Vec<bool>,
 }
 
 /// Solves the instant equations in place: `signals` arrives with external
@@ -61,11 +106,13 @@ pub(crate) fn solve(
     let stats = match strategy {
         Strategy::Chaotic => solve_chaotic(sys, signals, obs),
         Strategy::Worklist => solve_worklist(sys, signals, obs),
+        Strategy::Staged => plan::solve_staged(sys, signals, obs),
     }?;
     if let Some(o) = obs {
         o.iterations.add(stats.steps as u64);
         o.block_evals_total.add(stats.block_evals as u64);
         o.climbs.add(stats.climbs as u64);
+        o.cyclic_steps.add(stats.cyclic_steps as u64);
     }
     Ok(stats)
 }
@@ -73,32 +120,36 @@ pub(crate) fn solve(
 /// [`eval_block`] plus per-block metrics when a registry is attached.
 /// The clock is only read when `obs` is `Some`, so an un-instrumented
 /// solve pays nothing beyond the `Option` test.
-fn eval_block_observed(
+pub(crate) fn eval_block_observed(
     sys: &System,
     b: usize,
     signals: &mut [Value],
     scratch_in: &mut Vec<Value>,
     scratch_out: &mut Vec<Value>,
+    changed: &mut Vec<usize>,
     obs: Option<&SystemObs>,
-) -> Result<Vec<usize>, EvalError> {
+) -> Result<(), EvalError> {
     let started = obs.map(|_| Instant::now());
-    let changed = eval_block(sys, b, signals, scratch_in, scratch_out)?;
+    eval_block(sys, b, signals, scratch_in, scratch_out, changed)?;
     if let (Some(o), Some(t0)) = (obs, started) {
         o.block_ns[b].record(t0.elapsed().as_nanos() as u64);
         o.block_evals[b].inc();
     }
-    Ok(changed)
+    Ok(())
 }
 
 /// Evaluates block `b` against the current signals, merging its outputs
-/// back. Returns the indices of signals that gained information.
+/// back. `changed` is cleared and filled with the indices of signals
+/// that gained information; output values are *moved* into the signal
+/// store, never cloned, and unchanged signals are left untouched.
 fn eval_block(
     sys: &System,
     b: usize,
     signals: &mut [Value],
     scratch_in: &mut Vec<Value>,
     scratch_out: &mut Vec<Value>,
-) -> Result<Vec<usize>, EvalError> {
+    changed: &mut Vec<usize>,
+) -> Result<(), EvalError> {
     let block = &sys.blocks[b];
     scratch_in.clear();
     scratch_in.extend(sys.block_in_sigs[b].iter().map(|&s| signals[s].clone()));
@@ -111,8 +162,8 @@ fn eval_block(
             message: e.message().to_string(),
         })?;
     let base = sys.block_out_base[b];
-    let mut changed = Vec::new();
-    for (p, new) in scratch_out.iter().enumerate() {
+    changed.clear();
+    for (p, new) in scratch_out.iter_mut().enumerate() {
         let sig = base + p;
         let old = &signals[sig];
         if old == new {
@@ -126,10 +177,10 @@ fn eval_block(
                 after: new.clone(),
             });
         }
-        signals[sig] = new.clone();
+        signals[sig] = std::mem::take(new);
         changed.push(sig);
     }
-    Ok(changed)
+    Ok(())
 }
 
 fn solve_chaotic(
@@ -138,8 +189,8 @@ fn solve_chaotic(
     obs: Option<&SystemObs>,
 ) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
-    let mut scratch_in = Vec::new();
-    let mut scratch_out = Vec::new();
+    let mut scratch = sys.scratch.borrow_mut();
+    let s = &mut *scratch;
     // Each sweep either changes at least one signal or terminates, and each
     // signal changes at most once, so `n_signals + 1` sweeps always suffice.
     let max_sweeps = sys.num_signals() + 1;
@@ -148,10 +199,17 @@ fn solve_chaotic(
         let mut changed_any = false;
         for b in 0..sys.num_blocks() {
             stats.block_evals += 1;
-            let changed =
-                eval_block_observed(sys, b, signals, &mut scratch_in, &mut scratch_out, obs)?;
-            stats.climbs += changed.len();
-            changed_any |= !changed.is_empty();
+            eval_block_observed(
+                sys,
+                b,
+                signals,
+                &mut s.in_vals,
+                &mut s.out_vals,
+                &mut s.changed,
+                obs,
+            )?;
+            stats.climbs += s.changed.len();
+            changed_any |= !s.changed.is_empty();
         }
         if !changed_any {
             return Ok(stats);
@@ -168,29 +226,38 @@ fn solve_worklist(
     obs: Option<&SystemObs>,
 ) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
-    let mut scratch_in = Vec::new();
-    let mut scratch_out = Vec::new();
-    let mut queue: VecDeque<usize> = (0..sys.num_blocks()).collect();
-    let mut queued = vec![true; sys.num_blocks()];
+    let mut scratch = sys.scratch.borrow_mut();
+    let s = &mut *scratch;
+    s.queue.clear();
+    s.queue.extend(0..sys.num_blocks());
+    s.queued.clear();
+    s.queued.resize(sys.num_blocks(), true);
     // Each block can be enqueued at most once per input-signal change; with
     // `s` signals and `b` blocks the total work is O(b + s·fanout), so the
     // bound below is generous and only guards against broken Block impls.
     let budget = (sys.num_blocks() + 1) * (sys.num_signals() + 2);
-    while let Some(b) = queue.pop_front() {
-        queued[b] = false;
+    while let Some(b) = s.queue.pop_front() {
+        s.queued[b] = false;
         stats.steps += 1;
         stats.block_evals += 1;
         if stats.block_evals > budget {
             return Err(EvalError::NonConvergence { iterations: budget });
         }
-        let changed =
-            eval_block_observed(sys, b, signals, &mut scratch_in, &mut scratch_out, obs)?;
-        stats.climbs += changed.len();
-        for sig in changed {
+        eval_block_observed(
+            sys,
+            b,
+            signals,
+            &mut s.in_vals,
+            &mut s.out_vals,
+            &mut s.changed,
+            obs,
+        )?;
+        stats.climbs += s.changed.len();
+        for &sig in &s.changed {
             for &consumer in &sys.consumers[sig] {
-                if !queued[consumer] {
-                    queued[consumer] = true;
-                    queue.push_back(consumer);
+                if !s.queued[consumer] {
+                    s.queued[consumer] = true;
+                    s.queue.push_back(consumer);
                 }
             }
         }
@@ -237,7 +304,7 @@ mod tests {
     #[test]
     fn strategies_agree_on_least_fixed_point() {
         for c in [true, false] {
-            let results: Vec<_> = [Strategy::Chaotic, Strategy::Worklist]
+            let results: Vec<_> = Strategy::ALL
                 .iter()
                 .map(|&strat| {
                     let mut b = SystemBuilder::new("cyc");

@@ -17,10 +17,11 @@
 //!   ([`Block::take_subtrace`]).
 
 use crate::block::{Block, BlockError, BlockState};
-use crate::system::System;
+use crate::fixpoint::FixpointStats;
+use crate::system::{System, SystemBuilder};
 use crate::trace::InstantRecord;
 use crate::value::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 /// Error building a hierarchical block.
@@ -57,6 +58,9 @@ impl std::error::Error for CompositeError {}
 #[derive(Debug)]
 pub struct CompositeBlock {
     inner: System,
+    /// Fixed-point cost of the inner evaluations performed during the
+    /// enclosing instant, drained by [`Block::take_nested_stats`].
+    nested: Cell<FixpointStats>,
 }
 
 impl CompositeBlock {
@@ -72,7 +76,10 @@ impl CompositeBlock {
                 delays: inner.num_delays(),
             });
         }
-        Ok(CompositeBlock { inner })
+        Ok(CompositeBlock {
+            inner,
+            nested: Cell::new(FixpointStats::default()),
+        })
     }
 
     /// The wrapped system.
@@ -99,10 +106,25 @@ impl Block for CompositeBlock {
             .inner
             .eval_partial(inputs)
             .map_err(|e| BlockError::new(e.to_string()))?;
+        let mut nested = self.nested.get();
+        nested.merge(solution.stats());
+        nested.merge(&self.inner.drain_nested_stats());
+        self.nested.set(nested);
         for (o, v) in outputs.iter_mut().zip(self.inner.outputs_of(&solution)) {
             *o = v;
         }
         Ok(())
+    }
+
+    fn take_nested_stats(&self) -> FixpointStats {
+        self.nested.replace(FixpointStats::default())
+    }
+
+    fn take_inner_system(&mut self) -> Option<System> {
+        let hollow = SystemBuilder::new(format!("{}(taken)", self.inner.name()))
+            .build()
+            .expect("empty system builds");
+        Some(std::mem::replace(&mut self.inner, hollow))
     }
 }
 
@@ -119,6 +141,10 @@ pub struct TemporalComposite {
     inner: RefCell<System>,
     sub_instants: usize,
     subtrace: Vec<InstantRecord>,
+    /// Cost of the *speculative* nested runs performed by `eval` during
+    /// the enclosing fixed point. Committed sub-instants are excluded —
+    /// their cost travels in the sub-instant records instead.
+    nested: Cell<FixpointStats>,
 }
 
 impl TemporalComposite {
@@ -139,6 +165,7 @@ impl TemporalComposite {
             inner: RefCell::new(inner),
             sub_instants,
             subtrace: Vec::new(),
+            nested: Cell::new(FixpointStats::default()),
         })
     }
 
@@ -168,9 +195,19 @@ impl Block for TemporalComposite {
         let mut inner = self.inner.borrow_mut();
         let snapshot = inner.save_state();
         let mut last = Vec::new();
+        let mut nested = self.nested.get();
         for _ in 0..self.sub_instants {
-            last = inner.react(inputs).map_err(|e| BlockError::new(e.to_string()))?;
+            let solution = inner
+                .eval_instant(inputs)
+                .map_err(|e| BlockError::new(e.to_string()))?;
+            inner
+                .commit(&solution)
+                .map_err(|e| BlockError::new(e.to_string()))?;
+            nested.merge(solution.stats());
+            nested.merge(&inner.drain_nested_stats());
+            last = inner.outputs_of(&solution);
         }
+        self.nested.set(nested);
         inner
             .restore_state(&snapshot)
             .map_err(|e| BlockError::new(e.to_string()))?;
@@ -178,6 +215,10 @@ impl Block for TemporalComposite {
             *o = v;
         }
         Ok(())
+    }
+
+    fn take_nested_stats(&self) -> FixpointStats {
+        self.nested.replace(FixpointStats::default())
     }
 
     fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
@@ -383,6 +424,65 @@ mod tests {
         out[0] = Value::Unknown;
         tc.eval(&[Value::Unknown], &mut out).unwrap();
         assert_eq!(out[0], Value::Unknown);
+    }
+
+    #[test]
+    fn traced_instant_aggregates_composite_stats() {
+        // Regression: nested composite instants used to report only the
+        // outer system's fixpoint stats. The inner system has 2 blocks,
+        // each evaluated at least once per composite eval, so the traced
+        // record must show strictly more block evals than the outer
+        // system alone (1 composite block) could account for.
+        let composite = CompositeBlock::new(comb_inner()).unwrap();
+        let mut b = SystemBuilder::new("outer");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let c = b.add_block(composite);
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut outer = b.build().unwrap();
+
+        let outer_only = outer.eval_instant(&[Value::int(1), Value::int(2)]).unwrap();
+        let outer_evals = outer_only.stats().block_evals;
+        let _ = outer.drain_nested_stats();
+
+        let (_, record) = outer.react_traced(&[Value::int(1), Value::int(2)]).unwrap();
+        assert!(
+            record.stats.block_evals > outer_evals,
+            "inner evals ({} total) must exceed outer-only count {outer_evals}",
+            record.stats.block_evals
+        );
+        assert_eq!(record.total_stats(), record.stats, "no sub-instants here");
+
+        // A plain react in between must not leak its nested stats into
+        // the next traced instant.
+        outer.react(&[Value::int(3), Value::int(4)]).unwrap();
+        let (_, second) = outer.react_traced(&[Value::int(5), Value::int(6)]).unwrap();
+        assert_eq!(second.stats.block_evals, record.stats.block_evals);
+    }
+
+    #[test]
+    fn traced_sub_instants_carry_their_own_stats() {
+        let tc = TemporalComposite::new(acc_inner(), 2).unwrap();
+        let mut b = SystemBuilder::new("outer");
+        let x = b.add_input("x");
+        let c = b.add_block(tc);
+        let o = b.add_output("o");
+        b.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+        b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+        let mut outer = b.build().unwrap();
+
+        let (_, record) = outer.react_traced(&[Value::int(1)]).unwrap();
+        assert_eq!(record.children.len(), 2);
+        for child in &record.children {
+            assert!(child.stats.block_evals > 0, "sub-instant stats populated");
+        }
+        let total = record.total_stats();
+        assert!(total.block_evals > record.stats.block_evals);
+        let sum: usize = record.children.iter().map(|c| c.stats.block_evals).sum();
+        assert_eq!(total.block_evals, record.stats.block_evals + sum);
     }
 
     #[test]

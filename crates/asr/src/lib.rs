@@ -70,6 +70,7 @@ pub mod error;
 pub mod fixpoint;
 pub mod hierarchy;
 pub mod obs;
+pub mod plan;
 pub mod port;
 pub mod stock;
 pub mod system;
@@ -83,6 +84,7 @@ pub mod prelude {
     pub use crate::error::{BuildSystemError, EvalError};
     pub use crate::fixpoint::Strategy;
     pub use crate::hierarchy::{CompositeBlock, TemporalComposite};
+    pub use crate::plan::{ExecPlan, Stratum};
     pub use crate::port::{BlockId, DelayId, InputId, OutputId};
     pub use crate::stock;
     pub use crate::system::{Sink, Source, System, SystemBuilder};

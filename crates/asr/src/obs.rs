@@ -20,6 +20,12 @@
 //! | `asr.instant` | span | wall time of one instant's fixed point |
 //! | `asr.block.<name>.evals` | counter | `eval` calls of one block |
 //! | `asr.block.<name>.eval_ns` | histogram | wall time of one block's `eval` |
+//! | `asr.plan.strata` | gauge | strata in the compiled [`ExecPlan`](crate::plan::ExecPlan) |
+//! | `asr.plan.cyclic_strata` | gauge | strata needing local iteration |
+//! | `asr.plan.cyclic_iterations` | counter | worklist pops inside cyclic strata (Staged) |
+//! | `asr.plan.inlined_blocks` | gauge | composites inlined by [`flatten`](crate::system::System::flatten) |
+
+use crate::system::System;
 
 /// Handles resolved once at [`attach`](crate::system::System::attach_registry)
 /// time. Block vectors are indexed by block id.
@@ -30,19 +36,33 @@ pub(crate) struct SystemObs {
     pub(crate) iterations: jtobs::Counter,
     pub(crate) block_evals_total: jtobs::Counter,
     pub(crate) climbs: jtobs::Counter,
+    pub(crate) cyclic_steps: jtobs::Counter,
     pub(crate) settled: jtobs::Histogram,
     pub(crate) block_evals: Vec<jtobs::Counter>,
     pub(crate) block_ns: Vec<jtobs::Histogram>,
 }
 
 impl SystemObs {
-    pub(crate) fn new(registry: &jtobs::Registry, block_names: &[&str]) -> Self {
+    pub(crate) fn new(registry: &jtobs::Registry, system: &System) -> Self {
+        // The plan's shape is static, so it is published once as gauges
+        // rather than measured per instant.
+        registry
+            .gauge("asr.plan.strata")
+            .set(system.plan().num_strata() as i64);
+        registry
+            .gauge("asr.plan.cyclic_strata")
+            .set(system.plan().num_cyclic_strata() as i64);
+        registry
+            .gauge("asr.plan.inlined_blocks")
+            .set(system.inlined_blocks() as i64);
+        let block_names: Vec<&str> = system.blocks.iter().map(|b| b.name()).collect();
         SystemObs {
             registry: registry.clone(),
             instants: registry.counter("asr.instants"),
             iterations: registry.counter("asr.fixpoint.iterations"),
             block_evals_total: registry.counter("asr.fixpoint.block_evals"),
             climbs: registry.counter("asr.fixpoint.climbs"),
+            cyclic_steps: registry.counter("asr.plan.cyclic_iterations"),
             settled: registry.histogram("asr.fixpoint.settled_signals"),
             block_evals: block_names
                 .iter()

@@ -16,14 +16,16 @@
 //! provided, the system simply sits idle — reactivity is driven entirely
 //! by the environment, exactly as the paper prescribes.
 
-use crate::block::{Block, SystemState};
+use crate::block::{Block, BlockError, SystemState};
 use crate::delay::Delay;
 use crate::error::{BuildSystemError, EvalError};
-use crate::fixpoint::{self, FixpointStats, Strategy};
+use crate::fixpoint::{self, EvalScratch, FixpointStats, Strategy};
 use crate::obs::SystemObs;
+use crate::plan::ExecPlan;
 use crate::port::{BlockId, DelayId, InputId, OutputId};
 use crate::trace::{InstantRecord, Trace};
 use crate::value::Value;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -289,7 +291,7 @@ impl SystemBuilder {
             }
         }
 
-        Ok(System {
+        let mut sys = System {
             name: self.name,
             blocks: self.blocks,
             delays: self.delays,
@@ -302,10 +304,15 @@ impl SystemBuilder {
             consumers,
             delay_base,
             n_signals,
+            plan: ExecPlan::default(),
+            scratch: RefCell::new(EvalScratch::default()),
+            inlined_blocks: 0,
             strategy: Strategy::default(),
             instant_count: 0,
             obs: None,
-        })
+        };
+        sys.plan = ExecPlan::compile(&sys);
+        Ok(sys)
     }
 }
 
@@ -344,6 +351,13 @@ pub struct System {
     pub(crate) consumers: Vec<Vec<usize>>,
     pub(crate) delay_base: usize,
     pub(crate) n_signals: usize,
+    /// Precompiled evaluation schedule (see [`crate::plan`]).
+    plan: ExecPlan,
+    /// Persistent evaluation buffers, reused across instants.
+    pub(crate) scratch: RefCell<EvalScratch>,
+    /// How many composite blocks [`System::flatten`] inlined to produce
+    /// this system (0 for a system built directly).
+    inlined_blocks: usize,
     strategy: Strategy,
     instant_count: u64,
     obs: Option<SystemObs>,
@@ -409,6 +423,20 @@ impl System {
         self.instant_count
     }
 
+    /// The precompiled execution plan: the causality condensation laid
+    /// out as topological strata (see [`crate::plan`]). Compiled once by
+    /// [`SystemBuilder::build`]; consumed by
+    /// [`Strategy::Staged`](crate::fixpoint::Strategy::Staged).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// How many composite blocks [`Self::flatten`] inlined to produce
+    /// this system. Zero for a system built directly.
+    pub fn inlined_blocks(&self) -> usize {
+        self.inlined_blocks
+    }
+
     /// The fixed-point evaluation strategy used by [`System::react`].
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -427,8 +455,8 @@ impl System {
     /// once, here. A no-op when the `telemetry` feature is disabled.
     pub fn attach_registry(&mut self, registry: &jtobs::Registry) {
         if jtobs::ENABLED {
-            let names: Vec<&str> = self.blocks.iter().map(|b| b.name()).collect();
-            self.obs = Some(SystemObs::new(registry, &names));
+            let obs = SystemObs::new(registry, &*self);
+            self.obs = Some(obs);
         }
     }
 
@@ -556,7 +584,20 @@ impl System {
     pub fn react(&mut self, inputs: &[Value]) -> Result<Vec<Value>, EvalError> {
         let solution = self.eval_instant(inputs)?;
         self.commit(&solution)?;
+        // Discard nested stats accumulated by composite blocks this
+        // instant so a later traced instant does not inherit them.
+        let _ = self.drain_nested_stats();
         Ok(self.outputs_of(&solution))
+    }
+
+    /// Drains the fixed-point statistics that composite blocks
+    /// accumulated (via their nested systems) since the last drain.
+    pub(crate) fn drain_nested_stats(&self) -> FixpointStats {
+        let mut stats = FixpointStats::default();
+        for block in &self.blocks {
+            stats.merge(&block.take_nested_stats());
+        }
+        stats
     }
 
     /// Like [`Self::react`], but also returns the full hierarchical record
@@ -577,6 +618,12 @@ impl System {
             self.name,
             self.instant_count.saturating_sub(1)
         ));
+        record.stats = *solution.stats();
+        // Fold in the cost of composite-block fixed points computed
+        // *during* this instant (spatial hierarchy); committed
+        // sub-instants (temporal hierarchy) carry their own stats in the
+        // child records collected below.
+        record.stats.merge(&self.drain_nested_stats());
         for (sig, v) in solution.signals.iter().enumerate() {
             record.signals.insert(self.signal_name(sig), v.clone());
         }
@@ -649,6 +696,290 @@ impl System {
                 message: e.message().to_string(),
             })?;
         }
+        Ok(())
+    }
+
+    /// Inlines every spatial composite block
+    /// ([`crate::hierarchy::CompositeBlock`]) into one flat system, so
+    /// nested systems stop paying per-instant recursion and
+    /// boxed-dispatch cost and the whole graph is covered by a single
+    /// [`ExecPlan`]. Applied recursively; temporal composites stay
+    /// opaque (their sub-instant structure is behavior, not wiring).
+    ///
+    /// Flattening is semantics-preserving: the least fixed point of the
+    /// flat system restricted to the external outputs equals the nested
+    /// one (paper Fig. 5 — an aggregation of blocks is functionally
+    /// equivalent to a single block). A degenerate *pass-through cycle* —
+    /// a composite output wired, through nothing but composite
+    /// boundaries, back into its own inputs — has no defining block and
+    /// stays ⊥ in the nested semantics; the flat system preserves this
+    /// with a synthetic 0-ary block whose output is never determined.
+    ///
+    /// The number of composites inlined is reported by
+    /// [`Self::inlined_blocks`] (and the `asr.plan.inlined_blocks` gauge).
+    #[must_use]
+    pub fn flatten(mut self) -> System {
+        // Recursively flatten the systems captured inside composite
+        // blocks, taking them out of their (hollowed, then discarded)
+        // wrappers.
+        let mut inners: Vec<Option<System>> = self
+            .blocks
+            .iter_mut()
+            .map(|blk| blk.take_inner_system().map(System::flatten))
+            .collect();
+        if inners.iter().all(Option::is_none) {
+            return self;
+        }
+        let inlined = self.inlined_blocks
+            + inners
+                .iter()
+                .flatten()
+                .map(|s| 1 + s.inlined_blocks)
+                .sum::<usize>();
+
+        let mut builder = SystemBuilder::new(self.name.clone());
+        for n in &self.input_names {
+            builder.add_input(n.clone());
+        }
+
+        // New ids for every surviving block and delay.
+        let mut outer_block_id: Vec<Option<BlockId>> = vec![None; self.block_in_sigs.len()];
+        let mut inner_block_id: Vec<Vec<BlockId>> = vec![Vec::new(); self.block_in_sigs.len()];
+        let mut inner_delay_id: Vec<Vec<DelayId>> = vec![Vec::new(); self.block_in_sigs.len()];
+        let blocks = std::mem::take(&mut self.blocks);
+        for (i, blk) in blocks.into_iter().enumerate() {
+            match &mut inners[i] {
+                None => outer_block_id[i] = Some(builder.add_boxed_block(blk)),
+                Some(inner) => {
+                    let comp_name = blk.name().to_string();
+                    inner_block_id[i] = std::mem::take(&mut inner.blocks)
+                        .into_iter()
+                        .map(|ib| builder.add_boxed_block(ib))
+                        .collect();
+                    inner_delay_id[i] = inner
+                        .delays
+                        .iter()
+                        .map(|d| {
+                            builder
+                                .add_delay(format!("{comp_name}.{}", d.name()), d.initial().clone())
+                        })
+                        .collect();
+                }
+            }
+        }
+        let outer_delay_id: Vec<DelayId> = self
+            .delays
+            .iter()
+            .map(|d| builder.add_delay(d.name().to_string(), d.initial().clone()))
+            .collect();
+        for n in &self.output_names {
+            builder.add_output(n.clone());
+        }
+
+        // Resolve every signal of every (outer or inlined-inner) signal
+        // space to its ultimate flat source, memoized. Composite
+        // boundaries are pure wiring, so resolution recurses through
+        // them; an in-progress re-entry is a pass-through cycle.
+        #[derive(Clone, Copy)]
+        enum R {
+            Unvisited,
+            InProgress,
+            Done(Source),
+        }
+        struct Resolver<'a> {
+            outer: &'a System,
+            inners: &'a [Option<System>],
+            /// Memo offset of each composite's inner signal space
+            /// (outer occupies `0..outer.n_signals`).
+            inner_base: Vec<usize>,
+            outer_block_id: &'a [Option<BlockId>],
+            inner_block_id: &'a [Vec<BlockId>],
+            inner_delay_id: &'a [Vec<DelayId>],
+            outer_delay_id: &'a [DelayId],
+            memo: Vec<R>,
+        }
+        impl Resolver<'_> {
+            /// Emits the ⊥ placeholder for a pass-through cycle hit at
+            /// memo slot `key`.
+            fn bottom(&mut self, builder: &mut SystemBuilder, key: usize) -> Source {
+                let id = builder.add_block(BottomBlock);
+                let src = Source::Block(id, 0);
+                self.memo[key] = R::Done(src);
+                src
+            }
+
+            fn resolve_outer(&mut self, sig: usize, builder: &mut SystemBuilder) -> Source {
+                match self.memo[sig] {
+                    R::Done(src) => return src,
+                    R::InProgress => return self.bottom(builder, sig),
+                    R::Unvisited => self.memo[sig] = R::InProgress,
+                }
+                let outer = self.outer;
+                let src = if sig < outer.input_names.len() {
+                    Source::Ext(InputId(sig))
+                } else if sig >= outer.delay_base {
+                    Source::Delay(self.outer_delay_id[sig - outer.delay_base])
+                } else {
+                    let b = match outer.block_out_base.binary_search(&sig) {
+                        Ok(i) => i,
+                        Err(i) => i - 1,
+                    };
+                    let port = sig - outer.block_out_base[b];
+                    match (&self.inners[b], self.outer_block_id[b]) {
+                        (None, Some(id)) => Source::Block(id, port),
+                        (Some(inner), _) => {
+                            let inner_sig = inner.out_sig[port];
+                            self.resolve_inner(b, inner_sig, builder)
+                        }
+                        (None, None) => unreachable!("plain block without a new id"),
+                    }
+                };
+                self.memo[sig] = R::Done(src);
+                src
+            }
+
+            fn resolve_inner(
+                &mut self,
+                comp: usize,
+                sig: usize,
+                builder: &mut SystemBuilder,
+            ) -> Source {
+                let base = self.inner_base[comp];
+                let key = base + sig;
+                match self.memo[key] {
+                    R::Done(src) => return src,
+                    R::InProgress => return self.bottom(builder, key),
+                    R::Unvisited => self.memo[key] = R::InProgress,
+                }
+                enum Kind {
+                    FromOuter(usize),
+                    Delay(usize),
+                    Block(usize, usize),
+                }
+                let kind = {
+                    let inner = self.inners[comp].as_ref().expect("composite has inner");
+                    if sig < inner.input_names.len() {
+                        Kind::FromOuter(self.outer.block_in_sigs[comp][sig])
+                    } else if sig >= inner.delay_base {
+                        Kind::Delay(sig - inner.delay_base)
+                    } else {
+                        let b = match inner.block_out_base.binary_search(&sig) {
+                            Ok(i) => i,
+                            Err(i) => i - 1,
+                        };
+                        Kind::Block(b, sig - inner.block_out_base[b])
+                    }
+                };
+                let src = match kind {
+                    Kind::FromOuter(outer_sig) => self.resolve_outer(outer_sig, builder),
+                    Kind::Delay(d) => Source::Delay(self.inner_delay_id[comp][d]),
+                    Kind::Block(b, port) => Source::Block(self.inner_block_id[comp][b], port),
+                };
+                self.memo[key] = R::Done(src);
+                src
+            }
+        }
+
+        let mut inner_base = Vec::with_capacity(inners.len());
+        let mut next_base = self.n_signals;
+        for inner in &inners {
+            inner_base.push(next_base);
+            next_base += inner.as_ref().map_or(0, |s| s.n_signals);
+        }
+        let mut resolver = Resolver {
+            outer: &self,
+            inners: &inners,
+            inner_base,
+            outer_block_id: &outer_block_id,
+            inner_block_id: &inner_block_id,
+            inner_delay_id: &inner_delay_id,
+            outer_delay_id: &outer_delay_id,
+            memo: vec![R::Unvisited; next_base],
+        };
+
+        // Re-wire every sink of the flat graph.
+        let connect = "flattening preserves well-formedness";
+        for (i, in_sigs) in self.block_in_sigs.iter().enumerate() {
+            match &inners[i] {
+                None => {
+                    let id = outer_block_id[i].expect("plain block has a new id");
+                    for (p, &sig) in in_sigs.iter().enumerate() {
+                        let src = resolver.resolve_outer(sig, &mut builder);
+                        builder.connect(src, Sink::Block(id, p)).expect(connect);
+                    }
+                }
+                Some(inner) => {
+                    for (jb, jin) in inner.block_in_sigs.iter().enumerate() {
+                        for (p, &sig) in jin.iter().enumerate() {
+                            let src = resolver.resolve_inner(i, sig, &mut builder);
+                            builder
+                                .connect(src, Sink::Block(inner_block_id[i][jb], p))
+                                .expect(connect);
+                        }
+                    }
+                    for (d, &sig) in inner.delay_in_sig.iter().enumerate() {
+                        let src = resolver.resolve_inner(i, sig, &mut builder);
+                        builder
+                            .connect(src, Sink::Delay(inner_delay_id[i][d]))
+                            .expect(connect);
+                    }
+                }
+            }
+        }
+        for (d, &sig) in self.delay_in_sig.iter().enumerate() {
+            let src = resolver.resolve_outer(sig, &mut builder);
+            builder
+                .connect(src, Sink::Delay(outer_delay_id[d]))
+                .expect(connect);
+        }
+        for (o, &sig) in self.out_sig.iter().enumerate() {
+            let src = resolver.resolve_outer(sig, &mut builder);
+            builder.connect(src, Sink::Ext(OutputId(o))).expect(connect);
+        }
+
+        let mut flat = builder.build().expect("flattening preserves well-formedness");
+        // Carry over everything that persists across instants: delay
+        // contents (block state moved with the boxes) plus the bookkeeping
+        // the environment observes.
+        for (i, inner) in inners.iter().enumerate() {
+            if let Some(inner) = inner {
+                for (d, delay) in inner.delays.iter().enumerate() {
+                    flat.delays[inner_delay_id[i][d].index()].set_output(delay.output().clone());
+                }
+            }
+        }
+        for (d, delay) in self.delays.iter().enumerate() {
+            flat.delays[outer_delay_id[d].index()].set_output(delay.output().clone());
+        }
+        flat.inlined_blocks = inlined;
+        flat.strategy = self.strategy;
+        flat.instant_count = self.instant_count;
+        flat
+    }
+}
+
+/// Synthetic 0-in/1-out block emitted by [`System::flatten`] for a
+/// degenerate pass-through cycle (a composite output wired, through
+/// nothing but composite boundaries, back into its own inputs). Such a
+/// signal has no defining block, so it stays ⊥ in the nested semantics;
+/// this block never writes its output, preserving that exactly.
+#[derive(Debug)]
+struct BottomBlock;
+
+impl Block for BottomBlock {
+    fn name(&self) -> &str {
+        "⊥"
+    }
+
+    fn input_arity(&self) -> usize {
+        0
+    }
+
+    fn output_arity(&self) -> usize {
+        1
+    }
+
+    fn eval(&self, _inputs: &[Value], _outputs: &mut [Value]) -> Result<(), BlockError> {
         Ok(())
     }
 }
@@ -815,6 +1146,122 @@ mod tests {
         assert_eq!(s.react(&[Value::int(0)]).unwrap()[0], Value::int(10));
         s.restore_state(&snap).unwrap();
         assert_eq!(s.react(&[Value::int(0)]).unwrap()[0], Value::int(5));
+    }
+
+    #[test]
+    fn flatten_without_composites_is_identity() {
+        let mut nested = adder_pair();
+        let mut flat = adder_pair().flatten();
+        assert_eq!(flat.inlined_blocks(), 0);
+        assert_eq!(flat.num_blocks(), nested.num_blocks());
+        let inputs = [Value::int(3), Value::int(4)];
+        assert_eq!(flat.react(&inputs).unwrap(), nested.react(&inputs).unwrap());
+    }
+
+    #[test]
+    fn flatten_inlines_doubly_nested_composites() {
+        use crate::hierarchy::CompositeBlock;
+
+        // innermost: o = x * 3, wrapped twice (plus an offset at depth 1).
+        fn build() -> System {
+            let mut b0 = SystemBuilder::new("inner0");
+            let x = b0.add_input("x");
+            let g = b0.add_block(stock::gain("g", 3));
+            let o = b0.add_output("o");
+            b0.connect(Source::ext(x), Sink::block(g, 0)).unwrap();
+            b0.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+            let inner0 = CompositeBlock::new(b0.build().unwrap()).unwrap();
+
+            let mut b1 = SystemBuilder::new("inner1");
+            let x = b1.add_input("x");
+            let c0 = b1.add_block(inner0);
+            let off = b1.add_block(stock::offset("off", 1));
+            let o = b1.add_output("o");
+            b1.connect(Source::ext(x), Sink::block(c0, 0)).unwrap();
+            b1.connect(Source::block(c0, 0), Sink::block(off, 0)).unwrap();
+            b1.connect(Source::block(off, 0), Sink::ext(o)).unwrap();
+            let inner1 = CompositeBlock::new(b1.build().unwrap()).unwrap();
+
+            let mut b2 = SystemBuilder::new("top");
+            let x = b2.add_input("x");
+            let c1 = b2.add_block(inner1);
+            let o = b2.add_output("o");
+            b2.connect(Source::ext(x), Sink::block(c1, 0)).unwrap();
+            b2.connect(Source::block(c1, 0), Sink::ext(o)).unwrap();
+            b2.build().unwrap()
+        }
+        let mut nested = build();
+        let mut flat = build().flatten();
+        assert_eq!(flat.inlined_blocks(), 2);
+        assert_eq!(flat.num_blocks(), 2, "gain + offset, no wrappers");
+        for k in [-5, 0, 7] {
+            assert_eq!(
+                flat.react(&[Value::int(k)]).unwrap(),
+                nested.react(&[Value::int(k)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_bottom_on_pass_through_cycle() {
+        use crate::hierarchy::CompositeBlock;
+
+        // A composite that is pure wiring (o = x), with its output fed
+        // back into its own input: no block defines the signal, so it
+        // stays ⊥ — flattened or not.
+        fn build() -> System {
+            let mut ib = SystemBuilder::new("wire");
+            let x = ib.add_input("x");
+            let o = ib.add_output("o");
+            ib.connect(Source::ext(x), Sink::ext(o)).unwrap();
+            let comp = CompositeBlock::new(ib.build().unwrap()).unwrap();
+            let mut b = SystemBuilder::new("loopy");
+            let c = b.add_block(comp);
+            let o = b.add_output("o");
+            b.connect(Source::block(c, 0), Sink::block(c, 0)).unwrap();
+            b.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+            b.build().unwrap()
+        }
+        let nested_out = build().eval_instant(&[]).map(|s| build().outputs_of(&s));
+        let flat = build().flatten();
+        let flat_out = flat.eval_instant(&[]).map(|s| flat.outputs_of(&s));
+        assert_eq!(nested_out.unwrap(), vec![Value::Unknown]);
+        assert_eq!(flat_out.unwrap(), vec![Value::Unknown]);
+    }
+
+    #[test]
+    fn flatten_carries_delay_state_and_counters() {
+        use crate::hierarchy::CompositeBlock;
+
+        fn build() -> System {
+            let mut ib = SystemBuilder::new("double");
+            let x = ib.add_input("x");
+            let g = ib.add_block(stock::gain("g", 2));
+            let o = ib.add_output("o");
+            ib.connect(Source::ext(x), Sink::block(g, 0)).unwrap();
+            ib.connect(Source::block(g, 0), Sink::ext(o)).unwrap();
+            let comp = CompositeBlock::new(ib.build().unwrap()).unwrap();
+            let mut b = SystemBuilder::new("acc2");
+            let i = b.add_input("in");
+            let c = b.add_block(comp);
+            let add = b.add_block(stock::add("sum"));
+            let d = b.add_delay("state", Value::int(0));
+            let o = b.add_output("acc");
+            b.connect(Source::ext(i), Sink::block(c, 0)).unwrap();
+            b.connect(Source::block(c, 0), Sink::block(add, 0)).unwrap();
+            b.connect(Source::delay(d), Sink::block(add, 1)).unwrap();
+            b.connect(Source::block(add, 0), Sink::delay(d)).unwrap();
+            b.connect(Source::block(add, 0), Sink::ext(o)).unwrap();
+            b.build().unwrap()
+        }
+        // Advance two instants, then flatten mid-run: the delay's latched
+        // value and the instant counter must carry over.
+        let mut sys = build();
+        sys.react(&[Value::int(1)]).unwrap();
+        sys.react(&[Value::int(2)]).unwrap();
+        let mut flat = sys.flatten();
+        assert_eq!(flat.instants_elapsed(), 2);
+        assert_eq!(flat.react(&[Value::int(3)]).unwrap()[0], Value::int(12));
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //! value of every signal at one instant plus the records of any
 //! sub-instants that happened "inside" it.
 
+use crate::fixpoint::FixpointStats;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One instant of system execution: a label, every signal's settled value,
-/// and the sub-instant records of composite blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// the evaluation cost of the instant, and the sub-instant records of
+/// composite blocks.
+#[derive(Debug, Clone, Default)]
 pub struct InstantRecord {
     /// Human-readable label (`system@n`).
     pub label: String,
@@ -21,7 +23,27 @@ pub struct InstantRecord {
     pub signals: BTreeMap<String, Value>,
     /// Records of nested sub-instants, in execution order.
     pub children: Vec<InstantRecord>,
+    /// Fixed-point cost of *this* instant, including the inner fixed
+    /// points of spatial composites evaluated during it. Committed
+    /// sub-instants (temporal hierarchy) carry their own stats in
+    /// [`Self::children`]; [`Self::total_stats`] sums the subtree.
+    pub stats: FixpointStats,
 }
+
+/// Equality deliberately ignores [`InstantRecord::stats`]: two records
+/// describe the same instant when their signals and sub-instant trees
+/// agree, even if they were computed by strategies with different
+/// iteration costs. Cross-strategy determinism checks
+/// ([`crate::determinism`]) depend on this.
+impl PartialEq for InstantRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.signals == other.signals
+            && self.children == other.children
+    }
+}
+
+impl Eq for InstantRecord {}
 
 impl InstantRecord {
     /// Creates an empty record with the given label.
@@ -70,6 +92,16 @@ impl InstantRecord {
             }
         }
         out
+    }
+
+    /// Aggregated fixed-point cost of this subtree: this instant's
+    /// [`Self::stats`] merged with every nested sub-instant's.
+    pub fn total_stats(&self) -> FixpointStats {
+        let mut total = FixpointStats::default();
+        for record in self.flatten() {
+            total.merge(&record.stats);
+        }
+        total
     }
 
     /// The values signal `name` took across this subtree, in pre-order
@@ -132,6 +164,16 @@ impl Trace {
     /// Maximum temporal nesting depth across the trace.
     pub fn depth(&self) -> usize {
         self.instants.iter().map(InstantRecord::depth).max().unwrap_or(0)
+    }
+
+    /// Aggregated fixed-point cost of the whole trace, at every nesting
+    /// level.
+    pub fn total_stats(&self) -> FixpointStats {
+        let mut total = FixpointStats::default();
+        for instant in &self.instants {
+            total.merge(&instant.total_stats());
+        }
+        total
     }
 }
 

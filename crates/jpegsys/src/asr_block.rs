@@ -179,4 +179,61 @@ mod tests {
     fn zero_quality_panics() {
         let _ = JpegBlock::new("j", 0);
     }
+
+    /// A codec pipeline wrapped in a composite: the codec's error output
+    /// runs through a gain inside the composite. Flattening must inline
+    /// the pipeline without changing a single output value, and the
+    /// staged plan must agree with the other strategies on both.
+    #[test]
+    fn flattened_codec_pipeline_matches_nested() {
+        fn build() -> System {
+            let mut ib = SystemBuilder::new("pipeline");
+            let pix = ib.add_input("pixels");
+            let w = ib.add_input("w");
+            let h = ib.add_input("h");
+            let j = ib.add_block(JpegBlock::new("codec", 70));
+            let g = ib.add_block(stock::gain("err2x", 2));
+            let rec = ib.add_output("reconstructed");
+            let size = ib.add_output("bytes");
+            let err = ib.add_output("error2x");
+            ib.connect(Source::ext(pix), Sink::block(j, 0)).unwrap();
+            ib.connect(Source::ext(w), Sink::block(j, 1)).unwrap();
+            ib.connect(Source::ext(h), Sink::block(j, 2)).unwrap();
+            ib.connect(Source::block(j, 0), Sink::ext(rec)).unwrap();
+            ib.connect(Source::block(j, 1), Sink::ext(size)).unwrap();
+            ib.connect(Source::block(j, 2), Sink::block(g, 0)).unwrap();
+            ib.connect(Source::block(g, 0), Sink::ext(err)).unwrap();
+            let comp = CompositeBlock::new(ib.build().unwrap()).unwrap();
+
+            let mut b = SystemBuilder::new("outer");
+            let pix = b.add_input("pixels");
+            let w = b.add_input("w");
+            let h = b.add_input("h");
+            let c = b.add_block(comp);
+            let rec = b.add_output("reconstructed");
+            let size = b.add_output("bytes");
+            let err = b.add_output("error2x");
+            b.connect(Source::ext(pix), Sink::block(c, 0)).unwrap();
+            b.connect(Source::ext(w), Sink::block(c, 1)).unwrap();
+            b.connect(Source::ext(h), Sink::block(c, 2)).unwrap();
+            b.connect(Source::block(c, 0), Sink::ext(rec)).unwrap();
+            b.connect(Source::block(c, 1), Sink::ext(size)).unwrap();
+            b.connect(Source::block(c, 2), Sink::ext(err)).unwrap();
+            b.build().unwrap()
+        }
+
+        let inputs = image_inputs(16, 16);
+        let mut nested = build();
+        let mut flat = build().flatten();
+        assert_eq!(flat.inlined_blocks(), 1);
+        let nested_out = nested.react(&inputs).unwrap();
+        let flat_out = flat.react(&inputs).unwrap();
+        assert_eq!(nested_out, flat_out);
+
+        for strat in Strategy::ALL {
+            let mut sys = build().flatten();
+            sys.set_strategy(strat);
+            assert_eq!(sys.react(&inputs).unwrap(), nested_out);
+        }
+    }
 }

@@ -1,9 +1,14 @@
 //! Property-based tests of the ASR model's advertised guarantees:
 //! determinism, evaluation-order independence, spatial-abstraction
-//! equivalence (Fig. 5), and monotonicity of stock blocks.
+//! equivalence (Fig. 5), monotonicity of stock blocks, and — for the
+//! compiled-plan evaluator — signal-for-signal agreement of
+//! `Strategy::Staged` (flattened and unflattened) with chaotic and
+//! worklist iteration on random systems mixing DAGs, constructive
+//! cycles, and non-constructive cycles.
 
 use asr::block::Block;
 use asr::determinism;
+use asr::fixpoint::Strategy as EvalStrategy;
 use asr::hierarchy::CompositeBlock;
 use asr::stock;
 use asr::system::{Sink, Source, System, SystemBuilder};
@@ -51,6 +56,86 @@ fn build_dag(spec: &DagSpec) -> System {
     b.build().unwrap()
 }
 
+/// A random feed-forward core plus a sprinkling of delay-free cycles:
+/// each cycle entry hangs either a *constructive* select loop (settles to
+/// its data input) or a *non-constructive* strict-adder loop (stays ⊥)
+/// off an existing signal.
+#[derive(Debug, Clone)]
+struct MixedSpec {
+    dag: DagSpec,
+    cycles: Vec<(u8, usize)>,
+}
+
+fn arb_mixed(max_blocks: usize, max_cycles: usize) -> impl Strategy<Value = MixedSpec> {
+    (
+        arb_dag(max_blocks),
+        proptest::collection::vec((0u8..2, 0usize..64), 0..max_cycles),
+    )
+        .prop_map(|(dag, cycles)| MixedSpec { dag, cycles })
+}
+
+fn build_mixed(spec: &MixedSpec) -> System {
+    let mut b = SystemBuilder::new("mixed");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let mut sources: Vec<Source> = vec![Source::ext(x), Source::ext(y)];
+    for (i, &(op, s1, s2)) in spec.dag.ops.iter().enumerate() {
+        let block: Box<dyn Block> = match op {
+            0 => Box::new(stock::add(format!("b{i}"))),
+            1 => Box::new(stock::sub(format!("b{i}"))),
+            2 => Box::new(stock::min(format!("b{i}"))),
+            3 => Box::new(stock::max(format!("b{i}"))),
+            _ => Box::new(stock::add(format!("b{i}"))),
+        };
+        let id = b.add_boxed_block(block);
+        b.connect(sources[s1 % sources.len()], Sink::block(id, 0))
+            .unwrap();
+        b.connect(sources[s2 % sources.len()], Sink::block(id, 1))
+            .unwrap();
+        sources.push(Source::block(id, 0));
+    }
+    for (i, &(kind, s)) in spec.cycles.iter().enumerate() {
+        let src = sources[s % sources.len()];
+        if kind == 0 {
+            // Constructive: select(true, src, self) settles to src.
+            let c = b.add_block(stock::const_bool(format!("c{i}"), true));
+            let sel = b.add_block(stock::select(format!("sel{i}")));
+            b.connect(Source::block(c, 0), Sink::block(sel, 0)).unwrap();
+            b.connect(src, Sink::block(sel, 1)).unwrap();
+            b.connect(Source::block(sel, 0), Sink::block(sel, 2)).unwrap();
+            sources.push(Source::block(sel, 0));
+        } else {
+            // Non-constructive: two strict adders feeding each other
+            // never climb above ⊥.
+            let a1 = b.add_block(stock::add(format!("na{i}")));
+            let a2 = b.add_block(stock::add(format!("nb{i}")));
+            b.connect(src, Sink::block(a1, 0)).unwrap();
+            b.connect(Source::block(a2, 0), Sink::block(a1, 1)).unwrap();
+            b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+            b.connect(src, Sink::block(a2, 1)).unwrap();
+            sources.push(Source::block(a1, 0));
+        }
+    }
+    let o = b.add_output("o");
+    b.connect(*sources.last().unwrap(), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+/// Wraps a mixed system in a composite so flattening has something to
+/// inline.
+fn wrap_mixed(spec: &MixedSpec) -> System {
+    let comp = CompositeBlock::new(build_mixed(spec)).unwrap();
+    let mut builder = SystemBuilder::new("outer");
+    let x = builder.add_input("x");
+    let y = builder.add_input("y");
+    let c = builder.add_block(comp);
+    let o = builder.add_output("o");
+    builder.connect(Source::ext(x), Sink::block(c, 0)).unwrap();
+    builder.connect(Source::ext(y), Sink::block(c, 1)).unwrap();
+    builder.connect(Source::block(c, 0), Sink::ext(o)).unwrap();
+    builder.build().unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -93,6 +178,52 @@ proptest! {
             flat.react(&inputs).unwrap(),
             wrapped.react(&inputs).unwrap()
         );
+    }
+
+    #[test]
+    fn staged_computes_the_same_fixed_point_signal_for_signal(
+        spec in arb_mixed(8, 3),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // All three strategies must produce the *identical* signal
+        // vector — including the ⊥s left by non-constructive cycles —
+        // because the least fixed point is unique.
+        let inputs = [Value::int(a), Value::int(b)];
+        let reference = {
+            let mut sys = build_mixed(&spec);
+            sys.set_strategy(EvalStrategy::Chaotic);
+            sys.eval_instant(&inputs).unwrap().signals().to_vec()
+        };
+        for strat in [EvalStrategy::Worklist, EvalStrategy::Staged] {
+            let mut sys = build_mixed(&spec);
+            sys.set_strategy(strat);
+            let signals = sys.eval_instant(&inputs).unwrap().signals().to_vec();
+            prop_assert!(
+                signals == reference,
+                "{:?} diverged from Chaotic: {:?} vs {:?}",
+                strat, signals, reference
+            );
+        }
+    }
+
+    #[test]
+    fn flattened_staged_matches_nested_on_mixed_systems(
+        spec in arb_mixed(6, 2),
+        vals in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 1..4),
+    ) {
+        let seq: Vec<Vec<Value>> = vals
+            .iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
+            .collect();
+        // Flattening the composite must not change the external outputs…
+        prop_assert!(determinism::flatten_agrees(|| wrap_mixed(&spec), &seq).unwrap());
+        // …and every strategy must agree on the flattened system too.
+        prop_assert!(
+            determinism::strategies_agree(|| wrap_mixed(&spec).flatten(), &seq).unwrap()
+        );
+        // The composite really was inlined.
+        prop_assert!(wrap_mixed(&spec).flatten().inlined_blocks() == 1);
     }
 
     #[test]
