@@ -30,6 +30,20 @@ pub fn instruction_bounds(
     program: &Program,
     table: &ClassTable,
 ) -> BTreeMap<MethodRef, Option<u64>> {
+    instruction_bounds_with_flow(program, table, &BTreeMap::new())
+}
+
+/// Like [`instruction_bounds`], but consults flow-sensitive trip counts
+/// (from `interval::IntervalReport::proved_loop_bounds`, keyed by the
+/// `for` statement's node id) when the syntactic shape analysis cannot
+/// fold a loop's endpoints. This is what makes the WCET estimate
+/// flow-sensitive: a limit clamped by a preceding `if` still yields a
+/// finite bound.
+pub fn instruction_bounds_with_flow(
+    program: &Program,
+    table: &ClassTable,
+    proved_loop_bounds: &BTreeMap<NodeId, u64>,
+) -> BTreeMap<MethodRef, Option<u64>> {
     let mut memo: BTreeMap<MethodRef, Option<u64>> = BTreeMap::new();
     let mut in_progress: Vec<MethodRef> = Vec::new();
     let mut bounds = BTreeMap::new();
@@ -45,7 +59,14 @@ pub fn instruction_bounds(
                     .map(|m| MethodRef::method(&class.name, &m.name)),
             )
         {
-            let b = method_bound(program, table, &mref, &mut memo, &mut in_progress);
+            let b = method_bound(
+                program,
+                table,
+                &mref,
+                proved_loop_bounds,
+                &mut memo,
+                &mut in_progress,
+            );
             bounds.insert(mref, b);
         }
     }
@@ -66,6 +87,7 @@ fn method_bound(
     program: &Program,
     table: &ClassTable,
     mref: &MethodRef,
+    proved: &BTreeMap<NodeId, u64>,
     memo: &mut BTreeMap<MethodRef, Option<u64>>,
     in_progress: &mut Vec<MethodRef>,
 ) -> Option<u64> {
@@ -86,6 +108,7 @@ fn method_bound(
         table,
         class,
         decl,
+        proved,
         memo,
         in_progress,
     };
@@ -112,6 +135,7 @@ struct Ctx<'a, 'p> {
     table: &'a ClassTable,
     class: &'p ClassDecl,
     decl: &'p MethodDecl,
+    proved: &'a BTreeMap<NodeId, u64>,
     memo: &'a mut BTreeMap<MethodRef, Option<u64>>,
     in_progress: &'a mut Vec<MethodRef>,
 }
@@ -155,7 +179,11 @@ fn stmt_cost(ctx: &mut Ctx, stmt: &Stmt) -> Option<u64> {
             body,
         } => {
             let analysis = analyze_for(stmt).expect("for statement");
-            let iterations = analysis.iterations?;
+            // Prefer the syntactic fold; fall back to a flow-sensitive
+            // interval proof keyed by the statement's node id.
+            let iterations = analysis
+                .iterations
+                .or_else(|| ctx.proved.get(&stmt.id).copied())?;
             let mut per_iter: u64 = 1;
             if let Some(c) = cond {
                 per_iter = per_iter.checked_add(expr_cost_outer(ctx, c)?)?;
@@ -230,7 +258,14 @@ fn expr_cost_outer(ctx: &mut Ctx, expr: &Expr) -> Option<u64> {
 }
 
 fn nested_bound(ctx: &mut Ctx, target: &MethodRef) -> Option<u64> {
-    method_bound(ctx.program, ctx.table, target, ctx.memo, ctx.in_progress)
+    method_bound(
+        ctx.program,
+        ctx.table,
+        target,
+        ctx.proved,
+        ctx.memo,
+        ctx.in_progress,
+    )
 }
 
 /// Upper bound, in abstract words, on the memory an instance of `class`
@@ -476,5 +511,72 @@ mod tests {
         let (p, t) = frontend(jtlang::corpus::UNRESTRICTED_AVG).unwrap();
         let bounds = instruction_bounds(&p, &t);
         assert_eq!(bounds[&MethodRef::method("Avg", "run")], None);
+    }
+
+    #[test]
+    fn adversarial_huge_nests_overflow_to_unbounded() {
+        // Three nested 2_000_000_000-iteration loops: the true step count
+        // (8e27) exceeds u64, so the bound must come back `None` — never
+        // a debug-mode arithmetic panic.
+        let b = bound_of(
+            "class A { int m() { int s = 0;
+                 for (int i = 0; i < 2000000000; i++) {
+                     for (int j = 0; j < 2000000000; j++) {
+                         for (int k = 0; k < 2000000000; k++) { s += 1; }
+                     }
+                 }
+                 return s; } }",
+            "A",
+            "m",
+        );
+        assert_eq!(b, None);
+    }
+
+    #[test]
+    fn adversarial_extreme_endpoints_do_not_panic() {
+        // Endpoints spanning the whole i64 range: the trip count saturates
+        // and the per-method total overflows to `None` without panicking.
+        let b = bound_of(
+            "class A { int m() { int s = 0;
+                 for (int i = -9223372036854775807; i < 9223372036854775807; i++) {
+                     for (int j = 0; j < 9223372036854775807; j++) { s += 1; }
+                 }
+                 return s; } }",
+            "A",
+            "m",
+        );
+        assert_eq!(b, None);
+
+        // A single wide loop is still representable and finite.
+        let single = bound_of(
+            "class A { int m() { int s = 0;
+                 for (int i = -2000000000; i < 2000000000; i++) { s += 1; }
+                 return s; } }",
+            "A",
+            "m",
+        );
+        assert!(single.is_some());
+    }
+
+    #[test]
+    fn flow_proved_bounds_rescue_clamped_loops() {
+        // `n` is not a compile-time constant, so the syntactic analysis
+        // gives up — but interval analysis proves the clamp, and the
+        // flow-sensitive entry point turns that proof into a WCET bound.
+        let (p, t) = frontend(
+            "class A extends ASR { public void run() { int n = read(0);
+                 if (n > 15) { n = 15; }
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s += i; }
+                 write(0, s); } }",
+        )
+        .unwrap();
+        let mref = MethodRef::method("A", "run");
+        assert_eq!(instruction_bounds(&p, &t)[&mref], None);
+
+        let proved = crate::interval::analyze(&p, &t).proved_loop_bounds;
+        assert_eq!(proved.values().copied().collect::<Vec<_>>(), [15]);
+        let flowed = instruction_bounds_with_flow(&p, &t, &proved);
+        assert!(flowed[&mref].is_some());
     }
 }

@@ -1,0 +1,414 @@
+//! Lattice-generic worklist dataflow solver over [`crate::cfg`] graphs.
+//!
+//! An [`Analysis`] supplies the lattice (fact type, join, bottom,
+//! boundary) and the transfer functions; [`solve`] runs the classic
+//! worklist algorithm to a fixpoint, iterating blocks in reverse
+//! postorder (forward) or postorder (backward) and applying the
+//! analysis's [`Analysis::widen`] hook at loop heads once a head has
+//! been joined more than [`WIDEN_AFTER`] times — which keeps
+//! infinite-height lattices (intervals) terminating without the
+//! analyses hand-rolling their own iteration strategy.
+//!
+//! Facts are stored per block edge: [`Solution::entry`] is the fact
+//! *before* the block's first instruction, [`Solution::exit`] the fact
+//! after its terminator. Statement-granular information (e.g. the exact
+//! instruction where a read of an unassigned variable happens) is
+//! recovered by replaying [`Analysis::transfer_instr`] over a block
+//! starting from its entry fact — see [`Solution::replay`].
+
+use crate::cfg::{BlockId, Cfg, Instr, Terminator};
+
+/// Direction a dataflow analysis runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry along control-flow edges.
+    Forward,
+    /// Facts flow from the exit against control-flow edges.
+    Backward,
+}
+
+/// Number of joins at a loop head before [`Analysis::widen`] kicks in.
+pub const WIDEN_AFTER: u32 = 2;
+
+/// A dataflow problem: lattice plus transfer functions.
+///
+/// `Fact` must form a join-semilattice with [`Analysis::bottom`] as the
+/// least element; [`solve`] terminates when every block's facts stop
+/// changing (plus widening for infinite-ascent lattices).
+pub trait Analysis<'p> {
+    /// The lattice element attached to each program point.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the boundary: the entry block for forward analyses, the
+    /// exit block for backward ones.
+    fn boundary(&self, cfg: &Cfg<'p>) -> Self::Fact;
+
+    /// Least lattice element — the initial fact everywhere else.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Joins `other` into `into`; returns `true` iff `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Transfer across one straight-line instruction.
+    fn transfer_instr(&self, fact: &mut Self::Fact, instr: &Instr<'p>);
+
+    /// Transfer across a terminator, before edge refinement. Default:
+    /// no effect.
+    fn transfer_term(&self, _fact: &mut Self::Fact, _term: &Terminator<'p>) {}
+
+    /// Refines the fact flowing along one CFG edge. For a
+    /// [`Terminator::Branch`], `branch_taken` is `Some(true)` on the
+    /// then-edge and `Some(false)` on the else-edge, letting value
+    /// analyses narrow from the condition. Default: no refinement.
+    fn transfer_edge(
+        &self,
+        _fact: &mut Self::Fact,
+        _term: &Terminator<'p>,
+        _branch_taken: Option<bool>,
+    ) {
+    }
+
+    /// Widening at loop heads: combine the previous fact with the newly
+    /// joined one into a fact that is `>=` both and guaranteed to
+    /// converge. Default: keep the joined fact (fine for finite
+    /// lattices).
+    fn widen(&self, _prev: &Self::Fact, joined: &mut Self::Fact) {
+        let _ = joined;
+    }
+}
+
+/// The fixpoint computed by [`solve`].
+pub struct Solution<F> {
+    /// Fact on entry to each block (before its first instruction), in
+    /// the analysis direction.
+    pub entry: Vec<F>,
+    /// Fact on exit from each block (after its terminator).
+    pub exit: Vec<F>,
+    /// Number of block visits until the fixpoint — exported as a jtobs
+    /// counter by [`crate::flow`].
+    pub iterations: u64,
+}
+
+impl<F: Clone> Solution<F> {
+    /// Replays a forward analysis through one block, calling `visit`
+    /// with the fact *before* each instruction. Used to localise
+    /// per-instruction findings after the block-level fixpoint.
+    pub fn replay<'p, A>(&self, analysis: &A, cfg: &Cfg<'p>, block: BlockId, mut visit: impl FnMut(&F, &Instr<'p>))
+    where
+        A: Analysis<'p, Fact = F>,
+    {
+        debug_assert_eq!(analysis.direction(), Direction::Forward);
+        let mut fact = self.entry[block].clone();
+        for instr in &cfg.blocks[block].instrs {
+            visit(&fact, instr);
+            analysis.transfer_instr(&mut fact, instr);
+        }
+    }
+}
+
+/// Runs `analysis` over `cfg` to a fixpoint.
+pub fn solve<'p, A: Analysis<'p>>(analysis: &A, cfg: &Cfg<'p>) -> Solution<A::Fact> {
+    let n = cfg.blocks.len();
+    let forward = analysis.direction() == Direction::Forward;
+
+    // Iteration order: reverse postorder for forward analyses,
+    // postorder (its reverse) for backward ones.
+    let mut order = cfg.reverse_postorder();
+    if !forward {
+        order.reverse();
+        // Unreachable blocks are irrelevant either way; `order` only
+        // contains reachable ones.
+    }
+    let mut in_worklist = vec![false; n];
+    let mut worklist: Vec<BlockId> = order.clone();
+    for &b in &worklist {
+        in_worklist[b] = true;
+    }
+    // Position of each block in `order`, to keep worklist pops in order.
+    let mut pos = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        pos[b] = i;
+    }
+
+    let mut entry: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    let mut exit: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    let boundary_block = if forward { cfg.entry } else { cfg.exit };
+    entry[boundary_block] = analysis.boundary(cfg);
+
+    let mut join_count = vec![0u32; n];
+    let mut iterations = 0u64;
+
+    while let Some(b) = pop_min(&mut worklist, &mut in_worklist, &pos) {
+        iterations += 1;
+        // Compute the block's output fact from its input fact.
+        let mut fact = entry[b].clone();
+        if forward {
+            for instr in &cfg.blocks[b].instrs {
+                analysis.transfer_instr(&mut fact, instr);
+            }
+            analysis.transfer_term(&mut fact, &cfg.blocks[b].term);
+        } else {
+            // Backward: input fact lives at the block *end*; run the
+            // terminator first, then instructions in reverse.
+            analysis.transfer_term(&mut fact, &cfg.blocks[b].term);
+            for instr in cfg.blocks[b].instrs.iter().rev() {
+                analysis.transfer_instr(&mut fact, instr);
+            }
+        }
+        if fact == exit[b] && iterations > order.len() as u64 {
+            // Unchanged output after the initial sweep: successors
+            // already saw this fact.
+            continue;
+        }
+        exit[b] = fact;
+
+        // Propagate to dependents.
+        let targets: Vec<(BlockId, Option<bool>)> = if forward {
+            match &cfg.blocks[b].term {
+                Terminator::Branch { then_bb, else_bb, .. } => {
+                    vec![(*then_bb, Some(true)), (*else_bb, Some(false))]
+                }
+                t => t.successors().into_iter().map(|s| (s, None)).collect(),
+            }
+        } else {
+            cfg.blocks[b].preds.iter().map(|&p| (p, None)).collect()
+        };
+        for (t, taken) in targets {
+            if pos[t] == usize::MAX {
+                continue; // unreachable block
+            }
+            let mut edge_fact = exit[b].clone();
+            if forward {
+                analysis.transfer_edge(&mut edge_fact, &cfg.blocks[b].term, taken);
+            }
+            let widen_here = forward && cfg.blocks[t].loop_head;
+            let prev = if widen_here { Some(entry[t].clone()) } else { None };
+            let changed = analysis.join(&mut entry[t], &edge_fact);
+            if changed {
+                if let Some(prev) = prev {
+                    join_count[t] += 1;
+                    if join_count[t] > WIDEN_AFTER {
+                        let mut widened = entry[t].clone();
+                        analysis.widen(&prev, &mut widened);
+                        entry[t] = widened;
+                    }
+                }
+                if !in_worklist[t] {
+                    in_worklist[t] = true;
+                    worklist.push(t);
+                }
+            }
+        }
+    }
+
+    // For backward analyses `entry[b]` holds the fact at the block *end*
+    // and `exit[b]` the fact at the block start — same storage, flipped
+    // meaning, which callers of backward analyses expect.
+    Solution { entry, exit, iterations }
+}
+
+fn pop_min(worklist: &mut Vec<BlockId>, in_worklist: &mut [bool], pos: &[usize]) -> Option<BlockId> {
+    if worklist.is_empty() {
+        return None;
+    }
+    let (idx, _) = worklist
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &b)| pos[b])
+        .expect("non-empty");
+    let b = worklist.swap_remove(idx);
+    in_worklist[b] = false;
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::frontend;
+    use crate::MethodRef;
+    use jtlang::ast::{Expr, ExprKind};
+    use std::collections::BTreeSet;
+
+    /// Backward liveness over local variable names — exercises the
+    /// backward direction of the solver.
+    struct Liveness;
+
+    fn reads_of<'p>(expr: &'p Expr, out: &mut BTreeSet<&'p str>) {
+        jtlang::ast::walk_expr(expr, &mut |e| {
+            if let ExprKind::Var(name) = &e.kind {
+                out.insert(name.as_str());
+            }
+        });
+    }
+
+    impl<'p> Analysis<'p> for Liveness {
+        type Fact = BTreeSet<&'p str>;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn boundary(&self, _cfg: &Cfg<'p>) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn bottom(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().copied());
+            into.len() != before
+        }
+        fn transfer_instr(&self, fact: &mut Self::Fact, instr: &Instr<'p>) {
+            match instr {
+                Instr::Decl { name, init, .. } => {
+                    fact.remove(*name);
+                    if let Some(e) = init {
+                        reads_of(e, fact);
+                    }
+                }
+                Instr::Assign { target, op, value, .. } => {
+                    if let ExprKind::Var(name) = &target.kind {
+                        if *op == jtlang::ast::AssignOp::Set {
+                            fact.remove(name.as_str());
+                        }
+                        // Compound assignment reads the target too.
+                        if *op != jtlang::ast::AssignOp::Set {
+                            fact.insert(name.as_str());
+                        }
+                    } else {
+                        reads_of(target, fact);
+                    }
+                    reads_of(value, fact);
+                }
+                Instr::Eval(e) => reads_of(e, fact),
+                Instr::Return { value, .. } => {
+                    if let Some(e) = value {
+                        reads_of(e, fact);
+                    }
+                }
+            }
+        }
+        fn transfer_term(&self, fact: &mut Self::Fact, term: &Terminator<'p>) {
+            if let Terminator::Branch { cond, .. } = term {
+                reads_of(cond, fact);
+            }
+        }
+    }
+
+    /// Forward reaching-"assigned" over names — a tiny finite forward
+    /// lattice used to exercise forward solving and `replay`.
+    struct Assigned;
+
+    impl<'p> Analysis<'p> for Assigned {
+        type Fact = BTreeSet<&'p str>;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, cfg: &Cfg<'p>) -> Self::Fact {
+            cfg.params.iter().map(|p| p.name.as_str()).collect()
+        }
+        fn bottom(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().copied());
+            into.len() != before
+        }
+        fn transfer_instr(&self, fact: &mut Self::Fact, instr: &Instr<'p>) {
+            match instr {
+                Instr::Decl { name, init: Some(_), .. } => {
+                    fact.insert(*name);
+                }
+                Instr::Assign { target, .. } => {
+                    if let ExprKind::Var(name) = &target.kind {
+                        fact.insert(name.as_str());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn first_cfg(src: &str) -> (jtlang::ast::Program, ()) {
+        let (p, _) = frontend(src).unwrap();
+        (p, ())
+    }
+
+    #[test]
+    fn forward_assigned_reaches_fixpoint_through_loop() {
+        let (p, ()) = first_cfg(
+            "class A { int m(int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s += i; }
+                 return s;
+             } }",
+        );
+        let class = &p.classes[0];
+        let g = cfg::build(class, &class.methods[0], MethodRef::method("A", "m"));
+        let sol = solve(&Assigned, &g);
+        // At the exit every name assigned on the path is present.
+        let at_exit = &sol.entry[g.exit];
+        assert!(at_exit.contains("s"));
+        assert!(at_exit.contains("n"));
+        // Every reachable block is visited at least once.
+        assert!(sol.iterations >= g.reverse_postorder().len() as u64);
+    }
+
+    #[test]
+    fn backward_liveness_sees_loop_carried_use() {
+        let (p, ()) = first_cfg(
+            "class A { int m(int n) {
+                 int s = 0;
+                 while (n > 0) { s += n; n -= 1; }
+                 return s;
+             } }",
+        );
+        let class = &p.classes[0];
+        let g = cfg::build(class, &class.methods[0], MethodRef::method("A", "m"));
+        let sol = solve(&Liveness, &g);
+        // At method entry (fact at block end for backward — entry[entry]
+        // holds the live-out of block 0's start, i.e. live-in of the
+        // method): `n` is live (read by the loop condition), and `s` is
+        // not (it is declared before any use).
+        let live_in = &sol.exit[g.entry];
+        assert!(live_in.contains("n"));
+        assert!(!live_in.contains("s"));
+    }
+
+    #[test]
+    fn replay_visits_instructions_with_pre_facts() {
+        let (p, ()) = first_cfg("class A { void m() { int x = 1; int y = x; } }");
+        let class = &p.classes[0];
+        let g = cfg::build(class, &class.methods[0], MethodRef::method("A", "m"));
+        let sol = solve(&Assigned, &g);
+        let mut seen = Vec::new();
+        sol.replay(&Assigned, &g, g.entry, |fact, instr| {
+            if let Instr::Decl { name, .. } = instr {
+                seen.push((*name, fact.contains("x")));
+            }
+        });
+        assert_eq!(seen, vec![("x", false), ("y", true)]);
+    }
+
+    #[test]
+    fn branch_join_is_union_for_may_analyses() {
+        let (p, ()) = first_cfg(
+            "class A { void m(int n) {
+                 int a;
+                 if (n > 0) { a = 1; } else { a = 2; }
+                 n = a;
+             } }",
+        );
+        let class = &p.classes[0];
+        let g = cfg::build(class, &class.methods[0], MethodRef::method("A", "m"));
+        let sol = solve(&Assigned, &g);
+        let at_exit = &sol.entry[g.exit];
+        assert!(at_exit.contains("a"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Definite-assignment analysis: no read-before-write of locals.
+//!
+//! A forward must-analysis over [`crate::cfg`]: the fact at a program
+//! point is the set of locals *definitely assigned* on every path from
+//! the method entry. Reading a local outside that set is a
+//! [`UnassignedRead`] finding, which the `sfr` crate surfaces as rule
+//! R10 — a class of true violations the pre-dataflow heuristics could
+//! not see at all (they had no notion of paths).
+//!
+//! ## Trackable locals
+//!
+//! JT's name resolution lets a simple name refer to a parameter or an
+//! implicit-`this` field as well as a local, and a name may be declared
+//! in several disjoint lexical scopes. To stay *sound against false
+//! positives* we only track names that are unambiguous throughout the
+//! method: declared exactly once, and colliding with no parameter and no
+//! field visible in the enclosing class (own or inherited). Everything
+//! else is assumed assigned. This under-approximates the rule — it can
+//! miss a read-before-write of a shadowing name — but never flags
+//! correct code.
+
+use crate::cfg::{self, Cfg, Instr, Terminator};
+use crate::dataflow::{self, Analysis, Direction};
+use crate::MethodRef;
+use jtlang::ast::{walk_expr, AssignOp, ClassDecl, Expr, ExprKind, MethodDecl, Program, StmtKind};
+use jtlang::resolve::ClassTable;
+use jtlang::token::Span;
+use std::collections::BTreeSet;
+
+/// A read of a local that is not definitely assigned on some path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnassignedRead {
+    /// The local variable read.
+    pub name: String,
+    /// Span of the reading expression.
+    pub span: Span,
+    /// Method containing the read.
+    pub method: MethodRef,
+}
+
+/// Result of [`analyze`]: all unassigned reads plus solver effort.
+#[derive(Debug, Clone, Default)]
+pub struct DefiniteReport {
+    /// Reads of possibly-unassigned locals, in deterministic order.
+    pub unassigned_reads: Vec<UnassignedRead>,
+    /// Total worklist iterations across all methods.
+    pub solver_iterations: u64,
+}
+
+/// The dataflow fact: unreachable, or the set of definitely-assigned
+/// trackable locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fact {
+    /// No path reaches this point yet (lattice bottom — identity of the
+    /// intersection join).
+    Unreachable,
+    /// Reachable with this definitely-assigned set.
+    Assigned(BTreeSet<String>),
+}
+
+struct DefiniteAssignment {
+    trackable: BTreeSet<String>,
+}
+
+impl<'p> Analysis<'p> for DefiniteAssignment {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn boundary(&self, _cfg: &Cfg<'p>) -> Fact {
+        Fact::Assigned(BTreeSet::new())
+    }
+    fn bottom(&self) -> Fact {
+        Fact::Unreachable
+    }
+    fn join(&self, into: &mut Fact, other: &Fact) -> bool {
+        match (&mut *into, other) {
+            (_, Fact::Unreachable) => false,
+            (Fact::Unreachable, o) => {
+                *into = o.clone();
+                true
+            }
+            (Fact::Assigned(a), Fact::Assigned(b)) => {
+                // Must-analysis: intersect.
+                let before = a.len();
+                a.retain(|n| b.contains(n));
+                a.len() != before
+            }
+        }
+    }
+    fn transfer_instr(&self, fact: &mut Fact, instr: &Instr<'p>) {
+        let Fact::Assigned(set) = fact else { return };
+        match instr {
+            Instr::Decl { name, init, .. } => {
+                if self.trackable.contains(*name) {
+                    if init.is_some() {
+                        set.insert((*name).to_string());
+                    } else {
+                        // Re-entering the declaration (e.g. in a loop
+                        // body) resets the variable to unassigned.
+                        set.remove(*name);
+                    }
+                }
+            }
+            Instr::Assign { target, .. } => {
+                if let ExprKind::Var(name) = &target.kind {
+                    if self.trackable.contains(name) {
+                        set.insert(name.clone());
+                    }
+                }
+            }
+            Instr::Eval(_) | Instr::Return { .. } => {}
+        }
+    }
+}
+
+/// Names safe to track: declared as a local and colliding with no
+/// parameter and no visible field, so a bare `name` always denotes the
+/// local. Multiple declarations in disjoint scopes are fine — each
+/// in-scope read is dominated by its own `Decl`, which resets the fact.
+fn trackable_locals(program: &Program, table: &ClassTable, class: &ClassDecl, decl: &MethodDecl) -> BTreeSet<String> {
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    jtlang::ast::walk_stmts(&decl.body, &mut |stmt| {
+        if let StmtKind::VarDecl { name, .. } = &stmt.kind {
+            names.insert(name.as_str());
+        }
+    });
+    let fields = visible_fields(program, table, class);
+    names
+        .into_iter()
+        .filter(|name| {
+            !fields.contains(name) && !decl.params.iter().any(|p| p.name == *name)
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Field names visible in `class` (own and inherited).
+pub(crate) fn visible_fields<'p>(
+    program: &'p Program,
+    table: &ClassTable,
+    class: &'p ClassDecl,
+) -> BTreeSet<&'p str> {
+    let mut fields: BTreeSet<&str> = BTreeSet::new();
+    let mut cur = Some(class.name.as_str());
+    while let Some(cn) = cur {
+        if let Some(c) = program.class(cn) {
+            fields.extend(c.fields.iter().map(|f| f.name.as_str()));
+        }
+        cur = table.class(cn).and_then(|info| info.superclass.as_deref());
+    }
+    fields
+}
+
+/// All trackable-local reads in one expression, in pre-order. A read is
+/// any [`ExprKind::Var`] occurrence — assignment *targets* are handled
+/// by the caller, which skips the target of a plain `=`.
+fn reads_in<'p>(expr: &'p Expr, trackable: &BTreeSet<String>, out: &mut Vec<&'p Expr>) {
+    walk_expr(expr, &mut |e| {
+        if let ExprKind::Var(name) = &e.kind {
+            if trackable.contains(name) {
+                out.push(e);
+            }
+        }
+    });
+}
+
+/// Runs definite assignment over every method and constructor.
+pub fn analyze(program: &Program, table: &ClassTable) -> DefiniteReport {
+    let mut report = DefiniteReport::default();
+    for (class, decl, mref) in crate::each_method(program) {
+        let cfg = cfg::build(class, decl, mref);
+        let analysis = DefiniteAssignment {
+            trackable: trackable_locals(program, table, class, decl),
+        };
+        let solution = dataflow::solve(&analysis, &cfg);
+        report.solver_iterations += solution.iterations;
+
+        // Replay each reachable block to localise reads.
+        for block in &cfg.blocks {
+            let flag_reads = |fact: &Fact, exprs: &[&Expr], out: &mut Vec<UnassignedRead>| {
+                let Fact::Assigned(set) = fact else { return };
+                let mut reads = Vec::new();
+                for e in exprs {
+                    reads_in(e, &analysis.trackable, &mut reads);
+                }
+                for r in reads {
+                    let ExprKind::Var(name) = &r.kind else { unreachable!() };
+                    if !set.contains(name) {
+                        out.push(UnassignedRead {
+                            name: name.clone(),
+                            span: r.span,
+                            method: cfg.method.clone(),
+                        });
+                    }
+                }
+            };
+            let mut fact = solution.entry[block.id].clone();
+            for instr in &block.instrs {
+                let read_exprs: Vec<&Expr> = match instr {
+                    Instr::Decl { init, .. } => init.iter().copied().collect(),
+                    Instr::Assign { target, op, value, .. } => {
+                        let mut r: Vec<&Expr> = Vec::new();
+                        match &target.kind {
+                            ExprKind::Var(_) => {
+                                // `x = e` writes x; `x += e` reads it too.
+                                if *op != AssignOp::Set {
+                                    r.push(target);
+                                }
+                            }
+                            _ => r.push(target),
+                        }
+                        r.push(value);
+                        r
+                    }
+                    Instr::Eval(e) => vec![e],
+                    Instr::Return { value, .. } => value.iter().copied().collect(),
+                };
+                flag_reads(&fact, &read_exprs, &mut report.unassigned_reads);
+                analysis.transfer_instr(&mut fact, instr);
+            }
+            if let Terminator::Branch { cond, .. } = &block.term {
+                flag_reads(&fact, &[cond], &mut report.unassigned_reads);
+            }
+        }
+    }
+    report
+        .unassigned_reads
+        .sort_by(|a, b| (a.span.start, a.span.end, &a.name).cmp(&(b.span.start, b.span.end, &b.name)));
+    report.unassigned_reads.dedup();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    fn reads(src: &str) -> Vec<String> {
+        let (p, t) = frontend(src).unwrap();
+        analyze(&p, &t)
+            .unassigned_reads
+            .into_iter()
+            .map(|r| r.name)
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_initialized_local_is_clean() {
+        assert!(reads("class A { int m() { int x = 1; return x; } }").is_empty());
+    }
+
+    #[test]
+    fn read_before_any_write_is_flagged() {
+        assert_eq!(reads("class A { int m() { int x; return x; } }"), ["x"]);
+    }
+
+    #[test]
+    fn assignment_on_one_branch_only_is_flagged() {
+        let src = "class A { int m(int n) {
+            int x;
+            if (n > 0) { x = 1; }
+            return x;
+        } }";
+        assert_eq!(reads(src), ["x"]);
+    }
+
+    #[test]
+    fn assignment_on_both_branches_is_clean() {
+        let src = "class A { int m(int n) {
+            int x;
+            if (n > 0) { x = 1; } else { x = 2; }
+            return x;
+        } }";
+        assert!(reads(src).is_empty());
+    }
+
+    #[test]
+    fn loop_body_may_not_execute() {
+        let src = "class A { int m(int n) {
+            int x;
+            for (int i = 0; i < n; i++) { x = i; }
+            return x;
+        } }";
+        assert_eq!(reads(src), ["x"]);
+    }
+
+    #[test]
+    fn do_while_body_always_executes() {
+        let src = "class A { int m(int n) {
+            int x;
+            do { x = n; n -= 1; } while (n > 0);
+            return x;
+        } }";
+        assert!(reads(src).is_empty());
+    }
+
+    #[test]
+    fn compound_assign_reads_its_target() {
+        let src = "class A { int m() { int x; x += 1; return x; } }";
+        assert_eq!(reads(src), ["x"]);
+    }
+
+    #[test]
+    fn field_shadowing_names_are_not_tracked() {
+        // `x` is both a field and a local; resolution subtleties make it
+        // untrackable, so no finding even though the local is unassigned.
+        let src = "class A { int x; int m() { int x; return x; } }";
+        assert!(reads(src).is_empty());
+    }
+
+    #[test]
+    fn early_return_path_counts() {
+        let src = "class A { int m(int n) {
+            int x;
+            if (n > 0) { return 0; }
+            x = 2;
+            return x;
+        } }";
+        assert!(reads(src).is_empty());
+    }
+
+    #[test]
+    fn corpus_compliant_samples_have_no_unassigned_reads() {
+        for s in jtlang::corpus::samples() {
+            if !s.compliant {
+                continue;
+            }
+            let (p, t) = frontend(s.source).unwrap();
+            let r = analyze(&p, &t);
+            assert!(
+                r.unassigned_reads.is_empty(),
+                "sample `{}` flagged: {:?}",
+                s.name,
+                r.unassigned_reads
+            );
+        }
+    }
+}

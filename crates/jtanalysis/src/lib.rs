@@ -16,7 +16,28 @@
 //!   candidates,
 //! * [`blocking`] — calls that may suspend execution indefinitely,
 //! * [`bounds`] — WCET-style instruction-count and memory upper bounds
-//!   for programs that satisfy the structural restrictions.
+//!   for programs that satisfy the structural restrictions
+//!   (flow-sensitive via [`bounds::instruction_bounds_with_flow`]).
+//!
+//! On top of the syntactic tier sits a flow-sensitive suite built on a
+//! shared control-flow-graph + lattice-dataflow framework:
+//!
+//! * [`cfg`] — per-method control-flow graphs with explicit terminators,
+//!   loop shapes, and widening points,
+//! * [`dataflow`] — a lattice-generic forward/backward worklist solver
+//!   ([`dataflow::Analysis`] trait) with edge-sensitive transfer and
+//!   widening,
+//! * [`definite`] — definite assignment: reads of possibly-unassigned
+//!   locals (rule R10),
+//! * [`constprop`] — conditional constant propagation with branch
+//!   refinement,
+//! * [`interval`] — interval analysis: proved loop trip counts (feeding
+//!   flow-sensitive R2 and WCET) and definite array out-of-bounds
+//!   findings (rule R11),
+//! * [`races`] — phase-refined shared-state races, clearing
+//!   init-phase-only candidates (rule R12),
+//! * [`flow`] — umbrella driver producing a [`flow::FlowReport`] and
+//!   exporting solver metrics via `jtobs`.
 //!
 //! Each analysis is pure: it takes `(&Program, &ClassTable)` and returns a
 //! report value. The `sfr` crate turns these reports into policy-rule
@@ -26,11 +47,18 @@ pub mod alloc;
 pub mod blocking;
 pub mod bounds;
 pub mod callgraph;
+pub mod cfg;
+pub mod constprop;
+pub mod dataflow;
+pub mod definite;
+pub mod flow;
+pub mod interval;
 pub mod loops;
+pub mod races;
 pub mod threads;
 pub mod visibility;
 
-use jtlang::ast::Program;
+use jtlang::ast::{ClassDecl, MethodDecl, Program};
 use jtlang::resolve::ClassTable;
 use std::fmt;
 
@@ -74,6 +102,24 @@ impl fmt::Display for MethodRef {
             write!(f, "{}.{}", self.class, self.method)
         }
     }
+}
+
+/// Iterates every constructor and method of a program with its owning
+/// class and [`MethodRef`], in declaration order — the shared driver of
+/// the per-method dataflow analyses.
+pub fn each_method(program: &Program) -> impl Iterator<Item = (&ClassDecl, &MethodDecl, MethodRef)> {
+    program.classes.iter().flat_map(|class| {
+        class
+            .ctors
+            .iter()
+            .map(move |c| (class, c, MethodRef::ctor(&class.name)))
+            .chain(
+                class
+                    .methods
+                    .iter()
+                    .map(move |m| (class, m, MethodRef::method(&class.name, &m.name))),
+            )
+    })
 }
 
 /// Parses, resolves, and returns `(program, table)` — a convenience used

@@ -1,0 +1,383 @@
+//! Shared-state race candidates, refined by execution phase.
+//!
+//! The original `threads` pass flags thread *constructs*; it has no
+//! notion of which state is actually contested. This module builds the
+//! missing picture in two precision tiers so the improvement is
+//! measurable:
+//!
+//! * [`RaceReport::syntactic`] — the heuristic tier: any field written
+//!   by code reachable from some `Thread` subclass `run` and also
+//!   accessed anywhere else. This is what a single-walk checker can do,
+//!   and it over-reports.
+//! * [`RaceReport::refined`] — the lockset-style tier: a field is a
+//!   race candidate only if, *excluding accesses that execute during
+//!   the single-threaded initialization phase* (constructors, field
+//!   initializers, and methods reachable only from them), it is
+//!   accessed from the `run` phase of **two or more distinct** thread
+//!   classes with at least one write. Accesses dominated by the init
+//!   phase — e.g. a constructor zeroing a field later read by one
+//!   thread — cannot race, because `start()` establishes a
+//!   happens-before edge from everything the constructing thread did.
+//!
+//! Fields in [`RaceReport::cleared`] are the heuristic's false
+//! positives that refinement discharges — the precision win checked by
+//! the corpus tests.
+
+use crate::callgraph::CallGraph;
+use crate::MethodRef;
+use jtlang::ast::{
+    walk_stmts, ClassDecl, Expr, ExprKind, MethodDecl, Program, StmtKind, Type,
+};
+use jtlang::resolve::ClassTable;
+use jtlang::token::Span;
+use jtlang::types::type_of_expr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A field, identified by the class that *declares* it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FieldId {
+    /// Declaring class.
+    pub class: String,
+    /// Field name.
+    pub field: String,
+}
+
+impl std::fmt::Display for FieldId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.class, self.field)
+    }
+}
+
+/// One field access with its execution-phase attribution.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// The field accessed.
+    pub field: FieldId,
+    /// Span of the accessing expression.
+    pub span: Span,
+    /// Method performing the access.
+    pub method: MethodRef,
+    /// True for assignment targets.
+    pub is_write: bool,
+    /// Thread classes whose `run` can reach this access (empty = not
+    /// reachable from any thread).
+    pub thread_roots: BTreeSet<String>,
+    /// True when the access is reachable from a constructor or field
+    /// initializer (the single-threaded init phase).
+    pub in_init_phase: bool,
+}
+
+/// A confirmed (refined) race candidate.
+#[derive(Debug, Clone)]
+pub struct Race {
+    /// The contested field.
+    pub field: FieldId,
+    /// Distinct thread classes accessing it outside the init phase.
+    pub thread_classes: BTreeSet<String>,
+    /// Spans of the thread-phase accesses, in source order.
+    pub access_spans: Vec<Span>,
+    /// True when at least one thread-phase access is a write (always
+    /// true for reported races).
+    pub has_write: bool,
+}
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Heuristic-tier candidates (over-approximate).
+    pub syntactic: Vec<FieldId>,
+    /// Phase-refined candidates (the real findings).
+    pub refined: Vec<Race>,
+    /// Heuristic candidates discharged by the refinement — cleared
+    /// false positives.
+    pub cleared: Vec<FieldId>,
+    /// Every attributed field access (for `jtlint -v` style dumps).
+    pub accesses: Vec<Access>,
+}
+
+/// Builds both candidate tiers for one program.
+pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> RaceReport {
+    // Thread roots: the `run` methods of Thread subclasses. Each root
+    // taints the methods its run can reach.
+    let mut reach_by_root: BTreeMap<String, BTreeSet<MethodRef>> = BTreeMap::new();
+    for class in &program.classes {
+        if table.is_subclass_of(&class.name, "Thread") && class.method("run").is_some() {
+            let root = MethodRef::method(&class.name, "run");
+            reach_by_root.insert(class.name.clone(), graph.reachable_from([&root]));
+        }
+    }
+    // Init phase: everything reachable from constructors.
+    let ctor_roots: Vec<MethodRef> = program
+        .classes
+        .iter()
+        .flat_map(|c| c.ctors.iter().map(|_| MethodRef::ctor(&c.name)))
+        .collect();
+    let init_reach = graph.reachable_from(ctor_roots.iter());
+
+    let mut accesses = Vec::new();
+    for (class, decl, mref) in crate::each_method(program) {
+        let thread_roots: BTreeSet<String> = reach_by_root
+            .iter()
+            .filter(|(_, reach)| reach.contains(&mref))
+            .map(|(root, _)| root.clone())
+            .collect();
+        let in_init_phase = mref.is_ctor || init_reach.contains(&mref);
+        collect_accesses(
+            program,
+            table,
+            class,
+            decl,
+            &mref,
+            &thread_roots,
+            in_init_phase,
+            &mut accesses,
+        );
+    }
+    accesses.sort_by_key(|a| (a.field.clone(), a.span.start, a.span.end));
+
+    // Group by field.
+    let mut by_field: BTreeMap<FieldId, Vec<&Access>> = BTreeMap::new();
+    for a in &accesses {
+        by_field.entry(a.field.clone()).or_default().push(a);
+    }
+
+    let mut report = RaceReport::default();
+    for (field, accs) in &by_field {
+        // Heuristic tier: written from any thread-reachable code and
+        // also touched by a different method.
+        let thread_writes: Vec<&&Access> = accs
+            .iter()
+            .filter(|a| a.is_write && !a.thread_roots.is_empty())
+            .collect();
+        let other_touch = accs.iter().any(|a| {
+            thread_writes
+                .iter()
+                .all(|w| w.method != a.method)
+        });
+        if !thread_writes.is_empty() && other_touch {
+            report.syntactic.push(field.clone());
+        }
+
+        // Refined tier: thread-phase accesses only (init-dominated
+        // accesses dropped), ≥2 distinct thread classes, ≥1 write.
+        let thread_phase: Vec<&&Access> = accs
+            .iter()
+            .filter(|a| !a.thread_roots.is_empty() && !a.in_init_phase)
+            .collect();
+        let mut classes: BTreeSet<String> = BTreeSet::new();
+        for a in &thread_phase {
+            classes.extend(a.thread_roots.iter().cloned());
+        }
+        let has_write = thread_phase.iter().any(|a| a.is_write);
+        if classes.len() >= 2 && has_write {
+            let mut access_spans: Vec<Span> =
+                thread_phase.iter().map(|a| a.span).collect();
+            access_spans.sort_by_key(|s| (s.start, s.end));
+            report.refined.push(Race {
+                field: field.clone(),
+                thread_classes: classes,
+                access_spans,
+                has_write,
+            });
+        }
+    }
+    report.cleared = report
+        .syntactic
+        .iter()
+        .filter(|f| report.refined.iter().all(|r| &r.field != *f))
+        .cloned()
+        .collect();
+    report.accesses = accesses;
+    report
+}
+
+/// Records every field read/write in one method body.
+#[allow(clippy::too_many_arguments)]
+fn collect_accesses(
+    program: &Program,
+    table: &ClassTable,
+    class: &ClassDecl,
+    decl: &MethodDecl,
+    mref: &MethodRef,
+    thread_roots: &BTreeSet<String>,
+    in_init_phase: bool,
+    out: &mut Vec<Access>,
+) {
+    let mut locals: BTreeSet<&str> = decl.params.iter().map(|p| p.name.as_str()).collect();
+    walk_stmts(&decl.body, &mut |stmt| {
+        if let StmtKind::VarDecl { name, .. } = &stmt.kind {
+            locals.insert(name.as_str());
+        }
+    });
+
+    // Resolves an lvalue/rvalue expression to the field it denotes.
+    let resolve = |e: &Expr| -> Option<FieldId> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if locals.contains(name.as_str()) {
+                    return None;
+                }
+                let (owner, _) = table.field_of(&class.name, name)?;
+                Some(FieldId {
+                    class: owner.to_string(),
+                    field: name.clone(),
+                })
+            }
+            ExprKind::Field { object, name } => {
+                let ty = type_of_expr(program, table, &class.name, &decl.name, object).ok()?;
+                let Type::Class(cn) = ty else { return None };
+                let (owner, _) = table.field_of(&cn, name)?;
+                Some(FieldId {
+                    class: owner.to_string(),
+                    field: name.clone(),
+                })
+            }
+            _ => None,
+        }
+    };
+
+    let mut push = |e: &Expr, is_write: bool| {
+        if let Some(field) = resolve(e) {
+            out.push(Access {
+                field,
+                span: e.span,
+                method: mref.clone(),
+                is_write,
+                thread_roots: thread_roots.clone(),
+                in_init_phase,
+            });
+        }
+    };
+
+    // Reads: every field-denoting expression that is not an assignment
+    // target. Writes: assignment targets (compound ops also read).
+    walk_stmts(&decl.body, &mut |stmt| {
+        let (write_target, reads): (Option<&Expr>, Vec<&Expr>) = match &stmt.kind {
+            StmtKind::Assign { target, op, value } => {
+                let mut reads = vec![value];
+                if *op != jtlang::ast::AssignOp::Set {
+                    reads.push(target);
+                }
+                // Index/field targets read their inner receivers.
+                match &target.kind {
+                    ExprKind::Index { array, index } => {
+                        reads.push(array);
+                        reads.push(index);
+                        (None, reads)
+                    }
+                    _ => (Some(target), reads),
+                }
+            }
+            _ => (None, jtlang::ast::stmt_exprs(stmt)),
+        };
+        if let Some(t) = write_target {
+            push(t, true);
+            // `o.f = …` also reads `o`.
+            if let ExprKind::Field { object, .. } = &t.kind {
+                read_fields(object, &mut push);
+            }
+        }
+        for r in reads {
+            read_fields(r, &mut push);
+        }
+    });
+}
+
+/// Pushes a read access for every field-denoting node inside `expr`.
+fn read_fields(expr: &Expr, push: &mut impl FnMut(&Expr, bool)) {
+    jtlang::ast::walk_expr(expr, &mut |e| {
+        if matches!(e.kind, ExprKind::Var(_) | ExprKind::Field { .. }) {
+            push(e, false);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, frontend};
+
+    fn run(src: &str) -> RaceReport {
+        let (p, t) = frontend(src).unwrap();
+        let g = callgraph::build(&p, &t);
+        analyze(&p, &t, &g)
+    }
+
+    #[test]
+    fn fig8_shared_x_is_a_refined_race() {
+        let r = run(jtlang::corpus::RACY_THREADS);
+        let fields: Vec<String> = r.refined.iter().map(|x| x.field.to_string()).collect();
+        assert_eq!(fields, ["Shared.x"]);
+        let race = &r.refined[0];
+        assert!(race.thread_classes.contains("WriterA"));
+        assert!(race.thread_classes.contains("WriterB"));
+        assert!(race.has_write);
+    }
+
+    #[test]
+    fn fig8_reader_seen_is_cleared_by_refinement() {
+        // `ReaderC.seen` is written by only one thread class; the
+        // heuristic tier flags it, the refined tier clears it.
+        let r = run(jtlang::corpus::RACY_THREADS);
+        let cleared: Vec<String> = r.cleared.iter().map(|f| f.to_string()).collect();
+        assert!(
+            cleared.contains(&"ReaderC.seen".to_string()),
+            "expected seen cleared, got {cleared:?}"
+        );
+        assert!(r.syntactic.iter().any(|f| f.to_string() == "ReaderC.seen"));
+    }
+
+    #[test]
+    fn init_phase_writes_do_not_race() {
+        // The constructor zeroes the field; only one thread later
+        // writes it. Not a race.
+        let r = run("class Worker extends Thread {
+            private int ticks;
+            Worker() { ticks = 0; }
+            public void run() { ticks = ticks + 1; }
+        }");
+        assert!(r.refined.is_empty());
+    }
+
+    #[test]
+    fn two_threads_one_field_is_a_race() {
+        let r = run("class Cell { public int v; Cell() { v = 0; } }
+        class W1 extends Thread {
+            private Cell c;
+            W1(Cell x) { c = x; }
+            public void run() { c.v = 1; }
+        }
+        class W2 extends Thread {
+            private Cell c;
+            W2(Cell x) { c = x; }
+            public void run() { c.v = 2; }
+        }");
+        assert_eq!(r.refined.len(), 1);
+        assert_eq!(r.refined[0].field.to_string(), "Cell.v");
+    }
+
+    #[test]
+    fn reads_only_from_threads_do_not_race() {
+        let r = run("class Cell { public int v; Cell() { v = 7; } }
+        class R1 extends Thread {
+            private Cell c;
+            public int got;
+            R1(Cell x) { c = x; got = 0; }
+            public void run() { got = c.v; }
+        }
+        class R2 extends Thread {
+            private Cell c;
+            public int got;
+            R2(Cell x) { c = x; got = 0; }
+            public void run() { got = c.v; }
+        }");
+        assert!(r.refined.iter().all(|race| race.field.to_string() != "Cell.v"));
+    }
+
+    #[test]
+    fn no_threads_means_no_candidates() {
+        let r = run(jtlang::corpus::ELEVATOR);
+        assert!(r.syntactic.is_empty());
+        assert!(r.refined.is_empty());
+    }
+}

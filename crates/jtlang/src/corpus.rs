@@ -318,6 +318,29 @@ class Rec extends ASR {
 }
 ";
 
+/// A noncompliant design that *looks* compliant: it satisfies every
+/// syntactic restriction (R1–R9), but `next` is assigned only when the
+/// command is positive and read unconditionally afterwards — a
+/// read-before-write only the path-sensitive definite-assignment
+/// analysis (rule R10) can see.
+pub const UNASSIGNED_LATCH: &str = "\
+class Latch extends ASR {
+    private int base;
+    Latch() {
+        base = 0;
+    }
+    public void run() {
+        int cmd = read(0);
+        int next;
+        if (cmd > 0) {
+            next = cmd;
+        }
+        base = base + next;
+        write(0, base);
+    }
+}
+";
+
 /// A named corpus entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -371,6 +394,11 @@ pub fn samples() -> Vec<Sample> {
         Sample {
             name: "recursive_blocking",
             source: RECURSIVE_BLOCKING,
+            compliant: false,
+        },
+        Sample {
+            name: "unassigned_latch",
+            source: UNASSIGNED_LATCH,
             compliant: false,
         },
     ]

@@ -96,6 +96,12 @@ impl Parser {
         t
     }
 
+    /// Span of the most recently consumed token — the natural end point
+    /// of a construct the parser just finished.
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
     fn at(&self, kind: &TokenKind) -> bool {
         self.peek_kind() == kind
     }
@@ -510,7 +516,7 @@ impl Parser {
             };
             return Ok(Stmt {
                 id: self.id(),
-                span: start,
+                span: start.to(self.prev_span()),
                 kind: StmtKind::VarDecl { ty, name, init },
             });
         }
@@ -529,7 +535,7 @@ impl Parser {
             let value = self.expr()?;
             return Ok(Stmt {
                 id: self.id(),
-                span: start,
+                span: start.to(value.span),
                 kind: StmtKind::Assign { target, op, value },
             });
         }
@@ -547,7 +553,7 @@ impl Parser {
             };
             return Ok(Stmt {
                 id: self.id(),
-                span: start,
+                span: start.to(self.prev_span()),
                 kind: StmtKind::Assign {
                     target,
                     op,
@@ -688,7 +694,7 @@ impl Parser {
                 let (name, name_span) = self.expect_ident("a member name")?;
                 if self.at(&TokenKind::LParen) {
                     let args = self.args()?;
-                    let span = expr.span.to(name_span);
+                    let span = expr.span.to(self.prev_span());
                     expr = Expr {
                         id: self.id(),
                         span,
@@ -814,7 +820,7 @@ impl Parser {
                             let args = self.args()?;
                             Ok(Expr {
                                 id: self.id(),
-                                span: start,
+                                span: start.to(self.prev_span()),
                                 kind: ExprKind::NewObject { class, args },
                             })
                         }
@@ -834,7 +840,7 @@ impl Parser {
                     let args = self.args()?;
                     Ok(Expr {
                         id: self.id(),
-                        span: start,
+                        span: start.to(self.prev_span()),
                         kind: ExprKind::Call {
                             receiver: None,
                             method: name,
@@ -868,7 +874,7 @@ impl Parser {
         }
         Ok(Expr {
             id: self.id(),
-            span: start,
+            span: start.to(self.prev_span()),
             kind: ExprKind::NewArray {
                 elem,
                 len: Box::new(len),
@@ -994,5 +1000,39 @@ mod tests {
     fn this_and_calls_without_receiver() {
         let p = parse("class A { int x; void m() { this.x = 1; helper(); this.helper(); } }");
         assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn statement_and_call_spans_cover_their_full_extent() {
+        // Diagnostics underline `span.start..span.end`; these nodes used
+        // to carry first-token-only spans.
+        let src = "class A { void m(A o) { int x = 1 + 2; x = o.f(3, 4); o = new A(); int[] b = new int[8]; } }";
+        let p = parse(src).unwrap();
+        let body = &p.classes[0].methods[0].body;
+
+        let snippet = |sp: Span| &src[sp.start..sp.end];
+        let StmtKind::VarDecl { init: Some(_), .. } = &body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(snippet(body.stmts[0].span), "int x = 1 + 2");
+        let StmtKind::Assign { value, .. } = &body.stmts[1].kind else {
+            panic!()
+        };
+        assert_eq!(snippet(body.stmts[1].span), "x = o.f(3, 4)");
+        assert_eq!(snippet(value.span), "o.f(3, 4)");
+        let StmtKind::Assign { value, .. } = &body.stmts[2].kind else {
+            panic!()
+        };
+        assert_eq!(snippet(value.span), "new A()");
+        let StmtKind::VarDecl { init: Some(init), .. } = &body.stmts[3].kind else {
+            panic!()
+        };
+        assert_eq!(snippet(init.span), "new int[8]");
+
+        let bare = parse("class A { void m() { go(1); } }").unwrap();
+        let StmtKind::Expr(call) = &bare.classes[0].methods[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(call.span.end - call.span.start, "go(1)".len());
     }
 }

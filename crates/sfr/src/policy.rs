@@ -13,7 +13,7 @@
 
 use crate::extension;
 use crate::violation::{Fix, Violation};
-use jtanalysis::{alloc, blocking, callgraph, loops, threads, visibility};
+use jtanalysis::{alloc, blocking, callgraph, flow, loops, threads, visibility};
 use jtlang::ast::Program;
 use jtlang::resolve::ClassTable;
 use jtlang::token::Span;
@@ -37,12 +37,37 @@ pub struct AnalysisContext<'a> {
     pub threads: Vec<threads::ThreadUse>,
     /// Blocking-call analysis.
     pub blocking: Vec<blocking::BlockingCall>,
+    /// Flow-sensitive dataflow suite (CFG + lattice analyses): feeds the
+    /// precision upgrade of R2 and all of R10–R12.
+    pub flow: flow::FlowReport,
 }
 
 impl<'a> AnalysisContext<'a> {
     /// Runs every analysis once.
     pub fn new(program: &'a Program, table: &'a ClassTable) -> Self {
+        Self::build(program, table, None)
+    }
+
+    /// Like [`AnalysisContext::new`], but exports `jtanalysis.*` metrics
+    /// into `registry` while the dataflow suite runs.
+    pub fn instrumented(
+        program: &'a Program,
+        table: &'a ClassTable,
+        registry: &jtobs::Registry,
+    ) -> Self {
+        Self::build(program, table, Some(registry))
+    }
+
+    fn build(
+        program: &'a Program,
+        table: &'a ClassTable,
+        registry: Option<&jtobs::Registry>,
+    ) -> Self {
         let graph = callgraph::build(program, table);
+        let flow = match registry {
+            Some(r) => flow::analyze_with_registry(program, table, &graph, r),
+            None => flow::analyze(program, table, &graph),
+        };
         AnalysisContext {
             alloc: alloc::analyze_with_graph(program, table, &graph),
             callgraph: graph,
@@ -50,6 +75,7 @@ impl<'a> AnalysisContext<'a> {
             exposed: visibility::analyze(program),
             threads: threads::analyze(program, table),
             blocking: blocking::analyze(program, table),
+            flow,
             program,
             table,
         }
@@ -104,7 +130,8 @@ impl Policy {
         self.rules.iter().map(AsRef::as_ref)
     }
 
-    /// The full ASR policy of use from the paper's §4.2–4.3.
+    /// The full ASR policy of use from the paper's §4.2–4.3, plus the
+    /// flow-sensitive rules R10–R12 built on the dataflow suite.
     pub fn asr() -> Policy {
         Policy::new("ASR")
             .with_rule(NoWhileLoops)
@@ -116,6 +143,9 @@ impl Policy {
             .with_rule(NoBlocking)
             .with_rule(NoFinalizers)
             .with_rule(AsrStructure)
+            .with_rule(DefiniteAssignment)
+            .with_rule(ArrayIndexBounds)
+            .with_rule(SharedStateRaces)
     }
 
     /// A policy of use for a synchronous-dataflow-style target — the
@@ -144,9 +174,18 @@ impl Policy {
         self.check_with_context(&cx)
     }
 
-    /// Checks every rule against a prepared context.
+    /// Checks every rule against a prepared context. Violations come
+    /// back in a stable source order (span, then rule id), with exact
+    /// duplicates removed — overlapping analyses may report the same
+    /// defect twice.
     pub fn check_with_context(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
-        self.rules.iter().flat_map(|r| r.check(cx)).collect()
+        let mut violations: Vec<Violation> =
+            self.rules.iter().flat_map(|r| r.check(cx)).collect();
+        violations.sort_by(|a, b| {
+            (a.span.start, a.span.end, a.rule).cmp(&(b.span.start, b.span.end, b.rule))
+        });
+        violations.dedup_by(|a, b| a.rule == b.rule && a.span == b.span && a.message == b.message);
+        violations
     }
 }
 
@@ -202,6 +241,11 @@ impl Rule for NoWhileLoops {
 
 /// R2: `for` loops need calculable bounds and an unmodified induction
 /// variable (paper §4.3).
+///
+/// Flow-sensitive since the dataflow suite landed: a loop the syntactic
+/// shape analysis rejects is still accepted when interval analysis
+/// proves a worst-case trip count at the loop's entry (e.g. a limit read
+/// from a port but clamped by a preceding `if`).
 pub struct BoundedForLoops;
 
 impl Rule for BoundedForLoops {
@@ -216,6 +260,7 @@ impl Rule for BoundedForLoops {
     fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
         cx.loops
             .iter()
+            .filter(|l| !cx.flow.interval.proved_loop_bounds.contains_key(&l.id))
             .filter_map(|l| match &l.bound {
                 Some(loops::BoundStatus::NotCalculable { reason }) => Some(Violation {
                     rule: self.id(),
@@ -576,6 +621,143 @@ impl Rule for AsrStructure {
     }
 }
 
+/// R10: every local must be definitely assigned before it is read.
+///
+/// Backed by the forward must-analysis in `jtanalysis::definite`; this
+/// catches a class of true defects the syntactic rules R1–R9 cannot see
+/// at all (they have no notion of paths).
+pub struct DefiniteAssignment;
+
+impl Rule for DefiniteAssignment {
+    fn id(&self) -> &'static str {
+        "R10"
+    }
+
+    fn title(&self) -> &'static str {
+        "locals must be assigned before use"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.flow
+            .definite
+            .unassigned_reads
+            .iter()
+            .map(|r| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "local `{}` in {} may be read before it is assigned",
+                    r.name, r.method
+                ),
+                span: r.span,
+                class: r.method.class.clone(),
+                fix: Fix::Manual {
+                    guidance: "initialize the variable at its declaration, or assign it \
+                               on every path that reaches the read"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R11: array indices must stay inside the array's bounds.
+///
+/// Backed by interval analysis; only *definite* errors are reported — an
+/// access whose index range cannot intersect the array's length range on
+/// any execution. Possibly-out-of-bounds accesses are not flagged, so
+/// the rule never rejects a program that runs in bounds.
+pub struct ArrayIndexBounds;
+
+impl Rule for ArrayIndexBounds {
+    fn id(&self) -> &'static str {
+        "R11"
+    }
+
+    fn title(&self) -> &'static str {
+        "array indices must be in bounds"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.flow
+            .interval
+            .oob
+            .iter()
+            .map(|f| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: match f.length {
+                    Some(len) => format!(
+                        "array access in {} is provably out of bounds: the index is at \
+                         least {} but the array length is {len}",
+                        f.method, f.index.lo
+                    ),
+                    None => format!(
+                        "array access in {} is provably negative (index is at most {})",
+                        f.method, f.index.hi
+                    ),
+                },
+                span: f.span,
+                class: f.method.class.clone(),
+                fix: Fix::Manual {
+                    guidance: "clamp the index or size the array for the worst case; \
+                               every reachable access must fit the allocation"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R12: shared fields must not be raced by concurrent threads.
+///
+/// Backed by the phase-refined race analysis: a field counts only when
+/// run-phase code reachable from two *different* thread classes touches
+/// it and at least one access is a write. Fields only shared during the
+/// single-threaded initialization phase are deliberately cleared — the
+/// lockset-style refinement that removes the syntactic tier's false
+/// positives.
+pub struct SharedStateRaces;
+
+impl Rule for SharedStateRaces {
+    fn id(&self) -> &'static str {
+        "R12"
+    }
+
+    fn title(&self) -> &'static str {
+        "no data races on shared state"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.flow
+            .races
+            .refined
+            .iter()
+            .map(|race| {
+                let threads: Vec<&str> =
+                    race.thread_classes.iter().map(String::as_str).collect();
+                Violation {
+                    rule: self.id(),
+                    rule_title: self.title(),
+                    message: format!(
+                        "field `{}` is written by concurrently running threads ({}) with \
+                         no synchronization; the interleaving is nondeterministic",
+                        race.field,
+                        threads.join(", ")
+                    ),
+                    span: race.access_spans.first().copied().unwrap_or_default(),
+                    class: race.field.class.clone(),
+                    fix: Fix::Manual {
+                        guidance: "route the shared data through channels between separate \
+                                   ASR functional blocks; each block then owns its state"
+                            .to_string(),
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,6 +815,106 @@ mod tests {
         assert!(ids.contains(&"R6"), "{ids:?}");
         assert!(ids.contains(&"R9"), "no ASR entry point: {ids:?}");
         assert!(ids.contains(&"R5"), "shared public x: {ids:?}");
+        assert!(ids.contains(&"R12"), "refined race on Shared.x: {ids:?}");
+    }
+
+    #[test]
+    fn racy_threads_r12_names_only_the_real_race() {
+        // Precision demonstration, clearing side: `ReaderC.seen` is
+        // written by one thread and read after `join()` — the syntactic
+        // tier flags it, the refined tier (and thus R12) does not.
+        let vs = violations(jtlang::corpus::RACY_THREADS);
+        let r12: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R12").collect();
+        assert_eq!(r12.len(), 1, "{r12:?}");
+        assert!(r12[0].message.contains("Shared.x"), "{}", r12[0].message);
+        assert!(!r12[0].message.contains("seen"), "{}", r12[0].message);
+    }
+
+    #[test]
+    fn unassigned_latch_hits_only_r10() {
+        // Precision demonstration, finding side: the sample satisfies
+        // every syntactic rule; only the path-sensitive R10 sees the
+        // read-before-write.
+        let ids = rules_hit(jtlang::corpus::UNASSIGNED_LATCH);
+        assert_eq!(ids, vec!["R10"]);
+        let vs = violations(jtlang::corpus::UNASSIGNED_LATCH);
+        assert!(vs[0].message.contains("`next`"), "{}", vs[0].message);
+        assert!(vs[0].span.line > 0, "finding must carry a real span");
+    }
+
+    #[test]
+    fn clamped_loop_limit_no_longer_trips_r2() {
+        // Same shape as `unbounded_for_hits_r2` but with a clamp before
+        // the loop: interval analysis proves the bound, so the loop that
+        // the syntactic heuristic rejects is accepted.
+        let ids = rules_hit(
+            "class A extends ASR {
+                 A() {}
+                 public void run() {
+                     int n = read(0);
+                     if (n > 15) { n = 15; }
+                     int s = 0;
+                     for (int i = 0; i < n; i++) { s += i; }
+                     write(0, s);
+                 }
+             }",
+        );
+        assert!(ids.is_empty(), "{ids:?}");
+    }
+
+    #[test]
+    fn definite_out_of_bounds_hits_r11() {
+        let ids = rules_hit(
+            "class A extends ASR {
+                 private int[] buf;
+                 A() { buf = new int[4]; }
+                 public void run() {
+                     buf[7] = read(0);
+                     write(0, buf[0]);
+                 }
+             }",
+        );
+        assert_eq!(ids, vec!["R11"]);
+    }
+
+    #[test]
+    fn possible_but_unproven_oob_is_not_flagged() {
+        // The index depends on the input; it *may* overflow the array,
+        // but R11 only reports definite errors.
+        let ids = rules_hit(
+            "class A extends ASR {
+                 private int[] buf;
+                 A() { buf = new int[4]; }
+                 public void run() {
+                     int i = read(0);
+                     if (i < 0) { i = 0; }
+                     if (i > 3) { i = 3; }
+                     write(0, buf[i]);
+                 }
+             }",
+        );
+        assert!(ids.is_empty(), "{ids:?}");
+    }
+
+    #[test]
+    fn check_output_is_sorted_and_deduplicated() {
+        let vs = violations(jtlang::corpus::UNRESTRICTED_AVG);
+        assert!(
+            vs.windows(2).all(|w| {
+                (w[0].span.start, w[0].span.end, w[0].rule)
+                    <= (w[1].span.start, w[1].span.end, w[1].rule)
+            }),
+            "violations must be in stable source order"
+        );
+        for w in vs.windows(2) {
+            assert!(
+                !(w[0].rule == w[1].rule
+                    && w[0].span == w[1].span
+                    && w[0].message == w[1].message),
+                "exact duplicate survived: {:?}",
+                w[0]
+            );
+        }
     }
 
     #[test]
@@ -713,7 +995,7 @@ mod tests {
         let ids: Vec<&str> = policy.rules().map(Rule::id).collect();
         assert_eq!(
             ids,
-            vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
+            vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12"]
         );
         assert_eq!(policy.name(), "ASR");
         assert!(format!("{policy:?}").contains("ASR"));

@@ -151,10 +151,23 @@ impl RefinementSession {
         &self.history
     }
 
-    /// Checks the policy against the current program.
+    /// Checks the policy against the current program. Violations come
+    /// back deduplicated and in stable source order (span, then rule).
     pub fn check(&self) -> Vec<Violation> {
         let _span = self.registry.as_ref().map(|r| r.span("sfr.check"));
-        let violations = self.policy.check(&self.program, &self.table);
+        let violations = match &self.registry {
+            Some(registry) => {
+                // Route the registry into the dataflow suite so the
+                // `jtanalysis.*` metrics are exported alongside `sfr.*`.
+                let cx = crate::policy::AnalysisContext::instrumented(
+                    &self.program,
+                    &self.table,
+                    registry,
+                );
+                self.policy.check_with_context(&cx)
+            }
+            None => self.policy.check(&self.program, &self.table),
+        };
         if let Some(registry) = &self.registry {
             for v in &violations {
                 registry.counter(&format!("sfr.violations.{}", v.rule)).inc();
@@ -367,6 +380,43 @@ mod tests {
             assert!(registry.histogram_stats("sfr.check").unwrap().count > 0);
         } else {
             assert_eq!(registry.counter_value("sfr.transforms.applied"), 0);
+        }
+    }
+
+    #[test]
+    fn check_is_ordered_and_duplicate_free() {
+        for sample in jtlang::corpus::samples() {
+            let s = session(sample.source);
+            let vs = s.check();
+            assert!(
+                vs.windows(2).all(|w| {
+                    (w[0].span.start, w[0].span.end, w[0].rule)
+                        <= (w[1].span.start, w[1].span.end, w[1].rule)
+                }),
+                "sample `{}` violations out of order",
+                sample.name
+            );
+            for w in vs.windows(2) {
+                assert!(
+                    !(w[0].rule == w[1].rule
+                        && w[0].span == w[1].span
+                        && w[0].message == w[1].message),
+                    "sample `{}` has duplicate violations",
+                    sample.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attached_registry_exports_dataflow_metrics() {
+        let registry = jtobs::Registry::new();
+        let mut s = session(jtlang::corpus::FIR_FILTER);
+        s.attach_registry(&registry);
+        assert!(s.check().is_empty());
+        if jtobs::ENABLED {
+            assert!(registry.gauge_value("jtanalysis.cfg.blocks") > 0);
+            assert!(registry.counter_value("jtanalysis.solver.iterations.interval") > 0);
         }
     }
 

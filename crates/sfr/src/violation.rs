@@ -81,6 +81,37 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Renders a violation as a rustc-style diagnostic: an `error[R#]`
+/// header, a `-->` file/line/column pointer, the offending source line
+/// with a caret underline, and the message and fix as notes. Violations
+/// without a real span (whole-program findings like R3 cycles) get the
+/// header and notes only.
+pub fn render(v: &Violation, file: &str, source: &str) -> String {
+    use fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "error[{}]: {}", v.rule, v.rule_title);
+    if v.span.line > 0 {
+        let line_no = v.span.line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        let _ = writeln!(out, "{gutter}--> {file}:{}:{}", v.span.line, v.span.col);
+        if let Some(text) = source.lines().nth(v.span.line as usize - 1) {
+            let col = (v.span.col.max(1) as usize - 1).min(text.len());
+            let width = v
+                .span
+                .end
+                .saturating_sub(v.span.start)
+                .clamp(1, text.len().saturating_sub(col).max(1));
+            let _ = writeln!(out, "{gutter} |");
+            let _ = writeln!(out, "{line_no} | {text}");
+            let _ = writeln!(out, "{gutter} | {}{}", " ".repeat(col), "^".repeat(width));
+        }
+    }
+    let _ = writeln!(out, " = note: {}", v.message);
+    let _ = writeln!(out, " = help: {}", v.fix);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +136,47 @@ mod tests {
         assert!(s.contains("while-to-for"));
         assert!(v.is_automatable());
         assert_eq!(v.suggested_transform(), Some("while-to-for"));
+    }
+
+    #[test]
+    fn render_points_at_the_offending_line() {
+        let source = "class A {\n    void m() {\n        while (true) {}\n    }\n}\n";
+        let v = Violation {
+            rule: "R1",
+            rule_title: "no while or do-while loops",
+            message: "`while` loop in A.m cannot be proven to terminate".to_string(),
+            span: Span::new(28, 33, 3, 9),
+            class: "A".to_string(),
+            fix: Fix::Automated {
+                transform: "while-to-for",
+                description: "rewrite as a capped `for` loop".to_string(),
+            },
+        };
+        let text = render(&v, "a.jt", source);
+        assert!(text.starts_with("error[R1]: no while"), "{text}");
+        assert!(text.contains("--> a.jt:3:9"), "{text}");
+        assert!(text.contains("3 |         while (true) {}"), "{text}");
+        assert!(text.contains("^^^^^"), "{text}");
+        assert!(text.contains("= note: `while` loop"), "{text}");
+        assert!(text.contains("= help: automated [while-to-for]"), "{text}");
+    }
+
+    #[test]
+    fn render_without_span_skips_the_snippet() {
+        let v = Violation {
+            rule: "R3",
+            rule_title: "no circular method invocation",
+            message: "call cycle: A.f -> A.f".to_string(),
+            span: Span::default(),
+            class: "A".to_string(),
+            fix: Fix::Manual {
+                guidance: "replace the recursion".to_string(),
+            },
+        };
+        let text = render(&v, "a.jt", "class A {}");
+        assert!(text.starts_with("error[R3]"), "{text}");
+        assert!(!text.contains("-->"), "{text}");
+        assert!(text.contains("= note: call cycle"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! `jtlint` — span-accurate policy diagnostics over the JT corpus.
+//!
+//! Runs the full ASR policy of use (syntactic rules R1–R9 plus the
+//! flow-sensitive R10–R12) over every built-in corpus program and prints
+//! each violation as a rustc-style diagnostic: header, file/line/column
+//! pointer, the offending source line with a caret underline, and the
+//! suggested fix.
+//!
+//! ```text
+//! cargo run --example jtlint            # print all diagnostics
+//! cargo run --example jtlint -- --check # CI gate: verify the snapshot
+//! ```
+//!
+//! `--check` compares the per-sample violation counts against the
+//! baked-in snapshot below and exits nonzero on any internal error
+//! (front-end rejection of a corpus sample, analysis panic) or any
+//! diagnostic regression (count drift in either direction). Update the
+//! snapshot deliberately when the policy or the corpus changes.
+
+use sfr::policy::{AnalysisContext, Policy};
+use sfr::violation::{render, Violation};
+
+/// Expected violation count per corpus sample under `Policy::asr()`.
+const SNAPSHOT: [(&str, usize); 9] = [
+    ("counter", 0),
+    ("fir_filter", 0),
+    ("traffic_light", 0),
+    ("elevator", 0),
+    ("unrestricted_avg", 4),
+    ("linked_queue", 5),
+    ("racy_threads", 19),
+    ("recursive_blocking", 2),
+    ("unassigned_latch", 1),
+];
+
+fn lint(source: &str) -> Result<Vec<Violation>, String> {
+    let program = jtlang::check_source(source).map_err(|e| format!("front end: {e}"))?;
+    let table =
+        jtlang::resolve::resolve(&program).map_err(|e| format!("resolver: {e}"))?;
+    std::panic::catch_unwind(|| {
+        let cx = AnalysisContext::new(&program, &table);
+        Policy::asr().check_with_context(&cx)
+    })
+    .map_err(|_| "analysis panicked (internal error)".to_string())
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut internal_errors = 0usize;
+    let mut regressions = 0usize;
+    let mut counts: Vec<(String, usize)> = Vec::new();
+
+    for sample in jtlang::corpus::samples() {
+        let file = format!("{}.jt", sample.name);
+        match lint(sample.source) {
+            Ok(violations) => {
+                if !check {
+                    for v in &violations {
+                        print!("{}", render(v, &file, sample.source));
+                        println!();
+                    }
+                }
+                counts.push((sample.name.to_string(), violations.len()));
+            }
+            Err(e) => {
+                eprintln!("jtlint: internal error on `{}`: {e}", sample.name);
+                internal_errors += 1;
+            }
+        }
+    }
+
+    println!("{:<20} {:>10}", "sample", "violations");
+    for (name, n) in &counts {
+        println!("{name:<20} {n:>10}");
+    }
+
+    if check {
+        for (name, expected) in SNAPSHOT {
+            match counts.iter().find(|(n, _)| n == name) {
+                Some((_, actual)) if *actual == expected => {}
+                Some((_, actual)) => {
+                    eprintln!(
+                        "jtlint: `{name}` expected {expected} violations, found {actual}"
+                    );
+                    regressions += 1;
+                }
+                None => {
+                    eprintln!("jtlint: snapshot sample `{name}` missing from corpus");
+                    regressions += 1;
+                }
+            }
+        }
+        for (name, _) in &counts {
+            if !SNAPSHOT.iter().any(|(n, _)| n == name) {
+                eprintln!("jtlint: corpus sample `{name}` missing from snapshot");
+                regressions += 1;
+            }
+        }
+        if internal_errors == 0 && regressions == 0 {
+            println!("jtlint --check: snapshot clean ({} samples)", counts.len());
+        }
+    }
+
+    if internal_errors > 0 || regressions > 0 {
+        std::process::exit(1);
+    }
+}

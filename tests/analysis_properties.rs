@@ -1,0 +1,110 @@
+//! Property-based soundness check for the dataflow suite.
+//!
+//! Interval analysis promises to flag only *definite* out-of-bounds
+//! accesses — never a program that actually runs in bounds. We generate
+//! random loop/array programs in which the indexing executes, run them
+//! on the tree-walking interpreter, and whenever a concrete run
+//! completes cleanly, assert the analysis produced no out-of-bounds
+//! finding for it. A single counterexample would mean the analysis (and
+//! rule R11 built on it) rejects a correct program.
+
+use jtvm::engine::Engine;
+use jtvm::interp::Interpreter;
+use jtvm::io::PortDatum;
+use proptest::prelude::*;
+
+/// A reactive block with a constant-size buffer and a loop whose limit
+/// comes from the input, clamped into `[0, clamp]`. The index expression
+/// `i + off` may or may not stay inside the buffer — that's the point.
+fn program_of(len: usize, clamp: i64, start: i64, step: i64, off: i64) -> String {
+    let idx = match off.cmp(&0) {
+        std::cmp::Ordering::Less => format!("i - {}", -off),
+        std::cmp::Ordering::Equal => "i".to_string(),
+        std::cmp::Ordering::Greater => format!("i + {off}"),
+    };
+    format!(
+        "class P extends ASR {{
+             private int[] buf;
+             P() {{ buf = new int[{len}]; }}
+             public void run() {{
+                 int n = read(0);
+                 if (n > {clamp}) {{ n = {clamp}; }}
+                 if (n < 0) {{ n = 0; }}
+                 int s = 0;
+                 for (int i = {start}; i < n; i += {step}) {{
+                     s += buf[{idx}];
+                 }}
+                 write(0, s);
+             }}
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn interval_analysis_never_rejects_a_program_that_runs_in_bounds(
+        len in 1usize..=8,
+        start in 0i64..=3,
+        extra in 1i64..=7,
+        step in 1i64..=3,
+        off in -3i64..=3,
+    ) {
+        // clamp > start so a large input makes the loop body (and the
+        // indexing) actually execute.
+        let clamp = start + extra;
+        let source = program_of(len, clamp, start, step, off);
+        let program = jtlang::parse(&source).expect("generated program parses");
+        let table = jtlang::resolve::resolve(&program).expect("resolves");
+        jtlang::types::check(&program, &table).expect("type-checks");
+
+        let mut interp = Interpreter::new(program.clone(), "P").expect("interp builds");
+        interp.initialize(&[]).expect("init");
+        let runs_clean = [0, clamp, 1_000_000]
+            .iter()
+            .all(|&input| interp.react(&[PortDatum::Int(input)]).is_ok());
+
+        if runs_clean {
+            let report = jtanalysis::interval::analyze(&program, &table);
+            prop_assert!(
+                report.oob.is_empty(),
+                "analysis rejected a program the interpreter ran in bounds:\n{source}\n{:?}",
+                report.oob
+            );
+        }
+    }
+
+    #[test]
+    fn proved_loop_bounds_only_claim_loops_the_interpreter_terminates(
+        len in 1usize..=8,
+        start in 0i64..=3,
+        extra in 1i64..=7,
+        step in 1i64..=3,
+    ) {
+        // Companion property: when the analysis proves a trip count for
+        // the clamped loop, the concrete executions must terminate well
+        // within it (the step limit would catch a wrong proof).
+        let clamp = start + extra;
+        let source = program_of(len, clamp, start, step, 0);
+        let program = jtlang::parse(&source).expect("parses");
+        let table = jtlang::resolve::resolve(&program).expect("resolves");
+        let report = jtanalysis::interval::analyze(&program, &table);
+
+        if let Some(&trips) = report.proved_loop_bounds.values().next() {
+            let actual = (clamp - start).max(0) as u64;
+            let expected_max = actual.div_ceil(step as u64).max(1);
+            prop_assert!(
+                trips >= expected_max.min(actual.max(1)),
+                "proved bound {trips} below the real trip count for:\n{source}"
+            );
+            let mut interp = Interpreter::new(program.clone(), "P").expect("builds");
+            interp.set_step_limit(1_000_000);
+            interp.initialize(&[]).expect("init");
+            let r = interp.react(&[PortDatum::Int(1_000_000)]);
+            if len as i64 > clamp {
+                prop_assert!(r.is_ok(), "in-range loop must run to completion:\n{source}");
+            }
+        }
+    }
+}
