@@ -96,7 +96,13 @@ pub struct SystemState {
 /// what the [`crate::stock`] lifting combinators do. Non-strict blocks
 /// (such as [`crate::stock::select`]) are what make delay-free feedback
 /// loops resolvable.
-pub trait Block {
+///
+/// Blocks are `Send + Sync` so that a shared `&System` can be handed to
+/// the scoped worker threads of
+/// [`Strategy::Parallel`](crate::fixpoint::Strategy::Parallel); `eval`
+/// takes `&self`, and the evaluator never calls `eval` on the same block
+/// from two threads at once (each block lives in exactly one stratum).
+pub trait Block: Send + Sync {
     /// Human-readable instance name, used in traces and diagnostics.
     fn name(&self) -> &str;
 
@@ -164,7 +170,7 @@ pub trait Block {
 
     /// Drains the [`FixpointStats`] this block's *nested* system
     /// accumulated during `eval` calls since the last drain (composites
-    /// hold them in a `Cell`, hence `&self`). Plain blocks have none.
+    /// hold them behind a lock, hence `&self`). Plain blocks have none.
     /// Used by [`crate::system::System::react_traced`] to aggregate the
     /// cost of hierarchical instants.
     fn take_nested_stats(&self) -> FixpointStats {

@@ -22,6 +22,11 @@
 //!   [`ExecPlan`](crate::plan::ExecPlan): acyclic strata run exactly
 //!   once in topological order, cyclic strata iterate a local worklist
 //!   (the default; see [`crate::plan`]).
+//! * [`Strategy::Parallel`] — the staged schedule, with each wide
+//!   acyclic level of the plan fanned out to a scoped-thread worker
+//!   pool. Bit-identical to `Staged`, including the stats: blocks in
+//!   one level have no delay-free dependencies on each other, so any
+//!   evaluation order yields the same values (see [`crate::plan`]).
 
 use crate::error::EvalError;
 use crate::obs::SystemObs;
@@ -43,11 +48,28 @@ pub enum Strategy {
     /// [`ExecPlan`](crate::plan::ExecPlan) (the default).
     #[default]
     Staged,
+    /// Staged evaluation with wide acyclic plan levels fanned out to a
+    /// pool of `workers` scoped threads (work-stealing chunking; cyclic
+    /// strata and levels below
+    /// [`System::parallel_threshold`](crate::system::System::parallel_threshold)
+    /// fall back to the sequential staged code). Produces bit-identical
+    /// signals and [`FixpointStats`] to [`Strategy::Staged`];
+    /// `workers <= 1` *is* `Staged`.
+    Parallel {
+        /// Number of worker threads to spawn per instant.
+        workers: usize,
+    },
 }
 
 impl Strategy {
-    /// Every strategy, for exhaustive equivalence checks.
-    pub const ALL: [Strategy; 3] = [Strategy::Chaotic, Strategy::Worklist, Strategy::Staged];
+    /// Every strategy, for exhaustive equivalence checks (the parallel
+    /// entry uses a representative worker count).
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Chaotic,
+        Strategy::Worklist,
+        Strategy::Staged,
+        Strategy::Parallel { workers: 4 },
+    ];
 }
 
 /// Statistics of one fixed-point computation.
@@ -107,6 +129,7 @@ pub(crate) fn solve(
         Strategy::Chaotic => solve_chaotic(sys, signals, obs),
         Strategy::Worklist => solve_worklist(sys, signals, obs),
         Strategy::Staged => plan::solve_staged(sys, signals, obs),
+        Strategy::Parallel { workers } => plan::solve_parallel(sys, signals, workers, obs),
     }?;
     if let Some(o) = obs {
         o.iterations.add(stats.steps as u64);
@@ -189,7 +212,7 @@ fn solve_chaotic(
     obs: Option<&SystemObs>,
 ) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
-    let mut scratch = sys.scratch.borrow_mut();
+    let mut scratch = sys.scratch.lock().expect("eval scratch lock");
     let s = &mut *scratch;
     // Each sweep either changes at least one signal or terminates, and each
     // signal changes at most once, so `n_signals + 1` sweeps always suffice.
@@ -226,7 +249,7 @@ fn solve_worklist(
     obs: Option<&SystemObs>,
 ) -> Result<FixpointStats, EvalError> {
     let mut stats = FixpointStats::default();
-    let mut scratch = sys.scratch.borrow_mut();
+    let mut scratch = sys.scratch.lock().expect("eval scratch lock");
     let s = &mut *scratch;
     s.queue.clear();
     s.queue.extend(0..sys.num_blocks());

@@ -21,8 +21,8 @@ use crate::fixpoint::FixpointStats;
 use crate::system::{System, SystemBuilder};
 use crate::trace::InstantRecord;
 use crate::value::Value;
-use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Error building a hierarchical block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +60,9 @@ pub struct CompositeBlock {
     inner: System,
     /// Fixed-point cost of the inner evaluations performed during the
     /// enclosing instant, drained by [`Block::take_nested_stats`].
-    nested: Cell<FixpointStats>,
+    /// Behind a (never contended) lock so the composite stays `Sync` for
+    /// the parallel evaluator.
+    nested: Mutex<FixpointStats>,
 }
 
 impl CompositeBlock {
@@ -78,7 +80,7 @@ impl CompositeBlock {
         }
         Ok(CompositeBlock {
             inner,
-            nested: Cell::new(FixpointStats::default()),
+            nested: Mutex::new(FixpointStats::default()),
         })
     }
 
@@ -106,10 +108,10 @@ impl Block for CompositeBlock {
             .inner
             .eval_partial(inputs)
             .map_err(|e| BlockError::new(e.to_string()))?;
-        let mut nested = self.nested.get();
+        let mut nested = self.nested.lock().expect("nested stats lock");
         nested.merge(solution.stats());
         nested.merge(&self.inner.drain_nested_stats());
-        self.nested.set(nested);
+        drop(nested);
         for (o, v) in outputs.iter_mut().zip(self.inner.outputs_of(&solution)) {
             *o = v;
         }
@@ -117,7 +119,7 @@ impl Block for CompositeBlock {
     }
 
     fn take_nested_stats(&self) -> FixpointStats {
-        self.nested.replace(FixpointStats::default())
+        std::mem::take(&mut *self.nested.lock().expect("nested stats lock"))
     }
 
     fn take_inner_system(&mut self) -> Option<System> {
@@ -138,13 +140,13 @@ impl Block for CompositeBlock {
 #[derive(Debug)]
 pub struct TemporalComposite {
     name: String,
-    inner: RefCell<System>,
+    inner: Mutex<System>,
     sub_instants: usize,
     subtrace: Vec<InstantRecord>,
     /// Cost of the *speculative* nested runs performed by `eval` during
     /// the enclosing fixed point. Committed sub-instants are excluded —
     /// their cost travels in the sub-instant records instead.
-    nested: Cell<FixpointStats>,
+    nested: Mutex<FixpointStats>,
 }
 
 impl TemporalComposite {
@@ -162,10 +164,10 @@ impl TemporalComposite {
         }
         Ok(TemporalComposite {
             name: inner.name().to_string(),
-            inner: RefCell::new(inner),
+            inner: Mutex::new(inner),
             sub_instants,
             subtrace: Vec::new(),
-            nested: Cell::new(FixpointStats::default()),
+            nested: Mutex::new(FixpointStats::default()),
         })
     }
 
@@ -181,21 +183,21 @@ impl Block for TemporalComposite {
     }
 
     fn input_arity(&self) -> usize {
-        self.inner.borrow().num_inputs()
+        self.inner.lock().expect("inner system lock").num_inputs()
     }
 
     fn output_arity(&self) -> usize {
-        self.inner.borrow().num_outputs()
+        self.inner.lock().expect("inner system lock").num_outputs()
     }
 
     fn eval(&self, inputs: &[Value], outputs: &mut [Value]) -> Result<(), BlockError> {
         if inputs.iter().any(Value::is_unknown) {
             return Ok(());
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("inner system lock");
         let snapshot = inner.save_state();
         let mut last = Vec::new();
-        let mut nested = self.nested.get();
+        let mut nested = FixpointStats::default();
         for _ in 0..self.sub_instants {
             let solution = inner
                 .eval_instant(inputs)
@@ -207,7 +209,10 @@ impl Block for TemporalComposite {
             nested.merge(&inner.drain_nested_stats());
             last = inner.outputs_of(&solution);
         }
-        self.nested.set(nested);
+        self.nested
+            .lock()
+            .expect("nested stats lock")
+            .merge(&nested);
         inner
             .restore_state(&snapshot)
             .map_err(|e| BlockError::new(e.to_string()))?;
@@ -218,7 +223,7 @@ impl Block for TemporalComposite {
     }
 
     fn take_nested_stats(&self) -> FixpointStats {
-        self.nested.replace(FixpointStats::default())
+        std::mem::take(&mut *self.nested.lock().expect("nested stats lock"))
     }
 
     fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
@@ -227,7 +232,7 @@ impl Block for TemporalComposite {
             // nested system does not advance (its instants never began).
             return Ok(());
         }
-        let inner = self.inner.get_mut();
+        let inner = self.inner.get_mut().expect("inner system lock");
         for _ in 0..self.sub_instants {
             let (_, record) = inner
                 .react_traced(inputs)
@@ -238,7 +243,7 @@ impl Block for TemporalComposite {
     }
 
     fn save_state(&self) -> BlockState {
-        BlockState::Composite(self.inner.borrow().save_state())
+        BlockState::Composite(self.inner.lock().expect("inner system lock").save_state())
     }
 
     fn restore_state(&mut self, state: &BlockState) -> Result<(), BlockError> {
@@ -246,6 +251,7 @@ impl Block for TemporalComposite {
             BlockState::Composite(s) => self
                 .inner
                 .get_mut()
+                .expect("inner system lock")
                 .restore_state(s)
                 .map_err(|e| BlockError::new(e.to_string())),
             BlockState::Stateless => Err(BlockError::new(
@@ -255,7 +261,7 @@ impl Block for TemporalComposite {
     }
 
     fn reset(&mut self) {
-        self.inner.get_mut().reset();
+        self.inner.get_mut().expect("inner system lock").reset();
         self.subtrace.clear();
     }
 

@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::plan::{ExecPlan, Stratum};
     pub use crate::port::{BlockId, DelayId, InputId, OutputId};
     pub use crate::stock;
-    pub use crate::system::{Sink, Source, System, SystemBuilder};
+    pub use crate::system::{InstantSolution, Sink, Source, System, SystemBuilder};
     pub use crate::trace::{InstantRecord, Trace};
     pub use crate::value::{Datum, Value};
 }

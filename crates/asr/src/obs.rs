@@ -24,6 +24,14 @@
 //! | `asr.plan.cyclic_strata` | gauge | strata needing local iteration |
 //! | `asr.plan.cyclic_iterations` | counter | worklist pops inside cyclic strata (Staged) |
 //! | `asr.plan.inlined_blocks` | gauge | composites inlined by [`flatten`](crate::system::System::flatten) |
+//! | `asr.plan.levels` | gauge | plan levels (critical-path length of the condensation DAG) |
+//! | `asr.plan.max_level_width` | gauge | acyclic blocks in the widest level (exposed parallelism) |
+//! | `asr.parallel.workers` | gauge | worker threads of the last parallel solve |
+//! | `asr.parallel.levels` | counter | levels fanned out to the worker pool |
+//! | `asr.parallel.seq_levels` | counter | levels with acyclic blocks that fell below the width threshold |
+//! | `asr.parallel.level_width` | histogram | acyclic blocks per fanned-out level |
+//! | `asr.parallel.steals` | counter | chunk grabs beyond each worker's first (work stealing) |
+//! | `asr.parallel.utilisation` | histogram | per-level percentage of worker wall time spent in `eval` |
 
 use crate::system::System;
 
@@ -40,6 +48,12 @@ pub(crate) struct SystemObs {
     pub(crate) settled: jtobs::Histogram,
     pub(crate) block_evals: Vec<jtobs::Counter>,
     pub(crate) block_ns: Vec<jtobs::Histogram>,
+    pub(crate) par_workers: jtobs::Gauge,
+    pub(crate) par_levels: jtobs::Counter,
+    pub(crate) par_seq_levels: jtobs::Counter,
+    pub(crate) par_level_width: jtobs::Histogram,
+    pub(crate) par_steals: jtobs::Counter,
+    pub(crate) par_utilisation: jtobs::Histogram,
 }
 
 impl SystemObs {
@@ -55,6 +69,12 @@ impl SystemObs {
         registry
             .gauge("asr.plan.inlined_blocks")
             .set(system.inlined_blocks() as i64);
+        registry
+            .gauge("asr.plan.levels")
+            .set(system.plan().num_levels() as i64);
+        registry
+            .gauge("asr.plan.max_level_width")
+            .set(system.plan().max_level_width() as i64);
         let block_names: Vec<&str> = system.blocks.iter().map(|b| b.name()).collect();
         SystemObs {
             registry: registry.clone(),
@@ -72,6 +92,12 @@ impl SystemObs {
                 .iter()
                 .map(|n| registry.histogram(&format!("asr.block.{n}.eval_ns")))
                 .collect(),
+            par_workers: registry.gauge("asr.parallel.workers"),
+            par_levels: registry.counter("asr.parallel.levels"),
+            par_seq_levels: registry.counter("asr.parallel.seq_levels"),
+            par_level_width: registry.histogram("asr.parallel.level_width"),
+            par_steals: registry.counter("asr.parallel.steals"),
+            par_utilisation: registry.histogram("asr.parallel.utilisation"),
         }
     }
 }

@@ -38,7 +38,7 @@ pub struct Lift<F> {
 
 impl<F> Block for Lift<F>
 where
-    F: Fn(&[Datum]) -> Result<Vec<Datum>, BlockError>,
+    F: Fn(&[Datum]) -> Result<Vec<Datum>, BlockError> + Send + Sync,
 {
     fn name(&self) -> &str {
         &self.name
@@ -91,7 +91,7 @@ pub fn lift<F>(
     f: F,
 ) -> Lift<F>
 where
-    F: Fn(&[Datum]) -> Result<Vec<Datum>, BlockError>,
+    F: Fn(&[Datum]) -> Result<Vec<Datum>, BlockError> + Send + Sync,
 {
     Lift {
         name: name.into(),
@@ -116,7 +116,7 @@ fn bool_arg(data: &[Datum], i: usize) -> Result<bool, BlockError> {
 fn binop_int(
     name: impl Into<String>,
     op: &'static str,
-    f: impl Fn(i64, i64) -> Option<i64> + 'static,
+    f: impl Fn(i64, i64) -> Option<i64> + Send + Sync + 'static,
 ) -> impl Block {
     lift(name, 2, 1, move |d| {
         let (a, b) = (int_arg(d, 0)?, int_arg(d, 1)?);

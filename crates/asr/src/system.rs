@@ -25,9 +25,9 @@ use crate::plan::ExecPlan;
 use crate::port::{BlockId, DelayId, InputId, OutputId};
 use crate::trace::{InstantRecord, Trace};
 use crate::value::Value;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// A value producer inside a system graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -305,8 +305,9 @@ impl SystemBuilder {
             delay_base,
             n_signals,
             plan: ExecPlan::default(),
-            scratch: RefCell::new(EvalScratch::default()),
+            scratch: Mutex::new(EvalScratch::default()),
             inlined_blocks: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             strategy: Strategy::default(),
             instant_count: 0,
             obs: None,
@@ -353,11 +354,18 @@ pub struct System {
     pub(crate) n_signals: usize,
     /// Precompiled evaluation schedule (see [`crate::plan`]).
     plan: ExecPlan,
-    /// Persistent evaluation buffers, reused across instants.
-    pub(crate) scratch: RefCell<EvalScratch>,
+    /// Persistent evaluation buffers, reused across instants. Behind a
+    /// (single-owner, never contended) lock so `System` stays `Sync` for
+    /// the scoped worker threads of
+    /// [`Strategy::Parallel`](crate::fixpoint::Strategy::Parallel).
+    pub(crate) scratch: Mutex<EvalScratch>,
     /// How many composite blocks [`System::flatten`] inlined to produce
     /// this system (0 for a system built directly).
     inlined_blocks: usize,
+    /// Minimum number of acyclic blocks a plan level must hold before
+    /// [`Strategy::Parallel`](crate::fixpoint::Strategy::Parallel) fans
+    /// it out to workers; narrower levels run sequentially.
+    pub(crate) parallel_threshold: usize,
     strategy: Strategy,
     instant_count: u64,
     obs: Option<SystemObs>,
@@ -446,6 +454,23 @@ impl System {
     /// is unique, so this never changes results — only iteration counts.
     pub fn set_strategy(&mut self, strategy: Strategy) {
         self.strategy = strategy;
+    }
+
+    /// The width threshold of
+    /// [`Strategy::Parallel`](crate::fixpoint::Strategy::Parallel): plan
+    /// levels with fewer acyclic blocks than this run sequentially on
+    /// the calling thread (fan-out overhead would dominate).
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Sets the parallel width threshold (see
+    /// [`Self::parallel_threshold`]). A threshold of 0 or 1 fans out
+    /// every acyclic level; the default is
+    /// [`DEFAULT_PARALLEL_THRESHOLD`]. Never affects results, only where
+    /// the work runs.
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
     }
 
     /// Attaches a [`jtobs::Registry`]: every subsequent instant records
@@ -953,10 +978,15 @@ impl System {
         }
         flat.inlined_blocks = inlined;
         flat.strategy = self.strategy;
+        flat.parallel_threshold = self.parallel_threshold;
         flat.instant_count = self.instant_count;
         flat
     }
 }
+
+/// Default [`System::parallel_threshold`]: levels narrower than this are
+/// not worth handing to worker threads.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4;
 
 /// Synthetic 0-in/1-out block emitted by [`System::flatten`] for a
 /// degenerate pass-through cycle (a composite output wired, through

@@ -164,6 +164,7 @@ impl<'p> Analysis<'p> for ConstProp {
                                     AssignOp::Sub => old.checked_sub(v),
                                     AssignOp::Mul => old.checked_mul(v),
                                     AssignOp::Div => old.checked_div(v),
+                                    AssignOp::Rem => old.checked_rem(v),
                                     AssignOp::Set => unreachable!(),
                                 };
                                 folded.map(Const::Int)

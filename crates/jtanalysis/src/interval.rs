@@ -443,6 +443,7 @@ impl<'p> Analysis<'p> for IntervalAnalysis {
                         AssignOp::Sub => cur.sub(rhs),
                         AssignOp::Mul => cur.mul(rhs),
                         AssignOp::Div => cur.div(rhs),
+                        AssignOp::Rem => cur.rem(rhs),
                     };
                     if new == Interval::TOP {
                         env.vars.remove(name);

@@ -224,6 +224,8 @@ pub enum AssignOp {
     Mul,
     /// `/=`
     Div,
+    /// `%=`
+    Rem,
 }
 
 impl fmt::Display for AssignOp {
@@ -234,6 +236,7 @@ impl fmt::Display for AssignOp {
             AssignOp::Sub => write!(f, "-="),
             AssignOp::Mul => write!(f, "*="),
             AssignOp::Div => write!(f, "/="),
+            AssignOp::Rem => write!(f, "%="),
         }
     }
 }

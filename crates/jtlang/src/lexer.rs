@@ -104,7 +104,14 @@ impl<'src> Lexer<'src> {
                 b';' => TokenKind::Semi,
                 b',' => TokenKind::Comma,
                 b'.' => TokenKind::Dot,
-                b'%' => TokenKind::Percent,
+                b'%' => {
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::PercentAssign
+                    } else {
+                        TokenKind::Percent
+                    }
+                }
                 b'+' => match self.peek() {
                     Some(b'+') => {
                         self.bump();
@@ -331,7 +338,7 @@ mod tests {
 
     #[test]
     fn lexes_operators_greedily() {
-        let ks = kinds("+ ++ += - -- -= * *= / /= ! != = == < <= > >= && || %");
+        let ks = kinds("+ ++ += - -- -= * *= / /= ! != = == < <= > >= && || % %=");
         assert_eq!(
             ks[..ks.len() - 1],
             vec![
@@ -356,6 +363,7 @@ mod tests {
                 TokenKind::AndAnd,
                 TokenKind::OrOr,
                 TokenKind::Percent,
+                TokenKind::PercentAssign,
             ]
         );
     }

@@ -528,6 +528,7 @@ impl Parser {
             TokenKind::MinusAssign => Some(AssignOp::Sub),
             TokenKind::StarAssign => Some(AssignOp::Mul),
             TokenKind::SlashAssign => Some(AssignOp::Div),
+            TokenKind::PercentAssign => Some(AssignOp::Rem),
             _ => None,
         };
         if let Some(op) = op {

@@ -91,6 +91,7 @@ pub enum TokenKind {
     MinusAssign,
     StarAssign,
     SlashAssign,
+    PercentAssign,
     PlusPlus,
     MinusMinus,
     Plus,
@@ -153,6 +154,7 @@ impl fmt::Display for TokenKind {
             TokenKind::MinusAssign => "-=",
             TokenKind::StarAssign => "*=",
             TokenKind::SlashAssign => "/=",
+            TokenKind::PercentAssign => "%=",
             TokenKind::PlusPlus => "++",
             TokenKind::MinusMinus => "--",
             TokenKind::Plus => "+",

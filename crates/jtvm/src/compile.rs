@@ -810,6 +810,7 @@ fn compound_instr(op: AssignOp) -> Instr {
         AssignOp::Sub => Instr::Sub,
         AssignOp::Mul => Instr::Mul,
         AssignOp::Div => Instr::Div,
+        AssignOp::Rem => Instr::Rem,
         AssignOp::Set => unreachable!("Set handled by callers"),
     }
 }

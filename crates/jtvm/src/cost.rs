@@ -19,6 +19,15 @@ pub struct CostMeter {
 /// enough to stop a `while (true)` promptly in tests.
 pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
 
+/// Maximum method-call (and constructor) nesting depth of both engines.
+///
+/// Both engines execute calls with native Rust recursion, so runaway
+/// recursion in a JT program would otherwise abort the host process with
+/// a real stack overflow; at this budget it surfaces as
+/// [`RuntimeError::StackOverflow`] instead. The limit is identical across
+/// engines so differential tests see the same error.
+pub const MAX_CALL_DEPTH: usize = 64;
+
 /// Fixed cost of one heap allocation, in abstract steps.
 ///
 /// The paper's platforms were 1997 JVMs where `new` meant allocator

@@ -25,6 +25,14 @@ pub enum RuntimeError {
         /// The budget that was exceeded.
         limit: u64,
     },
+    /// Method-call nesting exceeded the engines' fixed depth budget
+    /// (runaway recursion). Surfacing this as an error instead of
+    /// letting the native stack overflow keeps malformed programs from
+    /// aborting the host process.
+    StackOverflow {
+        /// The depth budget that was exceeded.
+        limit: usize,
+    },
     /// `new` after the heap was frozen (allocation-freeze ablation).
     AllocationFrozen,
     /// ASR port index outside the provided input/output vectors.
@@ -59,6 +67,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} exceeded")
+            }
+            RuntimeError::StackOverflow { limit } => {
+                write!(f, "call depth limit of {limit} exceeded")
             }
             RuntimeError::AllocationFrozen => {
                 write!(f, "allocation attempted after the heap was frozen")

@@ -1,6 +1,6 @@
 //! The tree-walking interpreter (the "jdk" analog of Table 1).
 
-use crate::cost::CostMeter;
+use crate::cost::{CostMeter, MAX_CALL_DEPTH};
 use crate::engine::{BuildEngineError, Engine, PhaseCost};
 use crate::error::RuntimeError;
 use crate::heap::Heap;
@@ -30,6 +30,9 @@ pub struct Interpreter {
     obs: Option<EngineObs>,
     /// Statements executed this phase, flushed to `obs` per reaction.
     stmt_scratch: u64,
+    /// Current method/constructor nesting, bounded by
+    /// [`MAX_CALL_DEPTH`] to turn runaway recursion into an error.
+    call_depth: usize,
 }
 
 /// Statement outcome: how control continues.
@@ -110,6 +113,7 @@ impl Interpreter {
             source_bytes,
             obs: None,
             stmt_scratch: 0,
+            call_depth: 0,
         };
         interp.init_statics().map_err(|e| {
             BuildEngineError::Frontend(format!("static initialization failed: {e}"))
@@ -196,13 +200,26 @@ impl Interpreter {
         self.heap.alloc_object(id, n)
     }
 
+    fn enter_call(&mut self) -> Result<(), RuntimeError> {
+        if self.call_depth >= MAX_CALL_DEPTH {
+            return Err(RuntimeError::StackOverflow { limit: MAX_CALL_DEPTH });
+        }
+        self.call_depth += 1;
+        Ok(())
+    }
+
     /// Full construction: allocate, run field initializers (superclass
     /// first), then the arity-matching constructor.
     fn construct(&mut self, class: &str, args: &[RtValue]) -> Result<ObjRef, RuntimeError> {
-        let obj = self.construct_raw(class)?;
-        self.run_field_inits(obj, class)?;
-        self.run_ctor(obj, class, args)?;
-        Ok(obj)
+        self.enter_call()?;
+        let result = (|| {
+            let obj = self.construct_raw(class)?;
+            self.run_field_inits(obj, class)?;
+            self.run_ctor(obj, class, args)?;
+            Ok(obj)
+        })();
+        self.call_depth -= 1;
+        result
     }
 
     fn run_field_inits(&mut self, obj: ObjRef, class: &str) -> Result<(), RuntimeError> {
@@ -243,7 +260,11 @@ impl Interpreter {
     }
 
     fn run_ctor(&mut self, obj: ObjRef, class: &str, args: &[RtValue]) -> Result<(), RuntimeError> {
-        let decl = self.program.class(class).expect("user class").clone();
+        let Some(decl) = self.program.class(class).cloned() else {
+            return Err(RuntimeError::Internal(format!(
+                "no declaration for class `{class}`"
+            )));
+        };
         let ctor = decl.ctors.iter().find(|c| c.params.len() == args.len());
         let Some(ctor) = ctor else {
             if args.is_empty() {
@@ -646,7 +667,10 @@ impl Interpreter {
                     for (p, a) in decl.params.iter().zip(&arg_values) {
                         callee.declare(&p.name, *a);
                     }
-                    return match self.exec_block(&mut callee, &decl.body)? {
+                    self.enter_call()?;
+                    let flow = self.exec_block(&mut callee, &decl.body);
+                    self.call_depth -= 1;
+                    return match flow? {
                         Flow::Return(v) => {
                             Ok(if decl.return_type.is_some() {
                                 Some(v)
@@ -673,14 +697,21 @@ impl Interpreter {
         method: &str,
         args: &[RtValue],
     ) -> Result<Option<RtValue>, RuntimeError> {
+        // Arguments are fetched defensively: a builtin call that reaches
+        // here with too few arguments is a runtime error, not a panic.
+        let arg = |i: usize| {
+            args.get(i).copied().ok_or_else(|| {
+                RuntimeError::Internal(format!("`{method}` needs {} argument(s)", i + 1))
+            })
+        };
         match method {
             "read" => {
+                let port = arg(0)?.as_int().ok_or(RuntimeError::Internal("port".into()))?;
                 let io = self.require_io()?;
-                let port = args[0].as_int().ok_or(RuntimeError::Internal("port".into()))?;
                 Ok(Some(RtValue::Int(io.read(port)?)))
             }
             "readVec" => {
-                let port = args[0].as_int().ok_or(RuntimeError::Internal("port".into()))?;
+                let port = arg(0)?.as_int().ok_or(RuntimeError::Internal("port".into()))?;
                 let items: Vec<RtValue> = self
                     .require_io()?
                     .read_vec(port)?
@@ -690,14 +721,14 @@ impl Interpreter {
                 Ok(Some(RtValue::Ref(self.heap.alloc_env_array(items))))
             }
             "write" => {
-                let port = args[0].as_int().ok_or(RuntimeError::Internal("port".into()))?;
-                let value = args[1].as_int().ok_or(RuntimeError::Internal("value".into()))?;
+                let port = arg(0)?.as_int().ok_or(RuntimeError::Internal("port".into()))?;
+                let value = arg(1)?.as_int().ok_or(RuntimeError::Internal("value".into()))?;
                 self.require_io_mut()?.write(port, value)?;
                 Ok(None)
             }
             "writeVec" => {
-                let port = args[0].as_int().ok_or(RuntimeError::Internal("port".into()))?;
-                let arr = match args[1] {
+                let port = arg(0)?.as_int().ok_or(RuntimeError::Internal("port".into()))?;
+                let arr = match arg(1)? {
                     RtValue::Ref(r) => r,
                     RtValue::Null => return Err(RuntimeError::NullPointer),
                     _ => return Err(RuntimeError::Internal("writeVec arg".into())),
@@ -760,6 +791,12 @@ fn apply_compound(op: AssignOp, old: RtValue, rhs: RtValue) -> Result<RtValue, R
                 return Err(RuntimeError::DivisionByZero);
             }
             a.checked_div(b).ok_or(RuntimeError::Overflow)?
+        }
+        AssignOp::Rem => {
+            if b == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            a.checked_rem(b).ok_or(RuntimeError::Overflow)?
         }
         AssignOp::Set => unreachable!("Set handled by caller"),
     }))

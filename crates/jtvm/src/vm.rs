@@ -9,7 +9,7 @@
 
 use crate::bytecode::{ElemKind, FunId, Instr};
 use crate::compile::{compile, BuiltinOp, Module};
-use crate::cost::CostMeter;
+use crate::cost::{CostMeter, MAX_CALL_DEPTH};
 use crate::engine::{BuildEngineError, Engine, PhaseCost};
 use crate::error::RuntimeError;
 use crate::heap::Heap;
@@ -17,7 +17,7 @@ use crate::io::{Io, PortDatum};
 use crate::layout::ClassId;
 use crate::obs::{opcode_class, EngineObs, OPCODE_CLASSES};
 use crate::value::{ObjRef, RtValue};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A bytecode-executing engine bound to one main-class instance.
 ///
@@ -36,7 +36,7 @@ use std::rc::Rc;
 /// # }
 /// ```
 pub struct CompiledVm {
-    module: Rc<Module>,
+    module: Arc<Module>,
     heap: Heap,
     meter: CostMeter,
     statics: Vec<RtValue>,
@@ -48,6 +48,8 @@ pub struct CompiledVm {
     obs: Option<EngineObs>,
     /// Per-opcode-class scratch, flushed to `obs` once per phase.
     class_scratch: [u64; OPCODE_CLASSES.len()],
+    /// Current call nesting, bounded by [`MAX_CALL_DEPTH`].
+    call_depth: usize,
 }
 
 impl CompiledVm {
@@ -73,7 +75,7 @@ impl CompiledVm {
             .collect();
         let run_name = module.name_id("run");
         let mut vm = CompiledVm {
-            module: Rc::new(module),
+            module: Arc::new(module),
             heap: Heap::new(),
             meter: CostMeter::new(),
             statics,
@@ -84,6 +86,7 @@ impl CompiledVm {
             run_name,
             obs: None,
             class_scratch: [0; OPCODE_CLASSES.len()],
+            call_depth: 0,
         };
         vm.init_statics()
             .map_err(|e| BuildEngineError::Frontend(format!("static init failed: {e}")))?;
@@ -138,7 +141,7 @@ impl CompiledVm {
     }
 
     fn init_statics(&mut self) -> Result<(), RuntimeError> {
-        let module = Rc::clone(&self.module);
+        let module = Arc::clone(&self.module);
         for (i, &(slot, fun)) in module.static_init_chunks.iter().enumerate() {
             let owner = module.static_init_owner[i];
             let dummy = self.alloc_raw(owner)?;
@@ -155,7 +158,7 @@ impl CompiledVm {
     }
 
     fn construct(&mut self, class: ClassId, args: &[RtValue]) -> Result<ObjRef, RuntimeError> {
-        let module = Rc::clone(&self.module);
+        let module = Arc::clone(&self.module);
         let obj = self.alloc_raw(class)?;
         for &fun in &module.field_init_chains[class.index()] {
             self.run_fun(fun, obj, &[])?;
@@ -201,7 +204,26 @@ impl CompiledVm {
     }
 
     fn run_fun(&mut self, fun: FunId, this: ObjRef, args: &[RtValue]) -> Result<RtValue, RuntimeError> {
-        let module = Rc::clone(&self.module);
+        // `run_fun` recurses natively on Call instructions, so runaway
+        // recursion is cut off at the same depth budget as the
+        // interpreter's, surfacing as an error instead of a real stack
+        // overflow.
+        if self.call_depth >= MAX_CALL_DEPTH {
+            return Err(RuntimeError::StackOverflow { limit: MAX_CALL_DEPTH });
+        }
+        self.call_depth += 1;
+        let result = self.run_fun_inner(fun, this, args);
+        self.call_depth -= 1;
+        result
+    }
+
+    fn run_fun_inner(
+        &mut self,
+        fun: FunId,
+        this: ObjRef,
+        args: &[RtValue],
+    ) -> Result<RtValue, RuntimeError> {
+        let module = Arc::clone(&self.module);
         let chunk = &module.chunks[fun];
         let mut locals = vec![RtValue::Null; chunk.n_locals as usize];
         locals[..args.len()].copy_from_slice(args);

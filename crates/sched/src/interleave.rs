@@ -247,6 +247,14 @@ fn explore_exhaustive(program: &Program, config: Explore) -> (OutcomeSet, u64) {
 fn explore_random(program: &Program, seed: u64, trials: usize) -> OutcomeSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut distinct: BTreeSet<Outcome> = BTreeSet::new();
+    // Every distinct state touched by any trial, and the scheduling
+    // decisions (state → thread) actually taken. Sampling is complete —
+    // `truncated: false` — only when every runnable thread of every
+    // visited state was followed at least once; otherwise the trial
+    // budget cut exploration off with branches still unexplored.
+    let mut seen_states: BTreeSet<State> = BTreeSet::new();
+    let mut taken: BTreeMap<State, BTreeSet<usize>> = BTreeMap::new();
+    seen_states.insert(State::initial(program));
     for _ in 0..trials {
         let mut state = State::initial(program);
         loop {
@@ -255,15 +263,23 @@ fn explore_random(program: &Program, seed: u64, trials: usize) -> OutcomeSet {
                 break;
             }
             let t = runnable[rng.gen_range(0..runnable.len())];
+            taken.entry(state.clone()).or_default().insert(t);
             state.step(program, t);
+            seen_states.insert(state.clone());
         }
         distinct.insert(state.outcome(program));
     }
+    let truncated = seen_states.iter().any(|s| {
+        let followed = taken.get(s);
+        s.runnable(program)
+            .iter()
+            .any(|t| !followed.is_some_and(|f| f.contains(t)))
+    });
     OutcomeSet {
         distinct: distinct.into_iter().collect(),
         schedules_explored: trials,
-        states_visited: 0,
-        truncated: false,
+        states_visited: seen_states.len(),
+        truncated,
     }
 }
 
@@ -381,6 +397,18 @@ mod tests {
         // And the same seed reproduces the same set.
         let again = explore(&p, Explore::random(42, 200));
         assert_eq!(sampled.distinct, again.distinct);
+        // Sampling counts the states it actually visited — never more
+        // than an unreduced exhaustive walk reaches.
+        let unreduced = explore(&p, Explore::exhaustive_unreduced());
+        assert!(sampled.states_visited > 0);
+        assert!(sampled.states_visited <= unreduced.states_visited);
+        // 200 trials saturate every scheduling decision of this tiny
+        // program, so the sample is provably complete…
+        assert!(!sampled.truncated);
+        // …while a single trial leaves branches unexplored.
+        let starved = explore(&p, Explore::random(42, 1));
+        assert!(starved.truncated);
+        assert!(starved.states_visited > 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use jtvm::engine::Engine;
 use jtvm::io::PortDatum;
 use jtvm::value::RtValue;
 use jtvm::vm::CompiledVm;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::fmt;
 
 /// Error constructing an embedded block.
@@ -63,9 +63,9 @@ impl std::error::Error for EmbedError {}
 pub struct JtBlock {
     name: String,
     interface: AsrInterface,
-    engine: RefCell<CompiledVm>,
+    engine: Mutex<CompiledVm>,
     /// Cached `(inputs, outputs)` of the current instant's reaction.
-    cache: RefCell<Option<(Vec<Value>, Vec<Value>)>>,
+    cache: Mutex<Option<(Vec<Value>, Vec<Value>)>>,
 }
 
 impl fmt::Debug for JtBlock {
@@ -113,8 +113,8 @@ pub fn embed(source: &str, class: &str, ctor_args: &[i64]) -> Result<JtBlock, Em
     Ok(JtBlock {
         name: class.to_string(),
         interface,
-        engine: RefCell::new(engine),
-        cache: RefCell::new(None),
+        engine: Mutex::new(engine),
+        cache: Mutex::new(None),
     })
 }
 
@@ -141,7 +141,7 @@ impl JtBlock {
             .iter()
             .map(to_port_datum)
             .collect::<Result<_, _>>()?;
-        let mut engine = self.engine.borrow_mut();
+        let mut engine = self.engine.lock().expect("engine lock");
         let outs = engine
             .react(&port_inputs)
             .map_err(|e| BlockError::new(e.to_string()))?;
@@ -176,7 +176,7 @@ impl Block for JtBlock {
         // The reaction advances engine state, so run it once per instant
         // and serve repeats from the cache; inputs cannot change once
         // known within an instant.
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock().expect("instant cache lock");
         let result = match cache.as_ref() {
             Some((cached_in, cached_out)) if cached_in == inputs => cached_out.clone(),
             Some(_) => {
@@ -199,15 +199,15 @@ impl Block for JtBlock {
     fn tick(&mut self, inputs: &[Value]) -> Result<(), BlockError> {
         // Commit: ensure the reaction ran (it may not have, if inputs
         // stayed ⊥ or absent all instant), then clear the instant cache.
-        let cache_filled = self.cache.borrow().is_some();
+        let cache_filled = self.cache.lock().expect("instant cache lock").is_some();
         if !cache_filled
             && inputs.iter().all(Value::is_known)
             && !inputs.contains(&Value::Absent)
         {
             let outs = self.react(inputs)?;
-            *self.cache.borrow_mut() = Some((inputs.to_vec(), outs));
+            *self.cache.lock().expect("instant cache lock") = Some((inputs.to_vec(), outs));
         }
-        self.cache.borrow_mut().take();
+        self.cache.lock().expect("instant cache lock").take();
         Ok(())
     }
 }

@@ -1,0 +1,152 @@
+//! Determinism stress: `Strategy::Parallel` must be bit-identical to
+//! `Strategy::Staged` — signals, traces, `FixpointStats`, and errors —
+//! on randomly generated stateful systems mixing DAGs, constructive
+//! cycles, and non-constructive (⊥) cycles.
+//!
+//! CI runs this at several worker counts:
+//!
+//! ```sh
+//! cargo run --release --example determinism_stress -- --workers 8
+//! ```
+//!
+//! Exits nonzero on the first divergence.
+
+use asr::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+/// Builds a random stateful system from `seed`: a feed-forward core of
+/// binary integer blocks over two inputs and one delay, plus a few
+/// delay-free cycles (constructive select loops that settle, and
+/// strict-adder loops that stay ⊥).
+fn build_random(seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_blocks = rng.gen_range(3..20);
+    let n_cycles = rng.gen_range(0..4);
+    let mut b = SystemBuilder::new("stress");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let d = b.add_delay("state", Value::int(1));
+    let mut sources = vec![Source::ext(x), Source::ext(y), Source::delay(d)];
+    for i in 0..n_blocks {
+        let op = rng.gen_range(0..4);
+        let s1 = rng.gen_range(0..sources.len());
+        let s2 = rng.gen_range(0..sources.len());
+        let block: Box<dyn Block> = match op {
+            0 => Box::new(stock::add(format!("b{i}"))),
+            1 => Box::new(stock::sub(format!("b{i}"))),
+            2 => Box::new(stock::min(format!("b{i}"))),
+            _ => Box::new(stock::max(format!("b{i}"))),
+        };
+        let id = b.add_boxed_block(block);
+        b.connect(sources[s1], Sink::block(id, 0)).unwrap();
+        b.connect(sources[s2], Sink::block(id, 1)).unwrap();
+        sources.push(Source::block(id, 0));
+    }
+    // The delay is fed from the (always determined) feed-forward core so
+    // the system stays runnable across instants even when ⊥-cycles exist.
+    b.connect(*sources.last().unwrap(), Sink::delay(d)).unwrap();
+    for i in 0..n_cycles {
+        let src = sources[rng.gen_range(0..sources.len())];
+        if rng.gen_range(0..2) == 0 {
+            let c = b.add_block(stock::const_bool(format!("c{i}"), true));
+            let sel = b.add_block(stock::select(format!("sel{i}")));
+            b.connect(Source::block(c, 0), Sink::block(sel, 0)).unwrap();
+            b.connect(src, Sink::block(sel, 1)).unwrap();
+            b.connect(Source::block(sel, 0), Sink::block(sel, 2)).unwrap();
+            sources.push(Source::block(sel, 0));
+        } else {
+            let a1 = b.add_block(stock::add(format!("na{i}")));
+            let a2 = b.add_block(stock::add(format!("nb{i}")));
+            b.connect(src, Sink::block(a1, 0)).unwrap();
+            b.connect(Source::block(a2, 0), Sink::block(a1, 1)).unwrap();
+            b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+            b.connect(src, Sink::block(a2, 1)).unwrap();
+            sources.push(Source::block(a1, 0));
+        }
+    }
+    let o = b.add_output("o");
+    b.connect(*sources.last().unwrap(), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+fn instance(seed: u64, strategy: Strategy) -> System {
+    let mut sys = build_random(seed);
+    // Threshold 1 forces the worker pool even on narrow levels, so the
+    // stress covers the fan-out path on every system.
+    sys.set_parallel_threshold(1);
+    sys.set_strategy(strategy);
+    sys
+}
+
+fn main() -> ExitCode {
+    let mut workers = 4usize;
+    let mut systems = 200u64;
+    let mut instants = 4usize;
+    let mut seed = 0xDAC_1998u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--workers", Some(v)) => workers = v.parse().expect("--workers N"),
+            ("--systems", Some(v)) => systems = v.parse().expect("--systems N"),
+            ("--instants", Some(v)) => instants = v.parse().expect("--instants N"),
+            ("--seed", Some(v)) => seed = v.parse().expect("--seed N"),
+            (flag, _) => {
+                eprintln!("unknown flag {flag} (supported: --workers --systems --instants --seed)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f5f);
+    for k in 0..systems {
+        let sys_seed = seed.wrapping_add(k);
+        let inputs: Vec<Vec<Value>> = (0..instants)
+            .map(|_| {
+                vec![
+                    Value::int(rng.gen_range(-1000..1000)),
+                    Value::int(rng.gen_range(-1000..1000)),
+                ]
+            })
+            .collect();
+
+        // Trace equality over a stateful run (or identical errors).
+        let staged_trace = instance(sys_seed, Strategy::Staged).run(&inputs);
+        let par_trace = instance(sys_seed, Strategy::Parallel { workers }).run(&inputs);
+        if staged_trace != par_trace {
+            eprintln!(
+                "DIVERGENCE (trace) seed={sys_seed} workers={workers}:\n staged: {staged_trace:?}\n parallel: {par_trace:?}"
+            );
+            return ExitCode::FAILURE;
+        }
+
+        // Stats equality on a single instant: block-eval counts, steps,
+        // and climbs must match the staged solver exactly.
+        let staged = instance(sys_seed, Strategy::Staged).eval_instant(&inputs[0]);
+        let par = instance(sys_seed, Strategy::Parallel { workers }).eval_instant(&inputs[0]);
+        match (staged, par) {
+            (Ok(s), Ok(p)) if s.signals() != p.signals() || s.stats() != p.stats() => {
+                eprintln!(
+                    "DIVERGENCE (stats) seed={sys_seed} workers={workers}:\n staged: {:?}\n parallel: {:?}",
+                    s.stats(),
+                    p.stats()
+                );
+                return ExitCode::FAILURE;
+            }
+            (s, p) if s.is_ok() != p.is_ok() => {
+                eprintln!("DIVERGENCE (error) seed={sys_seed} workers={workers}");
+                return ExitCode::FAILURE;
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "determinism stress passed: {systems} systems x {instants} instants, \
+         parallel({workers}) ≡ staged (traces, signals, stats)"
+    );
+    ExitCode::SUCCESS
+}

@@ -2,9 +2,10 @@
 //! determinism, evaluation-order independence, spatial-abstraction
 //! equivalence (Fig. 5), monotonicity of stock blocks, and — for the
 //! compiled-plan evaluator — signal-for-signal agreement of
-//! `Strategy::Staged` (flattened and unflattened) with chaotic and
-//! worklist iteration on random systems mixing DAGs, constructive
-//! cycles, and non-constructive cycles.
+//! `Strategy::Staged` and `Strategy::Parallel` (flattened and
+//! unflattened, at 1/2/4/8 workers) with chaotic and worklist
+//! iteration on random systems mixing DAGs, constructive cycles, and
+//! non-constructive cycles.
 
 use asr::block::Block;
 use asr::determinism;
@@ -186,23 +187,66 @@ proptest! {
         a in -1000i64..1000,
         b in -1000i64..1000,
     ) {
-        // All three strategies must produce the *identical* signal
-        // vector — including the ⊥s left by non-constructive cycles —
-        // because the least fixed point is unique.
+        // Every strategy must produce the *identical* signal vector —
+        // including the ⊥s left by non-constructive cycles — because the
+        // least fixed point is unique.
         let inputs = [Value::int(a), Value::int(b)];
         let reference = {
             let mut sys = build_mixed(&spec);
             sys.set_strategy(EvalStrategy::Chaotic);
             sys.eval_instant(&inputs).unwrap().signals().to_vec()
         };
-        for strat in [EvalStrategy::Worklist, EvalStrategy::Staged] {
+        for strat in [
+            EvalStrategy::Worklist,
+            EvalStrategy::Staged,
+            EvalStrategy::Parallel { workers: 1 },
+            EvalStrategy::Parallel { workers: 2 },
+            EvalStrategy::Parallel { workers: 4 },
+            EvalStrategy::Parallel { workers: 8 },
+        ] {
             let mut sys = build_mixed(&spec);
+            sys.set_parallel_threshold(1);
             sys.set_strategy(strat);
             let signals = sys.eval_instant(&inputs).unwrap().signals().to_vec();
             prop_assert!(
                 signals == reference,
                 "{:?} diverged from Chaotic: {:?} vs {:?}",
                 strat, signals, reference
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_staged_on_flattened_hierarchies(
+        spec in arb_mixed(8, 3),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // The acceptance bar for Strategy::Parallel: signals *and*
+        // FixpointStats must match Staged exactly, on flattened
+        // hierarchies (inlined composites reshuffle block ids and plan
+        // strata) and in the presence of pass-through ⊥-cycles.
+        let inputs = [Value::int(a), Value::int(b)];
+        let (ref_signals, ref_stats) = {
+            let mut sys = wrap_mixed(&spec).flatten();
+            sys.set_parallel_threshold(1);
+            sys.set_strategy(EvalStrategy::Staged);
+            let sol = sys.eval_instant(&inputs).unwrap();
+            (sol.signals().to_vec(), *sol.stats())
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let mut sys = wrap_mixed(&spec).flatten();
+            sys.set_parallel_threshold(1);
+            sys.set_strategy(EvalStrategy::Parallel { workers });
+            let sol = sys.eval_instant(&inputs).unwrap();
+            prop_assert!(
+                sol.signals() == ref_signals.as_slice(),
+                "parallel({workers}) signals diverged from staged"
+            );
+            prop_assert!(
+                *sol.stats() == ref_stats,
+                "parallel({workers}) stats diverged from staged: {:?} vs {:?}",
+                sol.stats(), ref_stats
             );
         }
     }

@@ -45,8 +45,12 @@ fn arb_expr(depth: u32) -> BoxedStrategy<String> {
 fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
     let assign = (0usize..VARS.len(), arb_expr(depth))
         .prop_map(|(v, e)| format!("{} = ({e}) % 100000;", VARS[v]));
-    let compound = (0usize..VARS.len(), arb_expr(depth), 0usize..2)
-        .prop_map(|(v, e, op)| format!("{} {}= ({e}) % 1000;", VARS[v], ["+", "-"][op]));
+    let compound = (0usize..VARS.len(), arb_expr(depth), 0usize..5).prop_map(|(v, e, op)| {
+        // All compound operators, `%=` and `/=` included; a zero
+        // right-hand side is allowed — both engines must then fail with
+        // the same DivisionByZero.
+        format!("{} {}= ({e}) % 1000;", VARS[v], ["+", "-", "*", "/", "%"][op])
+    });
     let leaf = prop_oneof![assign, compound];
     leaf.prop_recursive(2, 8, 2, move |inner| {
         prop_oneof![
@@ -154,6 +158,44 @@ proptest! {
         prop_assert!(jtlang::check_source(&source).is_ok(), "front end rejected:\n{source}");
         let (i, v) = run_both(&source, &[7, -3, 0]);
         prop_assert_eq!(i, v, "engines disagree on:\n{}", source);
+    }
+}
+
+#[test]
+fn rem_assign_edge_cases_agree_across_engines() {
+    // `%=` must fail like `%`: division by zero and the i64::MIN % -1
+    // overflow are runtime errors, identical across engines.
+    let cases = [
+        // (body, expect_ok)
+        ("x = 17; x %= 5; write(0, x);", true),
+        ("x = -17; x %= 5; write(0, x);", true),
+        ("x = 17; x %= y - y; write(0, x);", false), // DivisionByZero
+        (
+            "x = -9223372036854775807 - 1; x %= -1; write(0, x);",
+            false, // Overflow, matching BinOp::Rem
+        ),
+    ];
+    for (body, expect_ok) in cases {
+        let source = format!(
+            "class P extends ASR {{
+                 P() {{}}
+                 public void run() {{
+                     int x = read(0);
+                     int y = read(1);
+                     int z = 0;
+                     int w = 1;
+                     {body}
+                 }}
+             }}"
+        );
+        // `%=` must survive the pretty-printer round trip.
+        let parsed = jtlang::parse(&source).expect("parses");
+        let printed = jtlang::pretty::print_program(&parsed);
+        assert!(printed.contains("%="), "printer dropped %= in:\n{printed}");
+        jtlang::parse(&printed).expect("printed output parses");
+        let (i, v) = run_both(&source, &[7, 3, 0]);
+        assert_eq!(i.is_ok(), expect_ok, "unexpected outcome for `{body}`: {i:?}");
+        assert_eq!(i, v, "engines disagree on `{body}`");
     }
 }
 
