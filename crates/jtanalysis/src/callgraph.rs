@@ -55,6 +55,30 @@ impl CallGraph {
     /// Strongly connected components that form call cycles (size > 1, or
     /// a self-recursive method).
     pub fn recursive_cycles(&self) -> Vec<Vec<MethodRef>> {
+        let (sccs, succ) = self.sccs();
+        sccs.into_iter()
+            .filter(|scc| scc.len() > 1 || succ[scc[0]].contains(&scc[0]))
+            .map(|scc| scc.into_iter().map(|i| self.nodes[i].clone()).collect())
+            .collect()
+    }
+
+    /// The SCC condensation of the call graph, in *bottom-up* order:
+    /// every callee's component appears before its callers' (Tarjan
+    /// emits components in reverse topological order). This is the
+    /// evaluation order of the interprocedural summary engine
+    /// ([`crate::summary`]): when a component is processed, all
+    /// summaries it depends on are already final, except for edges
+    /// inside the component itself, which the engine iterates.
+    pub fn condensation(&self) -> Vec<Vec<MethodRef>> {
+        let (sccs, _) = self.sccs();
+        sccs.into_iter()
+            .map(|scc| scc.into_iter().map(|i| self.nodes[i].clone()).collect())
+            .collect()
+    }
+
+    /// Runs Tarjan over the user-call edges, returning the components
+    /// (callees first) plus the successor lists used to build them.
+    fn sccs(&self) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let index: BTreeMap<&MethodRef, usize> =
             self.nodes.iter().enumerate().map(|(i, m)| (m, i)).collect();
         let succ: Vec<Vec<usize>> = self
@@ -66,11 +90,7 @@ impl CallGraph {
                     .collect()
             })
             .collect();
-        let sccs = tarjan(self.nodes.len(), &succ);
-        sccs.into_iter()
-            .filter(|scc| scc.len() > 1 || succ[scc[0]].contains(&scc[0]))
-            .map(|scc| scc.into_iter().map(|i| self.nodes[i].clone()).collect())
-            .collect()
+        (tarjan(self.nodes.len(), &succ), succ)
     }
 }
 
@@ -307,6 +327,31 @@ mod tests {
         assert!(from_ctor.contains(&MethodRef::method("A", "helper")));
         assert!(!from_ctor.contains(&MethodRef::method("A", "run")));
         assert!(!from_ctor.contains(&MethodRef::method("A", "unused")));
+    }
+
+    #[test]
+    fn condensation_is_bottom_up() {
+        let g = graph(
+            "class A {
+                 void top() { mid(); }
+                 void mid() { leaf(); peer(); }
+                 void peer() { mid(); }
+                 void leaf() {}
+             }",
+        );
+        let sccs = g.condensation();
+        let pos = |name: &str| {
+            sccs.iter()
+                .position(|scc| scc.iter().any(|m| m.method == name))
+                .unwrap_or_else(|| panic!("{name} missing from condensation"))
+        };
+        // Callees strictly before callers; the mid/peer cycle is one
+        // component.
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("top"));
+        assert_eq!(pos("mid"), pos("peer"));
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, g.nodes.len());
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! * `jtanalysis.cfg.methods` (gauge) — CFGs built,
 //! * `jtanalysis.solver.iterations.<analysis>` (counter) — worklist
 //!   visits per analysis,
+//! * `jtanalysis.summary.sccs` / `.methods` / `.objects` (gauges) —
+//!   call-graph components, summarized methods, and abstract points-to
+//!   objects,
+//! * `jtanalysis.summary.fixpoint_iterations` / `.pointsto_passes`
+//!   (counters) — interprocedural fixpoint work,
+//! * `jtanalysis.summary.footprint_fields` (histogram) — per-method
+//!   effect-footprint sizes (reads + writes),
 //! * `jtanalysis.time_us.<analysis>` (histogram) — wall time per
 //!   analysis pass, and a `jtanalysis.flow` span around the suite.
 
@@ -20,6 +27,7 @@ use crate::constprop::{self, ConstpropReport};
 use crate::definite::{self, DefiniteReport};
 use crate::interval::{self, IntervalReport};
 use crate::races::{self, RaceReport};
+use crate::summary::{self, SummaryReport};
 use crate::{cfg, each_method};
 use jtlang::ast::Program;
 use jtlang::resolve::ClassTable;
@@ -33,6 +41,9 @@ pub struct FlowReport {
     pub constprop: ConstpropReport,
     /// Interval findings: loop-bound proofs and index verdicts.
     pub interval: IntervalReport,
+    /// Interprocedural summaries: purity, escape, points-to, R13/R14
+    /// findings, and call-sharpened WCET bounds.
+    pub summary: SummaryReport,
     /// Race-candidate tiers.
     pub races: RaceReport,
     /// Basic blocks across every method CFG.
@@ -83,7 +94,18 @@ fn run(
     report.definite = timed(registry, "definite", || definite::analyze(program, table));
     report.constprop = timed(registry, "constprop", || constprop::analyze(program, table));
     report.interval = timed(registry, "interval", || interval::analyze(program, table));
-    report.races = timed(registry, "races", || races::analyze(program, table, graph));
+    report.summary = timed(registry, "summary", || {
+        summary::analyze_with_bounds(
+            program,
+            table,
+            graph,
+            &report.interval.proved_loop_bounds,
+        )
+    });
+    // The race tiers share the summary engine's points-to relation.
+    report.races = timed(registry, "races", || {
+        races::analyze_with_pointsto(program, table, graph, &report.summary.pointsto)
+    });
 
     if let Some(r) = registry {
         r.gauge("jtanalysis.cfg.blocks").set(report.cfg_blocks as i64);
@@ -94,6 +116,19 @@ fn run(
             .add(report.constprop.solver_iterations);
         r.counter("jtanalysis.solver.iterations.interval")
             .add(report.interval.solver_iterations);
+        r.gauge("jtanalysis.summary.sccs").set(report.summary.sccs as i64);
+        r.gauge("jtanalysis.summary.methods")
+            .set(report.summary.methods.len() as i64);
+        r.gauge("jtanalysis.summary.objects")
+            .set(report.summary.pointsto.object_count() as i64);
+        r.counter("jtanalysis.summary.fixpoint_iterations")
+            .add(report.summary.fixpoint_iterations);
+        r.counter("jtanalysis.summary.pointsto_passes")
+            .add(report.summary.pointsto.passes() as u64);
+        let footprints = r.histogram("jtanalysis.summary.footprint_fields");
+        for m in report.summary.methods.values() {
+            footprints.record((m.purity.reads.len() + m.purity.writes.len()) as u64);
+        }
     }
     report
 }
@@ -146,7 +181,35 @@ mod tests {
             assert!(registry
                 .histogram_stats("jtanalysis.time_us.interval")
                 .is_some());
+            assert_eq!(
+                registry.gauge_value("jtanalysis.summary.sccs"),
+                r.summary.sccs as i64
+            );
+            assert_eq!(
+                registry.gauge_value("jtanalysis.summary.methods"),
+                r.summary.methods.len() as i64
+            );
+            assert_eq!(
+                registry.counter_value("jtanalysis.summary.fixpoint_iterations"),
+                r.summary.fixpoint_iterations
+            );
+            assert!(registry
+                .histogram_stats("jtanalysis.summary.footprint_fields")
+                .is_some());
+            assert!(registry
+                .histogram_stats("jtanalysis.time_us.summary")
+                .is_some());
         }
+    }
+
+    #[test]
+    fn summary_report_rides_along_in_the_flow_report() {
+        let (p, t) = frontend(jtlang::corpus::RACY_THREADS).unwrap();
+        let g = callgraph::build(&p, &t);
+        let r = analyze(&p, &t, &g);
+        assert!(!r.summary.methods.is_empty());
+        assert!(r.summary.sccs > 0);
+        assert!(r.summary.pointsto.converged());
     }
 
     #[test]

@@ -34,10 +34,24 @@
 //! * [`interval`] — interval analysis: proved loop trip counts (feeding
 //!   flow-sensitive R2 and WCET) and definite array out-of-bounds
 //!   findings (rule R11),
-//! * [`races`] — phase-refined shared-state races, clearing
-//!   init-phase-only candidates (rule R12),
+//! * [`races`] — shared-state races in three precision tiers:
+//!   syntactic, phase-refined, and alias-aware (rule R12),
 //! * [`flow`] — umbrella driver producing a [`flow::FlowReport`] and
 //!   exporting solver metrics via `jtobs`.
+//!
+//! The interprocedural layer computes whole-program facts bottom-up
+//! over the call graph:
+//!
+//! * [`pointsto`] — flow-insensitive, field-sensitive Andersen-style
+//!   points-to analysis over abstract allocation sites,
+//! * [`purity`] — per-method effect footprints (field reads/writes,
+//!   port and thread effects) transitively closed through calls,
+//! * [`escape`] — per-method escape summaries: which parameters,
+//!   receiver fields, and fresh allocations leave their frame,
+//! * [`summary`] — the SCC-condensation driver combining the above
+//!   into [`summary::SummaryReport`]: impure-block findings (rule
+//!   R13), alias-leak findings (rule R14), and call-site-proved WCET
+//!   sharpening.
 //!
 //! Each analysis is pure: it takes `(&Program, &ClassTable)` and returns a
 //! report value. The `sfr` crate turns these reports into policy-rule
@@ -52,9 +66,13 @@ pub mod constprop;
 pub mod dataflow;
 pub mod definite;
 pub mod flow;
+pub mod escape;
 pub mod interval;
 pub mod loops;
+pub mod pointsto;
+pub mod purity;
 pub mod races;
+pub mod summary;
 pub mod threads;
 pub mod visibility;
 

@@ -1,8 +1,9 @@
-//! Shared-state race candidates, refined by execution phase.
+//! Shared-state race candidates, refined by execution phase and by
+//! alias analysis.
 //!
 //! The original `threads` pass flags thread *constructs*; it has no
 //! notion of which state is actually contested. This module builds the
-//! missing picture in two precision tiers so the improvement is
+//! missing picture in three precision tiers so each improvement is
 //! measurable:
 //!
 //! * [`RaceReport::syntactic`] — the heuristic tier: any field written
@@ -18,12 +19,21 @@
 //!   phase — e.g. a constructor zeroing a field later read by one
 //!   thread — cannot race, because `start()` establishes a
 //!   happens-before edge from everything the constructing thread did.
-//!
-//! Fields in [`RaceReport::cleared`] are the heuristic's false
-//! positives that refinement discharges — the precision win checked by
-//! the corpus tests.
+//! * [`RaceReport::alias_aware`] — the points-to tier: the refined tier
+//!   still names fields by *declaring class*, conflating every instance
+//!   of that class. Using [`crate::pointsto`], each thread-phase access
+//!   is attributed to the concrete abstract object(s) holding the
+//!   field, and a race exists only when **two or more thread
+//!   instances** can reach the *same* object with at least one write.
+//!   This clears refined candidates whose objects never escape their
+//!   constructing thread ([`RaceReport::alias_cleared`]) and keeps races
+//!   on objects shared through aliases (getters, registries) that the
+//!   name-based tier attributes to the wrong granularity. Accesses the
+//!   points-to analysis cannot resolve fall back to the refined verdict
+//!   — the tier only ever *refines* with proof in hand.
 
 use crate::callgraph::CallGraph;
+use crate::pointsto::{self, ObjId, PointsTo};
 use crate::MethodRef;
 use jtlang::ast::{
     walk_stmts, ClassDecl, Expr, ExprKind, MethodDecl, Program, StmtKind, Type,
@@ -81,22 +91,61 @@ pub struct Race {
     pub has_write: bool,
 }
 
+/// An alias-aware race: a concrete contested object, not just a field
+/// name.
+#[derive(Debug, Clone)]
+pub struct AliasRace {
+    /// The contested field.
+    pub field: FieldId,
+    /// `(allocation span, class)` of the contested object; `None` when
+    /// the points-to analysis could not resolve every access and the
+    /// refined verdict was kept conservatively.
+    pub object: Option<(Span, String)>,
+    /// Thread classes whose instances reach the object.
+    pub thread_classes: BTreeSet<String>,
+    /// Number of distinct thread instances that can reach the object.
+    pub instances: usize,
+    /// Spans of the contending accesses, in source order.
+    pub access_spans: Vec<Span>,
+    /// True when at least one contending access is a write.
+    pub has_write: bool,
+}
+
 /// Result of [`analyze`].
 #[derive(Debug, Clone, Default)]
 pub struct RaceReport {
     /// Heuristic-tier candidates (over-approximate).
     pub syntactic: Vec<FieldId>,
-    /// Phase-refined candidates (the real findings).
+    /// Phase-refined candidates.
     pub refined: Vec<Race>,
     /// Heuristic candidates discharged by the refinement — cleared
     /// false positives.
     pub cleared: Vec<FieldId>,
+    /// Alias-aware candidates (the real findings): per contested
+    /// object, with unresolvable fields inheriting the refined verdict.
+    pub alias_aware: Vec<AliasRace>,
+    /// Refined candidates discharged by the alias tier: the field's
+    /// objects are each reachable from at most one thread instance.
+    pub alias_cleared: Vec<FieldId>,
     /// Every attributed field access (for `jtlint -v` style dumps).
     pub accesses: Vec<Access>,
 }
 
-/// Builds both candidate tiers for one program.
+/// Builds all three candidate tiers, computing the points-to relation
+/// internally.
 pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> RaceReport {
+    let pt = pointsto::analyze(program, table);
+    analyze_with_pointsto(program, table, graph, &pt)
+}
+
+/// Builds all three candidate tiers against an already-computed
+/// points-to relation (the summary engine shares one).
+pub fn analyze_with_pointsto(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    pt: &PointsTo,
+) -> RaceReport {
     // Thread roots: the `run` methods of Thread subclasses. Each root
     // taints the methods its run can reach.
     let mut reach_by_root: BTreeMap<String, BTreeSet<MethodRef>> = BTreeMap::new();
@@ -114,7 +163,10 @@ pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> Race
         .collect();
     let init_reach = graph.reachable_from(ctor_roots.iter());
 
-    let mut accesses = Vec::new();
+    // Per access: the abstract objects holding the accessed field
+    // (`None` = unresolvable), parallel to `accesses`.
+    let mut accesses: Vec<Access> = Vec::new();
+    let mut holder_sets: Vec<Option<BTreeSet<ObjId>>> = Vec::new();
     for (class, decl, mref) in crate::each_method(program) {
         let thread_roots: BTreeSet<String> = reach_by_root
             .iter()
@@ -122,63 +174,192 @@ pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> Race
             .map(|(root, _)| root.clone())
             .collect();
         let in_init_phase = mref.is_ctor || init_reach.contains(&mref);
-        collect_accesses(
-            program,
-            table,
-            class,
-            decl,
-            &mref,
-            &thread_roots,
-            in_init_phase,
-            &mut accesses,
-        );
+        for ev in field_events(program, table, class, decl) {
+            let holders = match &ev.holder {
+                HolderRef::ImplicitThis => pt.instances_of(&mref.class),
+                HolderRef::Object(e) => pt.eval(program, table, &mref, e),
+            };
+            accesses.push(Access {
+                field: ev.field,
+                span: ev.span,
+                method: mref.clone(),
+                is_write: ev.is_write,
+                thread_roots: thread_roots.clone(),
+                in_init_phase,
+            });
+            holder_sets.push(if holders.is_empty() { None } else { Some(holders) });
+        }
     }
-    accesses.sort_by_key(|a| (a.field.clone(), a.span.start, a.span.end));
+    // Keep the report's access list in stable source order; sort the
+    // holder sets along with it.
+    let mut order: Vec<usize> = (0..accesses.len()).collect();
+    order.sort_by_key(|&i| {
+        let a = &accesses[i];
+        (a.field.clone(), a.span.start, a.span.end)
+    });
+    let accesses: Vec<Access> = order.iter().map(|&i| accesses[i].clone()).collect();
+    let holder_sets: Vec<Option<BTreeSet<ObjId>>> =
+        order.iter().map(|&i| holder_sets[i].clone()).collect();
 
-    // Group by field.
-    let mut by_field: BTreeMap<FieldId, Vec<&Access>> = BTreeMap::new();
-    for a in &accesses {
-        by_field.entry(a.field.clone()).or_default().push(a);
+    // Group by field (indices into the parallel vectors).
+    let mut by_field: BTreeMap<FieldId, Vec<usize>> = BTreeMap::new();
+    for (i, a) in accesses.iter().enumerate() {
+        by_field.entry(a.field.clone()).or_default().push(i);
     }
+
+    // Thread instances per thread class: the points-to objects of the
+    // class (or a subclass).
+    let thread_sites: BTreeMap<&String, BTreeSet<ObjId>> = reach_by_root
+        .keys()
+        .map(|root| (root, pt.instances_of(root)))
+        .collect();
+    let mut reach_cache: BTreeMap<ObjId, BTreeSet<ObjId>> = BTreeMap::new();
+    let mut reaches = |tau: ObjId, o: ObjId| -> bool {
+        reach_cache
+            .entry(tau)
+            .or_insert_with(|| pt.reachable(tau))
+            .contains(&o)
+    };
 
     let mut report = RaceReport::default();
-    for (field, accs) in &by_field {
+    for (field, idxs) in &by_field {
+        let accs = || idxs.iter().map(|&i| &accesses[i]);
         // Heuristic tier: written from any thread-reachable code and
         // also touched by a different method.
-        let thread_writes: Vec<&&Access> = accs
-            .iter()
+        let thread_writes: Vec<&Access> = accs()
             .filter(|a| a.is_write && !a.thread_roots.is_empty())
             .collect();
-        let other_touch = accs.iter().any(|a| {
-            thread_writes
-                .iter()
-                .all(|w| w.method != a.method)
-        });
+        let other_touch =
+            accs().any(|a| thread_writes.iter().all(|w| w.method != a.method));
         if !thread_writes.is_empty() && other_touch {
             report.syntactic.push(field.clone());
         }
 
         // Refined tier: thread-phase accesses only (init-dominated
         // accesses dropped), ≥2 distinct thread classes, ≥1 write.
-        let thread_phase: Vec<&&Access> = accs
+        let thread_phase: Vec<usize> = idxs
             .iter()
-            .filter(|a| !a.thread_roots.is_empty() && !a.in_init_phase)
+            .copied()
+            .filter(|&i| {
+                let a = &accesses[i];
+                !a.thread_roots.is_empty() && !a.in_init_phase
+            })
             .collect();
         let mut classes: BTreeSet<String> = BTreeSet::new();
-        for a in &thread_phase {
-            classes.extend(a.thread_roots.iter().cloned());
+        for &i in &thread_phase {
+            classes.extend(accesses[i].thread_roots.iter().cloned());
         }
-        let has_write = thread_phase.iter().any(|a| a.is_write);
-        if classes.len() >= 2 && has_write {
+        let has_write = thread_phase.iter().any(|&i| accesses[i].is_write);
+        let refined_race = if classes.len() >= 2 && has_write {
             let mut access_spans: Vec<Span> =
-                thread_phase.iter().map(|a| a.span).collect();
+                thread_phase.iter().map(|&i| accesses[i].span).collect();
             access_spans.sort_by_key(|s| (s.start, s.end));
-            report.refined.push(Race {
+            Some(Race {
                 field: field.clone(),
                 thread_classes: classes,
                 access_spans,
                 has_write,
+            })
+        } else {
+            None
+        };
+
+        // Alias tier: attribute each thread-phase access to concrete
+        // objects and require two thread *instances* on the same one.
+        struct ObjStats {
+            instances: BTreeSet<ObjId>,
+            classes: BTreeSet<String>,
+            spans: Vec<Span>,
+            has_write: bool,
+        }
+        let mut per_obj: BTreeMap<ObjId, ObjStats> = BTreeMap::new();
+        let mut resolved = true;
+        for &i in &thread_phase {
+            let a = &accesses[i];
+            let Some(holders) = &holder_sets[i] else {
+                resolved = false;
+                break;
+            };
+            for &o in holders {
+                // Which instances of the accessing thread classes can
+                // reach this object? A class none of whose instances
+                // reach it contributes nothing — its accesses happen on
+                // other instances of the field's class. If *no* root
+                // reaches the object at all (e.g. a fresh allocation in
+                // the run phase, which the heap-only reachability walk
+                // cannot attribute), the field is unresolvable and the
+                // refined verdict is kept.
+                let mut insts: BTreeSet<ObjId> = BTreeSet::new();
+                let mut inst_classes: BTreeSet<String> = BTreeSet::new();
+                for root in &a.thread_roots {
+                    let reaching: BTreeSet<ObjId> = thread_sites[root]
+                        .iter()
+                        .copied()
+                        .filter(|&tau| reaches(tau, o))
+                        .collect();
+                    if !reaching.is_empty() {
+                        inst_classes.insert(root.clone());
+                    }
+                    insts.extend(reaching);
+                }
+                if insts.is_empty() {
+                    resolved = false;
+                    break;
+                }
+                let st = per_obj.entry(o).or_insert_with(|| ObjStats {
+                    instances: BTreeSet::new(),
+                    classes: BTreeSet::new(),
+                    spans: Vec::new(),
+                    has_write: false,
+                });
+                st.instances.extend(insts);
+                st.classes.extend(inst_classes);
+                st.spans.push(a.span);
+                st.has_write |= a.is_write;
+            }
+            if !resolved {
+                break;
+            }
+        }
+
+        if resolved {
+            let mut any_alias_race = false;
+            for (o, st) in per_obj {
+                if st.instances.len() >= 2 && st.has_write {
+                    any_alias_race = true;
+                    let info = pt.object(o);
+                    let mut spans = st.spans;
+                    spans.sort_by_key(|s| (s.start, s.end));
+                    spans.dedup();
+                    report.alias_aware.push(AliasRace {
+                        field: field.clone(),
+                        object: Some((info.span, info.class.clone())),
+                        thread_classes: st.classes,
+                        instances: st.instances.len(),
+                        access_spans: spans,
+                        has_write: true,
+                    });
+                }
+            }
+            if !any_alias_race {
+                if let Some(race) = &refined_race {
+                    report.alias_cleared.push(race.field.clone());
+                }
+            }
+        } else if let Some(race) = &refined_race {
+            // Unresolvable: keep the refined verdict unchanged.
+            report.alias_aware.push(AliasRace {
+                field: race.field.clone(),
+                object: None,
+                thread_classes: race.thread_classes.clone(),
+                instances: race.thread_classes.len(),
+                access_spans: race.access_spans.clone(),
+                has_write: race.has_write,
             });
+        }
+
+        if let Some(race) = refined_race {
+            report.refined.push(race);
         }
     }
     report.cleared = report
@@ -191,18 +372,39 @@ pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> Race
     report
 }
 
-/// Records every field read/write in one method body.
-#[allow(clippy::too_many_arguments)]
-fn collect_accesses(
-    program: &Program,
+/// How a field event reaches its holding object.
+#[derive(Debug)]
+pub(crate) enum HolderRef<'p> {
+    /// Access through the implicit `this` (`x = …` / bare `x`).
+    ImplicitThis,
+    /// Access through an explicit receiver expression (`o.x = …`).
+    Object(&'p Expr),
+}
+
+/// One field read or write with enough context to attribute it to an
+/// abstract object — the shared collection underlying the race tiers,
+/// the purity footprints, and the R13 ownership check.
+#[derive(Debug)]
+pub(crate) struct FieldEvent<'p> {
+    /// Field accessed (by declaring class).
+    pub field: FieldId,
+    /// Span of the accessing expression.
+    pub span: Span,
+    /// True for assignment targets. An array-element write `a[i] = …`
+    /// where `a` denotes a field counts as a write *to that field*:
+    /// the element store mutates state reachable through it.
+    pub is_write: bool,
+    /// The expression evaluating to the holding object.
+    pub holder: HolderRef<'p>,
+}
+
+/// Collects every field read/write event in one method body.
+pub(crate) fn field_events<'p>(
+    program: &'p Program,
     table: &ClassTable,
-    class: &ClassDecl,
-    decl: &MethodDecl,
-    mref: &MethodRef,
-    thread_roots: &BTreeSet<String>,
-    in_init_phase: bool,
-    out: &mut Vec<Access>,
-) {
+    class: &'p ClassDecl,
+    decl: &'p MethodDecl,
+) -> Vec<FieldEvent<'p>> {
     let mut locals: BTreeSet<&str> = decl.params.iter().map(|p| p.name.as_str()).collect();
     walk_stmts(&decl.body, &mut |stmt| {
         if let StmtKind::VarDecl { name, .. } = &stmt.kind {
@@ -210,41 +412,47 @@ fn collect_accesses(
         }
     });
 
-    // Resolves an lvalue/rvalue expression to the field it denotes.
-    let resolve = |e: &Expr| -> Option<FieldId> {
+    // Resolves an lvalue/rvalue expression to the field it denotes and
+    // its holder.
+    let resolve = |e: &'p Expr| -> Option<(FieldId, HolderRef<'p>)> {
         match &e.kind {
             ExprKind::Var(name) => {
                 if locals.contains(name.as_str()) {
                     return None;
                 }
                 let (owner, _) = table.field_of(&class.name, name)?;
-                Some(FieldId {
-                    class: owner.to_string(),
-                    field: name.clone(),
-                })
+                Some((
+                    FieldId {
+                        class: owner.to_string(),
+                        field: name.clone(),
+                    },
+                    HolderRef::ImplicitThis,
+                ))
             }
             ExprKind::Field { object, name } => {
                 let ty = type_of_expr(program, table, &class.name, &decl.name, object).ok()?;
                 let Type::Class(cn) = ty else { return None };
                 let (owner, _) = table.field_of(&cn, name)?;
-                Some(FieldId {
-                    class: owner.to_string(),
-                    field: name.clone(),
-                })
+                Some((
+                    FieldId {
+                        class: owner.to_string(),
+                        field: name.clone(),
+                    },
+                    HolderRef::Object(object),
+                ))
             }
             _ => None,
         }
     };
 
-    let mut push = |e: &Expr, is_write: bool| {
-        if let Some(field) = resolve(e) {
-            out.push(Access {
+    let mut out: Vec<FieldEvent<'p>> = Vec::new();
+    let mut push = |e: &'p Expr, is_write: bool| {
+        if let Some((field, holder)) = resolve(e) {
+            out.push(FieldEvent {
                 field,
                 span: e.span,
-                method: mref.clone(),
                 is_write,
-                thread_roots: thread_roots.clone(),
-                in_init_phase,
+                holder,
             });
         }
     };
@@ -258,12 +466,17 @@ fn collect_accesses(
                 if *op != jtlang::ast::AssignOp::Set {
                     reads.push(target);
                 }
-                // Index/field targets read their inner receivers.
+                // An element store writes the field holding the array:
+                // peel nested indexing to the underlying array
+                // expression, reading the index expressions.
                 match &target.kind {
-                    ExprKind::Index { array, index } => {
-                        reads.push(array);
-                        reads.push(index);
-                        (None, reads)
+                    ExprKind::Index { .. } => {
+                        let mut base: &Expr = target;
+                        while let ExprKind::Index { array, index } = &base.kind {
+                            reads.push(index);
+                            base = array;
+                        }
+                        (Some(base), reads)
                     }
                     _ => (Some(target), reads),
                 }
@@ -281,10 +494,11 @@ fn collect_accesses(
             read_fields(r, &mut push);
         }
     });
+    out
 }
 
 /// Pushes a read access for every field-denoting node inside `expr`.
-fn read_fields(expr: &Expr, push: &mut impl FnMut(&Expr, bool)) {
+fn read_fields<'p>(expr: &'p Expr, push: &mut impl FnMut(&'p Expr, bool)) {
     jtlang::ast::walk_expr(expr, &mut |e| {
         if matches!(e.kind, ExprKind::Var(_) | ExprKind::Field { .. }) {
             push(e, false);
@@ -379,5 +593,128 @@ mod tests {
         let r = run(jtlang::corpus::ELEVATOR);
         assert!(r.syntactic.is_empty());
         assert!(r.refined.is_empty());
+    }
+
+    #[test]
+    fn array_element_writes_count_as_field_writes() {
+        // `b.data[i] = …` must register as a write to `Buf.data` in
+        // every tier — the element store mutates state reachable
+        // through the field.
+        let r = run("class Buf { public int[] data; Buf() { data = new int[8]; } }
+        class WA extends Thread {
+            private Buf b;
+            WA(Buf x) { b = x; }
+            public void run() { b.data[0] = 1; }
+        }
+        class WB extends Thread {
+            private Buf b;
+            WB(Buf x) { b = x; }
+            public void run() { b.data[1] = 2; }
+        }
+        class Main {
+            public void demo() {
+                Buf shared = new Buf();
+                WA a = new WA(shared);
+                WB w = new WB(shared);
+                a.start();
+                w.start();
+            }
+        }");
+        assert!(r.syntactic.iter().any(|f| f.to_string() == "Buf.data"));
+        assert_eq!(r.refined.len(), 1);
+        assert_eq!(r.refined[0].field.to_string(), "Buf.data");
+        assert!(r.refined[0].has_write);
+        let alias: Vec<&AliasRace> = r
+            .alias_aware
+            .iter()
+            .filter(|a| a.field.to_string() == "Buf.data")
+            .collect();
+        assert_eq!(alias.len(), 1);
+        assert!(alias[0].instances >= 2);
+    }
+
+    #[test]
+    fn alias_tier_finds_the_getter_escape_race() {
+        // One `Shared` instance handed to both workers through a
+        // registry getter: a single contested object the alias tier
+        // pins to its allocation site.
+        let r = run("class Shared {
+            private int val;
+            Shared() { val = 0; }
+            public void put(int v) { val = v; }
+            public int get() { return val; }
+        }
+        class Registry {
+            private Shared slot;
+            Registry() { slot = new Shared(); }
+            Shared lookup() { return slot; }
+        }
+        class Worker extends Thread {
+            private Shared s;
+            Worker(Shared sh) { s = sh; }
+            public void run() { s.put(1); }
+        }
+        class Buddy extends Thread {
+            private Shared s;
+            Buddy(Shared sh) { s = sh; }
+            public void run() { s.put(2); }
+        }
+        class Main {
+            public void demo() {
+                Registry r = new Registry();
+                Worker w1 = new Worker(r.lookup());
+                Buddy w2 = new Buddy(r.lookup());
+                w1.start();
+                w2.start();
+            }
+        }");
+        let alias: Vec<&AliasRace> = r
+            .alias_aware
+            .iter()
+            .filter(|a| a.field.to_string() == "Shared.val")
+            .collect();
+        assert_eq!(alias.len(), 1, "{:?}", r.alias_aware);
+        let a = alias[0];
+        let (_, class) = a.object.as_ref().expect("resolved to a concrete object");
+        assert_eq!(class, "Shared");
+        assert_eq!(a.instances, 2);
+        assert!(a.has_write);
+    }
+
+    #[test]
+    fn per_instance_state_is_cleared_by_the_alias_tier() {
+        // Two thread classes each bump their *own* Cell; the refined
+        // tier (name-based) flags `Cell.n`, the alias tier clears it.
+        let r = run("class Cell { public int n; Cell() { n = 0; } }
+        class LocalA extends Thread {
+            private Cell own;
+            LocalA() { own = new Cell(); }
+            public void run() { own.n = own.n + 1; }
+        }
+        class LocalB extends Thread {
+            private Cell own;
+            LocalB() { own = new Cell(); }
+            public void run() { own.n = own.n + 1; }
+        }
+        class Main {
+            public void demo() {
+                LocalA a = new LocalA();
+                LocalB b = new LocalB();
+                a.start();
+                b.start();
+            }
+        }");
+        assert_eq!(r.refined.len(), 1);
+        assert_eq!(r.refined[0].field.to_string(), "Cell.n");
+        assert!(
+            r.alias_cleared.iter().any(|f| f.to_string() == "Cell.n"),
+            "cleared: {:?}, alias: {:?}",
+            r.alias_cleared,
+            r.alias_aware
+        );
+        assert!(r
+            .alias_aware
+            .iter()
+            .all(|a| a.field.to_string() != "Cell.n"));
     }
 }

@@ -1,0 +1,702 @@
+//! Interprocedural summary engine.
+//!
+//! [`analyze`] drives the bottom-up, summary-based interprocedural
+//! layer: it walks the call graph's SCC condensation
+//! ([`crate::callgraph::CallGraph::condensation`]) from callees to
+//! callers, computing each method's purity/effect summary
+//! ([`crate::purity`]) and escape summary ([`crate::escape`]). Acyclic
+//! components converge in one evaluation; cyclic (recursive) components
+//! are iterated until their summaries stop changing or
+//! [`MAX_SCC_PASSES`] is reached, in which case the affected purity
+//! summaries are flagged diverged (never pure — the safe direction).
+//!
+//! On top of the summaries and the shared points-to relation
+//! ([`crate::pointsto`]) the engine derives three policy-facing
+//! products:
+//!
+//! * [`SummaryReport::impure_blocks`] (rule R13) — an ASR block whose
+//!   run phase writes state it does not own. Ownership is structural:
+//!   every abstract object holding a written field must be the block
+//!   instance itself, an object allocated by the block's own methods, or
+//!   (transitively) owned by owned objects only.
+//! * [`SummaryReport::alias_leaks`] (rule R14) — a method hands out an
+//!   alias of its receiver's mutable state: its escape summary returns
+//!   or leaks a `this`-held reference-typed field whose target carries
+//!   mutable state. Shared through such an alias, "state fixed at
+//!   initialization" (paper §4.3) becomes concurrently mutable.
+//! * [`SummaryReport::call_proved_bounds`] — trip counts for loops whose
+//!   limit is an integer parameter, proved by folding the arguments of
+//!   every (closed-world) call site and taking the worst case. These
+//!   merge with the interval tier's proofs to sharpen the WCET
+//!   instruction bounds ([`SummaryReport::wcet`]) across calls.
+
+use crate::callgraph::CallGraph;
+use crate::escape::{self, EscapeSummary};
+use crate::loops::fold_const;
+use crate::pointsto::{self, find_decl, resolve_call, CallTarget, ObjId, PointsTo};
+use crate::purity::{self, PuritySummary};
+use crate::races::{field_events, FieldId, HolderRef};
+use crate::{bounds, MethodRef};
+use jtlang::ast::{walk_exprs, walk_stmts, BinOp, ExprKind, NodeId, Program, StmtKind};
+use jtlang::resolve::ClassTable;
+use jtlang::token::Span;
+use jtlang::ast::{AssignOp, Type};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cap on fixpoint iterations over one cyclic SCC.
+pub const MAX_SCC_PASSES: usize = 8;
+
+/// The pair of summaries computed per method.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MethodSummary {
+    /// Transitive effect footprint.
+    pub purity: PuritySummary,
+    /// Escape facts.
+    pub escape: EscapeSummary,
+}
+
+/// An R13 finding: a block's run phase writes state it does not own.
+#[derive(Debug, Clone)]
+pub struct BlockImpurity {
+    /// The ASR block class.
+    pub block: String,
+    /// Method performing the write (reachable from the block's `run`).
+    pub method: MethodRef,
+    /// The field written.
+    pub field: FieldId,
+    /// Span of the writing expression.
+    pub span: Span,
+}
+
+/// An R14 finding: a method hands out an alias of `this`-held mutable
+/// state.
+#[derive(Debug, Clone)]
+pub struct AliasLeak {
+    /// Declaring class.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// The leaked field.
+    pub field: String,
+    /// Span of the method signature.
+    pub span: Span,
+    /// True when the alias escapes by being returned (vs. stored into
+    /// external state or leaked by a callee).
+    pub via_return: bool,
+}
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct SummaryReport {
+    /// Per-method summaries.
+    pub methods: BTreeMap<MethodRef, MethodSummary>,
+    /// The shared whole-program points-to relation.
+    pub pointsto: PointsTo,
+    /// Number of call-graph SCCs processed.
+    pub sccs: usize,
+    /// Size of the largest SCC.
+    pub largest_scc: usize,
+    /// Total summary evaluation passes across all SCCs.
+    pub fixpoint_iterations: u64,
+    /// R13 findings, one per (block, field) pair.
+    pub impure_blocks: Vec<BlockImpurity>,
+    /// R14 findings, one per leaking method and field.
+    pub alias_leaks: Vec<AliasLeak>,
+    /// Loop trip counts proved from call-site arguments, keyed by the
+    /// `for` statement's node id.
+    pub call_proved_bounds: BTreeMap<NodeId, u64>,
+    /// WCET instruction bounds sharpened with the merged loop proofs.
+    pub wcet: BTreeMap<MethodRef, Option<u64>>,
+}
+
+/// Runs the summary engine without interval-tier loop proofs.
+pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> SummaryReport {
+    analyze_with_bounds(program, table, graph, &BTreeMap::new())
+}
+
+/// Runs the summary engine, merging `interval_proved` loop bounds (from
+/// `interval::IntervalReport::proved_loop_bounds`) with the call-site
+/// proofs before computing WCET bounds. Interval proofs win on overlap:
+/// they are flow-sensitive and at least as precise.
+pub fn analyze_with_bounds(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    interval_proved: &BTreeMap<NodeId, u64>,
+) -> SummaryReport {
+    let mut report = SummaryReport::default();
+
+    // Bottom-up summary computation over the condensation.
+    let mut purities: BTreeMap<MethodRef, PuritySummary> = BTreeMap::new();
+    let mut escapes: BTreeMap<MethodRef, EscapeSummary> = BTreeMap::new();
+    for scc in graph.condensation() {
+        report.sccs += 1;
+        report.largest_scc = report.largest_scc.max(scc.len());
+        let cyclic = scc.len() > 1
+            || graph.callees(&scc[0]).any(|c| c == &scc[0]);
+        // An acyclic component sees only final callee summaries: one
+        // evaluation is exact. Cycles iterate to a bounded fixpoint.
+        let max_passes = if cyclic { MAX_SCC_PASSES } else { 1 };
+        let mut diverged = false;
+        for pass in 1..=max_passes {
+            report.fixpoint_iterations += 1;
+            let mut changed = false;
+            for mref in &scc {
+                let Some((class, decl, _)) = find_decl(program, mref) else {
+                    continue;
+                };
+                let p = purity::summarize_method(program, table, class, decl, mref, &purities);
+                let e = escape::summarize_method(program, table, class, decl, mref, &escapes);
+                changed |= purities.get(mref) != Some(&p);
+                changed |= escapes.get(mref) != Some(&e);
+                purities.insert(mref.clone(), p);
+                escapes.insert(mref.clone(), e);
+            }
+            if !changed {
+                break;
+            }
+            diverged = cyclic && pass == max_passes;
+        }
+        if diverged {
+            for mref in &scc {
+                if let Some(p) = purities.get_mut(mref) {
+                    p.diverged = true;
+                }
+            }
+        }
+    }
+    for (mref, purity) in purities {
+        let escape = escapes.remove(&mref).unwrap_or_default();
+        report.methods.insert(mref, MethodSummary { purity, escape });
+    }
+
+    let pt = pointsto::analyze(program, table);
+    find_impure_blocks(program, table, graph, &pt, &mut report);
+    report.pointsto = pt;
+    find_alias_leaks(program, table, &mut report);
+    prove_call_bounds(program, table, &mut report);
+
+    let mut merged = interval_proved.clone();
+    for (&id, &trips) in &report.call_proved_bounds {
+        merged.entry(id).or_insert(trips);
+    }
+    report.wcet = bounds::instruction_bounds_with_flow(program, table, &merged);
+    report
+}
+
+/// True when `o` is owned by `block`: it is a block instance itself, a
+/// never-stored object allocated by the block's own code, or held only
+/// by owned objects. Heap cycles resolve optimistically (a cycle member
+/// is owned iff its external owners are).
+fn owned(
+    pt: &PointsTo,
+    table: &ClassTable,
+    o: ObjId,
+    block: &str,
+    visiting: &mut BTreeSet<ObjId>,
+) -> bool {
+    let info = pt.object(o);
+    if table.is_subclass_of(&info.class, block) {
+        return true;
+    }
+    if !visiting.insert(o) {
+        return true;
+    }
+    let owners = pt.owners_of(o);
+    let result = if owners.is_empty() {
+        // A fresh value never stored anywhere: owned iff the block's own
+        // code (or an ancestor's, which the block inherits) allocates it.
+        info.method
+            .as_ref()
+            .is_some_and(|m| m.class == block || table.is_subclass_of(block, &m.class))
+    } else {
+        owners
+            .iter()
+            .all(|&p| owned(pt, table, p, block, visiting))
+    };
+    visiting.remove(&o);
+    result
+}
+
+/// R13: for every ASR block, check each field write reachable from its
+/// `run` against the ownership discipline.
+fn find_impure_blocks(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    pt: &PointsTo,
+    report: &mut SummaryReport,
+) {
+    let mut findings: BTreeMap<(String, FieldId), (MethodRef, Span)> = BTreeMap::new();
+    for block in &program.classes {
+        if !table.is_subclass_of(&block.name, "ASR") || block.method("run").is_none() {
+            continue;
+        }
+        let run = MethodRef::method(&block.name, "run");
+        for mref in graph.reachable_from([&run]) {
+            let Some((class, decl, _)) = find_decl(program, &mref) else {
+                continue;
+            };
+            for ev in field_events(program, table, class, decl) {
+                if !ev.is_write {
+                    continue;
+                }
+                let holders = match &ev.holder {
+                    HolderRef::ImplicitThis => pt.instances_of(&mref.class),
+                    HolderRef::Object(e) => pt.eval(program, table, &mref, e),
+                };
+                let impure = holders.is_empty()
+                    || !holders
+                        .iter()
+                        .all(|&o| owned(pt, table, o, &block.name, &mut BTreeSet::new()));
+                if impure {
+                    findings
+                        .entry((block.name.clone(), ev.field.clone()))
+                        .or_insert((mref.clone(), ev.span));
+                }
+            }
+        }
+    }
+    report.impure_blocks = findings
+        .into_iter()
+        .map(|((block, field), (method, span))| BlockImpurity {
+            block,
+            method,
+            field,
+            span,
+        })
+        .collect();
+}
+
+/// True when `ty` names mutable state: an array, or a class whose chain
+/// declares at least one field.
+fn is_mutable_target(table: &ClassTable, ty: &Type) -> bool {
+    match ty {
+        Type::Array(_) => true,
+        Type::Class(cn) => {
+            let mut current = Some(cn.clone());
+            while let Some(name) = current {
+                let Some(info) = table.class(&name) else { break };
+                if !info.fields.is_empty() {
+                    return true;
+                }
+                current = info.superclass.clone();
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// R14: methods whose escape summary returns or leaks a `this`-held
+/// reference field with mutable target state.
+fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
+    let mut leaks: Vec<AliasLeak> = Vec::new();
+    for (_, decl, mref) in crate::each_method(program) {
+        if mref.is_ctor {
+            continue;
+        }
+        let Some(summary) = report.methods.get(&mref) else {
+            continue;
+        };
+        let es = &summary.escape;
+        let mut fields: BTreeSet<(&String, bool)> = BTreeSet::new();
+        for f in &es.returns_this_field {
+            fields.insert((f, true));
+        }
+        for f in &es.leaked_this_fields {
+            if !es.returns_this_field.contains(f) {
+                fields.insert((f, false));
+            }
+        }
+        for (f, via_return) in fields {
+            let Some((_, sig)) = table.field_of(&mref.class, f) else {
+                continue;
+            };
+            if sig.ty.is_reference() && is_mutable_target(table, &sig.ty) {
+                leaks.push(AliasLeak {
+                    class: mref.class.clone(),
+                    method: mref.method.clone(),
+                    field: f.clone(),
+                    span: decl.span,
+                    via_return,
+                });
+            }
+        }
+    }
+    report.alias_leaks = leaks;
+}
+
+/// One parameter-limited loop: `for (iv = c0; iv < p; iv += step)`.
+struct TripCandidate {
+    stmt_id: NodeId,
+    c0: i64,
+    inclusive: bool,
+    step: i64,
+    param_index: usize,
+}
+
+/// Proves trip counts for loops bounded by an integer parameter, using
+/// the fold-constant arguments of every static call site (closed-world:
+/// methods with no analyzable site, or any non-constant site, stay
+/// unproved).
+fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
+    // Candidate loops per method.
+    let mut candidates: BTreeMap<MethodRef, Vec<TripCandidate>> = BTreeMap::new();
+    for (_, decl, mref) in crate::each_method(program) {
+        let int_param = |name: &str| -> Option<usize> {
+            decl.params
+                .iter()
+                .position(|p| p.name == name && p.ty == Type::Int)
+        };
+        let mut found: Vec<TripCandidate> = Vec::new();
+        walk_stmts(&decl.body, &mut |stmt| {
+            let StmtKind::For {
+                init: Some(init),
+                cond: Some(cond),
+                update: Some(update),
+                ..
+            } = &stmt.kind
+            else {
+                return;
+            };
+            // Induction variable and constant start.
+            let (iv, c0) = match &init.kind {
+                StmtKind::VarDecl {
+                    name,
+                    init: Some(e),
+                    ..
+                } => (name.as_str(), fold_const(e)),
+                StmtKind::Assign {
+                    target,
+                    op: AssignOp::Set,
+                    value,
+                } => match &target.kind {
+                    ExprKind::Var(n) => (n.as_str(), fold_const(value)),
+                    _ => return,
+                },
+                _ => return,
+            };
+            let Some(c0) = c0 else { return };
+            // `iv < p` / `iv <= p` with `p` an int parameter.
+            let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
+                return;
+            };
+            let inclusive = match op {
+                BinOp::Lt => false,
+                BinOp::Le => true,
+                _ => return,
+            };
+            let (ExprKind::Var(l), ExprKind::Var(r)) = (&lhs.kind, &rhs.kind) else {
+                return;
+            };
+            if l != iv {
+                return;
+            }
+            let Some(param_index) = int_param(r) else { return };
+            // Constant positive step on the induction variable.
+            let step = match &update.kind {
+                StmtKind::Assign { target, op, value } => {
+                    let ExprKind::Var(n) = &target.kind else { return };
+                    if n != iv {
+                        return;
+                    }
+                    match op {
+                        AssignOp::Add => fold_const(value),
+                        AssignOp::Set => match &value.kind {
+                            ExprKind::Binary {
+                                op: BinOp::Add,
+                                lhs,
+                                rhs,
+                            } => match (&lhs.kind, &rhs.kind) {
+                                (ExprKind::Var(v), _) if v == iv => fold_const(rhs),
+                                (_, ExprKind::Var(v)) if v == iv => fold_const(lhs),
+                                _ => None,
+                            },
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                }
+                _ => return,
+            };
+            let Some(step) = step else { return };
+            if step <= 0 {
+                return;
+            }
+            // Neither the limit parameter nor the induction variable may
+            // be assigned elsewhere in the method.
+            let mut disqualified = false;
+            walk_stmts(&decl.body, &mut |s| {
+                if let StmtKind::Assign { target, .. } = &s.kind {
+                    if let ExprKind::Var(n) = &target.kind {
+                        if n == r || (n == iv && s.id != update.id && s.id != init.id) {
+                            disqualified = true;
+                        }
+                    }
+                }
+            });
+            if disqualified {
+                return;
+            }
+            found.push(TripCandidate {
+                stmt_id: stmt.id,
+                c0,
+                inclusive,
+                step,
+                param_index,
+            });
+        });
+        if !found.is_empty() {
+            candidates.insert(mref, found);
+        }
+    }
+    if candidates.is_empty() {
+        return;
+    }
+
+    // Fold every static call site's argument at each candidate's
+    // parameter position. `None` poisons the method (open limit).
+    let mut limits: BTreeMap<MethodRef, Option<Vec<i64>>> = BTreeMap::new();
+    for (_, decl, caller) in crate::each_method(program) {
+        walk_exprs(&decl.body, &mut |e| {
+            let (target, args) = match &e.kind {
+                ExprKind::Call {
+                    receiver,
+                    method,
+                    args,
+                } => match resolve_call(program, table, &caller, receiver.as_deref(), method) {
+                    Some(CallTarget::User(m)) => (m, args),
+                    _ => return,
+                },
+                ExprKind::NewObject { class, args } => (MethodRef::ctor(class), args),
+                _ => return,
+            };
+            let Some(cands) = candidates.get(&target) else {
+                return;
+            };
+            let folded: Option<Vec<i64>> = cands
+                .iter()
+                .map(|c| args.get(c.param_index).and_then(fold_const))
+                .collect();
+            let entry = limits.entry(target).or_insert_with(|| Some(Vec::new()));
+            match (entry.as_mut(), folded) {
+                (Some(acc), Some(vals)) => {
+                    if acc.is_empty() {
+                        *acc = vals;
+                    } else {
+                        for (slot, v) in acc.iter_mut().zip(vals) {
+                            *slot = (*slot).max(v);
+                        }
+                    }
+                }
+                // A non-constant site (or an already-poisoned method)
+                // leaves the limit open.
+                _ => *entry = None,
+            }
+        });
+    }
+
+    for (mref, cands) in &candidates {
+        let Some(Some(maxima)) = limits.get(mref) else {
+            continue;
+        };
+        if maxima.is_empty() {
+            continue;
+        }
+        for (c, &limit) in cands.iter().zip(maxima) {
+            let trips = if c.inclusive {
+                if limit < c.c0 {
+                    0
+                } else {
+                    (limit - c.c0) / c.step + 1
+                }
+            } else if limit <= c.c0 {
+                0
+            } else {
+                (limit - c.c0 + c.step - 1) / c.step
+            };
+            report
+                .call_proved_bounds
+                .insert(c.stmt_id, u64::try_from(trips).unwrap_or(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, frontend};
+
+    fn run(src: &str) -> SummaryReport {
+        let (p, t) = frontend(src).unwrap();
+        let g = callgraph::build(&p, &t);
+        analyze(&p, &t, &g)
+    }
+
+    #[test]
+    fn summaries_exist_for_every_method() {
+        let r = run("class A { A() {} void m() { n(); } void n() {} }");
+        assert_eq!(r.methods.len(), 3);
+        assert!(r.sccs >= 3);
+        assert!(r.fixpoint_iterations >= 3);
+    }
+
+    #[test]
+    fn call_site_arguments_prove_parameter_bounded_loops() {
+        let r = run(
+            "class M {
+                 int sumTo(int n) {
+                     int s = 0;
+                     for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+                     return s;
+                 }
+                 int a() { return sumTo(10); }
+                 int b() { return sumTo(20); }
+             }",
+        );
+        // The syntactic/interval tiers cannot bound `sumTo` (open
+        // parameter limit); the call-site proof can, at the worst case
+        // over both sites.
+        assert_eq!(
+            r.call_proved_bounds.values().copied().collect::<Vec<_>>(),
+            [20]
+        );
+        let wcet = r.wcet[&MethodRef::method("M", "sumTo")];
+        assert!(wcet.is_some(), "summary-proved bound must yield a WCET");
+        let plain = crate::bounds::instruction_bounds(
+            &frontend("class M { int sumTo(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + 1; } return s; } int a() { return sumTo(10); } int b() { return sumTo(20); } }").unwrap().0,
+            &frontend("class M { int sumTo(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + 1; } return s; } int a() { return sumTo(10); } int b() { return sumTo(20); } }").unwrap().1,
+        );
+        assert_eq!(plain[&MethodRef::method("M", "sumTo")], None);
+    }
+
+    #[test]
+    fn non_constant_call_site_leaves_the_loop_unproved() {
+        let r = run(
+            "class M {
+                 int sumTo(int n) {
+                     int s = 0;
+                     for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+                     return s;
+                 }
+                 int a() { return sumTo(10); }
+                 int b(int k) { return sumTo(k); }
+             }",
+        );
+        assert!(r.call_proved_bounds.is_empty());
+    }
+
+    #[test]
+    fn block_writing_shared_state_is_impure() {
+        let r = run(
+            "class Acc { public int total; Acc() { total = 0; } }
+             class TapA extends ASR {
+                 private Acc acc;
+                 TapA(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(0); }
+             }
+             class TapB extends ASR {
+                 private Acc acc;
+                 TapB(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(1); }
+             }
+             class Wiring {
+                 Wiring() {
+                     Acc shared = new Acc();
+                     TapA a = new TapA(shared);
+                     TapB b = new TapB(shared);
+                 }
+             }",
+        );
+        let found: Vec<(&str, String)> = r
+            .impure_blocks
+            .iter()
+            .map(|f| (f.block.as_str(), f.field.to_string()))
+            .collect();
+        assert_eq!(
+            found,
+            [
+                ("TapA", "Acc.total".to_string()),
+                ("TapB", "Acc.total".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn block_exclusively_owning_injected_state_is_pure() {
+        // One block holds the accumulator alone: it is effectively a
+        // delay element, even though a constructor elsewhere created it.
+        let r = run(
+            "class Acc { public int total; Acc() { total = 0; } }
+             class Tap extends ASR {
+                 private Acc acc;
+                 Tap(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(0); }
+             }
+             class Wiring {
+                 Wiring() {
+                     Acc one = new Acc();
+                     Tap t = new Tap(one);
+                 }
+             }",
+        );
+        assert!(r.impure_blocks.is_empty(), "{:?}", r.impure_blocks);
+    }
+
+    #[test]
+    fn block_writing_its_own_state_is_not_flagged() {
+        let r = run(
+            "class Filter extends ASR {
+                 private int prev;
+                 private int[] scratch;
+                 Filter() { prev = 0; scratch = new int[4]; }
+                 public void run() {
+                     int v = read(0);
+                     scratch[0] = v;
+                     write(0, v + prev);
+                     prev = v;
+                 }
+             }",
+        );
+        assert!(
+            r.impure_blocks.is_empty(),
+            "own delay elements are owned: {:?}",
+            r.impure_blocks
+        );
+    }
+
+    #[test]
+    fn getter_of_mutable_field_is_an_alias_leak() {
+        let r = run(
+            "class Shared { public int v; Shared() { v = 0; } }
+             class Registry {
+                 private Shared slot;
+                 Registry() { slot = new Shared(); }
+                 Shared lookup() { return slot; }
+                 int peek() { return slot.v; }
+             }",
+        );
+        assert_eq!(r.alias_leaks.len(), 1);
+        let l = &r.alias_leaks[0];
+        assert_eq!((l.class.as_str(), l.method.as_str()), ("Registry", "lookup"));
+        assert_eq!(l.field, "slot");
+        assert!(l.via_return);
+    }
+
+    #[test]
+    fn returning_a_fresh_copy_is_not_a_leak() {
+        let r = run(
+            "class Maker {
+                 private int seed;
+                 Maker() { seed = 3; }
+                 int[] make() {
+                     int[] out = new int[4];
+                     out[0] = seed;
+                     return out;
+                 }
+             }",
+        );
+        assert!(r.alias_leaks.is_empty(), "{:?}", r.alias_leaks);
+    }
+}

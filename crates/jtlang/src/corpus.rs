@@ -341,6 +341,163 @@ class Latch extends ASR {
 }
 ";
 
+/// A noncompliant design only the alias-aware tier judges correctly: a
+/// registry getter hands the *same* `Shared` instance to two threads
+/// (a real race, invisible per-class), while `LocalA`/`LocalB` each own
+/// a private `Cell` — the phase-refined tier flags `Cell.n`, the alias
+/// tier clears it. Also violates R14 (the getter leaks `slot`).
+pub const ALIASED_SHARED: &str = "\
+class Shared {
+    int val;
+    Shared() {
+        val = 0;
+    }
+}
+class Registry {
+    private Shared slot;
+    Registry() {
+        slot = new Shared();
+    }
+    Shared lookup() {
+        return slot;
+    }
+}
+class Cell {
+    int n;
+    Cell() {
+        n = 0;
+    }
+}
+class Worker extends Thread {
+    private Shared s;
+    Worker(Shared sh) {
+        s = sh;
+    }
+    public void run() {
+        s.val = s.val + 1;
+    }
+}
+class Buddy extends Thread {
+    private Shared s;
+    Buddy(Shared sh) {
+        s = sh;
+    }
+    public void run() {
+        s.val = s.val + 2;
+    }
+}
+class LocalA extends Thread {
+    private Cell c;
+    LocalA() {
+        c = new Cell();
+    }
+    public void run() {
+        c.n = c.n + 1;
+    }
+}
+class LocalB extends Thread {
+    private Cell c;
+    LocalB() {
+        c = new Cell();
+    }
+    public void run() {
+        c.n = c.n + 2;
+    }
+}
+class Main {
+    public void demo() {
+        Registry r = new Registry();
+        Worker w = new Worker(r.lookup());
+        Buddy b = new Buddy(r.lookup());
+        LocalA p = new LocalA();
+        LocalB q = new LocalB();
+        w.start();
+        b.start();
+        p.start();
+        q.start();
+    }
+}
+";
+
+/// A compliant two-block design whose update methods the purity
+/// inference proves pure: `Scale` computes through a helper call,
+/// `Smooth` writes only its own delay element `prev`.
+pub const PURE_BLOCKS: &str = "\
+class Scale extends ASR {
+    private int gain;
+    Scale() {
+        gain = 3;
+    }
+    public void run() {
+        int x = read(0);
+        write(0, scaled(x));
+    }
+    int scaled(int x) {
+        return x * gain;
+    }
+}
+class Smooth extends ASR {
+    private int prev;
+    Smooth() {
+        prev = 0;
+    }
+    public void run() {
+        int x = read(0);
+        write(0, x - prev);
+        prev = x;
+    }
+}
+";
+
+/// A noncompliant design where two blocks funnel into one shared
+/// accumulator neither owns: both run phases are impure (rule R13), and
+/// the builder's getter leaks the backing object (rule R14).
+pub const IMPURE_BLOCK: &str = "\
+class Accumulator {
+    int total;
+    Accumulator() {
+        total = 0;
+    }
+    void add(int v) {
+        total = total + v;
+    }
+}
+class Builder {
+    private Accumulator acc;
+    Builder() {
+        acc = new Accumulator();
+    }
+    Accumulator expose() {
+        return acc;
+    }
+}
+class TapA extends ASR {
+    private Accumulator acc;
+    TapA(Accumulator a) {
+        acc = a;
+    }
+    public void run() {
+        acc.add(read(0));
+    }
+}
+class TapB extends ASR {
+    private Accumulator acc;
+    TapB(Accumulator a) {
+        acc = a;
+    }
+    public void run() {
+        acc.add(read(1));
+    }
+}
+class Wiring {
+    public void wire() {
+        Builder b = new Builder();
+        TapA first = new TapA(b.expose());
+        TapB second = new TapB(b.expose());
+    }
+}
+";
+
 /// A named corpus entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -399,6 +556,21 @@ pub fn samples() -> Vec<Sample> {
         Sample {
             name: "unassigned_latch",
             source: UNASSIGNED_LATCH,
+            compliant: false,
+        },
+        Sample {
+            name: "pure_blocks",
+            source: PURE_BLOCKS,
+            compliant: true,
+        },
+        Sample {
+            name: "aliased_shared",
+            source: ALIASED_SHARED,
+            compliant: false,
+        },
+        Sample {
+            name: "impure_block",
+            source: IMPURE_BLOCK,
             compliant: false,
         },
     ]

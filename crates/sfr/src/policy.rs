@@ -146,6 +146,8 @@ impl Policy {
             .with_rule(DefiniteAssignment)
             .with_rule(ArrayIndexBounds)
             .with_rule(SharedStateRaces)
+            .with_rule(PureBlockUpdates)
+            .with_rule(NoStateAliasing)
     }
 
     /// A policy of use for a synchronous-dataflow-style target — the
@@ -711,12 +713,13 @@ impl Rule for ArrayIndexBounds {
 
 /// R12: shared fields must not be raced by concurrent threads.
 ///
-/// Backed by the phase-refined race analysis: a field counts only when
-/// run-phase code reachable from two *different* thread classes touches
-/// it and at least one access is a write. Fields only shared during the
-/// single-threaded initialization phase are deliberately cleared — the
-/// lockset-style refinement that removes the syntactic tier's false
-/// positives.
+/// Backed by the *alias-aware* tier of the race analysis (the top of the
+/// three-tier ladder): a candidate counts only when two or more thread
+/// **instances** can reach the same abstract object holding the field,
+/// with at least one write outside the single-threaded initialization
+/// phase. Fields whose instances are each confined to one thread are
+/// cleared; fields the points-to analysis cannot resolve keep the
+/// phase-refined verdict.
 pub struct SharedStateRaces;
 
 impl Rule for SharedStateRaces {
@@ -731,17 +734,23 @@ impl Rule for SharedStateRaces {
     fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
         cx.flow
             .races
-            .refined
+            .alias_aware
             .iter()
             .map(|race| {
                 let threads: Vec<&str> =
                     race.thread_classes.iter().map(String::as_str).collect();
+                let loc = match &race.object {
+                    Some((span, class)) => {
+                        format!(" on the `{class}` instance allocated at {span}")
+                    }
+                    None => String::new(),
+                };
                 Violation {
                     rule: self.id(),
                     rule_title: self.title(),
                     message: format!(
-                        "field `{}` is written by concurrently running threads ({}) with \
-                         no synchronization; the interleaving is nondeterministic",
+                        "field `{}`{loc} is written by concurrently running threads ({}) \
+                         with no synchronization; the interleaving is nondeterministic",
                         race.field,
                         threads.join(", ")
                     ),
@@ -753,6 +762,104 @@ impl Rule for SharedStateRaces {
                             .to_string(),
                     },
                 }
+            })
+            .collect()
+    }
+}
+
+/// R13: an ASR block's per-instant update must be *pure* over state the
+/// block owns.
+///
+/// The paper demands that blocks "behave as functions" within an instant
+/// (§4.3): the only state a reaction may mutate is the block's own delay
+/// elements. Backed by the interprocedural summary engine: every field
+/// write reachable from a block's `run` is attributed to its holding
+/// abstract object(s), which must be transitively owned by the block.
+pub struct PureBlockUpdates;
+
+impl Rule for PureBlockUpdates {
+    fn id(&self) -> &'static str {
+        "R13"
+    }
+
+    fn title(&self) -> &'static str {
+        "block updates must be pure over non-owned state"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.flow
+            .summary
+            .impure_blocks
+            .iter()
+            .map(|f| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "block `{}` is impure: its run phase writes `{}` (in {}), which the \
+                     block does not own — the reaction is not a function of its inputs \
+                     and delay elements",
+                    f.block, f.field, f.method
+                ),
+                span: f.span,
+                class: f.block.clone(),
+                fix: Fix::Manual {
+                    guidance: "give each block its own copy of the state, or route the \
+                               shared value through channels so exactly one block owns \
+                               and updates it"
+                        .to_string(),
+                },
+            })
+            .collect()
+    }
+}
+
+/// R14: state fixed at initialization must not escape through aliases.
+///
+/// A method that returns (or otherwise leaks) a reference held in one of
+/// its receiver's fields hands out an *alias* of state that the SFR
+/// model fixes at initialization (§4.3); two contexts holding the alias
+/// can then mutate the same object after the initialization phase ends.
+/// Backed by the escape summaries: only reference-typed fields whose
+/// target carries mutable state are flagged.
+pub struct NoStateAliasing;
+
+impl Rule for NoStateAliasing {
+    fn id(&self) -> &'static str {
+        "R14"
+    }
+
+    fn title(&self) -> &'static str {
+        "no aliases of initialization-fixed state"
+    }
+
+    fn check(&self, cx: &AnalysisContext<'_>) -> Vec<Violation> {
+        cx.flow
+            .summary
+            .alias_leaks
+            .iter()
+            .map(|l| Violation {
+                rule: self.id(),
+                rule_title: self.title(),
+                message: format!(
+                    "`{}.{}` {} an alias of the mutable state held in field `{}`; shared \
+                     references defeat the fixed-at-initialization discipline",
+                    l.class,
+                    l.method,
+                    if l.via_return {
+                        "returns"
+                    } else {
+                        "leaks"
+                    },
+                    l.field
+                ),
+                span: l.span,
+                class: l.class.clone(),
+                fix: Fix::Manual {
+                    guidance: "return a copy of the data, or restructure so consumers \
+                               receive values through channels instead of sharing the \
+                               backing object"
+                        .to_string(),
+                },
             })
             .collect()
     }
@@ -990,12 +1097,117 @@ mod tests {
     }
 
     #[test]
+    fn impure_block_update_hits_r13() {
+        // Two blocks funnel into one shared accumulator: neither owns
+        // it, so both run phases are impure.
+        let vs = violations(
+            "class Acc {
+                 int total;
+                 Acc() { total = 0; }
+                 void add(int v) { total += v; }
+             }
+             class TapA extends ASR {
+                 private Acc acc;
+                 TapA(Acc a) { acc = a; }
+                 public void run() { acc.add(read(0)); }
+             }
+             class TapB extends ASR {
+                 private Acc acc;
+                 TapB(Acc a) { acc = a; }
+                 public void run() { acc.add(read(1)); }
+             }
+             class Main {
+                 void wire() {
+                     Acc shared = new Acc();
+                     TapA a = new TapA(shared);
+                     TapB b = new TapB(shared);
+                 }
+             }",
+        );
+        let r13: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R13").collect();
+        assert_eq!(r13.len(), 2, "{r13:?}");
+        assert!(r13.iter().all(|v| v.message.contains("Acc.total")), "{r13:?}");
+    }
+
+    #[test]
+    fn self_contained_block_is_silent_on_r13() {
+        // The delay element `prev` belongs to the block itself.
+        let ids = rules_hit(
+            "class Diff extends ASR {
+                 private int prev;
+                 Diff() { prev = 0; }
+                 public void run() {
+                     int x = read(0);
+                     write(0, x - prev);
+                     prev = x;
+                 }
+             }",
+        );
+        assert!(ids.is_empty(), "{ids:?}");
+    }
+
+    #[test]
+    fn getter_alias_hits_r14() {
+        let vs = violations(
+            "class Shared {
+                 int val;
+                 Shared() { val = 0; }
+             }
+             class Registry extends ASR {
+                 private Shared slot;
+                 Registry() { slot = new Shared(); }
+                 Shared lookup() { return slot; }
+                 public void run() { write(0, read(0)); }
+             }",
+        );
+        let r14: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R14").collect();
+        assert_eq!(r14.len(), 1, "{r14:?}");
+        assert!(r14[0].message.contains("Registry.lookup"), "{}", r14[0].message);
+        assert!(r14[0].message.contains("`slot`"), "{}", r14[0].message);
+    }
+
+    #[test]
+    fn aliased_shared_corpus_shows_the_three_tier_ladder() {
+        // The getter-escape race on `Shared.val` survives to R12; the
+        // per-instance `Cell.n` candidate the phase-refined tier still
+        // carries is cleared by the alias tier and never reaches R12.
+        let vs = violations(jtlang::corpus::ALIASED_SHARED);
+        let r12: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R12").collect();
+        assert_eq!(r12.len(), 1, "{r12:?}");
+        assert!(r12[0].message.contains("Shared.val"), "{}", r12[0].message);
+        assert!(
+            r12[0].message.contains("instance allocated at"),
+            "alias tier names the object: {}",
+            r12[0].message
+        );
+        assert!(!vs.iter().any(|v| v.message.contains("Cell.n")), "{vs:?}");
+        let r14: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R14").collect();
+        assert_eq!(r14.len(), 1, "{r14:?}");
+        assert!(r14[0].message.contains("Registry.lookup"), "{}", r14[0].message);
+    }
+
+    #[test]
+    fn impure_block_corpus_hits_r13_and_r14() {
+        let vs = violations(jtlang::corpus::IMPURE_BLOCK);
+        let r13: Vec<&Violation> = vs.iter().filter(|v| v.rule == "R13").collect();
+        assert_eq!(r13.len(), 2, "one per tap: {r13:?}");
+        assert!(
+            r13.iter().all(|v| v.message.contains("Accumulator.total")),
+            "{r13:?}"
+        );
+        assert!(vs.iter().any(|v| v.rule == "R14"), "Builder.expose leaks: {vs:?}");
+    }
+
+    #[test]
     fn rule_metadata_is_stable() {
         let policy = Policy::asr();
         let ids: Vec<&str> = policy.rules().map(Rule::id).collect();
         assert_eq!(
             ids,
-            vec!["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12"]
+            vec![
+                "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+                "R13", "R14"
+            ]
         );
         assert_eq!(policy.name(), "ASR");
         assert!(format!("{policy:?}").contains("ASR"));

@@ -1,10 +1,11 @@
 //! `jtlint` — span-accurate policy diagnostics over the JT corpus.
 //!
-//! Runs the full ASR policy of use (syntactic rules R1–R9 plus the
-//! flow-sensitive R10–R12) over every built-in corpus program and prints
-//! each violation as a rustc-style diagnostic: header, file/line/column
-//! pointer, the offending source line with a caret underline, and the
-//! suggested fix.
+//! Runs the full ASR policy of use (syntactic rules R1–R9, the
+//! flow-sensitive R10–R12, and the interprocedural R13–R14) over every
+//! built-in corpus program and prints each violation as a rustc-style
+//! diagnostic: header, file/line/column pointer, the offending source
+//! line with a caret underline, and the suggested fix — followed by a
+//! per-sample table and a per-rule violation total line.
 //!
 //! ```text
 //! cargo run --example jtlint            # print all diagnostics
@@ -21,7 +22,7 @@ use sfr::policy::{AnalysisContext, Policy};
 use sfr::violation::{render, Violation};
 
 /// Expected violation count per corpus sample under `Policy::asr()`.
-const SNAPSHOT: [(&str, usize); 9] = [
+const SNAPSHOT: [(&str, usize); 12] = [
     ("counter", 0),
     ("fir_filter", 0),
     ("traffic_light", 0),
@@ -31,6 +32,14 @@ const SNAPSHOT: [(&str, usize); 9] = [
     ("racy_threads", 19),
     ("recursive_blocking", 2),
     ("unassigned_latch", 1),
+    ("pure_blocks", 0),
+    ("aliased_shared", 17),
+    ("impure_block", 4),
+];
+
+/// Every rule the ASR policy can emit, in report order.
+const RULES: [&str; 14] = [
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
 ];
 
 fn lint(source: &str) -> Result<Vec<Violation>, String> {
@@ -49,6 +58,8 @@ fn main() {
     let mut internal_errors = 0usize;
     let mut regressions = 0usize;
     let mut counts: Vec<(String, usize)> = Vec::new();
+    let mut per_rule: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
 
     for sample in jtlang::corpus::samples() {
         let file = format!("{}.jt", sample.name);
@@ -59,6 +70,9 @@ fn main() {
                         print!("{}", render(v, &file, sample.source));
                         println!();
                     }
+                }
+                for v in &violations {
+                    *per_rule.entry(v.rule.to_string()).or_insert(0) += 1;
                 }
                 counts.push((sample.name.to_string(), violations.len()));
             }
@@ -73,6 +87,11 @@ fn main() {
     for (name, n) in &counts {
         println!("{name:<20} {n:>10}");
     }
+    let totals: Vec<String> = RULES
+        .iter()
+        .map(|r| format!("{r}={}", per_rule.get(*r).copied().unwrap_or(0)))
+        .collect();
+    println!("rule totals: {}", totals.join(" "));
 
     if check {
         for (name, expected) in SNAPSHOT {

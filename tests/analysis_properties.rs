@@ -8,6 +8,7 @@
 //! finding for it. A single counterexample would mean the analysis (and
 //! rule R11 built on it) rejects a correct program.
 
+use jtanalysis::MethodRef;
 use jtvm::engine::Engine;
 use jtvm::interp::Interpreter;
 use jtvm::io::PortDatum;
@@ -36,6 +37,37 @@ fn program_of(len: usize, clamp: i64, start: i64, step: i64, off: i64) -> String
                  }}
                  write(0, s);
              }}
+         }}"
+    )
+}
+
+/// A block whose `run` reaches a field write through a helper chain of
+/// the given depth — or a pure read chain when `writes` is false. With
+/// `recursive`, the chain head also calls itself, putting it in a
+/// call-graph cycle so the bounded SCC fixpoint is exercised.
+fn chain_program(depth: usize, writes: bool, recursive: bool, k: i64) -> String {
+    let mut methods = String::new();
+    for i in 0..depth {
+        let body = if i == 0 && recursive {
+            format!("if (x > 0) {{ return m0(x - 1); }} return m{}(x);", i + 1)
+        } else {
+            format!("return m{}(x);", i + 1)
+        };
+        methods.push_str(&format!("int m{i}(int x) {{ {body} }}\n"));
+    }
+    let last = if writes {
+        format!("state = state + {k}; return state + x;")
+    } else {
+        format!("return state + x + {k};")
+    };
+    methods.push_str(&format!("int m{depth}(int x) {{ {last} }}\n"));
+    format!(
+        "class C extends ASR {{
+             private int state;
+             C() {{ state = 0; }}
+             public void run() {{ write(0, m0(read(0))); }}
+             {methods}
+             int peek() {{ return state; }}
          }}"
     )
 }
@@ -73,6 +105,54 @@ proptest! {
                 report.oob
             );
         }
+    }
+
+    #[test]
+    fn purity_inference_is_sound_for_reachable_field_writes(
+        depth in 1usize..=3,
+        writes in any::<bool>(),
+        recursive in any::<bool>(),
+        k in 1i64..=5,
+    ) {
+        // Soundness: a method that writes a field — directly or through
+        // any chain of calls, cyclic or not — must never be summarized
+        // pure. Completeness on this family: the read-only chain and the
+        // untouched `peek` accessor must stay pure.
+        let source = chain_program(depth, writes, recursive, k);
+        let program = jtlang::parse(&source).expect("generated program parses");
+        let table = jtlang::resolve::resolve(&program).expect("resolves");
+        jtlang::types::check(&program, &table).expect("type-checks");
+        let graph = jtanalysis::callgraph::build(&program, &table);
+        let report = jtanalysis::summary::analyze(&program, &table, &graph);
+
+        for i in 0..=depth {
+            let m = report
+                .methods
+                .get(&MethodRef::method("C", format!("m{i}")))
+                .expect("chain method summarized");
+            if writes {
+                prop_assert!(
+                    !m.purity.is_pure(),
+                    "m{i} reaches the write of `state` but was summarized pure:\n{source}"
+                );
+                prop_assert!(
+                    m.purity.writes.iter().any(|f| f.to_string().contains("state")),
+                    "m{i} write set misses `state`: {:?}\n{source}",
+                    m.purity.writes
+                );
+            } else {
+                prop_assert!(
+                    m.purity.is_pure(),
+                    "read-only m{i} summarized impure: {:?}\n{source}",
+                    m.purity
+                );
+            }
+        }
+        let peek = report
+            .methods
+            .get(&MethodRef::method("C", "peek"))
+            .expect("peek summarized");
+        prop_assert!(peek.purity.is_pure(), "peek never writes:\n{source}");
     }
 
     #[test]
