@@ -140,9 +140,29 @@ pub(crate) fn solve(
     Ok(stats)
 }
 
-/// [`eval_block`] plus per-block metrics when a registry is attached.
-/// The clock is only read when `obs` is `Some`, so an un-instrumented
-/// solve pays nothing beyond the `Option` test.
+/// Flight-recorder guard: while a block eval is in flight, dropping
+/// during a panic records which block was executing, so the post-mortem
+/// dump names the culprit.
+struct PanicGuard<'a> {
+    obs: &'a SystemObs,
+    b: usize,
+    armed: bool,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            self.obs.journal.record(jtobs::EventKind::BlockPanic {
+                block: self.b as u32,
+                name: self.obs.block_names[self.b].clone(),
+            });
+        }
+    }
+}
+
+/// [`eval_block`] plus per-block metrics and a journal event when a
+/// registry is attached. The clock is only read when `obs` is `Some`,
+/// so an un-instrumented solve pays nothing beyond the `Option` test.
 pub(crate) fn eval_block_observed(
     sys: &System,
     b: usize,
@@ -153,10 +173,21 @@ pub(crate) fn eval_block_observed(
     obs: Option<&SystemObs>,
 ) -> Result<(), EvalError> {
     let started = obs.map(|_| Instant::now());
+    let mut guard = obs.map(|o| PanicGuard { obs: o, b, armed: true });
     eval_block(sys, b, signals, scratch_in, scratch_out, changed)?;
+    if let Some(g) = &mut guard {
+        g.armed = false;
+    }
     if let (Some(o), Some(t0)) = (obs, started) {
-        o.block_ns[b].record(t0.elapsed().as_nanos() as u64);
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        o.block_ns[b].record(dur_ns);
+        o.block_ns_all.record(dur_ns);
         o.block_evals[b].inc();
+        o.journal.record(jtobs::EventKind::BlockEval {
+            block: b as u32,
+            name: o.block_names[b].clone(),
+            dur_ns,
+        });
     }
     Ok(())
 }

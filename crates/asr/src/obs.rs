@@ -20,6 +20,8 @@
 //! | `asr.instant` | span | wall time of one instant's fixed point |
 //! | `asr.block.<name>.evals` | counter | `eval` calls of one block |
 //! | `asr.block.<name>.eval_ns` | histogram | wall time of one block's `eval` |
+//! | `asr.block.eval_ns` | histogram | wall time of *every* block `eval` (aggregate) |
+//! | `asr.deadline.overruns` | counter | instants whose measured wall time exceeded [`System::deadline_ns`](crate::system::System::deadline_ns) |
 //! | `asr.plan.strata` | gauge | strata in the compiled [`ExecPlan`](crate::plan::ExecPlan) |
 //! | `asr.plan.cyclic_strata` | gauge | strata needing local iteration |
 //! | `asr.plan.cyclic_iterations` | counter | worklist pops inside cyclic strata (Staged) |
@@ -48,6 +50,10 @@ pub(crate) struct SystemObs {
     pub(crate) settled: jtobs::Histogram,
     pub(crate) block_evals: Vec<jtobs::Counter>,
     pub(crate) block_ns: Vec<jtobs::Histogram>,
+    pub(crate) block_ns_all: jtobs::Histogram,
+    pub(crate) block_names: Vec<String>,
+    pub(crate) journal: jtobs::Journal,
+    pub(crate) deadline: jtobs::profile::DeadlineWatchdog,
     pub(crate) par_workers: jtobs::Gauge,
     pub(crate) par_levels: jtobs::Counter,
     pub(crate) par_seq_levels: jtobs::Counter,
@@ -92,6 +98,14 @@ impl SystemObs {
                 .iter()
                 .map(|n| registry.histogram(&format!("asr.block.{n}.eval_ns")))
                 .collect(),
+            block_ns_all: registry.histogram("asr.block.eval_ns"),
+            block_names: block_names.iter().map(|n| n.to_string()).collect(),
+            journal: registry.journal(),
+            deadline: jtobs::profile::DeadlineWatchdog::new(
+                registry,
+                "asr.deadline.overruns",
+                "asr.instant",
+            ),
             par_workers: registry.gauge("asr.parallel.workers"),
             par_levels: registry.counter("asr.parallel.levels"),
             par_seq_levels: registry.counter("asr.parallel.seq_levels"),

@@ -192,10 +192,39 @@ impl ExecPlan {
     }
 }
 
+/// Records a `level` journal event describing the strata mix of one
+/// plan level. Emitted identically by [`solve_staged`] and
+/// [`solve_parallel`], so the two strategies produce the same semantic
+/// event stream.
+fn journal_level(obs: Option<&SystemObs>, plan: &ExecPlan, li: usize, level: &[usize]) {
+    if let Some(o) = obs {
+        let mut once = 0u32;
+        let mut cyclic = 0u32;
+        for &t in level {
+            match plan.strata()[t] {
+                Stratum::Once(_) => once += 1,
+                Stratum::Cyclic(_) => cyclic += 1,
+            }
+        }
+        o.journal.record(jtobs::EventKind::LevelBegin {
+            level: li as u32,
+            once,
+            cyclic,
+        });
+    }
+}
+
 /// Evaluates one instant against the precompiled plan. `signals` arrives
 /// with external inputs and delay outputs determined; acyclic strata run
-/// exactly once in plan order, cyclic strata iterate a local worklist
-/// until stable.
+/// exactly once, cyclic strata iterate a local worklist until stable.
+///
+/// Iteration order is **level order** — for each level of the plan, the
+/// acyclic strata in ascending plan order, then the cyclic strata — the
+/// exact order [`solve_parallel`] merges worker results in. Level order
+/// is still topological (every cross-stratum edge increases depth by at
+/// least one), so this computes the same fixed point with the same
+/// per-stratum work; making the two functions share one order keeps
+/// their journals bit-identical modulo timing.
 pub(crate) fn solve_staged(
     sys: &System,
     signals: &mut [Value],
@@ -204,11 +233,17 @@ pub(crate) fn solve_staged(
     let mut stats = FixpointStats::default();
     let mut scratch = sys.scratch.lock().expect("eval scratch lock");
     let s = &mut *scratch;
-    for (idx, stratum) in sys.plan().strata().iter().enumerate() {
-        match stratum {
-            Stratum::Once(b) => run_once_stratum(sys, *b, signals, s, &mut stats, obs)?,
-            Stratum::Cyclic(blocks) => {
-                run_cyclic_stratum(sys, idx, blocks, signals, s, &mut stats, obs)?;
+    let plan = sys.plan();
+    for (li, level) in plan.levels().iter().enumerate() {
+        journal_level(obs, plan, li, level);
+        for &t in level {
+            if let Stratum::Once(b) = plan.strata()[t] {
+                run_once_stratum(sys, b, signals, s, &mut stats, obs)?;
+            }
+        }
+        for &t in level {
+            if let Stratum::Cyclic(blocks) = &plan.strata()[t] {
+                run_cyclic_stratum(sys, t, blocks, signals, s, &mut stats, obs)?;
             }
         }
     }
@@ -294,6 +329,12 @@ fn run_cyclic_stratum(
                 }
             }
         }
+    }
+    if let Some(o) = obs {
+        o.journal.record(jtobs::EventKind::CyclicSettle {
+            stratum: idx as u32,
+            pops: pops as u64,
+        });
     }
     Ok(())
 }
@@ -434,7 +475,8 @@ pub(crate) fn solve_parallel(
         }
         drop(report_tx);
 
-        for level in plan.levels() {
+        for (li, level) in plan.levels().iter().enumerate() {
+            journal_level(obs, plan, li, level);
             let once: Vec<usize> = level
                 .iter()
                 .filter_map(|&t| match &plan.strata()[t] {
@@ -487,6 +529,11 @@ pub(crate) fn solve_parallel(
                     o.par_levels.inc();
                     o.par_level_width.record(batch.blocks.len() as u64);
                     o.par_steals.add(steals);
+                    o.journal.record(jtobs::EventKind::ParallelLevel {
+                        level: li as u32,
+                        workers: workers as u32,
+                        steals,
+                    });
                     if let Some(t0) = level_t0 {
                         let wall = t0.elapsed().as_nanos() as u64;
                         if wall > 0 {
@@ -530,6 +577,12 @@ pub(crate) fn solve_parallel(
                     if let Some(o) = obs {
                         o.block_evals[b].inc();
                         o.block_ns[b].record(out.eval_ns);
+                        o.block_ns_all.record(out.eval_ns);
+                        o.journal.record(jtobs::EventKind::BlockEval {
+                            block: b as u32,
+                            name: o.block_names[b].clone(),
+                            dur_ns: out.eval_ns,
+                        });
                     }
                 }
             } else {

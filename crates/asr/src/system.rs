@@ -310,6 +310,7 @@ impl SystemBuilder {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             strategy: Strategy::default(),
             instant_count: 0,
+            deadline_ns: None,
             obs: None,
         };
         sys.plan = ExecPlan::compile(&sys);
@@ -368,6 +369,9 @@ pub struct System {
     pub(crate) parallel_threshold: usize,
     strategy: Strategy,
     instant_count: u64,
+    /// Per-instant wall-clock budget for the deadline watchdog; `None`
+    /// disables the check. See [`Self::set_deadline_ns`].
+    deadline_ns: Option<u64>,
     obs: Option<SystemObs>,
 }
 
@@ -491,6 +495,22 @@ impl System {
         self.obs = None;
     }
 
+    /// The instant wall-clock deadline, if one is set.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.deadline_ns
+    }
+
+    /// Arms (or with `None`, disarms) the deadline watchdog: when a
+    /// registry is attached, every instant whose measured wall time
+    /// exceeds `bound_ns` bumps the `asr.deadline.overruns` counter and
+    /// records a `deadline_overrun` journal event. A natural bound is a
+    /// WCET estimate from `jtanalysis::bounds` scaled by a per-step
+    /// cost, closing the static-estimate vs. measured-reality loop.
+    /// Observation only — an overrun never fails the instant.
+    pub fn set_deadline_ns(&mut self, bound_ns: Option<u64>) {
+        self.deadline_ns = bound_ns;
+    }
+
     /// A human-readable name for an internal signal index.
     pub fn signal_name(&self, sig: usize) -> String {
         if sig < self.input_names.len() {
@@ -556,11 +576,36 @@ impl System {
         for (d, delay) in self.delays.iter().enumerate() {
             signals[self.delay_base + d] = delay.output().clone();
         }
+        let started = self.obs.as_ref().map(|o| {
+            o.journal
+                .record(jtobs::EventKind::InstantBegin { instant: self.instant_count });
+            std::time::Instant::now()
+        });
         let _instant_span = self.obs.as_ref().map(|o| o.registry.span("asr.instant"));
-        let stats = fixpoint::solve(self, &mut signals, self.strategy, self.obs.as_ref())?;
+        let stats = match fixpoint::solve(self, &mut signals, self.strategy, self.obs.as_ref()) {
+            Ok(stats) => stats,
+            Err(e) => {
+                if let Some(o) = &self.obs {
+                    o.journal.record(jtobs::EventKind::Abort {
+                        layer: "asr".to_string(),
+                        message: e.to_string(),
+                    });
+                }
+                return Err(e);
+            }
+        };
         if let Some(o) = &self.obs {
-            o.settled
-                .record(signals.iter().filter(|v| !v.is_unknown()).count() as u64);
+            let settled = signals.iter().filter(|v| !v.is_unknown()).count() as u64;
+            o.settled.record(settled);
+            let wall_ns = started.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+            o.journal.record(jtobs::EventKind::InstantEnd {
+                instant: self.instant_count,
+                settled,
+                wall_ns,
+            });
+            if let Some(bound_ns) = self.deadline_ns {
+                o.deadline.observe(wall_ns, bound_ns);
+            }
         }
         Ok(InstantSolution { signals, stats })
     }
@@ -980,6 +1025,7 @@ impl System {
         flat.strategy = self.strategy;
         flat.parallel_threshold = self.parallel_threshold;
         flat.instant_count = self.instant_count;
+        flat.deadline_ns = self.deadline_ns;
         flat
     }
 }

@@ -12,7 +12,7 @@
 
 use asr::prelude::*;
 use asr::stock::lift;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -170,4 +170,8 @@ fn bench_parallel(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_parallel);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    bench::write_bench_json("ablation_parallel", &criterion::take_results());
+}

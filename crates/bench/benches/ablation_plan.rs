@@ -12,7 +12,7 @@
 //! Staged+flattened on four topologies, then times all four variants.
 
 use asr::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// A chain whose block ids are *reversed* relative to dataflow order —
@@ -185,4 +185,8 @@ fn bench_plan(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_plan);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    bench::write_bench_json("ablation_plan", &criterion::take_results());
+}

@@ -81,6 +81,48 @@ pub fn compiled_vm(source: &str, class: &str) -> CompiledVm {
     e
 }
 
+/// Writes `BENCH_<name>.json` at the repository root: the bench name,
+/// the commit the numbers were measured at, and one `{name, value,
+/// unit}` row per benchmark id (value = median wall time, unit = "ns").
+/// Benches call this from `main` after their criterion groups run,
+/// with the rows drained from `criterion::take_results()`, so CI (and
+/// EXPERIMENTS.md updates) can diff measured numbers across commits.
+///
+/// Best-effort: failures to resolve the commit or write the file are
+/// reported to stderr, never a bench failure.
+pub fn write_bench_json(name: &str, rows: &[(String, f64)]) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    out.push_str(&format!("  \"commit\": \"{commit}\",\n"));
+    out.push_str("  \"metrics\": [\n");
+    for (i, (id, ns)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        // Bench ids are group/function/parameter names: no characters
+        // that need JSON escaping beyond what we forbid here.
+        debug_assert!(!id.contains('"') && !id.contains('\\'), "unescapable id {id}");
+        out.push_str(&format!(
+            "    {{\"name\": \"{id}\", \"value\": {ns:.1}, \"unit\": \"ns\"}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = format!("{root}/BENCH_{name}.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("bench: could not write {path}: {e}");
+    } else {
+        println!("bench results: {path} ({} metric(s))", rows.len());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,6 +107,14 @@ impl Registry {
         Vec::new()
     }
     #[inline(always)]
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        Vec::new()
+    }
+    #[inline(always)]
+    pub fn journal(&self) -> crate::journal::Journal {
+        crate::journal::Journal
+    }
+    #[inline(always)]
     pub fn trace_event_count(&self) -> usize {
         0
     }

@@ -159,6 +159,7 @@ struct Inner {
     histograms: Mutex<BTreeMap<String, Histogram>>,
     events: Mutex<Vec<TraceEvent>>,
     tids: Mutex<Tids>,
+    journal: crate::journal::Journal,
 }
 
 /// The metric store. Clone freely — clones share storage — and attach
@@ -178,16 +179,25 @@ impl Default for Registry {
 
 impl Registry {
     pub fn new() -> Self {
+        let start = Instant::now();
         Registry {
             inner: Arc::new(Inner {
-                start: Instant::now(),
+                start,
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(Vec::new()),
                 tids: Mutex::new(Tids::default()),
+                journal: crate::journal::Journal::with_epoch(start),
             }),
         }
+    }
+
+    /// The registry's event journal. Clones share the ring; timestamps
+    /// share the registry clock, so journal events and span events line
+    /// up in the Chrome trace.
+    pub fn journal(&self) -> crate::journal::Journal {
+        self.inner.journal.clone()
     }
 
     /// Look up or create the counter `name`.
@@ -300,6 +310,18 @@ impl Registry {
             .collect()
     }
 
+    /// Snapshot of all histogram handles, sorted by name (handles share
+    /// storage with the registry, so reading them later sees updates).
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Number of trace events recorded so far (B and E count separately).
     pub fn trace_event_count(&self) -> usize {
         self.inner.events.lock().unwrap().len()
@@ -312,10 +334,12 @@ impl Registry {
     pub fn chrome_trace_json(&self) -> String {
         let events = self.inner.events.lock().unwrap();
         let mut out = String::from("{\"traceEvents\":[\n");
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for e in events.iter() {
+            if !first {
                 out.push_str(",\n");
             }
+            first = false;
             let _ = write!(
                 out,
                 "{{\"name\":{},\"cat\":\"jtobs\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}}}",
@@ -324,6 +348,22 @@ impl Registry {
                 e.ts_ns / 1_000,
                 e.ts_ns % 1_000,
                 e.tid
+            );
+        }
+        // Journal events share the registry clock, so they land on the
+        // same timeline as the spans, as Chrome "instant" events.
+        for j in self.inner.journal.events() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"journal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}.{:03},\"pid\":1,\"tid\":0,\"args\":{{\"detail\":{}}}}}",
+                json_string(j.kind.name()),
+                j.ts_ns / 1_000,
+                j.ts_ns % 1_000,
+                json_string(&j.kind.canonical())
             );
         }
         out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -375,6 +415,12 @@ impl Registry {
             }
         }
         let _ = writeln!(out, "trace events: {}", self.trace_event_count());
+        let _ = writeln!(
+            out,
+            "journal: {} event(s) retained, {} dropped",
+            self.inner.journal.len(),
+            self.inner.journal.dropped()
+        );
         out
     }
 }

@@ -35,3 +35,9 @@ pub use enabled::{Counter, Gauge, HistStats, Histogram, Registry, Span};
 mod disabled;
 #[cfg(not(feature = "telemetry"))]
 pub use disabled::{Counter, Gauge, HistStats, Histogram, Registry, Span};
+
+pub mod journal;
+pub mod profile;
+pub mod snapshot;
+
+pub use journal::{Event, EventClass, EventKind, Journal};

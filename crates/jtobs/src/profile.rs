@@ -1,0 +1,117 @@
+//! Per-block latency profiling and the deadline watchdog.
+//!
+//! The ASR solver records each block's `eval` wall time into
+//! `asr.block.<name>.eval_ns` histograms (plus the aggregate
+//! `asr.block.eval_ns`); this module turns those histograms into a
+//! ranked latency report, and provides the [`DeadlineWatchdog`] the
+//! execution layers use to compare measured time against a bound —
+//! statically proved (WCET steps from `jtanalysis::bounds`) or
+//! configured (an instant wall-clock budget) — emitting a
+//! [`EventKind::DeadlineOverrun`](crate::journal::EventKind) journal
+//! event and bumping an overrun counter on each violation.
+
+use crate::journal::EventKind;
+use crate::{Counter, HistStats, Journal, Registry};
+use std::fmt::Write as _;
+
+/// Latency summary of one block, distilled from its
+/// `asr.block.<name>.eval_ns` histogram.
+#[derive(Debug, Clone)]
+pub struct BlockLatency {
+    /// Block name (the `<name>` metric segment).
+    pub block: String,
+    /// Exact count/sum/min/max of the recorded samples.
+    pub stats: HistStats,
+    /// Approximate 95th-percentile duration in nanoseconds.
+    pub p95_ns: u64,
+}
+
+/// Collect per-block latency rows from `registry`, sorted by total
+/// time spent (descending) then name. Empty when telemetry is off or
+/// no block histogram was recorded.
+pub fn block_latency_report(registry: &Registry) -> Vec<BlockLatency> {
+    let mut rows: Vec<BlockLatency> = registry
+        .histograms()
+        .into_iter()
+        .filter_map(|(name, hist)| {
+            let middle = name.strip_prefix("asr.block.")?.strip_suffix(".eval_ns")?;
+            if middle.is_empty() {
+                return None; // the aggregate `asr.block.eval_ns`
+            }
+            Some(BlockLatency {
+                block: middle.to_string(),
+                stats: hist.stats(),
+                p95_ns: hist.approx_quantile(0.95),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.stats.sum.cmp(&a.stats.sum).then_with(|| a.block.cmp(&b.block)));
+    rows
+}
+
+/// Render [`block_latency_report`] rows as an aligned text table.
+pub fn render_block_latency(rows: &[BlockLatency]) -> String {
+    let mut out = String::from("per-block eval latency (ns)\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "block", "evals", "total", "mean", "max", "p95~"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12} {:>10.0} {:>10} {:>10}",
+            r.block,
+            r.stats.count,
+            r.stats.sum,
+            r.stats.mean(),
+            r.stats.max,
+            r.p95_ns
+        );
+    }
+    out
+}
+
+/// Compares measured values against a bound and records overruns: an
+/// increment of the named counter plus a `deadline_overrun` journal
+/// event. The bound is passed per observation so callers can configure
+/// or re-derive it after the watchdog is built.
+#[derive(Debug, Clone)]
+pub struct DeadlineWatchdog {
+    scope: String,
+    overruns: Counter,
+    journal: Journal,
+}
+
+impl DeadlineWatchdog {
+    /// `counter_name` is the overrun counter (e.g.
+    /// `asr.deadline.overruns`); `scope` labels the journal events
+    /// (e.g. `asr.instant`, `jtvm.vm.steps`).
+    pub fn new(registry: &Registry, counter_name: &str, scope: &str) -> Self {
+        DeadlineWatchdog {
+            scope: scope.to_string(),
+            overruns: registry.counter(counter_name),
+            journal: registry.journal(),
+        }
+    }
+
+    /// Check one measurement against `bound`. Returns `true` (and
+    /// records the overrun) iff `measured > bound`.
+    pub fn observe(&self, measured: u64, bound: u64) -> bool {
+        if !crate::ENABLED || measured <= bound {
+            return false;
+        }
+        self.overruns.inc();
+        self.journal.record(EventKind::DeadlineOverrun {
+            scope: self.scope.clone(),
+            measured_ns: measured,
+            bound_ns: bound,
+        });
+        true
+    }
+
+    /// Overruns recorded so far.
+    pub fn overruns(&self) -> u64 {
+        self.overruns.get()
+    }
+}

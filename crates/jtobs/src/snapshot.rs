@@ -1,0 +1,79 @@
+//! Post-mortem flight-recorder dumps.
+//!
+//! When a run dies — panic, `RuntimeError`, policy violation — the
+//! journal's tail is the black box: the last N events say exactly what
+//! the system was doing. This module renders that tail as a
+//! human-readable timeline and as JSONL, and can install a panic hook
+//! ([`install_panic_dump`]) that prints the timeline to stderr (and
+//! writes JSONL to the path in the `JT_FLIGHT_RECORDER` environment
+//! variable, when set) before the process unwinds away.
+
+use crate::journal::{to_jsonl, Event};
+use crate::Registry;
+use std::fmt::Write as _;
+
+/// How many trailing events a flight-recorder dump shows.
+pub const DEFAULT_DUMP_EVENTS: usize = 64;
+
+/// Environment variable naming the JSONL dump path for
+/// [`install_panic_dump`].
+pub const FLIGHT_RECORDER_ENV: &str = "JT_FLIGHT_RECORDER";
+
+/// Render `events` as a human-readable timeline, one event per line:
+/// sequence number, timestamp (µs since the journal epoch), class, and
+/// the canonical payload.
+pub fn render_timeline(events: &[Event]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "flight recorder — {} event(s)", events.len());
+    if events.is_empty() {
+        out.push_str("  (journal empty — telemetry off or nothing recorded)\n");
+        return out;
+    }
+    for e in events {
+        let _ = writeln!(
+            out,
+            "  #{:<6} {:>12.3}us [{:<6}] {}",
+            e.seq,
+            e.ts_ns as f64 / 1_000.0,
+            e.kind.class().as_str(),
+            e.kind.canonical()
+        );
+    }
+    out
+}
+
+/// The registry journal's last [`DEFAULT_DUMP_EVENTS`] events as a
+/// timeline (see [`render_timeline`]).
+pub fn flight_dump(registry: &Registry) -> String {
+    render_timeline(&registry.journal().tail(DEFAULT_DUMP_EVENTS))
+}
+
+/// The registry journal's last [`DEFAULT_DUMP_EVENTS`] events as JSONL.
+pub fn flight_dump_jsonl(registry: &Registry) -> String {
+    to_jsonl(&registry.journal().tail(DEFAULT_DUMP_EVENTS))
+}
+
+/// Install a panic hook that chains the current hook, then prints the
+/// flight-recorder timeline to stderr and — when `JT_FLIGHT_RECORDER`
+/// names a path — writes the JSONL dump there. No-op with telemetry
+/// off. Installs process-wide; call once near program start.
+pub fn install_panic_dump(registry: &Registry) {
+    if !crate::ENABLED {
+        return;
+    }
+    let registry = registry.clone();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        prev(info);
+        let events = registry.journal().tail(DEFAULT_DUMP_EVENTS);
+        eprintln!("{}", render_timeline(&events));
+        if let Ok(path) = std::env::var(FLIGHT_RECORDER_ENV) {
+            if !path.is_empty() {
+                match std::fs::write(&path, to_jsonl(&events)) {
+                    Ok(()) => eprintln!("flight recorder JSONL written to {path}"),
+                    Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+                }
+            }
+        }
+    }));
+}

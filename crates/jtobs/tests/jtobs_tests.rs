@@ -105,6 +105,150 @@ fn concurrent_updates_lose_nothing() {
 }
 
 #[test]
+fn histogram_bucket_edges_do_not_saturate_wrongly() {
+    // The log2 bucketing has three delicate edges: zero (no ilog2),
+    // exact powers of two (bucket boundary), and u64::MAX (bucket 63,
+    // where `(2 << i) - 1` would overflow). All must record and
+    // quantile without wrapping.
+    let registry = Registry::new();
+
+    let zeros = registry.histogram("edge.zeros");
+    zeros.record(0);
+    zeros.record(0);
+    let pow = registry.histogram("edge.pow");
+    for v in [1u64, 2, 3, 4, 7, 8, (1 << 32) - 1, 1 << 32] {
+        pow.record(v);
+    }
+    let max = registry.histogram("edge.max");
+    max.record(u64::MAX);
+    max.record(u64::MAX - 1);
+
+    if jtobs::ENABLED {
+        let z = zeros.stats();
+        assert_eq!((z.count, z.min, z.max, z.sum), (2, 0, 0, 0));
+        // A histogram of only zeros must quantile to zero, not to the
+        // bucket-0 upper bound of 1.
+        assert_eq!(zeros.approx_quantile(0.5), 0);
+        assert_eq!(zeros.approx_quantile(1.0), 0);
+
+        let p = pow.stats();
+        assert_eq!(p.count, 8);
+        assert_eq!((p.min, p.max), (1, 1 << 32));
+        // Every quantile answer is a valid upper bound within range.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let v = pow.approx_quantile(q);
+            assert!(v <= 1 << 32, "q={q} gave {v}");
+        }
+        // Sample 3/8 lives in bucket 1 (values 2..=3), so the upper
+        // bound for the three smallest samples is exactly 3.
+        assert_eq!(pow.approx_quantile(0.375), 3);
+
+        let m = max.stats();
+        assert_eq!(m.count, 2);
+        assert_eq!(m.max, u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(m.sum, u64::MAX);
+        // Bucket 63's upper bound must come back as u64::MAX (capped at
+        // the observed max), never a shifted-into-zero garbage value.
+        // Both samples share bucket 63, so every quantile reports the
+        // bucket's capped upper bound.
+        assert_eq!(max.approx_quantile(1.0), u64::MAX);
+        assert_eq!(max.approx_quantile(0.0), u64::MAX);
+    } else {
+        assert_eq!(zeros.approx_quantile(1.0), 0);
+        assert_eq!(max.approx_quantile(1.0), 0);
+    }
+}
+
+#[test]
+fn journal_ring_evicts_oldest_and_counts_drops() {
+    let registry = Registry::new();
+    let journal = registry.journal();
+    journal.set_capacity(4);
+    for i in 0..10u64 {
+        journal.record(jtobs::EventKind::InstantBegin { instant: i });
+    }
+    if jtobs::ENABLED {
+        assert_eq!(journal.capacity(), 4);
+        assert_eq!(journal.len(), 4);
+        assert_eq!(journal.dropped(), 6);
+        let events = journal.events();
+        // Only the newest four survive, in order, with global seqs.
+        let instants: Vec<u64> = events
+            .iter()
+            .map(|e| match e.kind {
+                jtobs::EventKind::InstantBegin { instant } => instant,
+                ref other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(instants, [6, 7, 8, 9]);
+        assert_eq!(events[0].seq, 6);
+        let tail = journal.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 8);
+        // Timestamps are monotone within the ring.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        journal.clear();
+        assert_eq!(journal.len(), 0);
+        assert_eq!(journal.dropped(), 0);
+    } else {
+        assert_eq!(journal.len(), 0);
+        assert!(journal.events().is_empty());
+        assert!(journal.tail(2).is_empty());
+    }
+}
+
+#[test]
+fn journal_jsonl_round_trips_and_flags_classes() {
+    let registry = Registry::new();
+    let journal = registry.journal();
+    journal.record(jtobs::EventKind::BlockEval {
+        block: 3,
+        name: "clamp \"odd\"".to_string(),
+        dur_ns: 125,
+    });
+    journal.record(jtobs::EventKind::ParallelLevel {
+        level: 1,
+        workers: 8,
+        steals: 2,
+    });
+    journal.record(jtobs::EventKind::DeadlineOverrun {
+        scope: "asr.instant".to_string(),
+        measured_ns: 2_000_000,
+        bound_ns: 1_000_000,
+    });
+    let jsonl = journal.to_jsonl();
+    if !jtobs::ENABLED {
+        assert!(jsonl.is_empty());
+        return;
+    }
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let classes: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let v = serde_json::from_str(l).expect("journal line must be valid JSON");
+            v.get("class").and_then(|c| c.as_str()).expect("class").to_string()
+        })
+        .collect();
+    assert_eq!(classes, ["sem", "sched", "timing"]);
+    // The quoted block name survives JSON escaping.
+    let first = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(first.get("name").and_then(|n| n.as_str()), Some("clamp \"odd\""));
+    // Canonical forms carry stable fields only: no timing, no seq.
+    let canon = journal.events()[0].kind.canonical();
+    assert!(canon.contains("block_eval"), "{canon}");
+    assert!(!canon.contains("dur_ns"), "{canon}");
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn disabled_journal_is_a_zst() {
+    assert_eq!(std::mem::size_of::<jtobs::Journal>(), 0);
+    assert_eq!(std::mem::size_of::<jtobs::Registry>(), 0);
+}
+
+#[test]
 fn report_lists_every_metric_kind() {
     let registry = Registry::new();
     registry.counter("asr.instants").add(7);

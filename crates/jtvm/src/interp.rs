@@ -33,6 +33,12 @@ pub struct Interpreter {
     /// Current method/constructor nesting, bounded by
     /// [`MAX_CALL_DEPTH`] to turn runaway recursion into an error.
     call_depth: usize,
+    /// Deepest `call_depth` seen this reaction (journaled in
+    /// `vm_react_end`).
+    depth_hwm: usize,
+    /// Proved WCET step bound for the deadline watchdog; `None` means
+    /// disarmed. See [`Self::set_step_bound`].
+    step_bound: Option<u64>,
 }
 
 /// Statement outcome: how control continues.
@@ -114,6 +120,8 @@ impl Interpreter {
             obs: None,
             stmt_scratch: 0,
             call_depth: 0,
+            depth_hwm: 0,
+            step_bound: None,
         };
         interp.init_statics().map_err(|e| {
             BuildEngineError::Frontend(format!("static initialization failed: {e}"))
@@ -124,6 +132,17 @@ impl Interpreter {
     /// Replaces the step budget (default [`crate::cost::DEFAULT_STEP_LIMIT`]).
     pub fn set_step_limit(&mut self, limit: u64) {
         self.meter = CostMeter::with_limit(limit);
+    }
+
+    /// Arms (or with `None`, disarms) the step-deadline watchdog: when
+    /// a registry is attached, every reaction whose metered steps
+    /// exceed `bound` bumps `jtvm.interp.deadline.overruns` and records
+    /// a `deadline_overrun` journal event. The natural bound is the
+    /// statically proved WCET from `jtanalysis::bounds`. Observation
+    /// only — an overrun never fails the reaction (unlike
+    /// [`Self::set_step_limit`]).
+    pub fn set_step_bound(&mut self, bound: Option<u64>) {
+        self.step_bound = bound;
     }
 
     /// The shared heap (for inspection in tests and benches).
@@ -205,6 +224,7 @@ impl Interpreter {
             return Err(RuntimeError::StackOverflow { limit: MAX_CALL_DEPTH });
         }
         self.call_depth += 1;
+        self.depth_hwm = self.depth_hwm.max(self.call_depth);
         Ok(())
     }
 
@@ -825,6 +845,10 @@ impl Engine for Interpreter {
             return Err(RuntimeError::Internal("react before initialize".into()));
         };
         let _span = self.obs.as_ref().map(|o| o.registry.span("jtvm.interp.react"));
+        if let Some(obs) = &self.obs {
+            obs.react_begin();
+        }
+        self.depth_hwm = 0;
         self.meter.reset();
         self.heap.reset_stats();
         self.io = Some(Io::begin(inputs, 0));
@@ -846,6 +870,14 @@ impl Engine for Interpreter {
             heap: self.heap.stats(),
         };
         self.flush_obs(true);
+        if let Some(obs) = &self.obs {
+            obs.react_end(
+                result.as_ref().map(|_| ()),
+                &self.last_cost,
+                self.depth_hwm,
+                self.step_bound,
+            );
+        }
         result?;
         Ok(io.finish())
     }

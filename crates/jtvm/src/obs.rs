@@ -15,6 +15,11 @@
 //! | `<prefix>.heap.allocations`      | counter   | user heap allocations                     |
 //! | `<prefix>.heap.words`            | counter   | user heap words allocated                 |
 //! | `<prefix>.react`                 | span/hist | wall time of each reaction                |
+//! | `<prefix>.deadline.overruns`     | counter   | reactions whose metered steps exceeded the engine's step bound |
+//!
+//! Each reaction also journals a `vm_react_begin` / `vm_react_end`
+//! event pair carrying the metered steps, heap allocations, and the
+//! call-depth high-water mark of the reaction.
 //!
 //! Engines keep plain-integer scratch counters on the hot dispatch path
 //! and flush them into the shared atomics once per reaction, so the
@@ -67,6 +72,12 @@ pub(crate) struct EngineObs {
     pub by_class: Vec<jtobs::Counter>,
     pub heap_allocations: jtobs::Counter,
     pub heap_words: jtobs::Counter,
+    /// Short engine tag for journal events (`vm` / `interp`).
+    pub engine: String,
+    pub journal: jtobs::Journal,
+    /// Measured-steps vs. proved-WCET watchdog (armed by the engine's
+    /// `set_step_bound`).
+    pub deadline: jtobs::profile::DeadlineWatchdog,
 }
 
 impl EngineObs {
@@ -76,6 +87,7 @@ impl EngineObs {
         retired_name: &str,
         classes: &[&str],
     ) -> Self {
+        let engine = prefix.strip_prefix("jtvm.").unwrap_or(prefix).to_string();
         EngineObs {
             registry: registry.clone(),
             reactions: registry.counter(&format!("{prefix}.reactions")),
@@ -87,6 +99,48 @@ impl EngineObs {
                 .collect(),
             heap_allocations: registry.counter(&format!("{prefix}.heap.allocations")),
             heap_words: registry.counter(&format!("{prefix}.heap.words")),
+            engine,
+            journal: registry.journal(),
+            deadline: jtobs::profile::DeadlineWatchdog::new(
+                registry,
+                &format!("{prefix}.deadline.overruns"),
+                &format!("{prefix}.steps"),
+            ),
+        }
+    }
+
+    /// Journals the start of one reaction.
+    pub fn react_begin(&self) {
+        self.journal.record(jtobs::EventKind::VmReactBegin {
+            engine: self.engine.clone(),
+        });
+    }
+
+    /// Journals the end of one reaction (or its abort) and checks the
+    /// metered step count against `step_bound` when one is armed.
+    pub fn react_end(
+        &self,
+        result: Result<(), &crate::error::RuntimeError>,
+        cost: &PhaseCost,
+        max_depth: usize,
+        step_bound: Option<u64>,
+    ) {
+        match result {
+            Ok(()) => {
+                self.journal.record(jtobs::EventKind::VmReactEnd {
+                    engine: self.engine.clone(),
+                    steps: cost.steps,
+                    allocs: cost.heap.allocations,
+                    max_depth: max_depth as u64,
+                });
+                if let Some(bound) = step_bound {
+                    self.deadline.observe(cost.steps, bound);
+                }
+            }
+            Err(e) => self.journal.record(jtobs::EventKind::Abort {
+                layer: format!("jtvm.{}", self.engine),
+                message: e.to_string(),
+            }),
         }
     }
 

@@ -50,6 +50,10 @@ pub struct CompiledVm {
     class_scratch: [u64; OPCODE_CLASSES.len()],
     /// Current call nesting, bounded by [`MAX_CALL_DEPTH`].
     call_depth: usize,
+    /// Deepest call nesting seen during the current reaction.
+    depth_hwm: usize,
+    /// Metered-step deadline for the watchdog; `None` disarms it.
+    step_bound: Option<u64>,
 }
 
 impl CompiledVm {
@@ -87,6 +91,8 @@ impl CompiledVm {
             obs: None,
             class_scratch: [0; OPCODE_CLASSES.len()],
             call_depth: 0,
+            depth_hwm: 0,
+            step_bound: None,
         };
         vm.init_statics()
             .map_err(|e| BuildEngineError::Frontend(format!("static init failed: {e}")))?;
@@ -96,6 +102,17 @@ impl CompiledVm {
     /// Replaces the step budget.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.meter = CostMeter::with_limit(limit);
+    }
+
+    /// Arms (or with `None`, disarms) the step-deadline watchdog: when
+    /// a registry is attached, every reaction whose metered steps
+    /// exceed `bound` bumps `jtvm.vm.deadline.overruns` and records a
+    /// `deadline_overrun` journal event. The natural bound is the
+    /// statically proved WCET from `jtanalysis::bounds`, which uses the
+    /// same abstract step unit. Observation only — an overrun never
+    /// fails the reaction (unlike [`Self::set_step_limit`]).
+    pub fn set_step_bound(&mut self, bound: Option<u64>) {
+        self.step_bound = bound;
     }
 
     /// The shared heap (for inspection).
@@ -212,6 +229,7 @@ impl CompiledVm {
             return Err(RuntimeError::StackOverflow { limit: MAX_CALL_DEPTH });
         }
         self.call_depth += 1;
+        self.depth_hwm = self.depth_hwm.max(self.call_depth);
         let result = self.run_fun_inner(fun, this, args);
         self.call_depth -= 1;
         result
@@ -549,6 +567,10 @@ impl Engine for CompiledVm {
             return Err(RuntimeError::Internal("react before initialize".into()));
         };
         let _span = self.obs.as_ref().map(|o| o.registry.span("jtvm.vm.react"));
+        if let Some(obs) = &self.obs {
+            obs.react_begin();
+        }
+        self.depth_hwm = 0;
         self.meter.reset();
         self.heap.reset_stats();
         self.io = Some(Io::begin(inputs, 0));
@@ -568,6 +590,14 @@ impl Engine for CompiledVm {
             heap: self.heap.stats(),
         };
         self.flush_obs(true);
+        if let Some(obs) = &self.obs {
+            obs.react_end(
+                result.as_ref().map(|_| ()),
+                &self.last_cost,
+                self.depth_hwm,
+                self.step_bound,
+            );
+        }
         result?;
         Ok(io.finish())
     }

@@ -146,6 +146,7 @@ struct SchedObs {
     pruned: jtobs::Counter,
     states: jtobs::Counter,
     outcomes: jtobs::Histogram,
+    journal: jtobs::Journal,
 }
 
 impl SchedObs {
@@ -156,6 +157,7 @@ impl SchedObs {
             pruned: registry.counter("sched.interleave.pruned"),
             states: registry.counter("sched.interleave.states"),
             outcomes: registry.histogram("sched.interleave.outcome_set_size"),
+            journal: registry.journal(),
         }
     }
 
@@ -164,6 +166,12 @@ impl SchedObs {
         self.states.add(set.states_visited as u64);
         self.pruned.add(pruned);
         self.outcomes.record(set.distinct.len() as u64);
+        self.journal.record(jtobs::EventKind::SchedExplore {
+            states: set.states_visited as u64,
+            schedules: set.schedules_explored as u64,
+            distinct: set.distinct.len() as u64,
+            truncated: set.truncated,
+        });
     }
 }
 

@@ -172,6 +172,9 @@ impl RefinementSession {
             for v in &violations {
                 registry.counter(&format!("sfr.violations.{}", v.rule)).inc();
             }
+            registry.journal().record(jtobs::EventKind::SfrCheck {
+                violations: violations.len() as u64,
+            });
         }
         violations
     }
@@ -215,6 +218,10 @@ impl RefinementSession {
             if outcome.changed {
                 registry.counter("sfr.transforms.applied").inc();
             }
+            registry.journal().record(jtobs::EventKind::SfrTransform {
+                name: transform_name.to_string(),
+                changed: outcome.changed,
+            });
         }
         if outcome.changed {
             self.program = transform::normalize(&self.program)?;

@@ -112,6 +112,77 @@ pub fn render(v: &Violation, file: &str, source: &str) -> String {
     out
 }
 
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a violation as one compact JSON object (the `jtlint --json`
+/// line format). Field order is fixed so the output is diffable:
+/// `rule`, `rule_title`, `class`, `message`, `span` (start/end byte
+/// offsets plus 1-based line/col), `fix` (`kind` plus `transform` +
+/// `description` for automated fixes or `guidance` for manual ones),
+/// and — when the caller has one — an `evidence` string carrying the
+/// analysis fact behind the finding (e.g. the proved loop bound that
+/// discharges or substantiates an R2 report).
+pub fn render_json(v: &Violation, evidence: Option<&str>) -> String {
+    use fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"rule\":\"{}\",\"rule_title\":\"{}\",\"class\":\"{}\",\"message\":\"{}\"",
+        json_escape(v.rule),
+        json_escape(v.rule_title),
+        json_escape(&v.class),
+        json_escape(&v.message),
+    );
+    let _ = write!(
+        out,
+        ",\"span\":{{\"start\":{},\"end\":{},\"line\":{},\"col\":{}}}",
+        v.span.start, v.span.end, v.span.line, v.span.col
+    );
+    match &v.fix {
+        Fix::Automated {
+            transform,
+            description,
+        } => {
+            let _ = write!(
+                out,
+                ",\"fix\":{{\"kind\":\"automated\",\"transform\":\"{}\",\"description\":\"{}\"}}",
+                json_escape(transform),
+                json_escape(description)
+            );
+        }
+        Fix::Manual { guidance } => {
+            let _ = write!(
+                out,
+                ",\"fix\":{{\"kind\":\"manual\",\"guidance\":\"{}\"}}",
+                json_escape(guidance)
+            );
+        }
+    }
+    if let Some(e) = evidence {
+        let _ = write!(out, ",\"evidence\":\"{}\"", json_escape(e));
+    }
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +248,47 @@ mod tests {
         assert!(text.starts_with("error[R3]"), "{text}");
         assert!(!text.contains("-->"), "{text}");
         assert!(text.contains("= note: call cycle"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_exact() {
+        let v = Violation {
+            rule: "R2",
+            rule_title: "bounded loops only",
+            message: "loop bound for `for` in A.m is \"proved\"".to_string(),
+            span: Span::new(28, 33, 3, 9),
+            class: "A".to_string(),
+            fix: Fix::Automated {
+                transform: "while-to-for",
+                description: "rewrite as a capped `for` loop".to_string(),
+            },
+        };
+        assert_eq!(
+            render_json(&v, Some("proved loop bound: 16")),
+            "{\"rule\":\"R2\",\"rule_title\":\"bounded loops only\",\"class\":\"A\",\
+             \"message\":\"loop bound for `for` in A.m is \\\"proved\\\"\",\
+             \"span\":{\"start\":28,\"end\":33,\"line\":3,\"col\":9},\
+             \"fix\":{\"kind\":\"automated\",\"transform\":\"while-to-for\",\
+             \"description\":\"rewrite as a capped `for` loop\"},\
+             \"evidence\":\"proved loop bound: 16\"}"
+        );
+        let manual = Violation {
+            rule: "R6",
+            rule_title: "no threads",
+            message: "class extends Thread".to_string(),
+            span: Span::default(),
+            class: "W\n".to_string(),
+            fix: Fix::Manual {
+                guidance: "model concurrency as blocks".to_string(),
+            },
+        };
+        assert_eq!(
+            render_json(&manual, None),
+            "{\"rule\":\"R6\",\"rule_title\":\"no threads\",\"class\":\"W\\n\",\
+             \"message\":\"class extends Thread\",\
+             \"span\":{\"start\":0,\"end\":0,\"line\":0,\"col\":0},\
+             \"fix\":{\"kind\":\"manual\",\"guidance\":\"model concurrency as blocks\"}}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run --example jtlint            # print all diagnostics
 //! cargo run --example jtlint -- --check # CI gate: verify the snapshot
+//! cargo run --example jtlint -- --json  # one JSON object per finding
 //! ```
 //!
 //! `--check` compares the per-sample violation counts against the
@@ -17,9 +18,15 @@
 //! (front-end rejection of a corpus sample, analysis panic) or any
 //! diagnostic regression (count drift in either direction). Update the
 //! snapshot deliberately when the policy or the corpus changes.
+//!
+//! `--json` emits machine-readable findings instead of the rustc-style
+//! text: one JSON object per line with `file`, `rule`, `rule_title`,
+//! `class`, `message`, `span`, `fix`, and — for R2 (bounded-loop)
+//! findings — an `evidence` field summarizing what the interval
+//! analysis *did* prove, so a consumer can see how close the proof came.
 
 use sfr::policy::{AnalysisContext, Policy};
-use sfr::violation::{render, Violation};
+use sfr::violation::{render, render_json, Violation};
 
 /// Expected violation count per corpus sample under `Policy::asr()`.
 const SNAPSHOT: [(&str, usize); 12] = [
@@ -42,19 +49,45 @@ const RULES: [&str; 14] = [
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
 ];
 
-fn lint(source: &str) -> Result<Vec<Violation>, String> {
+fn lint(source: &str) -> Result<(Vec<Violation>, Vec<u64>), String> {
     let program = jtlang::check_source(source).map_err(|e| format!("front end: {e}"))?;
     let table =
         jtlang::resolve::resolve(&program).map_err(|e| format!("resolver: {e}"))?;
     std::panic::catch_unwind(|| {
         let cx = AnalysisContext::new(&program, &table);
-        Policy::asr().check_with_context(&cx)
+        let violations = Policy::asr().check_with_context(&cx);
+        let proved = cx.flow.interval.proved_loop_bounds.values().copied().collect();
+        (violations, proved)
     })
     .map_err(|_| "analysis panicked (internal error)".to_string())
 }
 
+/// The `evidence` string attached to R2 findings in `--json` mode:
+/// what the flow-sensitive interval analysis proved about the sample's
+/// other loops, so the reader can tell a near-miss from a hopeless case.
+fn r2_evidence(proved: &[u64]) -> String {
+    if proved.is_empty() {
+        "interval analysis proved no loop bounds in this sample".to_string()
+    } else {
+        format!(
+            "interval analysis proved {} other loop bound(s) in this sample: {:?}",
+            proved.len(),
+            proved
+        )
+    }
+}
+
+/// Prefixes `render_json` output with the originating `file` so each
+/// line is self-contained. The rendered object always starts with
+/// `{"rule":…`, so splicing after the brace is safe.
+fn json_line(file: &str, v: &Violation, evidence: Option<&str>) -> String {
+    let body = render_json(v, evidence);
+    format!("{{\"file\":\"{file}\",{}", &body[1..])
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let json = std::env::args().any(|a| a == "--json");
     let mut internal_errors = 0usize;
     let mut regressions = 0usize;
     let mut counts: Vec<(String, usize)> = Vec::new();
@@ -64,8 +97,14 @@ fn main() {
     for sample in jtlang::corpus::samples() {
         let file = format!("{}.jt", sample.name);
         match lint(sample.source) {
-            Ok(violations) => {
-                if !check {
+            Ok((violations, proved)) => {
+                if json {
+                    for v in &violations {
+                        let evidence =
+                            (v.rule == "R2").then(|| r2_evidence(&proved));
+                        println!("{}", json_line(&file, v, evidence.as_deref()));
+                    }
+                } else if !check {
                     for v in &violations {
                         print!("{}", render(v, &file, sample.source));
                         println!();
@@ -83,15 +122,17 @@ fn main() {
         }
     }
 
-    println!("{:<20} {:>10}", "sample", "violations");
-    for (name, n) in &counts {
-        println!("{name:<20} {n:>10}");
+    if !json {
+        println!("{:<20} {:>10}", "sample", "violations");
+        for (name, n) in &counts {
+            println!("{name:<20} {n:>10}");
+        }
+        let totals: Vec<String> = RULES
+            .iter()
+            .map(|r| format!("{r}={}", per_rule.get(*r).copied().unwrap_or(0)))
+            .collect();
+        println!("rule totals: {}", totals.join(" "));
     }
-    let totals: Vec<String> = RULES
-        .iter()
-        .map(|r| format!("{r}={}", per_rule.get(*r).copied().unwrap_or(0)))
-        .collect();
-    println!("rule totals: {}", totals.join(" "));
 
     if check {
         for (name, expected) in SNAPSHOT {

@@ -8,10 +8,19 @@
 //! Run with `cargo run --release --example observe_jpeg`. With
 //! `--no-default-features` every call site compiles to a no-op and the
 //! outputs are empty.
+//!
+//! Beyond the metrics, this demo exercises the flight recorder end to
+//! end: a panic dump hook is installed up front, both engines run with
+//! their statically proved WCET step bound armed as a deadline
+//! watchdog, a deliberately slowed ASR system shows the wall-clock
+//! watchdog firing, and the run ends with the per-block latency table
+//! and the raw event journal (`target/observe_jpeg.journal.jsonl`).
 
 use asr::prelude::*;
 use jpegsys::jtgen;
 use jpegsys::testimage;
+use jtanalysis::bounds::instruction_bounds;
+use jtanalysis::MethodRef;
 use jtvm::engine::Engine;
 use jtvm::interp::Interpreter;
 use jtvm::vm::CompiledVm;
@@ -38,8 +47,27 @@ fn smoothing_filter() -> Result<System, Box<dyn std::error::Error>> {
     Ok(b.build()?)
 }
 
+/// A two-block system whose only block sleeps past the instant
+/// deadline, to demonstrate the wall-clock watchdog. The overrun is
+/// observed and journaled, never an error.
+fn slowpoke() -> Result<System, Box<dyn std::error::Error>> {
+    let mut b = SystemBuilder::new("slowpoke");
+    let x = b.add_input("x");
+    let slow = b.add_block(stock::lift("slow", 1, 1, |d| {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        Ok(vec![d[0].clone()])
+    }));
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(slow, 0))?;
+    b.connect(Source::block(slow, 0), Sink::ext(o))?;
+    Ok(b.build()?)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = jtobs::Registry::new();
+    // Post-mortem flight recorder: any panic from here on prints the
+    // journal tail to stderr (and dumps JSONL to $JT_FLIGHT_RECORDER).
+    jtobs::snapshot::install_panic_dump(&registry);
 
     // 1. Refinement: unrestricted JPEG → automated transforms → the
     //    hand-finished restricted version.
@@ -54,27 +82,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.is_compliant()
     );
 
-    // 2. Execution: the same roundtrip on both engines, instrumented.
+    // 2. Execution: the same roundtrip on both engines, instrumented,
+    //    with the statically proved WCET step bound armed as a deadline
+    //    watchdog on each engine.
     let img = testimage::gray_test_image(32, 32);
     let restricted = jtlang::parse(&jtgen::restricted_source())?;
+    let checked = jtlang::check_source(&jtgen::restricted_source())?;
+    let table = jtlang::resolve::resolve(&checked)?;
+    let wcet = instruction_bounds(&checked, &table)
+        .get(&MethodRef::method("JpegRestricted", "run"))
+        .copied()
+        .flatten();
+    match wcet {
+        Some(b) => println!("proved WCET for JpegRestricted.run: <= {b} abstract steps"),
+        None => println!("no static WCET bound derivable for JpegRestricted.run"),
+    }
+
     let mut interp = Interpreter::new(restricted.clone(), "JpegRestricted")?;
     interp.attach_registry(&registry);
+    interp.set_step_bound(wcet);
     interp.initialize(&[])?;
     let (img_interp, err_interp) = jtgen::run_roundtrip(&mut interp, &img)?;
 
     let mut vm = CompiledVm::new(restricted, "JpegRestricted")?;
     vm.attach_registry(&registry);
+    vm.set_step_bound(wcet);
     vm.initialize(&[])?;
     let (img_vm, err_vm) = jtgen::run_roundtrip(&mut vm, &img)?;
     assert_eq!(img_interp, img_vm);
     assert_eq!(err_interp, err_vm);
     println!("engines agree (total |error| = {err_interp})");
+    if jtobs::ENABLED {
+        println!(
+            "measured steps: interp {} / vm {} (bound {}; overruns {} / {})",
+            registry.counter_value("jtvm.interp.steps"),
+            registry.counter_value("jtvm.vm.steps"),
+            wcet.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            registry.counter_value("jtvm.interp.deadline.overruns"),
+            registry.counter_value("jtvm.vm.deadline.overruns"),
+        );
+    }
 
     // 3. The ASR model: run the Fig. 3 system for a few instants.
     let mut system = smoothing_filter()?;
     system.attach_registry(&registry);
     for k in 0..16 {
         system.react(&[Value::int(k * 16)])?;
+    }
+
+    // 3b. The wall-clock deadline watchdog: a block that sleeps 2ms
+    //     against a 1ms instant deadline. Overruns are counted and
+    //     journaled but the instants still succeed.
+    let mut slow = slowpoke()?;
+    slow.attach_registry(&registry);
+    slow.set_deadline_ns(Some(1_000_000));
+    for k in 0..3 {
+        slow.react(&[Value::int(k)])?;
+    }
+    if jtobs::ENABLED {
+        let overruns = registry.counter_value("asr.deadline.overruns");
+        println!("deadline watchdog: {overruns} overrun(s) of the 1ms instant deadline");
+        assert!(overruns >= 1, "the 2ms block must overrun the 1ms deadline");
     }
 
     // 4. The scheduler: the Fig. 8 nondeterminism demo.
@@ -87,10 +155,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exporters.
     println!("\n{}", registry.report());
+    if jtobs::ENABLED {
+        println!("{}", jtobs::profile::render_block_latency(
+            &jtobs::profile::block_latency_report(&registry),
+        ));
+    }
     std::fs::create_dir_all("target")?;
     registry.write_chrome_trace("target/observe_jpeg.trace.json")?;
     std::fs::write("target/observe_jpeg.dot", asr::dot::to_dot_with_metrics(&system, &registry))?;
+    std::fs::write(
+        "target/observe_jpeg.journal.jsonl",
+        registry.journal().to_jsonl(),
+    )?;
     println!("chrome trace: target/observe_jpeg.trace.json ({} events)", registry.trace_event_count());
     println!("annotated system graph: target/observe_jpeg.dot");
+    println!(
+        "event journal: target/observe_jpeg.journal.jsonl ({} events)",
+        registry.journal().len()
+    );
     Ok(())
 }

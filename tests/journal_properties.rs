@@ -1,0 +1,177 @@
+//! Properties of the execution journal (flight recorder):
+//!
+//! 1. **Strategy determinism** — the *semantic* event sequence recorded
+//!    for a random system (DAG core plus constructive and
+//!    non-constructive cycles) is identical under `Strategy::Staged`
+//!    and `Strategy::Parallel` at 1/2/8 workers. Only timing fields and
+//!    `sched`-class events may differ, which is exactly the contract
+//!    `jt_trace diff` enforces.
+//! 2. **Post-mortem evidence** — a block that panics mid-instant leaves
+//!    a `block_panic` event carrying its name in the flight dump, so a
+//!    crash can be attributed without a debugger.
+
+use asr::block::Block;
+use asr::fixpoint::Strategy as EvalStrategy;
+use asr::stock;
+use asr::system::{Sink, Source, System, SystemBuilder};
+use asr::value::Value;
+use jtobs::EventClass;
+use proptest::prelude::*;
+
+/// Random feed-forward core: per block an opcode and two source indices
+/// (wrapped modulo the signals available so far).
+#[derive(Debug, Clone)]
+struct MixedSpec {
+    ops: Vec<(u8, usize, usize)>,
+    cycles: Vec<(u8, usize)>,
+}
+
+fn arb_mixed(max_blocks: usize, max_cycles: usize) -> impl Strategy<Value = MixedSpec> {
+    (
+        proptest::collection::vec((0u8..5, 0usize..64, 0usize..64), 1..max_blocks),
+        proptest::collection::vec((0u8..2, 0usize..64), 0..max_cycles),
+    )
+        .prop_map(|(ops, cycles)| MixedSpec { ops, cycles })
+}
+
+/// Builds the system: the DAG core, then per cycle entry either a
+/// constructive select loop (settles) or a non-constructive adder pair
+/// (stays ⊥) — the same shapes `tests/asr_properties.rs` uses.
+fn build_mixed(spec: &MixedSpec) -> System {
+    let mut b = SystemBuilder::new("mixed");
+    let x = b.add_input("x");
+    let y = b.add_input("y");
+    let mut sources: Vec<Source> = vec![Source::ext(x), Source::ext(y)];
+    for (i, &(op, s1, s2)) in spec.ops.iter().enumerate() {
+        let block: Box<dyn Block> = match op {
+            0 => Box::new(stock::add(format!("b{i}"))),
+            1 => Box::new(stock::sub(format!("b{i}"))),
+            2 => Box::new(stock::min(format!("b{i}"))),
+            3 => Box::new(stock::max(format!("b{i}"))),
+            _ => Box::new(stock::add(format!("b{i}"))),
+        };
+        let id = b.add_boxed_block(block);
+        b.connect(sources[s1 % sources.len()], Sink::block(id, 0))
+            .unwrap();
+        b.connect(sources[s2 % sources.len()], Sink::block(id, 1))
+            .unwrap();
+        sources.push(Source::block(id, 0));
+    }
+    for (i, &(kind, s)) in spec.cycles.iter().enumerate() {
+        let src = sources[s % sources.len()];
+        if kind == 0 {
+            let c = b.add_block(stock::const_bool(format!("c{i}"), true));
+            let sel = b.add_block(stock::select(format!("sel{i}")));
+            b.connect(Source::block(c, 0), Sink::block(sel, 0)).unwrap();
+            b.connect(src, Sink::block(sel, 1)).unwrap();
+            b.connect(Source::block(sel, 0), Sink::block(sel, 2)).unwrap();
+            sources.push(Source::block(sel, 0));
+        } else {
+            let a1 = b.add_block(stock::add(format!("na{i}")));
+            let a2 = b.add_block(stock::add(format!("nb{i}")));
+            b.connect(src, Sink::block(a1, 0)).unwrap();
+            b.connect(Source::block(a2, 0), Sink::block(a1, 1)).unwrap();
+            b.connect(Source::block(a1, 0), Sink::block(a2, 0)).unwrap();
+            b.connect(src, Sink::block(a2, 1)).unwrap();
+            sources.push(Source::block(a1, 0));
+        }
+    }
+    let o = b.add_output("o");
+    b.connect(*sources.last().unwrap(), Sink::ext(o)).unwrap();
+    b.build().unwrap()
+}
+
+/// Runs `spec` for every instant in `inputs` under `strat` and returns
+/// the canonical forms of the semantic journal events.
+fn semantic_canonical(
+    spec: &MixedSpec,
+    strat: EvalStrategy,
+    inputs: &[(i64, i64)],
+) -> Vec<String> {
+    let registry = jtobs::Registry::new();
+    let mut sys = build_mixed(spec);
+    sys.set_parallel_threshold(1);
+    sys.set_strategy(strat);
+    sys.attach_registry(&registry);
+    for &(a, b) in inputs {
+        // Overflow in a random adder chain aborts the instant — also a
+        // semantic event, and it must abort identically under every
+        // strategy.
+        let _ = sys.eval_instant(&[Value::int(a), Value::int(b)]);
+    }
+    registry
+        .journal()
+        .events()
+        .iter()
+        .filter(|e| e.kind.class() == EventClass::Semantic)
+        .map(|e| e.kind.canonical())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_journal_is_semantically_identical_to_staged(
+        spec in arb_mixed(8, 2),
+        inputs in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 1..4),
+    ) {
+        if !jtobs::ENABLED {
+            return Ok(());
+        }
+        let reference = semantic_canonical(&spec, EvalStrategy::Staged, &inputs);
+        prop_assert!(!reference.is_empty(), "instrumented run must journal");
+        for workers in [1usize, 2, 8] {
+            let got = semantic_canonical(
+                &spec,
+                EvalStrategy::Parallel { workers },
+                &inputs,
+            );
+            prop_assert_eq!(&got, &reference, "workers={} diverged", workers);
+        }
+    }
+}
+
+#[test]
+fn mid_react_panic_leaves_flight_dump_evidence() {
+    if !jtobs::ENABLED {
+        return;
+    }
+    let registry = jtobs::Registry::new();
+    let mut b = SystemBuilder::new("boom");
+    let x = b.add_input("x");
+    let pre = b.add_block(stock::offset("pre", 1));
+    let bomb = b.add_block(stock::lift("bomb", 1, 1, |d| {
+        if d[0].as_int() == Some(13) {
+            panic!("injected failure at 13");
+        }
+        Ok(vec![d[0].clone()])
+    }));
+    let o = b.add_output("o");
+    b.connect(Source::ext(x), Sink::block(pre, 0)).unwrap();
+    b.connect(Source::block(pre, 0), Sink::block(bomb, 0)).unwrap();
+    b.connect(Source::block(bomb, 0), Sink::ext(o)).unwrap();
+    let mut sys = b.build().unwrap();
+    sys.set_strategy(EvalStrategy::Staged);
+    sys.attach_registry(&registry);
+
+    sys.react(&[Value::int(1)]).unwrap();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = sys.react(&[Value::int(12)]);
+    }));
+    assert!(caught.is_err(), "the bomb block must panic on input 12+1");
+
+    // The flight dump (what install_panic_dump prints) must name the
+    // panicking block, and the JSONL dump must carry the typed event.
+    let dump = jtobs::snapshot::flight_dump(&registry);
+    assert!(dump.contains("block_panic"), "{dump}");
+    assert!(dump.contains("bomb"), "{dump}");
+    let jsonl = jtobs::snapshot::flight_dump_jsonl(&registry);
+    assert!(jsonl.contains("\"kind\":\"block_panic\""), "{jsonl}");
+    assert!(jsonl.contains("\"name\":\"bomb\""), "{jsonl}");
+
+    // The journal survives the unwind intact: the events before the
+    // panic are still there and still ordered.
+    let events = registry.journal().events();
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+}

@@ -7,7 +7,19 @@
 //! substitute for the real crate's confidence intervals.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Median results of every bench reported so far, as `(id, ns)`.
+/// Drained by [`take_results`] so bench mains can export an artifact.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Drains and returns the `(benchmark id, median ns)` rows recorded
+/// since the last call. Lets a bench target's `main` write the measured
+/// numbers to a machine-readable file after the groups have run.
+pub fn take_results() -> Vec<(String, f64)> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
 
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -66,6 +78,10 @@ fn report(id: &str, samples: &mut [Duration]) {
     samples.sort();
     let median = samples[samples.len() / 2];
     let best = samples[0];
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((id.to_string(), median.as_nanos() as f64));
     println!(
         "{id:<48} median {:>12.3?}   best {:>12.3?}   ({} samples)",
         median,
