@@ -1,0 +1,163 @@
+//! Warm-vs-cold benchmark for the incremental analysis database
+//! (DESIGN.md §8), on a generated corpus large enough that per-method
+//! query reuse dominates: ≥1k methods in the full configuration.
+//!
+//! Three scenarios, analysis time only (the front end is identical in
+//! all of them and unchanged by the database):
+//!
+//! * **cold** — a fresh [`jtanalysis::db::AnalysisDb`] analyzes the
+//!   corpus from scratch (this is also exactly what the batch
+//!   `flow::analyze` costs),
+//! * **warm no-op** — the same database re-analyzes a re-parse of the
+//!   identical source; every method-level query must hit,
+//! * **warm one edit** — the database, warmed on the base corpus,
+//!   analyzes a revision in which exactly one method body changed.
+//!
+//! Writes `BENCH_incremental.json` with the timings plus the measured
+//! recompute fraction, and asserts the engine's contract: zero
+//! recomputed queries in the no-op run, and ≤5% of method-level queries
+//! recomputed after a one-method edit.
+//!
+//! Set `JT_BENCH_SMOKE=1` for a quick small-corpus run (CI).
+
+use jtanalysis::db::AnalysisDb;
+use jtanalysis::{callgraph, frontend};
+use jtlang::corpus::{self, GenConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+type Parsed = (jtlang::ast::Program, jtlang::resolve::ClassTable, callgraph::CallGraph);
+
+fn parse(src: &str) -> Parsed {
+    let (p, t) = frontend(src).expect("generated corpus is frontend-clean");
+    let g = callgraph::build(&p, &t);
+    (p, t, g)
+}
+
+/// Best-of-`n` wall time of `f`, in nanoseconds.
+fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::var("JT_BENCH_SMOKE").is_ok();
+    let (cfg, iters) = if smoke {
+        (
+            GenConfig {
+                classes: 8,
+                methods_per_class: 8,
+                ..GenConfig::default()
+            },
+            2,
+        )
+    } else {
+        (
+            GenConfig {
+                classes: 32,
+                methods_per_class: 32,
+                ..GenConfig::default()
+            },
+            3,
+        )
+    };
+    let n_methods = corpus::method_count(&cfg);
+    // cfg + definite + constprop + interval per method.
+    let method_queries = 4 * n_methods as u64;
+
+    let base_src = corpus::generate(&cfg);
+    // Edit one mid-corpus method (start of a same-class call chain, so
+    // the summary cone is non-trivial).
+    let mut tweaks = BTreeMap::new();
+    tweaks.insert(n_methods / 2, 777i64);
+    let edited_src = corpus::generate_with_tweaks(&cfg, &tweaks);
+
+    let (p, t, g) = parse(&base_src);
+    let (pe, te, ge) = parse(&edited_src);
+
+    // Cold: fresh database every iteration.
+    let cold_ns = best_of(iters, || {
+        let mut db = AnalysisDb::new();
+        black_box(db.analyze(&p, &t, &g));
+    });
+
+    // Warm no-op: warmed database re-analyzes a re-parse of the same
+    // text. Warm once untimed, then time steady-state runs.
+    let mut db = AnalysisDb::new();
+    db.analyze(&p, &t, &g);
+    let (p2, t2, g2) = parse(&base_src);
+    let warm_ns = best_of(iters, || {
+        black_box(db.analyze(&p2, &t2, &g2));
+    });
+    let warm_stats = db.last_run();
+    assert_eq!(
+        warm_stats.recomputed, 0,
+        "warm re-check of identical source recomputed queries: {warm_stats:?}"
+    );
+    assert_eq!(warm_stats.scc_misses, 0, "{warm_stats:?}");
+
+    // Warm one-edit: each iteration warms a fresh database on the base
+    // corpus (untimed), then times the edited revision.
+    let mut edit_ns = f64::INFINITY;
+    let mut edit_stats = jtanalysis::db::RunStats::default();
+    for _ in 0..iters {
+        let mut db = AnalysisDb::new();
+        db.analyze(&p, &t, &g);
+        let start = Instant::now();
+        black_box(db.analyze(&pe, &te, &ge));
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < edit_ns {
+            edit_ns = ns;
+            edit_stats = db.last_run();
+        }
+    }
+    let recompute_pct = 100.0 * edit_stats.recomputed as f64 / method_queries as f64;
+    assert!(
+        recompute_pct <= 5.0,
+        "one-method edit recomputed {recompute_pct:.2}% of {method_queries} method-level queries: {edit_stats:?}"
+    );
+
+    let speedup = cold_ns / warm_ns;
+    println!("\nIncremental lint: {n_methods} methods ({method_queries} method-level queries)");
+    println!("{:>24} {:>14} {:>12}", "scenario", "best ns", "recomputed");
+    println!("{:>24} {:>14.0} {:>12}", "cold", cold_ns, method_queries);
+    println!("{:>24} {:>14.0} {:>12}", "warm no-op", warm_ns, warm_stats.recomputed);
+    println!("{:>24} {:>14.0} {:>12}", "warm one edit", edit_ns, edit_stats.recomputed);
+    println!(
+        "warm re-check speedup: {speedup:.1}x; one-edit recompute fraction: {recompute_pct:.3}% \
+         ({} method queries + {} SCC summaries)\n",
+        edit_stats.recomputed, edit_stats.scc_misses
+    );
+    if !smoke {
+        assert!(
+            speedup >= 10.0,
+            "warm re-check must be >=10x faster than cold (got {speedup:.1}x)"
+        );
+    }
+
+    let prefix = "incremental_lint";
+    let rows = vec![
+        (format!("{prefix}/cold_analyze"), cold_ns),
+        (format!("{prefix}/warm_noop_analyze"), warm_ns),
+        (format!("{prefix}/warm_one_edit_analyze"), edit_ns),
+        (format!("{prefix}/methods"), n_methods as f64),
+        (format!("{prefix}/method_queries"), method_queries as f64),
+        (
+            format!("{prefix}/one_edit_recomputed_queries"),
+            edit_stats.recomputed as f64,
+        ),
+        (
+            format!("{prefix}/one_edit_scc_recomputes"),
+            edit_stats.scc_misses as f64,
+        ),
+        (format!("{prefix}/one_edit_recompute_pct"), recompute_pct),
+        (format!("{prefix}/warm_speedup_x"), speedup),
+    ];
+    bench::write_bench_json("incremental", &rows);
+}

@@ -217,44 +217,97 @@ impl<'p> Analysis<'p> for ConstProp {
     }
 }
 
+/// Span- and id-free per-method result: each constant condition is an
+/// expression pre-order index plus its folded value. Cacheable across
+/// re-parses and rebased by [`materialize`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct ConstpropCore {
+    /// `(expr index of the condition, constant value)` in block order.
+    pub(crate) conds: Vec<(u32, bool)>,
+    /// Worklist iterations spent on this method.
+    pub(crate) iterations: u64,
+}
+
+/// Runs conditional constant propagation over one method, producing the
+/// cacheable core form.
+pub(crate) fn analyze_method(
+    program: &Program,
+    table: &jtlang::resolve::ClassTable,
+    class: &jtlang::ast::ClassDecl,
+    decl: &jtlang::ast::MethodDecl,
+    mref: crate::MethodRef,
+    map: &crate::fingerprint::NodeMap,
+) -> ConstpropCore {
+    let cfg = cfg::build(class, decl, mref);
+    let analysis = ConstProp {
+        trackable: trackable_int_bool_locals(program, table, class, decl),
+    };
+    let solution = dataflow::solve(&analysis, &cfg);
+    let mut core = ConstpropCore {
+        conds: Vec::new(),
+        iterations: solution.iterations,
+    };
+    for block in &cfg.blocks {
+        let Terminator::Branch { cond, .. } = &block.term else {
+            continue;
+        };
+        // Evaluate the condition under the fact after the block's
+        // instructions.
+        let mut fact = solution.entry[block.id].clone();
+        for instr in &block.instrs {
+            analysis.transfer_instr(&mut fact, instr);
+        }
+        let Fact::Env(env) = &fact else { continue };
+        // Skip syntactic literals (`while (true)` idioms are the
+        // loop rules' business, not dead-code findings).
+        if matches!(cond.kind, ExprKind::Bool(_)) {
+            continue;
+        }
+        if let Some(Const::Bool(value)) = eval(env, cond) {
+            let idx = map
+                .expr_index(cond.id)
+                .expect("branch condition belongs to the method body") as u32;
+            core.conds.push((idx, value));
+        }
+    }
+    core
+}
+
+/// Rebases a cached core onto the current parse's spans.
+pub(crate) fn materialize(
+    core: &ConstpropCore,
+    map: &crate::fingerprint::NodeMap,
+    mref: &crate::MethodRef,
+    out: &mut Vec<ConstantCond>,
+) {
+    for (idx, value) in &core.conds {
+        let (_, span) = map.expr(*idx as usize);
+        out.push(ConstantCond {
+            value: *value,
+            span,
+            method: mref.clone(),
+        });
+    }
+}
+
+/// Final deterministic ordering of a report assembled from per-method
+/// pieces.
+pub(crate) fn finish(report: &mut ConstpropReport) {
+    report
+        .constant_conds
+        .sort_by_key(|c| (c.span.start, c.span.end));
+}
+
 /// Runs conditional constant propagation over every method.
 pub fn analyze(program: &Program, table: &jtlang::resolve::ClassTable) -> ConstpropReport {
     let mut report = ConstpropReport::default();
     for (class, decl, mref) in crate::each_method(program) {
-        let cfg = cfg::build(class, decl, mref.clone());
-        let analysis = ConstProp {
-            trackable: trackable_int_bool_locals(program, table, class, decl),
-        };
-        let solution = dataflow::solve(&analysis, &cfg);
-        report.solver_iterations += solution.iterations;
-        for block in &cfg.blocks {
-            let Terminator::Branch { cond, .. } = &block.term else {
-                continue;
-            };
-            // Evaluate the condition under the fact after the block's
-            // instructions.
-            let mut fact = solution.entry[block.id].clone();
-            for instr in &block.instrs {
-                analysis.transfer_instr(&mut fact, instr);
-            }
-            let Fact::Env(env) = &fact else { continue };
-            // Skip syntactic literals (`while (true)` idioms are the
-            // loop rules' business, not dead-code findings).
-            if matches!(cond.kind, ExprKind::Bool(_)) {
-                continue;
-            }
-            if let Some(Const::Bool(value)) = eval(env, cond) {
-                report.constant_conds.push(ConstantCond {
-                    value,
-                    span: cond.span,
-                    method: mref.clone(),
-                });
-            }
-        }
+        let map = crate::fingerprint::NodeMap::build(decl);
+        let core = analyze_method(program, table, class, decl, mref.clone(), &map);
+        report.solver_iterations += core.iterations;
+        materialize(&core, &map, &mref, &mut report.constant_conds);
     }
-    report
-        .constant_conds
-        .sort_by_key(|c| (c.span.start, c.span.end));
+    finish(&mut report);
     report
 }
 

@@ -21,6 +21,7 @@
 
 use crate::cfg::{self, Cfg, Instr, Terminator};
 use crate::dataflow::{self, Analysis, Direction};
+use crate::fingerprint::NodeMap;
 use crate::MethodRef;
 use jtlang::ast::{walk_expr, AssignOp, ClassDecl, Expr, ExprKind, MethodDecl, Program, StmtKind};
 use jtlang::resolve::ClassTable;
@@ -166,69 +167,124 @@ fn reads_in<'p>(expr: &'p Expr, trackable: &BTreeSet<String>, out: &mut Vec<&'p 
     });
 }
 
-/// Runs definite assignment over every method and constructor.
-pub fn analyze(program: &Program, table: &ClassTable) -> DefiniteReport {
-    let mut report = DefiniteReport::default();
-    for (class, decl, mref) in crate::each_method(program) {
-        let cfg = cfg::build(class, decl, mref);
-        let analysis = DefiniteAssignment {
-            trackable: trackable_locals(program, table, class, decl),
-        };
-        let solution = dataflow::solve(&analysis, &cfg);
-        report.solver_iterations += solution.iterations;
+/// Span- and id-free per-method result: each read is an *expression
+/// pre-order index* into the method body (see
+/// [`crate::fingerprint::NodeMap`]) plus the variable name. Safe to
+/// cache across re-parses and rebased by [`materialize`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct DefiniteCore {
+    /// `(expr index, local name)` of each possibly-unassigned read, in
+    /// CFG replay order.
+    pub(crate) reads: Vec<(u32, String)>,
+    /// Worklist iterations spent on this method.
+    pub(crate) iterations: u64,
+}
 
-        // Replay each reachable block to localise reads.
-        for block in &cfg.blocks {
-            let flag_reads = |fact: &Fact, exprs: &[&Expr], out: &mut Vec<UnassignedRead>| {
-                let Fact::Assigned(set) = fact else { return };
-                let mut reads = Vec::new();
-                for e in exprs {
-                    reads_in(e, &analysis.trackable, &mut reads);
+/// Runs definite assignment over one method, producing the cacheable
+/// core form.
+pub(crate) fn analyze_method(
+    program: &Program,
+    table: &ClassTable,
+    class: &ClassDecl,
+    decl: &MethodDecl,
+    mref: MethodRef,
+    map: &NodeMap,
+) -> DefiniteCore {
+    let cfg = cfg::build(class, decl, mref);
+    let analysis = DefiniteAssignment {
+        trackable: trackable_locals(program, table, class, decl),
+    };
+    let solution = dataflow::solve(&analysis, &cfg);
+    let mut core = DefiniteCore {
+        reads: Vec::new(),
+        iterations: solution.iterations,
+    };
+
+    // Replay each reachable block to localise reads.
+    for block in &cfg.blocks {
+        let flag_reads = |fact: &Fact, exprs: &[&Expr], out: &mut Vec<(u32, String)>| {
+            let Fact::Assigned(set) = fact else { return };
+            let mut reads = Vec::new();
+            for e in exprs {
+                reads_in(e, &analysis.trackable, &mut reads);
+            }
+            for r in reads {
+                let ExprKind::Var(name) = &r.kind else { unreachable!() };
+                if !set.contains(name) {
+                    let idx = map
+                        .expr_index(r.id)
+                        .expect("read expr belongs to the method body") as u32;
+                    out.push((idx, name.clone()));
                 }
-                for r in reads {
-                    let ExprKind::Var(name) = &r.kind else { unreachable!() };
-                    if !set.contains(name) {
-                        out.push(UnassignedRead {
-                            name: name.clone(),
-                            span: r.span,
-                            method: cfg.method.clone(),
-                        });
-                    }
-                }
-            };
-            let mut fact = solution.entry[block.id].clone();
-            for instr in &block.instrs {
-                let read_exprs: Vec<&Expr> = match instr {
-                    Instr::Decl { init, .. } => init.iter().copied().collect(),
-                    Instr::Assign { target, op, value, .. } => {
-                        let mut r: Vec<&Expr> = Vec::new();
-                        match &target.kind {
-                            ExprKind::Var(_) => {
-                                // `x = e` writes x; `x += e` reads it too.
-                                if *op != AssignOp::Set {
-                                    r.push(target);
-                                }
+            }
+        };
+        let mut fact = solution.entry[block.id].clone();
+        for instr in &block.instrs {
+            let read_exprs: Vec<&Expr> = match instr {
+                Instr::Decl { init, .. } => init.iter().copied().collect(),
+                Instr::Assign { target, op, value, .. } => {
+                    let mut r: Vec<&Expr> = Vec::new();
+                    match &target.kind {
+                        ExprKind::Var(_) => {
+                            // `x = e` writes x; `x += e` reads it too.
+                            if *op != AssignOp::Set {
+                                r.push(target);
                             }
-                            _ => r.push(target),
                         }
-                        r.push(value);
-                        r
+                        _ => r.push(target),
                     }
-                    Instr::Eval(e) => vec![e],
-                    Instr::Return { value, .. } => value.iter().copied().collect(),
-                };
-                flag_reads(&fact, &read_exprs, &mut report.unassigned_reads);
-                analysis.transfer_instr(&mut fact, instr);
-            }
-            if let Terminator::Branch { cond, .. } = &block.term {
-                flag_reads(&fact, &[cond], &mut report.unassigned_reads);
-            }
+                    r.push(value);
+                    r
+                }
+                Instr::Eval(e) => vec![e],
+                Instr::Return { value, .. } => value.iter().copied().collect(),
+            };
+            flag_reads(&fact, &read_exprs, &mut core.reads);
+            analysis.transfer_instr(&mut fact, instr);
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            flag_reads(&fact, &[cond], &mut core.reads);
         }
     }
+    core
+}
+
+/// Rebases a cached core onto the current parse's ids and spans.
+pub(crate) fn materialize(
+    core: &DefiniteCore,
+    map: &NodeMap,
+    mref: &MethodRef,
+    out: &mut Vec<UnassignedRead>,
+) {
+    for (idx, name) in &core.reads {
+        let (_, span) = map.expr(*idx as usize);
+        out.push(UnassignedRead {
+            name: name.clone(),
+            span,
+            method: mref.clone(),
+        });
+    }
+}
+
+/// Final deterministic ordering of a report assembled from per-method
+/// pieces.
+pub(crate) fn finish(report: &mut DefiniteReport) {
     report
         .unassigned_reads
         .sort_by(|a, b| (a.span.start, a.span.end, &a.name).cmp(&(b.span.start, b.span.end, &b.name)));
     report.unassigned_reads.dedup();
+}
+
+/// Runs definite assignment over every method and constructor.
+pub fn analyze(program: &Program, table: &ClassTable) -> DefiniteReport {
+    let mut report = DefiniteReport::default();
+    for (class, decl, mref) in crate::each_method(program) {
+        let map = NodeMap::build(decl);
+        let core = analyze_method(program, table, class, decl, mref.clone(), &map);
+        report.solver_iterations += core.iterations;
+        materialize(&core, &map, &mref, &mut report.unassigned_reads);
+    }
+    finish(&mut report);
     report
 }
 

@@ -88,6 +88,50 @@ impl EscapeSummary {
     }
 }
 
+/// The deterministic conservative top used when a cyclic SCC hits the
+/// fixpoint cap without converging: every parameter and the receiver
+/// escape, and every reference-typed field of the enclosing class chain
+/// counts as leaked (and returned, when the method can return a
+/// reference at all). Unlike the partial fixpoint iterate — which
+/// depends on how far the iteration got — this value is a pure function
+/// of the signature and class chain, so divergent SCCs cache stably.
+pub fn divergent_top(
+    table: &ClassTable,
+    class: &ClassDecl,
+    decl: &MethodDecl,
+) -> EscapeSummary {
+    let mut ref_fields: BTreeSet<String> = BTreeSet::new();
+    let mut current = Some(class.name.clone());
+    let mut hops = 0usize;
+    while let Some(name) = current {
+        hops += 1;
+        if hops > 64 {
+            break;
+        }
+        let Some(info) = table.class(&name) else { break };
+        for f in &info.fields {
+            if f.ty.is_reference() {
+                ref_fields.insert(f.name.clone());
+            }
+        }
+        current = info.superclass.clone();
+    }
+    let returns_ref = decl.return_type.as_ref().is_some_and(|t| t.is_reference());
+    EscapeSummary {
+        param_escapes: vec![true; decl.params.len()],
+        this_escapes: true,
+        returns_this: returns_ref,
+        returns_this_field: if returns_ref {
+            ref_fields.clone()
+        } else {
+            BTreeSet::new()
+        },
+        leaked_this_fields: ref_fields,
+        returns_fresh: false,
+        escaping_allocs: BTreeSet::new(),
+    }
+}
+
 /// Computes one method's escape summary given the current summaries of
 /// its callees (missing callees contribute the empty default — sound
 /// only inside the bottom-up driver, which iterates cycles).

@@ -20,7 +20,9 @@
 //! * `jtanalysis.summary.footprint_fields` (histogram) — per-method
 //!   effect-footprint sizes (reads + writes),
 //! * `jtanalysis.time_us.<analysis>` (histogram) — wall time per
-//!   analysis pass, and a `jtanalysis.flow` span around the suite.
+//!   analysis pass, and a `jtanalysis.flow` span around the suite,
+//! * `jtanalysis.db.*` (counters/gauge) — query-cache traffic; see
+//!   [`crate::db`].
 
 use crate::callgraph::CallGraph;
 use crate::constprop::{self, ConstpropReport};
@@ -62,8 +64,13 @@ impl FlowReport {
 }
 
 /// Runs the full suite without instrumentation.
+///
+/// Since the incremental refactor this routes through a fresh
+/// [`crate::db::AnalysisDb`] — a cold run of the query engine *is* the
+/// batch analysis — so batch and incremental results agree by
+/// construction.
 pub fn analyze(program: &Program, table: &ClassTable, graph: &CallGraph) -> FlowReport {
-    run(program, table, graph, None)
+    crate::db::AnalysisDb::new().analyze(program, table, graph)
 }
 
 /// Runs the full suite, exporting metrics into `registry`.
@@ -73,77 +80,26 @@ pub fn analyze_with_registry(
     graph: &CallGraph,
     registry: &jtobs::Registry,
 ) -> FlowReport {
-    run(program, table, graph, Some(registry))
+    crate::db::AnalysisDb::new().analyze_with_registry(program, table, graph, registry)
 }
 
-fn run(
-    program: &Program,
-    table: &ClassTable,
-    graph: &CallGraph,
-    registry: Option<&jtobs::Registry>,
-) -> FlowReport {
-    let _suite_span = registry.map(|r| r.span("jtanalysis.flow"));
-
+/// Runs the legacy batch composition: each pass's whole-program driver
+/// in sequence, with no caching or fingerprinting anywhere. Kept as an
+/// independent oracle for the incremental engine's equivalence tests.
+pub fn analyze_batch(program: &Program, table: &ClassTable, graph: &CallGraph) -> FlowReport {
     let mut report = FlowReport::default();
     for (class, decl, mref) in each_method(program) {
         let g = cfg::build(class, decl, mref);
         report.cfg_blocks += g.blocks.len();
         report.cfg_methods += 1;
     }
-
-    report.definite = timed(registry, "definite", || definite::analyze(program, table));
-    report.constprop = timed(registry, "constprop", || constprop::analyze(program, table));
-    report.interval = timed(registry, "interval", || interval::analyze(program, table));
-    report.summary = timed(registry, "summary", || {
-        summary::analyze_with_bounds(
-            program,
-            table,
-            graph,
-            &report.interval.proved_loop_bounds,
-        )
-    });
-    // The race tiers share the summary engine's points-to relation.
-    report.races = timed(registry, "races", || {
-        races::analyze_with_pointsto(program, table, graph, &report.summary.pointsto)
-    });
-
-    if let Some(r) = registry {
-        r.gauge("jtanalysis.cfg.blocks").set(report.cfg_blocks as i64);
-        r.gauge("jtanalysis.cfg.methods").set(report.cfg_methods as i64);
-        r.counter("jtanalysis.solver.iterations.definite")
-            .add(report.definite.solver_iterations);
-        r.counter("jtanalysis.solver.iterations.constprop")
-            .add(report.constprop.solver_iterations);
-        r.counter("jtanalysis.solver.iterations.interval")
-            .add(report.interval.solver_iterations);
-        r.gauge("jtanalysis.summary.sccs").set(report.summary.sccs as i64);
-        r.gauge("jtanalysis.summary.methods")
-            .set(report.summary.methods.len() as i64);
-        r.gauge("jtanalysis.summary.objects")
-            .set(report.summary.pointsto.object_count() as i64);
-        r.counter("jtanalysis.summary.fixpoint_iterations")
-            .add(report.summary.fixpoint_iterations);
-        r.counter("jtanalysis.summary.pointsto_passes")
-            .add(report.summary.pointsto.passes() as u64);
-        let footprints = r.histogram("jtanalysis.summary.footprint_fields");
-        for m in report.summary.methods.values() {
-            footprints.record((m.purity.reads.len() + m.purity.writes.len()) as u64);
-        }
-    }
+    report.definite = definite::analyze(program, table);
+    report.constprop = constprop::analyze(program, table);
+    report.interval = interval::analyze(program, table);
+    report.summary =
+        summary::analyze_with_bounds(program, table, graph, &report.interval.proved_loop_bounds);
+    report.races = races::analyze_with_pointsto(program, table, graph, &report.summary.pointsto);
     report
-}
-
-fn timed<T>(registry: Option<&jtobs::Registry>, name: &str, f: impl FnOnce() -> T) -> T {
-    if let Some(r) = registry {
-        if jtobs::ENABLED {
-            let start = std::time::Instant::now();
-            let out = f();
-            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            r.histogram(&format!("jtanalysis.time_us.{name}")).record(us);
-            return out;
-        }
-    }
-    f()
 }
 
 #[cfg(test)]

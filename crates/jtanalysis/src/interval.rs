@@ -507,66 +507,114 @@ impl IntervalAnalysis {
     }
 }
 
-/// Array fields of `class` with exactly one known constant length:
-/// private, and every assignment anywhere in the program that could
-/// target them is `new T[c]` for one constant `c`.
-pub(crate) fn field_array_lengths(program: &Program, class: &ClassDecl) -> BTreeMap<String, i64> {
-    let mut out = BTreeMap::new();
-    'fields: for field in &class.fields {
-        if field.modifiers.visibility != Visibility::Private
-            || !matches!(field.ty, Type::Array(_))
-        {
-            continue;
-        }
-        let mut len: Option<i64> = None;
-        let mut merge = |candidate: Option<i64>| -> bool {
-            match (len, candidate) {
-                (_, None) => false,
-                (None, Some(c)) => {
-                    len = Some(c);
-                    true
-                }
-                (Some(old), Some(c)) => old == c,
+/// Accumulated evidence about assignments that could target an array
+/// field of a given name: the constant `new T[c]` lengths seen, and
+/// whether any assignment disqualifies the field (compound assignment
+/// or a non-constant length).
+#[derive(Debug, Clone, Default)]
+struct LenAcc {
+    poisoned: bool,
+    lens: BTreeSet<i64>,
+}
+
+impl LenAcc {
+    fn record(&mut self, op: AssignOp, candidate: Option<i64>) {
+        match candidate {
+            Some(c) if op == AssignOp::Set => {
+                self.lens.insert(c);
             }
-        };
-        if let Some(init) = &field.init {
-            if !merge(const_new_array_len(init)) {
-                continue 'fields;
-            }
+            _ => self.poisoned = true,
         }
-        // Every assignment in the program whose target *names* this
-        // field (conservative across classes).
+    }
+}
+
+/// One-pass index of every assignment in the program that could target
+/// an array field, replacing the per-class whole-program rescans the
+/// old `field_array_lengths` did (quadratic in program size).
+///
+/// `same` records unqualified `name = …` assignments keyed by
+/// `(enclosing class, name)` where `name` is not shadowed by a param or
+/// local; `global` records `recv.name = …` assignments keyed by field
+/// name alone (the old code treated any receiver in any class as a
+/// potential alias, and we preserve that conservatism).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FieldLenIndex {
+    same: BTreeMap<(String, String), LenAcc>,
+    global: BTreeMap<String, LenAcc>,
+}
+
+impl FieldLenIndex {
+    /// Scans the whole program once.
+    pub(crate) fn build(program: &Program) -> FieldLenIndex {
+        let mut ix = FieldLenIndex::default();
         for c in &program.classes {
             for decl in c.ctors.iter().chain(&c.methods) {
-                let mut ok = true;
+                let mut shadow: BTreeSet<&str> =
+                    decl.params.iter().map(|p| p.name.as_str()).collect();
+                walk_stmts(&decl.body, &mut |stmt| {
+                    if let StmtKind::VarDecl { name, .. } = &stmt.kind {
+                        shadow.insert(name.as_str());
+                    }
+                });
                 walk_stmts(&decl.body, &mut |stmt| {
                     let StmtKind::Assign { target, op, value } = &stmt.kind else {
                         return;
                     };
-                    let names_field = match &target.kind {
-                        ExprKind::Var(n) => {
-                            c.name == class.name
-                                && n == &field.name
-                                && !shadows(decl, n)
+                    match &target.kind {
+                        ExprKind::Var(n) if !shadow.contains(n.as_str()) => {
+                            ix.same
+                                .entry((c.name.clone(), n.clone()))
+                                .or_default()
+                                .record(*op, const_new_array_len(value));
                         }
-                        ExprKind::Field { name, .. } => name == &field.name,
-                        _ => false,
-                    };
-                    if names_field && (*op != AssignOp::Set || !merge(const_new_array_len(value)))
-                    {
-                        ok = false;
+                        ExprKind::Field { name, .. } => {
+                            ix.global
+                                .entry(name.clone())
+                                .or_default()
+                                .record(*op, const_new_array_len(value));
+                        }
+                        _ => {}
                     }
                 });
-                if !ok {
-                    continue 'fields;
-                }
             }
         }
-        if let Some(l) = len {
-            out.insert(field.name.clone(), l);
-        }
+        ix
     }
-    out
+
+    /// Array fields of `class` with exactly one known constant length:
+    /// private, and every assignment anywhere in the program that could
+    /// target them is `new T[c]` for one constant `c`.
+    pub(crate) fn lengths_for(&self, class: &ClassDecl) -> BTreeMap<String, i64> {
+        let mut out = BTreeMap::new();
+        for field in &class.fields {
+            if field.modifiers.visibility != Visibility::Private
+                || !matches!(field.ty, Type::Array(_))
+            {
+                continue;
+            }
+            let mut acc = LenAcc::default();
+            if let Some(init) = &field.init {
+                acc.record(AssignOp::Set, const_new_array_len(init));
+            }
+            let same = self.same.get(&(class.name.clone(), field.name.clone()));
+            let global = self.global.get(&field.name);
+            for found in [same, global].into_iter().flatten() {
+                acc.poisoned |= found.poisoned;
+                acc.lens.extend(found.lens.iter().copied());
+            }
+            if !acc.poisoned && acc.lens.len() == 1 {
+                out.insert(field.name.clone(), *acc.lens.iter().next().unwrap());
+            }
+        }
+        out
+    }
+}
+
+/// Convenience wrapper over [`FieldLenIndex`] for one class (tests and
+/// single-class callers; program-wide callers build the index once).
+#[cfg(test)]
+pub(crate) fn field_array_lengths(program: &Program, class: &ClassDecl) -> BTreeMap<String, i64> {
+    FieldLenIndex::build(program).lengths_for(class)
 }
 
 /// `Some(c)` when `expr` is `new T[c]` with a constant length.
@@ -576,23 +624,6 @@ fn const_new_array_len(expr: &Expr) -> Option<i64> {
     } else {
         None
     }
-}
-
-/// True when `name` is a parameter or local of `decl` (so a bare `name`
-/// cannot refer to a field).
-fn shadows(decl: &MethodDecl, name: &str) -> bool {
-    if decl.params.iter().any(|p| p.name == name) {
-        return true;
-    }
-    let mut found = false;
-    walk_stmts(&decl.body, &mut |stmt| {
-        if let StmtKind::VarDecl { name: n, .. } = &stmt.kind {
-            if n == name {
-                found = true;
-            }
-        }
-    });
-    found
 }
 
 /// Names assigned (or re-declared) anywhere inside a statement,
@@ -758,49 +789,129 @@ fn ceil_div(a: i128, b: i128) -> i128 {
     }
 }
 
-/// Runs interval analysis over every method.
-pub fn analyze(program: &Program, table: &ClassTable) -> IntervalReport {
-    let mut report = IntervalReport::default();
-    for (class, decl, mref) in crate::each_method(program) {
-        let g = cfg::build(class, decl, mref.clone());
-        let analysis = make_analysis(program, table, class, decl);
-        let solution = dataflow::solve(&analysis, &g);
-        report.solver_iterations += solution.iterations;
+/// Span- and id-free per-method result: proved loop bounds as
+/// *statement pre-order indices* and out-of-bounds findings as
+/// *expression pre-order indices* (see [`crate::fingerprint::NodeMap`]).
+/// Cacheable across re-parses and rebased by [`materialize`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct IntervalCore {
+    /// `(stmt index of the for statement, proved trip count)`.
+    pub(crate) proved: Vec<(u32, u64)>,
+    /// `(expr index of the access, index interval, known length)`.
+    pub(crate) oob: Vec<(u32, Interval, Option<i64>)>,
+    /// Accesses proved in-bounds.
+    pub(crate) safe_indices: usize,
+    /// Accesses inspected.
+    pub(crate) checked_indices: usize,
+    /// Worklist iterations spent on this method.
+    pub(crate) iterations: u64,
+}
 
-        // Loop-bound proofs from the environment at loop entry (the
-        // preheader's exit fact, i.e. just after the init statement).
-        for shape in &g.loops {
-            if let Fact::Env(env) = &solution.exit[shape.preheader] {
-                if let Some(trips) = prove_loop_bound(&analysis, shape, env) {
-                    report.proved_loop_bounds.insert(shape.stmt.id, trips);
-                }
-            }
-        }
+/// Runs interval analysis over one method, producing the cacheable core
+/// form. `field_lens` is the enclosing class's resolved
+/// field-length map (from [`FieldLenIndex::lengths_for`]); it is part
+/// of the query's cache key upstream.
+pub(crate) fn analyze_method(
+    program: &Program,
+    table: &ClassTable,
+    class: &ClassDecl,
+    decl: &MethodDecl,
+    mref: MethodRef,
+    field_lens: &BTreeMap<String, i64>,
+    map: &crate::fingerprint::NodeMap,
+) -> IntervalCore {
+    let g = cfg::build(class, decl, mref);
+    let analysis = make_analysis(program, table, class, decl, field_lens.clone());
+    let solution = dataflow::solve(&analysis, &g);
+    let mut core = IntervalCore {
+        iterations: solution.iterations,
+        ..IntervalCore::default()
+    };
 
-        // Array-index verdicts by replaying block facts.
-        for block in &g.blocks {
-            let mut fact = solution.entry[block.id].clone();
-            for instr in &block.instrs {
-                if let Fact::Env(env) = &fact {
-                    let exprs: Vec<&Expr> = match instr {
-                        Instr::Decl { init, .. } => init.iter().copied().collect(),
-                        Instr::Assign { target, value, .. } => vec![target, value],
-                        Instr::Eval(e) => vec![e],
-                        Instr::Return { value, .. } => value.iter().copied().collect(),
-                    };
-                    for e in exprs {
-                        check_indices(&analysis, env, e, &mref, &mut report);
-                    }
-                }
-                analysis.transfer_instr(&mut fact, instr);
-            }
-            if let (Fact::Env(env), Terminator::Branch { cond, .. }) = (&fact, &block.term) {
-                check_indices(&analysis, env, cond, &mref, &mut report);
+    // Loop-bound proofs from the environment at loop entry (the
+    // preheader's exit fact, i.e. just after the init statement).
+    for shape in &g.loops {
+        if let Fact::Env(env) = &solution.exit[shape.preheader] {
+            if let Some(trips) = prove_loop_bound(&analysis, shape, env) {
+                let idx = map
+                    .stmt_index(shape.stmt.id)
+                    .expect("loop statement belongs to the method body")
+                    as u32;
+                core.proved.push((idx, trips));
             }
         }
     }
+
+    // Array-index verdicts by replaying block facts.
+    for block in &g.blocks {
+        let mut fact = solution.entry[block.id].clone();
+        for instr in &block.instrs {
+            if let Fact::Env(env) = &fact {
+                let exprs: Vec<&Expr> = match instr {
+                    Instr::Decl { init, .. } => init.iter().copied().collect(),
+                    Instr::Assign { target, value, .. } => vec![target, value],
+                    Instr::Eval(e) => vec![e],
+                    Instr::Return { value, .. } => value.iter().copied().collect(),
+                };
+                for e in exprs {
+                    check_indices(&analysis, env, e, map, &mut core);
+                }
+            }
+            analysis.transfer_instr(&mut fact, instr);
+        }
+        if let (Fact::Env(env), Terminator::Branch { cond, .. }) = (&fact, &block.term) {
+            check_indices(&analysis, env, cond, map, &mut core);
+        }
+    }
+    core
+}
+
+/// Rebases a cached core onto the current parse's ids and spans.
+pub(crate) fn materialize(
+    core: &IntervalCore,
+    map: &crate::fingerprint::NodeMap,
+    mref: &MethodRef,
+    report: &mut IntervalReport,
+) {
+    for (idx, trips) in &core.proved {
+        let (id, _) = map.stmt(*idx as usize);
+        report.proved_loop_bounds.insert(id, *trips);
+    }
+    for (idx, index, length) in &core.oob {
+        let (_, span) = map.expr(*idx as usize);
+        report.oob.push(OobFinding {
+            span,
+            method: mref.clone(),
+            index: *index,
+            length: *length,
+        });
+    }
+    report.safe_indices += core.safe_indices;
+    report.checked_indices += core.checked_indices;
+}
+
+/// Final deterministic ordering of a report assembled from per-method
+/// pieces.
+pub(crate) fn finish(report: &mut IntervalReport) {
     report.oob.sort_by_key(|o| (o.span.start, o.span.end));
     report.oob.dedup();
+}
+
+/// Runs interval analysis over every method.
+pub fn analyze(program: &Program, table: &ClassTable) -> IntervalReport {
+    let mut report = IntervalReport::default();
+    let field_index = FieldLenIndex::build(program);
+    let mut class_lens: BTreeMap<&str, BTreeMap<String, i64>> = BTreeMap::new();
+    for (class, decl, mref) in crate::each_method(program) {
+        let lens = class_lens
+            .entry(class.name.as_str())
+            .or_insert_with(|| field_index.lengths_for(class));
+        let map = crate::fingerprint::NodeMap::build(decl);
+        let core = analyze_method(program, table, class, decl, mref.clone(), lens, &map);
+        report.solver_iterations += core.iterations;
+        materialize(&core, &map, &mref, &mut report);
+    }
+    finish(&mut report);
     report
 }
 
@@ -809,6 +920,7 @@ fn make_analysis(
     table: &ClassTable,
     class: &ClassDecl,
     decl: &MethodDecl,
+    field_lens: BTreeMap<String, i64>,
 ) -> IntervalAnalysis {
     use crate::constprop::trackable_int_bool_locals;
     // Trackable ints reuse the constprop discipline (no field/param
@@ -848,7 +960,7 @@ fn make_analysis(
     IntervalAnalysis {
         ints,
         arrays,
-        field_lens: field_array_lengths(program, class),
+        field_lens,
         non_field_names,
     }
 }
@@ -858,33 +970,26 @@ fn check_indices(
     analysis: &IntervalAnalysis,
     env: &Env,
     expr: &Expr,
-    mref: &MethodRef,
-    report: &mut IntervalReport,
+    map: &crate::fingerprint::NodeMap,
+    core: &mut IntervalCore,
 ) {
     walk_expr(expr, &mut |e| {
         let ExprKind::Index { array, index } = &e.kind else { return };
-        report.checked_indices += 1;
+        core.checked_indices += 1;
         let idx = analysis.eval(env, index);
         let len = analysis.array_len(env, array);
         let const_len = len.and_then(|l| (l.lo == l.hi).then_some(l.lo));
+        let at = map
+            .expr_index(e.id)
+            .expect("indexing expr belongs to the method body") as u32;
         if idx.hi < 0 {
-            report.oob.push(OobFinding {
-                span: e.span,
-                method: mref.clone(),
-                index: idx,
-                length: None,
-            });
+            core.oob.push((at, idx, None));
         } else if let Some(l) = len {
             if idx.lo >= l.hi.max(0) {
                 // Index ≥ every possible length: definite fault.
-                report.oob.push(OobFinding {
-                    span: e.span,
-                    method: mref.clone(),
-                    index: idx,
-                    length: const_len,
-                });
+                core.oob.push((at, idx, const_len));
             } else if idx.lo >= 0 && idx.hi < l.lo {
-                report.safe_indices += 1;
+                core.safe_indices += 1;
             }
         }
     });

@@ -64,7 +64,9 @@ pub mod callgraph;
 pub mod cfg;
 pub mod constprop;
 pub mod dataflow;
+pub mod db;
 pub mod definite;
+pub mod fingerprint;
 pub mod flow;
 pub mod escape;
 pub mod interval;

@@ -98,6 +98,10 @@ pub struct SummaryReport {
     pub largest_scc: usize,
     /// Total summary evaluation passes across all SCCs.
     pub fixpoint_iterations: u64,
+    /// SCCs that hit [`MAX_SCC_PASSES`] without converging; their
+    /// members carry the deterministic never-pure/everything-escapes
+    /// summary instead of a partial fixpoint iterate.
+    pub divergent_sccs: u64,
     /// R13 findings, one per (block, field) pair.
     pub impure_blocks: Vec<BlockImpurity>,
     /// R14 findings, one per leaking method and field.
@@ -130,58 +134,110 @@ pub fn analyze_with_bounds(
     let mut purities: BTreeMap<MethodRef, PuritySummary> = BTreeMap::new();
     let mut escapes: BTreeMap<MethodRef, EscapeSummary> = BTreeMap::new();
     for scc in graph.condensation() {
+        let stats = compute_scc(program, table, graph, &scc, &mut purities, &mut escapes);
         report.sccs += 1;
         report.largest_scc = report.largest_scc.max(scc.len());
-        let cyclic = scc.len() > 1
-            || graph.callees(&scc[0]).any(|c| c == &scc[0]);
-        // An acyclic component sees only final callee summaries: one
-        // evaluation is exact. Cycles iterate to a bounded fixpoint.
-        let max_passes = if cyclic { MAX_SCC_PASSES } else { 1 };
-        let mut diverged = false;
-        for pass in 1..=max_passes {
-            report.fixpoint_iterations += 1;
-            let mut changed = false;
-            for mref in &scc {
-                let Some((class, decl, _)) = find_decl(program, mref) else {
-                    continue;
-                };
-                let p = purity::summarize_method(program, table, class, decl, mref, &purities);
-                let e = escape::summarize_method(program, table, class, decl, mref, &escapes);
-                changed |= purities.get(mref) != Some(&p);
-                changed |= escapes.get(mref) != Some(&e);
-                purities.insert(mref.clone(), p);
-                escapes.insert(mref.clone(), e);
-            }
-            if !changed {
-                break;
-            }
-            diverged = cyclic && pass == max_passes;
-        }
-        if diverged {
-            for mref in &scc {
-                if let Some(p) = purities.get_mut(mref) {
-                    p.diverged = true;
-                }
-            }
-        }
+        report.fixpoint_iterations += stats.passes;
+        report.divergent_sccs += u64::from(stats.diverged);
     }
     for (mref, purity) in purities {
         let escape = escapes.remove(&mref).unwrap_or_default();
         report.methods.insert(mref, MethodSummary { purity, escape });
     }
 
+    derive_products(program, table, graph, interval_proved, &mut report);
+    report
+}
+
+/// Fixpoint statistics of one SCC evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SccStats {
+    /// Summary evaluation passes spent.
+    pub(crate) passes: u64,
+    /// True when the pass cap was hit while summaries still changed.
+    pub(crate) diverged: bool,
+}
+
+/// Evaluates one SCC of the condensation to a (bounded) fixpoint,
+/// reading callee summaries from — and writing member summaries into —
+/// the accumulating maps. This is the unit the incremental database
+/// ([`crate::db`]) caches: its result depends only on the member
+/// bodies, the global signature table, and the callee summaries.
+///
+/// An SCC that hits [`MAX_SCC_PASSES`] while still changing does *not*
+/// keep the partial fixpoint iterate (which would depend on iteration
+/// order and pass count): every member gets `diverged = true` on its
+/// purity summary (never pure) and the deterministic
+/// [`escape::divergent_top`] escape summary (everything escapes), so a
+/// divergent component always caches the same conservative value.
+pub(crate) fn compute_scc(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    scc: &[MethodRef],
+    purities: &mut BTreeMap<MethodRef, PuritySummary>,
+    escapes: &mut BTreeMap<MethodRef, EscapeSummary>,
+) -> SccStats {
+    let mut stats = SccStats::default();
+    let cyclic = scc.len() > 1 || graph.callees(&scc[0]).any(|c| c == &scc[0]);
+    // An acyclic component sees only final callee summaries: one
+    // evaluation is exact. Cycles iterate to a bounded fixpoint.
+    let max_passes = if cyclic { MAX_SCC_PASSES } else { 1 };
+    for pass in 1..=max_passes {
+        stats.passes += 1;
+        let mut changed = false;
+        for mref in scc {
+            let Some((class, decl, _)) = find_decl(program, mref) else {
+                continue;
+            };
+            let p = purity::summarize_method(program, table, class, decl, mref, purities);
+            let e = escape::summarize_method(program, table, class, decl, mref, escapes);
+            changed |= purities.get(mref) != Some(&p);
+            changed |= escapes.get(mref) != Some(&e);
+            purities.insert(mref.clone(), p);
+            escapes.insert(mref.clone(), e);
+        }
+        if !changed {
+            break;
+        }
+        stats.diverged = cyclic && pass == max_passes;
+    }
+    if stats.diverged {
+        for mref in scc {
+            if let Some(p) = purities.get_mut(mref) {
+                p.diverged = true;
+            }
+            if let Some((class, decl, _)) = find_decl(program, mref) {
+                escapes.insert(mref.clone(), escape::divergent_top(table, class, decl));
+            }
+        }
+    }
+    stats
+}
+
+/// Derives the per-revision products from finished summaries: the
+/// points-to relation, R13/R14 findings, call-site loop proofs, and
+/// WCET bounds. `report.methods` must already be populated. Shared by
+/// the batch driver above and the incremental database (these passes
+/// are linear and span-bound, so they recompute each revision).
+pub(crate) fn derive_products(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    interval_proved: &BTreeMap<NodeId, u64>,
+    report: &mut SummaryReport,
+) {
     let pt = pointsto::analyze(program, table);
-    find_impure_blocks(program, table, graph, &pt, &mut report);
+    find_impure_blocks(program, table, graph, &pt, report);
     report.pointsto = pt;
-    find_alias_leaks(program, table, &mut report);
-    prove_call_bounds(program, table, &mut report);
+    find_alias_leaks(program, table, report);
+    prove_call_bounds(program, table, report);
 
     let mut merged = interval_proved.clone();
     for (&id, &trips) in &report.call_proved_bounds {
         merged.entry(id).or_insert(trips);
     }
     report.wcet = bounds::instruction_bounds_with_flow(program, table, &merged);
-    report
 }
 
 /// True when `o` is owned by `block`: it is a block instance itself, a

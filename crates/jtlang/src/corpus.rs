@@ -498,6 +498,156 @@ class Wiring {
 }
 ";
 
+/// Configuration for the deterministic corpus generator.
+///
+/// The generator exists to exercise the incremental analysis database
+/// at sizes the hand-written corpus cannot reach: [`generate`] emits a
+/// frontend-clean program with `classes * methods_per_class` methods —
+/// loop- and array-heavy bodies (so the interval solver dominates),
+/// same-class call chains and a few cross-class reference fields (so
+/// summary invalidation has a cone to climb), and few enough reference
+/// assignments that points-to stays cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Number of classes `G0..G{classes-1}`.
+    pub classes: usize,
+    /// Methods `m0..` per class.
+    pub methods_per_class: usize,
+    /// Seed for body-shape selection; same seed, same program.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            classes: 8,
+            methods_per_class: 8,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// splitmix64 finalizer — the generator's only source of "randomness".
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Number of methods [`generate`] emits for `cfg` (constructors not
+/// included).
+pub fn method_count(cfg: &GenConfig) -> usize {
+    cfg.classes * cfg.methods_per_class
+}
+
+/// Generates the corpus program for `cfg`. Deterministic: equal configs
+/// produce byte-identical source.
+pub fn generate(cfg: &GenConfig) -> String {
+    generate_with_tweaks(cfg, &std::collections::BTreeMap::new())
+}
+
+/// Like [`generate`], but overrides the embedded constant of selected
+/// methods: `tweaks[g]` replaces the constant of the method with global
+/// index `g = class * methods_per_class + method`. Changing one tweak
+/// value edits exactly that method's body and nothing else — the
+/// primitive the incremental benchmarks and equivalence tests use to
+/// model a one-method edit.
+pub fn generate_with_tweaks(
+    cfg: &GenConfig,
+    tweaks: &std::collections::BTreeMap<usize, i64>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in 0..cfg.classes {
+        let len = 6 + (mix(cfg.seed ^ (c as u64).wrapping_mul(0x10001)) % 7) as usize;
+        let has_prev = c >= 1 && c % 3 == 1;
+        writeln!(out, "class G{c} {{").unwrap();
+        writeln!(out, "    private int[] buf;").unwrap();
+        writeln!(out, "    private int acc;").unwrap();
+        if has_prev {
+            writeln!(out, "    private G{} prev;", c - 1).unwrap();
+        }
+        writeln!(out, "    G{c}() {{").unwrap();
+        writeln!(out, "        buf = new int[{len}];").unwrap();
+        writeln!(out, "        acc = 0;").unwrap();
+        if has_prev {
+            writeln!(out, "        prev = new G{}();", c - 1).unwrap();
+        }
+        writeln!(out, "    }}").unwrap();
+        for m in 0..cfg.methods_per_class {
+            let g = c * cfg.methods_per_class + m;
+            let r = mix(cfg.seed ^ 0xabcd ^ (g as u64));
+            let k = tweaks
+                .get(&g)
+                .copied()
+                .unwrap_or((r % 9) as i64 + 1)
+                .rem_euclid(1000);
+            let variant = (r >> 8) % 6;
+            writeln!(out, "    int m{m}(int n) {{").unwrap();
+            match variant {
+                0 => {
+                    writeln!(out, "        int s = {k};").unwrap();
+                    writeln!(
+                        out,
+                        "        for (int i = 0; i < {len}; i++) {{ s = s + buf[i] + i * {k}; }}"
+                    )
+                    .unwrap();
+                    writeln!(out, "        return s;").unwrap();
+                }
+                1 => {
+                    writeln!(out, "        int s = {k};").unwrap();
+                    writeln!(out, "        for (int i = 0; i < 4; i++) {{").unwrap();
+                    writeln!(
+                        out,
+                        "            for (int j = 0; j < {len}; j++) {{ s = s + buf[j] * i; }}"
+                    )
+                    .unwrap();
+                    writeln!(out, "        }}").unwrap();
+                    writeln!(out, "        return s + n;").unwrap();
+                }
+                2 => {
+                    writeln!(out, "        int s = n + {k};").unwrap();
+                    writeln!(
+                        out,
+                        "        if (s > {k}) {{ s = s - 1; }} else {{ s = s + 1; }}"
+                    )
+                    .unwrap();
+                    writeln!(out, "        boolean b = s > 0;").unwrap();
+                    writeln!(out, "        if (b) {{ s = s + {k}; }}").unwrap();
+                    writeln!(out, "        return s;").unwrap();
+                }
+                3 => {
+                    writeln!(
+                        out,
+                        "        for (int i = 0; i < {len}; i++) {{ buf[i] = i + {k}; }}"
+                    )
+                    .unwrap();
+                    writeln!(out, "        acc = acc + {k};").unwrap();
+                    writeln!(out, "        return acc;").unwrap();
+                }
+                4 if m + 1 < cfg.methods_per_class => {
+                    writeln!(out, "        return m{}(n - 1) + {k};", m + 1).unwrap();
+                }
+                5 if has_prev => {
+                    writeln!(out, "        return prev.m0(n) + {k};").unwrap();
+                }
+                _ => {
+                    writeln!(out, "        int s = n * {k};").unwrap();
+                    writeln!(out, "        for (int i = 0; i < {len}; i++) {{ s = s + i; }}")
+                        .unwrap();
+                    writeln!(out, "        return s;").unwrap();
+                }
+            }
+            writeln!(out, "    }}").unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+    }
+    out
+}
+
 /// A named corpus entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -602,6 +752,46 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn generated_corpus_is_deterministic_and_frontend_clean() {
+        for cfg in [
+            GenConfig::default(),
+            GenConfig {
+                classes: 3,
+                methods_per_class: 5,
+                seed: 42,
+            },
+        ] {
+            let src = generate(&cfg);
+            assert_eq!(src, generate(&cfg), "same config must regenerate identically");
+            let program =
+                crate::check_source(&src).unwrap_or_else(|e| panic!("{cfg:?} failed: {e}\n{src}"));
+            let methods: usize = program.classes.iter().map(|c| c.methods.len()).sum();
+            assert_eq!(methods, method_count(&cfg));
+        }
+    }
+
+    #[test]
+    fn tweak_edits_exactly_one_method() {
+        let cfg = GenConfig::default();
+        let base = generate(&cfg);
+        let mut tweaks = std::collections::BTreeMap::new();
+        tweaks.insert(7usize, 123i64);
+        let edited = generate_with_tweaks(&cfg, &tweaks);
+        assert_ne!(base, edited);
+        crate::check_source(&edited).unwrap();
+        // A tweak swaps one constant in place: same shape, and every
+        // differing line sits inside G0.m7's body (global index 7).
+        let b: Vec<&str> = base.lines().collect();
+        let e: Vec<&str> = edited.lines().collect();
+        assert_eq!(b.len(), e.len());
+        let diff: Vec<usize> = (0..b.len()).filter(|&i| b[i] != e[i]).collect();
+        assert!(!diff.is_empty());
+        let header = b.iter().position(|l| l.contains("int m7(int n)")).unwrap();
+        let close = header + b[header..].iter().position(|l| *l == "    }").unwrap();
+        assert!(diff.iter().all(|&i| i > header && i < close), "{diff:?}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub struct AnalysisContext<'a> {
 impl<'a> AnalysisContext<'a> {
     /// Runs every analysis once.
     pub fn new(program: &'a Program, table: &'a ClassTable) -> Self {
-        Self::build(program, table, None)
+        Self::build(program, table, None, None)
     }
 
     /// Like [`AnalysisContext::new`], but exports `jtanalysis.*` metrics
@@ -55,18 +55,35 @@ impl<'a> AnalysisContext<'a> {
         table: &'a ClassTable,
         registry: &jtobs::Registry,
     ) -> Self {
-        Self::build(program, table, Some(registry))
+        Self::build(program, table, None, Some(registry))
+    }
+
+    /// Like [`AnalysisContext::new`], but runs the dataflow suite
+    /// through `db`, reusing every cached query whose fingerprint is
+    /// unchanged since the database last saw this (or any structurally
+    /// overlapping) program. This is what makes repeated
+    /// [`crate::session::RefinementSession::check`] calls cheap.
+    pub fn with_db(
+        program: &'a Program,
+        table: &'a ClassTable,
+        db: &mut jtanalysis::db::AnalysisDb,
+        registry: Option<&jtobs::Registry>,
+    ) -> Self {
+        Self::build(program, table, Some(db), registry)
     }
 
     fn build(
         program: &'a Program,
         table: &'a ClassTable,
+        db: Option<&mut jtanalysis::db::AnalysisDb>,
         registry: Option<&jtobs::Registry>,
     ) -> Self {
         let graph = callgraph::build(program, table);
-        let flow = match registry {
-            Some(r) => flow::analyze_with_registry(program, table, &graph, r),
-            None => flow::analyze(program, table, &graph),
+        let flow = match (db, registry) {
+            (Some(db), Some(r)) => db.analyze_with_registry(program, table, &graph, r),
+            (Some(db), None) => db.analyze(program, table, &graph),
+            (None, Some(r)) => flow::analyze_with_registry(program, table, &graph, r),
+            (None, None) => flow::analyze(program, table, &graph),
         };
         AnalysisContext {
             alloc: alloc::analyze_with_graph(program, table, &graph),

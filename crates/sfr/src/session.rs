@@ -81,12 +81,19 @@ impl From<TransformError> for SessionError {
 }
 
 /// A refinement session over one program and one policy of use.
+///
+/// The session owns an incremental [`jtanalysis::db::AnalysisDb`]:
+/// every [`RefinementSession::check`] runs through it, so the
+/// analyze/modify loop of Fig. 2 only re-analyzes the methods an edit
+/// actually touched (plus the summary cone above them). See
+/// [`RefinementSession::db_stats`].
 pub struct RefinementSession {
     program: Program,
     table: ClassTable,
     policy: Policy,
     history: Vec<IterationRecord>,
     registry: Option<jtobs::Registry>,
+    db: std::cell::RefCell<jtanalysis::db::AnalysisDb>,
 }
 
 impl fmt::Debug for RefinementSession {
@@ -116,6 +123,7 @@ impl RefinementSession {
             policy,
             history: Vec::new(),
             registry: None,
+            db: std::cell::RefCell::new(jtanalysis::db::AnalysisDb::new()),
         })
     }
 
@@ -151,22 +159,32 @@ impl RefinementSession {
         &self.history
     }
 
+    /// Cache statistics of the session's analysis database:
+    /// `(last check, lifetime totals)`. A second [`Self::check`] on an
+    /// unchanged program reports zero recomputed queries in the first
+    /// component.
+    pub fn db_stats(&self) -> (jtanalysis::db::RunStats, jtanalysis::db::RunStats) {
+        let db = self.db.borrow();
+        (db.last_run(), db.totals())
+    }
+
     /// Checks the policy against the current program. Violations come
     /// back deduplicated and in stable source order (span, then rule).
     pub fn check(&self) -> Vec<Violation> {
         let _span = self.registry.as_ref().map(|r| r.span("sfr.check"));
-        let violations = match &self.registry {
-            Some(registry) => {
-                // Route the registry into the dataflow suite so the
-                // `jtanalysis.*` metrics are exported alongside `sfr.*`.
-                let cx = crate::policy::AnalysisContext::instrumented(
-                    &self.program,
-                    &self.table,
-                    registry,
-                );
-                self.policy.check_with_context(&cx)
-            }
-            None => self.policy.check(&self.program, &self.table),
+        let violations = {
+            // Route every check through the session's analysis database
+            // so unchanged methods are served from cache, and route the
+            // registry (when attached) into the dataflow suite so the
+            // `jtanalysis.*` metrics are exported alongside `sfr.*`.
+            let mut db = self.db.borrow_mut();
+            let cx = crate::policy::AnalysisContext::with_db(
+                &self.program,
+                &self.table,
+                &mut db,
+                self.registry.as_ref(),
+            );
+            self.policy.check_with_context(&cx)
         };
         if let Some(registry) = &self.registry {
             for v in &violations {
@@ -425,6 +443,43 @@ mod tests {
             assert!(registry.gauge_value("jtanalysis.cfg.blocks") > 0);
             assert!(registry.counter_value("jtanalysis.solver.iterations.interval") > 0);
         }
+    }
+
+    #[test]
+    fn repeated_checks_are_served_from_the_warm_db() {
+        let s = session(jtlang::corpus::LINKED_QUEUE);
+        let first = s.check();
+        let (cold, _) = s.db_stats();
+        assert!(cold.recomputed > 0);
+        let second = s.check();
+        let (warm, totals) = s.db_stats();
+        assert_eq!(first, second);
+        assert_eq!(warm.recomputed, 0, "{warm:?}");
+        assert_eq!(warm.misses, 0, "{warm:?}");
+        assert_eq!(warm.scc_misses, 0, "{warm:?}");
+        assert_eq!(totals.recomputed, cold.recomputed);
+    }
+
+    #[test]
+    fn manual_edit_only_recomputes_the_dirty_cone() {
+        let base = "class A extends ASR {
+             private int x;
+             A() { x = 0; }
+             public void run() { x = step(); }
+             private int step() { return 1; }
+             private int other() { return 2; }
+         }";
+        let mut s = session(base);
+        s.check();
+        // Edit only `step`'s body; `other`, `run`, and the ctor are
+        // structurally unchanged.
+        s.replace_source(&base.replace("return 1;", "return 3;")).unwrap();
+        s.check();
+        let (warm, _) = s.db_stats();
+        // One method changed: its cfg/definite/constprop/interval
+        // queries recompute, nothing else at the method level.
+        assert_eq!(warm.recomputed, 4, "{warm:?}");
+        assert!(warm.hits > 0, "{warm:?}");
     }
 
     #[test]

@@ -24,7 +24,19 @@
 //! `class`, `message`, `span`, `fix`, and — for R2 (bounded-loop)
 //! findings — an `evidence` field summarizing what the interval
 //! analysis *did* prove, so a consumer can see how close the proof came.
+//!
+//! `--stats` routes every sample through one shared incremental
+//! analysis database (`jtanalysis::db::AnalysisDb`) and prints its
+//! cache-traffic line (hits/misses/recomputed/invalidated, SCC summary
+//! traffic, revisions analyzed) after the per-sample table.
+//!
+//! `--warm-check` lints every sample *twice* through a fresh database
+//! and exits nonzero unless the second, byte-identical run recomputes
+//! zero method-level queries and zero SCC summaries and reproduces the
+//! first run's findings exactly — the CI guard for the incremental
+//! engine's "warm re-check is free and invisible" contract.
 
+use jtanalysis::db::AnalysisDb;
 use sfr::policy::{AnalysisContext, Policy};
 use sfr::violation::{render, render_json, Violation};
 
@@ -49,16 +61,19 @@ const RULES: [&str; 14] = [
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
 ];
 
-fn lint(source: &str) -> Result<(Vec<Violation>, Vec<u64>), String> {
+fn lint(source: &str, db: Option<&mut AnalysisDb>) -> Result<(Vec<Violation>, Vec<u64>), String> {
     let program = jtlang::check_source(source).map_err(|e| format!("front end: {e}"))?;
     let table =
         jtlang::resolve::resolve(&program).map_err(|e| format!("resolver: {e}"))?;
-    std::panic::catch_unwind(|| {
-        let cx = AnalysisContext::new(&program, &table);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cx = match db {
+            Some(db) => AnalysisContext::with_db(&program, &table, db, None),
+            None => AnalysisContext::new(&program, &table),
+        };
         let violations = Policy::asr().check_with_context(&cx);
         let proved = cx.flow.interval.proved_loop_bounds.values().copied().collect();
         (violations, proved)
-    })
+    }))
     .map_err(|_| "analysis panicked (internal error)".to_string())
 }
 
@@ -88,15 +103,47 @@ fn json_line(file: &str, v: &Violation, evidence: Option<&str>) -> String {
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let json = std::env::args().any(|a| a == "--json");
+    let stats = std::env::args().any(|a| a == "--stats");
+    let warm_check = std::env::args().any(|a| a == "--warm-check");
     let mut internal_errors = 0usize;
     let mut regressions = 0usize;
+    let mut warm_failures = 0usize;
     let mut counts: Vec<(String, usize)> = Vec::new();
     let mut per_rule: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
+    let mut shared_db = AnalysisDb::new();
 
     for sample in jtlang::corpus::samples() {
         let file = format!("{}.jt", sample.name);
-        match lint(sample.source) {
+        if warm_check {
+            let mut db = AnalysisDb::new();
+            let outcome = lint(sample.source, Some(&mut db)).and_then(|first| {
+                lint(sample.source, Some(&mut db)).map(|second| (first, second))
+            });
+            match outcome {
+                Ok((first, second)) => {
+                    let s = db.last_run();
+                    if s.recomputed != 0 || s.scc_misses != 0 {
+                        eprintln!(
+                            "jtlint: `{}` warm re-check recomputed {} method-level \
+                             queries and {} SCC summaries (expected 0)",
+                            sample.name, s.recomputed, s.scc_misses
+                        );
+                        warm_failures += 1;
+                    }
+                    if first.0 != second.0 {
+                        eprintln!("jtlint: `{}` warm re-check changed the findings", sample.name);
+                        warm_failures += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("jtlint: internal error on `{}`: {e}", sample.name);
+                    internal_errors += 1;
+                }
+            }
+        }
+        let result = lint(sample.source, stats.then_some(&mut shared_db));
+        match result {
             Ok((violations, proved)) => {
                 if json {
                     for v in &violations {
@@ -134,6 +181,28 @@ fn main() {
         println!("rule totals: {}", totals.join(" "));
     }
 
+    if stats {
+        let t = shared_db.totals();
+        println!(
+            "db cache: {} hits, {} misses, {} recomputed, {} invalidated; \
+             scc summaries: {} hits, {} misses; revisions analyzed: {}",
+            t.hits,
+            t.misses,
+            t.recomputed,
+            t.invalidated,
+            t.scc_hits,
+            t.scc_misses,
+            shared_db.revision()
+        );
+    }
+    if warm_check && internal_errors == 0 && warm_failures == 0 {
+        println!(
+            "jtlint --warm-check: warm re-check recomputed 0 method-level queries \
+             on all {} samples",
+            jtlang::corpus::samples().len()
+        );
+    }
+
     if check {
         for (name, expected) in SNAPSHOT {
             match counts.iter().find(|(n, _)| n == name) {
@@ -161,7 +230,7 @@ fn main() {
         }
     }
 
-    if internal_errors > 0 || regressions > 0 {
+    if internal_errors > 0 || regressions > 0 || warm_failures > 0 {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,215 @@
+//! Equivalence and stability properties of the incremental analysis
+//! database.
+//!
+//! The engine's contract is blunt: *incremental must be invisible*.
+//! After any sequence of edits, a warm [`jtanalysis::db::AnalysisDb`]
+//! must report exactly what a from-scratch batch run reports — same
+//! R1–R14 violations, same WCET bounds, same summaries — and edits
+//! that don't change program structure (whitespace, comments, a
+//! pretty-print round trip) must recompute nothing at all.
+
+use jtanalysis::db::AnalysisDb;
+use jtanalysis::{callgraph, flow, frontend};
+use jtlang::corpus::{self, GenConfig};
+use proptest::prelude::*;
+use sfr::policy::Policy;
+use sfr::session::RefinementSession;
+use std::collections::BTreeMap;
+
+fn setup(src: &str) -> (jtlang::ast::Program, jtlang::resolve::ClassTable, callgraph::CallGraph) {
+    let (p, t) = frontend(src).expect("generated program is frontend-clean");
+    let g = callgraph::build(&p, &t);
+    (p, t, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random edit sequence on a random generated corpus: after every
+    /// edit, the warm database agrees finding-for-finding with a cold
+    /// batch run, and a warm `RefinementSession` agrees violation-for-
+    /// violation with a fresh policy check.
+    #[test]
+    fn incremental_matches_batch_under_random_edits(
+        classes in 2usize..5,
+        methods_per_class in 2usize..6,
+        seed in any::<u64>(),
+        edits in proptest::collection::vec((0usize..64, 0i64..1000), 1..6),
+    ) {
+        let cfg = GenConfig { classes, methods_per_class, seed };
+        let n = corpus::method_count(&cfg);
+        let mut tweaks: BTreeMap<usize, i64> = BTreeMap::new();
+        let mut db = AnalysisDb::new();
+        let base = corpus::generate(&cfg);
+        let session = RefinementSession::from_source(&base, Policy::asr()).unwrap();
+        let mut session = session;
+
+        let mut revisions = vec![base];
+        for (gi, k) in edits {
+            tweaks.insert(gi % n, k);
+            revisions.push(corpus::generate_with_tweaks(&cfg, &tweaks));
+        }
+        for (i, src) in revisions.iter().enumerate() {
+            if i > 0 {
+                session.replace_source(src).unwrap();
+            }
+            let (p, t, g) = setup(src);
+            let warm = db.analyze(&p, &t, &g);
+            let cold = flow::analyze_batch(&p, &t, &g);
+            prop_assert_eq!(&warm.definite.unassigned_reads, &cold.definite.unassigned_reads);
+            prop_assert_eq!(&warm.constprop.constant_conds, &cold.constprop.constant_conds);
+            prop_assert_eq!(&warm.interval.oob, &cold.interval.oob);
+            prop_assert_eq!(&warm.interval.proved_loop_bounds, &cold.interval.proved_loop_bounds);
+            prop_assert_eq!(&warm.summary.wcet, &cold.summary.wcet);
+            prop_assert_eq!(&warm.summary.methods, &cold.summary.methods);
+            prop_assert_eq!(warm.solver_iterations(), cold.solver_iterations());
+
+            let warm_violations = session.check();
+            let cold_violations = Policy::asr().check(&p, &t);
+            prop_assert_eq!(warm_violations, cold_violations);
+        }
+    }
+
+    /// Re-analyzing any revision the database has already seen is free.
+    #[test]
+    fn reanalyzing_a_seen_revision_recomputes_nothing(
+        seed in any::<u64>(),
+    ) {
+        let cfg = GenConfig { classes: 3, methods_per_class: 4, seed };
+        let src = corpus::generate(&cfg);
+        let mut db = AnalysisDb::new();
+        let (p, t, g) = setup(&src);
+        db.analyze(&p, &t, &g);
+        let (p2, t2, g2) = setup(&src);
+        db.analyze(&p2, &t2, &g2);
+        let stats = db.last_run();
+        prop_assert_eq!(stats.recomputed, 0);
+        prop_assert_eq!(stats.scc_misses, 0);
+        prop_assert_eq!(stats.invalidated, 0);
+    }
+}
+
+/// Satellite: fingerprints are stable under formatting. A comment/
+/// whitespace-only edit and a `parse ∘ pretty` round trip both hit the
+/// warm cache for every query, on every corpus sample and on a
+/// generated program.
+#[test]
+fn formatting_edits_recompute_zero_queries() {
+    let mut sources: Vec<(String, String)> = corpus::samples()
+        .iter()
+        .map(|s| (s.name.to_string(), s.source.to_string()))
+        .collect();
+    sources.push(("generated".into(), corpus::generate(&GenConfig::default())));
+
+    for (name, src) in sources {
+        let mut db = AnalysisDb::new();
+        let (p, t, g) = setup(&src);
+        db.analyze(&p, &t, &g);
+
+        // Pretty-print round trip: different spans, same structure.
+        let pretty = jtlang::pretty::print_program(&p);
+        let (p2, t2, g2) = setup(&pretty);
+        db.analyze(&p2, &t2, &g2);
+        let stats = db.last_run();
+        assert_eq!(stats.recomputed, 0, "{name} (pretty): {stats:?}");
+        assert_eq!(stats.scc_misses, 0, "{name} (pretty): {stats:?}");
+        assert_eq!(stats.invalidated, 0, "{name} (pretty): {stats:?}");
+
+        // Whitespace/comment-only edit on the original text.
+        let spaced = format!("// preamble comment\n{}\n// trailing\n", src.replace('\n', "\n "));
+        let (p3, t3, g3) = setup(&spaced);
+        db.analyze(&p3, &t3, &g3);
+        let stats = db.last_run();
+        assert_eq!(stats.recomputed, 0, "{name} (spaced): {stats:?}");
+        assert_eq!(stats.scc_misses, 0, "{name} (spaced): {stats:?}");
+    }
+}
+
+/// Satellite: a call cycle too long for `MAX_SCC_PASSES` must land on
+/// the canonical divergent summary — never a partial fixpoint — and do
+/// so deterministically.
+#[test]
+fn divergent_scc_gets_the_canonical_conservative_summary() {
+    // Twelve mutually recursive methods, each writing its own field:
+    // full effect closure needs ~12 propagation passes, past the bound.
+    let mut body = String::new();
+    for i in 0..12 {
+        body.push_str(&format!("    private int f{i};\n"));
+    }
+    body.push_str("    D() {\n");
+    for i in 0..12 {
+        body.push_str(&format!("        f{i} = 0;\n"));
+    }
+    body.push_str("    }\n");
+    for i in 0..12 {
+        let next = (i + 1) % 12;
+        body.push_str(&format!(
+            "    int m{i}(int x) {{ f{i} = f{i} + 1; if (x > 0) {{ return m{next}(x - 1); }} return f{i}; }}\n"
+        ));
+    }
+    let src = format!("class D {{\n{body}}}\n");
+
+    let run = || {
+        let (p, t, g) = setup(&src);
+        let r = flow::analyze(&p, &t, &g);
+        (p, t, r)
+    };
+    let (p, t, r1) = run();
+    let (_, _, r2) = run();
+    assert!(r1.summary.divergent_sccs >= 1, "{}", r1.summary.divergent_sccs);
+    assert_eq!(r1.summary.methods, r2.summary.methods, "divergence must be deterministic");
+
+    let mref = jtanalysis::MethodRef::method("D", "m0");
+    let m = &r1.summary.methods[&mref];
+    assert!(m.purity.diverged, "diverged flag must be set");
+    let class = p.classes.iter().find(|c| c.name == "D").unwrap();
+    let decl = class.methods.iter().find(|d| d.name == "m0").unwrap();
+    assert_eq!(
+        m.escape,
+        jtanalysis::escape::divergent_top(&t, class, decl),
+        "divergent SCCs must cache the canonical top, not a partial fixpoint"
+    );
+
+    // The divergence is visible through telemetry and db stats alike.
+    let (p3, t3, g3) = setup(&src);
+    let registry = jtobs::Registry::new();
+    let mut db = AnalysisDb::new();
+    db.analyze_with_registry(&p3, &t3, &g3, &registry);
+    if jtobs::ENABLED {
+        assert!(registry.counter_value("jtanalysis.summary.divergent_sccs") >= 1);
+        assert!(registry.counter_value("jtanalysis.db.misses") > 0);
+    }
+}
+
+/// Satellite: the cached divergent summary is itself reusable — a
+/// formatting edit on a divergent program is still a full cache hit.
+#[test]
+fn divergent_summaries_are_cached_like_any_other() {
+    let mut body = String::new();
+    for i in 0..12 {
+        body.push_str(&format!("    private int f{i};\n"));
+    }
+    body.push_str("    D() {\n");
+    for i in 0..12 {
+        body.push_str(&format!("        f{i} = 0;\n"));
+    }
+    body.push_str("    }\n");
+    for i in 0..12 {
+        let next = (i + 1) % 12;
+        body.push_str(&format!(
+            "    int m{i}(int x) {{ f{i} = f{i} + 1; return m{next}(x); }}\n"
+        ));
+    }
+    let src = format!("class D {{\n{body}}}\n");
+    let mut db = AnalysisDb::new();
+    let (p, t, g) = setup(&src);
+    let cold = db.analyze(&p, &t, &g);
+    assert!(cold.summary.divergent_sccs >= 1);
+    let (p2, t2, g2) = setup(&src);
+    let warm = db.analyze(&p2, &t2, &g2);
+    let stats = db.last_run();
+    assert_eq!(stats.recomputed, 0, "{stats:?}");
+    assert_eq!(stats.scc_misses, 0, "{stats:?}");
+    assert_eq!(warm.summary.divergent_sccs, cold.summary.divergent_sccs);
+    assert_eq!(warm.summary.methods, cold.summary.methods);
+}
