@@ -20,14 +20,22 @@
 //! recomputed SCC produces summaries with the same hash, its callers'
 //! keys are unchanged and the dirty cone stops there.
 //!
-//! What is deliberately *not* cached across revisions: the points-to
-//! relation (its abstract objects are allocation-site node ids, i.e.
-//! global), and the cheap linear derived passes (R13/R14 findings,
-//! call-site loop proofs, WCET, races). Those recompute every revision
-//! from cached summaries — see DESIGN §8 for the boundary.
+//! The whole-program points-to relation is cached too, keyed by the
+//! span-free [`crate::fingerprint::program_fp`]: its abstract objects
+//! are keyed by fingerprint-stable allocation-site IDs, so a cached
+//! relation is *rebased* onto the current parse's node ids and spans
+//! ([`PointsTo::rebase`]) the same way method cores rebase spans. A
+//! span-only edit therefore reuses the solved relation outright.
+//!
+//! What is deliberately *not* cached across revisions: the cheap linear
+//! derived passes (R13/R14 findings, call-site loop proofs, WCET,
+//! races, evidence assembly). Those recompute every revision from
+//! cached summaries and the cached relation — see DESIGN §8/§9 for the
+//! boundary.
 //!
 //! Metrics (with a registry attached): `jtanalysis.db.hits`, `.misses`,
-//! `.recomputed`, `.invalidated`, `.scc_hits`, `.scc_misses`, and the
+//! `.recomputed`, `.invalidated`, `.scc_hits`, `.scc_misses`,
+//! `.pointsto_hits`, `.pointsto_misses`, and the
 //! `jtanalysis.db.revision` gauge, alongside the same suite metrics the
 //! batch driver exported.
 
@@ -35,8 +43,9 @@ use crate::callgraph::CallGraph;
 use crate::constprop::{self, ConstpropCore};
 use crate::definite::{self, DefiniteCore};
 use crate::escape::EscapeSummary;
-use crate::fingerprint::{combine, field_lens_fp, Fp, NodeMap, ProgramIndex, StructHasher};
+use crate::fingerprint::{combine, field_lens_fp, program_fp, Fp, NodeMap, ProgramIndex, StructHasher};
 use crate::interval::{self, FieldLenIndex, IntervalCore};
+use crate::pointsto::{self, PointsTo};
 use crate::purity::PuritySummary;
 use crate::races;
 use crate::summary::{self, MethodSummary, SummaryReport};
@@ -65,6 +74,11 @@ pub struct RunStats {
     pub scc_hits: u64,
     /// SCC summaries recomputed.
     pub scc_misses: u64,
+    /// Points-to relations served from cache (after rebasing onto the
+    /// current parse).
+    pub pointsto_hits: u64,
+    /// Points-to relations solved from scratch.
+    pub pointsto_misses: u64,
 }
 
 impl RunStats {
@@ -75,6 +89,8 @@ impl RunStats {
         self.invalidated += other.invalidated;
         self.scc_hits += other.scc_hits;
         self.scc_misses += other.scc_misses;
+        self.pointsto_hits += other.pointsto_hits;
+        self.pointsto_misses += other.pointsto_misses;
     }
 
     /// Total method-level query lookups this run.
@@ -205,6 +221,10 @@ pub struct AnalysisDb {
     constprop: BTreeMap<Fp, CacheSlot<ConstpropCore>>,
     interval: BTreeMap<Fp, CacheSlot<IntervalCore>>,
     sccs: BTreeMap<Fp, SccEntry>,
+    /// Whole-program points-to relations keyed by the span-free
+    /// [`program_fp`]; values are rebased onto the current parse before
+    /// use (allocation-site fingerprints make the objects stable).
+    pointsto: BTreeMap<Fp, CacheSlot<PointsTo>>,
     /// `(method key, interval key)` per method at the previous revision,
     /// for the `invalidated` statistic.
     prev_keys: BTreeMap<MethodRef, (Fp, Fp)>,
@@ -304,6 +324,7 @@ impl AnalysisDb {
             let stats = RunStats {
                 hits: 4 * each_method(program).count() as u64,
                 scc_hits: report.summary.sccs as u64,
+                pointsto_hits: 1,
                 ..RunStats::default()
             };
             self.last = stats;
@@ -544,14 +565,55 @@ impl AnalysisDb {
             let escape = escapes.remove(&mref).unwrap_or_default();
             out.methods.insert(mref, MethodSummary { purity, escape });
         }
+        let pt = self.pointsto_for(program, table, stats);
         summary::derive_products(
             program,
             table,
             graph,
             &report.interval.proved_loop_bounds,
+            pt,
             &mut out,
         );
         out
+    }
+
+    /// Serves the whole-program points-to relation, rebasing a cached
+    /// one onto the current parse when the span-free program
+    /// fingerprint matches. A rebase failure (an allocation site the
+    /// current parse no longer has — possible only on a fingerprint
+    /// collision) falls back to a fresh solve.
+    fn pointsto_for(
+        &mut self,
+        program: &Program,
+        table: &ClassTable,
+        stats: &mut RunStats,
+    ) -> PointsTo {
+        let revision = self.revision;
+        let pkey = program_fp(program, table);
+        match self.pointsto.entry(pkey) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().last_used = revision;
+                let mut pt = e.get().value.clone();
+                if pt.rebase(program, table) {
+                    stats.pointsto_hits += 1;
+                    pt
+                } else {
+                    stats.pointsto_misses += 1;
+                    let fresh = pointsto::analyze(program, table);
+                    e.get_mut().value = fresh.clone();
+                    fresh
+                }
+            }
+            Entry::Vacant(v) => {
+                stats.pointsto_misses += 1;
+                let pt = pointsto::analyze(program, table);
+                v.insert(CacheSlot {
+                    value: pt.clone(),
+                    last_used: revision,
+                });
+                pt
+            }
+        }
     }
 
     fn evict(&mut self, revision: u64) {
@@ -562,6 +624,7 @@ impl AnalysisDb {
         self.constprop.retain(|_, s| keep(s.last_used));
         self.interval.retain(|_, s| keep(s.last_used));
         self.sccs.retain(|_, s| keep(s.last_used));
+        self.pointsto.retain(|_, s| keep(s.last_used));
     }
 }
 
@@ -595,6 +658,9 @@ fn export_metrics(r: &jtobs::Registry, report: &FlowReport, stats: &RunStats, re
     r.counter("jtanalysis.db.invalidated").add(stats.invalidated);
     r.counter("jtanalysis.db.scc_hits").add(stats.scc_hits);
     r.counter("jtanalysis.db.scc_misses").add(stats.scc_misses);
+    r.counter("jtanalysis.db.pointsto_hits").add(stats.pointsto_hits);
+    r.counter("jtanalysis.db.pointsto_misses")
+        .add(stats.pointsto_misses);
     r.gauge("jtanalysis.db.revision").set(revision as i64);
 }
 
@@ -742,6 +808,61 @@ mod tests {
             r2.definite.unassigned_reads[0].span,
         );
         assert_eq!(s2.start, s1.start + "/* pad pad pad */ ".len());
+    }
+
+    #[test]
+    fn span_only_edit_reuses_the_pointsto_relation() {
+        // A comment shifts every span and node id, but the span-free
+        // program fingerprint is unchanged: the cached relation must be
+        // rebased, not re-solved — and the rebased findings must carry
+        // the *new* spans.
+        let base = "class Acc { public int total; Acc() { total = 0; } }
+             class Tap extends ASR {
+                 private Acc acc;
+                 Tap(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(0); }
+             }
+             class TapB extends ASR {
+                 private Acc acc;
+                 TapB(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(1); }
+             }
+             class Wiring {
+                 Wiring() {
+                     Acc shared = new Acc();
+                     Tap t = new Tap(shared);
+                     TapB b = new TapB(shared);
+                 }
+             }";
+        let shifted = format!("/* pad pad pad */ {base}");
+        let (p, t, g) = setup(base);
+        let mut db = AnalysisDb::new();
+        let r1 = db.analyze(&p, &t, &g);
+        assert_eq!(db.last_run().pointsto_misses, 1);
+        assert_eq!(db.last_run().pointsto_hits, 0);
+        let (p2, t2, g2) = setup(&shifted);
+        let r2 = db.analyze(&p2, &t2, &g2);
+        let stats = db.last_run();
+        assert_eq!(stats.pointsto_hits, 1, "{stats:?}");
+        assert_eq!(stats.pointsto_misses, 0, "{stats:?}");
+        // The rebased relation must produce the same findings as a
+        // fresh solve on the shifted source, with shifted spans.
+        let fresh = flow::analyze_batch(&p2, &t2, &g2);
+        assert_eq!(r1.summary.impure_blocks.len(), 2);
+        assert_eq!(r2.summary.impure_blocks.len(), 2);
+        for (a, b) in r2
+            .summary
+            .impure_blocks
+            .iter()
+            .zip(fresh.summary.impure_blocks.iter())
+        {
+            assert_eq!(a.block, b.block);
+            assert_eq!(a.span, b.span);
+        }
+        assert_eq!(
+            r2.summary.impure_blocks[0].span.start,
+            r1.summary.impure_blocks[0].span.start + "/* pad pad pad */ ".len()
+        );
     }
 
     #[test]

@@ -538,6 +538,43 @@ pub fn class_fp(class: &ClassDecl) -> Fp {
     h.finish()
 }
 
+/// Fingerprint-stable allocation-site id: the owning class and method
+/// plus the site's body-walk-order ordinal. Deliberately span- and
+/// node-id-free, so a points-to object keyed by it can be rebased onto
+/// any structurally identical revision (the ordinal is a function of
+/// tree shape alone). Field-initializer sites pass the pseudo-method
+/// name `"<field-init>"` to keep their ordinal namespace separate from
+/// the explicit constructor's.
+pub fn site_fp(class: &str, method: &str, is_ctor: bool, ordinal: u64) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x51);
+    h.str(class);
+    h.str(method);
+    h.bool(is_ctor);
+    h.u64(ordinal);
+    h.finish()
+}
+
+/// Site id of the per-class summary object (externally created
+/// instances); disjoint from every [`site_fp`] by tag.
+pub fn summary_site_fp(class: &str) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x52);
+    h.str(class);
+    h.finish()
+}
+
+/// Span-free whole-program fingerprint: the class signature table plus
+/// every class's structural hash (field initializers and method bodies
+/// included). Two revisions sharing it produce identical points-to
+/// relations up to spans/node ids — [`crate::db`] uses it to key the
+/// points-to cache, rebasing the hit onto the revision's spans.
+pub fn program_fp(program: &Program, table: &ClassTable) -> Fp {
+    let mut parts = vec![sig_fp(table)];
+    parts.extend(program.classes.iter().map(class_fp));
+    combine(&parts)
+}
+
 /// A fingerprint pinning the *exact parse*: the full structural hash
 /// plus every source span in the program. Two programs share this
 /// value only when no analysis can distinguish them at all — identical

@@ -87,6 +87,18 @@ pub fn analyze_with_registry(
 /// in sequence, with no caching or fingerprinting anywhere. Kept as an
 /// independent oracle for the incremental engine's equivalence tests.
 pub fn analyze_batch(program: &Program, table: &ClassTable, graph: &CallGraph) -> FlowReport {
+    analyze_batch_k(program, table, graph, crate::pointsto::DEFAULT_K)
+}
+
+/// [`analyze_batch`] at an explicit points-to context depth `k`
+/// (`k = 0` reproduces the context-insensitive tier, used by the
+/// precision-regression guard and the k-refinement proptests).
+pub fn analyze_batch_k(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    k: usize,
+) -> FlowReport {
     let mut report = FlowReport::default();
     for (class, decl, mref) in each_method(program) {
         let g = cfg::build(class, decl, mref);
@@ -96,8 +108,13 @@ pub fn analyze_batch(program: &Program, table: &ClassTable, graph: &CallGraph) -
     report.definite = definite::analyze(program, table);
     report.constprop = constprop::analyze(program, table);
     report.interval = interval::analyze(program, table);
-    report.summary =
-        summary::analyze_with_bounds(program, table, graph, &report.interval.proved_loop_bounds);
+    report.summary = summary::analyze_with_bounds_k(
+        program,
+        table,
+        graph,
+        &report.interval.proved_loop_bounds,
+        k,
+    );
     report.races = races::analyze_with_pointsto(program, table, graph, &report.summary.pointsto);
     report
 }

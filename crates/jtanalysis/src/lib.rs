@@ -66,6 +66,7 @@ pub mod constprop;
 pub mod dataflow;
 pub mod db;
 pub mod definite;
+pub mod evidence;
 pub mod fingerprint;
 pub mod flow;
 pub mod escape;

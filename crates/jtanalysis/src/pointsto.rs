@@ -1,20 +1,26 @@
-//! Flow-insensitive, field-sensitive points-to analysis.
+//! Flow-insensitive, field-sensitive, k-object-sensitive points-to
+//! analysis.
 //!
 //! The interprocedural summary engine ([`crate::summary`]) and the
 //! alias-aware race tier ([`crate::races`]) need one whole-program fact:
 //! *which abstract objects can this expression denote?* This module
 //! computes it Andersen-style — a global subset-constraint fixpoint with
-//! no flow or context sensitivity, but with field sensitivity, which is
-//! what distinguishes two `Cell` instances held by two different thread
-//! objects.
+//! field sensitivity and **k-limited object sensitivity**: every method
+//! is analyzed once per abstract receiver object, and every allocation
+//! site is cloned per *heap context* — the k-truncated allocation-site
+//! string of its receiver. At `k = 0` there is a single empty context
+//! and the analysis reproduces the classic context-insensitive relation
+//! exactly; [`DEFAULT_K`] is 1, which distinguishes the objects a
+//! factory or builder hands to two different callers.
 //!
 //! Abstract objects ([`ObjInfo`]) come in three kinds:
 //!
 //! * [`ObjKind::Alloc`] — an in-program `new` expression (object or
-//!   array), one abstract object per allocation site;
+//!   array), one abstract object per allocation site *per heap
+//!   context*;
 //! * [`ObjKind::Builtin`] — the result of a builtin call returning a
 //!   reference (e.g. `readVec`), treated as a fresh object per call
-//!   site;
+//!   site per heap context;
 //! * [`ObjKind::Summary`] — a per-class stand-in for instances created
 //!   *outside* the analyzed program: classes with no in-program
 //!   allocation site, and reference parameters of methods no analyzed
@@ -22,13 +28,23 @@
 //!   which may alias them arbitrarily — all such arguments share the one
 //!   summary object, the conservative choice).
 //!
+//! Every object carries a **fingerprint-stable site id** ([`ObjInfo::site`],
+//! the walk-order ordinal of the allocation within its method, hashed
+//! with the method's name — *not* a node id), so the incremental
+//! database can cache a solved relation and [`PointsTo::rebase`] it onto
+//! a structurally identical revision whose spans moved.
+//!
 //! The heap maps `(object, field)` to a set of objects; array elements
-//! use the pseudo-field [`ELEMS`]. Solving repeats two passes — a *link*
-//! pass flowing call arguments into callee parameters and a *store* pass
-//! flowing assignments into variables, fields, and returns — until
-//! nothing changes or [`MAX_PASSES`] is hit. [`PointsTo::eval`] is pure
-//! and can be re-applied to any expression after solving.
+//! use the pseudo-field [`ELEMS`]. Solving repeats three passes — a
+//! *materialize* pass cloning allocation sites into the contexts that
+//! reach them, a *link* pass flowing call arguments into per-receiver
+//! callee parameters, and a *store* pass flowing assignments into
+//! variables, fields, and returns — until nothing changes or
+//! [`MAX_PASSES`] is hit. [`PointsTo::eval`] is pure, projects the
+//! per-context solution over all receiver contexts of the asking
+//! method, and can be re-applied to any expression after solving.
 
+use crate::fingerprint::{self, Fp};
 use crate::MethodRef;
 use jtlang::ast::{
     walk_expr, walk_exprs, walk_stmts, ClassDecl, Expr, ExprKind, MethodDecl, NodeId, Program,
@@ -46,6 +62,9 @@ pub const ELEMS: &str = "[]";
 /// under-approximation, which [`PointsTo::converged`] reports.
 pub const MAX_PASSES: usize = 64;
 
+/// Context depth used by [`analyze`]: one level of object sensitivity.
+pub const DEFAULT_K: usize = 1;
+
 /// Index of an abstract object within one [`PointsTo`] result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ObjId(pub usize);
@@ -62,7 +81,7 @@ pub enum ObjKind {
     Summary,
 }
 
-/// One abstract object.
+/// One abstract object: an allocation site paired with a heap context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjInfo {
     /// The object's id.
@@ -77,22 +96,52 @@ pub struct ObjInfo {
     /// (field initializers are attributed to the declaring class's
     /// constructor).
     pub method: Option<MethodRef>,
+    /// Fingerprint-stable allocation-site id: hash of the owning
+    /// method's name and the site's walk-order ordinal — *not* a node
+    /// id, so it survives span-only edits across revisions.
+    pub site: Fp,
+    /// Heap context: the k-truncated allocation-site string of the
+    /// receiver this clone was materialized under (empty at `k = 0`).
+    pub ctx: Vec<Fp>,
 }
 
-/// A points-to variable: a local/parameter of a method, or a method's
-/// return value.
+/// Method analysis context: the abstract receiver, or `None` for the
+/// single "any receiver" context of a `k = 0` analysis.
+type MCtx = Option<ObjId>;
+
+/// A points-to variable: a local/parameter of a method analyzed under
+/// one receiver context, or such a method's return value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum VarKey {
-    Local(MethodRef, String),
-    Ret(MethodRef),
+    Local(MethodRef, MCtx, String),
+    Ret(MethodRef, MCtx),
+}
+
+/// One allocation or builtin-result site, in body walk order.
+#[derive(Debug, Clone)]
+struct Site {
+    fp: Fp,
+    expr_id: NodeId,
+    span: Span,
+    class: String,
+    is_builtin: bool,
+    /// Method whose body (or field initializer, attributed to the
+    /// constructor) contains the site — also the context source.
+    method: MethodRef,
 }
 
 /// Result of [`analyze`]: the whole-program points-to relation.
 #[derive(Debug, Clone, Default)]
 pub struct PointsTo {
+    k: usize,
     objs: Vec<ObjInfo>,
-    /// `new` / builtin-call expression id → its abstract object.
-    site_of_expr: BTreeMap<NodeId, ObjId>,
+    /// `new` / builtin-call expression id → its clones (one per heap
+    /// context the site was materialized under).
+    site_of_expr: BTreeMap<NodeId, BTreeSet<ObjId>>,
+    /// Site expression id → its fingerprint-stable site id.
+    site_fp_of_expr: BTreeMap<NodeId, Fp>,
+    /// `(site fp, heap context)` → the materialized clone.
+    clone_of: BTreeMap<(Fp, Vec<Fp>), ObjId>,
     /// Class name → its summary object (created on demand).
     summary_of_class: BTreeMap<String, ObjId>,
     vars: BTreeMap<VarKey, BTreeSet<ObjId>>,
@@ -109,6 +158,11 @@ pub struct PointsTo {
 }
 
 impl PointsTo {
+    /// The context depth this relation was solved at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// All abstract objects, in creation order.
     pub fn objects(&self) -> impl Iterator<Item = &ObjInfo> {
         self.objs.iter()
@@ -171,7 +225,189 @@ impl PointsTo {
         seen
     }
 
-    /// The objects `expr` may denote when evaluated inside `mref`.
+    /// A field-labeled heap path from `from` to `to`, if one exists:
+    /// each step is `(field, next object)` starting at `from`. Used to
+    /// render machine-checkable alias witnesses; `Some(vec![])` when
+    /// `from == to`.
+    pub fn witness_path(&self, from: ObjId, to: ObjId) -> Option<Vec<(String, ObjId)>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut parent: BTreeMap<ObjId, (ObjId, String)> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(x) = queue.pop_front() {
+            for ((base, field), targets) in &self.heap {
+                if *base != x {
+                    continue;
+                }
+                for &t in targets {
+                    if seen.insert(t) {
+                        parent.insert(t, (x, field.clone()));
+                        if t == to {
+                            let mut path = Vec::new();
+                            let mut cur = to;
+                            while cur != from {
+                                let (prev, field) = parent[&cur].clone();
+                                path.push((field, cur));
+                                cur = prev;
+                            }
+                            path.reverse();
+                            return Some(path);
+                        }
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The receiver contexts method `mref` is analyzed under.
+    fn ctxs_of(&self, mref: &MethodRef) -> Vec<MCtx> {
+        if self.k == 0 {
+            vec![None]
+        } else {
+            self.instances_of(&mref.class).into_iter().map(Some).collect()
+        }
+    }
+
+    /// The objects `this` may denote in `mref` under context `ctx`.
+    fn this_set(&self, mref: &MethodRef, ctx: MCtx) -> BTreeSet<ObjId> {
+        match ctx {
+            Some(o) => BTreeSet::from([o]),
+            None => self.instances_of(&mref.class),
+        }
+    }
+
+    /// The heap context a site materializes under when its method runs
+    /// with receiver context `ctx`: the receiver's own site prepended
+    /// to the receiver's context, truncated to k.
+    fn heap_ctx(&self, ctx: MCtx) -> Vec<Fp> {
+        match ctx {
+            None => Vec::new(),
+            Some(r) => {
+                let info = &self.objs[r.0];
+                let mut s = Vec::with_capacity(self.k);
+                s.push(info.site);
+                s.extend(info.ctx.iter().copied());
+                s.truncate(self.k);
+                s
+            }
+        }
+    }
+
+    /// The return set of `callee` as seen from a call with receiver
+    /// object set `recv` (empty = unknown receiver: union over every
+    /// context, the conservative fallback).
+    fn ret_of(&self, callee: &MethodRef, recv: &BTreeSet<ObjId>) -> BTreeSet<ObjId> {
+        if self.k == 0 {
+            return self
+                .vars
+                .get(&VarKey::Ret(callee.clone(), None))
+                .cloned()
+                .unwrap_or_default();
+        }
+        let mut out = BTreeSet::new();
+        if recv.is_empty() {
+            for o in self.instances_of(&callee.class) {
+                if let Some(s) = self.vars.get(&VarKey::Ret(callee.clone(), Some(o))) {
+                    out.extend(s.iter().copied());
+                }
+            }
+        } else {
+            for &o in recv {
+                if let Some(s) = self.vars.get(&VarKey::Ret(callee.clone(), Some(o))) {
+                    out.extend(s.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// The objects `expr` may denote when evaluated inside `mref` under
+    /// receiver context `ctx`. Non-reference expressions denote the
+    /// empty set.
+    fn eval_in(
+        &self,
+        program: &Program,
+        table: &ClassTable,
+        mref: &MethodRef,
+        ctx: MCtx,
+        expr: &Expr,
+    ) -> BTreeSet<ObjId> {
+        match &expr.kind {
+            ExprKind::This => self.this_set(mref, ctx),
+            ExprKind::Var(name) => {
+                if self
+                    .locals
+                    .get(mref)
+                    .is_some_and(|ls| ls.contains(name.as_str()))
+                {
+                    self.vars
+                        .get(&VarKey::Local(mref.clone(), ctx, name.clone()))
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    // Implicit-this field read.
+                    let mut out = BTreeSet::new();
+                    for o in self.this_set(mref, ctx) {
+                        out.extend(self.field_targets(o, name));
+                    }
+                    out
+                }
+            }
+            ExprKind::Field { object, name } => {
+                let mut out = BTreeSet::new();
+                for o in self.eval_in(program, table, mref, ctx, object) {
+                    out.extend(self.field_targets(o, name));
+                }
+                out
+            }
+            ExprKind::Index { array, .. } => {
+                let mut out = BTreeSet::new();
+                for o in self.eval_in(program, table, mref, ctx, array) {
+                    out.extend(self.field_targets(o, ELEMS));
+                }
+                out
+            }
+            ExprKind::Call {
+                receiver, method, ..
+            } => match resolve_call(program, table, mref, receiver.as_deref(), method) {
+                Some(CallTarget::User(callee)) => {
+                    let recv = if self.k == 0 {
+                        BTreeSet::new()
+                    } else {
+                        match receiver.as_deref() {
+                            Some(r) => self.eval_in(program, table, mref, ctx, r),
+                            None => self.this_set(mref, ctx),
+                        }
+                    };
+                    self.ret_of(&callee, &recv)
+                }
+                Some(CallTarget::Builtin(..)) => self.clone_at(expr.id, ctx),
+                None => BTreeSet::new(),
+            },
+            ExprKind::NewObject { .. } | ExprKind::NewArray { .. } => self.clone_at(expr.id, ctx),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// The clone of site expression `id` materialized for context
+    /// `ctx`, if it exists yet.
+    fn clone_at(&self, id: NodeId, ctx: MCtx) -> BTreeSet<ObjId> {
+        let Some(&fp) = self.site_fp_of_expr.get(&id) else {
+            return BTreeSet::new();
+        };
+        let hctx = self.heap_ctx(ctx);
+        self.clone_of
+            .get(&(fp, hctx))
+            .map(|&o| BTreeSet::from([o]))
+            .unwrap_or_default()
+    }
+
+    /// The objects `expr` may denote when evaluated inside `mref`,
+    /// projected over every receiver context of the method.
     /// Non-reference expressions denote the empty set.
     pub fn eval(
         &self,
@@ -180,63 +416,52 @@ impl PointsTo {
         mref: &MethodRef,
         expr: &Expr,
     ) -> BTreeSet<ObjId> {
-        match &expr.kind {
-            ExprKind::This => self.instances_of(&mref.class),
-            ExprKind::Var(name) => {
-                if self
-                    .locals
-                    .get(mref)
-                    .is_some_and(|ls| ls.contains(name.as_str()))
-                {
-                    self.vars
-                        .get(&VarKey::Local(mref.clone(), name.clone()))
-                        .cloned()
-                        .unwrap_or_default()
-                } else {
-                    // Implicit-this field read.
-                    let mut out = BTreeSet::new();
-                    for o in self.instances_of(&mref.class) {
-                        out.extend(self.field_targets(o, name));
-                    }
-                    out
-                }
-            }
-            ExprKind::Field { object, name } => {
-                let mut out = BTreeSet::new();
-                for o in self.eval(program, table, mref, object) {
-                    out.extend(self.field_targets(o, name));
-                }
-                out
-            }
-            ExprKind::Index { array, .. } => {
-                let mut out = BTreeSet::new();
-                for o in self.eval(program, table, mref, array) {
-                    out.extend(self.field_targets(o, ELEMS));
-                }
-                out
-            }
-            ExprKind::Call {
-                receiver, method, ..
-            } => match resolve_call(program, table, mref, receiver.as_deref(), method) {
-                Some(CallTarget::User(callee)) => self
-                    .vars
-                    .get(&VarKey::Ret(callee))
-                    .cloned()
-                    .unwrap_or_default(),
-                Some(CallTarget::Builtin(..)) => self
-                    .site_of_expr
-                    .get(&expr.id)
-                    .map(|&o| BTreeSet::from([o]))
-                    .unwrap_or_default(),
-                None => BTreeSet::new(),
-            },
-            ExprKind::NewObject { .. } | ExprKind::NewArray { .. } => self
-                .site_of_expr
-                .get(&expr.id)
-                .map(|&o| BTreeSet::from([o]))
-                .unwrap_or_default(),
-            _ => BTreeSet::new(),
+        let mut out = BTreeSet::new();
+        for ctx in self.ctxs_of(mref) {
+            out.extend(self.eval_in(program, table, mref, ctx, expr));
         }
+        out
+    }
+
+    /// Rebases a cached relation onto a structurally identical program
+    /// whose spans (and therefore node ids) may have moved: every
+    /// alloc/builtin object is re-keyed from its fingerprint-stable
+    /// site id to the revision's node id and span. Returns `false` —
+    /// caller must recompute — if any site no longer exists.
+    pub(crate) fn rebase(&mut self, program: &Program, table: &ClassTable) -> bool {
+        let sites = collect_sites(program, table);
+        let by_fp: BTreeMap<Fp, &Site> = sites.iter().map(|s| (s.fp, s)).collect();
+        if by_fp.len() != sites.len() {
+            return false;
+        }
+        for obj in &mut self.objs {
+            match obj.kind {
+                ObjKind::Alloc(_) | ObjKind::Builtin(_) => {
+                    let Some(site) = by_fp.get(&obj.site) else {
+                        return false;
+                    };
+                    obj.kind = if site.is_builtin {
+                        ObjKind::Builtin(site.expr_id)
+                    } else {
+                        ObjKind::Alloc(site.expr_id)
+                    };
+                    obj.span = site.span;
+                }
+                ObjKind::Summary => {}
+            }
+        }
+        self.site_fp_of_expr = sites.iter().map(|s| (s.expr_id, s.fp)).collect();
+        let mut by_site: BTreeMap<Fp, BTreeSet<ObjId>> = BTreeMap::new();
+        for obj in &self.objs {
+            if !matches!(obj.kind, ObjKind::Summary) {
+                by_site.entry(obj.site).or_default().insert(obj.id);
+            }
+        }
+        self.site_of_expr = sites
+            .iter()
+            .filter_map(|s| Some((s.expr_id, by_site.get(&s.fp)?.clone())))
+            .collect();
+        true
     }
 }
 
@@ -276,12 +501,42 @@ pub(crate) fn resolve_call(
     }
 }
 
-/// Computes the whole-program points-to relation.
+/// Computes the whole-program points-to relation at [`DEFAULT_K`].
 pub fn analyze(program: &Program, table: &ClassTable) -> PointsTo {
-    let mut pt = PointsTo::default();
-    collect_objects(program, table, &mut pt);
-    seed_external_params(program, table, &mut pt);
-    solve(program, table, &mut pt);
+    analyze_k(program, table, DEFAULT_K)
+}
+
+/// Computes the whole-program points-to relation at context depth `k`
+/// (`k = 0` is the classic context-insensitive analysis).
+pub fn analyze_k(program: &Program, table: &ClassTable, k: usize) -> PointsTo {
+    let mut pt = PointsTo {
+        k,
+        ..PointsTo::default()
+    };
+    collect_locals(program, &mut pt);
+    let sites = collect_sites(program, table);
+    for site in &sites {
+        pt.site_fp_of_expr.insert(site.expr_id, site.fp);
+    }
+    create_summaries(program, table, &sites, &mut pt);
+    let uncalled = uncalled_methods(program, table);
+    for _ in 0..MAX_PASSES {
+        pt.passes += 1;
+        let mut changed = false;
+        changed |= materialize_pass(&sites, program, table, &mut pt);
+        changed |= seed_external_params(program, table, &uncalled, &mut pt);
+        for (_, decl, mref) in crate::each_method(program) {
+            for ctx in pt.ctxs_of(&mref) {
+                changed |= link_pass(program, table, &mut pt, decl, &mref, ctx);
+                changed |= store_pass(program, table, &mut pt, decl, &mref, ctx);
+            }
+        }
+        changed |= init_pass(program, table, &mut pt);
+        if !changed {
+            pt.converged = true;
+            break;
+        }
+    }
     pt.owners = vec![BTreeSet::new(); pt.objs.len()];
     let heap = std::mem::take(&mut pt.heap);
     for ((base, _), targets) in &heap {
@@ -293,118 +548,193 @@ pub fn analyze(program: &Program, table: &ClassTable) -> PointsTo {
     pt
 }
 
-/// Creates the abstract-object universe: allocation sites, builtin
-/// reference results, per-class summary objects, `this`-sets, and the
-/// per-method local-name index.
-fn collect_objects(program: &Program, table: &ClassTable, pt: &mut PointsTo) {
-    let add = |pt: &mut PointsTo, kind, class: String, span, method| {
-        let id = ObjId(pt.objs.len());
-        pt.objs.push(ObjInfo {
-            id,
-            kind,
+/// Indexes each method's parameter and declared local names.
+fn collect_locals(program: &Program, pt: &mut PointsTo) {
+    for (_, decl, mref) in crate::each_method(program) {
+        let names: BTreeSet<String> = decl
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .chain(collect_var_decls(decl))
+            .collect();
+        pt.locals.entry(mref).or_default().extend(names);
+    }
+}
+
+fn collect_var_decls(decl: &MethodDecl) -> Vec<String> {
+    let mut names = Vec::new();
+    walk_stmts(&decl.body, &mut |stmt| {
+        if let StmtKind::VarDecl { name, .. } = &stmt.kind {
+            names.push(name.clone());
+        }
+    });
+    names
+}
+
+/// Enumerates every allocation and reference-returning builtin site in
+/// walk order, assigning each its fingerprint-stable site id (method
+/// name + walk-order ordinal — stable across span-only edits).
+fn collect_sites(program: &Program, table: &ClassTable) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let mut ordinals: BTreeMap<(String, String, bool), u64> = BTreeMap::new();
+    let mut add = |sites: &mut Vec<Site>,
+                   mref: &MethodRef,
+                   ord_method: &str,
+                   e: &Expr,
+                   class: String,
+                   is_builtin: bool| {
+        let key = (mref.class.clone(), ord_method.to_string(), mref.is_ctor);
+        let ord = ordinals.entry(key).or_insert(0);
+        let fp = fingerprint::site_fp(&mref.class, ord_method, mref.is_ctor, *ord);
+        *ord += 1;
+        sites.push(Site {
+            fp,
+            expr_id: e.id,
+            span: e.span,
             class,
-            span,
-            method,
+            is_builtin,
+            method: mref.clone(),
         });
-        id
     };
-    let collect_expr = |pt: &mut PointsTo, mref: &MethodRef, e: &Expr| match &e.kind {
-        ExprKind::NewObject { class, .. } => {
-            let id = add(
-                pt,
-                ObjKind::Alloc(e.id),
-                class.clone(),
-                e.span,
-                Some(mref.clone()),
-            );
-            pt.site_of_expr.insert(e.id, id);
-        }
-        ExprKind::NewArray { elem, .. } => {
-            let id = add(
-                pt,
-                ObjKind::Alloc(e.id),
-                elem.clone().array_of().to_string(),
-                e.span,
-                Some(mref.clone()),
-            );
-            pt.site_of_expr.insert(e.id, id);
-        }
-        ExprKind::Call {
-            receiver, method, ..
-        } => {
-            if let Some(CallTarget::Builtin(_, Some(ty))) =
-                resolve_call(program, table, mref, receiver.as_deref(), method)
-            {
-                if ty.is_reference() {
-                    let id = add(
-                        pt,
-                        ObjKind::Builtin(e.id),
-                        ty.to_string(),
-                        e.span,
-                        Some(mref.clone()),
-                    );
-                    pt.site_of_expr.insert(e.id, id);
+    let mut collect_expr =
+        |sites: &mut Vec<Site>, mref: &MethodRef, ord_method: &str, e: &Expr| match &e.kind {
+            ExprKind::NewObject { class, .. } => {
+                add(sites, mref, ord_method, e, class.clone(), false);
+            }
+            ExprKind::NewArray { elem, .. } => {
+                add(
+                    sites,
+                    mref,
+                    ord_method,
+                    e,
+                    elem.clone().array_of().to_string(),
+                    false,
+                );
+            }
+            ExprKind::Call {
+                receiver, method, ..
+            } => {
+                if let Some(CallTarget::Builtin(_, Some(ty))) =
+                    resolve_call(program, table, mref, receiver.as_deref(), method)
+                {
+                    if ty.is_reference() {
+                        add(sites, mref, ord_method, e, ty.to_string(), true);
+                    }
                 }
             }
-        }
-        _ => {}
-    };
-
-    for (class, decl, mref) in crate::each_method(program) {
-        let mut names: BTreeSet<String> =
-            decl.params.iter().map(|p| p.name.clone()).collect();
-        walk_stmts(&decl.body, &mut |stmt| {
-            if let StmtKind::VarDecl { name, .. } = &stmt.kind {
-                names.insert(name.clone());
-            }
+            _ => {}
+        };
+    for (_, decl, mref) in crate::each_method(program) {
+        let ord_method = mref.method.clone();
+        walk_exprs(&decl.body, &mut |e| {
+            collect_expr(&mut sites, &mref, &ord_method, e);
         });
-        pt.locals.insert(mref.clone(), names);
-        let _ = class;
-        walk_exprs(&decl.body, &mut |e| collect_expr(pt, &mref, e));
     }
-    // Field initializers allocate in the (possibly synthetic) ctor.
+    // Field initializers allocate in the (possibly synthetic) ctor; a
+    // separate ordinal namespace keeps them from colliding with the
+    // explicit constructor's own sites.
     for class in &program.classes {
         let ctor = MethodRef::ctor(&class.name);
         for field in &class.fields {
             if let Some(init) = &field.init {
-                walk_expr(init, &mut |e| collect_expr(pt, &ctor, e));
+                walk_expr(init, &mut |e| {
+                    collect_expr(&mut sites, &ctor, "<field-init>", e);
+                });
             }
         }
     }
-    // Summary objects for classes nothing in the program instantiates.
+    sites
+}
+
+/// Creates summary objects for classes nothing in the program
+/// instantiates, and seeds the per-class this-sets with them.
+fn create_summaries(program: &Program, table: &ClassTable, sites: &[Site], pt: &mut PointsTo) {
     for class in &program.classes {
-        let has_site = pt
-            .objs
+        let has_site = sites
             .iter()
-            .any(|o| table.is_subclass_of(&o.class, &class.name));
+            .any(|s| table.is_subclass_of(&s.class, &class.name));
         if !has_site {
-            let id = add(
-                pt,
-                ObjKind::Summary,
-                class.name.clone(),
-                Span::default(),
-                None,
-            );
-            pt.summary_of_class.insert(class.name.clone(), id);
+            add_summary(program, table, &class.name, pt);
         }
-    }
-    // this-sets: all instances of each class (or a subclass).
-    for class in &program.classes {
-        let set: BTreeSet<ObjId> = pt
-            .objs
-            .iter()
-            .filter(|o| table.is_subclass_of(&o.class, &class.name))
-            .map(|o| o.id)
-            .collect();
-        pt.this_of_class.insert(class.name.clone(), set);
     }
 }
 
-/// Seeds the reference parameters of methods no analyzed code calls with
-/// the summary object of the parameter's class (plus every in-program
-/// instance): an external caller may pass any of them, and may pass the
-/// same object to two different uncalled methods.
-fn seed_external_params(program: &Program, table: &ClassTable, pt: &mut PointsTo) {
+/// Adds a summary object for `class`, updating the this-sets.
+fn add_summary(program: &Program, table: &ClassTable, class: &str, pt: &mut PointsTo) -> ObjId {
+    if let Some(&id) = pt.summary_of_class.get(class) {
+        return id;
+    }
+    let id = ObjId(pt.objs.len());
+    pt.objs.push(ObjInfo {
+        id,
+        kind: ObjKind::Summary,
+        class: class.to_string(),
+        span: Span::default(),
+        method: None,
+        site: fingerprint::summary_site_fp(class),
+        ctx: Vec::new(),
+    });
+    pt.summary_of_class.insert(class.to_string(), id);
+    for c in &program.classes {
+        if table.is_subclass_of(class, &c.name) {
+            pt.this_of_class
+                .entry(c.name.clone())
+                .or_default()
+                .insert(id);
+        }
+    }
+    id
+}
+
+/// Clones each site into every heap context its method currently runs
+/// under. New receivers discovered by later passes pick up their clones
+/// on the next iteration (the outer fixpoint covers it).
+fn materialize_pass(
+    sites: &[Site],
+    program: &Program,
+    table: &ClassTable,
+    pt: &mut PointsTo,
+) -> bool {
+    let mut changed = false;
+    for site in sites {
+        for ctx in pt.ctxs_of(&site.method) {
+            let hctx = pt.heap_ctx(ctx);
+            if pt.clone_of.contains_key(&(site.fp, hctx.clone())) {
+                continue;
+            }
+            let id = ObjId(pt.objs.len());
+            pt.objs.push(ObjInfo {
+                id,
+                kind: if site.is_builtin {
+                    ObjKind::Builtin(site.expr_id)
+                } else {
+                    ObjKind::Alloc(site.expr_id)
+                },
+                class: site.class.clone(),
+                span: site.span,
+                method: Some(site.method.clone()),
+                site: site.fp,
+                ctx: hctx.clone(),
+            });
+            pt.clone_of.insert((site.fp, hctx), id);
+            pt.site_of_expr.entry(site.expr_id).or_default().insert(id);
+            for c in &program.classes {
+                if table.is_subclass_of(&site.class, &c.name) {
+                    pt.this_of_class
+                        .entry(c.name.clone())
+                        .or_default()
+                        .insert(id);
+                }
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Methods no analyzed code calls: their parameters arrive from an
+/// unknown external caller.
+fn uncalled_methods(program: &Program, table: &ClassTable) -> BTreeSet<MethodRef> {
     let mut called: BTreeSet<MethodRef> = BTreeSet::new();
     for (_, decl, mref) in crate::each_method(program) {
         walk_exprs(&decl.body, &mut |e| match &e.kind {
@@ -423,13 +753,26 @@ fn seed_external_params(program: &Program, table: &ClassTable, pt: &mut PointsTo
             _ => {}
         });
     }
-    let uncalled: Vec<MethodRef> = crate::each_method(program)
+    crate::each_method(program)
         .map(|(_, _, m)| m)
         .filter(|m| !called.contains(m))
-        .collect();
+        .collect()
+}
+
+/// Seeds the reference parameters of uncalled methods with the summary
+/// object of the parameter's class (plus every in-program instance), in
+/// every receiver context the method currently has: an external caller
+/// may pass any of them, and may pass the same object to two different
+/// uncalled methods.
+fn seed_external_params(
+    program: &Program,
+    table: &ClassTable,
+    uncalled: &BTreeSet<MethodRef>,
+    pt: &mut PointsTo,
+) -> bool {
+    let mut changed = false;
     for mref in uncalled {
-        let Some((_, decl, _)) = crate::each_method(program).find(|(_, _, m)| *m == mref)
-        else {
+        let Some((_, decl, _)) = find_decl(program, mref) else {
             continue;
         };
         for param in &decl.params {
@@ -437,64 +780,35 @@ fn seed_external_params(program: &Program, table: &ClassTable, pt: &mut PointsTo
             if table.class(cn).is_some_and(|c| c.is_builtin) {
                 continue;
             }
+            let name = &param.name;
             let mut seed = pt.instances_of(cn);
-            let summary = match pt.summary_of_class.get(cn) {
-                Some(&id) => id,
-                None => {
-                    let id = ObjId(pt.objs.len());
-                    pt.objs.push(ObjInfo {
-                        id,
-                        kind: ObjKind::Summary,
-                        class: cn.clone(),
-                        span: Span::default(),
-                        method: None,
-                    });
-                    pt.summary_of_class.insert(cn.clone(), id);
-                    // Keep this-sets consistent with the new object.
-                    for class in &program.classes {
-                        if table.is_subclass_of(cn, &class.name) {
-                            pt.this_of_class
-                                .entry(class.name.clone())
-                                .or_default()
-                                .insert(id);
-                        }
-                    }
-                    id
-                }
-            };
+            let before_objs = pt.objs.len();
+            let summary = add_summary(program, table, cn, pt);
+            changed |= pt.objs.len() != before_objs;
             seed.insert(summary);
-            pt.vars
-                .entry(VarKey::Local(mref.clone(), param.name.clone()))
-                .or_default()
-                .extend(seed);
+            for ctx in pt.ctxs_of(mref) {
+                let entry = pt
+                    .vars
+                    .entry(VarKey::Local(mref.clone(), ctx, name.to_string()))
+                    .or_default();
+                let before = entry.len();
+                entry.extend(seed.iter().copied());
+                changed |= entry.len() != before;
+            }
         }
     }
+    changed
 }
 
-/// Runs the link + store passes to a (bounded) fixpoint.
-fn solve(program: &Program, table: &ClassTable, pt: &mut PointsTo) {
-    for _ in 0..MAX_PASSES {
-        pt.passes += 1;
-        let mut changed = false;
-        for (_, decl, mref) in crate::each_method(program) {
-            changed |= link_pass(program, table, pt, decl, &mref);
-            changed |= store_pass(program, table, pt, decl, &mref);
-        }
-        changed |= init_pass(program, table, pt);
-        if !changed {
-            pt.converged = true;
-            return;
-        }
-    }
-}
-
-/// Flows call/constructor arguments into callee parameter variables.
+/// Flows call/constructor arguments into per-receiver callee parameter
+/// variables for one (method, context) pair.
 fn link_pass(
     program: &Program,
     table: &ClassTable,
     pt: &mut PointsTo,
     decl: &MethodDecl,
     mref: &MethodRef,
+    ctx: MCtx,
 ) -> bool {
     let mut changed = false;
     // Collect first: eval borrows pt immutably.
@@ -509,12 +823,29 @@ fn link_pass(
                 resolve_call(program, table, mref, receiver.as_deref(), method)
             {
                 if let Some((_, target, _)) = find_decl(program, &callee) {
+                    let recvs: Vec<MCtx> = if pt.k == 0 {
+                        vec![None]
+                    } else {
+                        let set = match receiver.as_deref() {
+                            Some(r) => pt.eval_in(program, table, mref, ctx, r),
+                            None => pt.this_set(mref, ctx),
+                        };
+                        if set.is_empty() {
+                            // Unknown receiver: flow into every context.
+                            pt.instances_of(&callee.class).into_iter().map(Some).collect()
+                        } else {
+                            set.into_iter().map(Some).collect()
+                        }
+                    };
                     for (param, arg) in target.params.iter().zip(args) {
-                        let vals = pt.eval(program, table, mref, arg);
-                        if !vals.is_empty() {
+                        let vals = pt.eval_in(program, table, mref, ctx, arg);
+                        if vals.is_empty() {
+                            continue;
+                        }
+                        for &recv in &recvs {
                             flows.push((
-                                VarKey::Local(callee.clone(), param.name.clone()),
-                                vals,
+                                VarKey::Local(callee.clone(), recv, param.name.clone()),
+                                vals.clone(),
                             ));
                         }
                     }
@@ -524,10 +855,23 @@ fn link_pass(
         ExprKind::NewObject { class, args } => {
             let ctor = MethodRef::ctor(class);
             if let Some((_, target, _)) = find_decl(program, &ctor) {
+                // The constructor's receiver is the clone this site
+                // materializes under the current context.
+                let recvs: Vec<MCtx> = if pt.k == 0 {
+                    vec![None]
+                } else {
+                    pt.clone_at(e.id, ctx).into_iter().map(Some).collect()
+                };
                 for (param, arg) in target.params.iter().zip(args) {
-                    let vals = pt.eval(program, table, mref, arg);
-                    if !vals.is_empty() {
-                        flows.push((VarKey::Local(ctor.clone(), param.name.clone()), vals));
+                    let vals = pt.eval_in(program, table, mref, ctx, arg);
+                    if vals.is_empty() {
+                        continue;
+                    }
+                    for &recv in &recvs {
+                        flows.push((
+                            VarKey::Local(ctor.clone(), recv, param.name.clone()),
+                            vals.clone(),
+                        ));
                     }
                 }
             }
@@ -543,13 +887,15 @@ fn link_pass(
     changed
 }
 
-/// Flows assignments into locals, heap slots, and return variables.
+/// Flows assignments into locals, heap slots, and return variables for
+/// one (method, context) pair.
 fn store_pass(
     program: &Program,
     table: &ClassTable,
     pt: &mut PointsTo,
     decl: &MethodDecl,
     mref: &MethodRef,
+    ctx: MCtx,
 ) -> bool {
     enum Dest {
         Var(VarKey),
@@ -562,13 +908,16 @@ fn store_pass(
             init: Some(e),
             ..
         } => {
-            let vals = pt.eval(program, table, mref, e);
+            let vals = pt.eval_in(program, table, mref, ctx, e);
             if !vals.is_empty() {
-                flows.push((Dest::Var(VarKey::Local(mref.clone(), name.clone())), vals));
+                flows.push((
+                    Dest::Var(VarKey::Local(mref.clone(), ctx, name.clone())),
+                    vals,
+                ));
             }
         }
         StmtKind::Assign { target, value, .. } => {
-            let vals = pt.eval(program, table, mref, value);
+            let vals = pt.eval_in(program, table, mref, ctx, value);
             if vals.is_empty() {
                 return;
             }
@@ -580,31 +929,28 @@ fn store_pass(
                         .is_some_and(|ls| ls.contains(name.as_str()))
                     {
                         flows.push((
-                            Dest::Var(VarKey::Local(mref.clone(), name.clone())),
+                            Dest::Var(VarKey::Local(mref.clone(), ctx, name.clone())),
                             vals,
                         ));
                     } else {
-                        flows.push((
-                            Dest::Heap(pt.instances_of(&mref.class), name.clone()),
-                            vals,
-                        ));
+                        flows.push((Dest::Heap(pt.this_set(mref, ctx), name.clone()), vals));
                     }
                 }
                 ExprKind::Field { object, name } => {
-                    let bases = pt.eval(program, table, mref, object);
+                    let bases = pt.eval_in(program, table, mref, ctx, object);
                     flows.push((Dest::Heap(bases, name.clone()), vals));
                 }
                 ExprKind::Index { array, .. } => {
-                    let bases = pt.eval(program, table, mref, array);
+                    let bases = pt.eval_in(program, table, mref, ctx, array);
                     flows.push((Dest::Heap(bases, ELEMS.to_string()), vals));
                 }
                 _ => {}
             }
         }
         StmtKind::Return(Some(e)) => {
-            let vals = pt.eval(program, table, mref, e);
+            let vals = pt.eval_in(program, table, mref, ctx, e);
             if !vals.is_empty() {
-                flows.push((Dest::Var(VarKey::Ret(mref.clone())), vals));
+                flows.push((Dest::Var(VarKey::Ret(mref.clone(), ctx)), vals));
             }
         }
         _ => {}
@@ -632,22 +978,35 @@ fn store_pass(
 }
 
 /// Flows field initializers into every instance of the declaring class,
-/// and links calls inside them (evaluated in constructor context).
+/// evaluated in the constructor context of that instance.
 fn init_pass(program: &Program, table: &ClassTable, pt: &mut PointsTo) -> bool {
     let mut changed = false;
     for class in &program.classes {
         let ctor = MethodRef::ctor(&class.name);
         for field in &class.fields {
             let Some(init) = &field.init else { continue };
-            let vals = pt.eval(program, table, &ctor, init);
-            if vals.is_empty() {
-                continue;
-            }
-            for base in pt.instances_of(&class.name) {
-                let entry = pt.heap.entry((base, field.name.clone())).or_default();
-                let before = entry.len();
-                entry.extend(vals.iter().copied());
-                changed |= entry.len() != before;
+            if pt.k == 0 {
+                let vals = pt.eval_in(program, table, &ctor, None, init);
+                if vals.is_empty() {
+                    continue;
+                }
+                for base in pt.instances_of(&class.name) {
+                    let entry = pt.heap.entry((base, field.name.clone())).or_default();
+                    let before = entry.len();
+                    entry.extend(vals.iter().copied());
+                    changed |= entry.len() != before;
+                }
+            } else {
+                for base in pt.instances_of(&class.name) {
+                    let vals = pt.eval_in(program, table, &ctor, Some(base), init);
+                    if vals.is_empty() {
+                        continue;
+                    }
+                    let entry = pt.heap.entry((base, field.name.clone())).or_default();
+                    let before = entry.len();
+                    entry.extend(vals.iter().copied());
+                    changed |= entry.len() != before;
+                }
             }
         }
     }
@@ -816,5 +1175,104 @@ mod tests {
         assert!(pt.reachable(outer.id).contains(&inner.id));
         assert!(pt.owners_of(inner.id).contains(&outer.id));
         assert!(pt.owners_of(outer.id).is_empty());
+    }
+
+    /// A factory handing one fresh object to each of two holders: the
+    /// context-insensitive analysis conflates them into one abstract
+    /// object, k = 1 keeps them apart.
+    const FACTORY: &str = "class Packet { private int load; Packet() { load = 0; } }
+         class Pool {
+             Pool() { }
+             Packet make() { return new Packet(); }
+         }
+         class HolderA {
+             private Pool pool;
+             private Packet slot;
+             HolderA() { pool = new Pool(); slot = pool.make(); }
+         }
+         class HolderB {
+             private Pool pool;
+             private Packet slot;
+             HolderB() { pool = new Pool(); slot = pool.make(); }
+         }";
+
+    #[test]
+    fn k1_splits_factory_results_per_receiver() {
+        let (_, _, pt) = run(FACTORY);
+        assert!(pt.converged());
+        let a = *pt.instances_of("HolderA").iter().next().unwrap();
+        let b = *pt.instances_of("HolderB").iter().next().unwrap();
+        let sa = pt.field_targets(a, "slot");
+        let sb = pt.field_targets(b, "slot");
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sb.len(), 1);
+        assert_ne!(sa, sb, "k=1 separates the two factory products");
+    }
+
+    #[test]
+    fn k0_conflates_factory_results() {
+        let (p, t) = frontend(FACTORY).unwrap();
+        let pt = analyze_k(&p, &t, 0);
+        assert!(pt.converged());
+        let a = *pt.instances_of("HolderA").iter().next().unwrap();
+        let b = *pt.instances_of("HolderB").iter().next().unwrap();
+        let sa = pt.field_targets(a, "slot");
+        let sb = pt.field_targets(b, "slot");
+        assert!(!sa.is_empty());
+        assert_eq!(sa, sb, "k=0 conflates the factory products");
+    }
+
+    #[test]
+    fn k1_object_sites_project_into_k0() {
+        // Every k=1 object projects (by site fingerprint) to a k=0
+        // object, and per-field heap targets project into the k=0
+        // targets: the refinement direction the proptests rely on.
+        let (p, t) = frontend(FACTORY).unwrap();
+        let pt0 = analyze_k(&p, &t, 0);
+        let pt1 = analyze_k(&p, &t, 1);
+        let sites0: BTreeSet<Fp> = pt0.objects().map(|o| o.site).collect();
+        for o in pt1.objects() {
+            assert!(sites0.contains(&o.site), "unmatched k=1 site {}", o.site);
+        }
+    }
+
+    #[test]
+    fn witness_path_labels_the_heap_route() {
+        let (_, _, pt) = run(
+            "class Inner { private int x; Inner() { x = 0; } }
+             class Outer {
+                 private Inner kid;
+                 Outer() { kid = new Inner(); }
+             }
+             class Main { public int demo() { Outer o = new Outer(); return 0; } }",
+        );
+        let outer = pt.objects().find(|o| o.class == "Outer").unwrap().id;
+        let inner = pt.objects().find(|o| o.class == "Inner").unwrap().id;
+        let path = pt.witness_path(outer, inner).expect("path exists");
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].0, "kid");
+        assert_eq!(path[0].1, inner);
+        assert_eq!(pt.witness_path(outer, outer), Some(vec![]));
+        assert_eq!(pt.witness_path(inner, outer), None);
+    }
+
+    #[test]
+    fn rebase_remaps_node_ids_and_spans() {
+        let src = "class Cell { private int n; Cell() { n = 0; } }
+             class Main { public int demo() { Cell a = new Cell(); return 0; } }";
+        // Same program with extra leading whitespace: spans (and node
+        // ids, which are allocated in parse order) shift.
+        let shifted = format!("\n\n   {src}");
+        let (p1, t1) = frontend(src).unwrap();
+        let (p2, t2) = frontend(&shifted).unwrap();
+        let mut pt = analyze(&p1, &t1);
+        let fresh = analyze(&p2, &t2);
+        assert!(pt.rebase(&p2, &t2));
+        let spans1: Vec<Span> = pt.objects().map(|o| o.span).collect();
+        let spans2: Vec<Span> = fresh.objects().map(|o| o.span).collect();
+        assert_eq!(spans1, spans2);
+        let kinds1: Vec<ObjKind> = pt.objects().map(|o| o.kind).collect();
+        let kinds2: Vec<ObjKind> = fresh.objects().map(|o| o.kind).collect();
+        assert_eq!(kinds1, kinds2);
     }
 }

@@ -33,6 +33,7 @@
 //!   — the tier only ever *refines* with proof in hand.
 
 use crate::callgraph::CallGraph;
+use crate::evidence::{AccessRef, ChainLink, Evidence, SiteRef, ThreadWitness, Verdict};
 use crate::pointsto::{self, ObjId, PointsTo};
 use crate::MethodRef;
 use jtlang::ast::{
@@ -129,6 +130,10 @@ pub struct RaceReport {
     pub alias_cleared: Vec<FieldId>,
     /// Every attributed field access (for `jtlint -v` style dumps).
     pub accesses: Vec<Access>,
+    /// Proof-carrying evidence for every alias-tier verdict: a finding
+    /// entry (with thread witnesses and heap paths) per alias race and
+    /// a cleared entry per candidate the tier discharged.
+    pub evidence: Vec<Evidence>,
 }
 
 /// Builds all three candidate tiers, computing the points-to relation
@@ -222,6 +227,31 @@ pub fn analyze_with_pointsto(
     };
 
     let mut report = RaceReport::default();
+    let site_of = |o: ObjId| -> SiteRef {
+        let info = pt.object(o);
+        SiteRef {
+            class: info.class.clone(),
+            span: info.span.into(),
+        }
+    };
+    let access_refs = |idxs: &[usize], accesses: &[Access]| -> Vec<AccessRef> {
+        let mut out: Vec<AccessRef> = idxs
+            .iter()
+            .map(|&i| {
+                let a = &accesses[i];
+                AccessRef {
+                    method: a.method.to_string(),
+                    span: a.span.into(),
+                    is_write: a.is_write,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.span.start, a.span.end, a.is_write).cmp(&(b.span.start, b.span.end, b.is_write))
+        });
+        out.dedup();
+        out
+    };
     for (field, idxs) in &by_field {
         let accs = || idxs.iter().map(|&i| &accesses[i]);
         // Heuristic tier: written from any thread-reachable code and
@@ -270,6 +300,7 @@ pub fn analyze_with_pointsto(
             instances: BTreeSet<ObjId>,
             classes: BTreeSet<String>,
             spans: Vec<Span>,
+            idxs: Vec<usize>,
             has_write: bool,
         }
         let mut per_obj: BTreeMap<ObjId, ObjStats> = BTreeMap::new();
@@ -310,11 +341,13 @@ pub fn analyze_with_pointsto(
                     instances: BTreeSet::new(),
                     classes: BTreeSet::new(),
                     spans: Vec::new(),
+                    idxs: Vec::new(),
                     has_write: false,
                 });
                 st.instances.extend(insts);
                 st.classes.extend(inst_classes);
                 st.spans.push(a.span);
+                st.idxs.push(i);
                 st.has_write |= a.is_write;
             }
             if !resolved {
@@ -331,6 +364,32 @@ pub fn analyze_with_pointsto(
                     let mut spans = st.spans;
                     spans.sort_by_key(|s| (s.start, s.end));
                     spans.dedup();
+                    // One witness per thread instance: its class and
+                    // the labeled heap path to the contested object.
+                    let witnesses: Vec<ThreadWitness> = st
+                        .instances
+                        .iter()
+                        .map(|&tau| ThreadWitness {
+                            thread_class: pt.object(tau).class.clone(),
+                            instance: site_of(tau),
+                            path: pt
+                                .witness_path(tau, o)
+                                .unwrap_or_default()
+                                .into_iter()
+                                .map(|(f, step)| ChainLink {
+                                    object: site_of(step),
+                                    via_field: Some(f),
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    report.evidence.push(Evidence::AliasRace {
+                        verdict: Verdict::Finding,
+                        field: field.to_string(),
+                        object: Some(site_of(o)),
+                        witnesses,
+                        accesses: access_refs(&st.idxs, &accesses),
+                    });
                     report.alias_aware.push(AliasRace {
                         field: field.clone(),
                         object: Some((info.span, info.class.clone())),
@@ -344,10 +403,26 @@ pub fn analyze_with_pointsto(
             if !any_alias_race {
                 if let Some(race) = &refined_race {
                     report.alias_cleared.push(race.field.clone());
+                    report.evidence.push(Evidence::AliasRace {
+                        verdict: Verdict::Cleared,
+                        field: race.field.to_string(),
+                        object: None,
+                        witnesses: Vec::new(),
+                        accesses: access_refs(&thread_phase, &accesses),
+                    });
                 }
             }
         } else if let Some(race) = &refined_race {
-            // Unresolvable: keep the refined verdict unchanged.
+            // Unresolvable: keep the refined verdict unchanged. The
+            // evidence records the contending accesses but no witness
+            // chains — `object: null` marks the conservative fallback.
+            report.evidence.push(Evidence::AliasRace {
+                verdict: Verdict::Finding,
+                field: race.field.to_string(),
+                object: None,
+                witnesses: Vec::new(),
+                accesses: access_refs(&thread_phase, &accesses),
+            });
             report.alias_aware.push(AliasRace {
                 field: race.field.clone(),
                 object: None,

@@ -32,12 +32,15 @@
 
 use crate::callgraph::CallGraph;
 use crate::escape::{self, EscapeSummary};
-use crate::loops::fold_const;
+use crate::evidence::{AccessRef, BoundDerivation, ChainLink, Evidence, SiteRef, Verdict};
+use crate::loops::{self, fold_const, BoundStatus};
 use crate::pointsto::{self, find_decl, resolve_call, CallTarget, ObjId, PointsTo};
 use crate::purity::{self, PuritySummary};
 use crate::races::{field_events, FieldId, HolderRef};
 use crate::{bounds, MethodRef};
-use jtlang::ast::{walk_exprs, walk_stmts, BinOp, ExprKind, NodeId, Program, StmtKind};
+use jtlang::ast::{
+    walk_exprs, walk_stmts, BinOp, ExprKind, MethodDecl, NodeId, Program, Stmt, StmtKind,
+};
 use jtlang::resolve::ClassTable;
 use jtlang::token::Span;
 use jtlang::ast::{AssignOp, Type};
@@ -111,6 +114,10 @@ pub struct SummaryReport {
     pub call_proved_bounds: BTreeMap<NodeId, u64>,
     /// WCET instruction bounds sharpened with the merged loop proofs.
     pub wcet: BTreeMap<MethodRef, Option<u64>>,
+    /// Proof-carrying evidence for every R2/R13/R14 verdict derived by
+    /// this engine — findings *and* cleared candidates (R12 evidence is
+    /// assembled by [`crate::races`], which owns the alias tier).
+    pub evidence: Vec<Evidence>,
 }
 
 /// Runs the summary engine without interval-tier loop proofs.
@@ -127,6 +134,19 @@ pub fn analyze_with_bounds(
     table: &ClassTable,
     graph: &CallGraph,
     interval_proved: &BTreeMap<NodeId, u64>,
+) -> SummaryReport {
+    analyze_with_bounds_k(program, table, graph, interval_proved, pointsto::DEFAULT_K)
+}
+
+/// [`analyze_with_bounds`] at an explicit context depth `k` for the
+/// points-to tier (`k = 0` reproduces the context-insensitive
+/// analysis).
+pub fn analyze_with_bounds_k(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    interval_proved: &BTreeMap<NodeId, u64>,
+    k: usize,
 ) -> SummaryReport {
     let mut report = SummaryReport::default();
 
@@ -145,7 +165,8 @@ pub fn analyze_with_bounds(
         report.methods.insert(mref, MethodSummary { purity, escape });
     }
 
-    derive_products(program, table, graph, interval_proved, &mut report);
+    let pt = pointsto::analyze_k(program, table, k);
+    derive_products(program, table, graph, interval_proved, pt, &mut report);
     report
 }
 
@@ -215,23 +236,25 @@ pub(crate) fn compute_scc(
     stats
 }
 
-/// Derives the per-revision products from finished summaries: the
-/// points-to relation, R13/R14 findings, call-site loop proofs, and
-/// WCET bounds. `report.methods` must already be populated. Shared by
-/// the batch driver above and the incremental database (these passes
-/// are linear and span-bound, so they recompute each revision).
+/// Derives the per-revision products from finished summaries and the
+/// supplied points-to relation: R13/R14 findings, call-site loop
+/// proofs, WCET bounds, and the proof-carrying evidence behind each
+/// verdict. `report.methods` must already be populated. Shared by the
+/// batch driver above and the incremental database (which injects a
+/// cached, rebased relation instead of re-solving).
 pub(crate) fn derive_products(
     program: &Program,
     table: &ClassTable,
     graph: &CallGraph,
     interval_proved: &BTreeMap<NodeId, u64>,
+    pt: PointsTo,
     report: &mut SummaryReport,
 ) {
-    let pt = pointsto::analyze(program, table);
     find_impure_blocks(program, table, graph, &pt, report);
     report.pointsto = pt;
     find_alias_leaks(program, table, report);
     prove_call_bounds(program, table, report);
+    loop_bound_evidence(program, interval_proved, report);
 
     let mut merged = interval_proved.clone();
     for (&id, &trips) in &report.call_proved_bounds {
@@ -240,42 +263,93 @@ pub(crate) fn derive_products(
     report.wcet = bounds::instruction_bounds_with_flow(program, table, &merged);
 }
 
-/// True when `o` is owned by `block`: it is a block instance itself, a
-/// never-stored object allocated by the block's own code, or held only
-/// by owned objects. Heap cycles resolve optimistically (a cycle member
-/// is owned iff its external owners are).
-fn owned(
+/// Checks that `o` is owned by `block` — it is a block instance itself,
+/// a never-stored object allocated by the block's own code, or held
+/// only by owned objects — and on failure returns the owner chain from
+/// `o` up to the non-owned terminal object as the R13 witness. Heap
+/// cycles resolve optimistically (a cycle member is owned iff its
+/// external owners are).
+fn owned_witness(
     pt: &PointsTo,
     table: &ClassTable,
     o: ObjId,
     block: &str,
     visiting: &mut BTreeSet<ObjId>,
-) -> bool {
+) -> Result<(), Vec<ObjId>> {
     let info = pt.object(o);
     if table.is_subclass_of(&info.class, block) {
-        return true;
+        return Ok(());
     }
     if !visiting.insert(o) {
-        return true;
+        return Ok(());
     }
     let owners = pt.owners_of(o);
     let result = if owners.is_empty() {
         // A fresh value never stored anywhere: owned iff the block's own
         // code (or an ancestor's, which the block inherits) allocates it.
-        info.method
+        if info
+            .method
             .as_ref()
             .is_some_and(|m| m.class == block || table.is_subclass_of(block, &m.class))
+        {
+            Ok(())
+        } else {
+            Err(vec![o])
+        }
     } else {
         owners
             .iter()
-            .all(|&p| owned(pt, table, p, block, visiting))
+            .try_for_each(|&p| match owned_witness(pt, table, p, block, visiting) {
+                Ok(()) => Ok(()),
+                Err(mut chain) => {
+                    chain.insert(0, o);
+                    Err(chain)
+                }
+            })
     };
     visiting.remove(&o);
     result
 }
 
+/// Renders an owner chain of abstract objects as evidence links: the
+/// first link is the written holder, each subsequent link holds its
+/// predecessor via `via_field`.
+fn owner_chain_links(pt: &PointsTo, chain: &[ObjId]) -> Vec<ChainLink> {
+    chain
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| {
+            let info = pt.object(o);
+            let via_field = (i > 0).then(|| {
+                // The owner edge is direct, so the shortest witness
+                // path from owner to held is the single labeled step.
+                pt.witness_path(o, chain[i - 1])
+                    .and_then(|p| p.first().map(|(f, _)| f.clone()))
+                    .unwrap_or_default()
+            });
+            ChainLink {
+                object: SiteRef {
+                    class: info.class.clone(),
+                    span: info.span.into(),
+                },
+                via_field,
+            }
+        })
+        .collect()
+}
+
 /// R13: for every ASR block, check each field write reachable from its
 /// `run` against the ownership discipline.
+///
+/// Two precision refinements over the naive check:
+/// * **Purity pruning** — a reachable method whose (transitive) purity
+///   footprint writes nothing is skipped without re-walking its body.
+/// * **Block-reach restriction** — candidate holders are intersected
+///   with the heap reachable from the block's own instances, so that at
+///   `k ≥ 1` per-context allocations made *for other blocks* by a
+///   shared factory no longer pollute this block's verdict. When the
+///   intersection is empty the unrestricted set is kept (the
+///   conservative direction).
 fn find_impure_blocks(
     program: &Program,
     table: &ClassTable,
@@ -283,13 +357,29 @@ fn find_impure_blocks(
     pt: &PointsTo,
     report: &mut SummaryReport,
 ) {
-    let mut findings: BTreeMap<(String, FieldId), (MethodRef, Span)> = BTreeMap::new();
+    /// A finding in the making: the writing method and span, the owner
+    /// chain witness, and the terminal judgment.
+    type Draft = (MethodRef, Span, Vec<ChainLink>, String);
+    let mut findings: BTreeMap<(String, FieldId), Draft> = BTreeMap::new();
+    let mut cleared: BTreeMap<(String, FieldId), (MethodRef, Span)> = BTreeMap::new();
     for block in &program.classes {
         if !table.is_subclass_of(&block.name, "ASR") || block.method("run").is_none() {
             continue;
         }
+        let block_reach: BTreeSet<ObjId> = pt
+            .instances_of(&block.name)
+            .into_iter()
+            .flat_map(|b| pt.reachable(b))
+            .collect();
         let run = MethodRef::method(&block.name, "run");
         for mref in graph.reachable_from([&run]) {
+            if report
+                .methods
+                .get(&mref)
+                .is_some_and(|s| s.purity.writes.is_empty() && !s.purity.diverged)
+            {
+                continue;
+            }
             let Some((class, decl, _)) = find_decl(program, &mref) else {
                 continue;
             };
@@ -301,25 +391,90 @@ fn find_impure_blocks(
                     HolderRef::ImplicitThis => pt.instances_of(&mref.class),
                     HolderRef::Object(e) => pt.eval(program, table, &mref, e),
                 };
-                let impure = holders.is_empty()
-                    || !holders
-                        .iter()
-                        .all(|&o| owned(pt, table, o, &block.name, &mut BTreeSet::new()));
-                if impure {
-                    findings
-                        .entry((block.name.clone(), ev.field.clone()))
-                        .or_insert((mref.clone(), ev.span));
+                let restricted: BTreeSet<ObjId> = holders
+                    .iter()
+                    .copied()
+                    .filter(|o| block_reach.contains(o))
+                    .collect();
+                let holders = if restricted.is_empty() {
+                    holders
+                } else {
+                    restricted
+                };
+                let key = (block.name.clone(), ev.field.clone());
+                if holders.is_empty() {
+                    findings.entry(key).or_insert((
+                        mref.clone(),
+                        ev.span,
+                        Vec::new(),
+                        "no abstract object could be attributed to the written holder"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                let witness = holders.iter().find_map(|&o| {
+                    owned_witness(pt, table, o, &block.name, &mut BTreeSet::new()).err()
+                });
+                match witness {
+                    Some(chain) => {
+                        let terminal = pt.object(*chain.last().unwrap());
+                        let reason = format!(
+                            "terminal `{}` is neither a `{}` instance nor allocated \
+                             by the block's own code",
+                            terminal.class, block.name
+                        );
+                        findings.entry(key).or_insert((
+                            mref.clone(),
+                            ev.span,
+                            owner_chain_links(pt, &chain),
+                            reason,
+                        ));
+                    }
+                    None => {
+                        cleared.entry(key).or_insert((mref.clone(), ev.span));
+                    }
                 }
             }
         }
     }
+    for key in findings.keys() {
+        cleared.remove(key);
+    }
+    for ((block, field), (method, span)) in cleared {
+        report.evidence.push(Evidence::Ownership {
+            verdict: Verdict::Cleared,
+            block,
+            field: field.to_string(),
+            write: AccessRef {
+                method: method.to_string(),
+                span: span.into(),
+                is_write: true,
+            },
+            chain: Vec::new(),
+            reason: "every holder of the written field is owned by the block".to_string(),
+        });
+    }
     report.impure_blocks = findings
         .into_iter()
-        .map(|((block, field), (method, span))| BlockImpurity {
-            block,
-            method,
-            field,
-            span,
+        .map(|((block, field), (method, span, chain, reason))| {
+            report.evidence.push(Evidence::Ownership {
+                verdict: Verdict::Finding,
+                block: block.clone(),
+                field: field.to_string(),
+                write: AccessRef {
+                    method: method.to_string(),
+                    span: span.into(),
+                    is_write: true,
+                },
+                chain,
+                reason,
+            });
+            BlockImpurity {
+                block,
+                method,
+                field,
+                span,
+            }
         })
         .collect();
 }
@@ -345,7 +500,8 @@ fn is_mutable_target(table: &ClassTable, ty: &Type) -> bool {
 }
 
 /// R14: methods whose escape summary returns or leaks a `this`-held
-/// reference field with mutable target state.
+/// reference field with mutable target state. Escape candidates whose
+/// target carries no mutable state are recorded as cleared evidence.
 fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
     let mut leaks: Vec<AliasLeak> = Vec::new();
     for (_, decl, mref) in crate::each_method(program) {
@@ -369,13 +525,56 @@ fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryR
             let Some((_, sig)) = table.field_of(&mref.class, f) else {
                 continue;
             };
+            let decl_span: crate::evidence::SpanRef = decl.span.into();
             if sig.ty.is_reference() && is_mutable_target(table, &sig.ty) {
+                // Witness: the first value-returning statement (the
+                // escape summary guarantees one exists for
+                // `via_return` leaks).
+                let mut witness_span = decl_span;
+                if via_return {
+                    let mut first: Option<Span> = None;
+                    walk_stmts(&decl.body, &mut |s: &Stmt| {
+                        if first.is_none() && matches!(s.kind, StmtKind::Return(Some(_))) {
+                            first = Some(s.span);
+                        }
+                    });
+                    if let Some(sp) = first {
+                        witness_span = sp.into();
+                    }
+                }
+                report.evidence.push(Evidence::AliasLeak {
+                    verdict: Verdict::Finding,
+                    class: mref.class.clone(),
+                    method: mref.method.clone(),
+                    field: f.clone(),
+                    via_return,
+                    decl_span,
+                    witness_span,
+                    mutable_because: format!(
+                        "target type `{}` is an array or transitively declares fields",
+                        sig.ty
+                    ),
+                });
                 leaks.push(AliasLeak {
                     class: mref.class.clone(),
                     method: mref.method.clone(),
                     field: f.clone(),
                     span: decl.span,
                     via_return,
+                });
+            } else {
+                report.evidence.push(Evidence::AliasLeak {
+                    verdict: Verdict::Cleared,
+                    class: mref.class.clone(),
+                    method: mref.method.clone(),
+                    field: f.clone(),
+                    via_return,
+                    decl_span,
+                    witness_span: decl_span,
+                    mutable_because: format!(
+                        "target type `{}` carries no mutable state",
+                        sig.ty
+                    ),
                 });
             }
         }
@@ -384,124 +583,155 @@ fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryR
 }
 
 /// One parameter-limited loop: `for (iv = c0; iv < p; iv += step)`.
-struct TripCandidate {
-    stmt_id: NodeId,
-    c0: i64,
-    inclusive: bool,
-    step: i64,
-    param_index: usize,
+pub(crate) struct TripCandidate {
+    pub(crate) stmt_id: NodeId,
+    pub(crate) c0: i64,
+    pub(crate) inclusive: bool,
+    pub(crate) step: i64,
+    pub(crate) param_index: usize,
+}
+
+/// Matches `stmt` against the parameter-bounded loop frame
+/// `for (iv = c0; iv < p; iv += step)` (with `<=` and both `i += s` /
+/// `i = i + s` update spellings), requiring a constant start, a
+/// constant positive step, `p` an `int` parameter of `decl`, and
+/// neither `iv` nor `p` assigned anywhere else in the method. Shared
+/// between the call-site bound prover and [`crate::evidence::verify`],
+/// which re-derives the frame independently of the solver run.
+pub(crate) fn trip_frame(decl: &MethodDecl, stmt: &Stmt) -> Option<TripCandidate> {
+    let StmtKind::For {
+        init: Some(init),
+        cond: Some(cond),
+        update: Some(update),
+        ..
+    } = &stmt.kind
+    else {
+        return None;
+    };
+    // Induction variable and constant start.
+    let (iv, c0) = match &init.kind {
+        StmtKind::VarDecl {
+            name,
+            init: Some(e),
+            ..
+        } => (name.as_str(), fold_const(e)),
+        StmtKind::Assign {
+            target,
+            op: AssignOp::Set,
+            value,
+        } => match &target.kind {
+            ExprKind::Var(n) => (n.as_str(), fold_const(value)),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let c0 = c0?;
+    // `iv < p` / `iv <= p` with `p` an int parameter.
+    let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
+        return None;
+    };
+    let inclusive = match op {
+        BinOp::Lt => false,
+        BinOp::Le => true,
+        _ => return None,
+    };
+    let (ExprKind::Var(l), ExprKind::Var(r)) = (&lhs.kind, &rhs.kind) else {
+        return None;
+    };
+    if l != iv {
+        return None;
+    }
+    let param_index = decl
+        .params
+        .iter()
+        .position(|p| &p.name == r && p.ty == Type::Int)?;
+    // Constant positive step on the induction variable.
+    let step = match &update.kind {
+        StmtKind::Assign { target, op, value } => {
+            let ExprKind::Var(n) = &target.kind else {
+                return None;
+            };
+            if n != iv {
+                return None;
+            }
+            match op {
+                AssignOp::Add => fold_const(value),
+                AssignOp::Set => match &value.kind {
+                    ExprKind::Binary {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs,
+                    } => match (&lhs.kind, &rhs.kind) {
+                        (ExprKind::Var(v), _) if v == iv => fold_const(rhs),
+                        (_, ExprKind::Var(v)) if v == iv => fold_const(lhs),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        _ => return None,
+    };
+    let step = step?;
+    if step <= 0 {
+        return None;
+    }
+    // Neither the limit parameter nor the induction variable may be
+    // assigned elsewhere in the method.
+    let mut disqualified = false;
+    walk_stmts(&decl.body, &mut |s| {
+        if let StmtKind::Assign { target, .. } = &s.kind {
+            if let ExprKind::Var(n) = &target.kind {
+                if n == r || (n == iv && s.id != update.id && s.id != init.id) {
+                    disqualified = true;
+                }
+            }
+        }
+    });
+    if disqualified {
+        return None;
+    }
+    Some(TripCandidate {
+        stmt_id: stmt.id,
+        c0,
+        inclusive,
+        step,
+        param_index,
+    })
+}
+
+/// Computes a worst-case trip count from the frame constants and the
+/// maximum limit observed across call sites.
+pub(crate) fn trips_for(c: &TripCandidate, limit: i64) -> u64 {
+    let trips = if c.inclusive {
+        if limit < c.c0 {
+            0
+        } else {
+            (limit - c.c0) / c.step + 1
+        }
+    } else if limit <= c.c0 {
+        0
+    } else {
+        (limit - c.c0 + c.step - 1) / c.step
+    };
+    u64::try_from(trips).unwrap_or(0)
 }
 
 /// Proves trip counts for loops bounded by an integer parameter, using
 /// the fold-constant arguments of every static call site (closed-world:
 /// methods with no analyzable site, or any non-constant site, stay
-/// unproved).
+/// unproved). Each proof is recorded as call-site evidence carrying the
+/// full site list.
 fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
     // Candidate loops per method.
     let mut candidates: BTreeMap<MethodRef, Vec<TripCandidate>> = BTreeMap::new();
     for (_, decl, mref) in crate::each_method(program) {
-        let int_param = |name: &str| -> Option<usize> {
-            decl.params
-                .iter()
-                .position(|p| p.name == name && p.ty == Type::Int)
-        };
         let mut found: Vec<TripCandidate> = Vec::new();
         walk_stmts(&decl.body, &mut |stmt| {
-            let StmtKind::For {
-                init: Some(init),
-                cond: Some(cond),
-                update: Some(update),
-                ..
-            } = &stmt.kind
-            else {
-                return;
-            };
-            // Induction variable and constant start.
-            let (iv, c0) = match &init.kind {
-                StmtKind::VarDecl {
-                    name,
-                    init: Some(e),
-                    ..
-                } => (name.as_str(), fold_const(e)),
-                StmtKind::Assign {
-                    target,
-                    op: AssignOp::Set,
-                    value,
-                } => match &target.kind {
-                    ExprKind::Var(n) => (n.as_str(), fold_const(value)),
-                    _ => return,
-                },
-                _ => return,
-            };
-            let Some(c0) = c0 else { return };
-            // `iv < p` / `iv <= p` with `p` an int parameter.
-            let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
-                return;
-            };
-            let inclusive = match op {
-                BinOp::Lt => false,
-                BinOp::Le => true,
-                _ => return,
-            };
-            let (ExprKind::Var(l), ExprKind::Var(r)) = (&lhs.kind, &rhs.kind) else {
-                return;
-            };
-            if l != iv {
-                return;
+            if let Some(c) = trip_frame(decl, stmt) {
+                found.push(c);
             }
-            let Some(param_index) = int_param(r) else { return };
-            // Constant positive step on the induction variable.
-            let step = match &update.kind {
-                StmtKind::Assign { target, op, value } => {
-                    let ExprKind::Var(n) = &target.kind else { return };
-                    if n != iv {
-                        return;
-                    }
-                    match op {
-                        AssignOp::Add => fold_const(value),
-                        AssignOp::Set => match &value.kind {
-                            ExprKind::Binary {
-                                op: BinOp::Add,
-                                lhs,
-                                rhs,
-                            } => match (&lhs.kind, &rhs.kind) {
-                                (ExprKind::Var(v), _) if v == iv => fold_const(rhs),
-                                (_, ExprKind::Var(v)) if v == iv => fold_const(lhs),
-                                _ => None,
-                            },
-                            _ => None,
-                        },
-                        _ => None,
-                    }
-                }
-                _ => return,
-            };
-            let Some(step) = step else { return };
-            if step <= 0 {
-                return;
-            }
-            // Neither the limit parameter nor the induction variable may
-            // be assigned elsewhere in the method.
-            let mut disqualified = false;
-            walk_stmts(&decl.body, &mut |s| {
-                if let StmtKind::Assign { target, .. } = &s.kind {
-                    if let ExprKind::Var(n) = &target.kind {
-                        if n == r || (n == iv && s.id != update.id && s.id != init.id) {
-                            disqualified = true;
-                        }
-                    }
-                }
-            });
-            if disqualified {
-                return;
-            }
-            found.push(TripCandidate {
-                stmt_id: stmt.id,
-                c0,
-                inclusive,
-                step,
-                param_index,
-            });
         });
         if !found.is_empty() {
             candidates.insert(mref, found);
@@ -512,8 +742,10 @@ fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut Summary
     }
 
     // Fold every static call site's argument at each candidate's
-    // parameter position. `None` poisons the method (open limit).
-    let mut limits: BTreeMap<MethodRef, Option<Vec<i64>>> = BTreeMap::new();
+    // parameter position, keeping the site spans for the evidence
+    // trail. `None` poisons the method (open limit).
+    type SiteList = Vec<Vec<(Span, i64)>>;
+    let mut sites: BTreeMap<MethodRef, Option<SiteList>> = BTreeMap::new();
     for (_, decl, caller) in crate::each_method(program) {
         walk_exprs(&decl.body, &mut |e| {
             let (target, args) = match &e.kind {
@@ -531,19 +763,21 @@ fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut Summary
             let Some(cands) = candidates.get(&target) else {
                 return;
             };
-            let folded: Option<Vec<i64>> = cands
+            let folded: Option<Vec<(Span, i64)>> = cands
                 .iter()
-                .map(|c| args.get(c.param_index).and_then(fold_const))
+                .map(|c| {
+                    args.get(c.param_index)
+                        .and_then(fold_const)
+                        .map(|v| (e.span, v))
+                })
                 .collect();
-            let entry = limits.entry(target).or_insert_with(|| Some(Vec::new()));
+            let entry = sites
+                .entry(target)
+                .or_insert_with(|| Some(vec![Vec::new(); cands.len()]));
             match (entry.as_mut(), folded) {
                 (Some(acc), Some(vals)) => {
-                    if acc.is_empty() {
-                        *acc = vals;
-                    } else {
-                        for (slot, v) in acc.iter_mut().zip(vals) {
-                            *slot = (*slot).max(v);
-                        }
+                    for (slot, v) in acc.iter_mut().zip(vals) {
+                        slot.push(v);
                     }
                 }
                 // A non-constant site (or an already-poisoned method)
@@ -554,27 +788,75 @@ fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut Summary
     }
 
     for (mref, cands) in &candidates {
-        let Some(Some(maxima)) = limits.get(mref) else {
+        let Some(Some(per_cand)) = sites.get(mref) else {
             continue;
         };
-        if maxima.is_empty() {
-            continue;
-        }
-        for (c, &limit) in cands.iter().zip(maxima) {
-            let trips = if c.inclusive {
-                if limit < c.c0 {
-                    0
-                } else {
-                    (limit - c.c0) / c.step + 1
-                }
-            } else if limit <= c.c0 {
-                0
-            } else {
-                (limit - c.c0 + c.step - 1) / c.step
+        for (c, site_list) in cands.iter().zip(per_cand) {
+            let Some(limit) = site_list.iter().map(|&(_, v)| v).max() else {
+                continue;
             };
-            report
-                .call_proved_bounds
-                .insert(c.stmt_id, u64::try_from(trips).unwrap_or(0));
+            let trips = trips_for(c, limit);
+            report.call_proved_bounds.insert(c.stmt_id, trips);
+            let loop_span = loop_span_of(program, mref, c.stmt_id);
+            report.evidence.push(Evidence::LoopBound {
+                verdict: Verdict::Cleared,
+                method: mref.to_string(),
+                loop_span,
+                derivation: BoundDerivation::CallSites {
+                    c0: c.c0,
+                    step: c.step,
+                    inclusive: c.inclusive,
+                    param: c.param_index,
+                    sites: site_list.iter().map(|&(sp, v)| (sp.into(), v)).collect(),
+                    trips,
+                },
+            });
+        }
+    }
+}
+
+/// Finds the source span of a loop statement by node id.
+fn loop_span_of(
+    program: &Program,
+    mref: &MethodRef,
+    stmt_id: NodeId,
+) -> crate::evidence::SpanRef {
+    let mut span = Span::default();
+    if let Some((_, decl, _)) = find_decl(program, mref) {
+        walk_stmts(&decl.body, &mut |s: &Stmt| {
+            if s.id == stmt_id {
+                span = s.span;
+            }
+        });
+    }
+    span.into()
+}
+
+/// Emits R2 loop-bound evidence: an interval-cleared entry per
+/// flow-proved loop and an unproved finding per remaining incalculable
+/// `for` loop — exactly the set the R2 rule reports.
+fn loop_bound_evidence(
+    program: &Program,
+    interval_proved: &BTreeMap<NodeId, u64>,
+    report: &mut SummaryReport,
+) {
+    for info in loops::analyze(program) {
+        if let Some(&trips) = interval_proved.get(&info.id) {
+            report.evidence.push(Evidence::LoopBound {
+                verdict: Verdict::Cleared,
+                method: info.method.to_string(),
+                loop_span: info.span.into(),
+                derivation: BoundDerivation::Interval { trips },
+            });
+        } else if let Some(BoundStatus::NotCalculable { reason }) = &info.bound {
+            report.evidence.push(Evidence::LoopBound {
+                verdict: Verdict::Finding,
+                method: info.method.to_string(),
+                loop_span: info.span.into(),
+                derivation: BoundDerivation::Unproved {
+                    obstruction: reason.clone(),
+                },
+            });
         }
     }
 }

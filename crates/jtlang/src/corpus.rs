@@ -498,6 +498,115 @@ class Wiring {
 }
 ";
 
+/// A compliant factory design that only a context-sensitive points-to
+/// tier proves clean: each stage owns a private `PacketPool` and keeps
+/// the packet it makes. At `k = 0` the single `new Packet()` site inside
+/// `PacketPool.make` merges both stages' packets into one abstract
+/// object held by both blocks, so R13 reports false impurity; at
+/// `k = 1` the per-receiver heap contexts separate them and the sample
+/// is clean.
+pub const FACTORY_BLOCKS: &str = "\
+class Packet {
+    private int load;
+    Packet() {
+        load = 0;
+    }
+    int get() {
+        return load;
+    }
+    void set(int v) {
+        load = v;
+    }
+}
+class PacketPool {
+    PacketPool() {
+    }
+    Packet make() {
+        return new Packet();
+    }
+}
+class StageA extends ASR {
+    private PacketPool pool;
+    private Packet slot;
+    StageA() {
+        pool = new PacketPool();
+        slot = pool.make();
+    }
+    public void run() {
+        slot.set(read(0));
+        write(0, slot.get());
+    }
+}
+class StageB extends ASR {
+    private PacketPool pool;
+    private Packet slot;
+    StageB() {
+        pool = new PacketPool();
+        slot = pool.make();
+    }
+    public void run() {
+        slot.set(read(1));
+        write(1, slot.get());
+    }
+}
+";
+
+/// A noncompliant builder design with a true shared alias: one
+/// `FrameBuilder` hands the same `Frame` to both mixers, so both run
+/// phases write state they do not own (rule R13) and the builder's
+/// `build` getter leaks its backing field (rule R14). The findings
+/// survive at every context depth — sharpening must not clear them.
+pub const BUILDER_ALIAS: &str = "\
+class Frame {
+    private int seq;
+    Frame() {
+        seq = 0;
+    }
+    int tick() {
+        return seq;
+    }
+    void stamp(int v) {
+        seq = v;
+    }
+}
+class FrameBuilder {
+    private Frame current;
+    FrameBuilder() {
+        current = new Frame();
+    }
+    Frame build() {
+        return current;
+    }
+}
+class MixerA extends ASR {
+    private Frame f;
+    MixerA(FrameBuilder b) {
+        f = b.build();
+    }
+    public void run() {
+        f.stamp(read(0));
+        write(0, f.tick());
+    }
+}
+class MixerB extends ASR {
+    private Frame f;
+    MixerB(FrameBuilder b) {
+        f = b.build();
+    }
+    public void run() {
+        f.stamp(read(1));
+        write(1, f.tick());
+    }
+}
+class Wiring {
+    public void wire() {
+        FrameBuilder fb = new FrameBuilder();
+        MixerA a = new MixerA(fb);
+        MixerB b = new MixerB(fb);
+    }
+}
+";
+
 /// Configuration for the deterministic corpus generator.
 ///
 /// The generator exists to exercise the incremental analysis database
@@ -721,6 +830,16 @@ pub fn samples() -> Vec<Sample> {
         Sample {
             name: "impure_block",
             source: IMPURE_BLOCK,
+            compliant: false,
+        },
+        Sample {
+            name: "factory_blocks",
+            source: FACTORY_BLOCKS,
+            compliant: true,
+        },
+        Sample {
+            name: "builder_alias",
+            source: BUILDER_ALIAS,
             compliant: false,
         },
     ]

@@ -183,6 +183,24 @@ pub fn render_json(v: &Violation, evidence: Option<&str>) -> String {
     out
 }
 
+/// [`render_json`] with a *structured* evidence payload: `evidence_json`
+/// must already be a rendered JSON value (the `jtanalysis::evidence`
+/// chain for this finding) and is spliced in verbatim as the `evidence`
+/// field, so `jtlint --json` consumers — and the independent
+/// `evidence_verify` checker — receive a machine-checkable object
+/// instead of a prose string. With `None` the output is byte-identical
+/// to `render_json(v, None)`.
+pub fn render_json_object(v: &Violation, evidence_json: Option<&str>) -> String {
+    let mut out = render_json(v, None);
+    if let Some(e) = evidence_json {
+        out.pop();
+        out.push_str(",\"evidence\":");
+        out.push_str(e);
+        out.push('}');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +307,29 @@ mod tests {
              \"span\":{\"start\":0,\"end\":0,\"line\":0,\"col\":0},\
              \"fix\":{\"kind\":\"manual\",\"guidance\":\"model concurrency as blocks\"}}"
         );
+    }
+
+    #[test]
+    fn structured_evidence_is_spliced_verbatim() {
+        let v = Violation {
+            rule: "R13",
+            rule_title: "blocks own their state",
+            message: "block writes foreign state".to_string(),
+            span: Span::new(4, 9, 1, 5),
+            class: "Tap".to_string(),
+            fix: Fix::Manual {
+                guidance: "move the field into the block".to_string(),
+            },
+        };
+        assert_eq!(
+            render_json_object(&v, Some("{\"kind\":\"ownership\",\"verdict\":\"finding\"}")),
+            "{\"rule\":\"R13\",\"rule_title\":\"blocks own their state\",\"class\":\"Tap\",\
+             \"message\":\"block writes foreign state\",\
+             \"span\":{\"start\":4,\"end\":9,\"line\":1,\"col\":5},\
+             \"fix\":{\"kind\":\"manual\",\"guidance\":\"move the field into the block\"},\
+             \"evidence\":{\"kind\":\"ownership\",\"verdict\":\"finding\"}}"
+        );
+        assert_eq!(render_json_object(&v, None), render_json(&v, None));
     }
 
     #[test]

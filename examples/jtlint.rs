@@ -11,6 +11,7 @@
 //! cargo run --example jtlint            # print all diagnostics
 //! cargo run --example jtlint -- --check # CI gate: verify the snapshot
 //! cargo run --example jtlint -- --json  # one JSON object per finding
+//! cargo run --example jtlint -- --precision # k=0 vs k=1 refinement gate
 //! ```
 //!
 //! `--check` compares the per-sample violation counts against the
@@ -21,9 +22,20 @@
 //!
 //! `--json` emits machine-readable findings instead of the rustc-style
 //! text: one JSON object per line with `file`, `rule`, `rule_title`,
-//! `class`, `message`, `span`, `fix`, and — for R2 (bounded-loop)
-//! findings — an `evidence` field summarizing what the interval
-//! analysis *did* prove, so a consumer can see how close the proof came.
+//! `class`, `message`, `span`, `fix`, and — for the proof-carrying
+//! rules R2, R12, R13, and R14 — a structured `evidence` object
+//! carrying the machine-checkable derivation behind the verdict
+//! (`jtanalysis::evidence`). Pipe the output through the
+//! `evidence_verify` example to re-validate every derivation against
+//! the source without re-running the solvers.
+//!
+//! `--precision` runs the interprocedural tier at both context depths
+//! (`k = 0`, the context-insensitive baseline, and `k = 1`, the
+//! object-sensitive default) over every sample and exits nonzero
+//! unless (a) the `k = 1` findings are a subset of the `k = 0`
+//! findings on every sample, (b) every compliant sample is clean at
+//! `k = 1`, and (c) `factory_blocks` demonstrates the sharpening: R13
+//! false positives at `k = 0`, none at `k = 1`.
 //!
 //! `--stats` routes every sample through one shared incremental
 //! analysis database (`jtanalysis::db::AnalysisDb`) and prints its
@@ -37,11 +49,11 @@
 //! engine's "warm re-check is free and invisible" contract.
 
 use jtanalysis::db::AnalysisDb;
-use sfr::policy::{AnalysisContext, Policy};
-use sfr::violation::{render, render_json, Violation};
+use sfr::policy::{evidence_for, AnalysisContext, Policy};
+use sfr::violation::{render, render_json_object, Violation};
 
 /// Expected violation count per corpus sample under `Policy::asr()`.
-const SNAPSHOT: [(&str, usize); 12] = [
+const SNAPSHOT: [(&str, usize); 14] = [
     ("counter", 0),
     ("fir_filter", 0),
     ("traffic_light", 0),
@@ -54,6 +66,8 @@ const SNAPSHOT: [(&str, usize); 12] = [
     ("pure_blocks", 0),
     ("aliased_shared", 17),
     ("impure_block", 4),
+    ("factory_blocks", 0),
+    ("builder_alias", 3),
 ];
 
 /// Every rule the ASR policy can emit, in report order.
@@ -61,7 +75,13 @@ const RULES: [&str; 14] = [
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
 ];
 
-fn lint(source: &str, db: Option<&mut AnalysisDb>) -> Result<(Vec<Violation>, Vec<u64>), String> {
+/// Lints one sample, pairing each violation with the rendered JSON of
+/// its structured evidence (present exactly for the proof-carrying
+/// rules R2/R12/R13/R14).
+fn lint(
+    source: &str,
+    db: Option<&mut AnalysisDb>,
+) -> Result<Vec<(Violation, Option<String>)>, String> {
     let program = jtlang::check_source(source).map_err(|e| format!("front end: {e}"))?;
     let table =
         jtlang::resolve::resolve(&program).map_err(|e| format!("resolver: {e}"))?;
@@ -70,34 +90,85 @@ fn lint(source: &str, db: Option<&mut AnalysisDb>) -> Result<(Vec<Violation>, Ve
             Some(db) => AnalysisContext::with_db(&program, &table, db, None),
             None => AnalysisContext::new(&program, &table),
         };
-        let violations = Policy::asr().check_with_context(&cx);
-        let proved = cx.flow.interval.proved_loop_bounds.values().copied().collect();
-        (violations, proved)
+        Policy::asr()
+            .check_with_context(&cx)
+            .into_iter()
+            .map(|v| {
+                let e = evidence_for(&cx.flow, &v).map(|e| e.to_json().render());
+                (v, e)
+            })
+            .collect()
     }))
     .map_err(|_| "analysis panicked (internal error)".to_string())
 }
 
-/// The `evidence` string attached to R2 findings in `--json` mode:
-/// what the flow-sensitive interval analysis proved about the sample's
-/// other loops, so the reader can tell a near-miss from a hopeless case.
-fn r2_evidence(proved: &[u64]) -> String {
-    if proved.is_empty() {
-        "interval analysis proved no loop bounds in this sample".to_string()
-    } else {
-        format!(
-            "interval analysis proved {} other loop bound(s) in this sample: {:?}",
-            proved.len(),
-            proved
-        )
-    }
-}
-
-/// Prefixes `render_json` output with the originating `file` so each
-/// line is self-contained. The rendered object always starts with
+/// Prefixes `render_json_object` output with the originating `file` so
+/// each line is self-contained. The rendered object always starts with
 /// `{"rule":…`, so splicing after the brace is safe.
 fn json_line(file: &str, v: &Violation, evidence: Option<&str>) -> String {
-    let body = render_json(v, evidence);
+    let body = render_json_object(v, evidence);
     format!("{{\"file\":\"{file}\",{}", &body[1..])
+}
+
+/// The `--precision` gate: interprocedural findings at `k = 1` must be
+/// a subset of `k = 0` on every sample, compliant samples must be
+/// clean at the default depth, and `factory_blocks` must show the
+/// advertised sharpening. Returns the number of failures.
+fn precision_check() -> usize {
+    let mut failures = 0usize;
+    println!("{:<20} {:>6} {:>6}", "sample", "k=0", "k=1");
+    for sample in jtlang::corpus::samples() {
+        let Ok((p, t)) = jtanalysis::frontend(sample.source) else {
+            eprintln!("jtlint: `{}` failed the front end", sample.name);
+            failures += 1;
+            continue;
+        };
+        let g = jtanalysis::callgraph::build(&p, &t);
+        let keys = |k: usize| {
+            let r = jtanalysis::flow::analyze_batch_k(&p, &t, &g, k);
+            let mut set: std::collections::BTreeSet<String> = r
+                .summary
+                .impure_blocks
+                .iter()
+                .map(|f| format!("R13 {} {} {} {}..{}", f.block, f.field, f.method, f.span.start, f.span.end))
+                .collect();
+            set.extend(
+                r.summary
+                    .alias_leaks
+                    .iter()
+                    .map(|l| format!("R14 {}.{} {}", l.class, l.method, l.field)),
+            );
+            set.extend(r.races.alias_aware.iter().map(|a| format!("R12 {}", a.field)));
+            set
+        };
+        let (k0, k1) = (keys(0), keys(1));
+        println!("{:<20} {:>6} {:>6}", sample.name, k0.len(), k1.len());
+        for extra in k1.difference(&k0) {
+            eprintln!(
+                "jtlint: `{}` finding at k=1 absent at k=0 (refinement violated): {extra}",
+                sample.name
+            );
+            failures += 1;
+        }
+        if sample.compliant && !k1.is_empty() {
+            eprintln!(
+                "jtlint: compliant `{}` has {} interprocedural finding(s) at k=1",
+                sample.name,
+                k1.len()
+            );
+            failures += 1;
+        }
+        if sample.name == "factory_blocks" && (k0.is_empty() || !k1.is_empty()) {
+            eprintln!(
+                "jtlint: `factory_blocks` no longer demonstrates the k=0 -> k=1 \
+                 sharpening ({} at k=0, {} at k=1)",
+                k0.len(),
+                k1.len()
+            );
+            failures += 1;
+        }
+    }
+    failures
 }
 
 fn main() {
@@ -105,9 +176,11 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let stats = std::env::args().any(|a| a == "--stats");
     let warm_check = std::env::args().any(|a| a == "--warm-check");
+    let precision = std::env::args().any(|a| a == "--precision");
     let mut internal_errors = 0usize;
     let mut regressions = 0usize;
     let mut warm_failures = 0usize;
+    let mut precision_failures = 0usize;
     let mut counts: Vec<(String, usize)> = Vec::new();
     let mut per_rule: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
@@ -131,7 +204,7 @@ fn main() {
                         );
                         warm_failures += 1;
                     }
-                    if first.0 != second.0 {
+                    if first != second {
                         eprintln!("jtlint: `{}` warm re-check changed the findings", sample.name);
                         warm_failures += 1;
                     }
@@ -144,20 +217,18 @@ fn main() {
         }
         let result = lint(sample.source, stats.then_some(&mut shared_db));
         match result {
-            Ok((violations, proved)) => {
+            Ok(violations) => {
                 if json {
-                    for v in &violations {
-                        let evidence =
-                            (v.rule == "R2").then(|| r2_evidence(&proved));
+                    for (v, evidence) in &violations {
                         println!("{}", json_line(&file, v, evidence.as_deref()));
                     }
                 } else if !check {
-                    for v in &violations {
+                    for (v, _) in &violations {
                         print!("{}", render(v, &file, sample.source));
                         println!();
                     }
                 }
-                for v in &violations {
+                for (v, _) in &violations {
                     *per_rule.entry(v.rule.to_string()).or_insert(0) += 1;
                 }
                 counts.push((sample.name.to_string(), violations.len()));
@@ -203,6 +274,17 @@ fn main() {
         );
     }
 
+    if precision {
+        precision_failures = precision_check();
+        if precision_failures == 0 {
+            println!(
+                "jtlint --precision: k=1 refines k=0 on all {} samples; compliant \
+                 samples clean at the default depth",
+                jtlang::corpus::samples().len()
+            );
+        }
+    }
+
     if check {
         for (name, expected) in SNAPSHOT {
             match counts.iter().find(|(n, _)| n == name) {
@@ -230,7 +312,7 @@ fn main() {
         }
     }
 
-    if internal_errors > 0 || regressions > 0 || warm_failures > 0 {
+    if internal_errors > 0 || regressions > 0 || warm_failures > 0 || precision_failures > 0 {
         std::process::exit(1);
     }
 }
