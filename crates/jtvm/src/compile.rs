@@ -12,11 +12,206 @@
 //! compound assignments are not produced by any tool in this workspace.
 
 use crate::bytecode::{Chunk, ElemKind, FunId, Instr};
-use crate::engine::BuildEngineError;
 use crate::layout::{ClassId, Layouts};
 use jtlang::ast::*;
 use jtlang::resolve::ClassTable;
 use std::collections::HashMap;
+
+/// Most call/constructor arguments one JTBC instruction can encode
+/// (`argc` is a `u8`).
+pub const MAX_CALL_ARGS: usize = u8::MAX as usize;
+
+/// Most concurrently-live local slots (parameters included) one chunk
+/// can address (`Load`/`Store` carry a `u16`).
+pub const MAX_LOCAL_SLOTS: usize = u16::MAX as usize;
+
+/// Most classes one module can reference (`New` carries a `u16`).
+pub const MAX_CLASSES: usize = u16::MAX as usize;
+
+/// An error from the JT → JTBC compiler.
+///
+/// Historically every encoding-width overflow (256-argument call,
+/// 70 000-local method, 70 000-class program) was silently truncated
+/// with `as u8`/`as u16`, compiling to bytecode that dispatched the
+/// wrong callee or local. Every narrowing conversion now goes through
+/// `try_into` and surfaces as [`CompileError::LimitExceeded`]; the
+/// tree-walking interpreter enforces the same limits via
+/// [`check_limits`] so the divergence is not engine-observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An internal inconsistency (a type-checked program should never
+    /// trigger this).
+    Frontend(String),
+    /// The program exceeds a bytecode encoding limit.
+    LimitExceeded {
+        /// What overflowed ("call arguments", "local variable slots", …).
+        what: &'static str,
+        /// Observed count.
+        count: usize,
+        /// Largest representable count.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "compile error: {e}"),
+            CompileError::LimitExceeded { what, count, max } => {
+                write!(f, "compile limit exceeded: {count} {what} (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn limit_err(what: &'static str, count: usize, max: usize) -> CompileError {
+    CompileError::LimitExceeded { what, count, max }
+}
+
+/// Checks the engine-shared representation limits on a program's AST.
+///
+/// Both engines run this up front — the bytecode compiler so that no
+/// emission-site `try_into` ever actually fires, and the tree-walking
+/// interpreter (which has no encoding widths of its own) so that a
+/// program near the limits is accepted or rejected identically
+/// everywhere.
+///
+/// # Errors
+///
+/// [`CompileError::LimitExceeded`] naming the first limit breached.
+pub fn check_limits(program: &Program) -> Result<(), CompileError> {
+    if program.classes.len() > MAX_CLASSES {
+        return Err(limit_err("classes", program.classes.len(), MAX_CLASSES));
+    }
+    for class in &program.classes {
+        for f in &class.fields {
+            if let Some(init) = &f.init {
+                limits_expr(init)?;
+            }
+        }
+        for m in class.ctors.iter().chain(class.methods.iter()) {
+            if m.params.len() > MAX_LOCAL_SLOTS {
+                return Err(limit_err("parameters", m.params.len(), MAX_LOCAL_SLOTS));
+            }
+            let mut live = m.params.len();
+            let mut peak = live;
+            for s in &m.body.stmts {
+                limits_stmt(s, &mut live, &mut peak)?;
+            }
+            if peak > MAX_LOCAL_SLOTS {
+                return Err(limit_err("local variable slots", peak, MAX_LOCAL_SLOTS));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks one statement, tracking concurrently-live local slots exactly
+/// the way [`FnCompiler`]'s scopes allocate them.
+fn limits_stmt(s: &Stmt, live: &mut usize, peak: &mut usize) -> Result<(), CompileError> {
+    match &s.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                limits_expr(e)?;
+            }
+            *live += 1;
+            *peak = (*peak).max(*live);
+        }
+        StmtKind::Assign { target, value, .. } => {
+            limits_expr(target)?;
+            limits_expr(value)?;
+        }
+        StmtKind::Expr(e) => limits_expr(e)?,
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            limits_expr(cond)?;
+            limits_stmt(then_branch, live, peak)?;
+            if let Some(eb) = else_branch {
+                limits_stmt(eb, live, peak)?;
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+            limits_expr(cond)?;
+            limits_stmt(body, live, peak)?;
+        }
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            let saved = *live;
+            if let Some(i) = init {
+                limits_stmt(i, live, peak)?;
+            }
+            if let Some(c) = cond {
+                limits_expr(c)?;
+            }
+            limits_stmt(body, live, peak)?;
+            if let Some(u) = update {
+                limits_stmt(u, live, peak)?;
+            }
+            *live = saved;
+        }
+        StmtKind::Return(v) => {
+            if let Some(e) = v {
+                limits_expr(e)?;
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => {
+            let saved = *live;
+            for s in &b.stmts {
+                limits_stmt(s, live, peak)?;
+            }
+            *live = saved;
+        }
+    }
+    Ok(())
+}
+
+fn limits_expr(e: &Expr) -> Result<(), CompileError> {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Null | ExprKind::This | ExprKind::Var(_) => {}
+        ExprKind::Field { object, .. } => limits_expr(object)?,
+        ExprKind::Index { array, index } => {
+            limits_expr(array)?;
+            limits_expr(index)?;
+        }
+        ExprKind::Length { array } => limits_expr(array)?,
+        ExprKind::Unary { expr, .. } => limits_expr(expr)?,
+        ExprKind::Binary { lhs, rhs, .. } => {
+            limits_expr(lhs)?;
+            limits_expr(rhs)?;
+        }
+        ExprKind::Call { receiver, args, .. } => {
+            if args.len() > MAX_CALL_ARGS {
+                return Err(limit_err("call arguments", args.len(), MAX_CALL_ARGS));
+            }
+            if let Some(r) = receiver {
+                limits_expr(r)?;
+            }
+            for a in args {
+                limits_expr(a)?;
+            }
+        }
+        ExprKind::NewObject { args, .. } => {
+            if args.len() > MAX_CALL_ARGS {
+                return Err(limit_err("constructor arguments", args.len(), MAX_CALL_ARGS));
+            }
+            for a in args {
+                limits_expr(a)?;
+            }
+        }
+        ExprKind::NewArray { len, .. } => limits_expr(len)?,
+    }
+    Ok(())
+}
 
 /// Builtin operations the VM implements directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,9 +307,11 @@ impl Module {
 ///
 /// # Errors
 ///
-/// [`BuildEngineError::Frontend`] on internal inconsistencies (a
-/// type-checked program should never trigger them).
-pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEngineError> {
+/// [`CompileError::LimitExceeded`] when the program breaches a bytecode
+/// encoding limit, [`CompileError::Frontend`] on internal
+/// inconsistencies (a type-checked program should never trigger them).
+pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, CompileError> {
+    check_limits(program)?;
     let layouts = Layouts::build(program, table);
     let mut b = ModuleBuilder {
         table,
@@ -132,7 +329,8 @@ pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEng
     for class in &program.classes {
         for f in &class.fields {
             if f.modifiers.is_static {
-                let slot = b.statics.len() as u32;
+                let slot = u32::try_from(b.statics.len())
+                    .map_err(|_| limit_err("static fields", b.statics.len(), u32::MAX as usize))?;
                 b.static_ids
                     .insert((class.name.clone(), f.name.clone()), slot);
                 b.statics
@@ -176,7 +374,7 @@ pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEng
         }
         for method in &class.methods {
             let fun = b.compile_method(class, method, false)?;
-            let id = b.intern(&method.name);
+            let id = b.intern(&method.name)?;
             own_methods[class_id.index()].insert(id, fun);
         }
     }
@@ -202,7 +400,7 @@ pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEng
             .map(|(name, slot)| (name.clone(), *slot))
             .collect();
         for (name, slot) in slot_pairs {
-            let nid = b.intern(&name);
+            let nid = b.intern(&name)?;
             field_slots[idx].insert(nid, slot);
         }
     }
@@ -221,7 +419,7 @@ pub fn compile(program: &Program, table: &ClassTable) -> Result<Module, BuildEng
         ("join", BuiltinOp::Unsupported),
         ("start", BuiltinOp::Unsupported),
     ] {
-        let id = b.intern(name);
+        let id = b.intern(name)?;
         builtins.insert(id, op);
     }
 
@@ -253,14 +451,15 @@ struct ModuleBuilder<'p> {
 }
 
 impl<'p> ModuleBuilder<'p> {
-    fn intern(&mut self, name: &str) -> u32 {
+    fn intern(&mut self, name: &str) -> Result<u32, CompileError> {
         if let Some(&id) = self.name_ids.get(name) {
-            return id;
+            return Ok(id);
         }
-        let id = self.names.len() as u32;
+        let id = u32::try_from(self.names.len())
+            .map_err(|_| limit_err("interned names", self.names.len(), u32::MAX as usize))?;
         self.names.push(name.to_string());
         self.name_ids.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Finds the static slot for `name` visible from `class` (walking the
@@ -280,7 +479,7 @@ impl<'p> ModuleBuilder<'p> {
         &mut self,
         class: &'p ClassDecl,
         init: &Expr,
-    ) -> Result<FunId, BuildEngineError> {
+    ) -> Result<FunId, CompileError> {
         let mut f = FnCompiler::new(self, class);
         f.expr(init)?;
         f.code.push(Instr::Ret);
@@ -289,7 +488,7 @@ impl<'p> ModuleBuilder<'p> {
         Ok(self.chunks.len() - 1)
     }
 
-    fn compile_field_init(&mut self, class: &'p ClassDecl) -> Result<FunId, BuildEngineError> {
+    fn compile_field_init(&mut self, class: &'p ClassDecl) -> Result<FunId, CompileError> {
         let mut f = FnCompiler::new(self, class);
         let fields: Vec<FieldDecl> = class
             .fields
@@ -303,7 +502,7 @@ impl<'p> ModuleBuilder<'p> {
                 Some(e) => f.expr(e)?,
                 None => f.push_default(&fd.ty),
             }
-            let id = f.builder.intern(&fd.name);
+            let id = f.builder.intern(&fd.name)?;
             f.code.push(Instr::PutField(id));
         }
         f.code.push(Instr::RetVoid);
@@ -317,10 +516,10 @@ impl<'p> ModuleBuilder<'p> {
         class: &'p ClassDecl,
         decl: &MethodDecl,
         is_ctor: bool,
-    ) -> Result<FunId, BuildEngineError> {
+    ) -> Result<FunId, CompileError> {
         let mut f = FnCompiler::new(self, class);
         for p in &decl.params {
-            f.declare_local(&p.name);
+            f.declare_local(&p.name)?;
         }
         f.block(&decl.body)?;
         f.code.push(Instr::RetVoid);
@@ -330,7 +529,9 @@ impl<'p> ModuleBuilder<'p> {
         } else {
             format!("{}.{}", class.name, decl.name)
         };
-        let chunk = f.finish(name, decl.params.len() as u16, returns_value);
+        let n_params = u16::try_from(decl.params.len())
+            .map_err(|_| limit_err("parameters", decl.params.len(), MAX_LOCAL_SLOTS))?;
+        let chunk = f.finish(name, n_params, returns_value);
         self.chunks.push(chunk);
         Ok(self.chunks.len() - 1)
     }
@@ -374,19 +575,23 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
         }
     }
 
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, BuildEngineError> {
-        Err(BuildEngineError::Frontend(msg.into()))
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Frontend(msg.into()))
     }
 
-    fn declare_local(&mut self, name: &str) -> u16 {
+    fn declare_local(&mut self, name: &str) -> Result<u16, CompileError> {
         let slot = self.next_local;
-        self.next_local += 1;
+        self.next_local = self.next_local.checked_add(1).ok_or(limit_err(
+            "local variable slots",
+            MAX_LOCAL_SLOTS + 1,
+            MAX_LOCAL_SLOTS,
+        ))?;
         self.max_locals = self.max_locals.max(self.next_local);
         self.scopes
             .last_mut()
             .expect("scope present")
             .insert(name.to_string(), slot);
-        slot
+        Ok(slot)
     }
 
     fn lookup_local(&self, name: &str) -> Option<u16> {
@@ -399,7 +604,10 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
 
     fn pop_scope(&mut self) {
         let scope = self.scopes.pop().expect("scope present");
-        self.next_local -= scope.len() as u16;
+        // Every entry was counted into `next_local` by `declare_local`,
+        // so the length always fits the slot width.
+        let n = u16::try_from(scope.len()).expect("scope bounded by slot width");
+        self.next_local -= n;
     }
 
     fn here(&self) -> usize {
@@ -411,12 +619,19 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
         self.code.len() - 1
     }
 
-    fn patch(&mut self, at: usize, target: usize) {
-        let t = target as u32;
+    /// Converts a code offset into a `u32` jump operand.
+    fn pc_operand(&self, target: usize) -> Result<u32, CompileError> {
+        u32::try_from(target)
+            .map_err(|_| limit_err("bytecode instructions", target, u32::MAX as usize))
+    }
+
+    fn patch(&mut self, at: usize, target: usize) -> Result<(), CompileError> {
+        let t = self.pc_operand(target)?;
         match &mut self.code[at] {
             Instr::Jump(x) | Instr::JumpIfFalse(x) | Instr::JumpIfTrue(x) => *x = t,
             other => panic!("patching a non-jump {other:?}"),
         }
+        Ok(())
     }
 
     fn push_default(&mut self, ty: &Type) {
@@ -427,7 +642,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
         });
     }
 
-    fn block(&mut self, block: &Block) -> Result<(), BuildEngineError> {
+    fn block(&mut self, block: &Block) -> Result<(), CompileError> {
         self.push_scope();
         for s in &block.stmts {
             self.stmt(s)?;
@@ -436,14 +651,14 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
         Ok(())
     }
 
-    fn stmt(&mut self, stmt: &Stmt) -> Result<(), BuildEngineError> {
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match &stmt.kind {
             StmtKind::VarDecl { ty, name, init } => {
                 match init {
                     Some(e) => self.expr(e)?,
                     None => self.push_default(ty),
                 }
-                let slot = self.declare_local(name);
+                let slot = self.declare_local(name)?;
                 self.code.push(Instr::Store(slot));
                 Ok(())
             }
@@ -465,14 +680,14 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                     Some(eb) => {
                         let to_end = self.emit_patchable(Instr::Jump(0));
                         let else_at = self.here();
-                        self.patch(to_else, else_at);
+                        self.patch(to_else, else_at)?;
                         self.stmt(eb)?;
                         let end = self.here();
-                        self.patch(to_end, end);
+                        self.patch(to_end, end)?;
                     }
                     None => {
                         let end = self.here();
-                        self.patch(to_else, end);
+                        self.patch(to_else, end)?;
                     }
                 }
                 Ok(())
@@ -488,13 +703,14 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                 self.stmt(body)?;
                 let ctx = self.loops.pop().expect("loop ctx");
                 for p in ctx.continue_patches {
-                    self.patch(p, start);
+                    self.patch(p, start)?;
                 }
-                self.code.push(Instr::Jump(start as u32));
+                let back = self.pc_operand(start)?;
+                self.code.push(Instr::Jump(back));
                 let end = self.here();
-                self.patch(to_end, end);
+                self.patch(to_end, end)?;
                 for p in ctx.break_patches {
-                    self.patch(p, end);
+                    self.patch(p, end)?;
                 }
                 Ok(())
             }
@@ -508,13 +724,14 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                 let ctx = self.loops.pop().expect("loop ctx");
                 let cond_at = self.here();
                 for p in ctx.continue_patches {
-                    self.patch(p, cond_at);
+                    self.patch(p, cond_at)?;
                 }
                 self.expr(cond)?;
-                self.code.push(Instr::JumpIfTrue(start as u32));
+                let back = self.pc_operand(start)?;
+                self.code.push(Instr::JumpIfTrue(back));
                 let end = self.here();
                 for p in ctx.break_patches {
-                    self.patch(p, end);
+                    self.patch(p, end)?;
                 }
                 Ok(())
             }
@@ -544,18 +761,19 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                 let ctx = self.loops.pop().expect("loop ctx");
                 let update_at = self.here();
                 for p in ctx.continue_patches {
-                    self.patch(p, update_at);
+                    self.patch(p, update_at)?;
                 }
                 if let Some(u) = update {
                     self.stmt(u)?;
                 }
-                self.code.push(Instr::Jump(start as u32));
+                let back = self.pc_operand(start)?;
+                self.code.push(Instr::Jump(back));
                 let end = self.here();
                 if let Some(p) = to_end {
-                    self.patch(p, end);
+                    self.patch(p, end)?;
                 }
                 for p in ctx.break_patches {
-                    self.patch(p, end);
+                    self.patch(p, end)?;
                 }
                 self.pop_scope();
                 Ok(())
@@ -590,7 +808,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
         }
     }
 
-    fn assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) -> Result<(), BuildEngineError> {
+    fn assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) -> Result<(), CompileError> {
         // Helper closure-like: compile rhs, possibly combining with old
         // value for compound ops.
         match &target.kind {
@@ -606,7 +824,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                     self.code.push(Instr::Store(slot));
                     return Ok(());
                 }
-                if let Some(slot) = self.instance_slot_name(name) {
+                if let Some(slot) = self.instance_slot_name(name)? {
                     self.code.push(Instr::LoadThis);
                     if op == AssignOp::Set {
                         self.expr(value)?;
@@ -633,7 +851,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                 self.err(format!("unknown variable `{name}`"))
             }
             ExprKind::Field { object, name } => {
-                let id = self.builder.intern(name);
+                let id = self.builder.intern(name)?;
                 self.expr(object)?;
                 if op == AssignOp::Set {
                     self.expr(value)?;
@@ -666,14 +884,14 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
     }
 
     /// Name-pool id of an *instance* field visible on the current class.
-    fn instance_slot_name(&mut self, name: &str) -> Option<u32> {
+    fn instance_slot_name(&mut self, name: &str) -> Result<Option<u32>, CompileError> {
         match self.builder.table.field_of(&self.class.name, name) {
-            Some((_, sig)) if !sig.modifiers.is_static => Some(self.builder.intern(name)),
-            _ => None,
+            Some((_, sig)) if !sig.modifiers.is_static => Ok(Some(self.builder.intern(name)?)),
+            _ => Ok(None),
         }
     }
 
-    fn expr(&mut self, e: &Expr) -> Result<(), BuildEngineError> {
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
         match &e.kind {
             ExprKind::Int(v) => self.code.push(Instr::ConstInt(*v)),
             ExprKind::Bool(b) => self.code.push(Instr::ConstBool(*b)),
@@ -682,7 +900,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
             ExprKind::Var(name) => {
                 if let Some(slot) = self.lookup_local(name) {
                     self.code.push(Instr::Load(slot));
-                } else if let Some(id) = self.instance_slot_name(name) {
+                } else if let Some(id) = self.instance_slot_name(name)? {
                     self.code.push(Instr::LoadThis);
                     self.code.push(Instr::GetField(id));
                 } else if let Some(slot) = self.builder.static_slot(&self.class.name, name) {
@@ -693,7 +911,7 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
             }
             ExprKind::Field { object, name } => {
                 self.expr(object)?;
-                let id = self.builder.intern(name);
+                let id = self.builder.intern(name)?;
                 self.code.push(Instr::GetField(id));
             }
             ExprKind::Index { array, index } => {
@@ -719,10 +937,10 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                     self.expr(rhs)?;
                     let to_end = self.emit_patchable(Instr::Jump(0));
                     let false_at = self.here();
-                    self.patch(to_false, false_at);
+                    self.patch(to_false, false_at)?;
                     self.code.push(Instr::ConstBool(false));
                     let end = self.here();
-                    self.patch(to_end, end);
+                    self.patch(to_end, end)?;
                 }
                 BinOp::Or => {
                     self.expr(lhs)?;
@@ -730,10 +948,10 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                     self.expr(rhs)?;
                     let to_end = self.emit_patchable(Instr::Jump(0));
                     let true_at = self.here();
-                    self.patch(to_true, true_at);
+                    self.patch(to_true, true_at)?;
                     self.code.push(Instr::ConstBool(true));
                     let end = self.here();
-                    self.patch(to_end, end);
+                    self.patch(to_end, end)?;
                 }
                 _ => {
                     self.expr(lhs)?;
@@ -766,11 +984,10 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                 for a in args {
                     self.expr(a)?;
                 }
-                let name = self.builder.intern(method);
-                self.code.push(Instr::Call {
-                    name,
-                    argc: args.len() as u8,
-                });
+                let name = self.builder.intern(method)?;
+                let argc = u8::try_from(args.len())
+                    .map_err(|_| limit_err("call arguments", args.len(), MAX_CALL_ARGS))?;
+                self.code.push(Instr::Call { name, argc });
             }
             ExprKind::NewObject { class, args } => {
                 match self.builder.layouts.id(class) {
@@ -778,15 +995,17 @@ impl<'b, 'p> FnCompiler<'b, 'p> {
                         for a in args {
                             self.expr(a)?;
                         }
-                        self.code.push(Instr::New {
-                            class: id.index() as u16,
-                            argc: args.len() as u8,
-                        });
+                        let class = u16::try_from(id.index())
+                            .map_err(|_| limit_err("classes", id.index() + 1, MAX_CLASSES))?;
+                        let argc = u8::try_from(args.len()).map_err(|_| {
+                            limit_err("constructor arguments", args.len(), MAX_CALL_ARGS)
+                        })?;
+                        self.code.push(Instr::New { class, argc });
                     }
                     None => {
                         // Builtin class (`new Thread()`): compiles, traps
                         // at runtime.
-                        let id = self.builder.intern(class);
+                        let id = self.builder.intern(class)?;
                         self.code.push(Instr::Unsupported(id));
                     }
                 }
@@ -882,6 +1101,86 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Instr::JumpIfFalse(_))));
         assert!(chunk.code.iter().any(|i| matches!(i, Instr::Jump(_))));
+    }
+
+    /// A method calling a helper with `n` arguments.
+    fn many_arg_source(n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut src = String::from("class A { int sink(");
+        for i in 0..n {
+            if i > 0 {
+                src.push_str(", ");
+            }
+            let _ = write!(src, "int p{i}");
+        }
+        src.push_str(") { return 0; } int m() { return sink(");
+        for i in 0..n {
+            if i > 0 {
+                src.push_str(", ");
+            }
+            let _ = write!(src, "{i}");
+        }
+        src.push_str("); } }");
+        src
+    }
+
+    /// A method declaring `n` concurrently-live locals.
+    fn many_local_source(n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut src = String::from("class A { int m() { ");
+        for i in 0..n {
+            let _ = write!(src, "int v{i} = {i}; ");
+        }
+        src.push_str("return v0; } }");
+        src
+    }
+
+    fn compile_src(src: &str) -> Result<Module, CompileError> {
+        let program = jtlang::parse(src).unwrap();
+        let table = jtlang::resolve::resolve(&program).unwrap();
+        jtlang::types::check(&program, &table).unwrap();
+        compile(&program, &table)
+    }
+
+    #[test]
+    fn call_with_256_args_is_a_limit_error_not_truncation() {
+        // 255 args encode; 256 used to truncate `argc` to 0 via `as u8`
+        // and dispatch a zero-argument call.
+        assert!(compile_src(&many_arg_source(255)).is_ok());
+        match compile_src(&many_arg_source(256)) {
+            Err(CompileError::LimitExceeded { what, count, max }) => {
+                assert_eq!(what, "call arguments");
+                assert_eq!(count, 256);
+                assert_eq!(max, 255);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_with_70k_locals_is_a_limit_error_not_truncation() {
+        match compile_src(&many_local_source(70_000)) {
+            Err(CompileError::LimitExceeded { what, count, .. }) => {
+                assert_eq!(what, "local variable slots");
+                assert_eq!(count, 70_000);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interpreter_rejects_the_same_limit_breaches() {
+        // The divergence used to be engine-observable: the interpreter
+        // accepted what the compiler silently mis-compiled.
+        use crate::engine::BuildEngineError;
+        let program = jtlang::parse(&many_arg_source(256)).unwrap();
+        match crate::interp::Interpreter::new(program, "A") {
+            Err(BuildEngineError::LimitExceeded { what, .. }) => {
+                assert_eq!(what, "call arguments");
+            }
+            Err(other) => panic!("expected LimitExceeded, got {other:?}"),
+            Ok(_) => panic!("expected LimitExceeded, interpreter accepted the program"),
+        }
     }
 
     #[test]

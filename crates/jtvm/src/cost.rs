@@ -67,7 +67,7 @@ impl CostMeter {
     /// [`RuntimeError::StepLimitExceeded`] once the budget is exhausted.
     #[inline]
     pub fn charge(&mut self) -> Result<(), RuntimeError> {
-        self.steps += 1;
+        self.steps = self.steps.saturating_add(1);
         if self.steps > self.limit {
             Err(RuntimeError::StepLimitExceeded { limit: self.limit })
         } else {
@@ -82,7 +82,9 @@ impl CostMeter {
     ///
     /// [`RuntimeError::StepLimitExceeded`] once the budget is exhausted.
     pub fn charge_alloc(&mut self, words: u64) -> Result<(), RuntimeError> {
-        self.steps += ALLOC_BASE_COST + words.saturating_mul(ALLOC_WORD_COST);
+        self.steps = self
+            .steps
+            .saturating_add(ALLOC_BASE_COST.saturating_add(words.saturating_mul(ALLOC_WORD_COST)));
         if self.steps > self.limit {
             Err(RuntimeError::StepLimitExceeded { limit: self.limit })
         } else {
@@ -119,6 +121,39 @@ mod tests {
         m.reset();
         assert_eq!(m.steps(), 0);
         assert!(m.charge().is_ok());
+    }
+
+    #[test]
+    fn meter_saturates_instead_of_wrapping() {
+        // Drive the counter to the edge of u64, then keep charging: the
+        // meter must stay pinned at u64::MAX (over budget), never wrap
+        // back under the limit.
+        let mut m = CostMeter::with_limit(DEFAULT_STEP_LIMIT);
+        m.steps = u64::MAX - 1;
+        assert!(m.charge().is_err());
+        assert_eq!(m.steps(), u64::MAX);
+        assert!(m.charge().is_err());
+        assert_eq!(m.steps(), u64::MAX, "charge must not wrap");
+        assert!(m.charge_alloc(u64::MAX).is_err());
+        assert_eq!(m.steps(), u64::MAX, "charge_alloc must not wrap");
+        assert_eq!(
+            m.charge().unwrap_err(),
+            RuntimeError::StepLimitExceeded {
+                limit: DEFAULT_STEP_LIMIT
+            }
+        );
+    }
+
+    #[test]
+    fn alloc_charge_saturates_on_huge_sizes() {
+        let mut m = CostMeter::with_limit(DEFAULT_STEP_LIMIT);
+        // words * ALLOC_WORD_COST saturates; the outer add must too.
+        assert!(m.charge_alloc(u64::MAX).is_err());
+        assert_eq!(m.steps(), u64::MAX);
+        // Every later charge still reports exhaustion.
+        assert!(m.charge().is_err());
+        assert!(m.charge_alloc(1).is_err());
+        assert_eq!(m.steps(), u64::MAX);
     }
 
     #[test]

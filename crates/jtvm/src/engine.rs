@@ -30,6 +30,16 @@ pub enum BuildEngineError {
     Frontend(String),
     /// The requested main class does not exist or is not instantiable.
     NoSuchClass(String),
+    /// The program exceeds a representation limit shared by every engine
+    /// (see [`crate::compile::CompileError::LimitExceeded`]).
+    LimitExceeded {
+        /// What overflowed ("call arguments", "local variable slots", …).
+        what: &'static str,
+        /// Observed count.
+        count: usize,
+        /// Largest representable count.
+        max: usize,
+    },
 }
 
 impl fmt::Display for BuildEngineError {
@@ -37,11 +47,25 @@ impl fmt::Display for BuildEngineError {
         match self {
             BuildEngineError::Frontend(e) => write!(f, "front-end error: {e}"),
             BuildEngineError::NoSuchClass(c) => write!(f, "no instantiable class `{c}`"),
+            BuildEngineError::LimitExceeded { what, count, max } => {
+                write!(f, "program exceeds engine limit: {count} {what} (max {max})")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildEngineError {}
+
+impl From<crate::compile::CompileError> for BuildEngineError {
+    fn from(e: crate::compile::CompileError) -> Self {
+        match e {
+            crate::compile::CompileError::Frontend(msg) => BuildEngineError::Frontend(msg),
+            crate::compile::CompileError::LimitExceeded { what, count, max } => {
+                BuildEngineError::LimitExceeded { what, count, max }
+            }
+        }
+    }
+}
 
 /// A JT execution engine bound to one main (ASR) class instance.
 pub trait Engine {

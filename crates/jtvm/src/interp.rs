@@ -100,6 +100,11 @@ impl Interpreter {
             jtlang::resolve::resolve(&program).map_err(|e| BuildEngineError::Frontend(e.to_string()))?;
         jtlang::types::check(&program, &table)
             .map_err(|e| BuildEngineError::Frontend(e.to_string()))?;
+        // The tree-walker has no bytecode encoding widths of its own, but
+        // it enforces the same representation limits as the compiler so a
+        // program near the limits is accepted or rejected identically on
+        // every engine.
+        crate::compile::check_limits(&program)?;
         if program.class(main_class).is_none() {
             return Err(BuildEngineError::NoSuchClass(main_class.to_string()));
         }

@@ -1,0 +1,1521 @@
+//! A register-based IR for the native reaction tier, produced by
+//! partially evaluating JTBC under the SFR policy's guarantees.
+//!
+//! The paper's Table 1 speed claim is ultimately that *refinement
+//! enables compilation*: once a behaviour is restricted to the ASR
+//! subset — no allocation in `react` (R1), loop bounds provable by R2
+//! evidence, no recursion, no blocking — a compiler can specialize far
+//! more aggressively than a generic JIT. [`lower_reaction`] is that
+//! compiler. It abstractly executes the stack bytecode of `run`,
+//! classifying every value as either a lowering-time constant
+//! ([`Operand::Const`]) or a dynamic register ([`Operand::Reg`]), and
+//!
+//! * follows branches whose condition folds to a constant — which fully
+//!   unrolls every loop with statically decidable trip counts,
+//! * inlines every call (the receiver must fold to a concrete object,
+//!   which the restricted subset guarantees because all reaction-phase
+//!   calls are on `this`), flattening the call tree into straight-line
+//!   code with the same [`MAX_CALL_DEPTH`] budget as the other engines,
+//! * folds constant arithmetic — in particular the array-index
+//!   arithmetic that dominates the restricted JPEG kernel — without ever
+//!   folding *away* a runtime error: an expression that would fail at
+//!   runtime lowers to an explicit [`Op::Fail`] on exactly that path,
+//! * forks on data-dependent *forward* branches and re-merges the two
+//!   abstract states at the join point with explicit register moves.
+//!
+//! Anything outside the compilable subset — allocation inside `react`,
+//! a backward branch on a data-dependent condition (an unbounded loop),
+//! a call or field access through a receiver that is not a
+//! lowering-time object — aborts with a [`Reject`] so the caller can
+//! fall back to the stack VM or the tree walker. That layering (compile
+//! what the refinement licenses, interpret the rest) is the
+//! "compilation escape hatch" pattern; see `DESIGN.md` §10.
+
+use crate::bytecode::{Chunk, FunId, Instr};
+use crate::compile::{BuiltinOp, Module};
+use crate::cost::MAX_CALL_DEPTH;
+use crate::error::RuntimeError;
+use crate::heap::Heap;
+use crate::layout::ClassId;
+use crate::value::{ObjRef, RtValue};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Budget of abstract JTBC instructions the partial evaluator may
+/// simulate before giving up. Unrolling executes each loop body once per
+/// iteration at lowering time, so this bounds lowering time the same way
+/// the step limit bounds run time.
+pub const UNROLL_FUEL: u64 = 200_000_000;
+
+/// Largest op array the lowerer will emit. Fully unrolled reactions are
+/// big — the restricted JPEG kernel unrolls to a few million ops for the
+/// full 18×18-block frame — but must stay memory-sane.
+pub const MAX_OPS: usize = 16_000_000;
+
+/// Bytes per op slot assumed by [`NativeCode::encoded_size`] — the
+/// Table 1 "program size" metric for the native tier's pre-resolved
+/// op-slot array.
+pub const OP_SLOT_BYTES: usize = 16;
+
+/// An op input: either a value known when the reaction was lowered, or
+/// a register written by an earlier op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A value fixed at lowering time (folded constant, baked object
+    /// reference, unrolled induction variable).
+    Const(RtValue),
+    /// A register produced by an earlier op on every path reaching this
+    /// one.
+    Reg(u32),
+}
+
+/// One native-tier op. Unlike JTBC there is no operand stack and no
+/// dynamic dispatch: every input is a [`Operand`] slot resolved at
+/// lowering time, every field access carries its object and slot, and
+/// calls no longer exist (they were inlined).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `dst ← src` (emitted on branch edges to merge diverging states).
+    Move {
+        /// Destination register.
+        dst: u32,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Checked `dst ← a + b`.
+    Add {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Checked `dst ← a - b`.
+    Sub {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Checked `dst ← a * b`.
+    Mul {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Checked `dst ← a / b` (zero divisor, then overflow).
+    Div {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Checked `dst ← a % b` (zero divisor, then overflow).
+    Rem {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Checked `dst ← -a`.
+    Neg {
+        /// Destination register.
+        dst: u32,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst ← !a` (boolean).
+    Not {
+        /// Destination register.
+        dst: u32,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst ← a < b`.
+    Lt {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst ← a <= b`.
+    Le {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst ← a > b`.
+    Gt {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst ← a >= b`.
+    Ge {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Structural `dst ← a == b`.
+    Eq {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Structural `dst ← a != b`.
+    Ne {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst ← obj.slot` — object and slot pre-resolved at lowering time.
+    FieldGet {
+        /// Destination register.
+        dst: u32,
+        /// The (baked) object.
+        obj: ObjRef,
+        /// Field slot within the object.
+        slot: usize,
+    },
+    /// `obj.slot ← src`.
+    FieldSet {
+        /// The (baked) object.
+        obj: ObjRef,
+        /// Field slot within the object.
+        slot: usize,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst ← statics[slot]`.
+    StaticGet {
+        /// Destination register.
+        dst: u32,
+        /// Static slot.
+        slot: usize,
+    },
+    /// `statics[slot] ← src`.
+    StaticSet {
+        /// Static slot.
+        slot: usize,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Bounds-checked `dst ← arr[idx]`.
+    ALoad {
+        /// Destination register.
+        dst: u32,
+        /// Array reference.
+        arr: Operand,
+        /// Element index.
+        idx: Operand,
+    },
+    /// Bounds-checked `arr[idx] ← src`.
+    AStore {
+        /// Array reference.
+        arr: Operand,
+        /// Element index.
+        idx: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst ← arr.length`.
+    ALen {
+        /// Destination register.
+        dst: u32,
+        /// Array reference.
+        arr: Operand,
+    },
+    /// `dst ← read(port)`.
+    Read {
+        /// Destination register.
+        dst: u32,
+        /// Port operand.
+        port: Operand,
+    },
+    /// `dst ← readVec(port)` (allocates an environment-owned array,
+    /// exactly like the other engines' builtin).
+    ReadVec {
+        /// Destination register.
+        dst: u32,
+        /// Port operand.
+        port: Operand,
+    },
+    /// `write(port, value)`.
+    Write {
+        /// Port operand.
+        port: Operand,
+        /// Value operand.
+        value: Operand,
+    },
+    /// `writeVec(port, arr)`.
+    WriteVec {
+        /// Port operand.
+        port: Operand,
+        /// Array operand.
+        arr: Operand,
+    },
+    /// Unconditional jump to an op index.
+    Jump {
+        /// Target op index.
+        target: u32,
+    },
+    /// Jump to `target` when `cond` is false.
+    BranchIfFalse {
+        /// Branch condition.
+        cond: Operand,
+        /// Target op index.
+        target: u32,
+    },
+    /// Jump to `target` when `cond` is true.
+    BranchIfTrue {
+        /// Branch condition.
+        cond: Operand,
+        /// Target op index.
+        target: u32,
+    },
+    /// Raise a runtime error that the partial evaluator proved occurs
+    /// whenever this path executes (a folded division by zero, an
+    /// `Unsupported` construct, the call-depth budget). Never folded
+    /// away: the error fires iff the guarding branches take this path.
+    Fail(RuntimeError),
+}
+
+/// A lowered reaction: a pre-resolved op-slot array plus the size of its
+/// register file. Falling off the end of `ops` completes the reaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeCode {
+    /// The op array; `Jump`/`Branch*` targets index into it.
+    pub ops: Vec<Op>,
+    /// Registers required (each written before read on every path).
+    pub n_regs: u32,
+}
+
+impl NativeCode {
+    /// Approximate encoded size in bytes ([`OP_SLOT_BYTES`] per op) —
+    /// the Table 1 "program size" metric for the native tier.
+    pub fn encoded_size(&self) -> usize {
+        self.ops.len() * OP_SLOT_BYTES
+    }
+}
+
+/// Why a reaction could not be lowered to native code. None of these is
+/// an error: the caller falls back to the stack VM, which executes the
+/// full language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// The reaction can allocate (`new`), which the native tier cannot
+    /// do — and which SFR rule R1 forbids anyway.
+    AllocatesInReact,
+    /// A backward branch on a data-dependent condition: a loop whose
+    /// trip count the partial evaluator cannot decide (R2 would demand a
+    /// proved bound).
+    DynamicLoop,
+    /// A call or field access whose receiver is not a lowering-time
+    /// object, so the callee/slot cannot be pre-resolved.
+    DynamicReceiver,
+    /// Control flow the structured-code merge cannot handle (arms
+    /// joining at different points, stack height mismatch at a join).
+    Unstructured,
+    /// The unrolling budget ([`UNROLL_FUEL`]) ran out.
+    FuelExhausted,
+    /// The lowered code would exceed [`MAX_OPS`] ops.
+    CodeTooLarge,
+    /// The main class declares no `run` method.
+    NoRun,
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reject::AllocatesInReact => write!(f, "reaction allocates (violates R1)"),
+            Reject::DynamicLoop => {
+                write!(f, "loop condition is data-dependent (no static bound; see R2)")
+            }
+            Reject::DynamicReceiver => {
+                write!(f, "call or field access on a receiver unknown at lowering time")
+            }
+            Reject::Unstructured => write!(f, "control flow too unstructured to merge"),
+            Reject::FuelExhausted => write!(f, "loop unrolling budget exhausted"),
+            Reject::CodeTooLarge => write!(f, "lowered code exceeds the op budget"),
+            Reject::NoRun => write!(f, "main class has no run()"),
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// Abstract machine state during lowering: the operand stack and local
+/// slots of the frame being simulated, each entry a [`Operand`].
+#[derive(Debug, Clone)]
+struct State {
+    stack: Vec<Operand>,
+    locals: Vec<Operand>,
+}
+
+/// One inlined frame: the receiver every `this` folds to, plus the
+/// return plumbing (`Ret` lowers to a move into `ret_reg` and a jump to
+/// the frame's end, patched when the inlining completes).
+struct Frame {
+    this: ObjRef,
+    ret_reg: Option<u32>,
+    end_jumps: Vec<usize>,
+}
+
+/// How simulation of a code region ended.
+enum Flow {
+    /// Control left the region (returned or failed); no state falls
+    /// through.
+    Diverged,
+    /// Control reached `pc` (>= the watch point) with `state`.
+    Stopped { pc: usize, state: State },
+}
+
+enum ArithKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+enum CmpKind {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Lowers the `run` reaction of the object `this` (which must already be
+/// initialized on `heap`) to native-tier code.
+///
+/// # Errors
+///
+/// [`Reject`] when the reaction is outside the compilable subset; the
+/// caller should fall back to the stack VM.
+pub fn lower_reaction(
+    module: &Module,
+    heap: &Heap,
+    statics: &[RtValue],
+    this: ObjRef,
+) -> Result<NativeCode, Reject> {
+    let class = heap.class_of(this).map_err(|_| Reject::NoRun)?;
+    let run_name = module.name_id("run").ok_or(Reject::NoRun)?;
+    let Some(&fun) = module.vtables[class.index()].get(&run_name) else {
+        return Err(Reject::NoRun);
+    };
+    // Fold-facts fixpoint: a field, static, or array the lowered
+    // reaction never writes holds its post-initialization value for the
+    // whole react (the policy forbids run-phase allocation, so no fresh
+    // state can appear either) — its loads fold to constants. Folding
+    // can only prune writes (constant branches decide more paths), so a
+    // few rounds reach a self-consistent code/facts pair; the fixpoint
+    // check `derive == facts` doubles as the soundness certificate that
+    // everything folded is indeed unwritten in the final code.
+    let mut facts = FoldFacts::default();
+    let mut code = lower_once(module, heap, statics, this, fun, &facts)?;
+    for _ in 0..3 {
+        let next = derive_facts(&code, &facts);
+        if next == facts {
+            compact_registers(&mut code);
+            return Ok(code);
+        }
+        facts = next;
+        code = lower_once(module, heap, statics, this, fun, &facts)?;
+    }
+    // No fixpoint (writes should shrink monotonically, so this is a
+    // can't-happen guard): the unfolded code is always valid.
+    let mut code = lower_once(module, heap, statics, this, fun, &FoldFacts::default())?;
+    compact_registers(&mut code);
+    Ok(code)
+}
+
+fn lower_once(
+    module: &Module,
+    heap: &Heap,
+    statics: &[RtValue],
+    this: ObjRef,
+    fun: FunId,
+    facts: &FoldFacts,
+) -> Result<NativeCode, Reject> {
+    let mut lw = Lowerer {
+        module,
+        heap,
+        statics,
+        facts,
+        ops: Vec::new(),
+        n_regs: 0,
+        fuel: UNROLL_FUEL,
+        depth: 0,
+    };
+    lw.inline(fun, this, Vec::new())?;
+    Ok(NativeCode {
+        ops: lw.ops,
+        n_regs: lw.n_regs,
+    })
+}
+
+/// State the lowered code is proven not to write, licensing its loads to
+/// fold to the post-initialization values.
+#[derive(Default, PartialEq, Eq)]
+struct FoldFacts {
+    /// `(object index, field slot)` pairs with no [`Op::FieldSet`].
+    fields: HashSet<(usize, usize)>,
+    /// Static slots with no [`Op::StaticSet`].
+    statics: HashSet<usize>,
+    /// Arrays (by object index) with no [`Op::AStore`]; loads at
+    /// constant indices fold.
+    arrays: HashSet<usize>,
+}
+
+/// Grows `prev` with everything `code` reads but provably never writes.
+fn derive_facts(code: &NativeCode, prev: &FoldFacts) -> FoldFacts {
+    let mut field_reads = HashSet::new();
+    let mut field_writes = HashSet::new();
+    let mut static_reads = HashSet::new();
+    let mut static_writes = HashSet::new();
+    let mut array_reads = HashSet::new();
+    let mut array_writes = HashSet::new();
+    // A store through a register could alias any array (a local can hold
+    // a field array, or a φ of two of them): it poisons array folding.
+    let mut dynamic_store = false;
+    for op in &code.ops {
+        match op {
+            Op::FieldGet { obj, slot, .. } => {
+                field_reads.insert((obj.index(), *slot));
+            }
+            Op::FieldSet { obj, slot, .. } => {
+                field_writes.insert((obj.index(), *slot));
+            }
+            Op::StaticGet { slot, .. } => {
+                static_reads.insert(*slot);
+            }
+            Op::StaticSet { slot, .. } => {
+                static_writes.insert(*slot);
+            }
+            Op::ALoad { arr, idx, .. } => {
+                if let (Operand::Const(RtValue::Ref(r)), Operand::Const(_)) = (arr, idx) {
+                    array_reads.insert(r.index());
+                }
+            }
+            Op::AStore { arr, .. } => match arr {
+                Operand::Const(RtValue::Ref(r)) => {
+                    array_writes.insert(r.index());
+                }
+                Operand::Reg(_) => dynamic_store = true,
+                Operand::Const(_) => {}
+            },
+            _ => {}
+        }
+    }
+    let keep = |reads: HashSet<usize>, prevs: &HashSet<usize>, writes: &HashSet<usize>| {
+        reads
+            .union(prevs)
+            .filter(|s| !writes.contains(*s))
+            .copied()
+            .collect()
+    };
+    FoldFacts {
+        fields: field_reads
+            .union(&prev.fields)
+            .filter(|p| !field_writes.contains(*p))
+            .copied()
+            .collect(),
+        statics: keep(static_reads, &prev.statics, &static_writes),
+        arrays: if dynamic_store {
+            HashSet::new()
+        } else {
+            keep(array_reads, &prev.arrays, &array_writes)
+        },
+    }
+}
+
+/// Rewrites every register mentioned by `op` through `f` (definitions and
+/// uses alike).
+fn map_regs(op: &mut Op, f: &mut impl FnMut(u32) -> u32) {
+    fn opr(o: &mut Operand, f: &mut impl FnMut(u32) -> u32) {
+        if let Operand::Reg(r) = o {
+            *r = f(*r);
+        }
+    }
+    match op {
+        Op::Move { dst, src } => {
+            *dst = f(*dst);
+            opr(src, f);
+        }
+        Op::Add { dst, a, b }
+        | Op::Sub { dst, a, b }
+        | Op::Mul { dst, a, b }
+        | Op::Div { dst, a, b }
+        | Op::Rem { dst, a, b }
+        | Op::Lt { dst, a, b }
+        | Op::Le { dst, a, b }
+        | Op::Gt { dst, a, b }
+        | Op::Ge { dst, a, b }
+        | Op::Eq { dst, a, b }
+        | Op::Ne { dst, a, b } => {
+            *dst = f(*dst);
+            opr(a, f);
+            opr(b, f);
+        }
+        Op::Neg { dst, a } | Op::Not { dst, a } => {
+            *dst = f(*dst);
+            opr(a, f);
+        }
+        Op::FieldGet { dst, .. } | Op::StaticGet { dst, .. } => *dst = f(*dst),
+        Op::FieldSet { src, .. } | Op::StaticSet { src, .. } => opr(src, f),
+        Op::ALoad { dst, arr, idx } => {
+            *dst = f(*dst);
+            opr(arr, f);
+            opr(idx, f);
+        }
+        Op::AStore { arr, idx, src } => {
+            opr(arr, f);
+            opr(idx, f);
+            opr(src, f);
+        }
+        Op::ALen { dst, arr } => {
+            *dst = f(*dst);
+            opr(arr, f);
+        }
+        Op::Read { dst, port } | Op::ReadVec { dst, port } => {
+            *dst = f(*dst);
+            opr(port, f);
+        }
+        Op::Write { port, value } => {
+            opr(port, f);
+            opr(value, f);
+        }
+        Op::WriteVec { port, arr } => {
+            opr(port, f);
+            opr(arr, f);
+        }
+        Op::BranchIfFalse { cond, .. } | Op::BranchIfTrue { cond, .. } => opr(cond, f),
+        Op::Jump { .. } | Op::Fail(_) => {}
+    }
+}
+
+/// Renames the virtual (write-mostly-once) registers onto a small reused
+/// register file by linear scan.
+///
+/// The lowerer allocates a fresh virtual register per produced value, so
+/// a fully unrolled kernel can name millions of registers, each live for
+/// a handful of ops — a register file that large is pure cache traffic.
+/// Because every jump in lowered code is *forward*, any execution visits
+/// op indices in increasing order, so the linear span
+/// `[first mention, last mention]` of a virtual register conservatively
+/// covers its live range, and two registers with disjoint spans can
+/// share a slot. This typically shrinks the file by four to six orders
+/// of magnitude (the unrolled JPEG kernel fits in a few dozen slots).
+fn compact_registers(code: &mut NativeCode) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = code.n_regs as usize;
+    if n == 0 {
+        return;
+    }
+    const UNSET: u32 = u32::MAX;
+    let mut first = vec![UNSET; n];
+    let mut last = vec![0u32; n];
+    for (i, op) in code.ops.iter_mut().enumerate() {
+        let i = i as u32;
+        map_regs(op, &mut |r| {
+            let s = r as usize;
+            if first[s] == UNSET {
+                first[s] = i;
+            }
+            last[s] = i;
+            r
+        });
+    }
+    let mut by_start: Vec<u32> = (0..n as u32).filter(|&r| first[r as usize] != UNSET).collect();
+    by_start.sort_unstable_by_key(|&r| first[r as usize]);
+    let mut map = vec![UNSET; n];
+    // Active intervals as (end, slot), expired in end order.
+    let mut active: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut n_slots = 0u32;
+    for r in by_start {
+        let start = first[r as usize];
+        while let Some(&Reverse((end, slot))) = active.peek() {
+            if end < start {
+                active.pop();
+                free.push(slot);
+            } else {
+                break;
+            }
+        }
+        let slot = free.pop().unwrap_or_else(|| {
+            let s = n_slots;
+            n_slots += 1;
+            s
+        });
+        map[r as usize] = slot;
+        active.push(Reverse((last[r as usize], slot)));
+    }
+    for op in &mut code.ops {
+        map_regs(op, &mut |r| map[r as usize]);
+    }
+    code.n_regs = n_slots;
+}
+
+struct Lowerer<'a> {
+    module: &'a Module,
+    heap: &'a Heap,
+    statics: &'a [RtValue],
+    facts: &'a FoldFacts,
+    ops: Vec<Op>,
+    n_regs: u32,
+    fuel: u64,
+    depth: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh(&mut self) -> u32 {
+        let r = self.n_regs;
+        self.n_regs += 1;
+        r
+    }
+
+    fn emit(&mut self, op: Op) -> Result<usize, Reject> {
+        if self.ops.len() >= MAX_OPS {
+            return Err(Reject::CodeTooLarge);
+        }
+        self.ops.push(op);
+        Ok(self.ops.len() - 1)
+    }
+
+    fn patch(&mut self, idx: usize, target: u32) {
+        match &mut self.ops[idx] {
+            Op::Jump { target: t }
+            | Op::BranchIfFalse { target: t, .. }
+            | Op::BranchIfTrue { target: t, .. } => *t = target,
+            _ => unreachable!("patched op is a jump"),
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// The path being lowered deterministically raises `e` when taken.
+    fn diverge_fail(&mut self, e: RuntimeError) -> Result<Flow, Reject> {
+        self.emit(Op::Fail(e))?;
+        Ok(Flow::Diverged)
+    }
+
+    fn pop(&mut self, state: &mut State) -> Result<Operand, Reject> {
+        state.stack.pop().ok_or(Reject::Unstructured)
+    }
+
+    fn field_slot(&self, class: ClassId, name: u32) -> Option<usize> {
+        self.module.field_slots[class.index()].get(&name).copied()
+    }
+
+    /// Static slot for `name` visible from `class` — same fallback as
+    /// the stack VM's instance-access path (`obj.staticField`).
+    fn static_slot_fallback(&self, class: ClassId, name: u32) -> Option<usize> {
+        let name = &self.module.names[name as usize];
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            let cname = &self.module.layouts.layout(c).name;
+            if let Some(i) = self
+                .module
+                .statics
+                .iter()
+                .position(|(owner, field, _)| owner == cname && field == name)
+            {
+                return Some(i);
+            }
+            cur = self.module.layouts.layout(c).superclass;
+        }
+        None
+    }
+
+    /// Inlines one call: simulates `fun`'s chunk with `args` as the
+    /// leading locals. Returns the call's result operand, or `None` when
+    /// no simulated path returns (every path fails), in which case the
+    /// caller's path diverges too.
+    fn inline(&mut self, fun: FunId, this: ObjRef, args: Vec<Operand>) -> Result<Option<Operand>, Reject> {
+        if self.depth >= MAX_CALL_DEPTH {
+            // Same runtime semantics as the other engines: the path that
+            // reaches the 65th nested call fails with StackOverflow.
+            self.emit(Op::Fail(RuntimeError::StackOverflow {
+                limit: MAX_CALL_DEPTH,
+            }))?;
+            return Ok(None);
+        }
+        let module = self.module;
+        let chunk = &module.chunks[fun];
+        let mut locals = vec![Operand::Const(RtValue::Null); chunk.n_locals as usize];
+        locals[..args.len()].copy_from_slice(&args);
+        let mut frame = Frame {
+            this,
+            ret_reg: if chunk.returns_value {
+                Some(self.fresh())
+            } else {
+                None
+            },
+            end_jumps: Vec::new(),
+        };
+        self.depth += 1;
+        let flow = self.exec(
+            chunk,
+            &mut frame,
+            0,
+            State {
+                stack: Vec::new(),
+                locals,
+            },
+            usize::MAX,
+            None,
+        );
+        self.depth -= 1;
+        match flow? {
+            Flow::Stopped { .. } => Err(Reject::Unstructured),
+            Flow::Diverged => {
+                if frame.end_jumps.is_empty() {
+                    return Ok(None);
+                }
+                let end = self.here();
+                for j in frame.end_jumps {
+                    self.patch(j, end);
+                }
+                Ok(Some(match frame.ret_reg {
+                    Some(r) => Operand::Reg(r),
+                    None => Operand::Const(RtValue::Null),
+                }))
+            }
+        }
+    }
+
+    /// Simulates `chunk` from `pc` until control reaches an index `>=
+    /// watch` (returning the state that arrived there) or leaves the
+    /// frame. `floor`, when set, is the program counter of the nearest
+    /// enclosing data-dependent branch: jumping back across it would
+    /// re-execute a condition we could not decide, i.e. a dynamic loop.
+    fn exec(
+        &mut self,
+        chunk: &Chunk,
+        frame: &mut Frame,
+        mut pc: usize,
+        mut state: State,
+        watch: usize,
+        floor: Option<usize>,
+    ) -> Result<Flow, Reject> {
+        let module = self.module;
+        loop {
+            if pc >= watch {
+                return Ok(Flow::Stopped { pc, state });
+            }
+            if pc >= chunk.code.len() {
+                // Implicit void return (the compiler always emits a
+                // terminal return; keep the fallback for safety).
+                let j = self.emit(Op::Jump { target: 0 })?;
+                frame.end_jumps.push(j);
+                return Ok(Flow::Diverged);
+            }
+            self.fuel = self.fuel.checked_sub(1).ok_or(Reject::FuelExhausted)?;
+            let instr = chunk.code[pc];
+            pc += 1;
+            match instr {
+                Instr::ConstInt(v) => state.stack.push(Operand::Const(RtValue::Int(v))),
+                Instr::ConstBool(b) => state.stack.push(Operand::Const(RtValue::Bool(b))),
+                Instr::ConstNull => state.stack.push(Operand::Const(RtValue::Null)),
+                Instr::Load(s) => {
+                    let v = state.locals[s as usize];
+                    state.stack.push(v);
+                }
+                Instr::Store(s) => {
+                    let v = self.pop(&mut state)?;
+                    state.locals[s as usize] = v;
+                }
+                Instr::LoadThis => state.stack.push(Operand::Const(RtValue::Ref(frame.this))),
+                Instr::GetField(name) => {
+                    let obj = self.pop(&mut state)?;
+                    match obj {
+                        Operand::Const(RtValue::Ref(r)) => {
+                            let class = match self.heap.class_of(r) {
+                                Ok(c) => c,
+                                Err(e) => return self.diverge_fail(e),
+                            };
+                            match self.field_slot(class, name) {
+                                Some(slot) => {
+                                    if self.facts.fields.contains(&(r.index(), slot)) {
+                                        match self.heap.field_get(r, slot) {
+                                            Ok(v) => state.stack.push(Operand::Const(v)),
+                                            Err(e) => return self.diverge_fail(e),
+                                        }
+                                    } else {
+                                        let dst = self.fresh();
+                                        self.emit(Op::FieldGet { dst, obj: r, slot })?;
+                                        state.stack.push(Operand::Reg(dst));
+                                    }
+                                }
+                                None => match self.static_slot_fallback(class, name) {
+                                    Some(slot) => {
+                                        if self.facts.statics.contains(&slot) {
+                                            state.stack.push(Operand::Const(self.statics[slot]));
+                                        } else {
+                                            let dst = self.fresh();
+                                            self.emit(Op::StaticGet { dst, slot })?;
+                                            state.stack.push(Operand::Reg(dst));
+                                        }
+                                    }
+                                    None => {
+                                        return self.diverge_fail(RuntimeError::Internal(
+                                            format!("no field `{}`", module.names[name as usize]),
+                                        ))
+                                    }
+                                },
+                            }
+                        }
+                        Operand::Const(RtValue::Null) => {
+                            return self.diverge_fail(RuntimeError::NullPointer)
+                        }
+                        Operand::Const(_) => {
+                            return self
+                                .diverge_fail(RuntimeError::Internal("expected reference".into()))
+                        }
+                        Operand::Reg(_) => return Err(Reject::DynamicReceiver),
+                    }
+                }
+                Instr::PutField(name) => {
+                    let value = self.pop(&mut state)?;
+                    let obj = self.pop(&mut state)?;
+                    match obj {
+                        Operand::Const(RtValue::Ref(r)) => {
+                            let class = match self.heap.class_of(r) {
+                                Ok(c) => c,
+                                Err(e) => return self.diverge_fail(e),
+                            };
+                            match self.field_slot(class, name) {
+                                Some(slot) => {
+                                    self.emit(Op::FieldSet {
+                                        obj: r,
+                                        slot,
+                                        src: value,
+                                    })?;
+                                }
+                                None => match self.static_slot_fallback(class, name) {
+                                    Some(slot) => {
+                                        self.emit(Op::StaticSet { slot, src: value })?;
+                                    }
+                                    None => {
+                                        return self.diverge_fail(RuntimeError::Internal(
+                                            format!("no field `{}`", module.names[name as usize]),
+                                        ))
+                                    }
+                                },
+                            }
+                        }
+                        Operand::Const(RtValue::Null) => {
+                            return self.diverge_fail(RuntimeError::NullPointer)
+                        }
+                        Operand::Const(_) => {
+                            return self
+                                .diverge_fail(RuntimeError::Internal("expected reference".into()))
+                        }
+                        Operand::Reg(_) => return Err(Reject::DynamicReceiver),
+                    }
+                }
+                Instr::GetStatic(slot) => {
+                    if self.facts.statics.contains(&(slot as usize)) {
+                        state.stack.push(Operand::Const(self.statics[slot as usize]));
+                    } else {
+                        let dst = self.fresh();
+                        self.emit(Op::StaticGet {
+                            dst,
+                            slot: slot as usize,
+                        })?;
+                        state.stack.push(Operand::Reg(dst));
+                    }
+                }
+                Instr::PutStatic(slot) => {
+                    let src = self.pop(&mut state)?;
+                    self.emit(Op::StaticSet {
+                        slot: slot as usize,
+                        src,
+                    })?;
+                }
+                Instr::ALoad => {
+                    let idx = self.pop(&mut state)?;
+                    let arr = self.pop(&mut state)?;
+                    if let Operand::Const(RtValue::Null) = arr {
+                        return self.diverge_fail(RuntimeError::NullPointer);
+                    }
+                    if let (Operand::Const(RtValue::Ref(r)), Operand::Const(iv)) = (&arr, &idx) {
+                        if self.facts.arrays.contains(&r.index()) {
+                            let Some(i) = iv.as_int() else {
+                                return self
+                                    .diverge_fail(RuntimeError::Internal("expected int".into()));
+                            };
+                            match self.heap.array_get(*r, i) {
+                                Ok(v) => state.stack.push(Operand::Const(v)),
+                                Err(e) => return self.diverge_fail(e),
+                            }
+                            continue;
+                        }
+                    }
+                    let dst = self.fresh();
+                    self.emit(Op::ALoad { dst, arr, idx })?;
+                    state.stack.push(Operand::Reg(dst));
+                }
+                Instr::AStore => {
+                    let src = self.pop(&mut state)?;
+                    let idx = self.pop(&mut state)?;
+                    let arr = self.pop(&mut state)?;
+                    if let Operand::Const(RtValue::Null) = arr {
+                        return self.diverge_fail(RuntimeError::NullPointer);
+                    }
+                    self.emit(Op::AStore { arr, idx, src })?;
+                }
+                Instr::ALen => {
+                    let arr = self.pop(&mut state)?;
+                    if let Operand::Const(RtValue::Null) = arr {
+                        return self.diverge_fail(RuntimeError::NullPointer);
+                    }
+                    if let Operand::Const(RtValue::Ref(r)) = arr {
+                        // Array lengths are immutable, so a baked ref's
+                        // length always folds (no facts needed).
+                        match self.heap.array_len(r) {
+                            Ok(n) => state.stack.push(Operand::Const(RtValue::Int(n as i64))),
+                            Err(e) => return self.diverge_fail(e),
+                        }
+                        continue;
+                    }
+                    let dst = self.fresh();
+                    self.emit(Op::ALen { dst, arr })?;
+                    state.stack.push(Operand::Reg(dst));
+                }
+                Instr::NewArray(_) | Instr::New { .. } => return Err(Reject::AllocatesInReact),
+                Instr::Add => {
+                    if let Some(flow) = self.arith(&mut state, ArithKind::Add)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Sub => {
+                    if let Some(flow) = self.arith(&mut state, ArithKind::Sub)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Mul => {
+                    if let Some(flow) = self.arith(&mut state, ArithKind::Mul)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Div => {
+                    if let Some(flow) = self.arith(&mut state, ArithKind::Div)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Rem => {
+                    if let Some(flow) = self.arith(&mut state, ArithKind::Rem)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Neg => {
+                    let a = self.pop(&mut state)?;
+                    match a {
+                        Operand::Const(v) => match v.as_int() {
+                            Some(x) => match x.checked_neg() {
+                                Some(n) => state.stack.push(Operand::Const(RtValue::Int(n))),
+                                None => return self.diverge_fail(RuntimeError::Overflow),
+                            },
+                            None => {
+                                return self
+                                    .diverge_fail(RuntimeError::Internal("expected int".into()))
+                            }
+                        },
+                        Operand::Reg(_) => {
+                            let dst = self.fresh();
+                            self.emit(Op::Neg { dst, a })?;
+                            state.stack.push(Operand::Reg(dst));
+                        }
+                    }
+                }
+                Instr::Not => {
+                    let a = self.pop(&mut state)?;
+                    match a {
+                        Operand::Const(v) => match v.as_bool() {
+                            Some(b) => state.stack.push(Operand::Const(RtValue::Bool(!b))),
+                            None => {
+                                return self.diverge_fail(RuntimeError::Internal(
+                                    "expected boolean".into(),
+                                ))
+                            }
+                        },
+                        Operand::Reg(_) => {
+                            let dst = self.fresh();
+                            self.emit(Op::Not { dst, a })?;
+                            state.stack.push(Operand::Reg(dst));
+                        }
+                    }
+                }
+                Instr::Lt => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Lt)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Le => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Le)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Gt => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Gt)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Ge => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Ge)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::EqV => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Eq)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::NeV => {
+                    if let Some(flow) = self.cmp(&mut state, CmpKind::Ne)? {
+                        return Ok(flow);
+                    }
+                }
+                Instr::Jump(t) => {
+                    let t = t as usize;
+                    if floor.is_some_and(|f| t <= f) {
+                        return Err(Reject::DynamicLoop);
+                    }
+                    pc = t;
+                }
+                Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
+                    let jump_on = matches!(instr, Instr::JumpIfTrue(_));
+                    let t = t as usize;
+                    let cond = self.pop(&mut state)?;
+                    match cond {
+                        Operand::Const(RtValue::Bool(b)) => {
+                            if b == jump_on {
+                                if floor.is_some_and(|f| t <= f) {
+                                    return Err(Reject::DynamicLoop);
+                                }
+                                pc = t;
+                            }
+                        }
+                        Operand::Const(_) => {
+                            return self
+                                .diverge_fail(RuntimeError::Internal("expected boolean".into()))
+                        }
+                        Operand::Reg(_) => {
+                            // Data-dependent branch. Backward means a loop
+                            // we cannot bound; forward forks the state.
+                            if t < pc {
+                                return Err(Reject::DynamicLoop);
+                            }
+                            match self.fork(chunk, frame, pc - 1, t, cond, jump_on, state)? {
+                                Flow::Diverged => return Ok(Flow::Diverged),
+                                Flow::Stopped { pc: p, state: s } => {
+                                    pc = p;
+                                    state = s;
+                                }
+                            }
+                        }
+                    }
+                }
+                Instr::Call { name, argc } => {
+                    let at = state
+                        .stack
+                        .len()
+                        .checked_sub(argc as usize)
+                        .ok_or(Reject::Unstructured)?;
+                    let args: Vec<Operand> = state.stack.split_off(at);
+                    let recv = self.pop(&mut state)?;
+                    match recv {
+                        Operand::Const(RtValue::Ref(r)) => {
+                            let class = match self.heap.class_of(r) {
+                                Ok(c) => c,
+                                Err(e) => return self.diverge_fail(e),
+                            };
+                            match module.vtables[class.index()].get(&name) {
+                                Some(&fun) => match self.inline(fun, r, args)? {
+                                    Some(v) => state.stack.push(v),
+                                    None => return Ok(Flow::Diverged),
+                                },
+                                None => {
+                                    if self.builtin(name, &args, &mut state)?.is_none() {
+                                        return Ok(Flow::Diverged);
+                                    }
+                                }
+                            }
+                        }
+                        Operand::Const(RtValue::Null) => {
+                            return self.diverge_fail(RuntimeError::NullPointer)
+                        }
+                        Operand::Const(_) => {
+                            return self
+                                .diverge_fail(RuntimeError::Internal("expected reference".into()))
+                        }
+                        Operand::Reg(_) => return Err(Reject::DynamicReceiver),
+                    }
+                }
+                Instr::Ret => {
+                    let v = self.pop(&mut state)?;
+                    if let Some(r) = frame.ret_reg {
+                        self.emit(Op::Move { dst: r, src: v })?;
+                    }
+                    let j = self.emit(Op::Jump { target: 0 })?;
+                    frame.end_jumps.push(j);
+                    return Ok(Flow::Diverged);
+                }
+                Instr::RetVoid => {
+                    let j = self.emit(Op::Jump { target: 0 })?;
+                    frame.end_jumps.push(j);
+                    return Ok(Flow::Diverged);
+                }
+                Instr::Pop => {
+                    self.pop(&mut state)?;
+                }
+                Instr::Unsupported(name) => {
+                    return self.diverge_fail(RuntimeError::Unsupported(format!(
+                        "`{}` (threads and blocking are simulated by the sched crate)",
+                        module.names[name as usize]
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Lowers a data-dependent forward branch at `branch_pc` targeting
+    /// `target`: emits a runtime branch, simulates both arms, and merges
+    /// their abstract states at the join with edge moves. Returns where
+    /// the enclosing simulation should continue.
+    #[allow(clippy::too_many_arguments)]
+    fn fork(
+        &mut self,
+        chunk: &Chunk,
+        frame: &mut Frame,
+        branch_pc: usize,
+        target: usize,
+        cond: Operand,
+        jump_on: bool,
+        state: State,
+    ) -> Result<Flow, Reject> {
+        let jump_state = state.clone();
+        let b_idx = if jump_on {
+            self.emit(Op::BranchIfTrue { cond, target: 0 })?
+        } else {
+            self.emit(Op::BranchIfFalse { cond, target: 0 })?
+        };
+        // Fall-through arm: simulate until control reaches the branch
+        // target (or beyond — a `Jump` over an else-arm or out of a
+        // loop). Jumping back across the branch itself would mean a
+        // dynamic loop.
+        let fall = self.exec(chunk, frame, branch_pc + 1, state, target, Some(branch_pc))?;
+        match fall {
+            Flow::Diverged => {
+                // The fall-through arm never reaches a join; the branch
+                // path simply continues at `target` with the pre-branch
+                // state.
+                let here = self.here();
+                self.patch(b_idx, here);
+                Ok(Flow::Stopped {
+                    pc: target,
+                    state: jump_state,
+                })
+            }
+            Flow::Stopped {
+                pc: fall_pc,
+                state: fall_state,
+            } => {
+                if fall_pc == target {
+                    // No branch-arm code: the taken edge joins directly
+                    // with the pre-branch state.
+                    let (merged, mv_fall, mv_jump) = self.merge(&fall_state, &jump_state)?;
+                    for m in mv_fall {
+                        self.emit(m)?;
+                    }
+                    if mv_jump.is_empty() {
+                        let here = self.here();
+                        self.patch(b_idx, here);
+                    } else {
+                        let skip = self.emit(Op::Jump { target: 0 })?;
+                        let here = self.here();
+                        self.patch(b_idx, here);
+                        for m in mv_jump {
+                            self.emit(m)?;
+                        }
+                        let here = self.here();
+                        self.patch(skip, here);
+                    }
+                    Ok(Flow::Stopped {
+                        pc: target,
+                        state: merged,
+                    })
+                } else {
+                    // Code at target..fall_pc is the branch arm; both
+                    // arms must join at fall_pc.
+                    let fall_exit = self.emit(Op::Jump { target: 0 })?;
+                    let here = self.here();
+                    self.patch(b_idx, here);
+                    let jumped =
+                        self.exec(chunk, frame, target, jump_state, fall_pc, Some(branch_pc))?;
+                    match jumped {
+                        Flow::Diverged => {
+                            let here = self.here();
+                            self.patch(fall_exit, here);
+                            Ok(Flow::Stopped {
+                                pc: fall_pc,
+                                state: fall_state,
+                            })
+                        }
+                        Flow::Stopped {
+                            pc: jump_pc,
+                            state: jump_arm_state,
+                        } => {
+                            if jump_pc != fall_pc {
+                                return Err(Reject::Unstructured);
+                            }
+                            let (merged, mv_fall, mv_jump) =
+                                self.merge(&fall_state, &jump_arm_state)?;
+                            // The branch arm falls through its moves into
+                            // the join; the fall arm's moves live after a
+                            // skip jump, reached via fall_exit.
+                            for m in mv_jump {
+                                self.emit(m)?;
+                            }
+                            if mv_fall.is_empty() {
+                                let here = self.here();
+                                self.patch(fall_exit, here);
+                            } else {
+                                let skip = self.emit(Op::Jump { target: 0 })?;
+                                let here = self.here();
+                                self.patch(fall_exit, here);
+                                for m in mv_fall {
+                                    self.emit(m)?;
+                                }
+                                let here = self.here();
+                                self.patch(skip, here);
+                            }
+                            Ok(Flow::Stopped {
+                                pc: fall_pc,
+                                state: merged,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges two abstract states arriving at a join. Slots that agree
+    /// keep their operand; slots that differ get a fresh register plus a
+    /// `Move` on each incoming edge.
+    fn merge(&mut self, a: &State, b: &State) -> Result<(State, Vec<Op>, Vec<Op>), Reject> {
+        if a.stack.len() != b.stack.len() || a.locals.len() != b.locals.len() {
+            return Err(Reject::Unstructured);
+        }
+        let mut mv_a = Vec::new();
+        let mut mv_b = Vec::new();
+        let mut merged = State {
+            stack: Vec::with_capacity(a.stack.len()),
+            locals: Vec::with_capacity(a.locals.len()),
+        };
+        for (&x, &y) in a.stack.iter().zip(&b.stack) {
+            merged.stack.push(self.unify(x, y, &mut mv_a, &mut mv_b));
+        }
+        for (&x, &y) in a.locals.iter().zip(&b.locals) {
+            merged.locals.push(self.unify(x, y, &mut mv_a, &mut mv_b));
+        }
+        Ok((merged, mv_a, mv_b))
+    }
+
+    fn unify(&mut self, x: Operand, y: Operand, mv_x: &mut Vec<Op>, mv_y: &mut Vec<Op>) -> Operand {
+        if x == y {
+            return x;
+        }
+        let r = self.fresh();
+        mv_x.push(Op::Move { dst: r, src: x });
+        mv_y.push(Op::Move { dst: r, src: y });
+        Operand::Reg(r)
+    }
+
+    /// Pops-and-folds one binary integer arithmetic instruction.
+    /// `Some(flow)` means the path diverged (a folded runtime error).
+    fn arith(&mut self, state: &mut State, kind: ArithKind) -> Result<Option<Flow>, Reject> {
+        let b = self.pop(state)?;
+        let a = self.pop(state)?;
+        if let (Operand::Const(av), Operand::Const(bv)) = (a, b) {
+            let (Some(x), Some(y)) = (av.as_int(), bv.as_int()) else {
+                return self
+                    .diverge_fail(RuntimeError::Internal("expected int".into()))
+                    .map(Some);
+            };
+            let folded = match kind {
+                ArithKind::Add => x.checked_add(y).ok_or(RuntimeError::Overflow),
+                ArithKind::Sub => x.checked_sub(y).ok_or(RuntimeError::Overflow),
+                ArithKind::Mul => x.checked_mul(y).ok_or(RuntimeError::Overflow),
+                ArithKind::Div => {
+                    if y == 0 {
+                        Err(RuntimeError::DivisionByZero)
+                    } else {
+                        x.checked_div(y).ok_or(RuntimeError::Overflow)
+                    }
+                }
+                ArithKind::Rem => {
+                    if y == 0 {
+                        Err(RuntimeError::DivisionByZero)
+                    } else {
+                        x.checked_rem(y).ok_or(RuntimeError::Overflow)
+                    }
+                }
+            };
+            match folded {
+                Ok(v) => {
+                    state.stack.push(Operand::Const(RtValue::Int(v)));
+                    Ok(None)
+                }
+                Err(e) => self.diverge_fail(e).map(Some),
+            }
+        } else {
+            let dst = self.fresh();
+            let op = match kind {
+                ArithKind::Add => Op::Add { dst, a, b },
+                ArithKind::Sub => Op::Sub { dst, a, b },
+                ArithKind::Mul => Op::Mul { dst, a, b },
+                ArithKind::Div => Op::Div { dst, a, b },
+                ArithKind::Rem => Op::Rem { dst, a, b },
+            };
+            self.emit(op)?;
+            state.stack.push(Operand::Reg(dst));
+            Ok(None)
+        }
+    }
+
+    /// Pops-and-folds one comparison instruction.
+    fn cmp(&mut self, state: &mut State, kind: CmpKind) -> Result<Option<Flow>, Reject> {
+        let b = self.pop(state)?;
+        let a = self.pop(state)?;
+        if let (Operand::Const(av), Operand::Const(bv)) = (a, b) {
+            let folded = match kind {
+                CmpKind::Eq => Ok(av == bv),
+                CmpKind::Ne => Ok(av != bv),
+                CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                    match (av.as_int(), bv.as_int()) {
+                        (Some(x), Some(y)) => Ok(match kind {
+                            CmpKind::Lt => x < y,
+                            CmpKind::Le => x <= y,
+                            CmpKind::Gt => x > y,
+                            CmpKind::Ge => x >= y,
+                            CmpKind::Eq | CmpKind::Ne => unreachable!(),
+                        }),
+                        _ => Err(RuntimeError::Internal("expected int".into())),
+                    }
+                }
+            };
+            match folded {
+                Ok(v) => {
+                    state.stack.push(Operand::Const(RtValue::Bool(v)));
+                    Ok(None)
+                }
+                Err(e) => self.diverge_fail(e).map(Some),
+            }
+        } else {
+            let dst = self.fresh();
+            let op = match kind {
+                CmpKind::Lt => Op::Lt { dst, a, b },
+                CmpKind::Le => Op::Le { dst, a, b },
+                CmpKind::Gt => Op::Gt { dst, a, b },
+                CmpKind::Ge => Op::Ge { dst, a, b },
+                CmpKind::Eq => Op::Eq { dst, a, b },
+                CmpKind::Ne => Op::Ne { dst, a, b },
+            };
+            self.emit(op)?;
+            state.stack.push(Operand::Reg(dst));
+            Ok(None)
+        }
+    }
+
+    /// Lowers a builtin call. `Some(())` means the caller's path
+    /// continues (result pushed); `None` means it diverged.
+    fn builtin(
+        &mut self,
+        name: u32,
+        args: &[Operand],
+        state: &mut State,
+    ) -> Result<Option<()>, Reject> {
+        let module = self.module;
+        let Some(op) = module.builtins.get(&name) else {
+            self.emit(Op::Fail(RuntimeError::Internal(format!(
+                "no method `{}`",
+                module.names[name as usize]
+            ))))?;
+            return Ok(None);
+        };
+        match op {
+            BuiltinOp::Read => {
+                let dst = self.fresh();
+                self.emit(Op::Read { dst, port: args[0] })?;
+                state.stack.push(Operand::Reg(dst));
+            }
+            BuiltinOp::ReadVec => {
+                let dst = self.fresh();
+                self.emit(Op::ReadVec { dst, port: args[0] })?;
+                state.stack.push(Operand::Reg(dst));
+            }
+            BuiltinOp::Write => {
+                self.emit(Op::Write {
+                    port: args[0],
+                    value: args[1],
+                })?;
+                state.stack.push(Operand::Const(RtValue::Null));
+            }
+            BuiltinOp::WriteVec => {
+                if let Operand::Const(RtValue::Null) = args[1] {
+                    self.emit(Op::Fail(RuntimeError::NullPointer))?;
+                    return Ok(None);
+                }
+                self.emit(Op::WriteVec {
+                    port: args[0],
+                    arr: args[1],
+                })?;
+                state.stack.push(Operand::Const(RtValue::Null));
+            }
+            BuiltinOp::Unsupported => {
+                self.emit(Op::Fail(RuntimeError::Unsupported(format!(
+                    "`{}` (threads and blocking are simulated by the sched crate)",
+                    module.names[name as usize]
+                ))))?;
+                return Ok(None);
+            }
+        }
+        Ok(Some(()))
+    }
+}

@@ -2,13 +2,19 @@
 //!
 //! The paper measures its JPEG example on two Java platforms: the Sun JDK
 //! interpreter and the Café just-in-time compiler (Table 1). This crate
-//! provides the corresponding pair of engines for JT:
+//! provides three engines for JT:
 //!
 //! * [`interp::Interpreter`] — a tree-walking AST interpreter (the slow,
-//!   non-optimizing "jdk" analog), and
+//!   non-optimizing "jdk" analog),
 //! * [`vm::CompiledVm`] — a compiler to the JTBC stack bytecode
-//!   ([`bytecode`], [`compile`]) plus a dispatch-loop VM (the faster
-//!   "jit" analog).
+//!   ([`bytecode`], [`compile`]) plus a dispatch-loop VM (the generic
+//!   "jit" analog), and
+//! * [`native::NativeVm`] — the native reaction tier: JTBC partially
+//!   evaluated to a register IR ([`ir`]) under the SFR policy's
+//!   guarantees (no reaction allocation, bounded loops, no recursion),
+//!   with the stack VM and the tree walker as fallbacks for programs
+//!   outside the compilable subset. This is the tier that demonstrates
+//!   the paper's claim that *refinement enables compilation*.
 //!
 //! Both engines share one object model ([`heap`], [`layout`], [`value`]),
 //! one ASR port environment ([`io`]), and one deterministic cost meter
@@ -46,7 +52,9 @@ pub mod error;
 pub mod heap;
 pub mod interp;
 pub mod io;
+pub mod ir;
 pub mod layout;
+pub mod native;
 pub mod obs;
 pub mod value;
 pub mod vm;

@@ -36,13 +36,16 @@ use std::sync::Arc;
 /// # }
 /// ```
 pub struct CompiledVm {
-    module: Arc<Module>,
-    heap: Heap,
-    meter: CostMeter,
-    statics: Vec<RtValue>,
-    this_ref: Option<ObjRef>,
+    // Crate-visible so the native tier ([`crate::native::NativeVm`]) can
+    // run its lowered code against the same heap, statics, meter, and
+    // port environment that this VM's initialization phase populated.
+    pub(crate) module: Arc<Module>,
+    pub(crate) heap: Heap,
+    pub(crate) meter: CostMeter,
+    pub(crate) statics: Vec<RtValue>,
+    pub(crate) this_ref: Option<ObjRef>,
     main_class: ClassId,
-    io: Option<Io>,
+    pub(crate) io: Option<Io>,
     last_cost: PhaseCost,
     run_name: Option<u32>,
     obs: Option<EngineObs>,

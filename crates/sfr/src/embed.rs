@@ -21,6 +21,7 @@ use asr::block::{Block, BlockError};
 use asr::value::{Datum, Value};
 use jtvm::engine::Engine;
 use jtvm::io::PortDatum;
+use jtvm::native::NativeVm;
 use jtvm::value::RtValue;
 use jtvm::vm::CompiledVm;
 use std::sync::Mutex;
@@ -59,11 +60,34 @@ impl fmt::Display for EmbedError {
 
 impl std::error::Error for EmbedError {}
 
+/// The execution tier an embedded block landed on. The policy proof is
+/// what licenses the attempt at the native tier; lowering can still
+/// decline (conservatively) and fall back to the stack VM.
+enum TierEngine {
+    /// The reaction lowered to the native op-slot tier.
+    Native(Box<NativeVm>),
+    /// Stack-bytecode fallback for reactions the lowerer declined.
+    Vm(Box<CompiledVm>),
+}
+
+impl TierEngine {
+    fn engine_mut(&mut self) -> &mut dyn Engine {
+        match self {
+            TierEngine::Native(e) => e.as_mut(),
+            TierEngine::Vm(e) => e.as_mut(),
+        }
+    }
+}
+
 /// A compliant JT class running as an ASR functional block.
 pub struct JtBlock {
     name: String,
     interface: AsrInterface,
-    engine: Mutex<CompiledVm>,
+    engine: Mutex<TierEngine>,
+    /// Why the native tier was declined, when it was.
+    native_reject: Option<String>,
+    /// The statically proved WCET bound armed on the engine, if any.
+    step_bound: Option<u64>,
     /// Cached `(inputs, outputs)` of the current instant's reaction.
     cache: Mutex<Option<(Vec<Value>, Vec<Value>)>>,
 }
@@ -83,10 +107,41 @@ impl JtBlock {
     pub fn interface(&self) -> AsrInterface {
         self.interface
     }
+
+    /// The execution tier the block runs on: `"native"` when the
+    /// reaction lowered to the native op-slot tier, `"bytecode"` when
+    /// the lowerer declined and the stack VM is used.
+    pub fn engine_tier(&self) -> &'static str {
+        match *self.engine.lock().expect("engine lock") {
+            TierEngine::Native(_) => "native",
+            TierEngine::Vm(_) => "bytecode",
+        }
+    }
+
+    /// Why the reaction did not take the native tier, if it did not.
+    pub fn native_reject(&self) -> Option<&str> {
+        self.native_reject.as_deref()
+    }
+
+    /// The statically proved WCET step bound armed as this block's
+    /// deadline watchdog, if one was derivable.
+    pub fn step_bound(&self) -> Option<u64> {
+        self.step_bound
+    }
 }
 
 /// Verifies compliance and the ASR contract, then wraps `class` (with
 /// constructor arguments `ctor_args`) as a block.
+///
+/// The compliance proof does double duty: besides licensing the
+/// embedding at all, it licenses the *native reaction tier* — a
+/// policy-clean reaction (no run-phase allocation, statically bounded
+/// loops, no recursion) is handed to [`jtvm::ir::lower_reaction`], and
+/// the block reacts on the lowered op-slot code. When the lowerer
+/// conservatively declines (see [`JtBlock::native_reject`]) the block
+/// falls back to the stack VM; behaviour is identical either way. The
+/// statically proved WCET bound for `run` (R2 evidence), when
+/// derivable, is armed as the engine's step-deadline watchdog.
 ///
 /// # Errors
 ///
@@ -101,19 +156,45 @@ pub fn embed(source: &str, class: &str, ctor_args: &[i64]) -> Result<JtBlock, Em
     }
     let interface =
         extension::verify(&program, &table, class).map_err(EmbedError::Contract)?;
-    let mut engine =
-        CompiledVm::new(program, class).map_err(|e| EmbedError::Engine(e.to_string()))?;
+    // R2 payoff: the proved per-reaction step bound becomes a runtime
+    // deadline watchdog (native retired ops never exceed VM steps, so
+    // the same bound is sound for both tiers).
+    let step_bound = jtanalysis::bounds::instruction_bounds(&program, &table)
+        .get(&jtanalysis::MethodRef::method(class, "run"))
+        .copied()
+        .flatten();
     let args: Vec<RtValue> = ctor_args.iter().map(|&v| RtValue::Int(v)).collect();
-    engine
+    // The policy proof licenses the native tier; try it first.
+    let mut native =
+        NativeVm::new(program.clone(), class).map_err(|e| EmbedError::Engine(e.to_string()))?;
+    native
         .initialize(&args)
         .map_err(|e| EmbedError::Engine(e.to_string()))?;
-    // A compliant program allocates only during initialization; enforce
-    // that from here on.
-    engine.freeze_heap();
+    let (engine, native_reject) = match native.reject_reason() {
+        None => {
+            native.set_step_bound(step_bound);
+            native.freeze_heap();
+            (TierEngine::Native(Box::new(native)), None)
+        }
+        Some(reject) => {
+            let reject = reject.to_string();
+            let mut vm = CompiledVm::new(program, class)
+                .map_err(|e| EmbedError::Engine(e.to_string()))?;
+            vm.initialize(&args)
+                .map_err(|e| EmbedError::Engine(e.to_string()))?;
+            vm.set_step_bound(step_bound);
+            // A compliant program allocates only during initialization;
+            // enforce that from here on.
+            vm.freeze_heap();
+            (TierEngine::Vm(Box::new(vm)), Some(reject))
+        }
+    };
     Ok(JtBlock {
         name: class.to_string(),
         interface,
         engine: Mutex::new(engine),
+        native_reject,
+        step_bound,
         cache: Mutex::new(None),
     })
 }
@@ -143,6 +224,7 @@ impl JtBlock {
             .collect::<Result<_, _>>()?;
         let mut engine = self.engine.lock().expect("engine lock");
         let outs = engine
+            .engine_mut()
             .react(&port_inputs)
             .map_err(|e| BlockError::new(e.to_string()))?;
         let mut values: Vec<Value> = outs.iter().map(from_port_datum).collect();
@@ -258,6 +340,40 @@ mod tests {
             .map(|_| sys.react(&[Value::int(1)]).unwrap()[0].as_int().unwrap())
             .collect();
         assert_eq!(outs, vec![1, 4, 7, 8, 8]);
+    }
+
+    #[test]
+    fn compliant_blocks_take_the_native_tier() {
+        for (src, class, args) in [
+            (jtlang::corpus::COUNTER, "Counter", &[10][..]),
+            (jtlang::corpus::FIR_FILTER, "Fir", &[]),
+            (jtlang::corpus::TRAFFIC_LIGHT, "TrafficLight", &[]),
+        ] {
+            let block = embed(src, class, args).unwrap();
+            assert_eq!(block.engine_tier(), "native", "{class}");
+            assert_eq!(block.native_reject(), None, "{class}");
+            assert!(block.step_bound().is_some(), "{class} should have a proved WCET");
+        }
+    }
+
+    #[test]
+    fn native_tier_matches_a_plain_stack_vm_run() {
+        let mut block = embed(jtlang::corpus::FIR_FILTER, "Fir", &[]).unwrap();
+        assert_eq!(block.engine_tier(), "native");
+        let mut vm = CompiledVm::new(
+            jtlang::parse(jtlang::corpus::FIR_FILTER).unwrap(),
+            "Fir",
+        )
+        .unwrap();
+        vm.initialize(&[]).unwrap();
+        for k in 0..16 {
+            let inputs = [Value::int(k)];
+            let mut out = vec![Value::Unknown];
+            block.eval(&inputs, &mut out).unwrap();
+            let want = vm.react(&[PortDatum::Int(k)]).unwrap();
+            assert_eq!(out[0], from_port_datum(&want[0]), "k={k}");
+            block.tick(&inputs).unwrap();
+        }
     }
 
     #[test]

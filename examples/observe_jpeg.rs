@@ -23,6 +23,7 @@ use jtanalysis::bounds::instruction_bounds;
 use jtanalysis::MethodRef;
 use jtvm::engine::Engine;
 use jtvm::interp::Interpreter;
+use jtvm::native::NativeVm;
 use jtvm::vm::CompiledVm;
 use sfr::policy::Policy;
 use sfr::session::RefinementSession;
@@ -104,22 +105,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     interp.initialize(&[])?;
     let (img_interp, err_interp) = jtgen::run_roundtrip(&mut interp, &img)?;
 
-    let mut vm = CompiledVm::new(restricted, "JpegRestricted")?;
+    let mut vm = CompiledVm::new(restricted.clone(), "JpegRestricted")?;
     vm.attach_registry(&registry);
     vm.set_step_bound(wcet);
     vm.initialize(&[])?;
     let (img_vm, err_vm) = jtgen::run_roundtrip(&mut vm, &img)?;
+
+    // The native tier, instrumented like the others. The compliant
+    // restricted design lowers; it retires strictly fewer ops than the
+    // stack VM executes steps, so the proved AST-step WCET bound is
+    // still a sound deadline for it.
+    let mut native = NativeVm::new(restricted, "JpegRestricted")?;
+    native.attach_registry(&registry);
+    native.set_step_bound(wcet);
+    native.initialize(&[])?;
+    assert!(
+        native.reject_reason().is_none(),
+        "restricted JPEG must be native-compilable: {:?}",
+        native.reject_reason()
+    );
+    let (img_native, err_native) = jtgen::run_roundtrip(&mut native, &img)?;
+
     assert_eq!(img_interp, img_vm);
     assert_eq!(err_interp, err_vm);
-    println!("engines agree (total |error| = {err_interp})");
+    assert_eq!(img_interp, img_native);
+    assert_eq!(err_interp, err_native);
+    println!("all three engines agree (total |error| = {err_interp})");
     if jtobs::ENABLED {
         println!(
-            "measured steps: interp {} / vm {} (bound {}; overruns {} / {})",
+            "measured steps: interp {} / vm {} / native ops {} (bound {}; overruns {} / {} / {})",
             registry.counter_value("jtvm.interp.steps"),
             registry.counter_value("jtvm.vm.steps"),
+            registry.counter_value("jtvm.native.ops"),
             wcet.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
             registry.counter_value("jtvm.interp.deadline.overruns"),
             registry.counter_value("jtvm.vm.deadline.overruns"),
+            registry.counter_value("jtvm.native.deadline.overruns"),
         );
     }
 

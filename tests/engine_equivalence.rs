@@ -1,14 +1,18 @@
-//! Property-based differential testing of the two execution engines.
+//! Property-based differential testing of the three execution engines.
 //!
 //! Random (but type-correct by construction) JT programs are generated
-//! and executed on the tree-walking interpreter and the bytecode VM;
-//! both must produce the same outputs — or fail with the same runtime
-//! error. This is the strongest evidence that the "jdk" vs "JIT"
-//! comparison of Table 1 measures *performance*, not semantics.
+//! and executed on the tree-walking interpreter, the bytecode VM, and —
+//! when the reaction is in the compilable subset — the native tier; all
+//! must produce the same outputs, or fail with the same runtime error.
+//! Programs outside the subset (run-phase allocation, data-dependent
+//! loops) must be *cleanly rejected* by the lowerer, never miscompiled.
+//! This is the strongest evidence that the "jdk" vs "JIT" comparison of
+//! Table 1 measures *performance*, not semantics.
 
 use jtvm::engine::Engine;
 use jtvm::interp::Interpreter;
 use jtvm::io::PortDatum;
+use jtvm::native::NativeVm;
 use jtvm::vm::CompiledVm;
 use proptest::prelude::*;
 
@@ -86,16 +90,34 @@ fn program_of(stmts: &[String], result: &str) -> String {
 
 type ReactResult = Result<Vec<Option<PortDatum>>, jtvm::error::RuntimeError>;
 
-fn run_both(source: &str, inputs: &[i64]) -> (ReactResult, ReactResult) {
+/// Reaction outcome on all three engines. The native tier additionally
+/// reports whether the lowerer accepted the reaction: `native` is `Ok`
+/// with the react result when it lowered, or `Err(reject)` when the
+/// program is outside the compilable subset (which must be a *clean*
+/// rejection — rejected programs must never produce a wrong answer).
+struct AllEngines {
+    interp: ReactResult,
+    vm: ReactResult,
+    native: Result<ReactResult, String>,
+}
+
+fn run_all(source: &str, inputs: &[i64]) -> AllEngines {
     let ports: Vec<PortDatum> = inputs.iter().map(|&v| PortDatum::Int(v)).collect();
     let program = jtlang::parse(source).expect("generated program parses");
     let mut interp = Interpreter::new(program.clone(), "P").expect("interp builds");
-    let mut vm = CompiledVm::new(program, "P").expect("vm builds");
+    let mut vm = CompiledVm::new(program.clone(), "P").expect("vm builds");
+    let mut native = NativeVm::new(program, "P").expect("native builds");
     interp.set_step_limit(5_000_000);
     vm.set_step_limit(5_000_000);
+    native.set_step_limit(5_000_000);
     interp.initialize(&[]).expect("init");
     vm.initialize(&[]).expect("init");
-    (interp.react(&ports), vm.react(&ports))
+    native.initialize(&[]).expect("init");
+    let native = match native.reject_reason() {
+        Some(reject) => Err(reject.to_string()),
+        None => Ok(native.react(&ports)),
+    };
+    AllEngines { interp: interp.react(&ports), vm: vm.react(&ports), native }
 }
 
 proptest! {
@@ -122,13 +144,25 @@ proptest! {
             "printer not stable on:\n{}",
             source
         );
-        // …and both engines must agree, success or failure.
-        let (i, v) = run_both(&source, &[a, b, c]);
-        prop_assert_eq!(i, v, "engines disagree on:\n{}", source);
+        // …and all three engines must agree, success or failure. The
+        // generated subset never allocates in `run` and only uses
+        // constant-bounded loops, so the native lowerer must accept it.
+        let r = run_all(&source, &[a, b, c]);
+        prop_assert_eq!(&r.interp, &r.vm, "interp/vm disagree on:\n{}", source);
+        match &r.native {
+            Ok(n) => prop_assert_eq!(n, &r.vm, "native disagrees on:\n{}", source),
+            Err(reject) => prop_assert!(
+                false,
+                "lowerer rejected an in-subset program ({}):\n{}",
+                reject,
+                source
+            ),
+        }
         // The printed form must also behave identically (the refinement
         // session executes re-parsed printed programs).
-        let (pi, pv) = run_both(&printed, &[a, b, c]);
-        prop_assert_eq!(pi, pv);
+        let p = run_all(&printed, &[a, b, c]);
+        prop_assert_eq!(&p.interp, &p.vm);
+        prop_assert_eq!(p.native.as_ref().expect("printed form lowers"), &p.vm);
     }
 
     #[test]
@@ -156,8 +190,20 @@ proptest! {
              }}"
         );
         prop_assert!(jtlang::check_source(&source).is_ok(), "front end rejected:\n{source}");
-        let (i, v) = run_both(&source, &[7, -3, 0]);
-        prop_assert_eq!(i, v, "engines disagree on:\n{}", source);
+        let r = run_all(&source, &[7, -3, 0]);
+        prop_assert_eq!(&r.interp, &r.vm, "engines disagree on:\n{}", source);
+        // These programs allocate the buffer *inside* `run`, which is
+        // exactly what the SFR policy (and hence the native lowerer)
+        // forbids: the native tier must reject them cleanly rather than
+        // miscompile — the tier selection then falls back to the VM.
+        match &r.native {
+            Err(reject) => prop_assert!(
+                reject.contains("alloc"),
+                "expected an allocation reject, got: {}",
+                reject
+            ),
+            Ok(n) => prop_assert!(false, "lowerer accepted a react-allocating program: {:?}", n),
+        }
     }
 }
 
@@ -193,9 +239,16 @@ fn rem_assign_edge_cases_agree_across_engines() {
         let printed = jtlang::pretty::print_program(&parsed);
         assert!(printed.contains("%="), "printer dropped %= in:\n{printed}");
         jtlang::parse(&printed).expect("printed output parses");
-        let (i, v) = run_both(&source, &[7, 3, 0]);
-        assert_eq!(i.is_ok(), expect_ok, "unexpected outcome for `{body}`: {i:?}");
-        assert_eq!(i, v, "engines disagree on `{body}`");
+        let r = run_all(&source, &[7, 3, 0]);
+        assert_eq!(r.interp.is_ok(), expect_ok, "unexpected outcome for `{body}`: {:?}", r.interp);
+        assert_eq!(r.interp, r.vm, "engines disagree on `{body}`");
+        // Constant-foldable error cases: the lowerer must keep the error
+        // on its path rather than fold it away or reject the program.
+        assert_eq!(
+            r.native.expect("edge-case programs are in the native subset"),
+            r.vm,
+            "native disagrees on `{body}`"
+        );
     }
 }
 
@@ -211,11 +264,20 @@ fn engines_agree_on_all_corpus_reactive_samples() {
             ctor.iter().map(|&v| jtvm::value::RtValue::Int(v)).collect();
         let program = jtlang::parse(&source).unwrap();
         let mut interp = Interpreter::new(program.clone(), class).unwrap();
-        let mut vm = CompiledVm::new(program, class).unwrap();
+        let mut vm = CompiledVm::new(program.clone(), class).unwrap();
+        let mut native = NativeVm::new(program, class).unwrap();
         interp.initialize(&args).unwrap();
         vm.initialize(&args).unwrap();
+        native.initialize(&args).unwrap();
+        assert!(
+            native.reject_reason().is_none(),
+            "{class} should be native-compilable: {:?}",
+            native.reject_reason()
+        );
         for _ in 0..10 {
-            assert_eq!(interp.react(&ports).unwrap(), vm.react(&ports).unwrap());
+            let out = interp.react(&ports).unwrap();
+            assert_eq!(out, vm.react(&ports).unwrap());
+            assert_eq!(out, native.react(&ports).unwrap());
         }
     }
 }
