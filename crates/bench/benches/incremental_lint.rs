@@ -13,10 +13,18 @@
 //! * **warm one edit** — the database, warmed on the base corpus,
 //!   analyzes a revision in which exactly one method body changed.
 //!
+//! Each scenario also reports the *tail* time (`RunStats::tail_ns`):
+//! the delta points-to update plus the demand-driven race / R13 / R14 /
+//! loop-proof / WCET products. The shifted no-op row drives the tail
+//! through a comment-padded revision (the byte-identical no-op replays
+//! from the revision cache and never reaches the tail).
+//!
 //! Writes `BENCH_incremental.json` with the timings plus the measured
 //! recompute fraction, and asserts the engine's contract: zero
-//! recomputed queries in the no-op run, and ≤5% of method-level queries
-//! recomputed after a one-method edit.
+//! recomputed queries in the no-op run, zero demand misses and zero
+//! constraint churn on the shifted no-op, ≤5% of method-level queries
+//! recomputed after a one-method edit, and a one-edit tail ≥10× faster
+//! than the cold tail.
 //!
 //! Set `JT_BENCH_SMOKE=1` for a quick small-corpus run (CI).
 
@@ -82,10 +90,18 @@ fn main() {
     let (pe, te, ge) = parse(&edited_src);
 
     // Cold: fresh database every iteration.
-    let cold_ns = best_of(iters, || {
+    let mut cold_ns = f64::INFINITY;
+    let mut cold_stats = jtanalysis::db::RunStats::default();
+    for _ in 0..iters {
         let mut db = AnalysisDb::new();
+        let start = Instant::now();
         black_box(db.analyze(&p, &t, &g));
-    });
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < cold_ns {
+            cold_ns = ns;
+            cold_stats = db.last_run();
+        }
+    }
 
     // Warm no-op: warmed database re-analyzes a re-parse of the same
     // text. Warm once untimed, then time steady-state runs.
@@ -101,6 +117,32 @@ fn main() {
         "warm re-check of identical source recomputed queries: {warm_stats:?}"
     );
     assert_eq!(warm_stats.scc_misses, 0, "{warm_stats:?}");
+
+    // Warm no-op *tail*: a comment-shifted re-parse misses the replay
+    // cache, so the analysis tail (delta points-to + demand products)
+    // actually runs — and must be served entirely warm. Each iteration
+    // uses a distinct pad so the revision cache can't short-circuit it.
+    let mut noop_tail_ns = u64::MAX;
+    let mut noop_tail_stats = jtanalysis::db::RunStats::default();
+    for i in 0..iters {
+        // Pads of *different lengths*: the revision fingerprint hashes
+        // spans (not comment text), so same-length pads would replay.
+        let padded_src = format!("// bench pad{}\n{base_src}", "-".repeat(i + 1));
+        let (pp, tp, gp) = parse(&padded_src);
+        black_box(db.analyze(&pp, &tp, &gp));
+        let s = db.last_run();
+        if s.tail_ns < noop_tail_ns {
+            noop_tail_ns = s.tail_ns;
+            noop_tail_stats = s;
+        }
+    }
+    assert_eq!(
+        noop_tail_stats.demand_misses, 0,
+        "no-op revision missed demand queries: {noop_tail_stats:?}"
+    );
+    assert_eq!(noop_tail_stats.pt_constraints_retracted, 0, "{noop_tail_stats:?}");
+    assert_eq!(noop_tail_stats.pt_constraints_added, 0, "{noop_tail_stats:?}");
+    assert_eq!(noop_tail_stats.pointsto_misses, 0, "{noop_tail_stats:?}");
 
     // Warm one-edit: each iteration warms a fresh database on the base
     // corpus (untimed), then times the edited revision.
@@ -124,20 +166,49 @@ fn main() {
     );
 
     let speedup = cold_ns / warm_ns;
+    let cold_tail_ns = cold_stats.tail_ns.max(1);
+    let edit_tail_ns = edit_stats.tail_ns.max(1);
+    let tail_speedup = cold_tail_ns as f64 / edit_tail_ns as f64;
     println!("\nIncremental lint: {n_methods} methods ({method_queries} method-level queries)");
-    println!("{:>24} {:>14} {:>12}", "scenario", "best ns", "recomputed");
-    println!("{:>24} {:>14.0} {:>12}", "cold", cold_ns, method_queries);
-    println!("{:>24} {:>14.0} {:>12}", "warm no-op", warm_ns, warm_stats.recomputed);
-    println!("{:>24} {:>14.0} {:>12}", "warm one edit", edit_ns, edit_stats.recomputed);
+    println!("{:>24} {:>14} {:>14} {:>12}", "scenario", "best ns", "tail ns", "recomputed");
+    println!(
+        "{:>24} {:>14.0} {:>14} {:>12}",
+        "cold", cold_ns, cold_stats.tail_ns, method_queries
+    );
+    println!(
+        "{:>24} {:>14.0} {:>14} {:>12}",
+        "warm no-op", warm_ns, warm_stats.tail_ns, warm_stats.recomputed
+    );
+    println!(
+        "{:>24} {:>14} {:>14} {:>12}",
+        "warm no-op (shifted)", "-", noop_tail_stats.tail_ns, noop_tail_stats.recomputed
+    );
+    println!(
+        "{:>24} {:>14.0} {:>14} {:>12}",
+        "warm one edit", edit_ns, edit_stats.tail_ns, edit_stats.recomputed
+    );
     println!(
         "warm re-check speedup: {speedup:.1}x; one-edit recompute fraction: {recompute_pct:.3}% \
-         ({} method queries + {} SCC summaries)\n",
+         ({} method queries + {} SCC summaries)",
         edit_stats.recomputed, edit_stats.scc_misses
+    );
+    println!(
+        "one-edit tail: {tail_speedup:.1}x faster than cold tail \
+         ({} demand hits / {} misses; {} constraints retracted, {} added)\n",
+        edit_stats.demand_hits,
+        edit_stats.demand_misses,
+        edit_stats.pt_constraints_retracted,
+        edit_stats.pt_constraints_added
     );
     if !smoke {
         assert!(
             speedup >= 10.0,
             "warm re-check must be >=10x faster than cold (got {speedup:.1}x)"
+        );
+        assert!(
+            tail_speedup >= 10.0,
+            "one-edit tail must be >=10x faster than the cold tail \
+             (got {tail_speedup:.1}x: cold {cold_tail_ns} ns, one-edit {edit_tail_ns} ns)"
         );
     }
 
@@ -158,6 +229,25 @@ fn main() {
         ),
         (format!("{prefix}/one_edit_recompute_pct"), recompute_pct),
         (format!("{prefix}/warm_speedup_x"), speedup),
+        (format!("{prefix}/cold_tail"), cold_stats.tail_ns as f64),
+        (
+            format!("{prefix}/warm_noop_tail"),
+            noop_tail_stats.tail_ns as f64,
+        ),
+        (format!("{prefix}/warm_one_edit_tail"), edit_stats.tail_ns as f64),
+        (format!("{prefix}/tail_speedup_x"), tail_speedup),
+        (
+            format!("{prefix}/one_edit_demand_misses"),
+            edit_stats.demand_misses as f64,
+        ),
+        (
+            format!("{prefix}/one_edit_constraints_retracted"),
+            edit_stats.pt_constraints_retracted as f64,
+        ),
+        (
+            format!("{prefix}/one_edit_constraints_added"),
+            edit_stats.pt_constraints_added as f64,
+        ),
     ];
     bench::write_bench_json("incremental", &rows);
 }

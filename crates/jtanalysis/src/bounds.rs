@@ -44,7 +44,22 @@ pub fn instruction_bounds_with_flow(
     table: &ClassTable,
     proved_loop_bounds: &BTreeMap<NodeId, u64>,
 ) -> BTreeMap<MethodRef, Option<u64>> {
-    let mut memo: BTreeMap<MethodRef, Option<u64>> = BTreeMap::new();
+    instruction_bounds_seeded(program, table, proved_loop_bounds, BTreeMap::new())
+}
+
+/// [`instruction_bounds_with_flow`] with the internal memo pre-seeded.
+/// Each seed entry must equal what an unseeded run would compute for
+/// that method under the same program and proofs — the incremental
+/// database guarantees this by keying seeds on the method's call-graph
+/// component fingerprint. Only methods absent from the seed have their
+/// bodies re-walked; their callees resolve through the seed.
+pub fn instruction_bounds_seeded(
+    program: &Program,
+    table: &ClassTable,
+    proved_loop_bounds: &BTreeMap<NodeId, u64>,
+    seed: BTreeMap<MethodRef, Option<u64>>,
+) -> BTreeMap<MethodRef, Option<u64>> {
+    let mut memo: BTreeMap<MethodRef, Option<u64>> = seed;
     let mut in_progress: Vec<MethodRef> = Vec::new();
     let mut bounds = BTreeMap::new();
     for class in &program.classes {

@@ -266,7 +266,8 @@ pub(crate) fn analyze_method(
         if let Some(Const::Bool(value)) = eval(env, cond) {
             let idx = map
                 .expr_index(cond.id)
-                .expect("branch condition belongs to the method body") as u32;
+                .and_then(|i| u32::try_from(i).ok())
+                .expect("branch condition belongs to the method body");
             core.conds.push((idx, value));
         }
     }

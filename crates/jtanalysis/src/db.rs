@@ -20,32 +20,39 @@
 //! recomputed SCC produces summaries with the same hash, its callers'
 //! keys are unchanged and the dirty cone stops there.
 //!
-//! The whole-program points-to relation is cached too, keyed by the
-//! span-free [`crate::fingerprint::program_fp`]: its abstract objects
-//! are keyed by fingerprint-stable allocation-site IDs, so a cached
-//! relation is *rebased* onto the current parse's node ids and spans
-//! ([`PointsTo::rebase`]) the same way method cores rebase spans. A
-//! span-only edit therefore reuses the solved relation outright.
+//! The whole-program points-to relation is maintained *differentially*
+//! across revisions by [`crate::ptdelta::PtCache`]: each method's
+//! constraint contribution is keyed by a constant-blind shape
+//! fingerprint, an edit retracts only the tainted frontier's derived
+//! facts and re-propagates from there, and a span-only edit rebases
+//! the solved relation outright without touching the solver.
 //!
-//! What is deliberately *not* cached across revisions: the cheap linear
-//! derived passes (R13/R14 findings, call-site loop proofs, WCET,
-//! races, evidence assembly). Those recompute every revision from
-//! cached summaries and the cached relation — see DESIGN §8/§9 for the
-//! boundary.
+//! The analysis *tail* — race verdicts, R13 ownership, R14 alias
+//! leaks, call-site loop proofs, R2 loop evidence, and per-method WCET
+//! folds — runs as demand queries memoized in [`crate::demand`]: each
+//! product's span-free core is keyed by exactly the facts it cites
+//! (method keys, the signature fingerprint, the canonical points-to
+//! relation fingerprint, summary digests), so an edit whose effects
+//! don't reach a query's inputs re-serves its verdict from the memo.
+//! Only span materialization and evidence rendering re-run
+//! unconditionally — see DESIGN §8/§9 for the boundary.
 //!
 //! Metrics (with a registry attached): `jtanalysis.db.hits`, `.misses`,
 //! `.recomputed`, `.invalidated`, `.scc_hits`, `.scc_misses`,
-//! `.pointsto_hits`, `.pointsto_misses`, and the
+//! `.pointsto_hits`, `.pointsto_misses`, `.pt_constraints_retracted`,
+//! `.pt_constraints_added`, `.demand_hits`, `.demand_misses`, and the
 //! `jtanalysis.db.revision` gauge, alongside the same suite metrics the
 //! batch driver exported.
 
 use crate::callgraph::CallGraph;
 use crate::constprop::{self, ConstpropCore};
 use crate::definite::{self, DefiniteCore};
+use crate::demand::{DemandCtx, TailMemo};
 use crate::escape::EscapeSummary;
-use crate::fingerprint::{combine, field_lens_fp, program_fp, Fp, NodeMap, ProgramIndex, StructHasher};
+use crate::fingerprint::{combine, field_lens_fp, Fp, NodeMap, ProgramIndex, StructHasher};
 use crate::interval::{self, FieldLenIndex, IntervalCore};
-use crate::pointsto::{self, PointsTo};
+use crate::pointsto;
+use crate::ptdelta::{DeltaPath, PtCache};
 use crate::purity::PuritySummary;
 use crate::races;
 use crate::summary::{self, MethodSummary, SummaryReport};
@@ -74,11 +81,24 @@ pub struct RunStats {
     pub scc_hits: u64,
     /// SCC summaries recomputed.
     pub scc_misses: u64,
-    /// Points-to relations served from cache (after rebasing onto the
-    /// current parse).
+    /// Points-to relations served warm — rebased or delta-solved from
+    /// the previous revision's constraint graph.
     pub pointsto_hits: u64,
     /// Points-to relations solved from scratch.
     pub pointsto_misses: u64,
+    /// Points-to constraint-set members retracted by the delta solver.
+    pub pt_constraints_retracted: u64,
+    /// Points-to constraint-set members derived this run (all facts on
+    /// a cold solve, the re-derived frontier on a delta).
+    pub pt_constraints_added: u64,
+    /// Tail demand queries (race, R13/R14, loop-proof, WCET cores)
+    /// served from the memo.
+    pub demand_hits: u64,
+    /// Tail demand queries computed.
+    pub demand_misses: u64,
+    /// Wall-clock nanoseconds spent in the analysis tail (points-to
+    /// update plus demand-driven products).
+    pub tail_ns: u64,
 }
 
 impl RunStats {
@@ -91,6 +111,11 @@ impl RunStats {
         self.scc_misses += other.scc_misses;
         self.pointsto_hits += other.pointsto_hits;
         self.pointsto_misses += other.pointsto_misses;
+        self.pt_constraints_retracted += other.pt_constraints_retracted;
+        self.pt_constraints_added += other.pt_constraints_added;
+        self.demand_hits += other.demand_hits;
+        self.demand_misses += other.demand_misses;
+        self.tail_ns += other.tail_ns;
     }
 
     /// Total method-level query lookups this run.
@@ -123,7 +148,8 @@ impl EscapeCore {
         let mut escaping_allocs: Vec<u32> = es
             .escaping_allocs
             .iter()
-            .filter_map(|id| map.and_then(|m| m.expr_index(*id)).map(|i| i as u32))
+            .filter_map(|id| map.and_then(|m| m.expr_index(*id)))
+            .filter_map(|i| u32::try_from(i).ok())
             .collect();
         escaping_allocs.sort_unstable();
         EscapeCore {
@@ -221,10 +247,15 @@ pub struct AnalysisDb {
     constprop: BTreeMap<Fp, CacheSlot<ConstpropCore>>,
     interval: BTreeMap<Fp, CacheSlot<IntervalCore>>,
     sccs: BTreeMap<Fp, SccEntry>,
-    /// Whole-program points-to relations keyed by the span-free
-    /// [`program_fp`]; values are rebased onto the current parse before
-    /// use (allocation-site fingerprints make the objects stable).
-    pointsto: BTreeMap<Fp, CacheSlot<PointsTo>>,
+    /// Cross-revision delta points-to solver: caches the previous
+    /// revision's constraint shapes and solved relation, retracting and
+    /// re-deriving only the tainted frontier of an edit
+    /// ([`crate::ptdelta`]).
+    ptcache: PtCache,
+    /// Demand-query memo for the analysis tail: race verdicts, R13/R14
+    /// cores, call-site loop proofs, R2 evidence, and WCET folds
+    /// ([`crate::demand`]).
+    tail: TailMemo,
     /// `(method key, interval key)` per method at the previous revision,
     /// for the `invalidated` statistic.
     prev_keys: BTreeMap<MethodRef, (Fp, Fp)>,
@@ -325,6 +356,7 @@ impl AnalysisDb {
                 hits: 4 * each_method(program).count() as u64,
                 scc_hits: report.summary.sccs as u64,
                 pointsto_hits: 1,
+                demand_hits: each_method(program).count() as u64,
                 ..RunStats::default()
             };
             self.last = stats;
@@ -440,13 +472,46 @@ impl AnalysisDb {
             out
         });
 
+        let cond = graph.condensation();
         report.summary = timed(registry, "summary", || {
-            self.summaries(program, table, graph, &ix, &keys, &mut stats, &report)
+            self.summaries(program, table, graph, &cond, &ix, &keys, &mut stats)
         });
 
-        // The race tiers share the summary engine's points-to relation.
-        report.races = timed(registry, "races", || {
-            races::analyze_with_pointsto(program, table, graph, &report.summary.pointsto)
+        // The analysis tail: delta-update the points-to relation, then
+        // derive every downstream product through the demand memo. The
+        // race tiers share the same relation and context.
+        timed(registry, "tail", || {
+            let tail_start = std::time::Instant::now();
+            let (pt, outcome) = self.ptcache.update(program, table, pointsto::DEFAULT_K, Some(&ix));
+            match outcome.path {
+                DeltaPath::Cold => stats.pointsto_misses += 1,
+                DeltaPath::Rebase | DeltaPath::Delta => stats.pointsto_hits += 1,
+            }
+            stats.pt_constraints_retracted += outcome.retracted;
+            stats.pt_constraints_added += outcome.added;
+            let mut ctx = DemandCtx {
+                ix: &ix,
+                cond: &cond,
+                relation_fp: pt.relation_fp(),
+                revision,
+                memo: &mut self.tail,
+                hits: 0,
+                misses: 0,
+            };
+            summary::derive_products(
+                program,
+                table,
+                graph,
+                &report.interval.proved_loop_bounds,
+                pt,
+                &mut report.summary,
+                Some(&mut ctx),
+            );
+            report.races =
+                races::analyze_demand(program, table, graph, &report.summary.pointsto, Some(&mut ctx));
+            stats.demand_hits += ctx.hits;
+            stats.demand_misses += ctx.misses;
+            stats.tail_ns = u64::try_from(tail_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         });
 
         self.revisions.insert(
@@ -471,15 +536,16 @@ impl AnalysisDb {
     /// serving each component from cache when its key — member
     /// fingerprints plus external callee summary hashes — is unchanged.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn summaries(
         &mut self,
         program: &Program,
         table: &ClassTable,
         graph: &CallGraph,
+        cond: &[Vec<MethodRef>],
         ix: &ProgramIndex,
         keys: &BTreeMap<MethodRef, (Fp, Fp)>,
         stats: &mut RunStats,
-        report: &FlowReport,
     ) -> SummaryReport {
         let revision = self.revision;
         let mut out = SummaryReport::default();
@@ -487,21 +553,21 @@ impl AnalysisDb {
         let mut escapes: BTreeMap<MethodRef, EscapeSummary> = BTreeMap::new();
         let mut hashes: BTreeMap<MethodRef, Fp> = BTreeMap::new();
 
-        for scc in graph.condensation() {
+        for scc in cond {
             out.sccs += 1;
             out.largest_scc = out.largest_scc.max(scc.len());
 
             let mut h = StructHasher::new();
             h.u64(ix.sig.0);
             let in_scc: BTreeSet<&MethodRef> = scc.iter().collect();
-            for m in &scc {
+            for m in scc {
                 h.str(&m.class);
                 h.str(&m.method);
                 h.bool(m.is_ctor);
                 h.u64(keys.get(m).map(|(k, _)| k.0).unwrap_or_default());
             }
             let mut ext: BTreeMap<&MethodRef, Fp> = BTreeMap::new();
-            for m in &scc {
+            for m in scc {
                 for c in graph.callees(m) {
                     if !in_scc.contains(c) {
                         ext.insert(c, hashes.get(c).copied().unwrap_or_default());
@@ -535,7 +601,7 @@ impl AnalysisDb {
                         program,
                         table,
                         graph,
-                        &scc,
+                        scc,
                         &mut purities,
                         &mut escapes,
                     );
@@ -565,55 +631,7 @@ impl AnalysisDb {
             let escape = escapes.remove(&mref).unwrap_or_default();
             out.methods.insert(mref, MethodSummary { purity, escape });
         }
-        let pt = self.pointsto_for(program, table, stats);
-        summary::derive_products(
-            program,
-            table,
-            graph,
-            &report.interval.proved_loop_bounds,
-            pt,
-            &mut out,
-        );
         out
-    }
-
-    /// Serves the whole-program points-to relation, rebasing a cached
-    /// one onto the current parse when the span-free program
-    /// fingerprint matches. A rebase failure (an allocation site the
-    /// current parse no longer has — possible only on a fingerprint
-    /// collision) falls back to a fresh solve.
-    fn pointsto_for(
-        &mut self,
-        program: &Program,
-        table: &ClassTable,
-        stats: &mut RunStats,
-    ) -> PointsTo {
-        let revision = self.revision;
-        let pkey = program_fp(program, table);
-        match self.pointsto.entry(pkey) {
-            Entry::Occupied(mut e) => {
-                e.get_mut().last_used = revision;
-                let mut pt = e.get().value.clone();
-                if pt.rebase(program, table) {
-                    stats.pointsto_hits += 1;
-                    pt
-                } else {
-                    stats.pointsto_misses += 1;
-                    let fresh = pointsto::analyze(program, table);
-                    e.get_mut().value = fresh.clone();
-                    fresh
-                }
-            }
-            Entry::Vacant(v) => {
-                stats.pointsto_misses += 1;
-                let pt = pointsto::analyze(program, table);
-                v.insert(CacheSlot {
-                    value: pt.clone(),
-                    last_used: revision,
-                });
-                pt
-            }
-        }
     }
 
     fn evict(&mut self, revision: u64) {
@@ -624,8 +642,37 @@ impl AnalysisDb {
         self.constprop.retain(|_, s| keep(s.last_used));
         self.interval.retain(|_, s| keep(s.last_used));
         self.sccs.retain(|_, s| keep(s.last_used));
-        self.pointsto.retain(|_, s| keep(s.last_used));
+        self.tail.evict(revision, KEEP_REVISIONS);
     }
+}
+
+/// Renders [`RunStats`] (accumulated or per-run) as the two-line
+/// rollup printed by `jtlint --stats`: a cache line splitting
+/// method-core from points-to traffic, and a tail-traffic line with
+/// constraint retraction/derivation counts and demand-query totals.
+/// The format is pinned by a unit test here and consumed verbatim by
+/// the CLI, so the two can't drift apart.
+pub fn render_rollup(stats: &RunStats, revision: u64) -> String {
+    format!(
+        "db cache: {} method-core hits, {} misses, {} recomputed, {} invalidated; \
+         scc summaries: {} hits, {} misses; points-to: {} hits, {} misses; \
+         revisions analyzed: {}\n\
+         tail traffic: {} constraints retracted, {} added; \
+         demand queries: {} hits, {} misses",
+        stats.hits,
+        stats.misses,
+        stats.recomputed,
+        stats.invalidated,
+        stats.scc_hits,
+        stats.scc_misses,
+        stats.pointsto_hits,
+        stats.pointsto_misses,
+        revision,
+        stats.pt_constraints_retracted,
+        stats.pt_constraints_added,
+        stats.demand_hits,
+        stats.demand_misses,
+    )
 }
 
 fn export_metrics(r: &jtobs::Registry, report: &FlowReport, stats: &RunStats, revision: u64) {
@@ -661,6 +708,14 @@ fn export_metrics(r: &jtobs::Registry, report: &FlowReport, stats: &RunStats, re
     r.counter("jtanalysis.db.pointsto_hits").add(stats.pointsto_hits);
     r.counter("jtanalysis.db.pointsto_misses")
         .add(stats.pointsto_misses);
+    r.counter("jtanalysis.db.pt_constraints_retracted")
+        .add(stats.pt_constraints_retracted);
+    r.counter("jtanalysis.db.pt_constraints_added")
+        .add(stats.pt_constraints_added);
+    r.counter("jtanalysis.db.demand_hits").add(stats.demand_hits);
+    r.counter("jtanalysis.db.demand_misses").add(stats.demand_misses);
+    r.histogram("jtanalysis.time_us.tail_demand")
+        .record(stats.tail_ns / 1_000);
     r.gauge("jtanalysis.db.revision").set(revision as i64);
 }
 
@@ -882,6 +937,86 @@ mod tests {
         let (p3, t3, g3) = setup(a);
         db.analyze(&p3, &t3, &g3);
         assert!(db.last_run().recomputed > 0, "a's entries must have aged out");
+    }
+
+    #[test]
+    fn rollup_format_is_pinned() {
+        let stats = RunStats {
+            hits: 40,
+            misses: 4,
+            recomputed: 4,
+            invalidated: 3,
+            scc_hits: 5,
+            scc_misses: 1,
+            pointsto_hits: 1,
+            pointsto_misses: 0,
+            pt_constraints_retracted: 7,
+            pt_constraints_added: 9,
+            demand_hits: 21,
+            demand_misses: 2,
+            tail_ns: 123_456,
+        };
+        assert_eq!(
+            render_rollup(&stats, 2),
+            "db cache: 40 method-core hits, 4 misses, 4 recomputed, 3 invalidated; \
+             scc summaries: 5 hits, 1 misses; points-to: 1 hits, 0 misses; \
+             revisions analyzed: 2\n\
+             tail traffic: 7 constraints retracted, 9 added; \
+             demand queries: 21 hits, 2 misses"
+        );
+    }
+
+    #[test]
+    fn span_only_edit_serves_the_tail_from_the_demand_memo() {
+        // A comment shifts every span, so the revision replay cache
+        // misses — but the relation rebases and every tail demand query
+        // must hit: nothing about the cited facts changed.
+        let base = "class A { private int s; A() { s = 0; } int f() { return s; } }";
+        let shifted = format!("/* pad */ {base}");
+        let (p, t, g) = setup(base);
+        let mut db = AnalysisDb::new();
+        db.analyze(&p, &t, &g);
+        assert!(db.last_run().demand_misses > 0);
+        assert_eq!(db.last_run().demand_hits, 0);
+        let (p2, t2, g2) = setup(&shifted);
+        db.analyze(&p2, &t2, &g2);
+        let stats = db.last_run();
+        assert_eq!(stats.demand_misses, 0, "{stats:?}");
+        assert!(stats.demand_hits > 0, "{stats:?}");
+        assert_eq!(stats.pt_constraints_retracted, 0, "{stats:?}");
+        assert_eq!(stats.pt_constraints_added, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn one_method_edit_keeps_unrelated_demand_queries_warm() {
+        // Editing a constant in `h` must not recompute the race/R13
+        // tail of the untouched ASR block wiring; with constant-blind
+        // constraint shapes the relation delta is empty too.
+        let base = "class Acc { public int total; Acc() { total = 0; } }
+             class Tap extends ASR {
+                 private Acc acc;
+                 Tap(Acc shared) { acc = shared; }
+                 public void run() { acc.total = acc.total + read(0); }
+                 int h() { return 1; }
+             }";
+        let edit = base.replace("return 1;", "return 2;");
+        let (p, t, g) = setup(base);
+        let mut db = AnalysisDb::new();
+        let r1 = db.analyze(&p, &t, &g);
+        let (p2, t2, g2) = setup(&edit);
+        let r2 = db.analyze(&p2, &t2, &g2);
+        let stats = db.last_run();
+        assert_eq!(stats.pointsto_hits, 1, "{stats:?}");
+        assert!(stats.demand_hits > 0, "{stats:?}");
+        // Only `h`-scoped queries may miss — its method key changed, so
+        // each per-method family (access list, trip candidates, call
+        // folds, loop evidence, leak cores, WCET fold) re-runs for `h`
+        // alone. Every other method's queries and all field verdicts
+        // stay warm.
+        assert!(stats.demand_misses <= 6, "{stats:?}");
+        assert!(stats.demand_hits > stats.demand_misses, "{stats:?}");
+        assert_eq!(r1.races.alias_aware.len(), r2.races.alias_aware.len());
+        assert_eq!(r1.summary.impure_blocks, r2.summary.impure_blocks);
     }
 
     #[test]

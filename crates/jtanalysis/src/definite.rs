@@ -213,7 +213,8 @@ pub(crate) fn analyze_method(
                 if !set.contains(name) {
                     let idx = map
                         .expr_index(r.id)
-                        .expect("read expr belongs to the method body") as u32;
+                        .and_then(|i| u32::try_from(i).ok())
+                        .expect("read expr belongs to the method body");
                     out.push((idx, name.clone()));
                 }
             }

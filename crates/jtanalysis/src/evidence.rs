@@ -530,10 +530,9 @@ fn span_json(s: SpanRef) -> Json {
 fn span_from(j: &Json) -> Result<SpanRef, String> {
     match j {
         Json::Arr(a) if a.len() == 2 => match (&a[0], &a[1]) {
-            (Json::Num(s), Json::Num(e)) => Ok(SpanRef {
-                start: *s as usize,
-                end: *e as usize,
-            }),
+            (Json::Num(s), Json::Num(e)) => usize::try_from(*s)
+                .and_then(|start| usize::try_from(*e).map(|end| SpanRef { start, end }))
+                .map_err(|_| "span offsets out of range".to_string()),
             _ => Err("span entries must be numbers".into()),
         },
         _ => Err("expected a two-element span array".into()),
@@ -766,7 +765,8 @@ impl Evidence {
                         c0: d.num_of("c0")?,
                         step: d.num_of("step")?,
                         inclusive: d.bool_of("inclusive")?,
-                        param: d.num_of("param")? as usize,
+                        param: usize::try_from(d.num_of("param")?)
+                            .map_err(|_| "param index out of range".to_string())?,
                         sites: d
                             .arr_of("sites")?
                             .iter()

@@ -433,13 +433,15 @@ impl NodeMap {
     pub fn build(decl: &MethodDecl) -> NodeMap {
         let mut map = NodeMap::default();
         jtlang::ast::walk_stmts(&decl.body, &mut |s| {
-            map.stmt_index.insert(s.id, map.stmts.len() as u32);
+            let i = u32::try_from(map.stmts.len()).expect("statement count fits u32");
+            map.stmt_index.insert(s.id, i);
             map.stmts.push((s.id, s.span));
         });
         jtlang::ast::walk_stmts(&decl.body, &mut |s| {
             for e in stmt_exprs(s) {
                 walk_expr(e, &mut |e| {
-                    map.expr_index.insert(e.id, map.exprs.len() as u32);
+                    let i = u32::try_from(map.exprs.len()).expect("expression count fits u32");
+                    map.expr_index.insert(e.id, i);
                     map.exprs.push((e.id, e.span));
                 });
             }
@@ -465,6 +467,11 @@ impl NodeMap {
     /// Pre-order index of an expression id from this method body.
     pub fn expr_index(&self, id: NodeId) -> Option<usize> {
         self.expr_index.get(&id).map(|i| *i as usize)
+    }
+
+    /// Number of statements in the method body.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
     }
 
     /// Number of expressions in the method body.

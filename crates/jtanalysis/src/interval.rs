@@ -835,8 +835,8 @@ pub(crate) fn analyze_method(
             if let Some(trips) = prove_loop_bound(&analysis, shape, env) {
                 let idx = map
                     .stmt_index(shape.stmt.id)
-                    .expect("loop statement belongs to the method body")
-                    as u32;
+                    .and_then(|i| u32::try_from(i).ok())
+                    .expect("loop statement belongs to the method body");
                 core.proved.push((idx, trips));
             }
         }
@@ -981,7 +981,8 @@ fn check_indices(
         let const_len = len.and_then(|l| (l.lo == l.hi).then_some(l.lo));
         let at = map
             .expr_index(e.id)
-            .expect("indexing expr belongs to the method body") as u32;
+            .and_then(|i| u32::try_from(i).ok())
+            .expect("indexing expr belongs to the method body");
         if idx.hi < 0 {
             core.oob.push((at, idx, None));
         } else if let Some(l) = len {

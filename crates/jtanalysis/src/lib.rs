@@ -66,6 +66,7 @@ pub mod constprop;
 pub mod dataflow;
 pub mod db;
 pub mod definite;
+pub(crate) mod demand;
 pub mod evidence;
 pub mod fingerprint;
 pub mod flow;
@@ -73,6 +74,7 @@ pub mod escape;
 pub mod interval;
 pub mod loops;
 pub mod pointsto;
+pub(crate) mod ptdelta;
 pub mod purity;
 pub mod races;
 pub mod summary;

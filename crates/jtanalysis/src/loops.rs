@@ -127,44 +127,52 @@ pub fn analyze(program: &Program) -> Vec<LoopInfo> {
                     .map(|m| (m, MethodRef::method(&class.name, &m.name))),
             )
         {
-            walk_stmts(&decl.body, &mut |stmt| match &stmt.kind {
-                StmtKind::While { .. } => loops.push(LoopInfo {
-                    id: stmt.id,
-                    span: stmt.span,
-                    kind: LoopKind::While,
-                    method: mref.clone(),
-                    bound: None,
-                }),
-                StmtKind::DoWhile { .. } => loops.push(LoopInfo {
-                    id: stmt.id,
-                    span: stmt.span,
-                    kind: LoopKind::DoWhile,
-                    method: mref.clone(),
-                    bound: None,
-                }),
-                StmtKind::For { .. } => {
-                    let a = analyze_for(stmt).expect("stmt is a for loop");
-                    let bound = if a.bounded {
-                        BoundStatus::Calculable {
-                            iterations: a.iterations,
-                        }
-                    } else {
-                        BoundStatus::NotCalculable {
-                            reason: a.reason.unwrap_or_else(|| "unrecognised shape".into()),
-                        }
-                    };
-                    loops.push(LoopInfo {
-                        id: stmt.id,
-                        span: stmt.span,
-                        kind: LoopKind::For,
-                        method: mref.clone(),
-                        bound: Some(bound),
-                    });
-                }
-                _ => {}
-            });
+            loops.extend(analyze_method(decl, &mref));
         }
     }
+    loops
+}
+
+/// Analyzes every loop in one method body, in pre-order. [`analyze`] is
+/// the concatenation of this over every method in declaration order.
+pub fn analyze_method(decl: &MethodDecl, mref: &MethodRef) -> Vec<LoopInfo> {
+    let mut loops = Vec::new();
+    walk_stmts(&decl.body, &mut |stmt| match &stmt.kind {
+        StmtKind::While { .. } => loops.push(LoopInfo {
+            id: stmt.id,
+            span: stmt.span,
+            kind: LoopKind::While,
+            method: mref.clone(),
+            bound: None,
+        }),
+        StmtKind::DoWhile { .. } => loops.push(LoopInfo {
+            id: stmt.id,
+            span: stmt.span,
+            kind: LoopKind::DoWhile,
+            method: mref.clone(),
+            bound: None,
+        }),
+        StmtKind::For { .. } => {
+            let a = analyze_for(stmt).expect("stmt is a for loop");
+            let bound = if a.bounded {
+                BoundStatus::Calculable {
+                    iterations: a.iterations,
+                }
+            } else {
+                BoundStatus::NotCalculable {
+                    reason: a.reason.unwrap_or_else(|| "unrecognised shape".into()),
+                }
+            };
+            loops.push(LoopInfo {
+                id: stmt.id,
+                span: stmt.span,
+                kind: LoopKind::For,
+                method: mref.clone(),
+                bound: Some(bound),
+            });
+        }
+        _ => {}
+    });
     loops
 }
 

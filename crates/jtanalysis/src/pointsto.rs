@@ -107,14 +107,28 @@ pub struct ObjInfo {
 
 /// Method analysis context: the abstract receiver, or `None` for the
 /// single "any receiver" context of a `k = 0` analysis.
-type MCtx = Option<ObjId>;
+pub(crate) type MCtx = Option<ObjId>;
 
 /// A points-to variable: a local/parameter of a method analyzed under
 /// one receiver context, or such a method's return value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-enum VarKey {
+pub(crate) enum VarKey {
     Local(MethodRef, MCtx, String),
     Ret(MethodRef, MCtx),
+}
+
+/// Outcome of [`PointsTo::retract_methods`]: how many derived facts
+/// were removed, and which *surviving* constraints lost members — the
+/// delta solver ([`crate::ptdelta`]) folds those back into its taint
+/// set so every method whose retained facts were pruned is re-derived.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Retraction {
+    /// Var/heap set members removed (the "constraints retracted" count).
+    pub(crate) facts_removed: u64,
+    /// Methods whose surviving variable sets lost an object.
+    pub(crate) implicated_methods: BTreeSet<MethodRef>,
+    /// Field names whose surviving heap slots lost an object.
+    pub(crate) implicated_fields: BTreeSet<String>,
 }
 
 /// One allocation or builtin-result site, in body walk order.
@@ -133,28 +147,28 @@ struct Site {
 /// Result of [`analyze`]: the whole-program points-to relation.
 #[derive(Debug, Clone, Default)]
 pub struct PointsTo {
-    k: usize,
-    objs: Vec<ObjInfo>,
+    pub(crate) k: usize,
+    pub(crate) objs: Vec<ObjInfo>,
     /// `new` / builtin-call expression id → its clones (one per heap
     /// context the site was materialized under).
-    site_of_expr: BTreeMap<NodeId, BTreeSet<ObjId>>,
+    pub(crate) site_of_expr: BTreeMap<NodeId, BTreeSet<ObjId>>,
     /// Site expression id → its fingerprint-stable site id.
-    site_fp_of_expr: BTreeMap<NodeId, Fp>,
+    pub(crate) site_fp_of_expr: BTreeMap<NodeId, Fp>,
     /// `(site fp, heap context)` → the materialized clone.
-    clone_of: BTreeMap<(Fp, Vec<Fp>), ObjId>,
+    pub(crate) clone_of: BTreeMap<(Fp, Vec<Fp>), ObjId>,
     /// Class name → its summary object (created on demand).
-    summary_of_class: BTreeMap<String, ObjId>,
-    vars: BTreeMap<VarKey, BTreeSet<ObjId>>,
-    heap: BTreeMap<(ObjId, String), BTreeSet<ObjId>>,
+    pub(crate) summary_of_class: BTreeMap<String, ObjId>,
+    pub(crate) vars: BTreeMap<VarKey, BTreeSet<ObjId>>,
+    pub(crate) heap: BTreeMap<(ObjId, String), BTreeSet<ObjId>>,
     /// Class name → objects that `this` may be inside that class's
     /// methods (every object instance-of the class).
-    this_of_class: BTreeMap<String, BTreeSet<ObjId>>,
+    pub(crate) this_of_class: BTreeMap<String, BTreeSet<ObjId>>,
     /// Method → names of its parameters and declared locals.
-    locals: BTreeMap<MethodRef, BTreeSet<String>>,
+    pub(crate) locals: BTreeMap<MethodRef, BTreeSet<String>>,
     /// Reverse heap: object → objects holding a reference to it.
-    owners: Vec<BTreeSet<ObjId>>,
-    passes: usize,
-    converged: bool,
+    pub(crate) owners: Vec<BTreeSet<ObjId>>,
+    pub(crate) passes: usize,
+    pub(crate) converged: bool,
 }
 
 impl PointsTo {
@@ -463,6 +477,341 @@ impl PointsTo {
             .collect();
         true
     }
+
+    /// Renumbers objects so that `order[new] = old`: objects not listed
+    /// are dropped, and every id-bearing structure is rewritten. Var and
+    /// heap sets that become empty are removed (the solver never stores
+    /// empty sets, so this keeps delta-solved relations structurally
+    /// identical to cold ones).
+    fn renumber(&mut self, order: &[usize]) {
+        let mut remap: Vec<Option<ObjId>> = vec![None; self.objs.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = Some(ObjId(new));
+        }
+        let map_set = |s: &BTreeSet<ObjId>| -> BTreeSet<ObjId> {
+            s.iter().filter_map(|&o| remap[o.0]).collect()
+        };
+        self.objs = order
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| {
+                let mut info = self.objs[old].clone();
+                info.id = ObjId(new);
+                info
+            })
+            .collect();
+        self.site_of_expr = std::mem::take(&mut self.site_of_expr)
+            .into_iter()
+            .map(|(k, v)| (k, map_set(&v)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        self.clone_of = std::mem::take(&mut self.clone_of)
+            .into_iter()
+            .filter_map(|(k, v)| Some((k, remap[v.0]?)))
+            .collect();
+        self.summary_of_class = std::mem::take(&mut self.summary_of_class)
+            .into_iter()
+            .filter_map(|(k, v)| Some((k, remap[v.0]?)))
+            .collect();
+        self.vars = std::mem::take(&mut self.vars)
+            .into_iter()
+            .filter_map(|(key, set)| {
+                let key = match key {
+                    VarKey::Local(m, Some(o), n) => VarKey::Local(m, Some(remap[o.0]?), n),
+                    VarKey::Ret(m, Some(o)) => VarKey::Ret(m, Some(remap[o.0]?)),
+                    other => other,
+                };
+                let set = map_set(&set);
+                (!set.is_empty()).then_some((key, set))
+            })
+            .collect();
+        self.heap = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter_map(|((base, field), set)| {
+                let set = map_set(&set);
+                (!set.is_empty()).then_some(((remap[base.0]?, field), set))
+            })
+            .collect();
+        for set in self.this_of_class.values_mut() {
+            *set = map_set(set);
+        }
+        self.rebuild_owners();
+    }
+
+    /// Recomputes the reverse-heap owner index from the heap.
+    fn rebuild_owners(&mut self) {
+        self.owners = vec![BTreeSet::new(); self.objs.len()];
+        let heap = std::mem::take(&mut self.heap);
+        for ((base, _), targets) in &heap {
+            for t in targets {
+                self.owners[t.0].insert(*base);
+            }
+        }
+        self.heap = heap;
+    }
+
+    /// Renumbers objects into the canonical order: ascending by
+    /// `(site, ctx)`, which is unique per object. Cold solves and delta
+    /// re-solves materialize clones in different orders; canonical ids
+    /// make the two relations directly comparable ([`Self::same_relation`])
+    /// and give [`Self::relation_fp`] a stable digest.
+    pub(crate) fn canonicalize(&mut self) {
+        let mut order: Vec<usize> = (0..self.objs.len()).collect();
+        order.sort_by(|&a, &b| {
+            (self.objs[a].site, &self.objs[a].ctx).cmp(&(self.objs[b].site, &self.objs[b].ctx))
+        });
+        if order.iter().enumerate().all(|(new, &old)| new == old) {
+            return;
+        }
+        self.renumber(&order);
+    }
+
+    /// Retracts every derived fact owned by `gone`: their local/return
+    /// variables, the objects their bodies (or attributed field
+    /// initializers) allocate, all heap slots of those objects, and
+    /// every occurrence of those objects in surviving sets. Object ids
+    /// are compacted afterwards; callers re-derive the retracted
+    /// methods with [`Self::delta_solve`].
+    pub(crate) fn retract_methods(&mut self, gone: &BTreeSet<MethodRef>) -> Retraction {
+        let deleted: BTreeSet<ObjId> = self
+            .objs
+            .iter()
+            .filter(|o| o.method.as_ref().is_some_and(|m| gone.contains(m)))
+            .map(|o| o.id)
+            .collect();
+        self.retract_objects(&deleted, gone)
+    }
+
+    /// Deletes the summary objects of `classes` (created on demand for
+    /// parameter classes of uncalled methods — an uncalled→called flip
+    /// makes them stale) and every fact mentioning them.
+    pub(crate) fn retract_summaries(&mut self, classes: &BTreeSet<String>) -> Retraction {
+        let deleted: BTreeSet<ObjId> = classes
+            .iter()
+            .filter_map(|c| self.summary_of_class.get(c).copied())
+            .collect();
+        self.retract_objects(&deleted, &BTreeSet::new())
+    }
+
+    fn retract_objects(&mut self, deleted: &BTreeSet<ObjId>, gone: &BTreeSet<MethodRef>) -> Retraction {
+        let mut out = Retraction::default();
+        // Whole entries owned by a retracted method or keyed by a
+        // deleted receiver context.
+        self.vars.retain(|key, set| {
+            let (m, ctx) = match key {
+                VarKey::Local(m, c, _) => (m, c),
+                VarKey::Ret(m, c) => (m, c),
+            };
+            let dead = gone.contains(m) || ctx.is_some_and(|o| deleted.contains(&o));
+            if dead {
+                out.facts_removed += set.len() as u64;
+            }
+            !dead
+        });
+        // Prune deleted objects from surviving variable sets; the
+        // owning methods must re-derive (their remaining facts may
+        // depend on flows through the deleted objects).
+        for (key, set) in self.vars.iter_mut() {
+            let before = set.len();
+            set.retain(|o| !deleted.contains(o));
+            if set.len() != before {
+                out.facts_removed += (before - set.len()) as u64;
+                let (VarKey::Local(m, ..) | VarKey::Ret(m, _)) = key;
+                out.implicated_methods.insert(m.clone());
+            }
+        }
+        self.vars.retain(|_, s| !s.is_empty());
+        self.heap.retain(|(base, _), set| {
+            let dead = deleted.contains(base);
+            if dead {
+                out.facts_removed += set.len() as u64;
+            }
+            !dead
+        });
+        for ((_, field), set) in self.heap.iter_mut() {
+            let before = set.len();
+            set.retain(|o| !deleted.contains(o));
+            if set.len() != before {
+                out.facts_removed += (before - set.len()) as u64;
+                out.implicated_fields.insert(field.clone());
+            }
+        }
+        self.heap.retain(|_, s| !s.is_empty());
+        for set in self.this_of_class.values_mut() {
+            set.retain(|o| !deleted.contains(o));
+        }
+        let keep: Vec<usize> = (0..self.objs.len())
+            .filter(|i| !deleted.contains(&ObjId(*i)))
+            .collect();
+        self.renumber(&keep);
+        out
+    }
+
+    /// Removes every heap fact stored under one of `fields`, returning
+    /// the member count removed. Heap facts are not attributed to the
+    /// method that derived them, so the delta solver clears all slots
+    /// of every field a tainted method touches and re-derives them
+    /// from the (transitively tainted) set of methods touching those
+    /// fields.
+    pub(crate) fn retract_fields(&mut self, fields: &BTreeSet<String>) -> u64 {
+        let mut removed = 0u64;
+        self.heap.retain(|(_, field), set| {
+            let dead = fields.contains(field);
+            if dead {
+                removed += set.len() as u64;
+            }
+            !dead
+        });
+        removed
+    }
+
+    /// Re-runs the constraint fixpoint restricted to `active` methods
+    /// against an already-rebased relation: only their sites
+    /// materialize, only their bodies flow, and only field initializers
+    /// of classes whose constructor is active re-seed. Facts of
+    /// inactive methods are retained as-is — the caller's taint closure
+    /// guarantees no inactive method can read a changed fact. Returns
+    /// the convergence flag (false ⇒ caller must fall back to a cold
+    /// solve).
+    pub(crate) fn delta_solve(
+        &mut self,
+        program: &Program,
+        table: &ClassTable,
+        active: &BTreeSet<MethodRef>,
+        uncalled: &BTreeSet<MethodRef>,
+    ) -> bool {
+        self.locals.clear();
+        collect_locals(program, self);
+        let sites = collect_sites(program, table);
+        self.site_fp_of_expr = sites.iter().map(|s| (s.expr_id, s.fp)).collect();
+        let active_sites: Vec<Site> = sites
+            .iter()
+            .filter(|s| active.contains(&s.method))
+            .cloned()
+            .collect();
+        let ext: BTreeSet<MethodRef> = uncalled.intersection(active).cloned().collect();
+        self.converged = false;
+        for _ in 0..MAX_PASSES {
+            self.passes += 1;
+            let mut changed = false;
+            changed |= materialize_pass(&active_sites, program, table, self);
+            changed |= seed_external_params(program, table, &ext, self);
+            for (_, decl, mref) in crate::each_method(program) {
+                if !active.contains(&mref) {
+                    continue;
+                }
+                for ctx in self.ctxs_of(&mref) {
+                    changed |= link_pass(program, table, self, decl, &mref, ctx);
+                    changed |= store_pass(program, table, self, decl, &mref, ctx);
+                }
+            }
+            changed |= init_pass_for(program, table, self, Some(active));
+            if !changed {
+                self.converged = true;
+                break;
+            }
+        }
+        self.canonicalize();
+        self.rebuild_owners();
+        self.converged
+    }
+
+    /// Total derived facts: var-set plus heap-set members.
+    pub(crate) fn fact_pairs(&self) -> u64 {
+        self.vars.values().map(|s| s.len() as u64).sum::<u64>()
+            + self.heap.values().map(|s| s.len() as u64).sum::<u64>()
+    }
+
+    /// Span-free digest of the canonical relation. Two relations with
+    /// equal digests are semantically identical (modulo hash
+    /// collisions); the demand layer keys per-field and per-block
+    /// queries on it for early cutoff. Only meaningful after
+    /// [`Self::canonicalize`] — every solve path ends with it.
+    pub(crate) fn relation_fp(&self) -> Fp {
+        let mut h = fingerprint::StructHasher::new();
+        h.u64(self.k as u64);
+        h.bool(self.converged);
+        h.u64(self.objs.len() as u64);
+        for o in &self.objs {
+            h.u64(o.site.0);
+            h.u64(o.ctx.len() as u64);
+            for c in &o.ctx {
+                h.u64(c.0);
+            }
+            h.str(&o.class);
+            h.tag(match o.kind {
+                ObjKind::Alloc(_) => 0,
+                ObjKind::Builtin(_) => 1,
+                ObjKind::Summary => 2,
+            });
+        }
+        let hash_var_key = |h: &mut fingerprint::StructHasher, key: &VarKey| {
+            let (tag, m, ctx, name) = match key {
+                VarKey::Local(m, c, n) => (0u8, m, c, n.as_str()),
+                VarKey::Ret(m, c) => (1u8, m, c, ""),
+            };
+            h.tag(tag);
+            h.str(&m.class);
+            h.str(&m.method);
+            h.bool(m.is_ctor);
+            match ctx {
+                None => h.tag(0),
+                Some(o) => {
+                    h.tag(1);
+                    h.u64(o.0 as u64);
+                }
+            }
+            h.str(name);
+        };
+        let hash_set = |h: &mut fingerprint::StructHasher, set: &BTreeSet<ObjId>| {
+            h.u64(set.len() as u64);
+            for o in set {
+                h.u64(o.0 as u64);
+            }
+        };
+        h.u64(self.vars.len() as u64);
+        for (key, set) in &self.vars {
+            hash_var_key(&mut h, key);
+            hash_set(&mut h, set);
+        }
+        h.u64(self.heap.len() as u64);
+        for ((base, field), set) in &self.heap {
+            h.u64(base.0 as u64);
+            h.str(field);
+            hash_set(&mut h, set);
+        }
+        h.u64(self.this_of_class.len() as u64);
+        for (class, set) in &self.this_of_class {
+            h.str(class);
+            hash_set(&mut h, set);
+        }
+        h.finish()
+    }
+
+    /// True when two canonicalized relations are semantically equal:
+    /// same objects (by site, context, class, and kind — spans and node
+    /// ids excluded), same variable/heap/this sets. The delta-vs-batch
+    /// tests use this as the correctness bar.
+    pub fn same_relation(&self, other: &PointsTo) -> bool {
+        let kind_tag = |k: ObjKind| match k {
+            ObjKind::Alloc(_) => 0u8,
+            ObjKind::Builtin(_) => 1,
+            ObjKind::Summary => 2,
+        };
+        self.k == other.k
+            && self.converged == other.converged
+            && self.objs.len() == other.objs.len()
+            && self.objs.iter().zip(&other.objs).all(|(a, b)| {
+                a.site == b.site
+                    && a.ctx == b.ctx
+                    && a.class == b.class
+                    && kind_tag(a.kind) == kind_tag(b.kind)
+            })
+            && self.vars == other.vars
+            && self.heap == other.heap
+            && self.this_of_class == other.this_of_class
+            && self.summary_of_class == other.summary_of_class
+    }
 }
 
 /// A statically resolved call target.
@@ -531,20 +880,14 @@ pub fn analyze_k(program: &Program, table: &ClassTable, k: usize) -> PointsTo {
                 changed |= store_pass(program, table, &mut pt, decl, &mref, ctx);
             }
         }
-        changed |= init_pass(program, table, &mut pt);
+        changed |= init_pass_for(program, table, &mut pt, None);
         if !changed {
             pt.converged = true;
             break;
         }
     }
-    pt.owners = vec![BTreeSet::new(); pt.objs.len()];
-    let heap = std::mem::take(&mut pt.heap);
-    for ((base, _), targets) in &heap {
-        for t in targets {
-            pt.owners[t.0].insert(*base);
-        }
-    }
-    pt.heap = heap;
+    pt.canonicalize();
+    pt.rebuild_owners();
     pt
 }
 
@@ -732,9 +1075,21 @@ fn materialize_pass(
     changed
 }
 
+/// The distinct classes (or array-type renderings) of every allocation
+/// and builtin site in the program. Summary-object eligibility — and
+/// therefore the shape of the whole relation — is a function of this
+/// set, so the delta solver guards on it and falls back to a cold
+/// solve when it changes.
+pub(crate) fn site_classes(program: &Program, table: &ClassTable) -> BTreeSet<String> {
+    collect_sites(program, table)
+        .into_iter()
+        .map(|s| s.class)
+        .collect()
+}
+
 /// Methods no analyzed code calls: their parameters arrive from an
 /// unknown external caller.
-fn uncalled_methods(program: &Program, table: &ClassTable) -> BTreeSet<MethodRef> {
+pub(crate) fn uncalled_methods(program: &Program, table: &ClassTable) -> BTreeSet<MethodRef> {
     let mut called: BTreeSet<MethodRef> = BTreeSet::new();
     for (_, decl, mref) in crate::each_method(program) {
         walk_exprs(&decl.body, &mut |e| match &e.kind {
@@ -978,11 +1333,21 @@ fn store_pass(
 }
 
 /// Flows field initializers into every instance of the declaring class,
-/// evaluated in the constructor context of that instance.
-fn init_pass(program: &Program, table: &ClassTable, pt: &mut PointsTo) -> bool {
+/// evaluated in the constructor context of that instance. With a
+/// filter, only classes whose constructor is in the set participate
+/// (the delta solver's restricted re-derivation).
+fn init_pass_for(
+    program: &Program,
+    table: &ClassTable,
+    pt: &mut PointsTo,
+    filter: Option<&BTreeSet<MethodRef>>,
+) -> bool {
     let mut changed = false;
     for class in &program.classes {
         let ctor = MethodRef::ctor(&class.name);
+        if filter.is_some_and(|f| !f.contains(&ctor)) {
+            continue;
+        }
         for field in &class.fields {
             let Some(init) = &field.init else { continue };
             if pt.k == 0 {

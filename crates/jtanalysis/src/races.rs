@@ -33,11 +33,13 @@
 //!   — the tier only ever *refines* with proof in hand.
 
 use crate::callgraph::CallGraph;
+use crate::demand::{demand, idx32, DemandCtx, Maps};
 use crate::evidence::{AccessRef, ChainLink, Evidence, SiteRef, ThreadWitness, Verdict};
+use crate::fingerprint::{combine, Fp, NodeMap, StructHasher};
 use crate::pointsto::{self, ObjId, PointsTo};
 use crate::MethodRef;
 use jtlang::ast::{
-    walk_stmts, ClassDecl, Expr, ExprKind, MethodDecl, Program, StmtKind, Type,
+    walk_stmts, ClassDecl, Expr, ExprKind, MethodDecl, NodeId, Program, StmtKind, Type,
 };
 use jtlang::resolve::ClassTable;
 use jtlang::token::Span;
@@ -60,7 +62,7 @@ impl std::fmt::Display for FieldId {
 }
 
 /// One field access with its execution-phase attribution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Access {
     /// The field accessed.
     pub field: FieldId,
@@ -79,7 +81,7 @@ pub struct Access {
 }
 
 /// A confirmed (refined) race candidate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Race {
     /// The contested field.
     pub field: FieldId,
@@ -94,7 +96,7 @@ pub struct Race {
 
 /// An alias-aware race: a concrete contested object, not just a field
 /// name.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliasRace {
     /// The contested field.
     pub field: FieldId,
@@ -113,7 +115,7 @@ pub struct AliasRace {
 }
 
 /// Result of [`analyze`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RaceReport {
     /// Heuristic-tier candidates (over-approximate).
     pub syntactic: Vec<FieldId>,
@@ -151,6 +153,86 @@ pub fn analyze_with_pointsto(
     graph: &CallGraph,
     pt: &PointsTo,
 ) -> RaceReport {
+    analyze_demand(program, table, graph, pt, None)
+}
+
+/// Span-free core of one attributed field access: the race tiers'
+/// phase-1 unit, cached per method by [`crate::db`]. The expression is
+/// identified by its pre-order index, the holders by canonical
+/// points-to object ids — both stable across re-parses under the cache
+/// key (method key + signature fp + relation fp).
+#[derive(Debug, Clone)]
+pub(crate) struct AccessCore {
+    pub(crate) field: FieldId,
+    pub(crate) expr_index: u32,
+    pub(crate) is_write: bool,
+    /// Canonical object ids holding the field; `None` = unresolvable.
+    pub(crate) holders: Option<BTreeSet<ObjId>>,
+}
+
+/// Computes one method's attributed access list against `pt`.
+fn compute_access_cores(
+    program: &Program,
+    table: &ClassTable,
+    class: &ClassDecl,
+    decl: &MethodDecl,
+    mref: &MethodRef,
+    pt: &PointsTo,
+    map: &NodeMap,
+) -> Vec<AccessCore> {
+    field_events(program, table, class, decl)
+        .into_iter()
+        .map(|ev| {
+            let holders = match &ev.holder {
+                HolderRef::ImplicitThis => pt.instances_of(&mref.class),
+                HolderRef::Object(e) => pt.eval(program, table, mref, e),
+            };
+            AccessCore {
+                field: ev.field,
+                expr_index: idx32(map.expr_index(ev.id).expect("event expr in body")),
+                is_write: ev.is_write,
+                holders: (!holders.is_empty()).then_some(holders),
+            }
+        })
+        .collect()
+}
+
+/// The alias-tier verdict for one field, in span-free core form. The
+/// cheap syntactic and refined tiers are recomputed at materialization
+/// (they are trivial filters over the access group); only the
+/// expensive object-attribution decisions are cached.
+#[derive(Debug, Clone)]
+pub(crate) struct FieldCore {
+    /// False when some thread-phase access could not be attributed to
+    /// an object every relevant root reaches — the refined verdict is
+    /// then kept conservatively.
+    pub(crate) resolved: bool,
+    /// Contested objects (two or more reaching thread instances with a
+    /// write), in ascending canonical object-id order.
+    pub(crate) racy: Vec<ObjVerdictCore>,
+}
+
+/// One contested abstract object.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjVerdictCore {
+    pub(crate) object: ObjId,
+    pub(crate) instances: BTreeSet<ObjId>,
+    pub(crate) classes: BTreeSet<String>,
+    /// Positions (into the field's span-ordered access group) of the
+    /// contending accesses, in attribution order.
+    pub(crate) positions: Vec<u32>,
+}
+
+/// Builds all three candidate tiers; with a [`DemandCtx`] attached the
+/// per-method access lists and per-field alias verdicts are served from
+/// the tail memo when their supporting facts are unchanged.
+pub(crate) fn analyze_demand(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    pt: &PointsTo,
+    mut ctx: Option<&mut DemandCtx>,
+) -> RaceReport {
     // Thread roots: the `run` methods of Thread subclasses. Each root
     // taints the methods its run can reach.
     let mut reach_by_root: BTreeMap<String, BTreeSet<MethodRef>> = BTreeMap::new();
@@ -170,6 +252,8 @@ pub fn analyze_with_pointsto(
 
     // Per access: the abstract objects holding the accessed field
     // (`None` = unresolvable), parallel to `accesses`.
+    let ix = ctx.as_ref().map(|c| c.ix);
+    let mut maps = Maps::new(ix);
     let mut accesses: Vec<Access> = Vec::new();
     let mut holder_sets: Vec<Option<BTreeSet<ObjId>>> = Vec::new();
     for (class, decl, mref) in crate::each_method(program) {
@@ -179,32 +263,47 @@ pub fn analyze_with_pointsto(
             .map(|(root, _)| root.clone())
             .collect();
         let in_init_phase = mref.is_ctor || init_reach.contains(&mref);
-        for ev in field_events(program, table, class, decl) {
-            let holders = match &ev.holder {
-                HolderRef::ImplicitThis => pt.instances_of(&mref.class),
-                HolderRef::Object(e) => pt.eval(program, table, &mref, e),
-            };
+        let Some(map) = maps.get(program, &mref) else {
+            continue;
+        };
+        let cores = match ctx.as_deref_mut() {
+            Some(c) => {
+                let mkey = c.ix.method_key(&mref).unwrap_or_default();
+                let key = combine(&[Fp(0x5241), mkey, c.ix.sig, c.relation_fp]);
+                demand(
+                    &mut c.memo.access,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || compute_access_cores(program, table, class, decl, &mref, pt, map),
+                )
+            }
+            None => compute_access_cores(program, table, class, decl, &mref, pt, map),
+        };
+        for core in cores {
+            let (_, span) = map.expr(core.expr_index as usize);
             accesses.push(Access {
-                field: ev.field,
-                span: ev.span,
+                field: core.field,
+                span,
                 method: mref.clone(),
-                is_write: ev.is_write,
+                is_write: core.is_write,
                 thread_roots: thread_roots.clone(),
                 in_init_phase,
             });
-            holder_sets.push(if holders.is_empty() { None } else { Some(holders) });
+            holder_sets.push(core.holders);
         }
     }
     // Keep the report's access list in stable source order; sort the
-    // holder sets along with it.
-    let mut order: Vec<usize> = (0..accesses.len()).collect();
-    order.sort_by_key(|&i| {
-        let a = &accesses[i];
-        (a.field.clone(), a.span.start, a.span.end)
+    // holder sets along with it (by moving, not cloning — access
+    // groups are the hot state of a warm re-check).
+    let mut pairs: Vec<(Access, Option<BTreeSet<ObjId>>)> =
+        accesses.into_iter().zip(holder_sets).collect();
+    pairs.sort_by(|(a, _), (b, _)| {
+        (&a.field, a.span.start, a.span.end).cmp(&(&b.field, b.span.start, b.span.end))
     });
-    let accesses: Vec<Access> = order.iter().map(|&i| accesses[i].clone()).collect();
-    let holder_sets: Vec<Option<BTreeSet<ObjId>>> =
-        order.iter().map(|&i| holder_sets[i].clone()).collect();
+    let (accesses, holder_sets): (Vec<Access>, Vec<Option<BTreeSet<ObjId>>>) =
+        pairs.into_iter().unzip();
 
     // Group by field (indices into the parallel vectors).
     let mut by_field: BTreeMap<FieldId, Vec<usize>> = BTreeMap::new();
@@ -227,6 +326,178 @@ pub fn analyze_with_pointsto(
     };
 
     let mut report = RaceReport::default();
+    for (field, idxs) in &by_field {
+        let core = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = field_group_key(field, idxs, &accesses, &holder_sets, c.relation_fp);
+                demand(
+                    &mut c.memo.fields,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || field_verdict_core(idxs, &accesses, &holder_sets, &thread_sites, &mut reaches),
+                )
+            }
+            None => field_verdict_core(idxs, &accesses, &holder_sets, &thread_sites, &mut reaches),
+        };
+        materialize_field(field, idxs, &core, &accesses, pt, &mut report);
+    }
+    report.cleared = report
+        .syntactic
+        .iter()
+        .filter(|f| report.refined.iter().all(|r| &r.field != *f))
+        .cloned()
+        .collect();
+    report.accesses = accesses;
+    report
+}
+
+/// Digest of everything a field's alias-tier verdict depends on: the
+/// relation fingerprint plus the ordered access group — per access, the
+/// accessing method's identity, its phase attribution, the access kind,
+/// and the canonical holder set. Any reorder, rename, or attribution
+/// change perturbs the digest; span shifts do not.
+fn field_group_key(
+    field: &FieldId,
+    idxs: &[usize],
+    accesses: &[Access],
+    holder_sets: &[Option<BTreeSet<ObjId>>],
+    relation_fp: Fp,
+) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x46);
+    h.u64(relation_fp.0);
+    h.str(&field.class);
+    h.str(&field.field);
+    h.u64(idxs.len() as u64);
+    for &i in idxs {
+        let a = &accesses[i];
+        h.str(&a.method.class);
+        h.str(&a.method.method);
+        h.bool(a.method.is_ctor);
+        h.u64(a.thread_roots.len() as u64);
+        for root in &a.thread_roots {
+            h.str(root);
+        }
+        h.bool(a.in_init_phase);
+        h.bool(a.is_write);
+        match &holder_sets[i] {
+            None => h.tag(0),
+            Some(hs) => {
+                h.tag(1);
+                h.u64(hs.len() as u64);
+                for o in hs {
+                    h.u64(o.0 as u64);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Computes the alias-tier attribution for one field's access group —
+/// pure in the inputs digested by [`field_group_key`], so a cached core
+/// replays exactly what a fresh computation would produce.
+fn field_verdict_core(
+    idxs: &[usize],
+    accesses: &[Access],
+    holder_sets: &[Option<BTreeSet<ObjId>>],
+    thread_sites: &BTreeMap<&String, BTreeSet<ObjId>>,
+    reaches: &mut impl FnMut(ObjId, ObjId) -> bool,
+) -> FieldCore {
+    let pos_of: BTreeMap<usize, u32> = idxs
+        .iter()
+        .enumerate()
+        .map(|(p, &i)| (i, idx32(p)))
+        .collect();
+    struct ObjStats {
+        instances: BTreeSet<ObjId>,
+        classes: BTreeSet<String>,
+        positions: Vec<u32>,
+        has_write: bool,
+    }
+    let mut per_obj: BTreeMap<ObjId, ObjStats> = BTreeMap::new();
+    let mut resolved = true;
+    for &i in idxs {
+        let a = &accesses[i];
+        if a.thread_roots.is_empty() || a.in_init_phase {
+            continue;
+        }
+        let Some(holders) = &holder_sets[i] else {
+            resolved = false;
+            break;
+        };
+        for &o in holders {
+            // Which instances of the accessing thread classes can
+            // reach this object? A class none of whose instances
+            // reach it contributes nothing — its accesses happen on
+            // other instances of the field's class. If *no* root
+            // reaches the object at all (e.g. a fresh allocation in
+            // the run phase, which the heap-only reachability walk
+            // cannot attribute), the field is unresolvable and the
+            // refined verdict is kept.
+            let mut insts: BTreeSet<ObjId> = BTreeSet::new();
+            let mut inst_classes: BTreeSet<String> = BTreeSet::new();
+            for root in &a.thread_roots {
+                let reaching: BTreeSet<ObjId> = thread_sites[root]
+                    .iter()
+                    .copied()
+                    .filter(|&tau| reaches(tau, o))
+                    .collect();
+                if !reaching.is_empty() {
+                    inst_classes.insert(root.clone());
+                }
+                insts.extend(reaching);
+            }
+            if insts.is_empty() {
+                resolved = false;
+                break;
+            }
+            let st = per_obj.entry(o).or_insert_with(|| ObjStats {
+                instances: BTreeSet::new(),
+                classes: BTreeSet::new(),
+                positions: Vec::new(),
+                has_write: false,
+            });
+            st.instances.extend(insts);
+            st.classes.extend(inst_classes);
+            st.positions.push(pos_of[&i]);
+            st.has_write |= a.is_write;
+        }
+        if !resolved {
+            break;
+        }
+    }
+    let racy = if resolved {
+        per_obj
+            .into_iter()
+            .filter(|(_, st)| st.instances.len() >= 2 && st.has_write)
+            .map(|(object, st)| ObjVerdictCore {
+                object,
+                instances: st.instances,
+                classes: st.classes,
+                positions: st.positions,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    FieldCore { resolved, racy }
+}
+
+/// Renders one field's verdicts into the report: recomputes the cheap
+/// syntactic and refined tiers over current spans and expands the
+/// (possibly cached) alias-tier core into findings, witnesses, and
+/// evidence. Shared verbatim by the batch and demand paths.
+fn materialize_field(
+    field: &FieldId,
+    idxs: &[usize],
+    core: &FieldCore,
+    accesses: &[Access],
+    pt: &PointsTo,
+    report: &mut RaceReport,
+) {
     let site_of = |o: ObjId| -> SiteRef {
         let info = pt.object(o);
         SiteRef {
@@ -234,7 +505,7 @@ pub fn analyze_with_pointsto(
             span: info.span.into(),
         }
     };
-    let access_refs = |idxs: &[usize], accesses: &[Access]| -> Vec<AccessRef> {
+    let access_refs = |idxs: &[usize]| -> Vec<AccessRef> {
         let mut out: Vec<AccessRef> = idxs
             .iter()
             .map(|&i| {
@@ -252,199 +523,125 @@ pub fn analyze_with_pointsto(
         out.dedup();
         out
     };
-    for (field, idxs) in &by_field {
-        let accs = || idxs.iter().map(|&i| &accesses[i]);
-        // Heuristic tier: written from any thread-reachable code and
-        // also touched by a different method.
-        let thread_writes: Vec<&Access> = accs()
-            .filter(|a| a.is_write && !a.thread_roots.is_empty())
-            .collect();
-        let other_touch =
-            accs().any(|a| thread_writes.iter().all(|w| w.method != a.method));
-        if !thread_writes.is_empty() && other_touch {
-            report.syntactic.push(field.clone());
-        }
+    let accs = || idxs.iter().map(|&i| &accesses[i]);
+    // Heuristic tier: written from any thread-reachable code and
+    // also touched by a different method.
+    let thread_writes: Vec<&Access> = accs()
+        .filter(|a| a.is_write && !a.thread_roots.is_empty())
+        .collect();
+    let other_touch = accs().any(|a| thread_writes.iter().all(|w| w.method != a.method));
+    if !thread_writes.is_empty() && other_touch {
+        report.syntactic.push(field.clone());
+    }
 
-        // Refined tier: thread-phase accesses only (init-dominated
-        // accesses dropped), ≥2 distinct thread classes, ≥1 write.
-        let thread_phase: Vec<usize> = idxs
-            .iter()
-            .copied()
-            .filter(|&i| {
-                let a = &accesses[i];
-                !a.thread_roots.is_empty() && !a.in_init_phase
-            })
-            .collect();
-        let mut classes: BTreeSet<String> = BTreeSet::new();
-        for &i in &thread_phase {
-            classes.extend(accesses[i].thread_roots.iter().cloned());
-        }
-        let has_write = thread_phase.iter().any(|&i| accesses[i].is_write);
-        let refined_race = if classes.len() >= 2 && has_write {
-            let mut access_spans: Vec<Span> =
-                thread_phase.iter().map(|&i| accesses[i].span).collect();
-            access_spans.sort_by_key(|s| (s.start, s.end));
-            Some(Race {
-                field: field.clone(),
-                thread_classes: classes,
-                access_spans,
-                has_write,
-            })
-        } else {
-            None
-        };
-
-        // Alias tier: attribute each thread-phase access to concrete
-        // objects and require two thread *instances* on the same one.
-        struct ObjStats {
-            instances: BTreeSet<ObjId>,
-            classes: BTreeSet<String>,
-            spans: Vec<Span>,
-            idxs: Vec<usize>,
-            has_write: bool,
-        }
-        let mut per_obj: BTreeMap<ObjId, ObjStats> = BTreeMap::new();
-        let mut resolved = true;
-        for &i in &thread_phase {
+    // Refined tier: thread-phase accesses only (init-dominated
+    // accesses dropped), ≥2 distinct thread classes, ≥1 write.
+    let thread_phase: Vec<usize> = idxs
+        .iter()
+        .copied()
+        .filter(|&i| {
             let a = &accesses[i];
-            let Some(holders) = &holder_sets[i] else {
-                resolved = false;
-                break;
-            };
-            for &o in holders {
-                // Which instances of the accessing thread classes can
-                // reach this object? A class none of whose instances
-                // reach it contributes nothing — its accesses happen on
-                // other instances of the field's class. If *no* root
-                // reaches the object at all (e.g. a fresh allocation in
-                // the run phase, which the heap-only reachability walk
-                // cannot attribute), the field is unresolvable and the
-                // refined verdict is kept.
-                let mut insts: BTreeSet<ObjId> = BTreeSet::new();
-                let mut inst_classes: BTreeSet<String> = BTreeSet::new();
-                for root in &a.thread_roots {
-                    let reaching: BTreeSet<ObjId> = thread_sites[root]
-                        .iter()
-                        .copied()
-                        .filter(|&tau| reaches(tau, o))
-                        .collect();
-                    if !reaching.is_empty() {
-                        inst_classes.insert(root.clone());
-                    }
-                    insts.extend(reaching);
-                }
-                if insts.is_empty() {
-                    resolved = false;
-                    break;
-                }
-                let st = per_obj.entry(o).or_insert_with(|| ObjStats {
-                    instances: BTreeSet::new(),
-                    classes: BTreeSet::new(),
-                    spans: Vec::new(),
-                    idxs: Vec::new(),
-                    has_write: false,
-                });
-                st.instances.extend(insts);
-                st.classes.extend(inst_classes);
-                st.spans.push(a.span);
-                st.idxs.push(i);
-                st.has_write |= a.is_write;
-            }
-            if !resolved {
-                break;
-            }
-        }
+            !a.thread_roots.is_empty() && !a.in_init_phase
+        })
+        .collect();
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+    for &i in &thread_phase {
+        classes.extend(accesses[i].thread_roots.iter().cloned());
+    }
+    let has_write = thread_phase.iter().any(|&i| accesses[i].is_write);
+    let refined_race = if classes.len() >= 2 && has_write {
+        let mut access_spans: Vec<Span> = thread_phase.iter().map(|&i| accesses[i].span).collect();
+        access_spans.sort_by_key(|s| (s.start, s.end));
+        Some(Race {
+            field: field.clone(),
+            thread_classes: classes,
+            access_spans,
+            has_write,
+        })
+    } else {
+        None
+    };
 
-        if resolved {
-            let mut any_alias_race = false;
-            for (o, st) in per_obj {
-                if st.instances.len() >= 2 && st.has_write {
-                    any_alias_race = true;
-                    let info = pt.object(o);
-                    let mut spans = st.spans;
-                    spans.sort_by_key(|s| (s.start, s.end));
-                    spans.dedup();
-                    // One witness per thread instance: its class and
-                    // the labeled heap path to the contested object.
-                    let witnesses: Vec<ThreadWitness> = st
-                        .instances
-                        .iter()
-                        .map(|&tau| ThreadWitness {
-                            thread_class: pt.object(tau).class.clone(),
-                            instance: site_of(tau),
-                            path: pt
-                                .witness_path(tau, o)
-                                .unwrap_or_default()
-                                .into_iter()
-                                .map(|(f, step)| ChainLink {
-                                    object: site_of(step),
-                                    via_field: Some(f),
-                                })
-                                .collect(),
+    // Alias tier: expand the core's contested objects with current
+    // spans, allocation sites, and witness heap paths.
+    if core.resolved {
+        for v in &core.racy {
+            let info = pt.object(v.object);
+            let g_idxs: Vec<usize> = v.positions.iter().map(|&p| idxs[p as usize]).collect();
+            let mut spans: Vec<Span> = g_idxs.iter().map(|&i| accesses[i].span).collect();
+            spans.sort_by_key(|s| (s.start, s.end));
+            spans.dedup();
+            // One witness per thread instance: its class and the
+            // labeled heap path to the contested object.
+            let witnesses: Vec<ThreadWitness> = v
+                .instances
+                .iter()
+                .map(|&tau| ThreadWitness {
+                    thread_class: pt.object(tau).class.clone(),
+                    instance: site_of(tau),
+                    path: pt
+                        .witness_path(tau, v.object)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|(f, step)| ChainLink {
+                            object: site_of(step),
+                            via_field: Some(f),
                         })
-                        .collect();
-                    report.evidence.push(Evidence::AliasRace {
-                        verdict: Verdict::Finding,
-                        field: field.to_string(),
-                        object: Some(site_of(o)),
-                        witnesses,
-                        accesses: access_refs(&st.idxs, &accesses),
-                    });
-                    report.alias_aware.push(AliasRace {
-                        field: field.clone(),
-                        object: Some((info.span, info.class.clone())),
-                        thread_classes: st.classes,
-                        instances: st.instances.len(),
-                        access_spans: spans,
-                        has_write: true,
-                    });
-                }
-            }
-            if !any_alias_race {
-                if let Some(race) = &refined_race {
-                    report.alias_cleared.push(race.field.clone());
-                    report.evidence.push(Evidence::AliasRace {
-                        verdict: Verdict::Cleared,
-                        field: race.field.to_string(),
-                        object: None,
-                        witnesses: Vec::new(),
-                        accesses: access_refs(&thread_phase, &accesses),
-                    });
-                }
-            }
-        } else if let Some(race) = &refined_race {
-            // Unresolvable: keep the refined verdict unchanged. The
-            // evidence records the contending accesses but no witness
-            // chains — `object: null` marks the conservative fallback.
+                        .collect(),
+                })
+                .collect();
             report.evidence.push(Evidence::AliasRace {
                 verdict: Verdict::Finding,
-                field: race.field.to_string(),
-                object: None,
-                witnesses: Vec::new(),
-                accesses: access_refs(&thread_phase, &accesses),
+                field: field.to_string(),
+                object: Some(site_of(v.object)),
+                witnesses,
+                accesses: access_refs(&g_idxs),
             });
             report.alias_aware.push(AliasRace {
-                field: race.field.clone(),
-                object: None,
-                thread_classes: race.thread_classes.clone(),
-                instances: race.thread_classes.len(),
-                access_spans: race.access_spans.clone(),
-                has_write: race.has_write,
+                field: field.clone(),
+                object: Some((info.span, info.class.clone())),
+                thread_classes: v.classes.clone(),
+                instances: v.instances.len(),
+                access_spans: spans,
+                has_write: true,
             });
         }
-
-        if let Some(race) = refined_race {
-            report.refined.push(race);
+        if core.racy.is_empty() {
+            if let Some(race) = &refined_race {
+                report.alias_cleared.push(race.field.clone());
+                report.evidence.push(Evidence::AliasRace {
+                    verdict: Verdict::Cleared,
+                    field: race.field.to_string(),
+                    object: None,
+                    witnesses: Vec::new(),
+                    accesses: access_refs(&thread_phase),
+                });
+            }
         }
+    } else if let Some(race) = &refined_race {
+        // Unresolvable: keep the refined verdict unchanged. The
+        // evidence records the contending accesses but no witness
+        // chains — `object: null` marks the conservative fallback.
+        report.evidence.push(Evidence::AliasRace {
+            verdict: Verdict::Finding,
+            field: race.field.to_string(),
+            object: None,
+            witnesses: Vec::new(),
+            accesses: access_refs(&thread_phase),
+        });
+        report.alias_aware.push(AliasRace {
+            field: race.field.clone(),
+            object: None,
+            thread_classes: race.thread_classes.clone(),
+            instances: race.thread_classes.len(),
+            access_spans: race.access_spans.clone(),
+            has_write: race.has_write,
+        });
     }
-    report.cleared = report
-        .syntactic
-        .iter()
-        .filter(|f| report.refined.iter().all(|r| &r.field != *f))
-        .cloned()
-        .collect();
-    report.accesses = accesses;
-    report
+
+    if let Some(race) = refined_race {
+        report.refined.push(race);
+    }
 }
 
 /// How a field event reaches its holding object.
@@ -463,6 +660,8 @@ pub(crate) enum HolderRef<'p> {
 pub(crate) struct FieldEvent<'p> {
     /// Field accessed (by declaring class).
     pub field: FieldId,
+    /// Node id of the accessing expression (for pre-order indexing).
+    pub id: NodeId,
     /// Span of the accessing expression.
     pub span: Span,
     /// True for assignment targets. An array-element write `a[i] = …`
@@ -525,6 +724,7 @@ pub(crate) fn field_events<'p>(
         if let Some((field, holder)) = resolve(e) {
             out.push(FieldEvent {
                 field,
+                id: e.id,
                 span: e.span,
                 is_write,
                 holder,

@@ -31,15 +31,18 @@
 //!   instruction bounds ([`SummaryReport::wcet`]) across calls.
 
 use crate::callgraph::CallGraph;
+use crate::demand::{demand, idx32, DemandCtx, Maps, MemoSlot};
 use crate::escape::{self, EscapeSummary};
 use crate::evidence::{AccessRef, BoundDerivation, ChainLink, Evidence, SiteRef, Verdict};
+use crate::fingerprint::{combine, Fp, NodeMap, StructHasher};
 use crate::loops::{self, fold_const, BoundStatus};
 use crate::pointsto::{self, find_decl, resolve_call, CallTarget, ObjId, PointsTo};
 use crate::purity::{self, PuritySummary};
 use crate::races::{field_events, FieldId, HolderRef};
 use crate::{bounds, MethodRef};
 use jtlang::ast::{
-    walk_exprs, walk_stmts, BinOp, ExprKind, MethodDecl, NodeId, Program, Stmt, StmtKind,
+    walk_exprs, walk_stmts, BinOp, ClassDecl, ExprKind, MethodDecl, NodeId, Program, Stmt,
+    StmtKind,
 };
 use jtlang::resolve::ClassTable;
 use jtlang::token::Span;
@@ -59,7 +62,7 @@ pub struct MethodSummary {
 }
 
 /// An R13 finding: a block's run phase writes state it does not own.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockImpurity {
     /// The ASR block class.
     pub block: String,
@@ -73,7 +76,7 @@ pub struct BlockImpurity {
 
 /// An R14 finding: a method hands out an alias of `this`-held mutable
 /// state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliasLeak {
     /// Declaring class.
     pub class: String,
@@ -166,7 +169,7 @@ pub fn analyze_with_bounds_k(
     }
 
     let pt = pointsto::analyze_k(program, table, k);
-    derive_products(program, table, graph, interval_proved, pt, &mut report);
+    derive_products(program, table, graph, interval_proved, pt, &mut report, None);
     report
 }
 
@@ -241,7 +244,11 @@ pub(crate) fn compute_scc(
 /// proofs, WCET bounds, and the proof-carrying evidence behind each
 /// verdict. `report.methods` must already be populated. Shared by the
 /// batch driver above and the incremental database (which injects a
-/// cached, rebased relation instead of re-solving).
+/// cached, rebased relation instead of re-solving, and attaches a
+/// [`DemandCtx`] so each product is served from the tail memo when its
+/// supporting facts are unchanged). Both paths run the same
+/// core-compute/materialize code, so batch ≡ incremental by
+/// construction.
 pub(crate) fn derive_products(
     program: &Program,
     table: &ClassTable,
@@ -249,18 +256,22 @@ pub(crate) fn derive_products(
     interval_proved: &BTreeMap<NodeId, u64>,
     pt: PointsTo,
     report: &mut SummaryReport,
+    mut ctx: Option<&mut DemandCtx>,
 ) {
-    find_impure_blocks(program, table, graph, &pt, report);
+    find_impure_blocks(program, table, graph, &pt, report, ctx.as_deref_mut());
     report.pointsto = pt;
-    find_alias_leaks(program, table, report);
-    prove_call_bounds(program, table, report);
-    loop_bound_evidence(program, interval_proved, report);
+    find_alias_leaks(program, table, report, ctx.as_deref_mut());
+    prove_call_bounds(program, table, report, ctx.as_deref_mut());
+    loop_bound_evidence(program, interval_proved, report, ctx.as_deref_mut());
 
     let mut merged = interval_proved.clone();
     for (&id, &trips) in &report.call_proved_bounds {
         merged.entry(id).or_insert(trips);
     }
-    report.wcet = bounds::instruction_bounds_with_flow(program, table, &merged);
+    report.wcet = match ctx {
+        Some(c) => wcet_demand(program, table, graph, &merged, c),
+        None => bounds::instruction_bounds_with_flow(program, table, &merged),
+    };
 }
 
 /// Checks that `o` is owned by `block` — it is a block instance itself,
@@ -356,91 +367,62 @@ fn find_impure_blocks(
     graph: &CallGraph,
     pt: &PointsTo,
     report: &mut SummaryReport,
+    mut ctx: Option<&mut DemandCtx>,
 ) {
-    /// A finding in the making: the writing method and span, the owner
-    /// chain witness, and the terminal judgment.
-    type Draft = (MethodRef, Span, Vec<ChainLink>, String);
-    let mut findings: BTreeMap<(String, FieldId), Draft> = BTreeMap::new();
-    let mut cleared: BTreeMap<(String, FieldId), (MethodRef, Span)> = BTreeMap::new();
+    let ix = ctx.as_ref().map(|c| c.ix);
+    let mut maps = Maps::new(ix);
+    let mut findings: BTreeMap<(String, FieldId), OwnershipDraft> = BTreeMap::new();
+    let mut cleared: BTreeMap<(String, FieldId), (MethodRef, u32)> = BTreeMap::new();
     for block in &program.classes {
         if !table.is_subclass_of(&block.name, "ASR") || block.method("run").is_none() {
             continue;
         }
-        let block_reach: BTreeSet<ObjId> = pt
-            .instances_of(&block.name)
-            .into_iter()
-            .flat_map(|b| pt.reachable(b))
-            .collect();
         let run = MethodRef::method(&block.name, "run");
-        for mref in graph.reachable_from([&run]) {
-            if report
-                .methods
-                .get(&mref)
-                .is_some_and(|s| s.purity.writes.is_empty() && !s.purity.diverged)
-            {
-                continue;
+        let reach = graph.reachable_from([&run]);
+        let core = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = ownership_key(&block.name, &reach, &report.methods, c);
+                demand(
+                    &mut c.memo.ownership,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || {
+                        compute_ownership_core(
+                            program,
+                            table,
+                            pt,
+                            &report.methods,
+                            block,
+                            &reach,
+                            &mut maps,
+                        )
+                    },
+                )
             }
-            let Some((class, decl, _)) = find_decl(program, &mref) else {
-                continue;
-            };
-            for ev in field_events(program, table, class, decl) {
-                if !ev.is_write {
-                    continue;
-                }
-                let holders = match &ev.holder {
-                    HolderRef::ImplicitThis => pt.instances_of(&mref.class),
-                    HolderRef::Object(e) => pt.eval(program, table, &mref, e),
-                };
-                let restricted: BTreeSet<ObjId> = holders
-                    .iter()
-                    .copied()
-                    .filter(|o| block_reach.contains(o))
-                    .collect();
-                let holders = if restricted.is_empty() {
-                    holders
-                } else {
-                    restricted
-                };
-                let key = (block.name.clone(), ev.field.clone());
-                if holders.is_empty() {
-                    findings.entry(key).or_insert((
-                        mref.clone(),
-                        ev.span,
-                        Vec::new(),
-                        "no abstract object could be attributed to the written holder"
-                            .to_string(),
-                    ));
-                    continue;
-                }
-                let witness = holders.iter().find_map(|&o| {
-                    owned_witness(pt, table, o, &block.name, &mut BTreeSet::new()).err()
-                });
-                match witness {
-                    Some(chain) => {
-                        let terminal = pt.object(*chain.last().unwrap());
-                        let reason = format!(
-                            "terminal `{}` is neither a `{}` instance nor allocated \
-                             by the block's own code",
-                            terminal.class, block.name
-                        );
-                        findings.entry(key).or_insert((
-                            mref.clone(),
-                            ev.span,
-                            owner_chain_links(pt, &chain),
-                            reason,
-                        ));
-                    }
-                    None => {
-                        cleared.entry(key).or_insert((mref.clone(), ev.span));
-                    }
-                }
-            }
+            None => compute_ownership_core(
+                program,
+                table,
+                pt,
+                &report.methods,
+                block,
+                &reach,
+                &mut maps,
+            ),
+        };
+        for (field, draft) in core.findings {
+            findings.insert((block.name.clone(), field), draft);
+        }
+        for (field, rec) in core.cleared {
+            cleared.insert((block.name.clone(), field), rec);
         }
     }
     for key in findings.keys() {
         cleared.remove(key);
     }
-    for ((block, field), (method, span)) in cleared {
+    for ((block, field), (method, expr_index)) in cleared {
+        let span = span_of_expr(program, &mut maps, &method, expr_index);
         report.evidence.push(Evidence::Ownership {
             verdict: Verdict::Cleared,
             block,
@@ -454,29 +436,184 @@ fn find_impure_blocks(
             reason: "every holder of the written field is owned by the block".to_string(),
         });
     }
-    report.impure_blocks = findings
-        .into_iter()
-        .map(|((block, field), (method, span, chain, reason))| {
-            report.evidence.push(Evidence::Ownership {
-                verdict: Verdict::Finding,
-                block: block.clone(),
-                field: field.to_string(),
-                write: AccessRef {
-                    method: method.to_string(),
-                    span: span.into(),
-                    is_write: true,
-                },
-                chain,
-                reason,
-            });
-            BlockImpurity {
-                block,
-                method,
-                field,
-                span,
+    let mut impure: Vec<BlockImpurity> = Vec::new();
+    for ((block, field), draft) in findings {
+        let span = span_of_expr(program, &mut maps, &draft.method, draft.expr_index);
+        report.evidence.push(Evidence::Ownership {
+            verdict: Verdict::Finding,
+            block: block.clone(),
+            field: field.to_string(),
+            write: AccessRef {
+                method: draft.method.to_string(),
+                span: span.into(),
+                is_write: true,
+            },
+            chain: owner_chain_links(pt, &draft.chain),
+            reason: draft.reason,
+        });
+        impure.push(BlockImpurity {
+            block,
+            method: draft.method,
+            field,
+            span,
+        });
+    }
+    report.impure_blocks = impure;
+}
+
+/// Span-free R13 verdicts for one block: per written field (first draft
+/// wins, matching the cold `or_insert`), either an ownership-violation
+/// draft or a cleared record `(method, expr index)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OwnershipCore {
+    pub(crate) findings: BTreeMap<FieldId, OwnershipDraft>,
+    pub(crate) cleared: BTreeMap<FieldId, (MethodRef, u32)>,
+}
+
+/// A finding in the making: the writing method, the pre-order index of
+/// the writing expression, the owner-chain witness as canonical object
+/// ids, and the terminal judgment.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnershipDraft {
+    pub(crate) method: MethodRef,
+    pub(crate) expr_index: u32,
+    pub(crate) chain: Vec<ObjId>,
+    pub(crate) reason: String,
+}
+
+/// Digest of everything one block's R13 verdict depends on: the
+/// points-to relation, the class hierarchy, and the reachable methods
+/// with their body fingerprints and purity-prune status.
+fn ownership_key(
+    block: &str,
+    reach: &BTreeSet<MethodRef>,
+    methods: &BTreeMap<MethodRef, MethodSummary>,
+    c: &DemandCtx,
+) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x4f);
+    h.u64(c.relation_fp.0);
+    h.u64(c.ix.sig.0);
+    h.str(block);
+    h.u64(reach.len() as u64);
+    for mref in reach {
+        h.str(&mref.class);
+        h.str(&mref.method);
+        h.bool(mref.is_ctor);
+        match c.ix.method_key(mref) {
+            Some(k) => {
+                h.tag(1);
+                h.u64(k.0);
             }
-        })
+            None => h.tag(0),
+        }
+        h.bool(
+            methods
+                .get(mref)
+                .is_some_and(|s| s.purity.writes.is_empty() && !s.purity.diverged),
+        );
+    }
+    h.finish()
+}
+
+/// Runs the R13 ownership discipline over one block's reachable
+/// methods — pure in the inputs digested by [`ownership_key`].
+fn compute_ownership_core(
+    program: &Program,
+    table: &ClassTable,
+    pt: &PointsTo,
+    methods: &BTreeMap<MethodRef, MethodSummary>,
+    block: &ClassDecl,
+    reach: &BTreeSet<MethodRef>,
+    maps: &mut Maps,
+) -> OwnershipCore {
+    let mut core = OwnershipCore::default();
+    let block_reach: BTreeSet<ObjId> = pt
+        .instances_of(&block.name)
+        .into_iter()
+        .flat_map(|b| pt.reachable(b))
         .collect();
+    for mref in reach {
+        if methods
+            .get(mref)
+            .is_some_and(|s| s.purity.writes.is_empty() && !s.purity.diverged)
+        {
+            continue;
+        }
+        let Some((class, decl, _)) = find_decl(program, mref) else {
+            continue;
+        };
+        let Some(map) = maps.get(program, mref) else {
+            continue;
+        };
+        for ev in field_events(program, table, class, decl) {
+            if !ev.is_write {
+                continue;
+            }
+            let expr_index = idx32(map.expr_index(ev.id).expect("event expr in body"));
+            let holders = match &ev.holder {
+                HolderRef::ImplicitThis => pt.instances_of(&mref.class),
+                HolderRef::Object(e) => pt.eval(program, table, mref, e),
+            };
+            let restricted: BTreeSet<ObjId> = holders
+                .iter()
+                .copied()
+                .filter(|o| block_reach.contains(o))
+                .collect();
+            let holders = if restricted.is_empty() {
+                holders
+            } else {
+                restricted
+            };
+            if holders.is_empty() {
+                core.findings
+                    .entry(ev.field.clone())
+                    .or_insert_with(|| OwnershipDraft {
+                        method: mref.clone(),
+                        expr_index,
+                        chain: Vec::new(),
+                        reason: "no abstract object could be attributed to the written holder"
+                            .to_string(),
+                    });
+                continue;
+            }
+            let witness = holders.iter().find_map(|&o| {
+                owned_witness(pt, table, o, &block.name, &mut BTreeSet::new()).err()
+            });
+            match witness {
+                Some(chain) => {
+                    let terminal = pt.object(*chain.last().unwrap());
+                    let reason = format!(
+                        "terminal `{}` is neither a `{}` instance nor allocated \
+                         by the block's own code",
+                        terminal.class, block.name
+                    );
+                    core.findings
+                        .entry(ev.field.clone())
+                        .or_insert_with(|| OwnershipDraft {
+                            method: mref.clone(),
+                            expr_index,
+                            chain,
+                            reason,
+                        });
+                }
+                None => {
+                    core.cleared
+                        .entry(ev.field.clone())
+                        .or_insert_with(|| (mref.clone(), expr_index));
+                }
+            }
+        }
+    }
+    core
+}
+
+/// Span of the expression at `expr_index` in `mref`'s body, in the
+/// current parse.
+fn span_of_expr(program: &Program, maps: &mut Maps, mref: &MethodRef, expr_index: u32) -> Span {
+    maps.get(program, mref)
+        .map(|m| m.expr(expr_index as usize).1)
+        .unwrap_or_default()
 }
 
 /// True when `ty` names mutable state: an array, or a class whose chain
@@ -502,7 +639,14 @@ fn is_mutable_target(table: &ClassTable, ty: &Type) -> bool {
 /// R14: methods whose escape summary returns or leaks a `this`-held
 /// reference field with mutable target state. Escape candidates whose
 /// target carries no mutable state are recorded as cleared evidence.
-fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
+fn find_alias_leaks(
+    program: &Program,
+    table: &ClassTable,
+    report: &mut SummaryReport,
+    mut ctx: Option<&mut DemandCtx>,
+) {
+    let ix = ctx.as_ref().map(|c| c.ix);
+    let mut maps = Maps::new(ix);
     let mut leaks: Vec<AliasLeak> = Vec::new();
     for (_, decl, mref) in crate::each_method(program) {
         if mref.is_ctor {
@@ -512,74 +656,153 @@ fn find_alias_leaks(program: &Program, table: &ClassTable, report: &mut SummaryR
             continue;
         };
         let es = &summary.escape;
-        let mut fields: BTreeSet<(&String, bool)> = BTreeSet::new();
-        for f in &es.returns_this_field {
-            fields.insert((f, true));
-        }
-        for f in &es.leaked_this_fields {
-            if !es.returns_this_field.contains(f) {
-                fields.insert((f, false));
+        let Some(map) = maps.get(program, &mref) else {
+            continue;
+        };
+        let cores = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = leak_key(&mref, es, c);
+                demand(
+                    &mut c.memo.leaks,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || compute_leak_cores(table, decl, &mref, es, map),
+                )
             }
-        }
-        for (f, via_return) in fields {
-            let Some((_, sig)) = table.field_of(&mref.class, f) else {
-                continue;
-            };
+            None => compute_leak_cores(table, decl, &mref, es, map),
+        };
+        for core in cores {
             let decl_span: crate::evidence::SpanRef = decl.span.into();
-            if sig.ty.is_reference() && is_mutable_target(table, &sig.ty) {
-                // Witness: the first value-returning statement (the
-                // escape summary guarantees one exists for
-                // `via_return` leaks).
-                let mut witness_span = decl_span;
-                if via_return {
-                    let mut first: Option<Span> = None;
-                    walk_stmts(&decl.body, &mut |s: &Stmt| {
-                        if first.is_none() && matches!(s.kind, StmtKind::Return(Some(_))) {
-                            first = Some(s.span);
-                        }
-                    });
-                    if let Some(sp) = first {
-                        witness_span = sp.into();
-                    }
-                }
+            if core.mutable {
+                let witness_span = core
+                    .witness_stmt
+                    .map_or(decl_span, |i| map.stmt(i as usize).1.into());
                 report.evidence.push(Evidence::AliasLeak {
                     verdict: Verdict::Finding,
                     class: mref.class.clone(),
                     method: mref.method.clone(),
-                    field: f.clone(),
-                    via_return,
+                    field: core.field.clone(),
+                    via_return: core.via_return,
                     decl_span,
                     witness_span,
-                    mutable_because: format!(
-                        "target type `{}` is an array or transitively declares fields",
-                        sig.ty
-                    ),
+                    mutable_because: core.because,
                 });
                 leaks.push(AliasLeak {
                     class: mref.class.clone(),
                     method: mref.method.clone(),
-                    field: f.clone(),
+                    field: core.field,
                     span: decl.span,
-                    via_return,
+                    via_return: core.via_return,
                 });
             } else {
                 report.evidence.push(Evidence::AliasLeak {
                     verdict: Verdict::Cleared,
                     class: mref.class.clone(),
                     method: mref.method.clone(),
-                    field: f.clone(),
-                    via_return,
+                    field: core.field,
+                    via_return: core.via_return,
                     decl_span,
                     witness_span: decl_span,
-                    mutable_because: format!(
-                        "target type `{}` carries no mutable state",
-                        sig.ty
-                    ),
+                    mutable_because: core.because,
                 });
             }
         }
     }
     report.alias_leaks = leaks;
+}
+
+/// Span-free R14 verdict for one escape-candidate field of a method.
+#[derive(Debug, Clone)]
+pub(crate) struct LeakCore {
+    pub(crate) field: String,
+    pub(crate) via_return: bool,
+    /// True when the target type carries mutable state (a finding);
+    /// false records a cleared candidate.
+    pub(crate) mutable: bool,
+    pub(crate) because: String,
+    /// Pre-order index of the first value-returning statement (the
+    /// witness for `via_return` findings).
+    pub(crate) witness_stmt: Option<u32>,
+}
+
+/// Digest of everything a method's R14 verdicts depend on: its body,
+/// the signature table (field types and hierarchy), and the two escape
+/// sets its candidates are drawn from.
+fn leak_key(mref: &MethodRef, es: &EscapeSummary, c: &DemandCtx) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x4c);
+    h.u64(c.ix.sig.0);
+    h.u64(c.ix.method_key(mref).unwrap_or_default().0);
+    h.u64(es.returns_this_field.len() as u64);
+    for f in &es.returns_this_field {
+        h.str(f);
+    }
+    h.u64(es.leaked_this_fields.len() as u64);
+    for f in &es.leaked_this_fields {
+        h.str(f);
+    }
+    h.finish()
+}
+
+/// Runs the R14 mutable-target check for one method's escape
+/// candidates — pure in the inputs digested by [`leak_key`].
+fn compute_leak_cores(
+    table: &ClassTable,
+    decl: &MethodDecl,
+    mref: &MethodRef,
+    es: &EscapeSummary,
+    map: &NodeMap,
+) -> Vec<LeakCore> {
+    let mut fields: BTreeSet<(&String, bool)> = BTreeSet::new();
+    for f in &es.returns_this_field {
+        fields.insert((f, true));
+    }
+    for f in &es.leaked_this_fields {
+        if !es.returns_this_field.contains(f) {
+            fields.insert((f, false));
+        }
+    }
+    let mut out: Vec<LeakCore> = Vec::new();
+    for (f, via_return) in fields {
+        let Some((_, sig)) = table.field_of(&mref.class, f) else {
+            continue;
+        };
+        if sig.ty.is_reference() && is_mutable_target(table, &sig.ty) {
+            // Witness: the first value-returning statement (the escape
+            // summary guarantees one exists for `via_return` leaks).
+            let mut witness_stmt: Option<u32> = None;
+            if via_return {
+                let mut first: Option<NodeId> = None;
+                walk_stmts(&decl.body, &mut |s: &Stmt| {
+                    if first.is_none() && matches!(s.kind, StmtKind::Return(Some(_))) {
+                        first = Some(s.id);
+                    }
+                });
+                witness_stmt = first.and_then(|id| map.stmt_index(id)).map(idx32);
+            }
+            out.push(LeakCore {
+                field: f.clone(),
+                via_return,
+                mutable: true,
+                because: format!(
+                    "target type `{}` is an array or transitively declares fields",
+                    sig.ty
+                ),
+                witness_stmt,
+            });
+        } else {
+            out.push(LeakCore {
+                field: f.clone(),
+                via_return,
+                mutable: false,
+                because: format!("target type `{}` carries no mutable state", sig.ty),
+                witness_stmt: None,
+            });
+        }
+    }
+    out
 }
 
 /// One parameter-limited loop: `for (iv = c0; iv < p; iv += step)`.
@@ -723,23 +946,72 @@ pub(crate) fn trips_for(c: &TripCandidate, limit: i64) -> u64 {
 /// methods with no analyzable site, or any non-constant site, stay
 /// unproved). Each proof is recorded as call-site evidence carrying the
 /// full site list.
-fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut SummaryReport) {
+fn prove_call_bounds(
+    program: &Program,
+    table: &ClassTable,
+    report: &mut SummaryReport,
+    mut ctx: Option<&mut DemandCtx>,
+) {
+    let ix = ctx.as_ref().map(|c| c.ix);
+    let mut maps = Maps::new(ix);
     // Candidate loops per method.
     let mut candidates: BTreeMap<MethodRef, Vec<TripCandidate>> = BTreeMap::new();
     for (_, decl, mref) in crate::each_method(program) {
-        let mut found: Vec<TripCandidate> = Vec::new();
-        walk_stmts(&decl.body, &mut |stmt| {
-            if let Some(c) = trip_frame(decl, stmt) {
-                found.push(c);
+        let Some(map) = maps.get(program, &mref) else {
+            continue;
+        };
+        let cores = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = combine(&[Fp(0x5443), c.ix.method_key(&mref).unwrap_or_default()]);
+                demand(
+                    &mut c.memo.trip_cands,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || compute_trip_cands(decl, map),
+                )
             }
-        });
-        if !found.is_empty() {
-            candidates.insert(mref, found);
+            None => compute_trip_cands(decl, map),
+        };
+        if cores.is_empty() {
+            continue;
         }
+        let found: Vec<TripCandidate> = cores
+            .iter()
+            .map(|t| TripCandidate {
+                stmt_id: map.stmt(t.stmt_index as usize).0,
+                c0: t.c0,
+                inclusive: t.inclusive,
+                step: t.step,
+                param_index: t.param_index,
+            })
+            .collect();
+        candidates.insert(mref, found);
     }
     if candidates.is_empty() {
         return;
     }
+
+    // The shape of the candidate table — which targets have candidate
+    // loops, and at which parameter positions — is all a caller's
+    // folded contributions depend on; the frame constants only matter
+    // to the final proof.
+    let shape = {
+        let mut h = StructHasher::new();
+        h.tag(0x53);
+        h.u64(candidates.len() as u64);
+        for (target, cands) in &candidates {
+            h.str(&target.class);
+            h.str(&target.method);
+            h.bool(target.is_ctor);
+            h.u64(cands.len() as u64);
+            for cand in cands {
+                h.u64(cand.param_index as u64);
+            }
+        }
+        h.finish()
+    };
 
     // Fold every static call site's argument at each candidate's
     // parameter position, keeping the site spans for the evidence
@@ -747,44 +1019,45 @@ fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut Summary
     type SiteList = Vec<Vec<(Span, i64)>>;
     let mut sites: BTreeMap<MethodRef, Option<SiteList>> = BTreeMap::new();
     for (_, decl, caller) in crate::each_method(program) {
-        walk_exprs(&decl.body, &mut |e| {
-            let (target, args) = match &e.kind {
-                ExprKind::Call {
-                    receiver,
-                    method,
-                    args,
-                } => match resolve_call(program, table, &caller, receiver.as_deref(), method) {
-                    Some(CallTarget::User(m)) => (m, args),
-                    _ => return,
-                },
-                ExprKind::NewObject { class, args } => (MethodRef::ctor(class), args),
-                _ => return,
-            };
-            let Some(cands) = candidates.get(&target) else {
-                return;
-            };
-            let folded: Option<Vec<(Span, i64)>> = cands
-                .iter()
-                .map(|c| {
-                    args.get(c.param_index)
-                        .and_then(fold_const)
-                        .map(|v| (e.span, v))
-                })
-                .collect();
+        let Some(map) = maps.get(program, &caller) else {
+            continue;
+        };
+        let contribs = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = combine(&[
+                    Fp(0x4353),
+                    c.ix.method_key(&caller).unwrap_or_default(),
+                    c.ix.sig,
+                    shape,
+                ]);
+                demand(
+                    &mut c.memo.call_sites,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || compute_contributions(program, table, decl, &caller, &candidates, map),
+                )
+            }
+            None => compute_contributions(program, table, decl, &caller, &candidates, map),
+        };
+        for contrib in contribs {
+            let n_cands = candidates[&contrib.target].len();
+            let span = map.expr(contrib.expr_index as usize).1;
             let entry = sites
-                .entry(target)
-                .or_insert_with(|| Some(vec![Vec::new(); cands.len()]));
-            match (entry.as_mut(), folded) {
+                .entry(contrib.target)
+                .or_insert_with(|| Some(vec![Vec::new(); n_cands]));
+            match (entry.as_mut(), contrib.folded) {
                 (Some(acc), Some(vals)) => {
                     for (slot, v) in acc.iter_mut().zip(vals) {
-                        slot.push(v);
+                        slot.push((span, v));
                     }
                 }
                 // A non-constant site (or an already-poisoned method)
                 // leaves the limit open.
                 _ => *entry = None,
             }
-        });
+        }
     }
 
     for (mref, cands) in &candidates {
@@ -815,6 +1088,87 @@ fn prove_call_bounds(program: &Program, table: &ClassTable, report: &mut Summary
     }
 }
 
+/// Span-free parameter-bounded loop frame: [`TripCandidate`] with the
+/// statement identified by pre-order index instead of node id.
+#[derive(Debug, Clone)]
+pub(crate) struct TripCandCore {
+    pub(crate) stmt_index: u32,
+    pub(crate) c0: i64,
+    pub(crate) inclusive: bool,
+    pub(crate) step: i64,
+    pub(crate) param_index: usize,
+}
+
+/// Matches every statement of one method against the parameter-bounded
+/// loop frame — pure in the method body (keyed by method fingerprint).
+fn compute_trip_cands(decl: &MethodDecl, map: &NodeMap) -> Vec<TripCandCore> {
+    let mut found: Vec<TripCandCore> = Vec::new();
+    walk_stmts(&decl.body, &mut |stmt| {
+        if let Some(c) = trip_frame(decl, stmt) {
+            found.push(TripCandCore {
+                stmt_index: idx32(map.stmt_index(c.stmt_id).expect("loop stmt in body")),
+                c0: c.c0,
+                inclusive: c.inclusive,
+                step: c.step,
+                param_index: c.param_index,
+            });
+        }
+    });
+    found
+}
+
+/// One resolved call site of a caller: the target method, the call
+/// expression's pre-order index, and the folded constant argument per
+/// candidate loop of the target (`None` when some argument did not
+/// fold — the target's limit stays open).
+#[derive(Debug, Clone)]
+pub(crate) struct CallContribution {
+    pub(crate) target: MethodRef,
+    pub(crate) expr_index: u32,
+    pub(crate) folded: Option<Vec<i64>>,
+}
+
+/// Folds one caller's static call sites against the candidate table —
+/// pure in the caller body, the signature table (dispatch), and the
+/// candidate shape.
+fn compute_contributions(
+    program: &Program,
+    table: &ClassTable,
+    decl: &MethodDecl,
+    caller: &MethodRef,
+    candidates: &BTreeMap<MethodRef, Vec<TripCandidate>>,
+    map: &NodeMap,
+) -> Vec<CallContribution> {
+    let mut out: Vec<CallContribution> = Vec::new();
+    walk_exprs(&decl.body, &mut |e| {
+        let (target, args) = match &e.kind {
+            ExprKind::Call {
+                receiver,
+                method,
+                args,
+            } => match resolve_call(program, table, caller, receiver.as_deref(), method) {
+                Some(CallTarget::User(m)) => (m, args),
+                _ => return,
+            },
+            ExprKind::NewObject { class, args } => (MethodRef::ctor(class), args),
+            _ => return,
+        };
+        let Some(cands) = candidates.get(&target) else {
+            return;
+        };
+        let folded: Option<Vec<i64>> = cands
+            .iter()
+            .map(|c| args.get(c.param_index).and_then(fold_const))
+            .collect();
+        out.push(CallContribution {
+            target,
+            expr_index: idx32(map.expr_index(e.id).expect("call expr in body")),
+            folded,
+        });
+    });
+    out
+}
+
 /// Finds the source span of a loop statement by node id.
 fn loop_span_of(
     program: &Program,
@@ -839,26 +1193,245 @@ fn loop_bound_evidence(
     program: &Program,
     interval_proved: &BTreeMap<NodeId, u64>,
     report: &mut SummaryReport,
+    mut ctx: Option<&mut DemandCtx>,
 ) {
-    for info in loops::analyze(program) {
+    let ix = ctx.as_ref().map(|c| c.ix);
+    let mut maps = Maps::new(ix);
+    for (_, decl, mref) in crate::each_method(program) {
+        let Some(map) = maps.get(program, &mref) else {
+            continue;
+        };
+        let cores = match ctx.as_deref_mut() {
+            Some(c) => {
+                let key = loop_ev_key(&mref, interval_proved, map, c);
+                demand(
+                    &mut c.memo.loop_ev,
+                    key,
+                    c.revision,
+                    &mut c.hits,
+                    &mut c.misses,
+                    || compute_loop_ev(decl, &mref, interval_proved, map),
+                )
+            }
+            None => compute_loop_ev(decl, &mref, interval_proved, map),
+        };
+        for core in cores {
+            let loop_span = map.stmt(core.stmt_index as usize).1.into();
+            match core.proved {
+                Some(trips) => report.evidence.push(Evidence::LoopBound {
+                    verdict: Verdict::Cleared,
+                    method: mref.to_string(),
+                    loop_span,
+                    derivation: BoundDerivation::Interval { trips },
+                }),
+                None => report.evidence.push(Evidence::LoopBound {
+                    verdict: Verdict::Finding,
+                    method: mref.to_string(),
+                    loop_span,
+                    derivation: BoundDerivation::Unproved {
+                        obstruction: core.obstruction.unwrap_or_default(),
+                    },
+                }),
+            }
+        }
+    }
+}
+
+/// Span-free R2 evidence for one loop: interval-proved trips or the
+/// obstruction keeping the bound incalculable.
+#[derive(Debug, Clone)]
+pub(crate) struct LoopEvCore {
+    pub(crate) stmt_index: u32,
+    pub(crate) proved: Option<u64>,
+    pub(crate) obstruction: Option<String>,
+}
+
+/// Digest of everything a method's R2 evidence depends on: its body and
+/// the interval-proved trip counts of the loops inside it (addressed by
+/// pre-order index, so a pure span shift leaves the digest unchanged).
+fn loop_ev_key(
+    mref: &MethodRef,
+    interval_proved: &BTreeMap<NodeId, u64>,
+    map: &NodeMap,
+    c: &DemandCtx,
+) -> Fp {
+    let mut h = StructHasher::new();
+    h.tag(0x45);
+    h.u64(c.ix.method_key(mref).unwrap_or_default().0);
+    let entries = bounds_by_index(map, interval_proved);
+    h.u64(entries.len() as u64);
+    for (i, t) in entries {
+        h.u64(u64::from(i));
+        h.u64(t);
+    }
+    h.finish()
+}
+
+/// The slice of a node-id-keyed bound map that lands inside one method,
+/// re-keyed by statement pre-order index. Scans only the bound entries
+/// inside the method's node-id range (bounds are sparse — proved loops
+/// only — so this beats a map probe per statement) and keeps entries
+/// that are statements of *this* map.
+fn bounds_by_index(map: &NodeMap, bounds: &BTreeMap<NodeId, u64>) -> BTreeMap<u32, u64> {
+    let mut out: BTreeMap<u32, u64> = BTreeMap::new();
+    if bounds.is_empty() || map.stmt_count() == 0 {
+        return out;
+    }
+    let (mut lo, _) = map.stmt(0);
+    let mut hi = lo;
+    for i in 1..map.stmt_count() {
+        let (id, _) = map.stmt(i);
+        lo = lo.min(id);
+        hi = hi.max(id);
+    }
+    for (&id, &trips) in bounds.range(lo..=hi) {
+        if let Some(i) = map.stmt_index(id) {
+            out.insert(idx32(i), trips);
+        }
+    }
+    out
+}
+
+/// Classifies one method's loops against the interval proofs — pure in
+/// the inputs digested by [`loop_ev_key`].
+fn compute_loop_ev(
+    decl: &MethodDecl,
+    mref: &MethodRef,
+    interval_proved: &BTreeMap<NodeId, u64>,
+    map: &NodeMap,
+) -> Vec<LoopEvCore> {
+    let mut out: Vec<LoopEvCore> = Vec::new();
+    for info in loops::analyze_method(decl, mref) {
         if let Some(&trips) = interval_proved.get(&info.id) {
-            report.evidence.push(Evidence::LoopBound {
-                verdict: Verdict::Cleared,
-                method: info.method.to_string(),
-                loop_span: info.span.into(),
-                derivation: BoundDerivation::Interval { trips },
+            out.push(LoopEvCore {
+                stmt_index: idx32(map.stmt_index(info.id).expect("loop stmt in body")),
+                proved: Some(trips),
+                obstruction: None,
             });
-        } else if let Some(BoundStatus::NotCalculable { reason }) = &info.bound {
-            report.evidence.push(Evidence::LoopBound {
-                verdict: Verdict::Finding,
-                method: info.method.to_string(),
-                loop_span: info.span.into(),
-                derivation: BoundDerivation::Unproved {
-                    obstruction: reason.clone(),
-                },
+        } else if let Some(BoundStatus::NotCalculable { reason }) = info.bound {
+            out.push(LoopEvCore {
+                stmt_index: idx32(map.stmt_index(info.id).expect("loop stmt in body")),
+                proved: None,
+                obstruction: Some(reason),
             });
         }
     }
+    out
+}
+
+/// Per-method WCET bounds with bottom-up component keying: each
+/// call-graph SCC gets a digest of its members' identities and bodies,
+/// the proved loop bounds inside them, and its external callees'
+/// per-method keys; a method whose key is cached serves its bound
+/// directly, and the remaining methods are folded by
+/// [`bounds::instruction_bounds_seeded`] with the cached bounds
+/// pre-seeding its memo — only dirty regions of the call graph are
+/// re-walked.
+fn wcet_demand(
+    program: &Program,
+    table: &ClassTable,
+    graph: &CallGraph,
+    merged: &BTreeMap<NodeId, u64>,
+    c: &mut DemandCtx,
+) -> BTreeMap<MethodRef, Option<u64>> {
+    let mut wkeys: BTreeMap<MethodRef, Fp> = BTreeMap::new();
+    for scc in c.cond {
+        let mut h = StructHasher::new();
+        h.tag(0x57);
+        h.u64(c.ix.sig.0);
+        for m in scc {
+            h.str(&m.class);
+            h.str(&m.method);
+            h.bool(m.is_ctor);
+            match c.ix.method_key(m) {
+                Some(k) => {
+                    h.tag(1);
+                    h.u64(k.0);
+                }
+                None => h.tag(0),
+            }
+            if let Some(map) = c.ix.node_map(m) {
+                let entries = bounds_by_index(map, merged);
+                h.u64(entries.len() as u64);
+                for (i, t) in entries {
+                    h.u64(u64::from(i));
+                    h.u64(t);
+                }
+            } else {
+                h.tag(2);
+            }
+            // External callees: the condensation is bottom-up, so their
+            // keys are already final (builtins have none — their cost
+            // is fixed by name, which is hashed). The edge sets are
+            // BTreeSets, so the walk is already sorted and
+            // deduplicated; the count is appended after the items.
+            let mut ext = 0u64;
+            for callee in graph.callees(m) {
+                let internal = if scc.len() == 1 {
+                    callee == &scc[0]
+                } else {
+                    scc.contains(callee)
+                };
+                if internal {
+                    continue;
+                }
+                ext += 1;
+                h.str(&callee.class);
+                h.str(&callee.method);
+                h.bool(callee.is_ctor);
+                match wkeys.get(callee) {
+                    Some(k) => {
+                        h.tag(1);
+                        h.u64(k.0);
+                    }
+                    None => h.tag(0),
+                }
+            }
+            h.u64(ext);
+        }
+        let skey = h.finish();
+        for m in scc {
+            let mut mh = StructHasher::new();
+            mh.u64(skey.0);
+            mh.str(&m.class);
+            mh.str(&m.method);
+            mh.bool(m.is_ctor);
+            wkeys.insert(m.clone(), mh.finish());
+        }
+    }
+
+    let mut seed: BTreeMap<MethodRef, Option<u64>> = BTreeMap::new();
+    let mut missing: Vec<(MethodRef, Option<Fp>)> = Vec::new();
+    for (_, _, mref) in crate::each_method(program) {
+        match wkeys.get(&mref).copied() {
+            Some(key) => match c.memo.wcet.get_mut(&key) {
+                Some(slot) => {
+                    slot.last_used = c.revision;
+                    c.hits += 1;
+                    seed.insert(mref, slot.value);
+                }
+                None => missing.push((mref, Some(key))),
+            },
+            None => missing.push((mref, None)),
+        }
+    }
+    if missing.is_empty() {
+        return seed;
+    }
+    let full = bounds::instruction_bounds_seeded(program, table, merged, seed);
+    for (mref, key) in missing {
+        c.misses += 1;
+        if let (Some(key), Some(&value)) = (key, full.get(&mref)) {
+            c.memo.wcet.insert(
+                key,
+                MemoSlot {
+                    value,
+                    last_used: c.revision,
+                },
+            );
+        }
+    }
+    full
 }
 
 #[cfg(test)]

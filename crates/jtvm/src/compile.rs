@@ -265,7 +265,10 @@ impl Module {
 
     /// Looks up an interned name.
     pub fn name_id(&self, name: &str) -> Option<u32> {
-        self.names.iter().position(|n| n == name).map(|i| i as u32)
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .and_then(|i| u32::try_from(i).ok())
     }
 
     /// Renders a human-readable disassembly of every chunk.

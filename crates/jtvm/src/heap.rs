@@ -81,13 +81,11 @@ impl Heap {
     /// [`RuntimeError::AllocationFrozen`] when the heap is frozen.
     pub fn alloc_array(&mut self, len: i64, fill: RtValue) -> Result<ObjRef, RuntimeError> {
         self.check_frozen()?;
-        if len < 0 {
-            return Err(RuntimeError::NegativeArrayLength(len));
-        }
+        let n = usize::try_from(len).map_err(|_| RuntimeError::NegativeArrayLength(len))?;
         self.stats.allocations += 1;
         self.stats.words += len as u64;
         self.cells.push(HeapObject::Array {
-            items: vec![fill; len as usize],
+            items: vec![fill; n],
         });
         Ok(ObjRef(self.cells.len() - 1))
     }
@@ -145,13 +143,14 @@ impl Heap {
         let HeapObject::Array { items } = self.get(r) else {
             return Err(RuntimeError::Internal("array access on object".into()));
         };
-        if index < 0 || index as usize >= items.len() {
-            return Err(RuntimeError::IndexOutOfBounds {
+        let at = usize::try_from(index)
+            .ok()
+            .filter(|&i| i < items.len())
+            .ok_or(RuntimeError::IndexOutOfBounds {
                 index,
                 len: items.len(),
-            });
-        }
-        Ok(items[index as usize])
+            })?;
+        Ok(items[at])
     }
 
     /// Writes `array[index] = value`, bounds-checked.
@@ -164,13 +163,14 @@ impl Heap {
         let HeapObject::Array { items } = self.get_mut(r) else {
             return Err(RuntimeError::Internal("array access on object".into()));
         };
-        if index < 0 || index as usize >= items.len() {
-            return Err(RuntimeError::IndexOutOfBounds {
+        let at = usize::try_from(index)
+            .ok()
+            .filter(|&i| i < items.len())
+            .ok_or(RuntimeError::IndexOutOfBounds {
                 index,
                 len: items.len(),
-            });
-        }
-        items[index as usize] = value;
+            })?;
+        items[at] = value;
         Ok(())
     }
 

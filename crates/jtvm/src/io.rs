@@ -60,11 +60,9 @@ impl Io {
     }
 
     fn input(&self, port: i64) -> Result<&PortDatum, RuntimeError> {
-        if port < 0 {
-            return Err(RuntimeError::PortOutOfRange { port });
-        }
-        self.inputs
-            .get(port as usize)
+        usize::try_from(port)
+            .ok()
+            .and_then(|i| self.inputs.get(i))
             .ok_or(RuntimeError::PortOutOfRange { port })
     }
 
@@ -89,10 +87,7 @@ impl Io {
     }
 
     fn output_slot(&mut self, port: i64) -> Result<&mut Option<PortDatum>, RuntimeError> {
-        if port < 0 {
-            return Err(RuntimeError::PortOutOfRange { port });
-        }
-        let idx = port as usize;
+        let idx = usize::try_from(port).map_err(|_| RuntimeError::PortOutOfRange { port })?;
         if idx >= self.outputs.len() {
             self.outputs.resize(idx + 1, None);
         }

@@ -646,7 +646,7 @@ fn compact_registers(code: &mut NativeCode) {
     let mut first = vec![UNSET; n];
     let mut last = vec![0u32; n];
     for (i, op) in code.ops.iter_mut().enumerate() {
-        let i = i as u32;
+        let i = u32::try_from(i).expect("op count fits u32");
         map_regs(op, &mut |r| {
             let s = r as usize;
             if first[s] == UNSET {
@@ -656,7 +656,8 @@ fn compact_registers(code: &mut NativeCode) {
             r
         });
     }
-    let mut by_start: Vec<u32> = (0..n as u32).filter(|&r| first[r as usize] != UNSET).collect();
+    let regs = u32::try_from(n).expect("register count fits u32");
+    let mut by_start: Vec<u32> = (0..regs).filter(|&r| first[r as usize] != UNSET).collect();
     by_start.sort_unstable_by_key(|&r| first[r as usize]);
     let mut map = vec![UNSET; n];
     // Active intervals as (end, slot), expired in end order.
@@ -723,7 +724,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn here(&self) -> u32 {
-        self.ops.len() as u32
+        u32::try_from(self.ops.len()).expect("op count fits u32")
     }
 
     /// The path being lowered deterministically raises `e` when taken.

@@ -39,14 +39,21 @@
 //!
 //! `--stats` routes every sample through one shared incremental
 //! analysis database (`jtanalysis::db::AnalysisDb`) and prints its
-//! cache-traffic line (hits/misses/recomputed/invalidated, SCC summary
-//! traffic, revisions analyzed) after the per-sample table.
+//! two-line rollup (`jtanalysis::db::render_rollup`) after the
+//! per-sample table: the cache line splits method-core from points-to
+//! traffic, and the tail-traffic line reports delta-solver constraint
+//! retraction/derivation counts and demand-query totals.
 //!
-//! `--warm-check` lints every sample *twice* through a fresh database
-//! and exits nonzero unless the second, byte-identical run recomputes
-//! zero method-level queries and zero SCC summaries and reproduces the
-//! first run's findings exactly — the CI guard for the incremental
-//! engine's "warm re-check is free and invisible" contract.
+//! `--warm-check` lints every sample through a fresh database three
+//! times — byte-identical, byte-identical again, then shifted by a
+//! leading comment — and exits nonzero unless (a) the second run
+//! replays with zero method-level recomputation and zero SCC misses
+//! and reproduces the first run's findings exactly, and (b) the
+//! comment-shifted run (a no-op revision that misses the replay cache)
+//! keeps the entire analysis tail warm: no points-to re-solve, zero
+//! constraints retracted or re-derived by the delta solver, and zero
+//! demand-query misses. This is the CI guard for both the "warm
+//! re-check is free" contract and the delta/demand tail.
 
 use jtanalysis::db::AnalysisDb;
 use sfr::policy::{evidence_for, AnalysisContext, Policy};
@@ -208,6 +215,51 @@ fn main() {
                         eprintln!("jtlint: `{}` warm re-check changed the findings", sample.name);
                         warm_failures += 1;
                     }
+                    // A comment shifts every span, so this is a fresh
+                    // revision (the replay cache misses) whose analysis
+                    // tail must still be served entirely warm.
+                    let shifted = format!("// warm-check pad\n{}", sample.source);
+                    match lint(&shifted, Some(&mut db)) {
+                        Ok(third) => {
+                            let s = db.last_run();
+                            if s.recomputed != 0
+                                || s.scc_misses != 0
+                                || s.pointsto_misses != 0
+                                || s.pt_constraints_retracted != 0
+                                || s.pt_constraints_added != 0
+                                || s.demand_misses != 0
+                            {
+                                eprintln!(
+                                    "jtlint: `{}` no-op revision re-ran the tail: \
+                                     {} recomputed, {} scc misses, {} points-to \
+                                     misses, {} constraints retracted, {} added, \
+                                     {} demand misses (expected all 0)",
+                                    sample.name,
+                                    s.recomputed,
+                                    s.scc_misses,
+                                    s.pointsto_misses,
+                                    s.pt_constraints_retracted,
+                                    s.pt_constraints_added,
+                                    s.demand_misses
+                                );
+                                warm_failures += 1;
+                            }
+                            if third.len() != first.len() {
+                                eprintln!(
+                                    "jtlint: `{}` no-op revision changed the finding \
+                                     count ({} vs {})",
+                                    sample.name,
+                                    third.len(),
+                                    first.len()
+                                );
+                                warm_failures += 1;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("jtlint: internal error on `{}`: {e}", sample.name);
+                            internal_errors += 1;
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("jtlint: internal error on `{}`: {e}", sample.name);
@@ -254,21 +306,11 @@ fn main() {
 
     if stats {
         let t = shared_db.totals();
-        println!(
-            "db cache: {} hits, {} misses, {} recomputed, {} invalidated; \
-             scc summaries: {} hits, {} misses; revisions analyzed: {}",
-            t.hits,
-            t.misses,
-            t.recomputed,
-            t.invalidated,
-            t.scc_hits,
-            t.scc_misses,
-            shared_db.revision()
-        );
+        println!("{}", jtanalysis::db::render_rollup(&t, shared_db.revision()));
     }
     if warm_check && internal_errors == 0 && warm_failures == 0 {
         println!(
-            "jtlint --warm-check: warm re-check recomputed 0 method-level queries \
+            "jtlint --warm-check: warm replay and no-op-revision tail both clean \
              on all {} samples",
             jtlang::corpus::samples().len()
         );
